@@ -1,0 +1,240 @@
+//===- BenchCommon.cpp - Shared benchmark program generators (§8.1) -------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace asdf;
+
+namespace {
+
+std::string alternatingSecret(unsigned N) {
+  std::string S;
+  for (unsigned I = 0; I < N; ++I)
+    S.push_back(I % 2 == 0 ? '1' : '0');
+  return S;
+}
+
+std::string maskAllButLast(unsigned N) {
+  std::string S(N, '1');
+  S.back() = '0';
+  return S;
+}
+
+std::string maskDropMsb(unsigned N) {
+  std::string S(N, '1');
+  S.front() = '0'; // f(x) = x mod 2^(N-1): additive period for QFT.
+  return S;
+}
+
+} // namespace
+
+BenchProgram asdf::makeBenchProgram(BenchAlgorithm Alg, unsigned N) {
+  BenchProgram P;
+  std::ostringstream OS;
+  switch (Alg) {
+  case BenchAlgorithm::BV:
+    OS << R"(
+classical f[N](secret: bit[N], x: bit[N]) -> bit {
+    return (secret & x).xor_reduce()
+}
+qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+    return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+}
+)";
+    P.Bindings.Captures["f"]["secret"] =
+        CaptureValue::bitsFromString(alternatingSecret(N));
+    P.Bindings.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+    break;
+
+  case BenchAlgorithm::DJ:
+    OS << R"(
+classical f[N](x: bit[N]) -> bit {
+    return x.xor_reduce()
+}
+qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+    return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+}
+)";
+    P.Bindings.DimVars["N"] = N;
+    P.Bindings.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+    break;
+
+  case BenchAlgorithm::Grover: {
+    OS << R"(
+classical oracle[N](x: bit[N]) -> bit {
+    return x.and_reduce()
+}
+qpu kernel[N](oracle: cfunc[N, 1]) -> bit[N] {
+    return 'p'[N])";
+    unsigned Iters = groverIterations(N);
+    for (unsigned I = 0; I < Iters; ++I)
+      OS << " \\\n        | oracle.sign | {'p'[N]} >> {-'p'[N]}";
+    OS << " \\\n        | std[N].measure\n}\n";
+    P.Bindings.DimVars["N"] = N;
+    P.Bindings.Captures["kernel"]["oracle"] =
+        CaptureValue::classicalFunc("oracle");
+    break;
+  }
+
+  case BenchAlgorithm::Simon:
+    OS << R"(
+classical f[N](mask: bit[N], x: bit[N]) -> bit[N] {
+    return x & mask
+}
+qpu kernel[N](f: cfunc[N, N]) -> bit[N] {
+    q = 'p'[N] + '0'[N] | f.xor | (pm[N] >> std[N]) + id[N]
+    first, second = q | (std[N] + std[N]).measure
+    return first
+}
+)";
+    P.Bindings.Captures["f"]["mask"] =
+        CaptureValue::bitsFromString(maskAllButLast(N));
+    P.Bindings.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+    break;
+
+  case BenchAlgorithm::PeriodFinding:
+    OS << R"(
+classical f[N](mask: bit[N], x: bit[N]) -> bit[N] {
+    return x & mask
+}
+qpu kernel[N](f: cfunc[N, N]) -> bit[N] {
+    q = 'p'[N] + '0'[N] | f.xor
+    phase, out = q | fourier[N].measure + std[N].measure
+    return phase
+}
+)";
+    P.Bindings.Captures["f"]["mask"] =
+        CaptureValue::bitsFromString(maskDropMsb(N));
+    P.Bindings.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+    break;
+  }
+  if (P.Source.empty())
+    P.Source = OS.str();
+  return P;
+}
+
+Circuit asdf::compileAsdfBenchmark(BenchAlgorithm Alg, unsigned N) {
+  BenchProgram P = makeBenchProgram(Alg, N);
+  QwertyCompiler Compiler;
+  CompileOptions Opts;
+  Opts.Entry = P.Entry;
+  CompileResult R = Compiler.compile(P.Source, P.Bindings, Opts);
+  if (!R.Ok) {
+    std::fprintf(stderr, "benchmark %s/%u failed to compile:\n%s\n",
+                 benchAlgorithmName(Alg), N, R.ErrorMessage.c_str());
+    std::abort();
+  }
+  return transpileO3(R.FlatCircuit);
+}
+
+Circuit asdf::buildBaselineBenchmark(BenchAlgorithm Alg, BaselineStyle Style,
+                                     unsigned N) {
+  return transpileO3(buildBaselineCircuit(Alg, Style, N));
+}
+
+BenchProgram asdf::makeQSharpStyleProgram(BenchAlgorithm Alg, unsigned N) {
+  // Q# programs structure algorithms as small operations composed by
+  // value, with Adjoint functor applications — e.g. Wojcieszyn's B-V uses
+  // ApplyToEach(H, _), the oracle operation, and an adjoint prepare. With
+  // inlining off, every operation reference becomes a callable_create and
+  // every application a callable_invoke (§8.2).
+  BenchProgram P;
+  std::ostringstream OS;
+  switch (Alg) {
+  case BenchAlgorithm::BV:
+  case BenchAlgorithm::DJ:
+    OS << R"(
+classical f[N](secret: bit[N], x: bit[N]) -> bit {
+    return (secret & x).xor_reduce()
+}
+qpu prepare[N](q: qubit[N]) -> qubit[N] {
+    return q | std[N] >> pm[N]
+}
+qpu apply_oracle[N](q: qubit[N]) -> qubit[N] {
+    return q | f.sign
+}
+qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+    return '0'[N] | prepare | apply_oracle | ~prepare | std[N].measure
+}
+)";
+    P.Bindings.Captures["f"]["secret"] =
+        CaptureValue::bitsFromString(Alg == BenchAlgorithm::BV
+                                         ? alternatingSecret(N)
+                                         : std::string(N, '1'));
+    P.Bindings.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+    break;
+
+  case BenchAlgorithm::Grover: {
+    OS << R"(
+classical oracle[N](x: bit[N]) -> bit {
+    return x.and_reduce()
+}
+qpu reflect[N](q: qubit[N]) -> qubit[N] {
+    return q | {'p'[N]} >> {-'p'[N]}
+}
+qpu iteration[N](q: qubit[N]) -> qubit[N] {
+    return q | oracle.sign | reflect
+}
+qpu kernel[N](oracle: cfunc[N, 1]) -> bit[N] {
+    return 'p'[N])";
+    unsigned Iters = groverIterations(N);
+    for (unsigned I = 0; I < Iters; ++I)
+      OS << " | iteration";
+    OS << " | std[N].measure\n}\n";
+    P.Bindings.DimVars["N"] = N;
+    P.Bindings.Captures["kernel"]["oracle"] =
+        CaptureValue::classicalFunc("oracle");
+    break;
+  }
+
+  case BenchAlgorithm::Simon:
+    OS << R"(
+classical f[N](mask: bit[N], x: bit[N]) -> bit[N] {
+    return x & mask
+}
+qpu prepare[N](q: qubit[N]) -> qubit[N] {
+    return q | std[N] >> pm[N]
+}
+qpu kernel[N](f: cfunc[N, N]) -> bit[N] {
+    q = '0'[N] + '0'[N] | prepare + id[N] | f.xor | ~prepare + id[N]
+    first, second = q | (std[N] + std[N]).measure
+    return first
+}
+)";
+    P.Bindings.Captures["f"]["mask"] =
+        CaptureValue::bitsFromString(maskAllButLast(N));
+    P.Bindings.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+    break;
+
+  case BenchAlgorithm::PeriodFinding:
+    OS << R"(
+classical f[N](mask: bit[N], x: bit[N]) -> bit[N] {
+    return x & mask
+}
+qpu prepare[N](q: qubit[N]) -> qubit[N] {
+    return q | std[N] >> pm[N]
+}
+qpu to_fourier[N](q: qubit[N]) -> qubit[N] {
+    return q | std[N] >> fourier[N]
+}
+qpu kernel[N](f: cfunc[N, N]) -> bit[N] {
+    q = '0'[N] + '0'[N] | prepare + id[N] | f.xor | ~to_fourier + id[N]
+    phase, out = q | (std[N] + std[N]).measure
+    return phase
+}
+)";
+    P.Bindings.Captures["f"]["mask"] =
+        CaptureValue::bitsFromString(maskDropMsb(N));
+    P.Bindings.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+    break;
+  }
+  P.Source = OS.str();
+  return P;
+}

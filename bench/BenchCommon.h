@@ -1,0 +1,58 @@
+//===- BenchCommon.h - Shared benchmark program generators (§8.1) ---------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generators for the five benchmark programs of §8.1, written in the
+/// Qwerty DSL and parameterized on the oracle input size:
+///
+///   - Bernstein-Vazirani with the alternating secret 1010...,
+///   - Deutsch-Jozsa with the balanced XOR-of-all-bits oracle,
+///   - Grover's search for the all-ones item (iterations capped at 12),
+///   - Simon's algorithm with a nonzero secret (s = 0...01),
+///   - QFT-based period finding with a bitmasking oracle.
+///
+/// Grover's repetitions are unrolled textually, mirroring how Asdf unrolls
+/// loops during AST expansion (§4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_BENCH_BENCHCOMMON_H
+#define ASDF_BENCH_BENCHCOMMON_H
+
+#include "baselines/Baselines.h"
+#include "compiler/Compiler.h"
+
+#include <string>
+
+namespace asdf {
+
+/// A ready-to-compile benchmark program.
+struct BenchProgram {
+  std::string Source;
+  ProgramBindings Bindings;
+  std::string Entry = "kernel";
+};
+
+/// Builds the Qwerty program for \p Alg at oracle input size \p N.
+BenchProgram makeBenchProgram(BenchAlgorithm Alg, unsigned N);
+
+/// Compiles the Asdf version of a benchmark down to a flat circuit (with
+/// the full optimization pipeline) and applies the common -O3 transpiler
+/// pass, matching the paper's methodology (§8.3). Aborts on compile errors.
+Circuit compileAsdfBenchmark(BenchAlgorithm Alg, unsigned N);
+
+/// Builds a baseline compiler's circuit and applies the same -O3 pass.
+Circuit buildBaselineBenchmark(BenchAlgorithm Alg, BaselineStyle Style,
+                               unsigned N);
+
+/// A Q#-idiomatic restructuring of a benchmark: operations passed around as
+/// values with functor applications, compiled *without* inlining — the
+/// structure whose QIR exercises the callables API (Table 1).
+BenchProgram makeQSharpStyleProgram(BenchAlgorithm Alg, unsigned N);
+
+} // namespace asdf
+
+#endif // ASDF_BENCH_BENCHCOMMON_H

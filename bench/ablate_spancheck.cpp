@@ -1,0 +1,76 @@
+//===- ablate_spancheck.cpp - Span checking scalability (§4.1) ------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates the headline type-checking claim (§4.1, Theorem B.6): checking
+/// span({'0','1'}[k]) = span({'1','0'}[k]) — which naively enumerates 2^k
+/// vectors — runs in polynomial time via factoring. Timings should grow
+/// roughly quadratically in k, nowhere near 2^k.
+///
+//===----------------------------------------------------------------------===//
+
+#include "basis/SpanCheck.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace asdf;
+
+namespace {
+
+Basis litBasis(std::initializer_list<const char *> Strs) {
+  std::vector<BasisVector> Vecs;
+  for (const char *S : Strs)
+    Vecs.push_back(BasisVector::fromString(S));
+  return Basis::literal(BasisLiteral(std::move(Vecs)));
+}
+
+void BM_SpanCheckPower(benchmark::State &State) {
+  unsigned K = State.range(0);
+  Basis Lhs = litBasis({"0", "1"}).power(K);
+  Basis Rhs = litBasis({"1", "0"}).power(K);
+  for (auto _ : State) {
+    bool Ok = spansEquivalent(Lhs, Rhs);
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetComplexityN(K);
+}
+
+void BM_SpanCheckMergedLiterals(benchmark::State &State) {
+  // Mixed case: a literal covering 2^8 vectors against factored elements.
+  unsigned K = State.range(0);
+  std::vector<BasisVector> Vecs;
+  for (uint64_t I = 0; I < 256; ++I)
+    Vecs.push_back(BasisVector(PrimitiveBasis::Std, 8, I));
+  Basis Lhs = Basis::literal(BasisLiteral(std::move(Vecs)))
+                  .tensor(litBasis({"0", "1"}).power(K));
+  Basis Rhs = Basis::builtin(PrimitiveBasis::Std, 8 + K);
+  for (auto _ : State) {
+    bool Ok = spansEquivalent(Lhs, Rhs);
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetComplexityN(K);
+}
+
+void BM_SpanCheckFourierFactoring(benchmark::State &State) {
+  unsigned K = State.range(0);
+  Basis Lhs = Basis::builtin(PrimitiveBasis::Fourier, K);
+  Basis Rhs;
+  for (unsigned I = 0; I < K; ++I)
+    Rhs = Rhs.tensor(Basis::builtin(PrimitiveBasis::Fourier, 1));
+  for (auto _ : State) {
+    bool Ok = spansEquivalent(Lhs, Rhs);
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetComplexityN(K);
+}
+
+} // namespace
+
+BENCHMARK(BM_SpanCheckPower)->DenseRange(16, 128, 16)->Complexity();
+BENCHMARK(BM_SpanCheckMergedLiterals)->DenseRange(16, 64, 16)->Complexity();
+BENCHMARK(BM_SpanCheckFourierFactoring)->DenseRange(16, 128, 16)->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+//===- micro_synthesis.cpp - Basis translation synthesis microbench -------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks for the §6.3 synthesis pipeline: standardization-only
+/// translations (pm[N] >> std[N]), predicated flips, permutation synthesis
+/// (MMD), and the Fourier/QFT path, across sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "synth/BasisSynth.h"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+using namespace asdf;
+
+namespace {
+
+/// Runs synthesis into a throwaway function; reports emitted gate count.
+unsigned synthCount(const Basis &In, const Basis &Out) {
+  Module M;
+  IRFunction *F = M.create("t");
+  Builder B(&F->Body);
+  std::vector<Value *> Qs;
+  for (unsigned I = 0; I < In.dim(); ++I)
+    Qs.push_back(B.qalloc());
+  GateEmitter E(B, Qs);
+  synthesizeTranslation(E, In, Out);
+  unsigned Count = 0;
+  for (auto &O : F->Body.Ops)
+    Count += O->Kind == OpKind::Gate;
+  // Tear down (ops reference each other; drop from the back).
+  while (!F->Body.Ops.empty()) {
+    Op *Last = F->Body.Ops.back().get();
+    Last->dropOperands();
+    F->Body.Ops.pop_back();
+  }
+  return Count;
+}
+
+void BM_SynthStandardization(benchmark::State &State) {
+  unsigned N = State.range(0);
+  Basis In = Basis::builtin(PrimitiveBasis::Pm, N);
+  Basis Out = Basis::builtin(PrimitiveBasis::Std, N);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(synthCount(In, Out));
+  State.SetComplexityN(N);
+}
+
+void BM_SynthPredicatedFlip(benchmark::State &State) {
+  unsigned N = State.range(0);
+  // {'1...1'} + {'0','1'} >> {'1...1'} + {'1','0'}: an MCX.
+  EigenBits Ones = (EigenBits(1) << N) - 1;
+  Basis Pred = Basis::literal(
+      BasisLiteral({BasisVector(PrimitiveBasis::Std, N, Ones)}));
+  BasisVector V0(PrimitiveBasis::Std, 1, 0), V1(PrimitiveBasis::Std, 1, 1);
+  Basis In = Pred.tensor(Basis::literal(BasisLiteral({V0, V1})));
+  Basis Out = Pred.tensor(Basis::literal(BasisLiteral({V1, V0})));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(synthCount(In, Out));
+  State.SetComplexityN(N);
+}
+
+void BM_SynthQFT(benchmark::State &State) {
+  unsigned N = State.range(0);
+  Basis In = Basis::builtin(PrimitiveBasis::Std, N);
+  Basis Out = Basis::builtin(PrimitiveBasis::Fourier, N);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(synthCount(In, Out));
+  State.SetComplexityN(N);
+}
+
+void BM_SynthRandomPermutation(benchmark::State &State) {
+  unsigned Bits = State.range(0);
+  std::mt19937_64 Rng(42);
+  uint64_t Size = uint64_t(1) << Bits;
+  std::vector<uint64_t> Perm(Size);
+  for (uint64_t I = 0; I < Size; ++I)
+    Perm[I] = I;
+  std::shuffle(Perm.begin(), Perm.end(), Rng);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(synthesizePermutation(Perm, Bits));
+  State.SetComplexityN(Bits);
+}
+
+} // namespace
+
+BENCHMARK(BM_SynthStandardization)->DenseRange(16, 128, 28);
+BENCHMARK(BM_SynthPredicatedFlip)->DenseRange(8, 64, 8);
+BENCHMARK(BM_SynthQFT)->DenseRange(4, 32, 4);
+BENCHMARK(BM_SynthRandomPermutation)->DenseRange(2, 10, 2);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+//===- grover_search.cpp - Grover's search with a classical oracle --------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Grover's algorithm over an N-bit search space with a synthesized
+/// classical oracle marking one item. Demonstrates:
+///   - f.sign phase oracles from `classical` functions (§6.4),
+///   - the {'p'[N]} >> {-'p'[N]} diffuser as a *basis translation with a
+///     vector phase* (Fig. 8) — no hand-written gates anywhere,
+///   - the relaxed peephole + Selinger decomposition pipeline (§6.5).
+///
+/// Run: ./grover_search [num_qubits]
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+#include "compiler/Compiler.h"
+#include "estimate/ResourceEstimator.h"
+#include "sim/Simulator.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+using namespace asdf;
+
+int main(int argc, char **argv) {
+  unsigned N = argc > 1 ? std::atoi(argv[1]) : 4;
+  if (N < 2 || N > 8) {
+    std::fprintf(stderr, "num_qubits must be in [2, 8] for simulation\n");
+    return 1;
+  }
+  unsigned Iters = groverIterations(N);
+
+  // The oracle marks the all-ones item; Grover iterations are unrolled,
+  // mirroring how Asdf expands loops during AST expansion (§4).
+  std::ostringstream OS;
+  OS << R"(
+classical oracle[N](x: bit[N]) -> bit {
+    return x.and_reduce()
+}
+qpu kernel[N](oracle: cfunc[N, 1]) -> bit[N] {
+    return 'p'[N])";
+  for (unsigned I = 0; I < Iters; ++I)
+    OS << " \\\n        | oracle.sign | {'p'[N]} >> {-'p'[N]}";
+  OS << " \\\n        | std[N].measure\n}\n";
+
+  ProgramBindings Bindings;
+  Bindings.DimVars["N"] = N;
+  Bindings.Captures["kernel"]["oracle"] =
+      CaptureValue::classicalFunc("oracle");
+
+  QwertyCompiler Compiler;
+  CompileResult R = Compiler.compile(OS.str(), Bindings);
+  if (!R.Ok) {
+    std::fprintf(stderr, "compile error:\n%s\n", R.ErrorMessage.c_str());
+    return 1;
+  }
+
+  CircuitStats Stats = R.FlatCircuit.stats();
+  std::printf("Grover over %u qubits, %u iteration(s): %lu gates "
+              "(%lu T), %u qubits incl. ancillas\n",
+              N, Iters, (unsigned long)Stats.Total,
+              (unsigned long)Stats.TCount, R.FlatCircuit.NumQubits);
+  ResourceEstimate Est = estimateResources(R.FlatCircuit);
+  std::printf("fault-tolerant estimate: %s\n\n", Est.str().c_str());
+
+  std::map<std::string, unsigned> Counts =
+      runShots(R.FlatCircuit, /*Shots=*/256, /*Seed=*/7);
+  std::string Marked(N, '1');
+  unsigned Hit = 0, Total = 0;
+  std::printf("measurement histogram (top entries):\n");
+  for (const auto &[Bits, Count] : Counts) {
+    Total += Count;
+    if (Bits == Marked)
+      Hit = Count;
+    if (Count > 4)
+      std::printf("  %s: %u\n", Bits.c_str(), Count);
+  }
+  double SuccessRate = double(Hit) / Total;
+  std::printf("marked item %s found with probability %.2f "
+              "(theory: %.2f)\n",
+              Marked.c_str(), SuccessRate,
+              std::pow(std::sin((2 * Iters + 1) *
+                                std::asin(1.0 / std::sqrt(1 << N))),
+                       2));
+  return SuccessRate > 0.5 ? 0 : 1;
+}

@@ -1,0 +1,589 @@
+//===- AST.cpp - Typed Qwerty abstract syntax tree ------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AST.h"
+
+#include <cmath>
+#include <sstream>
+
+using namespace asdf;
+
+std::string Type::str() const {
+  std::ostringstream OS;
+  switch (TheKind) {
+  case Kind::Invalid:
+    return "<invalid>";
+  case Kind::Unit:
+    return "unit";
+  case Kind::Qubit:
+    OS << "qubit[" << InDim << ']';
+    return OS.str();
+  case Kind::Bit:
+    OS << "bit[" << InDim << ']';
+    return OS.str();
+  case Kind::Basis:
+    OS << "basis[" << InDim << ']';
+    return OS.str();
+  case Kind::Func: {
+    auto Part = [&](DataKind K, unsigned Dim) {
+      switch (K) {
+      case DataKind::Unit:
+        OS << "unit";
+        break;
+      case DataKind::Qubit:
+        OS << "qubit[" << Dim << ']';
+        break;
+      case DataKind::Bit:
+        OS << "bit[" << Dim << ']';
+        break;
+      }
+    };
+    Part(InKind, InDim);
+    OS << (Rev ? " rev-> " : " -> ");
+    Part(OutKind, OutDim);
+    return OS.str();
+  }
+  case Kind::CFunc:
+    OS << "cfunc[" << InDim << ',' << OutDim << ']';
+    return OS.str();
+  }
+  return "<invalid>";
+}
+
+//===----------------------------------------------------------------------===//
+// DimExpr
+//===----------------------------------------------------------------------===//
+
+bool DimExpr::evaluate(const std::map<std::string, int64_t> &Bindings,
+                       int64_t &Result) const {
+  switch (TheKind) {
+  case Kind::Const:
+    Result = Value;
+    return true;
+  case Kind::Var: {
+    auto It = Bindings.find(Name);
+    if (It == Bindings.end())
+      return false;
+    Result = It->second;
+    return true;
+  }
+  case Kind::Add:
+  case Kind::Sub:
+  case Kind::Mul: {
+    int64_t L, R;
+    if (!Lhs->evaluate(Bindings, L) || !Rhs->evaluate(Bindings, R))
+      return false;
+    Result = TheKind == Kind::Add   ? L + R
+             : TheKind == Kind::Sub ? L - R
+                                    : L * R;
+    return true;
+  }
+  }
+  return false;
+}
+
+std::unique_ptr<DimExpr> DimExpr::clone() const {
+  auto E = std::make_unique<DimExpr>();
+  E->TheKind = TheKind;
+  E->Value = Value;
+  E->Name = Name;
+  if (Lhs)
+    E->Lhs = Lhs->clone();
+  if (Rhs)
+    E->Rhs = Rhs->clone();
+  return E;
+}
+
+std::string DimExpr::str() const {
+  switch (TheKind) {
+  case Kind::Const:
+    return std::to_string(Value);
+  case Kind::Var:
+    return Name;
+  case Kind::Add:
+    return "(" + Lhs->str() + "+" + Rhs->str() + ")";
+  case Kind::Sub:
+    return "(" + Lhs->str() + "-" + Rhs->str() + ")";
+  case Kind::Mul:
+    return "(" + Lhs->str() + "*" + Rhs->str() + ")";
+  }
+  return "?";
+}
+
+TypeAnnot TypeAnnot::clone() const {
+  TypeAnnot A;
+  A.TheKind = TheKind;
+  if (Dim)
+    A.Dim = Dim->clone();
+  if (Dim2)
+    A.Dim2 = Dim2->clone();
+  return A;
+}
+
+Type TypeAnnot::resolve(const std::map<std::string, int64_t> &Bindings,
+                        DiagnosticEngine &Diags, SourceLoc Loc) const {
+  int64_t D = 1, D2 = 1;
+  if (Dim && !Dim->evaluate(Bindings, D)) {
+    Diags.error(Loc, "cannot resolve dimension variable in '" + Dim->str() +
+                         "'; provide a binding or a capture to infer it from");
+    return Type::invalid();
+  }
+  if (Dim2 && !Dim2->evaluate(Bindings, D2)) {
+    Diags.error(Loc, "cannot resolve dimension variable in '" + Dim2->str() +
+                         "'");
+    return Type::invalid();
+  }
+  if (D <= 0 || D2 <= 0) {
+    Diags.error(Loc, "dimension must be positive");
+    return Type::invalid();
+  }
+  switch (TheKind) {
+  case Kind::Qubit:
+    return Type::qubit(D);
+  case Kind::Bit:
+    return Type::bit(D);
+  case Kind::CFunc:
+    return Type::cfunc(D, D2);
+  case Kind::RevFunc:
+    return Type::revFunc(D);
+  }
+  return Type::invalid();
+}
+
+//===----------------------------------------------------------------------===//
+// Expr clone/str
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Copies the base-class state (location and type) onto a cloned node.
+template <typename T> ExprPtr finishClone(std::unique_ptr<T> New,
+                                          const Expr &Old) {
+  New->setLoc(Old.loc());
+  New->Ty = Old.Ty;
+  return New;
+}
+
+} // namespace
+
+bool QubitLiteralExpr::uniformPrim() const {
+  if (Symbols.empty())
+    return false;
+  PrimitiveBasis Prim = symbolPrimitiveBasis(Symbols.front());
+  for (QubitSymbol Sym : Symbols)
+    if (symbolPrimitiveBasis(Sym) != Prim)
+      return false;
+  return true;
+}
+
+BasisVector QubitLiteralExpr::toBasisVector() const {
+  assert(uniformPrim() && "basis vector requires a uniform primitive basis");
+  BasisVector V;
+  V.Prim = symbolPrimitiveBasis(Symbols.front());
+  V.Dim = Symbols.size();
+  for (unsigned I = 0; I < Symbols.size(); ++I)
+    V.Eigenbits = setBitAt(V.Eigenbits, V.Dim, I,
+                           symbolIsMinusEigenstate(Symbols[I]));
+  if (HasPhase) {
+    V.HasPhase = true;
+    V.Phase = PhaseDegrees * M_PI / 180.0;
+  }
+  return V;
+}
+
+ExprPtr QubitLiteralExpr::clone() const {
+  auto E = std::make_unique<QubitLiteralExpr>();
+  E->Symbols = Symbols;
+  E->PhaseDegrees = PhaseDegrees;
+  E->HasPhase = HasPhase;
+  if (PhaseExpr)
+    E->PhaseExpr = PhaseExpr->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string QubitLiteralExpr::str() const {
+  std::ostringstream OS;
+  OS << '\'';
+  for (QubitSymbol Sym : Symbols) {
+    switch (Sym) {
+    case QubitSymbol::Zero:
+      OS << '0';
+      break;
+    case QubitSymbol::One:
+      OS << '1';
+      break;
+    case QubitSymbol::Plus:
+      OS << 'p';
+      break;
+    case QubitSymbol::Minus:
+      OS << 'm';
+      break;
+    case QubitSymbol::ImagI:
+      OS << 'i';
+      break;
+    case QubitSymbol::ImagJ:
+      OS << 'j';
+      break;
+    }
+  }
+  OS << '\'';
+  if (PhaseExpr)
+    OS << '@' << PhaseExpr->str();
+  else if (HasPhase)
+    OS << '@' << PhaseDegrees;
+  return OS.str();
+}
+
+ExprPtr BuiltinBasisExpr::clone() const {
+  auto E = std::make_unique<BuiltinBasisExpr>();
+  E->Prim = Prim;
+  E->Dim = Dim;
+  return finishClone(std::move(E), *this);
+}
+
+std::string BuiltinBasisExpr::str() const {
+  std::ostringstream OS;
+  OS << primitiveBasisName(Prim);
+  if (Dim != 1)
+    OS << '[' << Dim << ']';
+  return OS.str();
+}
+
+ExprPtr BasisLiteralExpr::clone() const {
+  auto E = std::make_unique<BasisLiteralExpr>();
+  for (const ExprPtr &V : Vectors)
+    E->Vectors.push_back(V->clone());
+  return finishClone(std::move(E), *this);
+}
+
+std::string BasisLiteralExpr::str() const {
+  std::ostringstream OS;
+  OS << '{';
+  for (unsigned I = 0; I < Vectors.size(); ++I) {
+    if (I)
+      OS << ',';
+    OS << Vectors[I]->str();
+  }
+  OS << '}';
+  return OS.str();
+}
+
+ExprPtr TensorExpr::clone() const {
+  auto E = std::make_unique<TensorExpr>();
+  E->Lhs = Lhs->clone();
+  E->Rhs = Rhs->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string TensorExpr::str() const {
+  return "(" + Lhs->str() + " + " + Rhs->str() + ")";
+}
+
+ExprPtr BroadcastExpr::clone() const {
+  auto E = std::make_unique<BroadcastExpr>();
+  E->Operand = Operand->clone();
+  E->Factor = Factor->clone();
+  E->OuterPhaseDegrees = OuterPhaseDegrees;
+  E->HasOuterPhase = HasOuterPhase;
+  return finishClone(std::move(E), *this);
+}
+
+std::string BroadcastExpr::str() const {
+  return Operand->str() + "[" + Factor->str() + "]";
+}
+
+ExprPtr BasisTranslationExpr::clone() const {
+  auto E = std::make_unique<BasisTranslationExpr>();
+  E->InBasis = InBasis->clone();
+  E->OutBasis = OutBasis->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string BasisTranslationExpr::str() const {
+  return "(" + InBasis->str() + " >> " + OutBasis->str() + ")";
+}
+
+ExprPtr PipeExpr::clone() const {
+  auto E = std::make_unique<PipeExpr>();
+  E->Value = Value->clone();
+  E->Func = Func->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string PipeExpr::str() const {
+  return "(" + Value->str() + " | " + Func->str() + ")";
+}
+
+ExprPtr AdjointExpr::clone() const {
+  auto E = std::make_unique<AdjointExpr>();
+  E->Func = Func->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string AdjointExpr::str() const { return "~" + Func->str(); }
+
+ExprPtr PredicatedExpr::clone() const {
+  auto E = std::make_unique<PredicatedExpr>();
+  E->PredBasis = PredBasis->clone();
+  E->Func = Func->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string PredicatedExpr::str() const {
+  return "(" + PredBasis->str() + " & " + Func->str() + ")";
+}
+
+ExprPtr MeasureExpr::clone() const {
+  auto E = std::make_unique<MeasureExpr>();
+  E->BasisOperand = BasisOperand->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string MeasureExpr::str() const {
+  return BasisOperand->str() + ".measure";
+}
+
+ExprPtr FlipExpr::clone() const {
+  auto E = std::make_unique<FlipExpr>();
+  E->BasisOperand = BasisOperand->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string FlipExpr::str() const { return BasisOperand->str() + ".flip"; }
+
+ExprPtr EmbedXorExpr::clone() const {
+  auto E = std::make_unique<EmbedXorExpr>();
+  E->Func = Func->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string EmbedXorExpr::str() const { return Func->str() + ".xor"; }
+
+ExprPtr EmbedSignExpr::clone() const {
+  auto E = std::make_unique<EmbedSignExpr>();
+  E->Func = Func->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string EmbedSignExpr::str() const { return Func->str() + ".sign"; }
+
+ExprPtr IdentityExpr::clone() const {
+  auto E = std::make_unique<IdentityExpr>();
+  E->Dim = Dim;
+  return finishClone(std::move(E), *this);
+}
+
+std::string IdentityExpr::str() const {
+  if (Dim == 1)
+    return "id";
+  return "id[" + std::to_string(Dim) + "]";
+}
+
+ExprPtr DiscardExpr::clone() const {
+  auto E = std::make_unique<DiscardExpr>();
+  E->Dim = Dim;
+  return finishClone(std::move(E), *this);
+}
+
+std::string DiscardExpr::str() const {
+  if (Dim == 1)
+    return "discard";
+  return "discard[" + std::to_string(Dim) + "]";
+}
+
+ExprPtr VariableExpr::clone() const {
+  auto E = std::make_unique<VariableExpr>();
+  E->Name = Name;
+  return finishClone(std::move(E), *this);
+}
+
+std::string VariableExpr::str() const { return Name; }
+
+ExprPtr ConditionalExpr::clone() const {
+  auto E = std::make_unique<ConditionalExpr>();
+  E->ThenExpr = ThenExpr->clone();
+  E->Cond = Cond->clone();
+  E->ElseExpr = ElseExpr->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string ConditionalExpr::str() const {
+  return "(" + ThenExpr->str() + " if " + Cond->str() + " else " +
+         ElseExpr->str() + ")";
+}
+
+ExprPtr BitLiteralExpr::clone() const {
+  auto E = std::make_unique<BitLiteralExpr>();
+  E->Bits = Bits;
+  return finishClone(std::move(E), *this);
+}
+
+std::string BitLiteralExpr::str() const {
+  std::string S = "0b";
+  for (bool B : Bits)
+    S.push_back(B ? '1' : '0');
+  return S;
+}
+
+ExprPtr FloatLiteralExpr::clone() const {
+  auto E = std::make_unique<FloatLiteralExpr>();
+  E->Value = Value;
+  return finishClone(std::move(E), *this);
+}
+
+std::string FloatLiteralExpr::str() const { return std::to_string(Value); }
+
+ExprPtr FloatBinaryExpr::clone() const {
+  auto E = std::make_unique<FloatBinaryExpr>();
+  E->Op = Op;
+  E->Lhs = Lhs->clone();
+  E->Rhs = Rhs->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string FloatBinaryExpr::str() const {
+  const char *OpStr = Op == OpKind::Add   ? "+"
+                      : Op == OpKind::Sub ? "-"
+                      : Op == OpKind::Mul ? "*"
+                                          : "/";
+  return "(" + Lhs->str() + OpStr + Rhs->str() + ")";
+}
+
+ExprPtr ClassicalBinaryExpr::clone() const {
+  auto E = std::make_unique<ClassicalBinaryExpr>();
+  E->Op = Op;
+  E->Lhs = Lhs->clone();
+  E->Rhs = Rhs->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string ClassicalBinaryExpr::str() const {
+  const char *OpStr = Op == OpKind::And ? " & "
+                      : Op == OpKind::Or ? " | "
+                                         : " ^ ";
+  return "(" + Lhs->str() + OpStr + Rhs->str() + ")";
+}
+
+ExprPtr ClassicalNotExpr::clone() const {
+  auto E = std::make_unique<ClassicalNotExpr>();
+  E->Operand = Operand->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string ClassicalNotExpr::str() const { return "~" + Operand->str(); }
+
+ExprPtr ClassicalReduceExpr::clone() const {
+  auto E = std::make_unique<ClassicalReduceExpr>();
+  E->Op = Op;
+  E->Operand = Operand->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string ClassicalReduceExpr::str() const {
+  const char *Name = Op == OpKind::Xor   ? "xor_reduce"
+                     : Op == OpKind::And ? "and_reduce"
+                                         : "or_reduce";
+  return Operand->str() + "." + Name + "()";
+}
+
+ExprPtr ClassicalRepeatExpr::clone() const {
+  auto E = std::make_unique<ClassicalRepeatExpr>();
+  E->Operand = Operand->clone();
+  E->Factor = Factor->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string ClassicalRepeatExpr::str() const {
+  return Operand->str() + ".repeat(" + Factor->str() + ")";
+}
+
+//===----------------------------------------------------------------------===//
+// Statements / functions
+//===----------------------------------------------------------------------===//
+
+StmtPtr AssignStmt::clone() const {
+  auto S = std::make_unique<AssignStmt>();
+  S->Names = Names;
+  S->Value = Value->clone();
+  S->setLoc(loc());
+  return S;
+}
+
+std::string AssignStmt::str() const {
+  std::ostringstream OS;
+  for (unsigned I = 0; I < Names.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Names[I];
+  }
+  OS << " = " << Value->str();
+  return OS.str();
+}
+
+StmtPtr ReturnStmt::clone() const {
+  auto S = std::make_unique<ReturnStmt>();
+  S->Value = Value->clone();
+  S->setLoc(loc());
+  return S;
+}
+
+std::string ReturnStmt::str() const { return "return " + Value->str(); }
+
+std::unique_ptr<FunctionDef> FunctionDef::clone() const {
+  auto F = std::make_unique<FunctionDef>();
+  F->TheKind = TheKind;
+  F->Name = Name;
+  F->DimVars = DimVars;
+  for (const Param &P : Params)
+    F->Params.push_back({P.Name, P.Annot.clone(), P.Loc, P.Ty});
+  F->ReturnAnnot = ReturnAnnot.clone();
+  F->ReturnTy = ReturnTy;
+  for (const StmtPtr &S : Body)
+    F->Body.push_back(S->clone());
+  F->Loc = Loc;
+  return F;
+}
+
+std::string FunctionDef::str() const {
+  std::ostringstream OS;
+  OS << (isQpu() ? "qpu " : "classical ") << Name;
+  if (!DimVars.empty()) {
+    OS << '[';
+    for (unsigned I = 0; I < DimVars.size(); ++I) {
+      if (I)
+        OS << ',';
+      OS << DimVars[I];
+    }
+    OS << ']';
+  }
+  OS << '(';
+  for (unsigned I = 0; I < Params.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Params[I].Name;
+    if (!Params[I].Ty.isInvalid())
+      OS << ": " << Params[I].Ty.str();
+  }
+  OS << ") {\n";
+  for (const StmtPtr &S : Body)
+    OS << "    " << S->str() << '\n';
+  OS << "}";
+  return OS.str();
+}
+
+FunctionDef *Program::lookup(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+std::string Program::str() const {
+  std::ostringstream OS;
+  for (const auto &F : Functions)
+    OS << F->str() << "\n\n";
+  return OS.str();
+}

@@ -1,0 +1,615 @@
+//===- AST.h - Typed Qwerty abstract syntax tree --------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed Qwerty AST (§4). The original Asdf extracts this AST from
+/// Python decorator bodies; our frontend parses an equivalent textual DSL
+/// (see DESIGN.md). Nodes use LLVM-style Kind discriminators with
+/// isa/cast/dyn_cast.
+///
+/// The surface syntax accepted by the parser:
+///
+/// \code
+///   classical f[N](secret: bit[N], x: bit[N]) -> bit {
+///       return (secret & x).xor_reduce()
+///   }
+///   qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+///       return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_AST_AST_H
+#define ASDF_AST_AST_H
+
+#include "ast/Type.h"
+#include "basis/Basis.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace asdf {
+
+//===----------------------------------------------------------------------===//
+// Dimension expressions
+//===----------------------------------------------------------------------===//
+
+/// An integer expression over dimension variables, e.g. the N in bit[N] or
+/// 'p'[N], or N-1 in a loop bound. Expansion (§4) substitutes constants for
+/// variables and folds these to integers.
+class DimExpr {
+public:
+  enum class Kind { Const, Var, Add, Sub, Mul };
+
+  static std::unique_ptr<DimExpr> constant(int64_t Value) {
+    auto E = std::make_unique<DimExpr>();
+    E->TheKind = Kind::Const;
+    E->Value = Value;
+    return E;
+  }
+  static std::unique_ptr<DimExpr> var(std::string Name) {
+    auto E = std::make_unique<DimExpr>();
+    E->TheKind = Kind::Var;
+    E->Name = std::move(Name);
+    return E;
+  }
+  static std::unique_ptr<DimExpr> binary(Kind K, std::unique_ptr<DimExpr> L,
+                                         std::unique_ptr<DimExpr> R) {
+    auto E = std::make_unique<DimExpr>();
+    E->TheKind = K;
+    E->Lhs = std::move(L);
+    E->Rhs = std::move(R);
+    return E;
+  }
+
+  Kind kind() const { return TheKind; }
+  int64_t constValue() const {
+    assert(TheKind == Kind::Const);
+    return Value;
+  }
+  const std::string &varName() const {
+    assert(TheKind == Kind::Var);
+    return Name;
+  }
+
+  /// Evaluates with the given variable bindings; returns false if an unbound
+  /// variable is encountered.
+  bool evaluate(const std::map<std::string, int64_t> &Bindings,
+                int64_t &Result) const;
+
+  std::unique_ptr<DimExpr> clone() const;
+  std::string str() const;
+
+  Kind TheKind = Kind::Const;
+  int64_t Value = 0;
+  std::string Name;
+  std::unique_ptr<DimExpr> Lhs, Rhs;
+};
+
+//===----------------------------------------------------------------------===//
+// Type annotations (pre-expansion types with dimension expressions)
+//===----------------------------------------------------------------------===//
+
+/// A parsed type annotation; dims are DimExprs until expansion resolves them.
+struct TypeAnnot {
+  enum class Kind { Qubit, Bit, CFunc, RevFunc };
+  Kind TheKind = Kind::Bit;
+  std::unique_ptr<DimExpr> Dim;  ///< qubit/bit/rev_func dim, cfunc input dim.
+  std::unique_ptr<DimExpr> Dim2; ///< cfunc output dim.
+
+  TypeAnnot clone() const;
+  /// Resolves to a concrete Type, or Type::invalid() on unbound variables.
+  Type resolve(const std::map<std::string, int64_t> &Bindings,
+               DiagnosticEngine &Diags, SourceLoc Loc) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all Qwerty expressions. After type checking, every node
+/// carries its Type.
+class Expr {
+public:
+  enum class Kind {
+    // Quantum values and bases.
+    QubitLiteral,     ///< 'p0' (optionally phased), state prep or basis vector
+    BuiltinBasis,     ///< std, pm, ij, fourier[N]
+    BasisLiteral,     ///< {'01','10'}
+    Tensor,           ///< e1 + e2
+    Broadcast,        ///< e[N]
+    BasisTranslation, ///< b1 >> b2
+    Pipe,             ///< v | f
+    Adjoint,          ///< ~f
+    Predicated,       ///< b & f
+    Measure,          ///< b.measure
+    Project,          ///< b.project (measure, keep qubits) -- unused sugar
+    Flip,             ///< b.flip
+    Rotate,           ///< b.rotate(theta) -- reserved
+    EmbedXor,         ///< f.xor for classical f
+    EmbedSign,        ///< f.sign for classical f
+    Identity,         ///< id
+    Discard,          ///< discard
+    Variable,         ///< name reference
+    Conditional,      ///< e1 if c else e2
+    BitLiteral,       ///< bit[N] constant (e.g. a capture)
+    FloatLiteral,     ///< angle literal (degrees in surface syntax)
+    FloatBinary,      ///< +,-,*,/ on angles (constant folded in §4.2)
+    // Classical-function-body expressions.
+    ClassicalBinary, ///< e1 & e2, e1 ^ e2, e1 | e2 on bit[N]
+    ClassicalNot,    ///< ~e on bit[N]
+    ClassicalReduce, ///< e.xor_reduce() / e.and_reduce() / e.or_reduce()
+    ClassicalRepeat, ///< e.repeat(N): broadcast bit -> bit[N]
+  };
+
+  virtual ~Expr() = default;
+
+  Kind kind() const { return TheKind; }
+  SourceLoc loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+  /// Resolved type; invalid until type checking runs.
+  Type Ty;
+
+  /// Deep copy (used by expansion and canonicalization).
+  virtual std::unique_ptr<Expr> clone() const = 0;
+  virtual std::string str() const = 0;
+
+protected:
+  explicit Expr(Kind K) : TheKind(K) {}
+  Expr(const Expr &) = default;
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A qubit literal such as '10', 'pm', or -'p'@45. Each symbol is one
+/// qubit. Used both as a state-preparation value and as a basis vector
+/// inside basis literals.
+class QubitLiteralExpr : public Expr {
+public:
+  QubitLiteralExpr() : Expr(Kind::QubitLiteral) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::QubitLiteral;
+  }
+
+  std::vector<QubitSymbol> Symbols;
+  double PhaseDegrees = 0.0;
+  bool HasPhase = false;
+  /// Phase expression before constant folding ('1'@(360/2**k) in QFT-style
+  /// code); null once folded into PhaseDegrees.
+  ExprPtr PhaseExpr;
+
+  unsigned dim() const { return Symbols.size(); }
+  /// True if every symbol shares one primitive basis (required for use as a
+  /// basis vector).
+  bool uniformPrim() const;
+  /// Converts to a BasisVector; requires uniformPrim().
+  BasisVector toBasisVector() const;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// A built-in basis: std, pm, ij, or fourier, of some dimension.
+class BuiltinBasisExpr : public Expr {
+public:
+  BuiltinBasisExpr() : Expr(Kind::BuiltinBasis) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::BuiltinBasis;
+  }
+
+  PrimitiveBasis Prim = PrimitiveBasis::Std;
+  unsigned Dim = 1;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// A basis literal {bv1, ..., bvm}.
+class BasisLiteralExpr : public Expr {
+public:
+  BasisLiteralExpr() : Expr(Kind::BasisLiteral) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::BasisLiteral;
+  }
+
+  std::vector<ExprPtr> Vectors; ///< QubitLiteralExprs.
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// Tensor product e1 + e2 (of states, bases, or functions).
+class TensorExpr : public Expr {
+public:
+  TensorExpr() : Expr(Kind::Tensor) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Tensor; }
+
+  ExprPtr Lhs, Rhs;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// Broadcast e[N]: N-fold tensor product of e.
+class BroadcastExpr : public Expr {
+public:
+  BroadcastExpr() : Expr(Kind::Broadcast) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Broadcast; }
+
+  ExprPtr Operand;
+  std::unique_ptr<DimExpr> Factor;
+  /// Phase applied to the broadcast result as a whole: -'p'[N] is
+  /// -('p'[N]), one factor of -1, not N of them.
+  double OuterPhaseDegrees = 0.0;
+  bool HasOuterPhase = false;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// A basis translation b1 >> b2 — the core computational primitive (§2.2).
+/// As in the paper, this is a *function value* of type
+/// qubit[N] rev-> qubit[N].
+class BasisTranslationExpr : public Expr {
+public:
+  BasisTranslationExpr() : Expr(Kind::BasisTranslation) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::BasisTranslation;
+  }
+
+  ExprPtr InBasis, OutBasis;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// The pipe v | f: applies function value f to v.
+class PipeExpr : public Expr {
+public:
+  PipeExpr() : Expr(Kind::Pipe) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Pipe; }
+
+  ExprPtr Value, Func;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// ~f: the adjoint (reverse) of a reversible function value.
+class AdjointExpr : public Expr {
+public:
+  AdjointExpr() : Expr(Kind::Adjoint) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Adjoint; }
+
+  ExprPtr Func;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// b & f: run f only within span(b) of the extra (dim b) qubits.
+class PredicatedExpr : public Expr {
+public:
+  PredicatedExpr() : Expr(Kind::Predicated) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Predicated; }
+
+  ExprPtr PredBasis, Func;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// b.measure: a function value qubit[N] -> bit[N] measuring in basis b.
+class MeasureExpr : public Expr {
+public:
+  MeasureExpr() : Expr(Kind::Measure) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Measure; }
+
+  ExprPtr BasisOperand;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// b.flip: sugar for swapping the two vectors of a two-vector basis, e.g.
+/// std.flip == std >> {'1','0'} (an X gate when b is std).
+class FlipExpr : public Expr {
+public:
+  FlipExpr() : Expr(Kind::Flip) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Flip; }
+
+  ExprPtr BasisOperand;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// f.xor: the Bennett embedding U_f|x>|y> = |x>|y ^ f(x)> of a classical
+/// function (§6.4).
+class EmbedXorExpr : public Expr {
+public:
+  EmbedXorExpr() : Expr(Kind::EmbedXor) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::EmbedXor; }
+
+  ExprPtr Func; ///< A Variable naming a classical function.
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// f.sign: the phase oracle U'_f|x> = (-1)^f(x)|x> (§6.4).
+class EmbedSignExpr : public Expr {
+public:
+  EmbedSignExpr() : Expr(Kind::EmbedSign) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::EmbedSign; }
+
+  ExprPtr Func;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// id: the identity function on qubits (usually broadcast, id[N]).
+class IdentityExpr : public Expr {
+public:
+  IdentityExpr() : Expr(Kind::Identity) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Identity; }
+
+  unsigned Dim = 1;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// discard: function qubit[N] -> unit that resets and frees its input.
+class DiscardExpr : public Expr {
+public:
+  DiscardExpr() : Expr(Kind::Discard) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Discard; }
+
+  unsigned Dim = 1;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// A reference to a local variable, parameter, or global function.
+class VariableExpr : public Expr {
+public:
+  VariableExpr() : Expr(Kind::Variable) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Variable; }
+
+  std::string Name;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// Python-style conditional expression: (e1 if cond else e2). The condition
+/// must be classical (bit), since reversible functions reject classical
+/// control flow (§4).
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr() : Expr(Kind::Conditional) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::Conditional;
+  }
+
+  ExprPtr ThenExpr, Cond, ElseExpr;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// A classical bit string constant, e.g. a bound capture value.
+class BitLiteralExpr : public Expr {
+public:
+  BitLiteralExpr() : Expr(Kind::BitLiteral) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::BitLiteral; }
+
+  std::vector<bool> Bits; ///< Bits[0] is the leftmost bit.
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// A floating-point (angle) literal, in degrees.
+class FloatLiteralExpr : public Expr {
+public:
+  FloatLiteralExpr() : Expr(Kind::FloatLiteral) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::FloatLiteral;
+  }
+
+  double Value = 0.0;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// Arithmetic on angles; folded by canonicalization (§4.2).
+class FloatBinaryExpr : public Expr {
+public:
+  enum class OpKind { Add, Sub, Mul, Div };
+
+  FloatBinaryExpr() : Expr(Kind::FloatBinary) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::FloatBinary;
+  }
+
+  OpKind Op = OpKind::Add;
+  ExprPtr Lhs, Rhs;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// Bitwise binary operation in a \@classical function body.
+class ClassicalBinaryExpr : public Expr {
+public:
+  enum class OpKind { And, Or, Xor };
+
+  ClassicalBinaryExpr() : Expr(Kind::ClassicalBinary) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::ClassicalBinary;
+  }
+
+  OpKind Op = OpKind::And;
+  ExprPtr Lhs, Rhs;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// Bitwise complement in a \@classical function body.
+class ClassicalNotExpr : public Expr {
+public:
+  ClassicalNotExpr() : Expr(Kind::ClassicalNot) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::ClassicalNot;
+  }
+
+  ExprPtr Operand;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// Reduction of a bit[N] to bit: xor_reduce / and_reduce / or_reduce.
+class ClassicalReduceExpr : public Expr {
+public:
+  enum class OpKind { Xor, And, Or };
+
+  ClassicalReduceExpr() : Expr(Kind::ClassicalReduce) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::ClassicalReduce;
+  }
+
+  OpKind Op = OpKind::Xor;
+  ExprPtr Operand;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// e.repeat(N): broadcasts a single bit to bit[N].
+class ClassicalRepeatExpr : public Expr {
+public:
+  ClassicalRepeatExpr() : Expr(Kind::ClassicalRepeat) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::ClassicalRepeat;
+  }
+
+  ExprPtr Operand;
+  std::unique_ptr<DimExpr> Factor;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements and functions
+//===----------------------------------------------------------------------===//
+
+/// A statement in a kernel body.
+class Stmt {
+public:
+  enum class Kind { Assign, Return };
+
+  virtual ~Stmt() = default;
+  Kind kind() const { return TheKind; }
+  SourceLoc loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+  virtual std::unique_ptr<Stmt> clone() const = 0;
+  virtual std::string str() const = 0;
+
+protected:
+  explicit Stmt(Kind K) : TheKind(K) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// `a, b = expr`: evaluates expr and splits the resulting qubit/bit tuple
+/// evenly across the named variables.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt() : Stmt(Kind::Assign) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+  std::vector<std::string> Names;
+  ExprPtr Value;
+
+  StmtPtr clone() const override;
+  std::string str() const override;
+};
+
+/// `return expr`.
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt() : Stmt(Kind::Return) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+  ExprPtr Value;
+
+  StmtPtr clone() const override;
+  std::string str() const override;
+};
+
+/// A function parameter.
+struct Param {
+  std::string Name;
+  TypeAnnot Annot;
+  SourceLoc Loc;
+  /// Resolved by expansion.
+  Type Ty;
+};
+
+/// A `qpu` kernel or `classical` function definition.
+struct FunctionDef {
+  enum class Kind { Qpu, Classical };
+
+  Kind TheKind = Kind::Qpu;
+  std::string Name;
+  std::vector<std::string> DimVars;
+  std::vector<Param> Params;
+  TypeAnnot ReturnAnnot;
+  Type ReturnTy; ///< Resolved by expansion.
+  std::vector<StmtPtr> Body;
+  SourceLoc Loc;
+
+  bool isQpu() const { return TheKind == Kind::Qpu; }
+  bool isClassical() const { return TheKind == Kind::Classical; }
+
+  std::unique_ptr<FunctionDef> clone() const;
+  std::string str() const;
+};
+
+/// A parsed Qwerty program: an ordered list of function definitions.
+struct Program {
+  std::vector<std::unique_ptr<FunctionDef>> Functions;
+
+  FunctionDef *lookup(const std::string &Name) const;
+  std::string str() const;
+};
+
+} // namespace asdf
+
+#endif // ASDF_AST_AST_H

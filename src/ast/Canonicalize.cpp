@@ -1,0 +1,223 @@
+//===- Canonicalize.cpp - AST canonicalization (§4.2) ---------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Canonicalize.h"
+
+#include "ast/TypeChecker.h"
+
+#include "basis/SpanCheck.h"
+
+#include <cmath>
+
+using namespace asdf;
+
+namespace {
+
+/// Builds a BasisLiteralExpr AST node from a (single-literal) Basis value.
+ExprPtr basisToExpr(const Basis &B, SourceLoc Loc) {
+  ExprPtr Result;
+  for (const BasisElement &El : B.elements()) {
+    ExprPtr Piece;
+    if (El.isBuiltin()) {
+      auto BB = std::make_unique<BuiltinBasisExpr>();
+      BB->Prim = El.prim();
+      BB->Dim = El.dim();
+      BB->Ty = Type::basis(El.dim());
+      BB->setLoc(Loc);
+      Piece = std::move(BB);
+    } else {
+      auto BL = std::make_unique<BasisLiteralExpr>();
+      BL->Ty = Type::basis(El.dim());
+      BL->setLoc(Loc);
+      for (const BasisVector &V : El.literalValue().Vectors) {
+        auto QL = std::make_unique<QubitLiteralExpr>();
+        QL->setLoc(Loc);
+        for (unsigned I = 0; I < V.Dim; ++I)
+          QL->Symbols.push_back(
+              symbolFor(V.Prim, bitAt(V.Eigenbits, V.Dim, I)));
+        if (V.HasPhase) {
+          QL->HasPhase = true;
+          QL->PhaseDegrees = V.Phase * 180.0 / M_PI;
+        }
+        QL->Ty = Type::basis(V.Dim);
+        BL->Vectors.push_back(std::move(QL));
+      }
+      Piece = std::move(BL);
+    }
+    if (!Result) {
+      Result = std::move(Piece);
+      continue;
+    }
+    auto T = std::make_unique<TensorExpr>();
+    T->setLoc(Loc);
+    unsigned Dim = Result->Ty.dim() + Piece->Ty.dim();
+    T->Lhs = std::move(Result);
+    T->Rhs = std::move(Piece);
+    T->Ty = Type::basis(Dim);
+    Result = std::move(T);
+  }
+  return Result;
+}
+
+/// True for function values that are their own adjoint, letting us drop '~'.
+bool isSelfAdjoint(const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::Identity:
+  case Expr::Kind::EmbedXor:  // U_f: XOR into target twice cancels.
+  case Expr::Kind::EmbedSign: // Diagonal +-1 matrix.
+    return true;
+  default:
+    return false;
+  }
+}
+
+ExprPtr canonicalize(ExprPtr E);
+
+/// Recursion helper: canonicalizes every child in place.
+void canonicalizeChildren(Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::Tensor: {
+    auto &T = cast<TensorExpr>(E);
+    T.Lhs = canonicalize(std::move(T.Lhs));
+    T.Rhs = canonicalize(std::move(T.Rhs));
+    return;
+  }
+  case Expr::Kind::Pipe: {
+    auto &P = cast<PipeExpr>(E);
+    P.Value = canonicalize(std::move(P.Value));
+    P.Func = canonicalize(std::move(P.Func));
+    return;
+  }
+  case Expr::Kind::Adjoint: {
+    auto &A = cast<AdjointExpr>(E);
+    A.Func = canonicalize(std::move(A.Func));
+    return;
+  }
+  case Expr::Kind::Predicated: {
+    auto &P = cast<PredicatedExpr>(E);
+    P.Func = canonicalize(std::move(P.Func));
+    return;
+  }
+  case Expr::Kind::Conditional: {
+    auto &C = cast<ConditionalExpr>(E);
+    C.ThenExpr = canonicalize(std::move(C.ThenExpr));
+    C.ElseExpr = canonicalize(std::move(C.ElseExpr));
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+ExprPtr canonicalize(ExprPtr E) {
+  canonicalizeChildren(*E);
+
+  switch (E->kind()) {
+  case Expr::Kind::Adjoint: {
+    auto *A = cast<AdjointExpr>(E.get());
+    // ~~f -> f.
+    if (auto *Inner = dyn_cast<AdjointExpr>(A->Func.get()))
+      return std::move(Inner->Func);
+    // ~(b1 >> b2) -> b2 >> b1.
+    if (auto *BT = dyn_cast<BasisTranslationExpr>(A->Func.get())) {
+      std::swap(BT->InBasis, BT->OutBasis);
+      return std::move(A->Func);
+    }
+    // ~(b & f) -> b & ~f (predication and adjoint commute).
+    if (isa<PredicatedExpr>(A->Func.get())) {
+      ExprPtr Pred = std::move(A->Func);
+      auto *P = cast<PredicatedExpr>(Pred.get());
+      auto NewAdj = std::make_unique<AdjointExpr>();
+      NewAdj->setLoc(E->loc());
+      NewAdj->Ty = P->Func->Ty;
+      NewAdj->Func = std::move(P->Func);
+      P->Func = canonicalize(std::move(NewAdj));
+      return Pred;
+    }
+    // Adjoint of a self-adjoint function drops the '~'.
+    if (isSelfAdjoint(*A->Func))
+      return std::move(A->Func);
+    return E;
+  }
+
+  case Expr::Kind::Flip: {
+    // b.flip -> two-vector basis translation {v1,v2} >> {v2,v1}.
+    auto *F = cast<FlipExpr>(E.get());
+    Basis B = evalBasis(*F->BasisOperand);
+    assert(B.size() == 1 && "flip operand must be a single element");
+    const BasisElement &El = B.elements().front();
+    BasisLiteral Lit = El.isLiteral()
+                           ? El.literalValue()
+                           : builtinToLiteral(El.prim(), El.dim());
+    assert(Lit.Vectors.size() == 2 && "flip needs exactly two vectors");
+    BasisLiteral Swapped = Lit;
+    std::swap(Swapped.Vectors[0], Swapped.Vectors[1]);
+    auto BT = std::make_unique<BasisTranslationExpr>();
+    BT->setLoc(E->loc());
+    BT->InBasis = basisToExpr(Basis::literal(Lit), E->loc());
+    BT->OutBasis = basisToExpr(Basis::literal(Swapped), E->loc());
+    BT->Ty = Type::revFunc(Lit.Dim);
+    return BT;
+  }
+
+  case Expr::Kind::Predicated: {
+    auto *P = cast<PredicatedExpr>(E.get());
+    Basis PredBasis = evalBasis(*P->PredBasis);
+    // std[N] & f -> id[N] + f (because std[N] fully spans).
+    if (PredBasis.fullySpans()) {
+      auto Id = std::make_unique<IdentityExpr>();
+      Id->Dim = PredBasis.dim();
+      Id->Ty = Type::revFunc(PredBasis.dim());
+      Id->setLoc(E->loc());
+      auto T = std::make_unique<TensorExpr>();
+      T->setLoc(E->loc());
+      T->Ty = E->Ty;
+      T->Lhs = std::move(Id);
+      T->Rhs = std::move(P->Func);
+      return T;
+    }
+    // b3 & (b1 >> b2) -> b3 + b1 >> b3 + b2.
+    if (auto *BT = dyn_cast<BasisTranslationExpr>(P->Func.get())) {
+      auto NewBT = std::make_unique<BasisTranslationExpr>();
+      NewBT->setLoc(E->loc());
+      NewBT->Ty = E->Ty;
+      auto MakeSide = [&](ExprPtr Side) {
+        auto T = std::make_unique<TensorExpr>();
+        T->setLoc(E->loc());
+        unsigned Dim = PredBasis.dim() + Side->Ty.dim();
+        T->Lhs = basisToExpr(PredBasis, E->loc());
+        T->Rhs = std::move(Side);
+        T->Ty = Type::basis(Dim);
+        return T;
+      };
+      NewBT->InBasis = MakeSide(std::move(BT->InBasis));
+      NewBT->OutBasis = MakeSide(std::move(BT->OutBasis));
+      return NewBT;
+    }
+    return E;
+  }
+
+  default:
+    return E;
+  }
+}
+
+} // namespace
+
+ExprPtr asdf::canonicalizeExpr(ExprPtr E) { return canonicalize(std::move(E)); }
+
+void asdf::canonicalizeProgram(Program &Prog) {
+  for (auto &F : Prog.Functions) {
+    if (!F->isQpu())
+      continue;
+    for (StmtPtr &S : F->Body) {
+      if (auto *Ret = dyn_cast<ReturnStmt>(S.get()))
+        Ret->Value = canonicalize(std::move(Ret->Value));
+      else if (auto *Assign = dyn_cast<AssignStmt>(S.get()))
+        Assign->Value = canonicalize(std::move(Assign->Value));
+    }
+  }
+}

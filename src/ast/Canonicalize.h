@@ -1,0 +1,37 @@
+//===- Canonicalize.h - AST canonicalization (§4.2) -----------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST-level rewrites performed after type checking (§4.2):
+///   - ~~f               ->  f
+///   - ~(b1 >> b2)       ->  b2 >> b1
+///   - std[N] & f        ->  id[N] + f        (fully-spanning predicates)
+///   - b3 & (b1 >> b2)   ->  b3 + b1 >> b3 + b2
+///   - b.flip            ->  the equivalent two-vector basis translation
+///   - ~(b & f)          ->  b & ~f
+///   - adjoints of self-adjoint values (flip, f.xor, f.sign, id) dropped
+///
+/// Doing these at the AST level takes ~5 lines each versus ~50 at the IR
+/// level, as the paper observes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_AST_CANONICALIZE_H
+#define ASDF_AST_CANONICALIZE_H
+
+#include "ast/AST.h"
+
+namespace asdf {
+
+/// Canonicalizes a checked program in place. Types remain valid.
+void canonicalizeProgram(Program &Prog);
+
+/// Canonicalizes one expression tree; returns the replacement root.
+ExprPtr canonicalizeExpr(ExprPtr E);
+
+} // namespace asdf
+
+#endif // ASDF_AST_CANONICALIZE_H

@@ -1,0 +1,425 @@
+//===- Expand.cpp - Dimension variable inference and AST expansion --------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Expand.h"
+
+using namespace asdf;
+
+namespace {
+
+class Expander {
+public:
+  Expander(const Program &Prog, const ProgramBindings &Bindings,
+           DiagnosticEngine &Diags)
+      : Prog(Prog), Bindings(Bindings), Diags(Diags) {}
+
+  std::unique_ptr<Program> run();
+
+private:
+  const Program &Prog;
+  const ProgramBindings &Bindings;
+  DiagnosticEngine &Diags;
+  std::map<std::string, int64_t> DimVars;
+
+  bool inferDimVars();
+  std::unique_ptr<FunctionDef> expandFunction(const FunctionDef &F);
+  ExprPtr expandExpr(const Expr &E,
+                     const std::map<std::string, CaptureValue> &Captures);
+  bool foldPhase(QubitLiteralExpr &QL);
+  bool evalFloat(const Expr &E, double &Result);
+};
+
+bool Expander::inferDimVars() {
+  DimVars = Bindings.DimVars;
+  // Inference (§4): a bit[V] parameter bound to an L-bit capture determines
+  // V = L, mirroring how Asdf infers N from the captured secret bitstring in
+  // Fig. 1.
+  for (const auto &F : Prog.Functions) {
+    auto CapIt = Bindings.Captures.find(F->Name);
+    if (CapIt == Bindings.Captures.end())
+      continue;
+    for (const Param &P : F->Params) {
+      auto It = CapIt->second.find(P.Name);
+      if (It == CapIt->second.end() ||
+          It->second.TheKind != CaptureValue::Kind::Bits)
+        continue;
+      const std::unique_ptr<DimExpr> &D = P.Annot.Dim;
+      if (!D || D->kind() != DimExpr::Kind::Var)
+        continue;
+      int64_t Inferred = static_cast<int64_t>(It->second.Bits.size());
+      auto [ExistingIt, Inserted] = DimVars.insert({D->varName(), Inferred});
+      if (!Inserted && ExistingIt->second != Inferred) {
+        Diags.error(P.Loc, "conflicting inference for dimension variable '" +
+                               D->varName() + "': " +
+                               std::to_string(ExistingIt->second) + " vs " +
+                               std::to_string(Inferred));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<Program> Expander::run() {
+  if (!inferDimVars())
+    return nullptr;
+  auto Out = std::make_unique<Program>();
+  for (const auto &F : Prog.Functions) {
+    std::unique_ptr<FunctionDef> NewF = expandFunction(*F);
+    if (!NewF)
+      return nullptr;
+    Out->Functions.push_back(std::move(NewF));
+  }
+  return Out;
+}
+
+std::unique_ptr<FunctionDef> Expander::expandFunction(const FunctionDef &F) {
+  auto NewF = std::make_unique<FunctionDef>();
+  NewF->TheKind = F.TheKind;
+  NewF->Name = F.Name;
+  NewF->Loc = F.Loc;
+
+  std::map<std::string, CaptureValue> Captures;
+  if (auto It = Bindings.Captures.find(F.Name); It != Bindings.Captures.end())
+    Captures = It->second;
+
+  // Captured parameters are removed from the signature; their values are
+  // spliced into the body.
+  for (const Param &P : F.Params) {
+    if (Captures.count(P.Name))
+      continue;
+    Param NewP;
+    NewP.Name = P.Name;
+    NewP.Annot = P.Annot.clone();
+    NewP.Loc = P.Loc;
+    NewP.Ty = P.Annot.resolve(DimVars, Diags, P.Loc);
+    if (NewP.Ty.isInvalid())
+      return nullptr;
+    NewF->Params.push_back(std::move(NewP));
+  }
+  if (F.ReturnAnnot.Dim) {
+    NewF->ReturnAnnot = F.ReturnAnnot.clone();
+    NewF->ReturnTy = F.ReturnAnnot.resolve(DimVars, Diags, F.Loc);
+    if (NewF->ReturnTy.isInvalid())
+      return nullptr;
+  }
+
+  for (const StmtPtr &S : F.Body) {
+    if (const auto *Ret = dyn_cast<ReturnStmt>(S.get())) {
+      auto NewS = std::make_unique<ReturnStmt>();
+      NewS->setLoc(Ret->loc());
+      NewS->Value = expandExpr(*Ret->Value, Captures);
+      if (!NewS->Value)
+        return nullptr;
+      NewF->Body.push_back(std::move(NewS));
+      continue;
+    }
+    const auto *Assign = cast<AssignStmt>(S.get());
+    auto NewS = std::make_unique<AssignStmt>();
+    NewS->setLoc(Assign->loc());
+    NewS->Names = Assign->Names;
+    NewS->Value = expandExpr(*Assign->Value, Captures);
+    if (!NewS->Value)
+      return nullptr;
+    NewF->Body.push_back(std::move(NewS));
+  }
+  return NewF;
+}
+
+bool Expander::evalFloat(const Expr &E, double &Result) {
+  if (const auto *FL = dyn_cast<FloatLiteralExpr>(&E)) {
+    Result = FL->Value;
+    return true;
+  }
+  if (const auto *Var = dyn_cast<VariableExpr>(&E)) {
+    auto It = DimVars.find(Var->Name);
+    if (It == DimVars.end()) {
+      Diags.error(E.loc(), "unknown dimension variable '" + Var->Name +
+                               "' in phase expression");
+      return false;
+    }
+    Result = static_cast<double>(It->second);
+    return true;
+  }
+  if (const auto *Bin = dyn_cast<FloatBinaryExpr>(&E)) {
+    double L, R;
+    if (!evalFloat(*Bin->Lhs, L) || !evalFloat(*Bin->Rhs, R))
+      return false;
+    switch (Bin->Op) {
+    case FloatBinaryExpr::OpKind::Add:
+      Result = L + R;
+      return true;
+    case FloatBinaryExpr::OpKind::Sub:
+      Result = L - R;
+      return true;
+    case FloatBinaryExpr::OpKind::Mul:
+      Result = L * R;
+      return true;
+    case FloatBinaryExpr::OpKind::Div:
+      if (R == 0.0) {
+        Diags.error(E.loc(), "division by zero in phase expression");
+        return false;
+      }
+      Result = L / R;
+      return true;
+    }
+  }
+  Diags.error(E.loc(), "cannot evaluate phase expression at compile time");
+  return false;
+}
+
+bool Expander::foldPhase(QubitLiteralExpr &QL) {
+  if (!QL.PhaseExpr)
+    return true;
+  double Value = 0.0;
+  if (!evalFloat(*QL.PhaseExpr, Value))
+    return false;
+  QL.PhaseDegrees += Value;
+  QL.HasPhase = true;
+  QL.PhaseExpr.reset();
+  return true;
+}
+
+ExprPtr Expander::expandExpr(
+    const Expr &E, const std::map<std::string, CaptureValue> &Captures) {
+  switch (E.kind()) {
+  case Expr::Kind::QubitLiteral: {
+    ExprPtr C = E.clone();
+    if (!foldPhase(*cast<QubitLiteralExpr>(C.get())))
+      return nullptr;
+    return C;
+  }
+  case Expr::Kind::BuiltinBasis:
+  case Expr::Kind::Identity:
+  case Expr::Kind::Discard:
+  case Expr::Kind::BitLiteral:
+  case Expr::Kind::FloatLiteral:
+    return E.clone();
+
+  case Expr::Kind::Variable: {
+    const auto *Var = cast<VariableExpr>(&E);
+    auto It = Captures.find(Var->Name);
+    if (It == Captures.end())
+      return E.clone();
+    // Splice the capture value in.
+    if (It->second.TheKind == CaptureValue::Kind::Bits) {
+      auto Lit = std::make_unique<BitLiteralExpr>();
+      Lit->Bits = It->second.Bits;
+      Lit->setLoc(E.loc());
+      return Lit;
+    }
+    auto Ref = std::make_unique<VariableExpr>();
+    Ref->Name = It->second.FuncName;
+    Ref->setLoc(E.loc());
+    return Ref;
+  }
+
+  case Expr::Kind::Broadcast: {
+    const auto *B = cast<BroadcastExpr>(&E);
+    int64_t Factor = 0;
+    if (!B->Factor->evaluate(DimVars, Factor)) {
+      Diags.error(E.loc(), "cannot resolve dimension expression '" +
+                               B->Factor->str() + "'");
+      return nullptr;
+    }
+    if (Factor <= 0) {
+      Diags.error(E.loc(), "broadcast factor must be positive");
+      return nullptr;
+    }
+    ExprPtr Inner = expandExpr(*B->Operand, Captures);
+    if (!Inner)
+      return nullptr;
+    // Collapse broadcasts of primitive values directly; expand everything
+    // else into an explicit tensor chain (the paper's expr + expr + ...).
+    if (auto *BB = dyn_cast<BuiltinBasisExpr>(Inner.get())) {
+      BB->Dim *= static_cast<unsigned>(Factor);
+      return Inner;
+    }
+    if (auto *Id = dyn_cast<IdentityExpr>(Inner.get())) {
+      Id->Dim *= static_cast<unsigned>(Factor);
+      return Inner;
+    }
+    if (auto *Disc = dyn_cast<DiscardExpr>(Inner.get())) {
+      Disc->Dim *= static_cast<unsigned>(Factor);
+      return Inner;
+    }
+    if (auto *QL = dyn_cast<QubitLiteralExpr>(Inner.get())) {
+      auto Out = std::make_unique<QubitLiteralExpr>();
+      Out->setLoc(E.loc());
+      for (int64_t I = 0; I < Factor; ++I)
+        Out->Symbols.insert(Out->Symbols.end(), QL->Symbols.begin(),
+                            QL->Symbols.end());
+      if (QL->HasPhase) {
+        Out->HasPhase = true;
+        Out->PhaseDegrees = QL->PhaseDegrees * static_cast<double>(Factor);
+      }
+      if (B->HasOuterPhase) {
+        Out->HasPhase = true;
+        Out->PhaseDegrees += B->OuterPhaseDegrees;
+      }
+      return Out;
+    }
+    if (Factor == 1)
+      return Inner;
+    ExprPtr Chain = Inner->clone();
+    for (int64_t I = 1; I < Factor; ++I) {
+      auto T = std::make_unique<TensorExpr>();
+      T->setLoc(E.loc());
+      T->Lhs = std::move(Chain);
+      T->Rhs = Inner->clone();
+      Chain = std::move(T);
+    }
+    return Chain;
+  }
+
+  case Expr::Kind::ClassicalRepeat: {
+    const auto *R = cast<ClassicalRepeatExpr>(&E);
+    int64_t Factor = 0;
+    if (!R->Factor->evaluate(DimVars, Factor) || Factor <= 0) {
+      Diags.error(E.loc(), "cannot resolve repeat factor");
+      return nullptr;
+    }
+    auto Out = std::make_unique<ClassicalRepeatExpr>();
+    Out->setLoc(E.loc());
+    Out->Operand = expandExpr(*R->Operand, Captures);
+    if (!Out->Operand)
+      return nullptr;
+    Out->Factor = DimExpr::constant(Factor);
+    return Out;
+  }
+
+  case Expr::Kind::FloatBinary: {
+    // Fold angle arithmetic to a constant (§4.2 float constant folding).
+    double Value = 0.0;
+    if (!evalFloat(E, Value))
+      return nullptr;
+    auto Out = std::make_unique<FloatLiteralExpr>();
+    Out->Value = Value;
+    Out->setLoc(E.loc());
+    return Out;
+  }
+
+  default:
+    break;
+  }
+
+  // Structural recursion for the remaining node kinds.
+  ExprPtr C = E.clone();
+  Expr *Node = C.get();
+  auto Recurse = [&](ExprPtr &Child) -> bool {
+    if (!Child)
+      return true;
+    Child = expandExpr(*Child, Captures);
+    return Child != nullptr;
+  };
+  switch (Node->kind()) {
+  case Expr::Kind::BasisLiteral: {
+    auto *BL = cast<BasisLiteralExpr>(Node);
+    for (ExprPtr &V : BL->Vectors) {
+      if (!Recurse(V))
+        return nullptr;
+      if (auto *QL = dyn_cast<QubitLiteralExpr>(V.get())) {
+        if (!foldPhase(*QL))
+          return nullptr;
+      }
+    }
+    return C;
+  }
+  case Expr::Kind::Tensor: {
+    auto *T = cast<TensorExpr>(Node);
+    if (!Recurse(T->Lhs) || !Recurse(T->Rhs))
+      return nullptr;
+    return C;
+  }
+  case Expr::Kind::BasisTranslation: {
+    auto *BT = cast<BasisTranslationExpr>(Node);
+    if (!Recurse(BT->InBasis) || !Recurse(BT->OutBasis))
+      return nullptr;
+    return C;
+  }
+  case Expr::Kind::Pipe: {
+    auto *P = cast<PipeExpr>(Node);
+    if (!Recurse(P->Value) || !Recurse(P->Func))
+      return nullptr;
+    return C;
+  }
+  case Expr::Kind::Adjoint: {
+    auto *A = cast<AdjointExpr>(Node);
+    if (!Recurse(A->Func))
+      return nullptr;
+    return C;
+  }
+  case Expr::Kind::Predicated: {
+    auto *P = cast<PredicatedExpr>(Node);
+    if (!Recurse(P->PredBasis) || !Recurse(P->Func))
+      return nullptr;
+    return C;
+  }
+  case Expr::Kind::Measure: {
+    auto *M = cast<MeasureExpr>(Node);
+    if (!Recurse(M->BasisOperand))
+      return nullptr;
+    return C;
+  }
+  case Expr::Kind::Flip: {
+    auto *FE = cast<FlipExpr>(Node);
+    if (!Recurse(FE->BasisOperand))
+      return nullptr;
+    return C;
+  }
+  case Expr::Kind::EmbedXor: {
+    auto *X = cast<EmbedXorExpr>(Node);
+    if (!Recurse(X->Func))
+      return nullptr;
+    return C;
+  }
+  case Expr::Kind::EmbedSign: {
+    auto *SG = cast<EmbedSignExpr>(Node);
+    if (!Recurse(SG->Func))
+      return nullptr;
+    return C;
+  }
+  case Expr::Kind::Conditional: {
+    auto *Cond = cast<ConditionalExpr>(Node);
+    if (!Recurse(Cond->ThenExpr) || !Recurse(Cond->Cond) ||
+        !Recurse(Cond->ElseExpr))
+      return nullptr;
+    return C;
+  }
+  case Expr::Kind::ClassicalBinary: {
+    auto *CB = cast<ClassicalBinaryExpr>(Node);
+    if (!Recurse(CB->Lhs) || !Recurse(CB->Rhs))
+      return nullptr;
+    return C;
+  }
+  case Expr::Kind::ClassicalNot: {
+    auto *CN = cast<ClassicalNotExpr>(Node);
+    if (!Recurse(CN->Operand))
+      return nullptr;
+    return C;
+  }
+  case Expr::Kind::ClassicalReduce: {
+    auto *CR = cast<ClassicalReduceExpr>(Node);
+    if (!Recurse(CR->Operand))
+      return nullptr;
+    return C;
+  }
+  default:
+    return C;
+  }
+}
+
+} // namespace
+
+std::unique_ptr<Program> asdf::expandProgram(const Program &Prog,
+                                             const ProgramBindings &Bindings,
+                                             DiagnosticEngine &Diags) {
+  Expander E(Prog, Bindings, Diags);
+  std::unique_ptr<Program> Out = E.run();
+  if (Diags.hadError())
+    return nullptr;
+  return Out;
+}

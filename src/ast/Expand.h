@@ -1,0 +1,73 @@
+//===- Expand.h - Dimension variable inference and AST expansion ----------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST expansion (§4): infers dimension variables from captures when
+/// possible, substitutes constants for all dimension-variable expressions,
+/// folds phase arithmetic, collapses broadcasts (expr[N]), and splices
+/// capture values (classical bit strings and classical-function references)
+/// into the AST. After expansion the AST contains only concrete dimensions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_AST_EXPAND_H
+#define ASDF_AST_EXPAND_H
+
+#include "ast/AST.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asdf {
+
+/// A compile-time capture value bound to a function parameter, standing in
+/// for the Python closure captures of the original Qwerty embedding.
+struct CaptureValue {
+  enum class Kind { Bits, ClassicalFunc };
+  Kind TheKind = Kind::Bits;
+  std::vector<bool> Bits;   ///< For Kind::Bits.
+  std::string FuncName;     ///< For Kind::ClassicalFunc.
+
+  static CaptureValue bits(std::vector<bool> B) {
+    CaptureValue V;
+    V.TheKind = Kind::Bits;
+    V.Bits = std::move(B);
+    return V;
+  }
+  static CaptureValue bitsFromString(const std::string &S) {
+    std::vector<bool> B;
+    B.reserve(S.size());
+    for (char C : S)
+      B.push_back(C == '1');
+    return bits(std::move(B));
+  }
+  static CaptureValue classicalFunc(std::string Name) {
+    CaptureValue V;
+    V.TheKind = Kind::ClassicalFunc;
+    V.FuncName = std::move(Name);
+    return V;
+  }
+};
+
+/// Driver-provided bindings for one compilation: explicit dimension-variable
+/// values plus per-function capture values (function name -> param name ->
+/// capture).
+struct ProgramBindings {
+  std::map<std::string, int64_t> DimVars;
+  std::map<std::string, std::map<std::string, CaptureValue>> Captures;
+};
+
+/// Expands \p Prog under \p Bindings. Dimension variables not explicitly
+/// bound are inferred from bit-string captures (a bit[N] parameter bound to
+/// an L-bit capture infers N = L). Returns null on failure.
+std::unique_ptr<Program> expandProgram(const Program &Prog,
+                                       const ProgramBindings &Bindings,
+                                       DiagnosticEngine &Diags);
+
+} // namespace asdf
+
+#endif // ASDF_AST_EXPAND_H

@@ -1,0 +1,316 @@
+//===- Lexer.cpp - Tokenizer for the Qwerty DSL ---------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace asdf;
+
+std::string Token::describe() const {
+  switch (TheKind) {
+  case Kind::Eof:
+    return "end of input";
+  case Kind::Newline:
+    return "end of line";
+  case Kind::Identifier:
+    return "identifier '" + Text + "'";
+  case Kind::Integer:
+    return "integer";
+  case Kind::Float:
+    return "float";
+  case Kind::QubitLit:
+    return "qubit literal '" + Text + "'";
+  case Kind::KwQpu:
+    return "'qpu'";
+  case Kind::KwClassical:
+    return "'classical'";
+  case Kind::KwReturn:
+    return "'return'";
+  case Kind::KwIf:
+    return "'if'";
+  case Kind::KwElse:
+    return "'else'";
+  case Kind::LBrace:
+    return "'{'";
+  case Kind::RBrace:
+    return "'}'";
+  case Kind::LParen:
+    return "'('";
+  case Kind::RParen:
+    return "')'";
+  case Kind::LBracket:
+    return "'['";
+  case Kind::RBracket:
+    return "']'";
+  case Kind::Comma:
+    return "','";
+  case Kind::Colon:
+    return "':'";
+  case Kind::Arrow:
+    return "'->'";
+  case Kind::Pipe:
+    return "'|'";
+  case Kind::Shift:
+    return "'>>'";
+  case Kind::Plus:
+    return "'+'";
+  case Kind::Minus:
+    return "'-'";
+  case Kind::Amp:
+    return "'&'";
+  case Kind::Caret:
+    return "'^'";
+  case Kind::Tilde:
+    return "'~'";
+  case Kind::At:
+    return "'@'";
+  case Kind::Dot:
+    return "'.'";
+  case Kind::Equals:
+    return "'='";
+  case Kind::Star:
+    return "'*'";
+  case Kind::Slash:
+    return "'/'";
+  }
+  return "<token>";
+}
+
+Lexer::Lexer(const std::string &Source, DiagnosticEngine &Diags) {
+  lex(Source, Diags);
+}
+
+void Lexer::lex(const std::string &Source, DiagnosticEngine &Diags) {
+  unsigned Line = 1, Col = 1;
+  size_t I = 0, N = Source.size();
+
+  auto Push = [&](Token::Kind K, SourceLoc Loc) -> Token & {
+    Token T;
+    T.TheKind = K;
+    T.Loc = Loc;
+    Tokens.push_back(std::move(T));
+    return Tokens.back();
+  };
+  auto Advance = [&]() {
+    if (Source[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++I;
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    SourceLoc Loc(Line, Col);
+
+    // Whitespace (not newlines).
+    if (C == ' ' || C == '\t' || C == '\r') {
+      Advance();
+      continue;
+    }
+    // Line continuation.
+    if (C == '\\') {
+      Advance();
+      while (I < N && (Source[I] == ' ' || Source[I] == '\t' ||
+                       Source[I] == '\r'))
+        Advance();
+      if (I < N && Source[I] == '\n')
+        Advance();
+      continue;
+    }
+    // Comments.
+    if (C == '#' || (C == '/' && I + 1 < N && Source[I + 1] == '/')) {
+      while (I < N && Source[I] != '\n')
+        Advance();
+      continue;
+    }
+    if (C == '\n') {
+      if (!Tokens.empty() && !Tokens.back().is(Token::Kind::Newline))
+        Push(Token::Kind::Newline, Loc);
+      Advance();
+      continue;
+    }
+    // Qubit literal.
+    if (C == '\'') {
+      Advance();
+      std::string Text;
+      while (I < N && Source[I] != '\'' && Source[I] != '\n') {
+        Text.push_back(Source[I]);
+        Advance();
+      }
+      if (I >= N || Source[I] != '\'') {
+        Diags.error(Loc, "unterminated qubit literal");
+        return;
+      }
+      Advance();
+      Push(Token::Kind::QubitLit, Loc).Text = std::move(Text);
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Num;
+      bool IsFloat = false;
+      while (I < N &&
+             (std::isdigit(static_cast<unsigned char>(Source[I])) ||
+              Source[I] == '.')) {
+        // Don't swallow attribute access like 2.repeat — only treat '.' as
+        // part of the number when followed by a digit.
+        if (Source[I] == '.') {
+          if (I + 1 >= N ||
+              !std::isdigit(static_cast<unsigned char>(Source[I + 1])))
+            break;
+          IsFloat = true;
+        }
+        Num.push_back(Source[I]);
+        Advance();
+      }
+      if (IsFloat) {
+        Push(Token::Kind::Float, Loc).FloatValue = std::strtod(Num.c_str(),
+                                                               nullptr);
+      } else {
+        Push(Token::Kind::Integer, Loc).IntValue =
+            std::strtoll(Num.c_str(), nullptr, 10);
+      }
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Ident;
+      while (I < N &&
+             (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+              Source[I] == '_')) {
+        Ident.push_back(Source[I]);
+        Advance();
+      }
+      Token::Kind K = Token::Kind::Identifier;
+      if (Ident == "qpu")
+        K = Token::Kind::KwQpu;
+      else if (Ident == "classical")
+        K = Token::Kind::KwClassical;
+      else if (Ident == "return")
+        K = Token::Kind::KwReturn;
+      else if (Ident == "if")
+        K = Token::Kind::KwIf;
+      else if (Ident == "else")
+        K = Token::Kind::KwElse;
+      Push(K, Loc).Text = std::move(Ident);
+      continue;
+    }
+
+    // Punctuation.
+    switch (C) {
+    case '{':
+      Push(Token::Kind::LBrace, Loc);
+      Advance();
+      continue;
+    case '}':
+      Push(Token::Kind::RBrace, Loc);
+      Advance();
+      continue;
+    case '(':
+      Push(Token::Kind::LParen, Loc);
+      Advance();
+      continue;
+    case ')':
+      Push(Token::Kind::RParen, Loc);
+      Advance();
+      continue;
+    case '[':
+      Push(Token::Kind::LBracket, Loc);
+      Advance();
+      continue;
+    case ']':
+      Push(Token::Kind::RBracket, Loc);
+      Advance();
+      continue;
+    case ',':
+      Push(Token::Kind::Comma, Loc);
+      Advance();
+      continue;
+    case ':':
+      Push(Token::Kind::Colon, Loc);
+      Advance();
+      continue;
+    case '|':
+      Push(Token::Kind::Pipe, Loc);
+      Advance();
+      continue;
+    case '+':
+      Push(Token::Kind::Plus, Loc);
+      Advance();
+      continue;
+    case '&':
+      Push(Token::Kind::Amp, Loc);
+      Advance();
+      continue;
+    case '^':
+      Push(Token::Kind::Caret, Loc);
+      Advance();
+      continue;
+    case '~':
+      Push(Token::Kind::Tilde, Loc);
+      Advance();
+      continue;
+    case '@':
+      Push(Token::Kind::At, Loc);
+      Advance();
+      continue;
+    case '.':
+      Push(Token::Kind::Dot, Loc);
+      Advance();
+      continue;
+    case '=':
+      Push(Token::Kind::Equals, Loc);
+      Advance();
+      continue;
+    case '*':
+      Push(Token::Kind::Star, Loc);
+      Advance();
+      continue;
+    case '/':
+      Push(Token::Kind::Slash, Loc);
+      Advance();
+      continue;
+    case '-':
+      Advance();
+      if (I < N && Source[I] == '>') {
+        Advance();
+        Push(Token::Kind::Arrow, Loc);
+      } else {
+        Push(Token::Kind::Minus, Loc);
+      }
+      continue;
+    case '>':
+      Advance();
+      if (I < N && Source[I] == '>') {
+        Advance();
+        Push(Token::Kind::Shift, Loc);
+        continue;
+      }
+      Diags.error(Loc, "expected '>>'");
+      return;
+    default:
+      Diags.error(Loc, std::string("unexpected character '") + C + "'");
+      return;
+    }
+  }
+
+  Token Eof;
+  Eof.TheKind = Token::Kind::Eof;
+  Eof.Loc = SourceLoc(Line, Col);
+  // Ensure a trailing newline before EOF so statement parsing is uniform.
+  if (!Tokens.empty() && !Tokens.back().is(Token::Kind::Newline)) {
+    Token NL;
+    NL.TheKind = Token::Kind::Newline;
+    NL.Loc = Eof.Loc;
+    Tokens.push_back(std::move(NL));
+  }
+  Tokens.push_back(std::move(Eof));
+}

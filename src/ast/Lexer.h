@@ -1,0 +1,88 @@
+//===- Lexer.h - Tokenizer for the Qwerty DSL -----------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual Qwerty DSL. Python-style: newlines terminate
+/// statements (a trailing backslash continues a line), and `#` or `//` start
+/// comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_AST_LEXER_H
+#define ASDF_AST_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace asdf {
+
+/// One lexed token.
+struct Token {
+  enum class Kind {
+    Eof,
+    Newline,
+    Identifier,
+    Integer,
+    Float,
+    QubitLit, ///< Contents between single quotes, e.g. p0.
+    KwQpu,
+    KwClassical,
+    KwReturn,
+    KwIf,
+    KwElse,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Arrow,  ///< ->
+    Pipe,   ///< |
+    Shift,  ///< >>
+    Plus,
+    Minus,
+    Amp,    ///< &
+    Caret,  ///< ^
+    Tilde,  ///< ~
+    At,     ///< @
+    Dot,
+    Equals,
+    Star,
+    Slash,
+  };
+
+  Kind TheKind = Kind::Eof;
+  std::string Text;     ///< Identifier/qubit-literal spelling.
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+  SourceLoc Loc;
+
+  bool is(Kind K) const { return TheKind == K; }
+  /// Human-readable token description for diagnostics.
+  std::string describe() const;
+};
+
+/// Tokenizes an entire source buffer up front.
+class Lexer {
+public:
+  Lexer(const std::string &Source, DiagnosticEngine &Diags);
+
+  /// All tokens, ending with Eof. Consecutive newlines are collapsed.
+  const std::vector<Token> &tokens() const { return Tokens; }
+
+private:
+  void lex(const std::string &Source, DiagnosticEngine &Diags);
+
+  std::vector<Token> Tokens;
+};
+
+} // namespace asdf
+
+#endif // ASDF_AST_LEXER_H

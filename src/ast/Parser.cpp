@@ -1,0 +1,825 @@
+//===- Parser.cpp - Recursive-descent parser for the Qwerty DSL -----------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Parser.h"
+
+using namespace asdf;
+
+namespace {
+
+using TK = Token::Kind;
+
+class Parser {
+public:
+  Parser(const std::vector<Token> &Tokens, DiagnosticEngine &Diags)
+      : Tokens(Tokens), Diags(Diags) {}
+
+  std::unique_ptr<Program> parseProgram();
+
+private:
+  const std::vector<Token> &Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  /// True while parsing a `classical` function body: &, |, ^, ~ become
+  /// bitwise operators instead of predication/pipe/adjoint.
+  bool InClassical = false;
+
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &advance() {
+    const Token &T = peek();
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool check(TK K) const { return peek().is(K); }
+  bool match(TK K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TK K, const char *What) {
+    if (match(K))
+      return true;
+    Diags.error(peek().Loc, std::string("expected ") + What + ", found " +
+                                peek().describe());
+    return false;
+  }
+  void skipNewlines() {
+    while (match(TK::Newline))
+      ;
+  }
+
+  std::unique_ptr<FunctionDef> parseFunction();
+  bool parseParam(Param &P);
+  bool parseTypeAnnot(TypeAnnot &A);
+  std::unique_ptr<DimExpr> parseDimExpr();
+  std::unique_ptr<DimExpr> parseDimTerm();
+  std::unique_ptr<DimExpr> parseDimAtom();
+  StmtPtr parseStmt();
+
+  // Quantum expression grammar.
+  ExprPtr parseExpr();
+  ExprPtr parseConditional();
+  ExprPtr parsePipe();
+  ExprPtr parsePredication();
+  ExprPtr parseTranslation();
+  ExprPtr parseTensor();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  ExprPtr parseBasisLiteral();
+  ExprPtr parseQubitLiteral();
+  ExprPtr parseAttribute(ExprPtr Base, SourceLoc Loc);
+  ExprPtr parseFloatExpr();
+  ExprPtr parseFloatTerm();
+  ExprPtr parseFloatAtom();
+};
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  auto Prog = std::make_unique<Program>();
+  skipNewlines();
+  while (!check(TK::Eof)) {
+    std::unique_ptr<FunctionDef> F = parseFunction();
+    if (!F)
+      return nullptr;
+    if (Prog->lookup(F->Name)) {
+      Diags.error(F->Loc, "redefinition of function '" + F->Name + "'");
+      return nullptr;
+    }
+    Prog->Functions.push_back(std::move(F));
+    skipNewlines();
+  }
+  return Prog;
+}
+
+std::unique_ptr<FunctionDef> Parser::parseFunction() {
+  auto F = std::make_unique<FunctionDef>();
+  F->Loc = peek().Loc;
+  if (match(TK::KwQpu)) {
+    F->TheKind = FunctionDef::Kind::Qpu;
+  } else if (match(TK::KwClassical)) {
+    F->TheKind = FunctionDef::Kind::Classical;
+  } else {
+    Diags.error(peek().Loc, "expected 'qpu' or 'classical' function, found " +
+                                peek().describe());
+    return nullptr;
+  }
+  InClassical = F->isClassical();
+
+  if (!check(TK::Identifier)) {
+    Diags.error(peek().Loc, "expected function name");
+    return nullptr;
+  }
+  F->Name = advance().Text;
+
+  // Dimension variables: name[N, M].
+  if (match(TK::LBracket)) {
+    do {
+      if (!check(TK::Identifier)) {
+        Diags.error(peek().Loc, "expected dimension variable name");
+        return nullptr;
+      }
+      F->DimVars.push_back(advance().Text);
+    } while (match(TK::Comma));
+    if (!expect(TK::RBracket, "']'"))
+      return nullptr;
+  }
+
+  if (!expect(TK::LParen, "'('"))
+    return nullptr;
+  if (!check(TK::RParen)) {
+    do {
+      Param P;
+      if (!parseParam(P))
+        return nullptr;
+      F->Params.push_back(std::move(P));
+    } while (match(TK::Comma));
+  }
+  if (!expect(TK::RParen, "')'"))
+    return nullptr;
+
+  if (match(TK::Arrow)) {
+    if (!parseTypeAnnot(F->ReturnAnnot))
+      return nullptr;
+  }
+
+  if (!expect(TK::LBrace, "'{'"))
+    return nullptr;
+  skipNewlines();
+  while (!check(TK::RBrace)) {
+    if (check(TK::Eof)) {
+      Diags.error(peek().Loc, "unexpected end of input inside function body");
+      return nullptr;
+    }
+    StmtPtr S = parseStmt();
+    if (!S)
+      return nullptr;
+    F->Body.push_back(std::move(S));
+    skipNewlines();
+  }
+  advance(); // consume '}'
+  return F;
+}
+
+bool Parser::parseParam(Param &P) {
+  if (!check(TK::Identifier)) {
+    Diags.error(peek().Loc, "expected parameter name");
+    return false;
+  }
+  P.Loc = peek().Loc;
+  P.Name = advance().Text;
+  if (!expect(TK::Colon, "':' after parameter name"))
+    return false;
+  return parseTypeAnnot(P.Annot);
+}
+
+bool Parser::parseTypeAnnot(TypeAnnot &A) {
+  if (!check(TK::Identifier)) {
+    Diags.error(peek().Loc, "expected type");
+    return false;
+  }
+  std::string Name = advance().Text;
+  if (Name == "qubit")
+    A.TheKind = TypeAnnot::Kind::Qubit;
+  else if (Name == "bit")
+    A.TheKind = TypeAnnot::Kind::Bit;
+  else if (Name == "cfunc")
+    A.TheKind = TypeAnnot::Kind::CFunc;
+  else if (Name == "rev_func")
+    A.TheKind = TypeAnnot::Kind::RevFunc;
+  else {
+    Diags.error(peek().Loc, "unknown type '" + Name + "'");
+    return false;
+  }
+  A.Dim = DimExpr::constant(1);
+  if (match(TK::LBracket)) {
+    A.Dim = parseDimExpr();
+    if (!A.Dim)
+      return false;
+    if (A.TheKind == TypeAnnot::Kind::CFunc) {
+      if (!expect(TK::Comma, "',' in cfunc[N, M]"))
+        return false;
+      A.Dim2 = parseDimExpr();
+      if (!A.Dim2)
+        return false;
+    }
+    if (!expect(TK::RBracket, "']'"))
+      return false;
+  } else if (A.TheKind == TypeAnnot::Kind::CFunc) {
+    Diags.error(peek().Loc, "cfunc requires dimensions: cfunc[N, M]");
+    return false;
+  }
+  if (!A.Dim2)
+    A.Dim2 = DimExpr::constant(1);
+  return true;
+}
+
+std::unique_ptr<DimExpr> Parser::parseDimExpr() {
+  std::unique_ptr<DimExpr> Lhs = parseDimTerm();
+  if (!Lhs)
+    return nullptr;
+  while (check(TK::Plus) || check(TK::Minus)) {
+    DimExpr::Kind K = advance().is(TK::Plus) ? DimExpr::Kind::Add
+                                             : DimExpr::Kind::Sub;
+    std::unique_ptr<DimExpr> Rhs = parseDimTerm();
+    if (!Rhs)
+      return nullptr;
+    Lhs = DimExpr::binary(K, std::move(Lhs), std::move(Rhs));
+  }
+  return Lhs;
+}
+
+std::unique_ptr<DimExpr> Parser::parseDimTerm() {
+  std::unique_ptr<DimExpr> Lhs = parseDimAtom();
+  if (!Lhs)
+    return nullptr;
+  while (match(TK::Star)) {
+    std::unique_ptr<DimExpr> Rhs = parseDimAtom();
+    if (!Rhs)
+      return nullptr;
+    Lhs = DimExpr::binary(DimExpr::Kind::Mul, std::move(Lhs), std::move(Rhs));
+  }
+  return Lhs;
+}
+
+std::unique_ptr<DimExpr> Parser::parseDimAtom() {
+  if (check(TK::Integer))
+    return DimExpr::constant(advance().IntValue);
+  if (check(TK::Identifier))
+    return DimExpr::var(advance().Text);
+  if (match(TK::LParen)) {
+    std::unique_ptr<DimExpr> E = parseDimExpr();
+    if (!E || !expect(TK::RParen, "')'"))
+      return nullptr;
+    return E;
+  }
+  Diags.error(peek().Loc, "expected dimension expression, found " +
+                              peek().describe());
+  return nullptr;
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = peek().Loc;
+  if (match(TK::KwReturn)) {
+    auto S = std::make_unique<ReturnStmt>();
+    S->setLoc(Loc);
+    S->Value = parseExpr();
+    if (!S->Value)
+      return nullptr;
+    if (!check(TK::RBrace) && !expect(TK::Newline, "end of statement"))
+      return nullptr;
+    return S;
+  }
+  // Assignment: name (, name)* = expr.
+  auto S = std::make_unique<AssignStmt>();
+  S->setLoc(Loc);
+  do {
+    if (!check(TK::Identifier)) {
+      Diags.error(peek().Loc, "expected variable name, found " +
+                                  peek().describe());
+      return nullptr;
+    }
+    S->Names.push_back(advance().Text);
+  } while (match(TK::Comma));
+  if (!expect(TK::Equals, "'=' in assignment"))
+    return nullptr;
+  S->Value = parseExpr();
+  if (!S->Value)
+    return nullptr;
+  if (!check(TK::RBrace) && !expect(TK::Newline, "end of statement"))
+    return nullptr;
+  return S;
+}
+
+ExprPtr Parser::parseExpr() { return parseConditional(); }
+
+ExprPtr Parser::parseConditional() {
+  ExprPtr Then = parsePipe();
+  if (!Then)
+    return nullptr;
+  if (!check(TK::KwIf))
+    return Then;
+  SourceLoc Loc = advance().Loc;
+  auto E = std::make_unique<ConditionalExpr>();
+  E->setLoc(Loc);
+  E->ThenExpr = std::move(Then);
+  E->Cond = parsePipe();
+  if (!E->Cond)
+    return nullptr;
+  if (!expect(TK::KwElse, "'else' in conditional expression"))
+    return nullptr;
+  E->ElseExpr = parseConditional();
+  if (!E->ElseExpr)
+    return nullptr;
+  return E;
+}
+
+ExprPtr Parser::parsePipe() {
+  ExprPtr Lhs = parsePredication();
+  if (!Lhs)
+    return nullptr;
+  while (check(TK::Pipe)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parsePredication();
+    if (!Rhs)
+      return nullptr;
+    if (InClassical) {
+      auto E = std::make_unique<ClassicalBinaryExpr>();
+      E->Op = ClassicalBinaryExpr::OpKind::Or;
+      E->Lhs = std::move(Lhs);
+      E->Rhs = std::move(Rhs);
+      E->setLoc(Loc);
+      Lhs = std::move(E);
+    } else {
+      auto E = std::make_unique<PipeExpr>();
+      E->Value = std::move(Lhs);
+      E->Func = std::move(Rhs);
+      E->setLoc(Loc);
+      Lhs = std::move(E);
+    }
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parsePredication() {
+  ExprPtr Lhs = InClassical ? parseTensor() : parseTranslation();
+  if (!Lhs)
+    return nullptr;
+  while (check(TK::Amp) || (InClassical && check(TK::Caret))) {
+    bool IsXor = check(TK::Caret);
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = InClassical ? parseTensor() : parseTranslation();
+    if (!Rhs)
+      return nullptr;
+    if (InClassical) {
+      auto E = std::make_unique<ClassicalBinaryExpr>();
+      E->Op = IsXor ? ClassicalBinaryExpr::OpKind::Xor
+                    : ClassicalBinaryExpr::OpKind::And;
+      E->Lhs = std::move(Lhs);
+      E->Rhs = std::move(Rhs);
+      E->setLoc(Loc);
+      Lhs = std::move(E);
+    } else {
+      auto E = std::make_unique<PredicatedExpr>();
+      E->PredBasis = std::move(Lhs);
+      E->Func = std::move(Rhs);
+      E->setLoc(Loc);
+      Lhs = std::move(E);
+    }
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseTranslation() {
+  ExprPtr Lhs = parseTensor();
+  if (!Lhs)
+    return nullptr;
+  if (!check(TK::Shift))
+    return Lhs;
+  SourceLoc Loc = advance().Loc;
+  auto E = std::make_unique<BasisTranslationExpr>();
+  E->setLoc(Loc);
+  E->InBasis = std::move(Lhs);
+  E->OutBasis = parseTensor();
+  if (!E->OutBasis)
+    return nullptr;
+  return E;
+}
+
+ExprPtr Parser::parseTensor() {
+  ExprPtr Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  while (check(TK::Plus)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Rhs = parseUnary();
+    if (!Rhs)
+      return nullptr;
+    auto E = std::make_unique<TensorExpr>();
+    E->Lhs = std::move(Lhs);
+    E->Rhs = std::move(Rhs);
+    E->setLoc(Loc);
+    Lhs = std::move(E);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TK::Tilde)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    if (InClassical) {
+      auto E = std::make_unique<ClassicalNotExpr>();
+      E->Operand = std::move(Operand);
+      E->setLoc(Loc);
+      return E;
+    }
+    auto E = std::make_unique<AdjointExpr>();
+    E->Func = std::move(Operand);
+    E->setLoc(Loc);
+    return E;
+  }
+  if (check(TK::Minus)) {
+    SourceLoc Loc = advance().Loc;
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    // -'p' adds a phase of pi (180 degrees) to a qubit literal.
+    if (auto *QL = dyn_cast<QubitLiteralExpr>(Operand.get())) {
+      QL->HasPhase = true;
+      QL->PhaseDegrees += 180.0;
+      return Operand;
+    }
+    if (auto *FL = dyn_cast<FloatLiteralExpr>(Operand.get())) {
+      FL->Value = -FL->Value;
+      return Operand;
+    }
+    auto E = std::make_unique<FloatBinaryExpr>();
+    E->Op = FloatBinaryExpr::OpKind::Sub;
+    E->Lhs = std::make_unique<FloatLiteralExpr>();
+    E->Rhs = std::move(Operand);
+    E->setLoc(Loc);
+    return E;
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  if (!E)
+    return nullptr;
+  while (true) {
+    if (check(TK::LBracket)) {
+      SourceLoc Loc = advance().Loc;
+      std::unique_ptr<DimExpr> Factor = parseDimExpr();
+      if (!Factor || !expect(TK::RBracket, "']'"))
+        return nullptr;
+      // pm[4] on a 1-qubit builtin basis is a dimension, not a broadcast of
+      // elements, but the two coincide for primitive bases; expansion
+      // collapses Broadcast(BuiltinBasis) into a wider BuiltinBasis.
+      auto B = std::make_unique<BroadcastExpr>();
+      B->Operand = std::move(E);
+      B->Factor = std::move(Factor);
+      B->setLoc(Loc);
+      E = std::move(B);
+      continue;
+    }
+    if (check(TK::Dot)) {
+      SourceLoc Loc = advance().Loc;
+      E = parseAttribute(std::move(E), Loc);
+      if (!E)
+        return nullptr;
+      continue;
+    }
+    if (check(TK::At)) {
+      // Phase on a qubit literal: '1'@45 or '1'@(360/2).
+      SourceLoc Loc = advance().Loc;
+      auto *QL = dyn_cast<QubitLiteralExpr>(E.get());
+      if (!QL) {
+        Diags.error(Loc, "'@' phase is only valid on a qubit literal");
+        return nullptr;
+      }
+      ExprPtr Phase = parseFloatAtom();
+      if (!Phase)
+        return nullptr;
+      if (auto *FL = dyn_cast<FloatLiteralExpr>(Phase.get())) {
+        QL->HasPhase = true;
+        QL->PhaseDegrees += FL->Value;
+      } else {
+        QL->HasPhase = true;
+        QL->PhaseExpr = std::move(Phase);
+      }
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parseAttribute(ExprPtr Base, SourceLoc Loc) {
+  if (!check(TK::Identifier)) {
+    Diags.error(peek().Loc, "expected attribute name after '.'");
+    return nullptr;
+  }
+  std::string Name = advance().Text;
+  auto TakesCall = [&](bool Required) -> bool {
+    if (match(TK::LParen))
+      return expect(TK::RParen, "')'");
+    if (Required) {
+      Diags.error(peek().Loc, "expected '()' after ." + Name);
+      return false;
+    }
+    return true;
+  };
+
+  if (Name == "measure") {
+    auto E = std::make_unique<MeasureExpr>();
+    E->BasisOperand = std::move(Base);
+    E->setLoc(Loc);
+    return E;
+  }
+  if (Name == "flip") {
+    auto E = std::make_unique<FlipExpr>();
+    E->BasisOperand = std::move(Base);
+    E->setLoc(Loc);
+    return E;
+  }
+  if (Name == "sign") {
+    auto E = std::make_unique<EmbedSignExpr>();
+    E->Func = std::move(Base);
+    E->setLoc(Loc);
+    return E;
+  }
+  if (Name == "xor") {
+    auto E = std::make_unique<EmbedXorExpr>();
+    E->Func = std::move(Base);
+    E->setLoc(Loc);
+    return E;
+  }
+  if (Name == "xor_reduce" || Name == "and_reduce" || Name == "or_reduce") {
+    if (!TakesCall(/*Required=*/true))
+      return nullptr;
+    auto E = std::make_unique<ClassicalReduceExpr>();
+    E->Op = Name == "xor_reduce"   ? ClassicalReduceExpr::OpKind::Xor
+            : Name == "and_reduce" ? ClassicalReduceExpr::OpKind::And
+                                   : ClassicalReduceExpr::OpKind::Or;
+    E->Operand = std::move(Base);
+    E->setLoc(Loc);
+    return E;
+  }
+  if (Name == "repeat") {
+    if (!expect(TK::LParen, "'(' after .repeat"))
+      return nullptr;
+    auto E = std::make_unique<ClassicalRepeatExpr>();
+    E->Operand = std::move(Base);
+    E->Factor = parseDimExpr();
+    if (!E->Factor || !expect(TK::RParen, "')'"))
+      return nullptr;
+    E->setLoc(Loc);
+    return E;
+  }
+  Diags.error(Loc, "unknown attribute '." + Name + "'");
+  return nullptr;
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+  if (check(TK::QubitLit))
+    return parseQubitLiteral();
+  if (check(TK::LBrace))
+    return parseBasisLiteral();
+  if (match(TK::LParen)) {
+    ExprPtr E = parseExpr();
+    if (!E || !expect(TK::RParen, "')'"))
+      return nullptr;
+    return E;
+  }
+  if (check(TK::Integer)) {
+    auto E = std::make_unique<FloatLiteralExpr>();
+    E->Value = static_cast<double>(advance().IntValue);
+    E->setLoc(Loc);
+    return E;
+  }
+  if (check(TK::Float)) {
+    auto E = std::make_unique<FloatLiteralExpr>();
+    E->Value = advance().FloatValue;
+    E->setLoc(Loc);
+    return E;
+  }
+  if (check(TK::Identifier)) {
+    std::string Name = peek().Text;
+    if (Name == "std" || Name == "pm" || Name == "ij" || Name == "fourier") {
+      advance();
+      auto E = std::make_unique<BuiltinBasisExpr>();
+      E->Prim = Name == "std"  ? PrimitiveBasis::Std
+                : Name == "pm" ? PrimitiveBasis::Pm
+                : Name == "ij" ? PrimitiveBasis::Ij
+                               : PrimitiveBasis::Fourier;
+      E->setLoc(Loc);
+      return E;
+    }
+    if (Name == "id") {
+      advance();
+      auto E = std::make_unique<IdentityExpr>();
+      E->setLoc(Loc);
+      return E;
+    }
+    if (Name == "discard") {
+      advance();
+      auto E = std::make_unique<DiscardExpr>();
+      E->setLoc(Loc);
+      return E;
+    }
+    advance();
+    auto E = std::make_unique<VariableExpr>();
+    E->Name = std::move(Name);
+    E->setLoc(Loc);
+    return E;
+  }
+  Diags.error(Loc, "expected expression, found " + peek().describe());
+  return nullptr;
+}
+
+ExprPtr Parser::parseQubitLiteral() {
+  const Token &T = advance();
+  auto E = std::make_unique<QubitLiteralExpr>();
+  E->setLoc(T.Loc);
+  for (char C : T.Text) {
+    switch (C) {
+    case '0':
+      E->Symbols.push_back(QubitSymbol::Zero);
+      break;
+    case '1':
+      E->Symbols.push_back(QubitSymbol::One);
+      break;
+    case 'p':
+      E->Symbols.push_back(QubitSymbol::Plus);
+      break;
+    case 'm':
+      E->Symbols.push_back(QubitSymbol::Minus);
+      break;
+    case 'i':
+      E->Symbols.push_back(QubitSymbol::ImagI);
+      break;
+    case 'j':
+      E->Symbols.push_back(QubitSymbol::ImagJ);
+      break;
+    default:
+      Diags.error(T.Loc, std::string("invalid qubit literal character '") +
+                             C + "'");
+      return nullptr;
+    }
+  }
+  if (E->Symbols.empty()) {
+    Diags.error(T.Loc, "empty qubit literal");
+    return nullptr;
+  }
+  return E;
+}
+
+ExprPtr Parser::parseBasisLiteral() {
+  SourceLoc Loc = advance().Loc; // consume '{'
+  auto E = std::make_unique<BasisLiteralExpr>();
+  E->setLoc(Loc);
+  do {
+    skipNewlines();
+    bool Negated = match(TK::Minus);
+    if (!check(TK::QubitLit)) {
+      Diags.error(peek().Loc, "expected qubit literal in basis literal");
+      return nullptr;
+    }
+    ExprPtr V = parseQubitLiteral();
+    if (!V)
+      return nullptr;
+    auto *QL = cast<QubitLiteralExpr>(V.get());
+    // Optional broadcast: {'p'[N]} (Fig. 8 syntax). A leading '-' or a
+    // trailing @phase applies to the broadcast result as a whole.
+    BroadcastExpr *BC = nullptr;
+    if (match(TK::LBracket)) {
+      auto NewBC = std::make_unique<BroadcastExpr>();
+      NewBC->setLoc(V->loc());
+      NewBC->Factor = parseDimExpr();
+      if (!NewBC->Factor || !expect(TK::RBracket, "']'"))
+        return nullptr;
+      NewBC->Operand = std::move(V);
+      BC = NewBC.get();
+      V = std::move(NewBC);
+    }
+    auto AddPhase = [&](double Degrees) {
+      if (BC) {
+        BC->HasOuterPhase = true;
+        BC->OuterPhaseDegrees += Degrees;
+      } else {
+        QL->HasPhase = true;
+        QL->PhaseDegrees += Degrees;
+      }
+    };
+    if (Negated)
+      AddPhase(180.0);
+    // Optional @phase.
+    if (match(TK::At)) {
+      ExprPtr Phase = parseFloatAtom();
+      if (!Phase)
+        return nullptr;
+      if (auto *FL = dyn_cast<FloatLiteralExpr>(Phase.get())) {
+        AddPhase(FL->Value);
+      } else if (!BC) {
+        QL->HasPhase = true;
+        QL->PhaseExpr = std::move(Phase);
+      } else {
+        Diags.error(peek().Loc,
+                    "symbolic phases on broadcast vectors are unsupported");
+        return nullptr;
+      }
+    }
+    E->Vectors.push_back(std::move(V));
+    skipNewlines();
+  } while (match(TK::Comma));
+  if (!expect(TK::RBrace, "'}'"))
+    return nullptr;
+  return E;
+}
+
+ExprPtr Parser::parseFloatExpr() {
+  ExprPtr Lhs = parseFloatTerm();
+  if (!Lhs)
+    return nullptr;
+  while (check(TK::Plus) || check(TK::Minus)) {
+    bool IsAdd = advance().is(TK::Plus);
+    ExprPtr Rhs = parseFloatTerm();
+    if (!Rhs)
+      return nullptr;
+    auto E = std::make_unique<FloatBinaryExpr>();
+    E->Op = IsAdd ? FloatBinaryExpr::OpKind::Add
+                  : FloatBinaryExpr::OpKind::Sub;
+    E->Lhs = std::move(Lhs);
+    E->Rhs = std::move(Rhs);
+    Lhs = std::move(E);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseFloatTerm() {
+  ExprPtr Lhs = parseFloatAtom();
+  if (!Lhs)
+    return nullptr;
+  while (check(TK::Star) || check(TK::Slash)) {
+    bool IsMul = advance().is(TK::Star);
+    ExprPtr Rhs = parseFloatAtom();
+    if (!Rhs)
+      return nullptr;
+    auto E = std::make_unique<FloatBinaryExpr>();
+    E->Op = IsMul ? FloatBinaryExpr::OpKind::Mul
+                  : FloatBinaryExpr::OpKind::Div;
+    E->Lhs = std::move(Lhs);
+    E->Rhs = std::move(Rhs);
+    Lhs = std::move(E);
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseFloatAtom() {
+  SourceLoc Loc = peek().Loc;
+  if (check(TK::Integer)) {
+    auto E = std::make_unique<FloatLiteralExpr>();
+    E->Value = static_cast<double>(advance().IntValue);
+    E->setLoc(Loc);
+    return E;
+  }
+  if (check(TK::Float)) {
+    auto E = std::make_unique<FloatLiteralExpr>();
+    E->Value = advance().FloatValue;
+    E->setLoc(Loc);
+    return E;
+  }
+  if (check(TK::Minus)) {
+    advance();
+    ExprPtr Inner = parseFloatAtom();
+    if (!Inner)
+      return nullptr;
+    auto E = std::make_unique<FloatBinaryExpr>();
+    E->Op = FloatBinaryExpr::OpKind::Sub;
+    auto Zero = std::make_unique<FloatLiteralExpr>();
+    E->Lhs = std::move(Zero);
+    E->Rhs = std::move(Inner);
+    E->setLoc(Loc);
+    return E;
+  }
+  if (check(TK::Identifier)) {
+    // A dimension variable used in a phase expression, e.g. 360/2*K.
+    auto E = std::make_unique<VariableExpr>();
+    E->Name = advance().Text;
+    E->setLoc(Loc);
+    return E;
+  }
+  if (match(TK::LParen)) {
+    ExprPtr E = parseFloatExpr();
+    if (!E || !expect(TK::RParen, "')'"))
+      return nullptr;
+    return E;
+  }
+  Diags.error(Loc, "expected angle expression, found " + peek().describe());
+  return nullptr;
+}
+
+} // namespace
+
+std::unique_ptr<Program> asdf::parseProgram(const std::string &Source,
+                                            DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  if (Diags.hadError())
+    return nullptr;
+  Parser P(Lex.tokens(), Diags);
+  std::unique_ptr<Program> Prog = P.parseProgram();
+  if (Diags.hadError())
+    return nullptr;
+  return Prog;
+}

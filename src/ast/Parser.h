@@ -1,0 +1,38 @@
+//===- Parser.h - Recursive-descent parser for the Qwerty DSL -------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual Qwerty DSL into the untyped AST (dimension variables
+/// still symbolic). Operator precedence, loosest to tightest:
+///
+///   e if c else e   conditional
+///   |               pipe (function application)
+///   &               predication (or bitwise AND in classical functions)
+///   >>              basis translation
+///   +               tensor product
+///   ~  -            unary adjoint / phase negation
+///   e[N]  e.attr    broadcast, attribute access
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_AST_PARSER_H
+#define ASDF_AST_PARSER_H
+
+#include "ast/AST.h"
+#include "ast/Lexer.h"
+
+#include <memory>
+
+namespace asdf {
+
+/// Parses \p Source into a Program. Returns null (with diagnostics) on any
+/// syntax error.
+std::unique_ptr<Program> parseProgram(const std::string &Source,
+                                      DiagnosticEngine &Diags);
+
+} // namespace asdf
+
+#endif // ASDF_AST_PARSER_H

@@ -1,0 +1,163 @@
+//===- Type.h - Qwerty type system ----------------------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Qwerty type system (§4). Types are small value objects: qubit[N] and
+/// bit[N] tuples, bases (compile-time only), and function types. Function
+/// types carry a reversibility flag: `qubit[N] rev-> qubit[N]` functions may
+/// be adjointed (~f) or predicated (b & f).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_AST_TYPE_H
+#define ASDF_AST_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace asdf {
+
+/// A Qwerty type, encoded flat: function types in Qwerty only ever map a
+/// qubit/bit tuple to a qubit/bit tuple, so nesting is unnecessary.
+class Type {
+public:
+  enum class Kind {
+    Invalid,
+    Unit,   ///< No value (kernel with no arguments).
+    Qubit,  ///< qubit[Dim]; linear.
+    Bit,    ///< bit[Dim]; classical, copyable.
+    Basis,  ///< A basis of Dim qubits; compile-time only.
+    Func,   ///< InKind[InDim] -> OutKind[OutDim], maybe reversible.
+    CFunc,  ///< Classical function bit[InDim] -> bit[OutDim] (\@classical).
+  };
+
+  /// What a Func consumes or produces.
+  enum class DataKind { Unit, Qubit, Bit };
+
+  Type() = default;
+
+  static Type invalid() { return Type(); }
+  static Type unit() {
+    Type T;
+    T.TheKind = Kind::Unit;
+    return T;
+  }
+  static Type qubit(unsigned Dim) {
+    Type T;
+    T.TheKind = Kind::Qubit;
+    T.InDim = Dim;
+    return T;
+  }
+  static Type bit(unsigned Dim) {
+    Type T;
+    T.TheKind = Kind::Bit;
+    T.InDim = Dim;
+    return T;
+  }
+  static Type basis(unsigned Dim) {
+    Type T;
+    T.TheKind = Kind::Basis;
+    T.InDim = Dim;
+    return T;
+  }
+  static Type func(DataKind InK, unsigned InDim, DataKind OutK,
+                   unsigned OutDim, bool Reversible) {
+    Type T;
+    T.TheKind = Kind::Func;
+    T.InKind = InK;
+    T.InDim = InDim;
+    T.OutKind = OutK;
+    T.OutDim = OutDim;
+    T.Rev = Reversible;
+    return T;
+  }
+  /// The common reversible qubit[N] -> qubit[N] function type.
+  static Type revFunc(unsigned Dim) {
+    return func(DataKind::Qubit, Dim, DataKind::Qubit, Dim,
+                /*Reversible=*/true);
+  }
+  static Type cfunc(unsigned InDim, unsigned OutDim) {
+    Type T;
+    T.TheKind = Kind::CFunc;
+    T.InDim = InDim;
+    T.OutDim = OutDim;
+    return T;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isInvalid() const { return TheKind == Kind::Invalid; }
+  bool isUnit() const { return TheKind == Kind::Unit; }
+  bool isQubit() const { return TheKind == Kind::Qubit; }
+  bool isBit() const { return TheKind == Kind::Bit; }
+  bool isBasis() const { return TheKind == Kind::Basis; }
+  bool isFunc() const { return TheKind == Kind::Func; }
+  bool isCFunc() const { return TheKind == Kind::CFunc; }
+
+  /// Dimension of a qubit/bit/basis type.
+  unsigned dim() const {
+    assert((isQubit() || isBit() || isBasis()) && "type has no dimension");
+    return InDim;
+  }
+
+  DataKind funcInKind() const {
+    assert(isFunc());
+    return InKind;
+  }
+  unsigned funcInDim() const {
+    assert(isFunc() || isCFunc());
+    return InDim;
+  }
+  DataKind funcOutKind() const {
+    assert(isFunc());
+    return OutKind;
+  }
+  unsigned funcOutDim() const {
+    assert(isFunc() || isCFunc());
+    return OutDim;
+  }
+  bool isReversibleFunc() const { return isFunc() && Rev; }
+
+  /// True for values that obey the linear typing discipline (§4): qubits
+  /// must be used exactly once.
+  bool isLinear() const { return isQubit(); }
+
+  bool operator==(const Type &Other) const {
+    if (TheKind != Other.TheKind)
+      return false;
+    switch (TheKind) {
+    case Kind::Invalid:
+    case Kind::Unit:
+      return true;
+    case Kind::Qubit:
+    case Kind::Bit:
+    case Kind::Basis:
+      return InDim == Other.InDim;
+    case Kind::Func:
+      return InKind == Other.InKind && InDim == Other.InDim &&
+             OutKind == Other.OutKind && OutDim == Other.OutDim &&
+             Rev == Other.Rev;
+    case Kind::CFunc:
+      return InDim == Other.InDim && OutDim == Other.OutDim;
+    }
+    return false;
+  }
+  bool operator!=(const Type &Other) const { return !(*this == Other); }
+
+  std::string str() const;
+
+private:
+  Kind TheKind = Kind::Invalid;
+  DataKind InKind = DataKind::Unit;
+  DataKind OutKind = DataKind::Unit;
+  unsigned InDim = 0;
+  unsigned OutDim = 0;
+  bool Rev = false;
+};
+
+} // namespace asdf
+
+#endif // ASDF_AST_TYPE_H

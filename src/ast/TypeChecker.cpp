@@ -1,0 +1,737 @@
+//===- TypeChecker.cpp - Qwerty AST type checking (§4) --------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/TypeChecker.h"
+
+#include "basis/SpanCheck.h"
+
+#include <map>
+
+using namespace asdf;
+
+namespace {
+
+/// Per-variable state for linear type checking.
+struct VarInfo {
+  Type Ty;
+  bool Used = false;
+  SourceLoc DefLoc;
+};
+
+class Checker {
+public:
+  Checker(Program &Prog, DiagnosticEngine &Diags)
+      : Prog(Prog), Diags(Diags) {}
+
+  bool run();
+
+private:
+  Program &Prog;
+  DiagnosticEngine &Diags;
+  /// Signatures of already-checked functions (definition order).
+  std::map<std::string, Type> GlobalTypes;
+  std::map<std::string, VarInfo> Env;
+  FunctionDef *CurFunc = nullptr;
+
+  bool checkQpuFunction(FunctionDef &F);
+  bool checkClassicalFunction(FunctionDef &F);
+
+  Type checkExpr(Expr &E);
+  Type checkClassicalExpr(Expr &E);
+  /// Validates a basis-position expression; returns its dimension or 0 on
+  /// error. Sets E.Ty to basis[N].
+  unsigned checkBasis(Expr &E);
+
+  Type error(SourceLoc Loc, const std::string &Msg) {
+    Diags.error(Loc, Msg);
+    return Type::invalid();
+  }
+};
+
+bool Checker::run() {
+  for (auto &F : Prog.Functions) {
+    Env.clear();
+    CurFunc = F.get();
+    bool Ok = F->isClassical() ? checkClassicalFunction(*F)
+                               : checkQpuFunction(*F);
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Basis validation and evaluation
+//===----------------------------------------------------------------------===//
+
+unsigned Checker::checkBasis(Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::QubitLiteral: {
+    // A qubit literal in basis position denotes the singleton basis {bv}.
+    auto &QL = cast<QubitLiteralExpr>(E);
+    if (!QL.uniformPrim()) {
+      error(E.loc(), "basis vector '" + QL.str() +
+                         "' mixes primitive bases; all positions must share "
+                         "one primitive basis");
+      return 0;
+    }
+    if (QL.dim() > MaxLiteralDim) {
+      error(E.loc(), "basis vector wider than 64 qubits");
+      return 0;
+    }
+    E.Ty = Type::basis(QL.dim());
+    return QL.dim();
+  }
+  case Expr::Kind::BasisLiteral: {
+    auto &BL = cast<BasisLiteralExpr>(E);
+    if (BL.Vectors.empty()) {
+      error(E.loc(), "basis literal must contain at least one vector");
+      return 0;
+    }
+    unsigned Dim = 0;
+    PrimitiveBasis Prim = PrimitiveBasis::Std;
+    std::vector<BasisVector> Vecs;
+    for (unsigned I = 0; I < BL.Vectors.size(); ++I) {
+      auto *QL = dyn_cast<QubitLiteralExpr>(BL.Vectors[I].get());
+      if (!QL) {
+        error(E.loc(), "basis literal vectors must be qubit literals");
+        return 0;
+      }
+      if (!QL->uniformPrim()) {
+        error(QL->loc(), "basis vector '" + QL->str() +
+                             "' mixes primitive bases");
+        return 0;
+      }
+      if (QL->dim() > MaxLiteralDim) {
+        error(QL->loc(), "basis vector wider than 64 qubits");
+        return 0;
+      }
+      BasisVector V = QL->toBasisVector();
+      if (I == 0) {
+        Dim = V.Dim;
+        Prim = V.Prim;
+      } else {
+        // Well-typedness (§2.2): all vector dimensions must be equal and
+        // all positions must share the same primitive basis.
+        if (V.Dim != Dim) {
+          error(QL->loc(), "basis literal vectors must have equal "
+                           "dimensions");
+          return 0;
+        }
+        if (V.Prim != Prim) {
+          error(QL->loc(), "basis literal vectors must share one primitive "
+                           "basis");
+          return 0;
+        }
+      }
+      QL->Ty = Type::basis(V.Dim);
+      Vecs.push_back(V);
+    }
+    // Well-typedness (§2.2): all eigenbits must be distinct.
+    BasisLiteral Lit(std::move(Vecs));
+    if (!Lit.eigenbitsDistinct()) {
+      error(E.loc(), "basis literal vectors must be orthogonal (distinct "
+                     "eigenbits)");
+      return 0;
+    }
+    E.Ty = Type::basis(Dim);
+    return Dim;
+  }
+  case Expr::Kind::BuiltinBasis: {
+    auto &BB = cast<BuiltinBasisExpr>(E);
+    E.Ty = Type::basis(BB.Dim);
+    return BB.Dim;
+  }
+  case Expr::Kind::Tensor: {
+    auto &T = cast<TensorExpr>(E);
+    unsigned L = checkBasis(*T.Lhs);
+    if (!L)
+      return 0;
+    unsigned R = checkBasis(*T.Rhs);
+    if (!R)
+      return 0;
+    E.Ty = Type::basis(L + R);
+    return L + R;
+  }
+  default:
+    error(E.loc(), "expected a basis expression here");
+    return 0;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Quantum expression checking
+//===----------------------------------------------------------------------===//
+
+Type Checker::checkExpr(Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::QubitLiteral: {
+    auto &QL = cast<QubitLiteralExpr>(E);
+    // As a value, a qubit literal is a state preparation; mixed primitive
+    // bases are fine here ('p0' prepares |+>|0>).
+    return E.Ty = Type::qubit(QL.dim());
+  }
+  case Expr::Kind::BitLiteral:
+    return E.Ty = Type::bit(cast<BitLiteralExpr>(E).Bits.size());
+
+  case Expr::Kind::BuiltinBasis:
+  case Expr::Kind::BasisLiteral:
+    return error(E.loc(), "a basis is not a first-class value; use it in a "
+                          "basis translation, predication, or measurement");
+
+  case Expr::Kind::Tensor: {
+    auto &T = cast<TensorExpr>(E);
+    Type L = checkExpr(*T.Lhs);
+    if (L.isInvalid())
+      return L;
+    Type R = checkExpr(*T.Rhs);
+    if (R.isInvalid())
+      return R;
+    if (L.isQubit() && R.isQubit())
+      return E.Ty = Type::qubit(L.dim() + R.dim());
+    if (L.isBit() && R.isBit())
+      return E.Ty = Type::bit(L.dim() + R.dim());
+    if (L.isFunc() && R.isFunc()) {
+      // §5.1: functions are tensored by generating a lambda that splits the
+      // input and calls both. Only qubit->qubit functions are tensorable.
+      if (L.funcInKind() != Type::DataKind::Qubit ||
+          R.funcInKind() != Type::DataKind::Qubit)
+        return error(E.loc(), "only qubit functions can be tensored");
+      Type::DataKind OutK = L.funcOutKind();
+      if (OutK != R.funcOutKind())
+        return error(E.loc(), "cannot tensor functions with mismatched "
+                              "output kinds");
+      return E.Ty = Type::func(
+                 Type::DataKind::Qubit, L.funcInDim() + R.funcInDim(), OutK,
+                 L.funcOutDim() + R.funcOutDim(),
+                 L.isReversibleFunc() && R.isReversibleFunc());
+    }
+    return error(E.loc(), "cannot tensor " + L.str() + " with " + R.str());
+  }
+
+  case Expr::Kind::BasisTranslation: {
+    auto &BT = cast<BasisTranslationExpr>(E);
+    unsigned L = checkBasis(*BT.InBasis);
+    if (!L)
+      return Type::invalid();
+    unsigned R = checkBasis(*BT.OutBasis);
+    if (!R)
+      return Type::invalid();
+    if (L != R)
+      return error(E.loc(), "basis translation dimensions differ: " +
+                                std::to_string(L) + " vs " +
+                                std::to_string(R));
+    // §4.1: span equivalence checking.
+    Basis BIn = evalBasis(*BT.InBasis);
+    Basis BOut = evalBasis(*BT.OutBasis);
+    if (!spansEquivalent(BIn, BOut))
+      return error(E.loc(), "basis translation sides span different "
+                            "subspaces: span(" +
+                                BIn.str() + ") != span(" + BOut.str() + ")");
+    return E.Ty = Type::revFunc(L);
+  }
+
+  case Expr::Kind::Pipe: {
+    auto &P = cast<PipeExpr>(E);
+    Type VT = checkExpr(*P.Value);
+    if (VT.isInvalid())
+      return VT;
+    Type FT = checkExpr(*P.Func);
+    if (FT.isInvalid())
+      return FT;
+    if (!FT.isFunc())
+      return error(P.Func->loc(), "right side of '|' must be a function, "
+                                  "got " +
+                                      FT.str());
+    Type::DataKind WantK = FT.funcInKind();
+    unsigned WantDim = FT.funcInDim();
+    bool KindOk = (WantK == Type::DataKind::Qubit && VT.isQubit()) ||
+                  (WantK == Type::DataKind::Bit && VT.isBit()) ||
+                  (WantK == Type::DataKind::Unit && VT.isUnit());
+    if (!KindOk || (WantK != Type::DataKind::Unit && VT.dim() != WantDim))
+      return error(E.loc(), "cannot pipe " + VT.str() + " into " + FT.str());
+    switch (FT.funcOutKind()) {
+    case Type::DataKind::Qubit:
+      return E.Ty = Type::qubit(FT.funcOutDim());
+    case Type::DataKind::Bit:
+      return E.Ty = Type::bit(FT.funcOutDim());
+    case Type::DataKind::Unit:
+      return E.Ty = Type::unit();
+    }
+    return Type::invalid();
+  }
+
+  case Expr::Kind::Adjoint: {
+    auto &A = cast<AdjointExpr>(E);
+    Type FT = checkExpr(*A.Func);
+    if (FT.isInvalid())
+      return FT;
+    // §4: ~f requires f to be reversible.
+    if (!FT.isReversibleFunc())
+      return error(E.loc(), "'~' requires a reversible function, got " +
+                                FT.str());
+    return E.Ty = FT;
+  }
+
+  case Expr::Kind::Predicated: {
+    auto &P = cast<PredicatedExpr>(E);
+    unsigned M = checkBasis(*P.PredBasis);
+    if (!M)
+      return Type::invalid();
+    Type FT = checkExpr(*P.Func);
+    if (FT.isInvalid())
+      return FT;
+    if (!FT.isReversibleFunc())
+      return error(E.loc(), "'&' requires a reversible function, got " +
+                                FT.str());
+    return E.Ty = Type::revFunc(M + FT.funcInDim());
+  }
+
+  case Expr::Kind::Measure: {
+    auto &M = cast<MeasureExpr>(E);
+    unsigned N = checkBasis(*M.BasisOperand);
+    if (!N)
+      return Type::invalid();
+    // Measurement must be complete: a partial-span basis would leave some
+    // states with no outcome.
+    if (!evalBasis(*M.BasisOperand).fullySpans())
+      return error(E.loc(), ".measure requires a fully spanning basis");
+    return E.Ty = Type::func(Type::DataKind::Qubit, N, Type::DataKind::Bit,
+                             N, /*Reversible=*/false);
+  }
+
+  case Expr::Kind::Flip: {
+    auto &F = cast<FlipExpr>(E);
+    unsigned N = checkBasis(*F.BasisOperand);
+    if (!N)
+      return Type::invalid();
+    Basis B = evalBasis(*F.BasisOperand);
+    bool Ok = false;
+    if (B.size() == 1) {
+      const BasisElement &El = B.elements().front();
+      if (El.isBuiltin() && El.dim() == 1 &&
+          El.prim() != PrimitiveBasis::Fourier)
+        Ok = true;
+      else if (El.isLiteral() && El.literalValue().size() == 2)
+        Ok = true;
+    }
+    if (!Ok)
+      return error(E.loc(), ".flip requires a single-qubit primitive basis "
+                            "or a two-vector basis literal");
+    return E.Ty = Type::revFunc(N);
+  }
+
+  case Expr::Kind::EmbedXor:
+  case Expr::Kind::EmbedSign: {
+    bool IsXor = E.kind() == Expr::Kind::EmbedXor;
+    Expr *FuncExpr = IsXor ? cast<EmbedXorExpr>(E).Func.get()
+                           : cast<EmbedSignExpr>(E).Func.get();
+    auto *Var = dyn_cast<VariableExpr>(FuncExpr);
+    if (!Var)
+      return error(E.loc(), ".xor/.sign require a named classical function");
+    FunctionDef *Callee = Prog.lookup(Var->Name);
+    if (!Callee || !Callee->isClassical())
+      return error(E.loc(), "'" + Var->Name +
+                                "' is not a classical function");
+    auto It = GlobalTypes.find(Var->Name);
+    if (It == GlobalTypes.end())
+      return error(E.loc(), "classical function '" + Var->Name +
+                                "' must be defined before use");
+    Type CT = It->second;
+    Var->Ty = CT;
+    if (IsXor)
+      return E.Ty = Type::revFunc(CT.funcInDim() + CT.funcOutDim());
+    if (CT.funcOutDim() != 1)
+      return error(E.loc(), ".sign requires a classical function returning "
+                            "bit[1]");
+    return E.Ty = Type::revFunc(CT.funcInDim());
+  }
+
+  case Expr::Kind::Identity:
+    return E.Ty = Type::revFunc(cast<IdentityExpr>(E).Dim);
+
+  case Expr::Kind::Discard:
+    return E.Ty = Type::func(Type::DataKind::Qubit,
+                             cast<DiscardExpr>(E).Dim,
+                             Type::DataKind::Unit, 0, /*Reversible=*/false);
+
+  case Expr::Kind::Variable: {
+    auto &Var = cast<VariableExpr>(E);
+    auto It = Env.find(Var.Name);
+    if (It != Env.end()) {
+      VarInfo &Info = It->second;
+      if (Info.Ty.isLinear()) {
+        // Linear types (§4): any quantum value must be used exactly once.
+        if (Info.Used)
+          return error(E.loc(), "qubit variable '" + Var.Name +
+                                    "' used more than once");
+        Info.Used = true;
+      }
+      return E.Ty = Info.Ty;
+    }
+    auto GIt = GlobalTypes.find(Var.Name);
+    if (GIt != GlobalTypes.end()) {
+      if (GIt->second.isCFunc())
+        return error(E.loc(), "classical function '" + Var.Name +
+                                  "' must be embedded with .xor or .sign");
+      return E.Ty = GIt->second;
+    }
+    return error(E.loc(), "unknown variable '" + Var.Name + "'");
+  }
+
+  case Expr::Kind::Conditional: {
+    auto &C = cast<ConditionalExpr>(E);
+    Type CT = checkExpr(*C.Cond);
+    if (CT.isInvalid())
+      return CT;
+    if (!CT.isBit() || CT.dim() != 1)
+      return error(C.Cond->loc(), "conditional requires a bit[1] condition, "
+                                  "got " +
+                                      CT.str());
+    Type TT = checkExpr(*C.ThenExpr);
+    if (TT.isInvalid())
+      return TT;
+    Type ET = checkExpr(*C.ElseExpr);
+    if (ET.isInvalid())
+      return ET;
+    if (!TT.isFunc() || !ET.isFunc())
+      return error(E.loc(), "conditional branches must be function values");
+    if (TT.funcInKind() != ET.funcInKind() ||
+        TT.funcInDim() != ET.funcInDim() ||
+        TT.funcOutKind() != ET.funcOutKind() ||
+        TT.funcOutDim() != ET.funcOutDim())
+      return error(E.loc(), "conditional branches have mismatched types: " +
+                                TT.str() + " vs " + ET.str());
+    // A classically-conditioned function is not reversible as a whole (§4).
+    return E.Ty = Type::func(TT.funcInKind(), TT.funcInDim(),
+                             TT.funcOutKind(), TT.funcOutDim(),
+                             /*Reversible=*/false);
+  }
+
+  case Expr::Kind::FloatLiteral:
+  case Expr::Kind::FloatBinary:
+    return error(E.loc(), "angle expression is not a value");
+
+  case Expr::Kind::Broadcast:
+    return error(E.loc(), "broadcast should have been expanded; was "
+                          "expandProgram run?");
+
+  case Expr::Kind::ClassicalBinary:
+  case Expr::Kind::ClassicalNot:
+  case Expr::Kind::ClassicalReduce:
+  case Expr::Kind::ClassicalRepeat:
+    return error(E.loc(), "classical bit expression is only allowed inside "
+                          "a 'classical' function");
+  case Expr::Kind::Project:
+  case Expr::Kind::Rotate:
+    return error(E.loc(), "unsupported expression");
+  }
+  return Type::invalid();
+}
+
+//===----------------------------------------------------------------------===//
+// Classical expression checking
+//===----------------------------------------------------------------------===//
+
+Type Checker::checkClassicalExpr(Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::Variable: {
+    auto &Var = cast<VariableExpr>(E);
+    auto It = Env.find(Var.Name);
+    if (It == Env.end())
+      return error(E.loc(), "unknown variable '" + Var.Name + "'");
+    return E.Ty = It->second.Ty;
+  }
+  case Expr::Kind::BitLiteral:
+    return E.Ty = Type::bit(cast<BitLiteralExpr>(E).Bits.size());
+  case Expr::Kind::ClassicalBinary: {
+    auto &B = cast<ClassicalBinaryExpr>(E);
+    Type L = checkClassicalExpr(*B.Lhs);
+    if (L.isInvalid())
+      return L;
+    Type R = checkClassicalExpr(*B.Rhs);
+    if (R.isInvalid())
+      return R;
+    if (!L.isBit() || !R.isBit() || L.dim() != R.dim())
+      return error(E.loc(), "bitwise operands must be bit values of equal "
+                            "width: " +
+                                L.str() + " vs " + R.str());
+    return E.Ty = L;
+  }
+  case Expr::Kind::ClassicalNot: {
+    auto &N = cast<ClassicalNotExpr>(E);
+    Type T = checkClassicalExpr(*N.Operand);
+    if (T.isInvalid())
+      return T;
+    if (!T.isBit())
+      return error(E.loc(), "'~' requires a bit value");
+    return E.Ty = T;
+  }
+  case Expr::Kind::ClassicalReduce: {
+    auto &R = cast<ClassicalReduceExpr>(E);
+    Type T = checkClassicalExpr(*R.Operand);
+    if (T.isInvalid())
+      return T;
+    if (!T.isBit())
+      return error(E.loc(), "reduce requires a bit value");
+    return E.Ty = Type::bit(1);
+  }
+  case Expr::Kind::ClassicalRepeat: {
+    auto &R = cast<ClassicalRepeatExpr>(E);
+    Type T = checkClassicalExpr(*R.Operand);
+    if (T.isInvalid())
+      return T;
+    if (!T.isBit() || T.dim() != 1)
+      return error(E.loc(), ".repeat requires a bit[1] value");
+    return E.Ty = Type::bit(R.Factor->constValue());
+  }
+  default:
+    return error(E.loc(), "expression not allowed in a classical function");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Function checking
+//===----------------------------------------------------------------------===//
+
+bool Checker::checkClassicalFunction(FunctionDef &F) {
+  for (const Param &P : F.Params) {
+    if (!P.Ty.isBit()) {
+      Diags.error(P.Loc, "classical function parameters must be bit[N]");
+      return false;
+    }
+    Env[P.Name] = {P.Ty, false, P.Loc};
+  }
+  if (!F.ReturnTy.isBit()) {
+    Diags.error(F.Loc, "classical function must return bit[N]");
+    return false;
+  }
+  bool SawReturn = false;
+  for (StmtPtr &S : F.Body) {
+    if (SawReturn) {
+      Diags.error(S->loc(), "statement after return");
+      return false;
+    }
+    if (auto *Ret = dyn_cast<ReturnStmt>(S.get())) {
+      Type T = checkClassicalExpr(*Ret->Value);
+      if (T.isInvalid())
+        return false;
+      if (T != F.ReturnTy) {
+        Diags.error(Ret->loc(), "return type mismatch: expected " +
+                                    F.ReturnTy.str() + ", got " + T.str());
+        return false;
+      }
+      SawReturn = true;
+      continue;
+    }
+    auto *Assign = cast<AssignStmt>(S.get());
+    if (Assign->Names.size() != 1) {
+      Diags.error(Assign->loc(), "classical assignments bind one name");
+      return false;
+    }
+    Type T = checkClassicalExpr(*Assign->Value);
+    if (T.isInvalid())
+      return false;
+    Env[Assign->Names[0]] = {T, false, Assign->loc()};
+  }
+  if (!SawReturn) {
+    Diags.error(F.Loc, "classical function must return a value");
+    return false;
+  }
+  GlobalTypes[F.Name] = Type::cfunc(
+      [&] {
+        unsigned Total = 0;
+        for (const Param &P : F.Params)
+          Total += P.Ty.dim();
+        return Total;
+      }(),
+      F.ReturnTy.dim());
+  return true;
+}
+
+bool Checker::checkQpuFunction(FunctionDef &F) {
+  unsigned QubitParams = 0;
+  for (const Param &P : F.Params) {
+    Env[P.Name] = {P.Ty, false, P.Loc};
+    if (P.Ty.isQubit())
+      ++QubitParams;
+  }
+  if (F.ReturnTy.isInvalid()) {
+    Diags.error(F.Loc, "qpu kernel must declare a return type");
+    return false;
+  }
+
+  bool SawReturn = false;
+  for (StmtPtr &S : F.Body) {
+    if (SawReturn) {
+      Diags.error(S->loc(), "statement after return");
+      return false;
+    }
+    if (auto *Ret = dyn_cast<ReturnStmt>(S.get())) {
+      Type T = checkExpr(*Ret->Value);
+      if (T.isInvalid())
+        return false;
+      if (T != F.ReturnTy) {
+        Diags.error(Ret->loc(), "return type mismatch: expected " +
+                                    F.ReturnTy.str() + ", got " + T.str());
+        return false;
+      }
+      SawReturn = true;
+      continue;
+    }
+    auto *Assign = cast<AssignStmt>(S.get());
+    Type T = checkExpr(*Assign->Value);
+    if (T.isInvalid())
+      return false;
+    unsigned K = Assign->Names.size();
+    for (const std::string &Name : Assign->Names) {
+      if (Env.count(Name)) {
+        Diags.error(Assign->loc(), "redefinition of variable '" + Name +
+                                       "'");
+        return false;
+      }
+    }
+    if (K == 1) {
+      Env[Assign->Names[0]] = {T, false, Assign->loc()};
+      continue;
+    }
+    // Destructuring splits a qubit/bit tuple evenly (e.g. the teleport
+    // example's `alice, bob = ...`).
+    if (!T.isQubit() && !T.isBit()) {
+      Diags.error(Assign->loc(), "only qubit/bit tuples can be "
+                                 "destructured, got " +
+                                     T.str());
+      return false;
+    }
+    if (T.dim() % K != 0) {
+      Diags.error(Assign->loc(), "cannot split " + T.str() + " evenly into " +
+                                     std::to_string(K) + " parts");
+      return false;
+    }
+    unsigned Part = T.dim() / K;
+    for (const std::string &Name : Assign->Names)
+      Env[Name] = {T.isQubit() ? Type::qubit(Part) : Type::bit(Part), false,
+                   Assign->loc()};
+  }
+  if (!SawReturn) {
+    Diags.error(F.Loc, "qpu kernel must return a value");
+    return false;
+  }
+
+  // Linearity: every qubit variable (including parameters) must be consumed.
+  for (const auto &[Name, Info] : Env) {
+    if (Info.Ty.isLinear() && !Info.Used) {
+      Diags.error(Info.DefLoc, "qubit variable '" + Name +
+                                   "' is never used; quantum values must be "
+                                   "used exactly once");
+      return false;
+    }
+  }
+
+  // Register this kernel's value type for later functions. Only kernels of
+  // shape qubit[N] -> qubit[M]/bit[M] or unit -> ... can be function values.
+  Type::DataKind InK = Type::DataKind::Unit;
+  unsigned InDim = 0;
+  if (QubitParams == 1 && F.Params.size() == 1) {
+    InK = Type::DataKind::Qubit;
+    InDim = F.Params[0].Ty.dim();
+  } else if (!F.Params.empty()) {
+    // Not referenceable as a value; still callable as an entry point.
+    return true;
+  }
+  Type::DataKind OutK = F.ReturnTy.isQubit() ? Type::DataKind::Qubit
+                        : F.ReturnTy.isBit() ? Type::DataKind::Bit
+                                             : Type::DataKind::Unit;
+  unsigned OutDim =
+      (F.ReturnTy.isQubit() || F.ReturnTy.isBit()) ? F.ReturnTy.dim() : 0;
+  bool Rev = isReversibleFunction(F, Prog) &&
+             InK == Type::DataKind::Qubit &&
+             OutK == Type::DataKind::Qubit && InDim == OutDim;
+  GlobalTypes[F.Name] = Type::func(InK, InDim, OutK, OutDim, Rev);
+  return true;
+}
+
+/// Recursively scans for irreversible constructs.
+bool containsIrreversible(const Expr &E, const Program &Prog) {
+  switch (E.kind()) {
+  case Expr::Kind::Measure:
+  case Expr::Kind::Discard:
+  case Expr::Kind::Conditional:
+    return true;
+  case Expr::Kind::Variable: {
+    const auto &Var = cast<VariableExpr>(E);
+    if (const FunctionDef *F = Prog.lookup(Var.Name))
+      if (F->isQpu() && !isReversibleFunction(*F, Prog))
+        return true;
+    return false;
+  }
+  case Expr::Kind::Tensor: {
+    const auto &T = cast<TensorExpr>(E);
+    return containsIrreversible(*T.Lhs, Prog) ||
+           containsIrreversible(*T.Rhs, Prog);
+  }
+  case Expr::Kind::Pipe: {
+    const auto &P = cast<PipeExpr>(E);
+    return containsIrreversible(*P.Value, Prog) ||
+           containsIrreversible(*P.Func, Prog);
+  }
+  case Expr::Kind::Adjoint:
+    return containsIrreversible(*cast<AdjointExpr>(E).Func, Prog);
+  case Expr::Kind::Predicated:
+    return containsIrreversible(*cast<PredicatedExpr>(E).Func, Prog);
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool asdf::isReversibleFunction(const FunctionDef &F, const Program &Prog) {
+  if (!F.isQpu())
+    return false;
+  for (const StmtPtr &S : F.Body) {
+    const Expr *Value = nullptr;
+    if (const auto *Ret = dyn_cast<ReturnStmt>(S.get()))
+      Value = Ret->Value.get();
+    else
+      Value = cast<AssignStmt>(S.get())->Value.get();
+    if (Value && containsIrreversible(*Value, Prog))
+      return false;
+  }
+  return true;
+}
+
+Basis asdf::evalBasis(const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::QubitLiteral: {
+    const auto &QL = cast<QubitLiteralExpr>(E);
+    return Basis::literal(BasisLiteral({QL.toBasisVector()}));
+  }
+  case Expr::Kind::BasisLiteral: {
+    const auto &BL = cast<BasisLiteralExpr>(E);
+    std::vector<BasisVector> Vecs;
+    for (const ExprPtr &V : BL.Vectors)
+      Vecs.push_back(cast<QubitLiteralExpr>(V.get())->toBasisVector());
+    return Basis::literal(BasisLiteral(std::move(Vecs)));
+  }
+  case Expr::Kind::BuiltinBasis: {
+    const auto &BB = cast<BuiltinBasisExpr>(E);
+    return Basis::builtin(BB.Prim, BB.Dim);
+  }
+  case Expr::Kind::Tensor: {
+    const auto &T = cast<TensorExpr>(E);
+    return evalBasis(*T.Lhs).tensor(evalBasis(*T.Rhs));
+  }
+  default:
+    assert(false && "evalBasis on a non-basis expression");
+    return Basis();
+  }
+}
+
+bool asdf::typeCheckProgram(Program &Prog, DiagnosticEngine &Diags) {
+  Checker C(Prog, Diags);
+  return C.run() && !Diags.hadError();
+}

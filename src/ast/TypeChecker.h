@@ -1,0 +1,40 @@
+//===- TypeChecker.h - Qwerty AST type checking (§4) ----------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type checking for the expanded Qwerty AST (§4): linear types for qubits
+/// (every quantum value used exactly once), validation of basis literals
+/// (distinct eigenbits, equal dimensions, uniform primitive basis), span
+/// equivalence checking of basis translations (§4.1), and reversibility
+/// inference for kernels used as function values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_AST_TYPECHECKER_H
+#define ASDF_AST_TYPECHECKER_H
+
+#include "ast/AST.h"
+#include "basis/Basis.h"
+
+namespace asdf {
+
+/// Type checks an expanded program in definition order, filling in the Ty
+/// field of every expression. Returns false (with diagnostics) on any error.
+bool typeCheckProgram(Program &Prog, DiagnosticEngine &Diags);
+
+/// Evaluates a *checked* basis-typed expression to its canon-form Basis
+/// value (§2.2). Asserts on non-basis nodes; call only after type checking
+/// succeeds.
+Basis evalBasis(const Expr &E);
+
+/// True if the checked function body contains no irreversible constructs
+/// (measurement, discard, classical conditionals) and so can be adjointed
+/// or predicated when used as a function value.
+bool isReversibleFunction(const FunctionDef &F, const Program &Prog);
+
+} // namespace asdf
+
+#endif // ASDF_AST_TYPECHECKER_H

@@ -1,0 +1,260 @@
+//===- Basis.cpp - Qwerty basis data structures ---------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "basis/Basis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+using namespace asdf;
+
+const char *asdf::primitiveBasisName(PrimitiveBasis Prim) {
+  switch (Prim) {
+  case PrimitiveBasis::Std:
+    return "std";
+  case PrimitiveBasis::Pm:
+    return "pm";
+  case PrimitiveBasis::Ij:
+    return "ij";
+  case PrimitiveBasis::Fourier:
+    return "fourier";
+  }
+  return "<invalid>";
+}
+
+PrimitiveBasis asdf::symbolPrimitiveBasis(QubitSymbol Sym) {
+  switch (Sym) {
+  case QubitSymbol::Zero:
+  case QubitSymbol::One:
+    return PrimitiveBasis::Std;
+  case QubitSymbol::Plus:
+  case QubitSymbol::Minus:
+    return PrimitiveBasis::Pm;
+  case QubitSymbol::ImagI:
+  case QubitSymbol::ImagJ:
+    return PrimitiveBasis::Ij;
+  }
+  return PrimitiveBasis::Std;
+}
+
+bool asdf::symbolIsMinusEigenstate(QubitSymbol Sym) {
+  switch (Sym) {
+  case QubitSymbol::Zero:
+  case QubitSymbol::Plus:
+  case QubitSymbol::ImagI:
+    return false;
+  case QubitSymbol::One:
+  case QubitSymbol::Minus:
+  case QubitSymbol::ImagJ:
+    return true;
+  }
+  return false;
+}
+
+QubitSymbol asdf::symbolFor(PrimitiveBasis Prim, bool Minus) {
+  switch (Prim) {
+  case PrimitiveBasis::Std:
+    return Minus ? QubitSymbol::One : QubitSymbol::Zero;
+  case PrimitiveBasis::Pm:
+    return Minus ? QubitSymbol::Minus : QubitSymbol::Plus;
+  case PrimitiveBasis::Ij:
+    return Minus ? QubitSymbol::ImagJ : QubitSymbol::ImagI;
+  case PrimitiveBasis::Fourier:
+    break;
+  }
+  assert(false && "fourier basis has no per-qubit symbols");
+  return QubitSymbol::Zero;
+}
+
+static char symbolChar(QubitSymbol Sym) {
+  switch (Sym) {
+  case QubitSymbol::Zero:
+    return '0';
+  case QubitSymbol::One:
+    return '1';
+  case QubitSymbol::Plus:
+    return 'p';
+  case QubitSymbol::Minus:
+    return 'm';
+  case QubitSymbol::ImagI:
+    return 'i';
+  case QubitSymbol::ImagJ:
+    return 'j';
+  }
+  return '?';
+}
+
+BasisVector BasisVector::fromString(const std::string &Symbols) {
+  assert(!Symbols.empty() && Symbols.size() <= MaxLiteralDim &&
+         "bad qubit literal length");
+  BasisVector V;
+  V.Dim = Symbols.size();
+  bool First = true;
+  for (unsigned I = 0; I < Symbols.size(); ++I) {
+    QubitSymbol Sym;
+    switch (Symbols[I]) {
+    case '0':
+      Sym = QubitSymbol::Zero;
+      break;
+    case '1':
+      Sym = QubitSymbol::One;
+      break;
+    case 'p':
+      Sym = QubitSymbol::Plus;
+      break;
+    case 'm':
+      Sym = QubitSymbol::Minus;
+      break;
+    case 'i':
+      Sym = QubitSymbol::ImagI;
+      break;
+    case 'j':
+      Sym = QubitSymbol::ImagJ;
+      break;
+    default:
+      assert(false && "invalid qubit literal character");
+      Sym = QubitSymbol::Zero;
+      break;
+    }
+    PrimitiveBasis Prim = symbolPrimitiveBasis(Sym);
+    if (First) {
+      V.Prim = Prim;
+      First = false;
+    } else {
+      assert(V.Prim == Prim && "mixed primitive bases in basis vector");
+    }
+    V.Eigenbits =
+        setBitAt(V.Eigenbits, V.Dim, I, symbolIsMinusEigenstate(Sym));
+  }
+  return V;
+}
+
+std::string BasisVector::str() const {
+  std::ostringstream OS;
+  OS << '\'';
+  for (unsigned I = 0; I < Dim; ++I)
+    OS << symbolChar(symbolFor(Prim, bitAt(Eigenbits, Dim, I)));
+  OS << '\'';
+  if (HasPhase)
+    OS << '@' << (Phase * 180.0 / M_PI);
+  return OS.str();
+}
+
+BasisLiteral::BasisLiteral(std::vector<BasisVector> Vecs)
+    : Vectors(std::move(Vecs)) {
+  assert(!Vectors.empty() && "basis literal must have at least one vector");
+  Prim = Vectors.front().Prim;
+  Dim = Vectors.front().Dim;
+#ifndef NDEBUG
+  for (const BasisVector &V : Vectors)
+    assert(V.Prim == Prim && V.Dim == Dim &&
+           "basis literal vectors must agree on primitive basis and dim");
+#endif
+}
+
+bool BasisLiteral::hasPhases() const {
+  return std::any_of(Vectors.begin(), Vectors.end(),
+                     [](const BasisVector &V) { return V.HasPhase; });
+}
+
+BasisLiteral BasisLiteral::normalized() const {
+  BasisLiteral L = *this;
+  for (BasisVector &V : L.Vectors)
+    V = V.withoutPhase();
+  std::sort(L.Vectors.begin(), L.Vectors.end(),
+            [](const BasisVector &A, const BasisVector &B) {
+              return A.eigenbitsLess(B);
+            });
+  return L;
+}
+
+bool BasisLiteral::eigenbitsDistinct() const {
+  std::vector<EigenBits> Bits;
+  Bits.reserve(Vectors.size());
+  for (const BasisVector &V : Vectors)
+    Bits.push_back(V.Eigenbits);
+  std::sort(Bits.begin(), Bits.end());
+  return std::adjacent_find(Bits.begin(), Bits.end()) == Bits.end();
+}
+
+std::string BasisLiteral::str() const {
+  std::ostringstream OS;
+  OS << '{';
+  for (unsigned I = 0; I < Vectors.size(); ++I) {
+    if (I)
+      OS << ',';
+    OS << Vectors[I].str();
+  }
+  OS << '}';
+  return OS.str();
+}
+
+std::string BasisElement::str() const {
+  switch (TheKind) {
+  case BasisElementKind::Builtin: {
+    std::ostringstream OS;
+    OS << primitiveBasisName(Prim);
+    if (Dim != 1)
+      OS << '[' << Dim << ']';
+    return OS.str();
+  }
+  case BasisElementKind::Literal:
+    return Lit.str();
+  case BasisElementKind::Padding: {
+    std::ostringstream OS;
+    OS << "pad[" << Dim << ']';
+    return OS.str();
+  }
+  }
+  return "<invalid>";
+}
+
+unsigned Basis::dim() const {
+  unsigned Total = 0;
+  for (const BasisElement &E : Elements)
+    Total += E.dim();
+  return Total;
+}
+
+bool Basis::fullySpans() const {
+  return std::all_of(Elements.begin(), Elements.end(),
+                     [](const BasisElement &E) { return E.fullySpans(); });
+}
+
+bool Basis::hasPhases() const {
+  return std::any_of(Elements.begin(), Elements.end(),
+                     [](const BasisElement &E) {
+                       return E.isLiteral() && E.literalValue().hasPhases();
+                     });
+}
+
+Basis Basis::tensor(const Basis &Other) const {
+  std::vector<BasisElement> Combined = Elements;
+  Combined.insert(Combined.end(), Other.Elements.begin(),
+                  Other.Elements.end());
+  return Basis(std::move(Combined));
+}
+
+Basis Basis::power(unsigned N) const {
+  std::vector<BasisElement> Combined;
+  Combined.reserve(Elements.size() * N);
+  for (unsigned I = 0; I < N; ++I)
+    Combined.insert(Combined.end(), Elements.begin(), Elements.end());
+  return Basis(std::move(Combined));
+}
+
+std::string Basis::str() const {
+  if (Elements.empty())
+    return "<empty>";
+  std::ostringstream OS;
+  for (unsigned I = 0; I < Elements.size(); ++I) {
+    if (I)
+      OS << " + ";
+    OS << Elements[I].str();
+  }
+  return OS.str();
+}

@@ -1,0 +1,270 @@
+//===- Basis.h - Qwerty basis data structures -----------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data structures for Qwerty bases (§2.2 of the paper): primitive bases,
+/// basis vectors, basis literals, built-in bases, and canon-form bases
+/// (sequences of basis elements). These types are shared by the AST, the
+/// Qwerty IR attributes, and circuit synthesis.
+///
+/// Conventions:
+///  - Eigenbits are stored in a uint64_t with the leftmost qubit in the most
+///    significant used bit, so that the eigenbits of '1010' read as 0b1010.
+///  - A basis literal has a single primitive basis shared by all positions of
+///    all vectors, matching the BasisVector/BasisLiteral attributes of §5.
+///  - Vector phases are stored in radians.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_BASIS_BASIS_H
+#define ASDF_BASIS_BASIS_H
+
+#include "support/BitUtils.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace asdf {
+
+/// The four primitive bases of Qwerty (§2.2).
+enum class PrimitiveBasis { Std, Pm, Ij, Fourier };
+
+/// Returns the surface-syntax name of a primitive basis.
+const char *primitiveBasisName(PrimitiveBasis Prim);
+
+/// A single symbol of a qubit literal: p, m, i, j, 0, or 1.
+enum class QubitSymbol { Zero, One, Plus, Minus, ImagI, ImagJ };
+
+/// The primitive basis a qubit symbol belongs to.
+PrimitiveBasis symbolPrimitiveBasis(QubitSymbol Sym);
+
+/// True if the symbol is the minus eigenstate of its primitive basis
+/// (1, m, or j).
+bool symbolIsMinusEigenstate(QubitSymbol Sym);
+
+/// The qubit symbol for the given primitive basis and eigenstate. Fourier
+/// has no per-qubit symbols.
+QubitSymbol symbolFor(PrimitiveBasis Prim, bool Minus);
+
+/// One vector of a basis literal: a uniform-primitive-basis qubit literal
+/// with an optional phase factor (written bv@theta in Qwerty).
+struct BasisVector {
+  PrimitiveBasis Prim = PrimitiveBasis::Std;
+  unsigned Dim = 0;
+  EigenBits Eigenbits = 0;
+  double Phase = 0.0; ///< Radians; meaningful only if HasPhase.
+  bool HasPhase = false;
+
+  BasisVector() = default;
+  BasisVector(PrimitiveBasis Prim, unsigned Dim, EigenBits Eigenbits)
+      : Prim(Prim), Dim(Dim), Eigenbits(Eigenbits) {}
+  BasisVector(PrimitiveBasis Prim, unsigned Dim, EigenBits Eigenbits,
+              double Phase)
+      : Prim(Prim), Dim(Dim), Eigenbits(Eigenbits), Phase(Phase),
+        HasPhase(true) {}
+
+  /// Builds a vector from a string of '0'/'1'/'p'/'m'/'i'/'j' characters.
+  /// Asserts that all characters share one primitive basis.
+  static BasisVector fromString(const std::string &Symbols);
+
+  /// Strips the phase factor.
+  BasisVector withoutPhase() const {
+    BasisVector V = *this;
+    V.Phase = 0.0;
+    V.HasPhase = false;
+    return V;
+  }
+
+  /// Compares eigenbits only (phases and primitive basis ignored); used for
+  /// the lexicographic sort during normalization.
+  bool eigenbitsLess(const BasisVector &Other) const {
+    return Eigenbits < Other.Eigenbits;
+  }
+
+  bool operator==(const BasisVector &Other) const {
+    return Prim == Other.Prim && Dim == Other.Dim &&
+           Eigenbits == Other.Eigenbits && HasPhase == Other.HasPhase &&
+           (!HasPhase || Phase == Other.Phase);
+  }
+
+  std::string str() const;
+};
+
+/// A basis literal {bv1, bv2, ..., bvm} (§2.2). All vectors share the
+/// literal's primitive basis and dimension.
+struct BasisLiteral {
+  PrimitiveBasis Prim = PrimitiveBasis::Std;
+  unsigned Dim = 0;
+  std::vector<BasisVector> Vectors;
+
+  BasisLiteral() = default;
+  explicit BasisLiteral(std::vector<BasisVector> Vecs);
+
+  unsigned size() const { return Vectors.size(); }
+
+  /// True if the literal contains all 2^Dim vectors, i.e. spans the whole
+  /// 2^Dim-dimensional space.
+  bool fullySpans() const {
+    return Dim < 63 && Vectors.size() == (uint64_t(1) << Dim);
+  }
+
+  /// True if any vector carries a phase factor.
+  bool hasPhases() const;
+
+  /// Returns a phase-free literal with vectors sorted lexicographically by
+  /// eigenbits — the normal form used by span checking (§4.1).
+  BasisLiteral normalized() const;
+
+  /// True if eigenbits are pairwise distinct (a well-typedness condition).
+  bool eigenbitsDistinct() const;
+
+  bool operator==(const BasisLiteral &Other) const {
+    return Prim == Other.Prim && Dim == Other.Dim && Vectors == Other.Vectors;
+  }
+
+  std::string str() const;
+};
+
+/// Discriminator for BasisElement.
+enum class BasisElementKind {
+  Builtin, ///< An N-qubit primitive basis, e.g. pm[4].
+  Literal, ///< A basis literal, e.g. {'10','01'}.
+  Padding, ///< Internal: placeholder for qubits consumed by an inseparable
+           ///< element on the other side (Algorithm E6 only).
+};
+
+/// One element of a canon-form basis: a built-in basis, a basis literal, or
+/// (inside the standardization algorithm only) padding.
+class BasisElement {
+public:
+  static BasisElement builtin(PrimitiveBasis Prim, unsigned Dim) {
+    BasisElement E;
+    E.TheKind = BasisElementKind::Builtin;
+    E.Prim = Prim;
+    E.Dim = Dim;
+    return E;
+  }
+  static BasisElement literal(BasisLiteral Lit) {
+    BasisElement E;
+    E.TheKind = BasisElementKind::Literal;
+    E.Prim = Lit.Prim;
+    E.Dim = Lit.Dim;
+    E.Lit = std::move(Lit);
+    return E;
+  }
+  static BasisElement padding(unsigned Dim) {
+    BasisElement E;
+    E.TheKind = BasisElementKind::Padding;
+    E.Dim = Dim;
+    return E;
+  }
+
+  BasisElementKind kind() const { return TheKind; }
+  bool isBuiltin() const { return TheKind == BasisElementKind::Builtin; }
+  bool isLiteral() const { return TheKind == BasisElementKind::Literal; }
+  bool isPadding() const { return TheKind == BasisElementKind::Padding; }
+
+  unsigned dim() const { return Dim; }
+  PrimitiveBasis prim() const {
+    assert(!isPadding() && "padding has no primitive basis");
+    return Prim;
+  }
+  const BasisLiteral &literalValue() const {
+    assert(isLiteral() && "not a literal element");
+    return Lit;
+  }
+  BasisLiteral &literalValue() {
+    assert(isLiteral() && "not a literal element");
+    return Lit;
+  }
+
+  /// True if this element spans the full 2^dim space: built-in bases always
+  /// do; literals do when they contain all 2^dim vectors. Padding never does.
+  bool fullySpans() const {
+    if (isBuiltin())
+      return true;
+    if (isLiteral())
+      return Lit.fullySpans();
+    return false;
+  }
+
+  /// Normal form for span checking: literals get phases stripped and vectors
+  /// sorted.
+  BasisElement normalized() const {
+    if (isLiteral())
+      return literal(Lit.normalized());
+    return *this;
+  }
+
+  bool operator==(const BasisElement &Other) const {
+    if (TheKind != Other.TheKind || Dim != Other.Dim)
+      return false;
+    if (isPadding())
+      return true;
+    if (Prim != Other.Prim)
+      return false;
+    return !isLiteral() || Lit == Other.Lit;
+  }
+
+  std::string str() const;
+
+private:
+  BasisElementKind TheKind = BasisElementKind::Builtin;
+  PrimitiveBasis Prim = PrimitiveBasis::Std;
+  unsigned Dim = 0;
+  BasisLiteral Lit;
+};
+
+/// A canon-form basis: a tensor product (sequence) of basis elements (§2.2).
+class Basis {
+public:
+  Basis() = default;
+  explicit Basis(std::vector<BasisElement> Elements)
+      : Elements(std::move(Elements)) {}
+
+  static Basis builtin(PrimitiveBasis Prim, unsigned Dim) {
+    return Basis({BasisElement::builtin(Prim, Dim)});
+  }
+  static Basis literal(BasisLiteral Lit) {
+    return Basis({BasisElement::literal(std::move(Lit))});
+  }
+
+  const std::vector<BasisElement> &elements() const { return Elements; }
+  std::vector<BasisElement> &elements() { return Elements; }
+  bool empty() const { return Elements.empty(); }
+  unsigned size() const { return Elements.size(); }
+
+  /// Total number of qubits across all elements.
+  unsigned dim() const;
+
+  /// True if every element fully spans.
+  bool fullySpans() const;
+
+  /// True if any literal vector anywhere carries a phase.
+  bool hasPhases() const;
+
+  /// Tensor product: concatenation of element lists (§5.1).
+  Basis tensor(const Basis &Other) const;
+
+  /// N-fold tensor power (the b[N] surface syntax).
+  Basis power(unsigned N) const;
+
+  bool operator==(const Basis &Other) const {
+    return Elements == Other.Elements;
+  }
+
+  std::string str() const;
+
+private:
+  std::vector<BasisElement> Elements;
+};
+
+} // namespace asdf
+
+#endif // ASDF_BASIS_BASIS_H

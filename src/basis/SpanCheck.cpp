@@ -1,0 +1,239 @@
+//===- SpanCheck.cpp - Span equivalence checking (§4.1, Appendix B) -------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "basis/SpanCheck.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+using namespace asdf;
+
+/// Collects the sorted, deduplicated list of \p Len-bit prefixes across the
+/// vectors of \p Lit.
+static std::vector<EigenBits> distinctPrefixes(const BasisLiteral &Lit,
+                                              unsigned Len) {
+  std::vector<EigenBits> Prefixes;
+  Prefixes.reserve(Lit.Vectors.size());
+  for (const BasisVector &V : Lit.Vectors)
+    Prefixes.push_back(bitPrefix(V.Eigenbits, Lit.Dim, Len));
+  std::sort(Prefixes.begin(), Prefixes.end());
+  Prefixes.erase(std::unique(Prefixes.begin(), Prefixes.end()),
+                 Prefixes.end());
+  return Prefixes;
+}
+
+/// Counts occurrences of each (Lit.Dim - PrefixLen)-bit suffix across the
+/// vectors of \p Lit. The resulting map is ordered, which keeps remainder
+/// literals deterministic (sorted by eigenbits).
+static std::map<EigenBits, unsigned> suffixCounts(const BasisLiteral &Lit,
+                                                 unsigned PrefixLen) {
+  std::map<EigenBits, unsigned> Counts;
+  unsigned SuffixLen = Lit.Dim - PrefixLen;
+  for (const BasisVector &V : Lit.Vectors)
+    ++Counts[bitSuffix(V.Eigenbits, SuffixLen)];
+  return Counts;
+}
+
+/// Builds a phase-free literal over \p Dim qubits from sorted eigenbit keys.
+static BasisLiteral literalFromBits(PrimitiveBasis Prim, unsigned Dim,
+                                    const std::map<EigenBits, unsigned> &Bits) {
+  std::vector<BasisVector> Vecs;
+  Vecs.reserve(Bits.size());
+  for (const auto &[Eigenbits, Count] : Bits) {
+    (void)Count;
+    Vecs.push_back(BasisVector(Prim, Dim, Eigenbits));
+  }
+  return BasisLiteral(std::move(Vecs));
+}
+
+std::optional<BasisLiteral>
+asdf::factorFullSpanPrefix(const BasisLiteral &Lit, unsigned PrefixDim) {
+  assert(PrefixDim > 0 && PrefixDim < Lit.Dim && "bad prefix dimension");
+  uint64_t M = Lit.Vectors.size();
+  // Corollary B.4: 2^n must divide m. PrefixDim >= 64 can never be satisfied
+  // by a literal small enough to build in memory.
+  if (PrefixDim >= MaxLiteralDim)
+    return std::nullopt;
+  uint64_t PrefixCount = uint64_t(1) << PrefixDim;
+  if (M % PrefixCount != 0)
+    return std::nullopt;
+
+  // Line 3-5 of Algorithm B3: there must be exactly 2^n distinct prefixes.
+  if (distinctPrefixes(Lit, PrefixDim).size() != PrefixCount)
+    return std::nullopt;
+
+  // Line 6-8: every suffix must appear exactly 2^n times (>= per the paper;
+  // the prefix-distinctness of vectors makes > impossible).
+  std::map<EigenBits, unsigned> Suffixes = suffixCounts(Lit, PrefixDim);
+  for (const auto &[Suffix, Count] : Suffixes) {
+    (void)Suffix;
+    if (Count != PrefixCount)
+      return std::nullopt;
+  }
+  if (Suffixes.size() * PrefixCount != M)
+    return std::nullopt;
+
+  return literalFromBits(Lit.Prim, Lit.Dim - PrefixDim, Suffixes);
+}
+
+std::optional<BasisLiteral>
+asdf::factorLiteralPrefix(const BasisLiteral &Big, const BasisLiteral &Small) {
+  // Line 1-2 of Algorithm B4: primitive bases must match.
+  if (Big.Prim != Small.Prim)
+    return std::nullopt;
+  assert(Big.Dim > Small.Dim && "factorLiteralPrefix requires a bigger lhs");
+  uint64_t M = Big.Vectors.size();
+  uint64_t MPrime = Small.Vectors.size();
+  // Line 3-4: m must be divisible by m'.
+  if (M % MPrime != 0)
+    return std::nullopt;
+
+  unsigned N = Small.Dim;
+  // Line 6-8: the distinct prefixes must be exactly Small's vectors.
+  std::vector<EigenBits> Prefixes = distinctPrefixes(Big, N);
+  if (Prefixes.size() != MPrime)
+    return std::nullopt;
+  std::vector<EigenBits> SmallBits;
+  SmallBits.reserve(MPrime);
+  for (const BasisVector &V : Small.Vectors)
+    SmallBits.push_back(V.Eigenbits);
+  std::sort(SmallBits.begin(), SmallBits.end());
+  if (Prefixes != SmallBits)
+    return std::nullopt;
+
+  // Line 9-11: every suffix must appear exactly m' times.
+  std::map<EigenBits, unsigned> Suffixes = suffixCounts(Big, N);
+  for (const auto &[Suffix, Count] : Suffixes) {
+    (void)Suffix;
+    if (Count != MPrime)
+      return std::nullopt;
+  }
+  if (Suffixes.size() * MPrime != M)
+    return std::nullopt;
+
+  return literalFromBits(Big.Prim, Big.Dim - N, Suffixes);
+}
+
+std::optional<std::pair<BasisLiteral, BasisLiteral>>
+asdf::factorLiteralAt(const BasisLiteral &Lit, unsigned PrefixDim) {
+  assert(PrefixDim > 0 && PrefixDim < Lit.Dim && "bad prefix dimension");
+  uint64_t M = Lit.Vectors.size();
+  std::vector<EigenBits> Prefixes = distinctPrefixes(Lit, PrefixDim);
+  std::map<EigenBits, unsigned> Suffixes = suffixCounts(Lit, PrefixDim);
+  if (Prefixes.size() * Suffixes.size() != M)
+    return std::nullopt;
+  // Every (prefix, suffix) pair must be present; given the counts above it
+  // suffices that every suffix appears |Prefixes| times.
+  for (const auto &[Suffix, Count] : Suffixes) {
+    (void)Suffix;
+    if (Count != Prefixes.size())
+      return std::nullopt;
+  }
+
+  std::vector<BasisVector> PrefixVecs;
+  PrefixVecs.reserve(Prefixes.size());
+  for (EigenBits Bits : Prefixes)
+    PrefixVecs.push_back(BasisVector(Lit.Prim, PrefixDim, Bits));
+  BasisLiteral Prefix(std::move(PrefixVecs));
+  BasisLiteral Suffix =
+      literalFromBits(Lit.Prim, Lit.Dim - PrefixDim, Suffixes);
+  return std::make_pair(std::move(Prefix), std::move(Suffix));
+}
+
+BasisLiteral asdf::builtinToLiteral(PrimitiveBasis Prim, unsigned Dim) {
+  assert(Prim != PrimitiveBasis::Fourier &&
+         "fourier is inseparable; it cannot be expanded into a literal");
+  assert(Dim > 0 && Dim < 20 && "builtinToLiteral dimension too large");
+  std::vector<BasisVector> Vecs;
+  Vecs.reserve(uint64_t(1) << Dim);
+  for (EigenBits Bits = 0; Bits < (EigenBits(1) << Dim); ++Bits)
+    Vecs.push_back(BasisVector(Prim, Dim, Bits));
+  return BasisLiteral(std::move(Vecs));
+}
+
+BasisLiteral asdf::mergeElements(const BasisElement &Lhs,
+                                 const BasisElement &Rhs) {
+  assert(!Lhs.isPadding() && !Rhs.isPadding() && "cannot merge padding");
+  BasisLiteral L = Lhs.isLiteral() ? Lhs.literalValue()
+                                   : builtinToLiteral(Lhs.prim(), Lhs.dim());
+  BasisLiteral R = Rhs.isLiteral() ? Rhs.literalValue()
+                                   : builtinToLiteral(Rhs.prim(), Rhs.dim());
+  assert(L.Prim == R.Prim && "merging literals of mixed primitive bases");
+  std::vector<BasisVector> Vecs;
+  Vecs.reserve(uint64_t(L.Vectors.size()) * R.Vectors.size());
+  for (const BasisVector &A : L.Vectors)
+    for (const BasisVector &B : R.Vectors) {
+      BasisVector V(L.Prim, L.Dim + R.Dim,
+                    bitConcat(A.Eigenbits, B.Eigenbits, R.Dim));
+      if (A.HasPhase || B.HasPhase) {
+        V.HasPhase = true;
+        V.Phase = (A.HasPhase ? A.Phase : 0.0) + (B.HasPhase ? B.Phase : 0.0);
+      }
+      Vecs.push_back(V);
+    }
+  return BasisLiteral(std::move(Vecs));
+}
+
+bool asdf::spansEquivalent(const Basis &BIn, const Basis &BOut) {
+  // Line 1-2 of Algorithm B1: normalize each element into the two deques.
+  std::deque<BasisElement> LDeque, RDeque;
+  for (const BasisElement &E : BIn.elements())
+    LDeque.push_back(E.normalized());
+  for (const BasisElement &E : BOut.elements())
+    RDeque.push_back(E.normalized());
+
+  while (!LDeque.empty() && !RDeque.empty()) {
+    BasisElement L = std::move(LDeque.front());
+    LDeque.pop_front();
+    BasisElement R = std::move(RDeque.front());
+    RDeque.pop_front();
+
+    if (L.dim() == R.dim()) {
+      // Line 7: equal (post-normalization) or both fully spanning.
+      if (L == R || (L.fullySpans() && R.fullySpans()))
+        continue;
+      return false;
+    }
+
+    // Line 11-17: factor the smaller element out of the bigger one
+    // (Algorithm B2), pushing the remainder back for the next iteration.
+    bool LeftIsBig = L.dim() > R.dim();
+    BasisElement &Big = LeftIsBig ? L : R;
+    BasisElement &Small = LeftIsBig ? R : L;
+    std::deque<BasisElement> &BigDeque = LeftIsBig ? LDeque : RDeque;
+    unsigned Delta = Big.dim() - Small.dim();
+
+    if (Big.fullySpans() && Small.fullySpans()) {
+      // Lines 1-5 of Algorithm B2 (Lemmas B.1 and B.2).
+      BigDeque.push_front(BasisElement::builtin(Big.prim(), Delta));
+      continue;
+    }
+    if (Small.fullySpans() && Big.isLiteral()) {
+      // Lines 6-9 of Algorithm B2, via Algorithm B3.
+      std::optional<BasisLiteral> Remainder =
+          factorFullSpanPrefix(Big.literalValue(), Small.dim());
+      if (!Remainder)
+        return false;
+      BigDeque.push_front(BasisElement::literal(std::move(*Remainder)));
+      continue;
+    }
+    if (Big.isLiteral() && Small.isLiteral()) {
+      // Lines 10-13 of Algorithm B2, via Algorithm B4.
+      std::optional<BasisLiteral> Remainder =
+          factorLiteralPrefix(Big.literalValue(), Small.literalValue());
+      if (!Remainder)
+        return false;
+      BigDeque.push_front(BasisElement::literal(std::move(*Remainder)));
+      continue;
+    }
+    // Line 14 of Algorithm B2: no factoring case applies.
+    return false;
+  }
+
+  // Line 18-19 of Algorithm B1: leftover elements mean a dimension mismatch.
+  return LDeque.empty() && RDeque.empty();
+}

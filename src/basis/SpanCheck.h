@@ -1,0 +1,68 @@
+//===- SpanCheck.h - Span equivalence checking (§4.1, Appendix B) ---------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Efficient span-equivalence checking for basis translations. A basis
+/// translation b_in >> b_out is well-typed only if span(b_in) = span(b_out);
+/// checking this naively can take exponential time (e.g. {'0','1'}[64]), so
+/// Asdf factors basis elements instead, running in O(k^2 log k) for k AST
+/// nodes (Algorithms B1-B4 and Theorem B.6 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_BASIS_SPANCHECK_H
+#define ASDF_BASIS_SPANCHECK_H
+
+#include "basis/Basis.h"
+
+#include <optional>
+#include <utility>
+
+namespace asdf {
+
+/// Tries to factor a fully-spanning prefix of \p PrefixDim qubits from the
+/// (normalized) basis literal \p Lit (Algorithm B3). On success, returns the
+/// remainder literal over the trailing (Lit.Dim - PrefixDim) qubits such that
+/// span(Lit) = H2^PrefixDim (x) span(remainder). Returns std::nullopt if no
+/// such factoring exists.
+std::optional<BasisLiteral> factorFullSpanPrefix(const BasisLiteral &Lit,
+                                                 unsigned PrefixDim);
+
+/// Tries to factor the (normalized) literal \p Small from the front of the
+/// (normalized) literal \p Big (Algorithm B4): succeeds iff
+/// span(Big) = span(Small) (x) span(remainder) with the prefix vectors being
+/// exactly Small's vectors. Returns the remainder on success.
+std::optional<BasisLiteral> factorLiteralPrefix(const BasisLiteral &Big,
+                                                const BasisLiteral &Small);
+
+/// General prefix factoring used by basis alignment (Appendix F): attempts to
+/// write \p Lit as Prefix (x) Suffix where Prefix has \p PrefixDim qubits.
+/// Unlike Algorithm B4, the prefix is discovered rather than given. Phases
+/// are preserved only when they can be attributed entirely to the prefix or
+/// entirely to the suffix; otherwise factoring fails so the caller falls back
+/// to merging.
+std::optional<std::pair<BasisLiteral, BasisLiteral>>
+factorLiteralAt(const BasisLiteral &Lit, unsigned PrefixDim);
+
+/// Merges two adjacent basis elements into one literal (the fallback of
+/// Algorithm E7 when factoring is impossible). Built-in elements are
+/// expanded into fully-spanning std-eigenbit literals of their primitive
+/// basis; the result has Lhs.dim() + Rhs.dim() qubits and
+/// |Lhs| * |Rhs| vectors. Requires matching primitive bases for literals.
+BasisLiteral mergeElements(const BasisElement &Lhs, const BasisElement &Rhs);
+
+/// Expands a built-in basis element into the equivalent basis literal
+/// ({'0','1'}-style, in that primitive basis). Asserts dim is small enough
+/// to enumerate (used only during alignment/merging of narrow elements).
+BasisLiteral builtinToLiteral(PrimitiveBasis Prim, unsigned Dim);
+
+/// Checks span(b_in) = span(b_out) in O(k^2 log k) time (Algorithm B1).
+/// Inputs need not be normalized; phases are ignored as in the paper.
+bool spansEquivalent(const Basis &BIn, const Basis &BOut);
+
+} // namespace asdf
+
+#endif // ASDF_BASIS_SPANCHECK_H

@@ -1,0 +1,305 @@
+//===- LogicNetwork.cpp - Classical logic network --------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classical/LogicNetwork.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace asdf;
+
+Signal LogicNetwork::makeXor(Signal A, Signal B) {
+  // Constant folding.
+  if (A.Node == 0)
+    return A.Inverted ? !B : B;
+  if (B.Node == 0)
+    return B.Inverted ? !A : A;
+  if (A.Node == B.Node)
+    return constSignal(A.Inverted != B.Inverted);
+  // Normalize: propagate complements out (a ^ !b == !(a ^ b)), order fanins.
+  bool Out = A.Inverted != B.Inverted;
+  A.Inverted = false;
+  B.Inverted = false;
+  if (B < A)
+    std::swap(A, B);
+  auto Key = std::make_pair(A, B);
+  auto It = XorCache.find(Key);
+  if (It != XorCache.end())
+    return Out ? !It->second : It->second;
+  LogicNode N;
+  N.TheKind = LogicNode::Kind::Xor;
+  N.Fanins = {A, B};
+  Nodes.push_back(std::move(N));
+  Signal S(Nodes.size() - 1, false);
+  XorCache[Key] = S;
+  return Out ? !S : S;
+}
+
+Signal LogicNetwork::makeAnd(Signal A, Signal B) {
+  // Constant folding.
+  if (A.Node == 0)
+    return A.Inverted ? B : constSignal(false);
+  if (B.Node == 0)
+    return B.Inverted ? A : constSignal(false);
+  if (A == B)
+    return A;
+  if (A.Node == B.Node)
+    return constSignal(false); // a & !a
+  // Flatten AND trees into one n-ary node (non-inverted AND fanins merge).
+  std::vector<Signal> Fanins;
+  auto Absorb = [&](Signal S) {
+    if (!S.Inverted && Nodes[S.Node].TheKind == LogicNode::Kind::And) {
+      const auto &Sub = Nodes[S.Node].Fanins;
+      Fanins.insert(Fanins.end(), Sub.begin(), Sub.end());
+    } else {
+      Fanins.push_back(S);
+    }
+  };
+  Absorb(A);
+  Absorb(B);
+  std::sort(Fanins.begin(), Fanins.end());
+  Fanins.erase(std::unique(Fanins.begin(), Fanins.end()), Fanins.end());
+  // a & !a within the flattened set.
+  for (unsigned I = 0; I + 1 < Fanins.size(); ++I)
+    if (Fanins[I].Node == Fanins[I + 1].Node)
+      return constSignal(false);
+  if (Fanins.size() == 1)
+    return Fanins.front();
+  auto It = AndCache.find(Fanins);
+  if (It != AndCache.end())
+    return It->second;
+  LogicNode N;
+  N.TheKind = LogicNode::Kind::And;
+  N.Fanins = Fanins;
+  Nodes.push_back(std::move(N));
+  Signal S(Nodes.size() - 1, false);
+  AndCache[std::move(Fanins)] = S;
+  return S;
+}
+
+unsigned LogicNetwork::numAndNodes() const {
+  // Count only AND nodes reachable from the outputs; structural hashing can
+  // leave dead intermediate nodes behind.
+  std::vector<bool> Reached(Nodes.size(), false);
+  std::vector<uint32_t> Stack;
+  for (Signal S : Outputs)
+    Stack.push_back(S.Node);
+  while (!Stack.empty()) {
+    uint32_t Id = Stack.back();
+    Stack.pop_back();
+    if (Reached[Id])
+      continue;
+    Reached[Id] = true;
+    for (Signal F : Nodes[Id].Fanins)
+      Stack.push_back(F.Node);
+  }
+  unsigned Count = 0;
+  for (unsigned I = 0; I < Nodes.size(); ++I)
+    if (Reached[I] && Nodes[I].TheKind == LogicNode::Kind::And)
+      ++Count;
+  return Count;
+}
+
+std::vector<bool> LogicNetwork::evaluate(
+    const std::vector<bool> &Inputs) const {
+  assert(Inputs.size() == NumInputs && "wrong input width");
+  std::vector<bool> Values(Nodes.size(), false);
+  auto Read = [&](Signal S) { return Values[S.Node] != S.Inverted; };
+  for (unsigned I = 1; I < Nodes.size(); ++I) {
+    const LogicNode &N = Nodes[I];
+    switch (N.TheKind) {
+    case LogicNode::Kind::ConstFalse:
+      break;
+    case LogicNode::Kind::PrimaryInput:
+      Values[I] = Inputs[N.InputIndex];
+      break;
+    case LogicNode::Kind::Xor:
+      Values[I] = Read(N.Fanins[0]) != Read(N.Fanins[1]);
+      break;
+    case LogicNode::Kind::And: {
+      bool All = true;
+      for (Signal S : N.Fanins)
+        All = All && Read(S);
+      Values[I] = All;
+      break;
+    }
+    }
+  }
+  std::vector<bool> Out;
+  for (Signal S : Outputs)
+    Out.push_back(Read(S));
+  return Out;
+}
+
+std::string LogicNetwork::str() const {
+  std::ostringstream OS;
+  auto Sig = [](Signal S) {
+    return std::string(S.Inverted ? "!" : "") + "n" + std::to_string(S.Node);
+  };
+  for (unsigned I = 0; I < Nodes.size(); ++I) {
+    const LogicNode &N = Nodes[I];
+    OS << 'n' << I << " = ";
+    switch (N.TheKind) {
+    case LogicNode::Kind::ConstFalse:
+      OS << "false";
+      break;
+    case LogicNode::Kind::PrimaryInput:
+      OS << "input " << N.InputIndex;
+      break;
+    case LogicNode::Kind::Xor:
+      OS << Sig(N.Fanins[0]) << " ^ " << Sig(N.Fanins[1]);
+      break;
+    case LogicNode::Kind::And:
+      for (unsigned J = 0; J < N.Fanins.size(); ++J)
+        OS << (J ? " & " : "") << Sig(N.Fanins[J]);
+      break;
+    }
+    OS << '\n';
+  }
+  OS << "outputs:";
+  for (Signal S : Outputs)
+    OS << ' ' << Sig(S);
+  OS << '\n';
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Classical AST -> network
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class NetworkBuilder {
+public:
+  NetworkBuilder(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  std::optional<LogicNetwork> build(const FunctionDef &F);
+
+private:
+  DiagnosticEngine &Diags;
+  LogicNetwork Net;
+  std::map<std::string, std::vector<Signal>> Env;
+
+  std::optional<std::vector<Signal>> eval(const Expr &E);
+};
+
+std::optional<std::vector<Signal>> NetworkBuilder::eval(const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::Variable: {
+    const auto &Var = cast<VariableExpr>(E);
+    auto It = Env.find(Var.Name);
+    if (It == Env.end()) {
+      Diags.error(E.loc(), "unknown variable '" + Var.Name +
+                               "' in classical function");
+      return std::nullopt;
+    }
+    return It->second;
+  }
+  case Expr::Kind::BitLiteral: {
+    const auto &Lit = cast<BitLiteralExpr>(E);
+    std::vector<Signal> Out;
+    for (bool B : Lit.Bits)
+      Out.push_back(Net.constSignal(B));
+    return Out;
+  }
+  case Expr::Kind::ClassicalBinary: {
+    const auto &Bin = cast<ClassicalBinaryExpr>(E);
+    auto L = eval(*Bin.Lhs);
+    auto R = eval(*Bin.Rhs);
+    if (!L || !R)
+      return std::nullopt;
+    assert(L->size() == R->size() && "checked widths must match");
+    std::vector<Signal> Out;
+    for (unsigned I = 0; I < L->size(); ++I) {
+      switch (Bin.Op) {
+      case ClassicalBinaryExpr::OpKind::And:
+        Out.push_back(Net.makeAnd((*L)[I], (*R)[I]));
+        break;
+      case ClassicalBinaryExpr::OpKind::Or:
+        Out.push_back(Net.makeOr((*L)[I], (*R)[I]));
+        break;
+      case ClassicalBinaryExpr::OpKind::Xor:
+        Out.push_back(Net.makeXor((*L)[I], (*R)[I]));
+        break;
+      }
+    }
+    return Out;
+  }
+  case Expr::Kind::ClassicalNot: {
+    auto V = eval(*cast<ClassicalNotExpr>(E).Operand);
+    if (!V)
+      return std::nullopt;
+    for (Signal &S : *V)
+      S = !S;
+    return V;
+  }
+  case Expr::Kind::ClassicalReduce: {
+    const auto &R = cast<ClassicalReduceExpr>(E);
+    auto V = eval(*R.Operand);
+    if (!V || V->empty())
+      return std::nullopt;
+    Signal Acc = (*V)[0];
+    for (unsigned I = 1; I < V->size(); ++I) {
+      switch (R.Op) {
+      case ClassicalReduceExpr::OpKind::Xor:
+        Acc = Net.makeXor(Acc, (*V)[I]);
+        break;
+      case ClassicalReduceExpr::OpKind::And:
+        Acc = Net.makeAnd(Acc, (*V)[I]);
+        break;
+      case ClassicalReduceExpr::OpKind::Or:
+        Acc = Net.makeOr(Acc, (*V)[I]);
+        break;
+      }
+    }
+    return std::vector<Signal>{Acc};
+  }
+  case Expr::Kind::ClassicalRepeat: {
+    const auto &R = cast<ClassicalRepeatExpr>(E);
+    auto V = eval(*R.Operand);
+    if (!V || V->size() != 1)
+      return std::nullopt;
+    return std::vector<Signal>(R.Factor->constValue(), (*V)[0]);
+  }
+  default:
+    Diags.error(E.loc(), "unsupported expression in classical function");
+    return std::nullopt;
+  }
+}
+
+std::optional<LogicNetwork> NetworkBuilder::build(const FunctionDef &F) {
+  for (const Param &P : F.Params) {
+    std::vector<Signal> Bits;
+    for (unsigned I = 0; I < P.Ty.dim(); ++I)
+      Bits.push_back(Net.addInput());
+    Env[P.Name] = std::move(Bits);
+  }
+  for (const StmtPtr &S : F.Body) {
+    if (const auto *Ret = dyn_cast<ReturnStmt>(S.get())) {
+      auto V = eval(*Ret->Value);
+      if (!V)
+        return std::nullopt;
+      for (Signal Sig : *V)
+        Net.addOutput(Sig);
+      return std::move(Net);
+    }
+    const auto *Assign = cast<AssignStmt>(S.get());
+    auto V = eval(*Assign->Value);
+    if (!V)
+      return std::nullopt;
+    Env[Assign->Names[0]] = std::move(*V);
+  }
+  Diags.error(F.Loc, "classical function missing return");
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<LogicNetwork> asdf::buildLogicNetwork(const FunctionDef &F,
+                                                    DiagnosticEngine &Diags) {
+  NetworkBuilder B(Diags);
+  return B.build(F);
+}

@@ -1,0 +1,121 @@
+//===- LogicNetwork.h - Classical logic network (mockturtle substitute) ---===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An XAG-style (XOR-AND graph) logic network standing in for mockturtle
+/// (§6.4). `classical` function bodies are compiled into this network,
+/// optimized (constant propagation, structural hashing, AND/XOR-tree
+/// flattening), and then synthesized into reversible circuits by
+/// ReversibleSynth (the tweedledum substitute).
+///
+/// Signals are node ids with a complement flag, so NOT is free. AND nodes
+/// are n-ary (AND trees are flattened), which lets the synthesizer emit one
+/// multi-controlled X per AND cone — the behavior that makes Tweedledum's
+/// oracles ancilla-lean compared with Quipper's (§8.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_CLASSICAL_LOGICNETWORK_H
+#define ASDF_CLASSICAL_LOGICNETWORK_H
+
+#include "ast/AST.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace asdf {
+
+/// A possibly-complemented reference to a logic node.
+struct Signal {
+  uint32_t Node = 0; ///< Node index; node 0 is constant false.
+  bool Inverted = false;
+
+  Signal() = default;
+  Signal(uint32_t Node, bool Inverted) : Node(Node), Inverted(Inverted) {}
+
+  Signal operator!() const { return Signal(Node, !Inverted); }
+  bool operator==(const Signal &O) const {
+    return Node == O.Node && Inverted == O.Inverted;
+  }
+  bool operator<(const Signal &O) const {
+    return std::tie(Node, Inverted) < std::tie(O.Node, O.Inverted);
+  }
+};
+
+/// One node of the network.
+struct LogicNode {
+  enum class Kind {
+    ConstFalse, ///< Node 0 only.
+    PrimaryInput,
+    Xor, ///< Binary XOR of Fanins[0], Fanins[1].
+    And, ///< N-ary AND of Fanins.
+  };
+  Kind TheKind = Kind::ConstFalse;
+  std::vector<Signal> Fanins;
+  unsigned InputIndex = 0; ///< For PrimaryInput.
+};
+
+/// The XOR-AND network.
+class LogicNetwork {
+public:
+  LogicNetwork() {
+    Nodes.push_back(LogicNode()); // node 0 = constant false
+  }
+
+  Signal constSignal(bool Value) { return Signal(0, Value); }
+  Signal addInput() {
+    LogicNode N;
+    N.TheKind = LogicNode::Kind::PrimaryInput;
+    N.InputIndex = NumInputs++;
+    Nodes.push_back(std::move(N));
+    return Signal(Nodes.size() - 1, false);
+  }
+
+  /// Builds XOR with constant folding and structural hashing.
+  Signal makeXor(Signal A, Signal B);
+  /// Builds binary AND (flattening nested ANDs into n-ary nodes) with
+  /// constant folding and structural hashing.
+  Signal makeAnd(Signal A, Signal B);
+  Signal makeOr(Signal A, Signal B) { return !makeAnd(!A, !B); }
+  Signal makeNot(Signal A) { return !A; }
+
+  void addOutput(Signal S) { Outputs.push_back(S); }
+
+  unsigned numInputs() const { return NumInputs; }
+  unsigned numOutputs() const { return Outputs.size(); }
+  const std::vector<Signal> &outputs() const { return Outputs; }
+  const LogicNode &node(uint32_t Id) const { return Nodes[Id]; }
+  unsigned numNodes() const { return Nodes.size(); }
+
+  /// Counts AND nodes (the expensive ones quantumly: each needs Toffolis).
+  unsigned numAndNodes() const;
+
+  /// Evaluates the network on a concrete input (bit 0 = input 0).
+  std::vector<bool> evaluate(const std::vector<bool> &Inputs) const;
+
+  std::string str() const;
+
+private:
+  std::vector<LogicNode> Nodes;
+  std::vector<Signal> Outputs;
+  unsigned NumInputs = 0;
+  /// Structural hashing tables.
+  std::map<std::pair<Signal, Signal>, Signal> XorCache;
+  std::map<std::vector<Signal>, Signal> AndCache;
+};
+
+/// Compiles a checked `classical` FunctionDef into a logic network. Inputs
+/// are the function's (uncaptured, post-expansion) parameters concatenated
+/// left to right. Returns std::nullopt on unsupported constructs.
+std::optional<LogicNetwork> buildLogicNetwork(const FunctionDef &F,
+                                              DiagnosticEngine &Diags);
+
+} // namespace asdf
+
+#endif // ASDF_CLASSICAL_LOGICNETWORK_H

@@ -1,0 +1,185 @@
+//===- ReversibleSynth.cpp - Classical-to-reversible synthesis (§6.4) -----===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classical/ReversibleSynth.h"
+
+#include <map>
+
+using namespace asdf;
+
+namespace {
+
+/// A recorded compute-phase gate, replayed in reverse to uncompute.
+struct LoggedGate {
+  std::vector<ControlSpec> Controls;
+  unsigned Target;
+};
+
+class Synthesizer {
+public:
+  Synthesizer(GateEmitter &E, const LogicNetwork &Net,
+              const std::vector<unsigned> &InWires,
+              const std::vector<ControlSpec> &PredControls)
+      : E(E), Net(Net), InWires(InWires), PredControls(PredControls) {}
+
+  bool run(const std::vector<unsigned> &OutWires);
+
+private:
+  GateEmitter &E;
+  const LogicNetwork &Net;
+  const std::vector<unsigned> &InWires;
+  const std::vector<ControlSpec> &PredControls;
+
+  /// Wires holding computed interior node values.
+  std::map<uint32_t, unsigned> NodeWire;
+  /// Scratch wires computed for XOR-combination fanins (node -> wire).
+  std::vector<LoggedGate> ComputeLog;
+  std::vector<unsigned> Ancillas;
+
+  void logGate(const std::vector<ControlSpec> &Controls, unsigned Target) {
+    E.gateCtl(GateKind::X, Controls, {Target});
+    ComputeLog.push_back({Controls, Target});
+  }
+
+  /// Flattens a signal into XOR leaves (PI or And nodes) plus a constant
+  /// parity.
+  void flattenXor(Signal S, std::vector<uint32_t> &Leaves, bool &Parity) {
+    if (S.Inverted)
+      Parity = !Parity;
+    const LogicNode &N = Net.node(S.Node);
+    if (N.TheKind == LogicNode::Kind::ConstFalse)
+      return;
+    if (N.TheKind == LogicNode::Kind::Xor) {
+      flattenXor(N.Fanins[0], Leaves, Parity);
+      flattenXor(N.Fanins[1], Leaves, Parity);
+      return;
+    }
+    Leaves.push_back(S.Node);
+  }
+
+  /// Ensures node \p Id's value is available on a wire; computes AND cones
+  /// into ancillas on demand. Returns the wire.
+  unsigned materializeNode(uint32_t Id) {
+    const LogicNode &N = Net.node(Id);
+    if (N.TheKind == LogicNode::Kind::PrimaryInput)
+      return InWires[N.InputIndex];
+    auto It = NodeWire.find(Id);
+    if (It != NodeWire.end())
+      return It->second;
+    unsigned Wire = 0;
+    if (N.TheKind == LogicNode::Kind::And) {
+      Wire = computeInto(Id);
+    } else {
+      // An XOR node used as an AND fanin: compute the combination onto a
+      // scratch ancilla with CNOTs.
+      Wire = E.allocAncilla();
+      Ancillas.push_back(Wire);
+      std::vector<uint32_t> Leaves;
+      bool Parity = false;
+      flattenXor(Signal(Id, false), Leaves, Parity);
+      for (uint32_t Leaf : Leaves)
+        logGate({ControlSpec(materializeNode(Leaf))}, Wire);
+      if (Parity)
+        logGate({}, Wire);
+    }
+    NodeWire[Id] = Wire;
+    return Wire;
+  }
+
+  /// Computes an AND node into a fresh ancilla via one MCX.
+  unsigned computeInto(uint32_t Id) {
+    const LogicNode &N = Net.node(Id);
+    std::vector<ControlSpec> Controls;
+    for (Signal Fanin : N.Fanins)
+      Controls.push_back(
+          ControlSpec(materializeNode(Fanin.Node), Fanin.Inverted));
+    unsigned Wire = E.allocAncilla();
+    Ancillas.push_back(Wire);
+    logGate(Controls, Wire);
+    return Wire;
+  }
+
+  /// Emits the (predicated) write of signal \p S onto output wire \p Out.
+  bool emitOutput(Signal S, unsigned Out) {
+    std::vector<uint32_t> Leaves;
+    bool Parity = false;
+    flattenXor(S, Leaves, Parity);
+
+    // Ancilla-free fast path: a single AND leaf becomes one MCX straight
+    // onto the output (the Grover/Deutsch-Jozsa oracle shape).
+    if (Leaves.size() == 1 &&
+        Net.node(Leaves[0]).TheKind == LogicNode::Kind::And &&
+        !NodeWire.count(Leaves[0])) {
+      const LogicNode &N = Net.node(Leaves[0]);
+      bool Simple = true;
+      for (Signal Fanin : N.Fanins)
+        Simple = Simple && Net.node(Fanin.Node).TheKind ==
+                               LogicNode::Kind::PrimaryInput;
+      if (Simple) {
+        std::vector<ControlSpec> Controls = PredControls;
+        for (Signal Fanin : N.Fanins)
+          Controls.push_back(ControlSpec(
+              InWires[Net.node(Fanin.Node).InputIndex], Fanin.Inverted));
+        E.gateCtl(GateKind::X, Controls, {Out});
+        if (Parity)
+          E.gateCtl(GateKind::X, PredControls, {Out});
+        return true;
+      }
+    }
+
+    for (uint32_t Leaf : Leaves) {
+      std::vector<ControlSpec> Controls = PredControls;
+      Controls.push_back(ControlSpec(materializeNode(Leaf)));
+      E.gateCtl(GateKind::X, Controls, {Out});
+    }
+    if (Parity)
+      E.gateCtl(GateKind::X, PredControls, {Out});
+    return true;
+  }
+};
+
+bool Synthesizer::run(const std::vector<unsigned> &OutWires) {
+  if (OutWires.size() != Net.numOutputs())
+    return false;
+  for (unsigned I = 0; I < OutWires.size(); ++I)
+    if (!emitOutput(Net.outputs()[I], OutWires[I]))
+      return false;
+  // Uncompute ancillas by replaying the compute log in reverse, then free.
+  for (auto It = ComputeLog.rbegin(); It != ComputeLog.rend(); ++It)
+    E.gateCtl(GateKind::X, It->Controls, {It->Target});
+  for (auto It = Ancillas.rbegin(); It != Ancillas.rend(); ++It)
+    E.freeAncillaZ(*It);
+  return true;
+}
+
+} // namespace
+
+bool asdf::emitXorEmbedding(GateEmitter &E, const LogicNetwork &Net,
+                            const std::vector<unsigned> &InWires,
+                            const std::vector<unsigned> &OutWires,
+                            const std::vector<ControlSpec> &PredControls) {
+  if (InWires.size() != Net.numInputs())
+    return false;
+  Synthesizer S(E, Net, InWires, PredControls);
+  return S.run(OutWires);
+}
+
+bool asdf::emitSignEmbedding(GateEmitter &E, const LogicNetwork &Net,
+                             const std::vector<unsigned> &InWires,
+                             const std::vector<ControlSpec> &PredControls) {
+  if (Net.numOutputs() != 1)
+    return false;
+  // Feed a |-> ancilla to the XOR embedding (§6.4); the relaxed peephole of
+  // Fig. 10 later rewrites MCX-onto-|-> as a multi-controlled Z.
+  unsigned Target = E.allocAncilla();
+  E.gate(GateKind::X, {}, {Target});
+  E.gate(GateKind::H, {}, {Target});
+  bool Ok = emitXorEmbedding(E, Net, InWires, {Target}, PredControls);
+  E.gate(GateKind::H, {}, {Target});
+  E.gate(GateKind::X, {}, {Target});
+  E.freeAncillaZ(Target);
+  return Ok;
+}

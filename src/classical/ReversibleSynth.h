@@ -1,0 +1,49 @@
+//===- ReversibleSynth.h - Classical-to-reversible synthesis (§6.4) -------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesizes reversible circuits from logic networks — the tweedledum
+/// substitute. XOR cones are computed in place with CNOT chains (no
+/// ancillas, the property that makes Asdf's oracles cheaper than Quipper's
+/// per §8.3); n-ary AND cones become multi-controlled X gates, with one
+/// compute/uncompute ancilla per interior AND node.
+///
+/// Two embeddings are provided (§6.4):
+///  - XOR (Bennett): U_f |x>|y> = |x>|y ^ f(x)>
+///  - sign: U'_f |x> = (-1)^{f(x)} |x>, built by feeding a |-> ancilla to
+///    the XOR embedding (which the relaxed peephole of Fig. 10 later turns
+///    into a multi-controlled Z).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_CLASSICAL_REVERSIBLESYNTH_H
+#define ASDF_CLASSICAL_REVERSIBLESYNTH_H
+
+#include "classical/LogicNetwork.h"
+#include "synth/GateEmitter.h"
+
+#include <vector>
+
+namespace asdf {
+
+/// Emits the Bennett embedding of \p Net: inputs live on wires \p InWires,
+/// outputs are XORed onto wires \p OutWires. Every emitted write to an
+/// output wire is additionally controlled on \p PredControls (ancilla
+/// compute/uncompute stays unconditional, as it cancels outside the
+/// predicate span). Returns false on malformed networks.
+bool emitXorEmbedding(GateEmitter &E, const LogicNetwork &Net,
+                      const std::vector<unsigned> &InWires,
+                      const std::vector<unsigned> &OutWires,
+                      const std::vector<ControlSpec> &PredControls);
+
+/// Emits the sign form U'_f for a single-output network on \p InWires.
+bool emitSignEmbedding(GateEmitter &E, const LogicNetwork &Net,
+                       const std::vector<unsigned> &InWires,
+                       const std::vector<ControlSpec> &PredControls);
+
+} // namespace asdf
+
+#endif // ASDF_CLASSICAL_REVERSIBLESYNTH_H

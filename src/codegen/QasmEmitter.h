@@ -1,0 +1,29 @@
+//===- QasmEmitter.h - OpenQASM 3 code generation (§7) --------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits OpenQASM 3 from a flat circuit (the reg2mem result): SSA values
+/// have already become register accesses, so emission is a direct walk.
+/// Classically-conditioned instructions become `if (c[k] == v)` statements
+/// (dynamic circuits, as used by teleportation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_CODEGEN_QASMEMITTER_H
+#define ASDF_CODEGEN_QASMEMITTER_H
+
+#include "qcirc/Circuit.h"
+
+#include <string>
+
+namespace asdf {
+
+/// Renders \p C as an OpenQASM 3 program.
+std::string emitOpenQasm3(const Circuit &C);
+
+} // namespace asdf
+
+#endif // ASDF_CODEGEN_QASMEMITTER_H

@@ -1,0 +1,52 @@
+//===- QirEmitter.h - QIR (LLVM IR) code generation (§7) ------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits textual QIR, the LLVM-IR-based quantum IR:
+///
+///  - **Base Profile**: a straight-line sequence of gate intrinsic calls
+///    over statically indexed qubits (`inttoptr` casts standing in for
+///    qallocs, as QSSA's reg2mem does), from a flat circuit. Requires no
+///    dynamic allocation and no conditional execution.
+///
+///  - **Unrestricted Profile**: one LLVM function per module function, with
+///    dynamic qubit allocation and the QIR callables API
+///    (__quantum__rt__callable_create / _invoke / _make_adjoint /
+///    _make_controlled) for the function values that survive when inlining
+///    is disabled — the subject of Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_CODEGEN_QIREMITTER_H
+#define ASDF_CODEGEN_QIREMITTER_H
+
+#include "ir/IR.h"
+#include "qcirc/Circuit.h"
+
+#include <optional>
+#include <string>
+
+namespace asdf {
+
+/// Counts of QIR callable intrinsic invocations in emitted code (the
+/// metrics of Table 1).
+struct QirCallableStats {
+  unsigned Creates = 0; ///< __quantum__rt__callable_create calls.
+  unsigned Invokes = 0; ///< __quantum__rt__callable_invoke calls.
+};
+
+/// Emits Base Profile QIR from a flat circuit. Returns std::nullopt if the
+/// circuit needs features the Base Profile forbids (classical conditions).
+std::optional<std::string> emitQirBaseProfile(const Circuit &C);
+
+/// Emits Unrestricted Profile QIR from a (converted, QCircuit-level)
+/// module. \p Stats, if non-null, receives the callable intrinsic counts.
+std::string emitQirUnrestricted(const Module &M,
+                                QirCallableStats *Stats = nullptr);
+
+} // namespace asdf
+
+#endif // ASDF_CODEGEN_QIREMITTER_H

@@ -1,0 +1,106 @@
+//===- Compiler.cpp - The Asdf compiler driver -----------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+
+#include "ast/Canonicalize.h"
+#include "ast/Parser.h"
+#include "ast/TypeChecker.h"
+#include "qcirc/Convert.h"
+#include "qcirc/Flatten.h"
+#include "qcirc/Peephole.h"
+#include "qwerty/Lower.h"
+#include "transform/Passes.h"
+
+using namespace asdf;
+
+CompileResult QwertyCompiler::compileToQwertyIR(const std::string &Source,
+                                                const ProgramBindings &
+                                                    Bindings,
+                                                const CompileOptions &
+                                                    Options) {
+  CompileResult R;
+  DiagnosticEngine Diags;
+  auto Fail = [&](const std::string &Phase) {
+    R.Ok = false;
+    R.ErrorMessage = Phase + ":\n" + Diags.str();
+    return std::move(R);
+  };
+
+  // §4: AST generation, expansion, type checking, canonicalization.
+  std::unique_ptr<Program> Parsed = parseProgram(Source, Diags);
+  if (!Parsed)
+    return Fail("parse");
+  R.AST = expandProgram(*Parsed, Bindings, Diags);
+  if (!R.AST)
+    return Fail("expand");
+  if (!typeCheckProgram(*R.AST, Diags))
+    return Fail("type check");
+  if (Options.AstCanonicalize)
+    canonicalizeProgram(*R.AST);
+
+  // §5: lowering to Qwerty IR and the optimization pipeline.
+  R.QwertyIR = lowerToQwertyIR(*R.AST, Diags);
+  if (!R.QwertyIR)
+    return Fail("lower to Qwerty IR");
+  if (Options.Inline) {
+    runQwertyOptPipeline(*R.QwertyIR, {Options.Entry});
+  } else {
+    runQwertyNoOptPipeline(*R.QwertyIR);
+    // §6.2: generate the specializations the callable path will need.
+    std::set<SpecKey> Specs =
+        analyzeSpecializations(*R.QwertyIR, Options.Entry);
+    if (!generateSpecializations(*R.QwertyIR, Specs))
+      return Fail("specialization generation");
+  }
+  if (!verifyModule(*R.QwertyIR, Diags))
+    return Fail("Qwerty IR verification");
+
+  R.Ok = true;
+  return R;
+}
+
+CompileResult QwertyCompiler::compile(const std::string &Source,
+                                      const ProgramBindings &Bindings,
+                                      const CompileOptions &Options) {
+  CompileResult R = compileToQwertyIR(Source, Bindings, Options);
+  if (!R.Ok)
+    return R;
+  DiagnosticEngine Diags;
+  auto Fail = [&](const std::string &Phase) {
+    R.Ok = false;
+    R.ErrorMessage = Phase + ":\n" + Diags.str();
+    return std::move(R);
+  };
+
+  // §6: clone the Qwerty IR into the QCircuit stage and convert.
+  // (Conversion is destructive in place; keep QwertyIR for inspection by
+  // re-running the front half.)
+  CompileResult Front =
+      compileToQwertyIR(Source, Bindings, Options);
+  R.QCircIR = std::move(Front.QwertyIR);
+  if (!convertToQCircuit(*R.QCircIR, *R.AST, Diags))
+    return Fail("QCircuit conversion");
+  canonicalizeIR(*R.QCircIR);
+  if (Options.PeepholeOpt)
+    peepholeOptimize(*R.QCircIR);
+  if (Options.DecomposeMultiControl) {
+    decomposeMultiControls(*R.QCircIR, McDecompose::Selinger);
+    if (Options.PeepholeOpt)
+      peepholeOptimize(*R.QCircIR);
+  }
+
+  // §7: reg2mem into a flat circuit (only meaningful when inlined).
+  if (Options.Inline) {
+    std::optional<Circuit> Flat =
+        flattenToCircuit(*R.QCircIR, Options.Entry, Diags);
+    if (!Flat)
+      return Fail("flatten");
+    R.FlatCircuit = std::move(*Flat);
+  }
+  R.Ok = true;
+  return R;
+}

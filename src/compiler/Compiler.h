@@ -1,0 +1,77 @@
+//===- Compiler.h - The Asdf compiler driver ------------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level compilation pipeline (Fig. 2): DSL source -> Qwerty AST
+/// (parse, expand, type check, canonicalize) -> Qwerty IR (lower, lift,
+/// canonicalize, inline) -> QCircuit IR (dialect conversion, synthesis,
+/// peepholes) -> flat circuit / OpenQASM 3 / QIR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_COMPILER_COMPILER_H
+#define ASDF_COMPILER_COMPILER_H
+
+#include "ast/Expand.h"
+#include "ir/IR.h"
+#include "qcirc/Circuit.h"
+
+#include <memory>
+#include <string>
+
+namespace asdf {
+
+/// Compiler configuration.
+struct CompileOptions {
+  /// Entry kernel name.
+  std::string Entry = "kernel";
+  /// Run the optimization pipeline (§5.4). When false, only lambda lifting
+  /// runs, leaving call_indirect ops to lower to QIR callables (the
+  /// "Asdf (No Opt)" configuration of Table 1).
+  bool Inline = true;
+  /// Run QCircuit-level peephole optimizations (§6.5).
+  bool PeepholeOpt = true;
+  /// Run the AST-level canonicalization rewrites (§4.2). Off only for the
+  /// ablation measuring how much simpler they make the IR.
+  bool AstCanonicalize = true;
+  /// Decompose multi-controlled gates with Selinger's controlled-iX scheme
+  /// (§6.5). When false, gates stay multi-controlled (for the transpiler
+  /// baseline comparison, a naive decomposition can be applied instead).
+  bool DecomposeMultiControl = true;
+};
+
+/// Result of a compilation.
+struct CompileResult {
+  bool Ok = false;
+  std::string ErrorMessage;
+
+  std::unique_ptr<Program> AST;       ///< Expanded, checked, canonicalized.
+  std::unique_ptr<Module> QwertyIR;   ///< After the §5.4 pipeline.
+  std::unique_ptr<Module> QCircIR;    ///< After conversion + peepholes.
+  Circuit FlatCircuit;                ///< reg2mem'd circuit (§7).
+};
+
+/// The compiler: drives every phase of Fig. 2.
+class QwertyCompiler {
+public:
+  QwertyCompiler() = default;
+
+  /// Compiles \p Source with \p Bindings down to a flat circuit.
+  CompileResult compile(const std::string &Source,
+                        const ProgramBindings &Bindings,
+                        const CompileOptions &Options = CompileOptions());
+
+  /// Front half only: source to optimized Qwerty IR (used by tests and the
+  /// Table 1 harness, which needs the IR-level callable structure).
+  CompileResult compileToQwertyIR(const std::string &Source,
+                                  const ProgramBindings &Bindings,
+                                  const CompileOptions &Options =
+                                      CompileOptions());
+};
+
+} // namespace asdf
+
+#endif // ASDF_COMPILER_COMPILER_H

@@ -1,0 +1,200 @@
+//===- asdfc.cpp - Command-line driver for the Asdf reproduction ----------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A command-line compiler for .qw files:
+///
+///   asdfc program.qw --entry kernel --bind N=8
+///         --capture f.secret=110101 --capture kernel.f=@f --emit qasm
+///
+/// Emission targets: qasm (OpenQASM 3), qir (Unrestricted Profile QIR),
+/// qir-base (Base Profile QIR), qwerty-ir, circuit, run (simulate and print
+/// the measured bits). --no-inline disables the §5.4 pipeline, leaving QIR
+/// callables in place.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/QasmEmitter.h"
+#include "codegen/QirEmitter.h"
+#include "compiler/Compiler.h"
+#include "estimate/ResourceEstimator.h"
+#include "sim/Simulator.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace asdf;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: asdfc <file.qw> [options]\n"
+      "  --entry <name>          entry kernel (default: kernel)\n"
+      "  --bind <Var>=<int>      bind a dimension variable\n"
+      "  --capture <fn>.<param>=<bits>   bind a bit-string capture\n"
+      "  --capture <fn>.<param>=@<name>  bind a classical-function capture\n"
+      "  --emit qasm|qir|qir-base|qwerty-ir|circuit|run|estimate\n"
+      "  --no-inline             disable the inlining pipeline (emit "
+      "callables)\n"
+      "  --no-peephole           disable QCircuit peepholes\n"
+      "  --shots <n>             shots for --emit run (default 1)\n");
+}
+
+bool splitEq(const std::string &Arg, std::string &Key, std::string &Value) {
+  size_t Eq = Arg.find('=');
+  if (Eq == std::string::npos)
+    return false;
+  Key = Arg.substr(0, Eq);
+  Value = Arg.substr(Eq + 1);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  std::string Path = argv[1];
+  std::string Emit = "qasm";
+  unsigned Shots = 1;
+  CompileOptions Opts;
+  ProgramBindings Bindings;
+
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--entry") {
+      Opts.Entry = Next();
+    } else if (Arg == "--bind") {
+      std::string Key, Value;
+      if (!splitEq(Next(), Key, Value)) {
+        usage();
+        return 2;
+      }
+      Bindings.DimVars[Key] = std::atoll(Value.c_str());
+    } else if (Arg == "--capture") {
+      std::string Key, Value;
+      if (!splitEq(Next(), Key, Value)) {
+        usage();
+        return 2;
+      }
+      size_t Dot = Key.find('.');
+      if (Dot == std::string::npos) {
+        std::fprintf(stderr, "capture key must be <function>.<param>\n");
+        return 2;
+      }
+      std::string Func = Key.substr(0, Dot);
+      std::string Param = Key.substr(Dot + 1);
+      if (!Value.empty() && Value[0] == '@')
+        Bindings.Captures[Func][Param] =
+            CaptureValue::classicalFunc(Value.substr(1));
+      else
+        Bindings.Captures[Func][Param] =
+            CaptureValue::bitsFromString(Value);
+    } else if (Arg == "--emit") {
+      Emit = Next();
+    } else if (Arg == "--no-inline") {
+      Opts.Inline = false;
+    } else if (Arg == "--no-peephole") {
+      Opts.PeepholeOpt = false;
+    } else if (Arg == "--shots") {
+      Shots = std::atoi(Next());
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "cannot open '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  QwertyCompiler Compiler;
+  CompileResult R = Compiler.compile(Buf.str(), Bindings, Opts);
+  if (!R.Ok) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), R.ErrorMessage.c_str());
+    return 1;
+  }
+
+  if (Emit == "qwerty-ir") {
+    std::printf("%s", R.QwertyIR->str().c_str());
+    return 0;
+  }
+  if (Emit == "qir") {
+    QirCallableStats Stats;
+    std::printf("%s", emitQirUnrestricted(*R.QCircIR, &Stats).c_str());
+    std::fprintf(stderr, "; callable_create: %u, callable_invoke: %u\n",
+                 Stats.Creates, Stats.Invokes);
+    return 0;
+  }
+  if (!Opts.Inline) {
+    std::fprintf(stderr,
+                 "--no-inline supports only --emit qir/qwerty-ir\n");
+    return 1;
+  }
+  if (Emit == "qasm") {
+    std::printf("%s", emitOpenQasm3(R.FlatCircuit).c_str());
+    return 0;
+  }
+  if (Emit == "qir-base") {
+    std::optional<std::string> Qir = emitQirBaseProfile(R.FlatCircuit);
+    if (!Qir) {
+      std::fprintf(stderr, "circuit needs features outside the Base "
+                           "Profile (dynamic conditions)\n");
+      return 1;
+    }
+    std::printf("%s", Qir->c_str());
+    return 0;
+  }
+  if (Emit == "circuit") {
+    std::printf("%s", R.FlatCircuit.str().c_str());
+    return 0;
+  }
+  if (Emit == "estimate") {
+    ResourceEstimate Est = estimateResources(R.FlatCircuit);
+    std::printf("%s\n", Est.str().c_str());
+    return 0;
+  }
+  if (Emit == "run") {
+    if (R.FlatCircuit.NumQubits > 24) {
+      std::fprintf(stderr, "circuit too wide to simulate (%u qubits)\n",
+                   R.FlatCircuit.NumQubits);
+      return 1;
+    }
+    for (unsigned S = 0; S < Shots; ++S) {
+      ShotResult Shot = simulate(R.FlatCircuit, S);
+      std::string Out;
+      for (int Bit : R.FlatCircuit.OutputBits)
+        Out.push_back(Bit == -2                ? '1'
+                      : Bit == -3              ? '0'
+                      : Shot.Bits[static_cast<unsigned>(Bit)] ? '1'
+                                                              : '0');
+      std::printf("%s\n", Out.c_str());
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "unknown emit target '%s'\n", Emit.c_str());
+  usage();
+  return 2;
+}

@@ -1,0 +1,330 @@
+//===- Convert.cpp - Qwerty IR to QCircuit IR conversion (§6.1) -----------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qcirc/Convert.h"
+
+#include "classical/LogicNetwork.h"
+#include "classical/ReversibleSynth.h"
+#include "synth/BasisSynth.h"
+
+#include <functional>
+#include <map>
+
+using namespace asdf;
+
+namespace {
+
+class Converter {
+public:
+  Converter(Module &M, const Program &Prog, DiagnosticEngine &Diags)
+      : M(M), Prog(Prog), Diags(Diags) {}
+
+  bool run();
+
+private:
+  Module &M;
+  const Program &Prog;
+  DiagnosticEngine &Diags;
+  std::map<std::string, LogicNetwork> NetworkCache;
+
+  bool convertBlock(Block &B);
+  bool convertOp(Op *O);
+  const LogicNetwork *networkFor(const std::string &Name);
+
+  bool fail(const std::string &Msg) {
+    Diags.error(SourceLoc(), Msg);
+    return false;
+  }
+};
+
+const LogicNetwork *Converter::networkFor(const std::string &Name) {
+  auto It = NetworkCache.find(Name);
+  if (It != NetworkCache.end())
+    return &It->second;
+  FunctionDef *F = Prog.lookup(Name);
+  if (!F || !F->isClassical()) {
+    Diags.error(SourceLoc(),
+                "embed_classical references unknown classical function '" +
+                    Name + "'");
+    return nullptr;
+  }
+  std::optional<LogicNetwork> Net = buildLogicNetwork(*F, Diags);
+  if (!Net)
+    return nullptr;
+  auto [NewIt, Inserted] = NetworkCache.emplace(Name, std::move(*Net));
+  (void)Inserted;
+  return &NewIt->second;
+}
+
+/// Sets up predicate controls for an embedded oracle whose leading
+/// predicate qubits follow basis \p Pred. Non-std predicate elements are
+/// conjugated into std by standardization gates, which \p Teardown undoes.
+/// Only separable predicate elements are supported here; fully general
+/// predicates flow through qbtrans synthesis instead.
+bool setupPredControls(GateEmitter &E, const Basis &Pred,
+                       std::vector<ControlSpec> &Controls,
+                       std::vector<std::function<void()>> &Teardown) {
+  unsigned Offset = 0;
+  for (const BasisElement &El : Pred.elements()) {
+    if (El.isBuiltin()) {
+      // A fully-spanning builtin predicate is an identity predicate; it
+      // should have been canonicalized away, but is harmless: no controls.
+      Offset += El.dim();
+      continue;
+    }
+    const BasisLiteral &Lit = El.literalValue();
+    unsigned Off = Offset;
+    if (Lit.Prim != PrimitiveBasis::Std) {
+      PrimitiveBasis Prim = Lit.Prim;
+      unsigned Dim = Lit.Dim;
+      emitStandardizePrim(E, Prim, Off, Dim, /*ToStd=*/true, {});
+      Teardown.push_back([&E, Prim, Off, Dim] {
+        emitStandardizePrim(E, Prim, Off, Dim, /*ToStd=*/false, {});
+      });
+    }
+    if (Lit.Vectors.size() == 1) {
+      uint64_t Bits = Lit.Vectors.front().Eigenbits;
+      for (unsigned I = 0; I < Lit.Dim; ++I)
+        Controls.push_back(ControlSpec(Off + I, !bitAt(Bits, Lit.Dim, I)));
+    } else {
+      // Span-membership indicator ancilla (orthogonal vectors: XOR is OR).
+      unsigned Anc = E.allocAncilla();
+      for (const BasisVector &V : Lit.Vectors) {
+        std::vector<ControlSpec> C;
+        for (unsigned I = 0; I < Lit.Dim; ++I)
+          C.push_back(ControlSpec(Off + I, !bitAt(V.Eigenbits, Lit.Dim, I)));
+        E.gateCtl(GateKind::X, C, {Anc});
+      }
+      Controls.push_back(ControlSpec(Anc));
+      BasisLiteral LitCopy = Lit;
+      Teardown.push_back([&E, LitCopy, Off, Anc] {
+        for (const BasisVector &V : LitCopy.Vectors) {
+          std::vector<ControlSpec> C;
+          for (unsigned I = 0; I < LitCopy.Dim; ++I)
+            C.push_back(
+                ControlSpec(Off + I, !bitAt(V.Eigenbits, LitCopy.Dim, I)));
+          E.gateCtl(GateKind::X, C, {Anc});
+        }
+        E.freeAncillaZ(Anc);
+      });
+    }
+    Offset += El.dim();
+  }
+  return true;
+}
+
+bool Converter::convertOp(Op *O) {
+  Builder B(O->ParentBlock, O);
+  switch (O->Kind) {
+  case OpKind::QbPrep: {
+    // qalloc + X (minus eigenstate) + H/S (primitive basis) per qubit.
+    std::vector<Value *> Qs;
+    for (unsigned I = 0; I < O->DimAttr; ++I) {
+      Value *Q = B.qalloc();
+      if (O->MinusAttr)
+        Q = B.gate(GateKind::X, {}, {Q}).front();
+      switch (O->PrimAttr) {
+      case PrimitiveBasis::Std:
+        break;
+      case PrimitiveBasis::Pm:
+        Q = B.gate(GateKind::H, {}, {Q}).front();
+        break;
+      case PrimitiveBasis::Ij:
+        Q = B.gate(GateKind::H, {}, {Q}).front();
+        Q = B.gate(GateKind::S, {}, {Q}).front();
+        break;
+      case PrimitiveBasis::Fourier:
+        return fail("cannot prepare a fourier eigenstate qubit-by-qubit");
+      }
+      Qs.push_back(Q);
+    }
+    Value *Bundle = B.qbpack(Qs);
+    O->result(0)->replaceAllUsesWith(Bundle);
+    O->erase();
+    return true;
+  }
+
+  case OpKind::QbTrans: {
+    std::vector<Value *> Qs = B.qbunpack(O->operand(0));
+    GateEmitter E(B, Qs);
+    if (!synthesizeTranslation(E, O->BasisAttr, O->BasisAttr2))
+      return fail("basis translation synthesis failed for " +
+                  O->BasisAttr.str() + " >> " + O->BasisAttr2.str());
+    Value *Bundle = B.qbpack(E.take(Qs.size()));
+    O->result(0)->replaceAllUsesWith(Bundle);
+    O->erase();
+    return true;
+  }
+
+  case OpKind::QbMeas: {
+    // Destandardize each element to std, then measure every qubit.
+    std::vector<Value *> Qs = B.qbunpack(O->operand(0));
+    GateEmitter E(B, Qs);
+    unsigned Offset = 0;
+    for (const BasisElement &El : O->BasisAttr.elements()) {
+      PrimitiveBasis Prim =
+          El.isBuiltin() ? El.prim() : El.literalValue().Prim;
+      emitStandardizePrim(E, Prim, Offset, El.dim(), /*ToStd=*/true, {});
+      Offset += El.dim();
+    }
+    std::vector<Value *> Bits;
+    for (unsigned I = 0; I < Qs.size(); ++I) {
+      auto [NewQ, Bit] = B.measure1(E.wire(I));
+      B.qfree(NewQ);
+      Bits.push_back(Bit);
+    }
+    Value *Bundle = B.bitpack(Bits);
+    O->result(0)->replaceAllUsesWith(Bundle);
+    O->erase();
+    return true;
+  }
+
+  case OpKind::QbDiscard:
+  case OpKind::QbDiscardZ: {
+    std::vector<Value *> Qs = B.qbunpack(O->operand(0));
+    for (Value *Q : Qs) {
+      if (O->Kind == OpKind::QbDiscard)
+        B.qfree(Q);
+      else
+        B.qfreez(Q);
+    }
+    O->erase();
+    return true;
+  }
+
+  case OpKind::QbId: {
+    O->result(0)->replaceAllUsesWith(O->operand(0));
+    O->erase();
+    return true;
+  }
+
+  case OpKind::EmbedClassical: {
+    const LogicNetwork *Net = networkFor(O->SymbolAttr);
+    if (!Net)
+      return false;
+    unsigned PredDim = O->BasisAttr.dim();
+    unsigned NIn = Net->numInputs();
+    unsigned NOut = Net->numOutputs();
+    unsigned Total = O->operand(0)->Ty.dim();
+    bool IsXor = O->EmbedAttr == EmbedKind::Xor;
+    if (Total != PredDim + NIn + (IsXor ? NOut : 0))
+      return fail("embed_classical operand width mismatch for @" +
+                  O->SymbolAttr);
+
+    std::vector<Value *> Qs = B.qbunpack(O->operand(0));
+    GateEmitter E(B, Qs);
+    std::vector<ControlSpec> Preds;
+    std::vector<std::function<void()>> Teardown;
+    if (PredDim &&
+        !setupPredControls(E, O->BasisAttr, Preds, Teardown))
+      return false;
+    std::vector<unsigned> In, Out;
+    for (unsigned I = 0; I < NIn; ++I)
+      In.push_back(PredDim + I);
+    bool Ok;
+    if (IsXor) {
+      for (unsigned I = 0; I < NOut; ++I)
+        Out.push_back(PredDim + NIn + I);
+      Ok = emitXorEmbedding(E, *Net, In, Out, Preds);
+    } else {
+      Ok = emitSignEmbedding(E, *Net, In, Preds);
+    }
+    if (!Ok)
+      return fail("oracle synthesis failed for @" + O->SymbolAttr);
+    for (auto It = Teardown.rbegin(); It != Teardown.rend(); ++It)
+      (*It)();
+    Value *Bundle = B.qbpack(E.take(Total));
+    O->result(0)->replaceAllUsesWith(Bundle);
+    O->erase();
+    return true;
+  }
+
+  case OpKind::Call: {
+    // Direct calls survive as calls to (specialized) symbols; the
+    // specializations were generated before conversion (§6.2).
+    if (O->AdjFlag || !O->BasisAttr.empty()) {
+      std::string Spec = O->SymbolAttr;
+      if (O->AdjFlag)
+        Spec += "__adj";
+      unsigned Ctrls = O->BasisAttr.dim();
+      if (Ctrls)
+        Spec += "__ctl" + std::to_string(Ctrls);
+      if (!M.lookup(Spec))
+        return fail("missing specialization '" + Spec +
+                    "'; run specialization generation or inlining");
+      O->SymbolAttr = Spec;
+      O->AdjFlag = false;
+      O->BasisAttr = Basis();
+    }
+    return true;
+  }
+
+  case OpKind::FuncConst: {
+    Builder Bld(O->ParentBlock, O);
+    Value *C = Bld.callableCreate(O->SymbolAttr, O->result(0)->Ty);
+    O->result(0)->replaceAllUsesWith(C);
+    O->erase();
+    return true;
+  }
+  case OpKind::FuncAdj: {
+    Builder Bld(O->ParentBlock, O);
+    Value *C = Bld.callableAdj(O->operand(0));
+    O->result(0)->replaceAllUsesWith(C);
+    O->erase();
+    return true;
+  }
+  case OpKind::FuncPred: {
+    Builder Bld(O->ParentBlock, O);
+    Value *C = Bld.callableCtl(O->operand(0), O->BasisAttr);
+    O->result(0)->replaceAllUsesWith(C);
+    O->erase();
+    return true;
+  }
+  case OpKind::CallIndirect: {
+    Builder Bld(O->ParentBlock, O);
+    std::vector<Value *> Args(O->Operands.begin() + 1, O->Operands.end());
+    std::vector<Value *> Rs = Bld.callableInvoke(O->operand(0), Args);
+    for (unsigned I = 0; I < O->numResults(); ++I)
+      O->result(I)->replaceAllUsesWith(Rs[I]);
+    O->erase();
+    return true;
+  }
+
+  default:
+    return true; // Already QCircuit-compatible (gates, bits, if, ret...).
+  }
+}
+
+bool Converter::convertBlock(Block &B) {
+  // Snapshot the op list: conversion inserts before and erases the current
+  // op, so we walk a copy of pointers.
+  std::vector<Op *> Ops;
+  for (auto &O : B.Ops)
+    Ops.push_back(O.get());
+  for (Op *O : Ops) {
+    for (auto &R : O->Regions)
+      if (R && !convertBlock(*R))
+        return false;
+    if (!convertOp(O))
+      return false;
+  }
+  return true;
+}
+
+bool Converter::run() {
+  for (auto &F : M.Functions)
+    if (!convertBlock(F->Body))
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool asdf::convertToQCircuit(Module &M, const Program &Prog,
+                             DiagnosticEngine &Diags) {
+  Converter C(M, Prog, Diags);
+  return C.run();
+}

@@ -1,0 +1,31 @@
+//===- Convert.h - Qwerty IR to QCircuit IR conversion (§6.1) -------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dialect conversion of §6: qbprep becomes qallocs plus H/S/X gates;
+/// qbtrans invokes basis-translation synthesis (§6.3); qbmeas
+/// destandardizes and measures; embed_classical synthesizes oracles from
+/// logic networks (§6.4); function-value ops become QIR callable ops.
+/// Conversion happens in place, per function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_QCIRC_CONVERT_H
+#define ASDF_QCIRC_CONVERT_H
+
+#include "ast/AST.h"
+#include "ir/IR.h"
+
+namespace asdf {
+
+/// Converts every function of \p M from Qwerty ops to QCircuit ops.
+/// \p Prog supplies classical function definitions for embed_classical.
+bool convertToQCircuit(Module &M, const Program &Prog,
+                       DiagnosticEngine &Diags);
+
+} // namespace asdf
+
+#endif // ASDF_QCIRC_CONVERT_H

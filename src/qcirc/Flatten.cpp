@@ -1,0 +1,260 @@
+//===- Flatten.cpp - reg2mem: QCircuit IR to a flat circuit (§7) ----------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qcirc/Flatten.h"
+
+#include <map>
+
+using namespace asdf;
+
+namespace {
+
+/// A classical bit reference: either a measured cbit or a constant.
+struct CbitRef {
+  bool IsConst = false;
+  bool ConstVal = false;
+  int Cbit = -1;
+};
+
+class Flattener {
+public:
+  Flattener(DiagnosticEngine &Diags) : Diags(Diags) {}
+
+  std::optional<Circuit> run(IRFunction &F);
+
+private:
+  DiagnosticEngine &Diags;
+  Circuit C;
+  std::map<Value *, unsigned> QubitIdx;
+  std::map<Value *, std::vector<unsigned>> BundleIdx;
+  std::map<Value *, CbitRef> BitIdx;
+  std::map<Value *, std::vector<CbitRef>> BitBundleIdx;
+  std::vector<unsigned> FreePool;
+  /// Active classical condition (from enclosing if regions).
+  int CondBit = -1;
+  bool CondVal = true;
+
+  unsigned allocQubit() {
+    if (!FreePool.empty()) {
+      unsigned Q = FreePool.back();
+      FreePool.pop_back();
+      return Q;
+    }
+    return C.NumQubits++;
+  }
+
+  bool fail(const std::string &Msg) {
+    Diags.error(SourceLoc(), "flatten: " + Msg);
+    return false;
+  }
+
+  void emit(CircuitInstr I) {
+    I.CondBit = CondBit;
+    I.CondVal = CondVal;
+    C.append(std::move(I));
+  }
+
+  bool flattenBlock(Block &B);
+  bool flattenOp(Op *O);
+};
+
+bool Flattener::flattenOp(Op *O) {
+  switch (O->Kind) {
+  case OpKind::QAlloc:
+    QubitIdx[O->result(0)] = allocQubit();
+    return true;
+  case OpKind::QFree: {
+    unsigned Q = QubitIdx.at(O->operand(0));
+    emit(CircuitInstr::reset(Q));
+    FreePool.push_back(Q);
+    return true;
+  }
+  case OpKind::QFreeZ:
+    FreePool.push_back(QubitIdx.at(O->operand(0)));
+    return true;
+  case OpKind::Gate: {
+    std::vector<unsigned> Controls, Targets;
+    for (unsigned I = 0; I < O->numOperands(); ++I) {
+      unsigned Q = QubitIdx.at(O->operand(I));
+      (I < O->NumControls ? Controls : Targets).push_back(Q);
+      QubitIdx[O->result(I)] = Q;
+    }
+    emit(CircuitInstr::gate(O->GateAttr, std::move(Controls),
+                            std::move(Targets), O->FloatAttr));
+    return true;
+  }
+  case OpKind::Measure1: {
+    unsigned Q = QubitIdx.at(O->operand(0));
+    unsigned Bit = C.NumBits++;
+    emit(CircuitInstr::measure(Q, Bit));
+    QubitIdx[O->result(0)] = Q;
+    CbitRef Ref;
+    Ref.Cbit = static_cast<int>(Bit);
+    BitIdx[O->result(1)] = Ref;
+    return true;
+  }
+  case OpKind::QbPack: {
+    std::vector<unsigned> Qs;
+    for (Value *V : O->Operands)
+      Qs.push_back(QubitIdx.at(V));
+    BundleIdx[O->result(0)] = std::move(Qs);
+    return true;
+  }
+  case OpKind::QbUnpack: {
+    const std::vector<unsigned> &Qs = BundleIdx.at(O->operand(0));
+    for (unsigned I = 0; I < O->numResults(); ++I)
+      QubitIdx[O->result(I)] = Qs[I];
+    return true;
+  }
+  case OpKind::BitPack: {
+    std::vector<CbitRef> Bits;
+    for (Value *V : O->Operands)
+      Bits.push_back(BitIdx.at(V));
+    BitBundleIdx[O->result(0)] = std::move(Bits);
+    return true;
+  }
+  case OpKind::BitUnpack: {
+    const std::vector<CbitRef> &Bits = BitBundleIdx.at(O->operand(0));
+    for (unsigned I = 0; I < O->numResults(); ++I)
+      BitIdx[O->result(I)] = Bits[I];
+    return true;
+  }
+  case OpKind::BitConst: {
+    std::vector<CbitRef> Bits;
+    for (bool Bit : O->BitsAttr) {
+      CbitRef Ref;
+      Ref.IsConst = true;
+      Ref.ConstVal = Bit;
+      Bits.push_back(Ref);
+    }
+    BitBundleIdx[O->result(0)] = std::move(Bits);
+    return true;
+  }
+  case OpKind::ConstF:
+    return true; // Gate params are attributes; nothing to do.
+  case OpKind::If: {
+    CbitRef Cond = BitIdx.at(O->operand(0));
+    if (Cond.IsConst) {
+      // Statically known condition: flatten only the taken branch.
+      Block &Taken = *O->Regions[Cond.ConstVal ? 0 : 1];
+      if (!flattenBlock(Taken))
+        return false;
+      Op *Yield = Taken.terminator();
+      for (unsigned I = 0; I < O->numResults(); ++I) {
+        Value *Y = Yield->operand(I);
+        if (Y->Ty.isQubit())
+          QubitIdx[O->result(I)] = QubitIdx.at(Y);
+        else if (Y->Ty.isQBundle())
+          BundleIdx[O->result(I)] = BundleIdx.at(Y);
+      }
+      return true;
+    }
+    if (CondBit >= 0)
+      return fail("nested classical conditions are not supported");
+    // Flatten both regions under opposite conditions; their yields must
+    // land on identical physical registers.
+    for (unsigned RI = 0; RI < 2; ++RI) {
+      CondBit = Cond.Cbit;
+      CondVal = RI == 0;
+      if (!flattenBlock(*O->Regions[RI]))
+        return false;
+      CondBit = -1;
+      CondVal = true;
+    }
+    Op *Y0 = O->Regions[0]->terminator();
+    Op *Y1 = O->Regions[1]->terminator();
+    for (unsigned I = 0; I < O->numResults(); ++I) {
+      Value *A = Y0->operand(I);
+      Value *B = Y1->operand(I);
+      if (A->Ty.isQubit()) {
+        if (QubitIdx.at(A) != QubitIdx.at(B))
+          return fail("if branches disagree on qubit registers");
+        QubitIdx[O->result(I)] = QubitIdx.at(A);
+      } else if (A->Ty.isQBundle()) {
+        if (BundleIdx.at(A) != BundleIdx.at(B))
+          return fail("if branches disagree on qubit registers");
+        BundleIdx[O->result(I)] = BundleIdx.at(A);
+      } else {
+        return fail("unsupported if result kind");
+      }
+    }
+    return true;
+  }
+  case OpKind::Ret: {
+    for (Value *V : O->Operands) {
+      if (V->Ty.isQBundle()) {
+        const std::vector<unsigned> &Qs = BundleIdx.at(V);
+        C.OutputQubits.insert(C.OutputQubits.end(), Qs.begin(), Qs.end());
+      } else if (V->Ty.isQubit()) {
+        C.OutputQubits.push_back(QubitIdx.at(V));
+      } else if (V->Ty.isBitBundle()) {
+        for (const CbitRef &R : BitBundleIdx.at(V))
+          C.OutputBits.push_back(R.IsConst ? (R.ConstVal ? -2 : -3)
+                                           : R.Cbit);
+      }
+    }
+    return true;
+  }
+  case OpKind::Yield:
+    return true;
+  case OpKind::Call:
+  case OpKind::CallIndirect:
+  case OpKind::CallableCreate:
+  case OpKind::CallableAdj:
+  case OpKind::CallableCtl:
+  case OpKind::CallableInvoke:
+    return fail("call ops remain; OpenQASM 3 generation depends on inlining "
+                "succeeding (§7)");
+  default:
+    return fail(std::string("unexpected op '") + opKindName(O->Kind) +
+                "' after QCircuit conversion");
+  }
+}
+
+bool Flattener::flattenBlock(Block &B) {
+  for (auto &O : B.Ops)
+    if (!flattenOp(O.get()))
+      return false;
+  return true;
+}
+
+std::optional<Circuit> Flattener::run(IRFunction &F) {
+  // Entry arguments: allocate registers for any qubit inputs.
+  for (Value &Arg : F.Body.Args) {
+    if (Arg.Ty.isQBundle()) {
+      std::vector<unsigned> Qs;
+      for (unsigned I = 0; I < Arg.Ty.dim(); ++I)
+        Qs.push_back(allocQubit());
+      BundleIdx[&Arg] = std::move(Qs);
+    } else if (Arg.Ty.isQubit()) {
+      QubitIdx[&Arg] = allocQubit();
+    } else if (Arg.Ty.isBitBundle()) {
+      std::vector<CbitRef> Bits(Arg.Ty.dim());
+      for (CbitRef &R : Bits) {
+        R.IsConst = true;
+        R.ConstVal = false;
+      }
+      BitBundleIdx[&Arg] = std::move(Bits);
+    }
+  }
+  if (!flattenBlock(F.Body))
+    return std::nullopt;
+  return std::move(C);
+}
+
+} // namespace
+
+std::optional<Circuit> asdf::flattenToCircuit(Module &M,
+                                              const std::string &Entry,
+                                              DiagnosticEngine &Diags) {
+  IRFunction *F = M.lookup(Entry);
+  if (!F) {
+    Diags.error(SourceLoc(), "no entry function '" + Entry + "'");
+    return std::nullopt;
+  }
+  Flattener FL(Diags);
+  return FL.run(*F);
+}

@@ -1,0 +1,35 @@
+//===- Flatten.h - reg2mem: QCircuit IR to a flat circuit (§7) ------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts a fully inlined QCircuit-IR function into a flat Circuit by
+/// assigning register indices to SSA qubit values — the reg2mem process of
+/// QSSA used for OpenQASM 3 export and the QIR Base Profile (§7). Freed
+/// qubits return to a pool so ancillas reuse registers. scf.if regions
+/// become classically-conditioned instructions (dynamic circuits).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_QCIRC_FLATTEN_H
+#define ASDF_QCIRC_FLATTEN_H
+
+#include "ir/IR.h"
+#include "qcirc/Circuit.h"
+
+#include <optional>
+#include <string>
+
+namespace asdf {
+
+/// Flattens \p Entry of \p M. Fails (with diagnostics) if calls or callable
+/// ops remain — OpenQASM 3 generation depends on inlining succeeding, as
+/// the paper notes (§7).
+std::optional<Circuit> flattenToCircuit(Module &M, const std::string &Entry,
+                                        DiagnosticEngine &Diags);
+
+} // namespace asdf
+
+#endif // ASDF_QCIRC_FLATTEN_H

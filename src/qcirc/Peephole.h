@@ -1,0 +1,44 @@
+//===- Peephole.h - QCircuit IR optimizations (§6.5) ----------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Gate-level optimizations on the QCircuit dataflow DAG (§6.5):
+///
+///  - cancellation of adjacent inverse gate pairs (Hermitian gates, S/Sdg,
+///    T/Tdg, P(t)/P(-t)) — e.g. the back-to-back controlled-Hs of Fig. 7;
+///  - HXH -> Z and HZH -> X rewriting;
+///  - the relaxed peephole of Liu, Bello, and Zhou (Fig. 10): a
+///    multi-controlled X targeting a |-> ancilla becomes a multi-controlled
+///    Z without the ancilla (crucial for f.sign oracles);
+///  - Selinger-style decomposition of multi-controlled gates into
+///    Clifford+T, or a naive Toffoli chain for comparison (§6.5 / §8.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_QCIRC_PEEPHOLE_H
+#define ASDF_QCIRC_PEEPHOLE_H
+
+#include "ir/IR.h"
+
+namespace asdf {
+
+/// Runs cancellation/HXH/relaxed-peephole rewrites to fixpoint.
+/// Returns true if anything changed.
+bool peepholeOptimize(Module &M);
+
+/// How multi-controlled gates are decomposed to Clifford+T.
+enum class McDecompose {
+  Selinger, ///< Relative-phase (RCCX) ancilla chain, ~8 T per control.
+  Naive,    ///< Full-Toffoli V-chain, ~14 T per control.
+};
+
+/// Decomposes every gate with >= 2 controls (and controlled SWAPs) into
+/// single- and zero-control gates plus ancillas.
+void decomposeMultiControls(Module &M, McDecompose Mode);
+
+} // namespace asdf
+
+#endif // ASDF_QCIRC_PEEPHOLE_H

@@ -1,0 +1,409 @@
+//===- Lower.cpp - Lowering the Qwerty AST to Qwerty IR (§5.1) ------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qwerty/Lower.h"
+
+#include "ast/TypeChecker.h"
+
+#include "basis/SpanCheck.h"
+
+#include <map>
+
+using namespace asdf;
+
+IRType asdf::convertType(const Type &T) {
+  switch (T.kind()) {
+  case Type::Kind::Qubit:
+    return IRType::qbundle(T.dim());
+  case Type::Kind::Bit:
+    return IRType::bitbundle(T.dim());
+  case Type::Kind::Func: {
+    auto Conv = [](Type::DataKind K) {
+      switch (K) {
+      case Type::DataKind::Unit:
+        return IRType::Data::Unit;
+      case Type::DataKind::Qubit:
+        return IRType::Data::QBundle;
+      case Type::DataKind::Bit:
+        return IRType::Data::BitBundle;
+      }
+      return IRType::Data::Unit;
+    };
+    return IRType::func(Conv(T.funcInKind()), T.funcInDim(),
+                        Conv(T.funcOutKind()), T.funcOutDim(),
+                        T.isReversibleFunc());
+  }
+  default:
+    return IRType();
+  }
+}
+
+namespace {
+
+class Lowering {
+public:
+  Lowering(const Program &Prog, DiagnosticEngine &Diags)
+      : Prog(Prog), Diags(Diags) {}
+
+  std::unique_ptr<Module> run();
+
+private:
+  const Program &Prog;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<Module> M;
+  std::map<std::string, Value *> Vars;
+
+  bool lowerFunction(const FunctionDef &F, IRFunction &IRF);
+  Value *lowerValue(Builder &B, const Expr &E);
+  Value *lowerFunc(Builder &B, const Expr &E);
+  Value *lowerQubitLiteral(Builder &B, const QubitLiteralExpr &QL);
+};
+
+std::unique_ptr<Module> Lowering::run() {
+  M = std::make_unique<Module>();
+  // First pass: declare all qpu functions so func_const can reference them.
+  for (const auto &F : Prog.Functions) {
+    if (!F->isQpu())
+      continue;
+    IRFunction *IRF = M->create(F->Name);
+    for (const Param &P : F->Params)
+      IRF->Body.addArg(convertType(P.Ty));
+    if (!F->ReturnTy.isUnit() && !F->ReturnTy.isInvalid())
+      IRF->ResultTypes.push_back(convertType(F->ReturnTy));
+  }
+  // Second pass: lower bodies.
+  for (const auto &F : Prog.Functions) {
+    if (!F->isQpu())
+      continue;
+    IRFunction *IRF = M->lookup(F->Name);
+    if (!lowerFunction(*F, *IRF))
+      return nullptr;
+  }
+  return std::move(M);
+}
+
+bool Lowering::lowerFunction(const FunctionDef &F, IRFunction &IRF) {
+  Vars.clear();
+  for (unsigned I = 0; I < F.Params.size(); ++I)
+    Vars[F.Params[I].Name] = IRF.Body.arg(I);
+
+  Builder B(&IRF.Body);
+  for (const StmtPtr &S : F.Body) {
+    if (const auto *Ret = dyn_cast<ReturnStmt>(S.get())) {
+      Value *V = lowerValue(B, *Ret->Value);
+      if (!V && !Ret->Value->Ty.isUnit())
+        return false;
+      B.ret(V ? std::vector<Value *>{V} : std::vector<Value *>{});
+      return true;
+    }
+    const auto *Assign = cast<AssignStmt>(S.get());
+    Value *V = lowerValue(B, *Assign->Value);
+    if (!V)
+      return false;
+    if (Assign->Names.size() == 1) {
+      Vars[Assign->Names[0]] = V;
+      continue;
+    }
+    // Destructure evenly: unpack then regroup.
+    unsigned K = Assign->Names.size();
+    bool IsQubit = V->Ty.isQBundle();
+    unsigned Total = V->Ty.dim();
+    unsigned Part = Total / K;
+    std::vector<Value *> Elems =
+        IsQubit ? B.qbunpack(V) : B.bitunpack(V);
+    for (unsigned I = 0; I < K; ++I) {
+      std::vector<Value *> Piece(Elems.begin() + I * Part,
+                                 Elems.begin() + (I + 1) * Part);
+      Vars[Assign->Names[I]] = IsQubit ? B.qbpack(Piece) : B.bitpack(Piece);
+    }
+  }
+  Diags.error(F.Loc, "function has no return statement");
+  return false;
+}
+
+Value *Lowering::lowerQubitLiteral(Builder &B, const QubitLiteralExpr &QL) {
+  // Split the literal into maximal runs of one (primitive basis, eigenstate)
+  // pair, each of which becomes one qbprep op (§5).
+  std::vector<Value *> Bundles;
+  unsigned I = 0;
+  while (I < QL.Symbols.size()) {
+    PrimitiveBasis Prim = symbolPrimitiveBasis(QL.Symbols[I]);
+    bool Minus = symbolIsMinusEigenstate(QL.Symbols[I]);
+    unsigned J = I + 1;
+    while (J < QL.Symbols.size() &&
+           symbolPrimitiveBasis(QL.Symbols[J]) == Prim &&
+           symbolIsMinusEigenstate(QL.Symbols[J]) == Minus)
+      ++J;
+    Bundles.push_back(B.qbprep(Prim, Minus, J - I));
+    I = J;
+  }
+  // A phase on a freshly prepared product state is a global phase, which is
+  // unobservable and safely dropped here.
+  if (Bundles.size() == 1)
+    return Bundles.front();
+  std::vector<Value *> Qubits;
+  for (Value *Bundle : Bundles) {
+    std::vector<Value *> Unpacked = B.qbunpack(Bundle);
+    Qubits.insert(Qubits.end(), Unpacked.begin(), Unpacked.end());
+  }
+  return B.qbpack(Qubits);
+}
+
+Value *Lowering::lowerValue(Builder &B, const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::QubitLiteral:
+    return lowerQubitLiteral(B, cast<QubitLiteralExpr>(E));
+
+  case Expr::Kind::BitLiteral:
+    return B.bitconst(cast<BitLiteralExpr>(E).Bits);
+
+  case Expr::Kind::Variable: {
+    const auto &Var = cast<VariableExpr>(E);
+    auto It = Vars.find(Var.Name);
+    if (It != Vars.end())
+      return It->second;
+    // A reference to another kernel as a function value.
+    if (M->lookup(Var.Name))
+      return B.funcConst(Var.Name, convertType(E.Ty));
+    Diags.error(E.loc(), "unknown variable '" + Var.Name + "' in lowering");
+    return nullptr;
+  }
+
+  case Expr::Kind::Tensor: {
+    const auto &T = cast<TensorExpr>(E);
+    if (E.Ty.isFunc())
+      return lowerFunc(B, E);
+    Value *L = lowerValue(B, *T.Lhs);
+    if (!L)
+      return nullptr;
+    Value *R = lowerValue(B, *T.Rhs);
+    if (!R)
+      return nullptr;
+    // §5.1: qbundles are unpacked and repacked into a combined qbundle.
+    if (L->Ty.isQBundle()) {
+      std::vector<Value *> Qs = B.qbunpack(L);
+      std::vector<Value *> Rs = B.qbunpack(R);
+      Qs.insert(Qs.end(), Rs.begin(), Rs.end());
+      return B.qbpack(Qs);
+    }
+    std::vector<Value *> Bs = B.bitunpack(L);
+    std::vector<Value *> R2 = B.bitunpack(R);
+    Bs.insert(Bs.end(), R2.begin(), R2.end());
+    return B.bitpack(Bs);
+  }
+
+  case Expr::Kind::Pipe: {
+    const auto &P = cast<PipeExpr>(E);
+    Value *V = lowerValue(B, *P.Value);
+    if (!V)
+      return nullptr;
+    Value *F = lowerFunc(B, *P.Func);
+    if (!F)
+      return nullptr;
+    std::vector<Value *> Results = B.callIndirect(F, {V});
+    return Results.empty() ? nullptr : Results.front();
+  }
+
+  default:
+    // Function-typed values (translations, adjoints, ...) used as values.
+    if (E.Ty.isFunc())
+      return lowerFunc(B, E);
+    Diags.error(E.loc(), "cannot lower this expression as a value");
+    return nullptr;
+  }
+}
+
+Value *Lowering::lowerFunc(Builder &B, const Expr &E) {
+  IRType FuncTy = convertType(E.Ty);
+  switch (E.kind()) {
+  case Expr::Kind::BasisTranslation: {
+    // §5.1: b1 >> b2 is a function value; wrap the qbtrans op in a lambda.
+    const auto &BT = cast<BasisTranslationExpr>(E);
+    Basis In = evalBasis(*BT.InBasis);
+    Basis Out = evalBasis(*BT.OutBasis);
+    Op *L = B.lambda(FuncTy);
+    Block *Body = L->Regions[0].get();
+    Value *Arg = Body->addArg(IRType::qbundle(In.dim()));
+    Builder Inner(Body);
+    Value *Res = Inner.qbtrans(Arg, std::move(In), std::move(Out));
+    Inner.yield({Res});
+    return L->result();
+  }
+
+  case Expr::Kind::Measure: {
+    const auto &ME = cast<MeasureExpr>(E);
+    Basis BasisVal = evalBasis(*ME.BasisOperand);
+    Op *L = B.lambda(FuncTy);
+    Block *Body = L->Regions[0].get();
+    Value *Arg = Body->addArg(IRType::qbundle(BasisVal.dim()));
+    Builder Inner(Body);
+    Value *Res = Inner.qbmeas(Arg, std::move(BasisVal));
+    Inner.yield({Res});
+    return L->result();
+  }
+
+  case Expr::Kind::Discard: {
+    const auto &D = cast<DiscardExpr>(E);
+    Op *L = B.lambda(FuncTy);
+    Block *Body = L->Regions[0].get();
+    Value *Arg = Body->addArg(IRType::qbundle(D.Dim));
+    Builder Inner(Body);
+    Inner.qbdiscard(Arg);
+    Inner.yield({});
+    return L->result();
+  }
+
+  case Expr::Kind::Identity: {
+    const auto &Id = cast<IdentityExpr>(E);
+    Op *L = B.lambda(FuncTy);
+    Block *Body = L->Regions[0].get();
+    Value *Arg = Body->addArg(IRType::qbundle(Id.Dim));
+    Builder Inner(Body);
+    Inner.yield({Arg});
+    return L->result();
+  }
+
+  case Expr::Kind::EmbedXor:
+  case Expr::Kind::EmbedSign: {
+    bool IsXor = E.kind() == Expr::Kind::EmbedXor;
+    const Expr *FuncExpr = IsXor ? cast<EmbedXorExpr>(E).Func.get()
+                                 : cast<EmbedSignExpr>(E).Func.get();
+    const auto *Var = cast<VariableExpr>(FuncExpr);
+    unsigned Dim = FuncTy.funcInDim();
+    Op *L = B.lambda(FuncTy);
+    Block *Body = L->Regions[0].get();
+    Value *Arg = Body->addArg(IRType::qbundle(Dim));
+    Builder Inner(Body);
+    Value *Res = Inner.embedClassical(
+        Arg, Var->Name, IsXor ? EmbedKind::Xor : EmbedKind::Sign);
+    Inner.yield({Res});
+    return L->result();
+  }
+
+  case Expr::Kind::Flip: {
+    // b.flip is sugar for {v1,v2} >> {v2,v1}; AST canonicalization usually
+    // desugars it, but handle it natively so the pipeline works without
+    // that pass too.
+    const auto &F = cast<FlipExpr>(E);
+    Basis Bv = evalBasis(*F.BasisOperand);
+    const BasisElement &El = Bv.elements().front();
+    BasisLiteral Lit = El.isLiteral()
+                           ? El.literalValue()
+                           : builtinToLiteral(El.prim(), El.dim());
+    assert(Lit.Vectors.size() == 2 && "flip needs exactly two vectors");
+    BasisLiteral Swapped = Lit;
+    std::swap(Swapped.Vectors[0], Swapped.Vectors[1]);
+    Op *L = B.lambda(FuncTy);
+    Block *Body = L->Regions[0].get();
+    Value *Arg = Body->addArg(IRType::qbundle(Lit.Dim));
+    Builder Inner(Body);
+    Value *Res = Inner.qbtrans(Arg, Basis::literal(Lit),
+                               Basis::literal(Swapped));
+    Inner.yield({Res});
+    return L->result();
+  }
+
+  case Expr::Kind::Adjoint: {
+    Value *F = lowerFunc(B, *cast<AdjointExpr>(E).Func);
+    return F ? B.funcAdj(F) : nullptr;
+  }
+
+  case Expr::Kind::Predicated: {
+    const auto &P = cast<PredicatedExpr>(E);
+    Value *F = lowerFunc(B, *P.Func);
+    if (!F)
+      return nullptr;
+    return B.funcPred(F, evalBasis(*P.PredBasis));
+  }
+
+  case Expr::Kind::Variable: {
+    const auto &Var = cast<VariableExpr>(E);
+    auto It = Vars.find(Var.Name);
+    if (It != Vars.end())
+      return It->second;
+    if (M->lookup(Var.Name))
+      return B.funcConst(Var.Name, FuncTy);
+    Diags.error(E.loc(), "unknown function '" + Var.Name + "'");
+    return nullptr;
+  }
+
+  case Expr::Kind::Tensor: {
+    // §5.1: tensoring functions generates a lambda that unpacks the input
+    // qbundle, calls both functions on repacked halves, and repacks the
+    // combined result.
+    const auto &T = cast<TensorExpr>(E);
+    unsigned LIn = T.Lhs->Ty.funcInDim();
+    unsigned RIn = T.Rhs->Ty.funcInDim();
+    Op *L = B.lambda(FuncTy);
+    Block *Body = L->Regions[0].get();
+    Value *Arg = Body->addArg(IRType::qbundle(LIn + RIn));
+    Builder Inner(Body);
+    // Lower the component function values *inside* the lambda so it stays
+    // capture-free.
+    Value *F1 = lowerFunc(Inner, *T.Lhs);
+    Value *F2 = lowerFunc(Inner, *T.Rhs);
+    if (!F1 || !F2)
+      return nullptr;
+    std::vector<Value *> Qs = Inner.qbunpack(Arg);
+    Value *Left = Inner.qbpack({Qs.begin(), Qs.begin() + LIn});
+    Value *Right = Inner.qbpack({Qs.begin() + LIn, Qs.end()});
+    std::vector<Value *> R1 = Inner.callIndirect(F1, {Left});
+    std::vector<Value *> R2 = Inner.callIndirect(F2, {Right});
+    if (R1.size() != 1 || R2.size() != 1) {
+      Diags.error(E.loc(), "cannot tensor functions without results");
+      return nullptr;
+    }
+    bool IsQ = R1.front()->Ty.isQBundle();
+    std::vector<Value *> Parts =
+        IsQ ? Inner.qbunpack(R1.front()) : Inner.bitunpack(R1.front());
+    std::vector<Value *> Parts2 =
+        IsQ ? Inner.qbunpack(R2.front()) : Inner.bitunpack(R2.front());
+    Parts.insert(Parts.end(), Parts2.begin(), Parts2.end());
+    Value *Combined = IsQ ? Inner.qbpack(Parts) : Inner.bitpack(Parts);
+    Inner.yield({Combined});
+    return L->result();
+  }
+
+  case Expr::Kind::Conditional: {
+    const auto &C = cast<ConditionalExpr>(E);
+    Value *CondBits = lowerValue(B, *C.Cond);
+    if (!CondBits)
+      return nullptr;
+    Value *CondI1 = B.bitunpack(CondBits).front();
+    Op *If = B.ifOp(CondI1, {FuncTy});
+    {
+      Builder Then(If->Regions[0].get());
+      Value *F = lowerFunc(Then, *C.ThenExpr);
+      if (!F)
+        return nullptr;
+      Then.yield({F});
+    }
+    {
+      Builder Else(If->Regions[1].get());
+      Value *F = lowerFunc(Else, *C.ElseExpr);
+      if (!F)
+        return nullptr;
+      Else.yield({F});
+    }
+    return If->result();
+  }
+
+  default:
+    Diags.error(E.loc(), "cannot lower this expression as a function value");
+    return nullptr;
+  }
+}
+
+} // namespace
+
+std::unique_ptr<Module> asdf::lowerToQwertyIR(const Program &Prog,
+                                              DiagnosticEngine &Diags) {
+  Lowering L(Prog, Diags);
+  std::unique_ptr<Module> M = L.run();
+  if (Diags.hadError())
+    return nullptr;
+  return M;
+}

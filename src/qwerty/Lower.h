@@ -1,0 +1,37 @@
+//===- Lower.h - Lowering the Qwerty AST to Qwerty IR (§5.1) --------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts a checked, canonicalized Qwerty AST into Qwerty IR. As in the
+/// paper, function-typed expressions (basis translations, measurements,
+/// embeddings) are wrapped in lambdas, so the initial IR contains only
+/// call_indirect ops; lambda lifting, canonicalization, and inlining
+/// (§5.4) subsequently linearize everything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_QWERTY_LOWER_H
+#define ASDF_QWERTY_LOWER_H
+
+#include "ast/AST.h"
+#include "ir/IR.h"
+
+#include <memory>
+
+namespace asdf {
+
+/// Lowers every qpu function of \p Prog into a fresh module. Classical
+/// functions are referenced by name from embed_classical ops and synthesized
+/// during QCircuit conversion. Returns null (with diagnostics) on failure.
+std::unique_ptr<Module> lowerToQwertyIR(const Program &Prog,
+                                        DiagnosticEngine &Diags);
+
+/// Converts an AST type to the corresponding IR type.
+IRType convertType(const Type &T);
+
+} // namespace asdf
+
+#endif // ASDF_QWERTY_LOWER_H

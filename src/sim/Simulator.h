@@ -1,0 +1,99 @@
+//===- Simulator.h - Dense state-vector simulator --------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense state-vector simulator executing flat circuits — the stand-in
+/// for qir-runner (§7). Used by tests to verify that synthesized circuits
+/// implement their specified semantics (basis translations, oracles,
+/// adjoints, predication) and by the examples to run algorithms end to end.
+///
+/// Convention: qubit 0 is the leftmost qubit and occupies the most
+/// significant bit of a basis-state index, matching the eigenbit convention
+/// of the basis library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SIM_SIMULATOR_H
+#define ASDF_SIM_SIMULATOR_H
+
+#include "qcirc/Circuit.h"
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace asdf {
+
+using Amplitude = std::complex<double>;
+
+/// A dense quantum state over a fixed number of qubits.
+class StateVector {
+public:
+  explicit StateVector(unsigned NumQubits);
+
+  unsigned numQubits() const { return NumQubits; }
+  const std::vector<Amplitude> &amplitudes() const { return Amp; }
+  std::vector<Amplitude> &amplitudes() { return Amp; }
+
+  /// Sets the state to the computational basis state |index>.
+  void setBasisState(uint64_t Index);
+
+  /// Applies one gate (with controls).
+  void apply(GateKind G, const std::vector<unsigned> &Controls,
+             const std::vector<unsigned> &Targets, double Param);
+
+  /// Measures qubit \p Q; collapses the state. \p Rng drives sampling.
+  bool measure(unsigned Q, std::mt19937_64 &Rng);
+
+  /// Resets qubit \p Q to |0> (measure and correct).
+  void reset(unsigned Q, std::mt19937_64 &Rng);
+
+  /// Probability that qubit \p Q reads 1.
+  double probOne(unsigned Q) const;
+
+  /// Inner-product magnitude |<other|this>|.
+  double overlap(const StateVector &Other) const;
+
+private:
+  unsigned NumQubits;
+  std::vector<Amplitude> Amp;
+
+  uint64_t qubitBit(unsigned Q) const {
+    return uint64_t(1) << (NumQubits - 1 - Q);
+  }
+};
+
+/// The classical outcome of one circuit execution.
+struct ShotResult {
+  std::vector<bool> Bits; ///< Indexed by classical bit number.
+
+  std::string str() const;
+};
+
+/// Executes \p C once from |0...0>, honoring measurements, resets, and
+/// classical conditions.
+ShotResult simulate(const Circuit &C, uint64_t Seed = 0);
+
+/// Executes \p C \p Shots times, returning outcome frequencies keyed by the
+/// classical bit string (bit 0 first).
+std::map<std::string, unsigned> runShots(const Circuit &C, unsigned Shots,
+                                         uint64_t Seed = 0);
+
+/// Computes the full unitary of a measurement-free circuit by simulating
+/// every basis input. Requires C.NumQubits <= 10. Column k is U|k>.
+std::vector<std::vector<Amplitude>> circuitUnitary(const Circuit &C);
+
+/// True if two unitaries agree up to a global phase.
+bool unitariesEquivalent(const std::vector<std::vector<Amplitude>> &A,
+                         const std::vector<std::vector<Amplitude>> &B,
+                         double Tol = 1e-9);
+
+} // namespace asdf
+
+#endif // ASDF_SIM_SIMULATOR_H

@@ -1,0 +1,91 @@
+//===- BitUtils.h - Bit-twiddling helpers ---------------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small helpers for manipulating eigenbit strings, which are stored as a
+/// 128-bit integer with the *leftmost* qubit in the most significant used
+/// bit. 128 bits covers the paper's largest benchmark (128-bit oracle
+/// inputs, e.g. the Grover diffuser literal {'p'[128]}).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SUPPORT_BITUTILS_H
+#define ASDF_SUPPORT_BITUTILS_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace asdf {
+
+/// The eigenbit storage type.
+using EigenBits = unsigned __int128;
+
+/// Maximum dimension of a single basis literal vector.
+inline constexpr unsigned MaxLiteralDim = 128;
+
+/// Extracts the topmost (leftmost) \p PrefixLen bits of a \p Dim-bit string.
+inline EigenBits bitPrefix(EigenBits Bits, unsigned Dim, unsigned PrefixLen) {
+  assert(PrefixLen <= Dim && Dim <= MaxLiteralDim && "bad prefix request");
+  if (PrefixLen == 0)
+    return 0;
+  return Bits >> (Dim - PrefixLen);
+}
+
+/// Extracts the bottom (rightmost) \p SuffixLen bits of a bit string.
+inline EigenBits bitSuffix(EigenBits Bits, unsigned SuffixLen) {
+  assert(SuffixLen <= MaxLiteralDim && "bad suffix request");
+  if (SuffixLen == 0)
+    return 0;
+  if (SuffixLen == MaxLiteralDim)
+    return Bits;
+  return Bits & ((EigenBits(1) << SuffixLen) - 1);
+}
+
+/// Concatenates two bit strings: \p Hi becomes the leftmost bits.
+inline EigenBits bitConcat(EigenBits Hi, EigenBits Lo, unsigned LoDim) {
+  assert(LoDim < MaxLiteralDim || Hi == 0);
+  if (LoDim >= MaxLiteralDim)
+    return Lo;
+  return (Hi << LoDim) | Lo;
+}
+
+/// Reads bit \p Pos of a \p Dim-bit string, with position 0 the leftmost.
+inline bool bitAt(EigenBits Bits, unsigned Dim, unsigned Pos) {
+  assert(Pos < Dim && "bit position out of range");
+  return (Bits >> (Dim - 1 - Pos)) & 1;
+}
+
+/// Sets bit \p Pos (leftmost = 0) of a \p Dim-bit string to \p Val.
+inline EigenBits setBitAt(EigenBits Bits, unsigned Dim, unsigned Pos,
+                          bool Val) {
+  assert(Pos < Dim && "bit position out of range");
+  EigenBits Mask = EigenBits(1) << (Dim - 1 - Pos);
+  return Val ? (Bits | Mask) : (Bits & ~Mask);
+}
+
+/// Renders a \p Dim-bit string as '0'/'1' characters, leftmost bit first.
+inline std::string bitsToString(EigenBits Bits, unsigned Dim) {
+  std::string S;
+  S.reserve(Dim);
+  for (unsigned I = 0; I < Dim; ++I)
+    S.push_back(bitAt(Bits, Dim, I) ? '1' : '0');
+  return S;
+}
+
+/// True if \p N is a power of two (and nonzero).
+inline bool isPowerOf2(uint64_t N) { return N != 0 && std::has_single_bit(N); }
+
+/// log2 of a power of two.
+inline unsigned log2Exact(uint64_t N) {
+  assert(isPowerOf2(N) && "log2Exact of non-power-of-2");
+  return static_cast<unsigned>(std::countr_zero(N));
+}
+
+} // namespace asdf
+
+#endif // ASDF_SUPPORT_BITUTILS_H

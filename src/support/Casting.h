@@ -1,0 +1,89 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast helpers ------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal reimplementation of LLVM's hand-rolled RTTI helpers. A class
+/// hierarchy opts in by providing a `static bool classof(const Base *)`
+/// predicate on each derived class (usually testing a Kind discriminator).
+/// RTTI and exceptions are disabled by convention in this codebase, matching
+/// the LLVM coding standards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SUPPORT_CASTING_H
+#define ASDF_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace asdf {
+
+/// Returns true if \p Val is an instance of \p To (or any of the listed
+/// types, checked left to right).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename Second, typename... Rest, typename From>
+std::enable_if_t<sizeof...(Rest) != 0 || !std::is_same_v<Second, void>, bool>
+isa(const From *Val) {
+  return isa<To>(Val) || isa<Second, Rest...>(Val);
+}
+
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To &cast(From &Val) {
+  assert(isa<To>(&Val) && "cast<> argument of incompatible type");
+  return static_cast<To &>(Val);
+}
+
+template <typename To, typename From> const To &cast(const From &Val) {
+  assert(isa<To>(&Val) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+/// Checking downcast: returns null if \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast<>, but tolerates a null argument (returning null).
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace asdf
+
+#endif // ASDF_SUPPORT_CASTING_H

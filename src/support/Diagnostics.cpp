@@ -1,0 +1,44 @@
+//===- Diagnostics.cpp - Source locations and error reporting ------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace asdf;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  std::ostringstream OS;
+  OS << Line << ':' << Col;
+  return OS.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  OS << Loc.str() << ": ";
+  switch (Level) {
+  case DiagLevel::Error:
+    OS << "error: ";
+    break;
+  case DiagLevel::Warning:
+    OS << "warning: ";
+    break;
+  case DiagLevel::Note:
+    OS << "note: ";
+    break;
+  }
+  OS << Message;
+  return OS.str();
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags)
+    OS << D.str() << '\n';
+  return OS.str();
+}

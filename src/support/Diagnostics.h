@@ -1,0 +1,85 @@
+//===- Diagnostics.h - Source locations and error reporting --------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error reporting without exceptions. The frontend and type checker report
+/// problems into a DiagnosticEngine; callers check `hadError()` after each
+/// phase. Messages follow the LLVM style: start lowercase, no trailing
+/// period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SUPPORT_DIAGNOSTICS_H
+#define ASDF_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace asdf {
+
+/// A position in Qwerty DSL source text. Line and column are 1-based;
+/// (0, 0) means "unknown location" (e.g. compiler-generated nodes).
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(unsigned Line, unsigned Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// Severity of a diagnostic.
+enum class DiagLevel { Error, Warning, Note };
+
+/// One reported problem.
+struct Diagnostic {
+  DiagLevel Level;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics produced by a compilation phase.
+///
+/// This engine never throws and never exits; library code records errors and
+/// returns a failure indicator (null pointer / false), and tools decide how
+/// to surface the accumulated messages.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagLevel::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagLevel::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagLevel::Note, Loc, std::move(Message)});
+  }
+
+  bool hadError() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace asdf
+
+#endif // ASDF_SUPPORT_DIAGNOSTICS_H

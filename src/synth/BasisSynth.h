@@ -1,0 +1,123 @@
+//===- BasisSynth.h - Basis translation circuit synthesis (§6.3) ----------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesizes quantum circuits for basis translations — the most novel part
+/// of Asdf. The structure follows Fig. 6:
+///
+///   unconditional standardize | left vector phases | permutation of std
+///   vectors | right vector phases | unconditional destandardize
+///
+/// with conditional (de)standardizations controlled on predicate qubits
+/// (Algorithm E6), the permutation step driven by pairing-preserving basis
+/// alignment (Appendix F / Algorithm E7), and permutations synthesized with
+/// the multidirectional transformation-based algorithm of Miller–Maslov–
+/// Dueck (the Tweedledum substitute).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SYNTH_BASISSYNTH_H
+#define ASDF_SYNTH_BASISSYNTH_H
+
+#include "basis/Basis.h"
+#include "synth/GateEmitter.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace asdf {
+
+//===----------------------------------------------------------------------===//
+// Algorithm E6: standardization determination
+//===----------------------------------------------------------------------===//
+
+/// One required (de)standardization: translate `Dim` qubits starting at
+/// `Offset` between primitive basis `Prim` and std.
+struct Standardization {
+  PrimitiveBasis Prim = PrimitiveBasis::Std;
+  unsigned Offset = 0;
+  unsigned Dim = 0;
+  bool Conditional = false;
+};
+
+/// Algorithm E6: determines the standardizations (for b_in) and
+/// destandardizations (for b_out), handling inseparable fourier elements
+/// with padding.
+void determineStandardizations(const Basis &BIn, const Basis &BOut,
+                               std::vector<Standardization> &LStd,
+                               std::vector<Standardization> &RStd);
+
+//===----------------------------------------------------------------------===//
+// Alignment (Appendix F)
+//===----------------------------------------------------------------------===//
+
+/// An aligned pair of basis literals over the same qubit range, with vector
+/// order preserved so that vector i of In maps to vector i of Out.
+struct AlignedPair {
+  unsigned Offset = 0;
+  BasisLiteral In, Out;
+  bool Identical = false; ///< Equal literals: a predicate or a no-op.
+};
+
+/// Aligns the (standardized, phase-free) bases of a translation into
+/// elementwise literal pairs (Algorithm E7). Factoring is attempted first
+/// (preserving the vector pairing); merging is the fallback. Fully-spanning
+/// identical pairs are dropped.
+std::vector<AlignedPair> alignTranslation(const Basis &In, const Basis &Out);
+
+/// Rewrites every element to the std primitive basis with phases stripped
+/// (the "standardize a basis element" operation of Appendix F).
+Basis standardizedBasis(const Basis &B);
+
+//===----------------------------------------------------------------------===//
+// Reversible permutation synthesis (Miller–Maslov–Dueck)
+//===----------------------------------------------------------------------===//
+
+/// A synthesized multi-controlled X over n wires: apply X to `Target` when
+/// all wires in `ControlMask` are 1. Bit k of masks refers to wire k
+/// (wire 0 = leftmost qubit).
+struct McxGate {
+  uint64_t ControlMask = 0;
+  unsigned Target = 0;
+};
+
+/// Transformation-based synthesis: returns MCX gates realizing the
+/// permutation \p Perm over \p NumBits wires (Perm[x] = image of x, indexed
+/// by eigenbits). Gates are returned in circuit order.
+std::vector<McxGate> synthesizePermutation(const std::vector<uint64_t> &Perm,
+                                           unsigned NumBits);
+
+//===----------------------------------------------------------------------===//
+// Gate-level emission
+//===----------------------------------------------------------------------===//
+
+/// Emits gates translating qubits [Offset, Offset+Dim) from \p Prim to std
+/// (\p ToStd) or back, controlled on \p Controls. fourier uses the (I)QFT.
+void emitStandardizePrim(GateEmitter &E, PrimitiveBasis Prim, unsigned Offset,
+                         unsigned Dim, bool ToStd,
+                         const std::vector<ControlSpec> &Controls);
+
+/// Emits the quantum Fourier transform (or its inverse) on qubits
+/// [Offset, Offset+Dim), controlled on \p Controls.
+void emitQFT(GateEmitter &E, unsigned Offset, unsigned Dim, bool Inverse,
+             const std::vector<ControlSpec> &Controls);
+
+/// Emits a phase e^{i Theta} on the computational subspace |Eigenbits> of
+/// qubits [Offset, Offset+Dim), with extra \p Controls (an X-conjugated
+/// multi-controlled P, §6.3 "Vector Phases").
+void emitPhaseOnPattern(GateEmitter &E, unsigned Offset, unsigned Dim,
+                        EigenBits Eigenbits, double Theta,
+                        const std::vector<ControlSpec> &Controls);
+
+/// Synthesizes the full circuit for the basis translation In >> Out on
+/// wires [0, dim) of \p E (Fig. 6). Returns false if the translation is
+/// malformed (should not happen for type-checked programs).
+bool synthesizeTranslation(GateEmitter &E, const Basis &In, const Basis &Out);
+
+} // namespace asdf
+
+#endif // ASDF_SYNTH_BASISSYNTH_H

@@ -1,0 +1,107 @@
+//===- GateEmitter.h - SSA-threading gate emission helper -----------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesis routines think in terms of *wires* (stable indices), while
+/// QCircuit IR threads qubit SSA values through gates. GateEmitter bridges
+/// the two: it owns the current Value* of every wire and rebuilds the map
+/// after each emitted gate. It also manages ancilla wires (qalloc/qfreez).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SYNTH_GATEEMITTER_H
+#define ASDF_SYNTH_GATEEMITTER_H
+
+#include "ir/IR.h"
+
+#include <cassert>
+#include <vector>
+
+namespace asdf {
+
+/// A control with polarity: Negative means control on |0> (synthesis
+/// X-conjugates such controls).
+struct ControlSpec {
+  unsigned Wire = 0;
+  bool Negative = false;
+
+  ControlSpec() = default;
+  ControlSpec(unsigned Wire, bool Negative = false)
+      : Wire(Wire), Negative(Negative) {}
+};
+
+/// Emits gates through a Builder while tracking wire -> Value bindings.
+class GateEmitter {
+public:
+  GateEmitter(Builder &B, std::vector<Value *> Initial)
+      : B(B), Wires(std::move(Initial)) {}
+
+  unsigned numWires() const { return Wires.size(); }
+  Value *wire(unsigned I) const {
+    assert(I < Wires.size() && Wires[I] && "dead wire");
+    return Wires[I];
+  }
+
+  /// Emits gate G with positive controls \p Controls on \p Targets.
+  void gate(GateKind G, const std::vector<unsigned> &Controls,
+            const std::vector<unsigned> &Targets, double Param = 0.0) {
+    std::vector<Value *> CV, TV;
+    for (unsigned C : Controls)
+      CV.push_back(wire(C));
+    for (unsigned T : Targets)
+      TV.push_back(wire(T));
+    std::vector<Value *> Out = B.gate(G, CV, TV, Param);
+    for (unsigned I = 0; I < Controls.size(); ++I)
+      Wires[Controls[I]] = Out[I];
+    for (unsigned I = 0; I < Targets.size(); ++I)
+      Wires[Targets[I]] = Out[Controls.size() + I];
+  }
+
+  /// Emits gate G honoring control polarities (X-conjugating negatives).
+  void gateCtl(GateKind G, const std::vector<ControlSpec> &Controls,
+               const std::vector<unsigned> &Targets, double Param = 0.0) {
+    for (const ControlSpec &C : Controls)
+      if (C.Negative)
+        gate(GateKind::X, {}, {C.Wire});
+    std::vector<unsigned> CW;
+    for (const ControlSpec &C : Controls)
+      CW.push_back(C.Wire);
+    gate(G, CW, Targets, Param);
+    for (const ControlSpec &C : Controls)
+      if (C.Negative)
+        gate(GateKind::X, {}, {C.Wire});
+  }
+
+  /// Allocates an ancilla wire (|0>); returns its wire index.
+  unsigned allocAncilla() {
+    Wires.push_back(B.qalloc());
+    return Wires.size() - 1;
+  }
+
+  /// Frees an ancilla assumed restored to |0>.
+  void freeAncillaZ(unsigned I) {
+    B.qfreez(wire(I));
+    Wires[I] = nullptr;
+  }
+
+  Builder &builder() { return B; }
+
+  /// Final values of the first \p Count wires.
+  std::vector<Value *> take(unsigned Count) const {
+    std::vector<Value *> Out;
+    for (unsigned I = 0; I < Count; ++I)
+      Out.push_back(wire(I));
+    return Out;
+  }
+
+private:
+  Builder &B;
+  std::vector<Value *> Wires;
+};
+
+} // namespace asdf
+
+#endif // ASDF_SYNTH_GATEEMITTER_H

@@ -1,0 +1,58 @@
+//===- AdjointPred.h - Adjoint and predication of basic blocks ------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the two block-level function-specialization transforms:
+///
+///  - **Adjoint** (§5.2): traverses the def-use DAG backwards from the block
+///    terminator, building an adjoint of each op to produce a reversed block.
+///    "Stationary" classical ops (constants, function values) stay in place.
+///
+///  - **Predication** (§5.3): rebuilds ops in place with an extra predicate
+///    basis. Because dataflow renaming can effect qubit swaps that would
+///    escape per-op predication, an intraprocedural dataflow analysis maps
+///    every value to the qubit indices it carries; any net permutation is
+///    undone with an uncontrolled SWAP and redone with a predicated SWAP
+///    (the trick of Fig. 5).
+///
+/// Both transforms also work on QCircuit-dialect blocks (gates, qalloc/
+/// qfreez), which is how specializations are produced after lowering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_TRANSFORM_ADJOINTPRED_H
+#define ASDF_TRANSFORM_ADJOINTPRED_H
+
+#include "ir/IR.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace asdf {
+
+/// Builds a new standalone block computing the adjoint of \p Source.
+/// \p Source must end in Ret or Yield and contain only reversible ops;
+/// the result ends in Yield. Returns null if an op is not adjointable.
+std::unique_ptr<Block> adjointBlock(const Block &Source);
+
+/// Builds a new standalone block computing \p Source predicated on \p Pred:
+/// the new block takes/returns a qbundle widened by dim(Pred) leading
+/// predicate qubits and only acts when those qubits lie in span(Pred).
+/// \p Source must be a reversible single-qbundle-arg block. Returns null on
+/// non-predicatable ops.
+std::unique_ptr<Block> predicateBlock(const Block &Source, const Basis &Pred);
+
+/// The §5.3 dataflow analysis: returns, for the block's terminator operand,
+/// the list of argument qubit indices each output position carries (the
+/// renaming permutation), or std::nullopt if the block is not a pure
+/// qubit-flow block. Exposed for testing.
+std::optional<std::vector<unsigned>>
+computeRenamingPermutation(const Block &Source);
+
+} // namespace asdf
+
+#endif // ASDF_TRANSFORM_ADJOINTPRED_H

@@ -1,0 +1,136 @@
+//===- BasisTest.cpp - Unit tests for basis data structures ---------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "basis/Basis.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace asdf;
+
+namespace {
+
+TEST(BasisVectorTest, FromStringStd) {
+  BasisVector V = BasisVector::fromString("1010");
+  EXPECT_EQ(V.Prim, PrimitiveBasis::Std);
+  EXPECT_EQ(V.Dim, 4u);
+  EXPECT_EQ(V.Eigenbits, 0b1010u);
+  EXPECT_FALSE(V.HasPhase);
+}
+
+TEST(BasisVectorTest, FromStringPm) {
+  BasisVector V = BasisVector::fromString("pmmp");
+  EXPECT_EQ(V.Prim, PrimitiveBasis::Pm);
+  EXPECT_EQ(V.Eigenbits, 0b0110u);
+}
+
+TEST(BasisVectorTest, FromStringIj) {
+  BasisVector V = BasisVector::fromString("ij");
+  EXPECT_EQ(V.Prim, PrimitiveBasis::Ij);
+  EXPECT_EQ(V.Eigenbits, 0b01u);
+}
+
+TEST(BasisVectorTest, EigenbitConventionLeftmostIsMsb) {
+  BasisVector V = BasisVector::fromString("100");
+  EXPECT_EQ(V.Eigenbits, 0b100u);
+  EXPECT_TRUE(bitAt(V.Eigenbits, V.Dim, 0));
+  EXPECT_FALSE(bitAt(V.Eigenbits, V.Dim, 1));
+  EXPECT_FALSE(bitAt(V.Eigenbits, V.Dim, 2));
+}
+
+TEST(BasisVectorTest, PrintRoundTrip) {
+  BasisVector V = BasisVector::fromString("pm");
+  EXPECT_EQ(V.str(), "'pm'");
+  BasisVector W(PrimitiveBasis::Std, 1, 1, /*Phase=*/M_PI);
+  EXPECT_EQ(W.str().substr(0, 4), "'1'@");
+}
+
+TEST(BasisLiteralTest, FullySpans) {
+  BasisLiteral L({BasisVector::fromString("0"), BasisVector::fromString("1")});
+  EXPECT_TRUE(L.fullySpans());
+  BasisLiteral Half({BasisVector::fromString("01"),
+                     BasisVector::fromString("10")});
+  EXPECT_FALSE(Half.fullySpans());
+}
+
+TEST(BasisLiteralTest, NormalizedSortsAndStripsPhases) {
+  BasisVector V1(PrimitiveBasis::Std, 2, 0b10, /*Phase=*/1.0);
+  BasisVector V2(PrimitiveBasis::Std, 2, 0b01);
+  BasisLiteral L({V1, V2});
+  BasisLiteral N = L.normalized();
+  ASSERT_EQ(N.Vectors.size(), 2u);
+  EXPECT_EQ(N.Vectors[0].Eigenbits, 0b01u);
+  EXPECT_EQ(N.Vectors[1].Eigenbits, 0b10u);
+  EXPECT_FALSE(N.Vectors[0].HasPhase);
+  EXPECT_FALSE(N.Vectors[1].HasPhase);
+}
+
+TEST(BasisLiteralTest, EigenbitsDistinct) {
+  BasisLiteral Good({BasisVector::fromString("01"),
+                     BasisVector::fromString("10")});
+  EXPECT_TRUE(Good.eigenbitsDistinct());
+  BasisLiteral Bad({BasisVector::fromString("01"),
+                    BasisVector::fromString("01")});
+  EXPECT_FALSE(Bad.eigenbitsDistinct());
+}
+
+TEST(BasisElementTest, BuiltinFullySpans) {
+  BasisElement E = BasisElement::builtin(PrimitiveBasis::Pm, 3);
+  EXPECT_TRUE(E.fullySpans());
+  EXPECT_EQ(E.dim(), 3u);
+  EXPECT_EQ(E.str(), "pm[3]");
+}
+
+TEST(BasisElementTest, SingleQubitBuiltinPrintsBare) {
+  EXPECT_EQ(BasisElement::builtin(PrimitiveBasis::Std, 1).str(), "std");
+}
+
+TEST(BasisElementTest, EqualityDistinguishesKinds) {
+  BasisElement B = BasisElement::builtin(PrimitiveBasis::Std, 1);
+  BasisElement L = BasisElement::literal(
+      BasisLiteral({BasisVector::fromString("0"),
+                    BasisVector::fromString("1")}));
+  EXPECT_FALSE(B == L);
+  EXPECT_TRUE(L.fullySpans());
+}
+
+TEST(BasisTest, DimSumsElements) {
+  Basis B = Basis::builtin(PrimitiveBasis::Std, 2)
+                .tensor(Basis::builtin(PrimitiveBasis::Fourier, 3));
+  EXPECT_EQ(B.dim(), 5u);
+  EXPECT_EQ(B.size(), 2u);
+}
+
+TEST(BasisTest, PowerRepeatsElements) {
+  Basis B = Basis::builtin(PrimitiveBasis::Pm, 1).power(4);
+  EXPECT_EQ(B.dim(), 4u);
+  EXPECT_EQ(B.size(), 4u);
+}
+
+TEST(BasisTest, PrintCanonForm) {
+  Basis B = Basis::builtin(PrimitiveBasis::Pm, 2)
+                .tensor(Basis::literal(BasisLiteral(
+                    {BasisVector::fromString("p")})));
+  EXPECT_EQ(B.str(), "pm[2] + {'p'}");
+}
+
+TEST(BasisTest, HasPhases) {
+  Basis NoPhase = Basis::builtin(PrimitiveBasis::Std, 2);
+  EXPECT_FALSE(NoPhase.hasPhases());
+  BasisVector V(PrimitiveBasis::Std, 1, 1, /*Phase=*/0.5);
+  Basis WithPhase = Basis::literal(BasisLiteral({V}));
+  EXPECT_TRUE(WithPhase.hasPhases());
+}
+
+TEST(BitUtilsTest, PrefixSuffixConcat) {
+  uint64_t Bits = 0b101101;
+  EXPECT_EQ(bitPrefix(Bits, 6, 3), 0b101u);
+  EXPECT_EQ(bitSuffix(Bits, 3), 0b101u);
+  EXPECT_EQ(bitConcat(0b101, 0b101, 3), 0b101101u);
+  EXPECT_EQ(bitsToString(Bits, 6), "101101");
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- DiagnosticsTest.cpp - Error reporting sweeps ------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized sweeps over malformed programs: every case must produce a
+/// diagnostic (never a crash or a silent mis-compile), and the message must
+/// mention the right concept. This exercises the paper's well-typedness
+/// rules (§2.2, §4) from the failure side.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/Expand.h"
+#include "ast/Parser.h"
+#include "ast/TypeChecker.h"
+#include "compiler/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace asdf;
+
+namespace {
+
+struct BadCase {
+  const char *Name;
+  const char *Source;
+  const char *ExpectInMessage;
+};
+
+const BadCase ParseCases[] = {
+    {"unterminated_literal", "qpu k() -> bit { return 'p | std.measure }\n",
+     "unterminated"},
+    {"missing_paren", "qpu k( { }\n", "expected"},
+    {"bad_char", "qpu k() -> bit { return $ }\n", "unexpected character"},
+    {"lone_gt", "qpu k() -> bit { return a > b }\n", "expected '>>'"},
+    {"missing_body", "qpu k() -> bit\n", "'{'"},
+    {"bad_attribute", "qpu k(q: qubit) -> qubit { return q | std.frobnicate "
+                      "}\n",
+     "unknown attribute"},
+    {"empty_literal", "qpu k(q: qubit) -> qubit { return q | '' >> std }\n",
+     "empty qubit literal"},
+    {"bad_type", "qpu k(q: tensor) -> bit { return q }\n", "unknown type"},
+};
+
+class ParseErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ParseErrors, Reported) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(GetParam().Source, Diags);
+  EXPECT_EQ(P, nullptr) << GetParam().Name;
+  EXPECT_TRUE(Diags.hadError());
+  EXPECT_NE(Diags.str().find(GetParam().ExpectInMessage), std::string::npos)
+      << "got: " << Diags.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Diagnostics, ParseErrors, ::testing::ValuesIn(ParseCases),
+    [](const ::testing::TestParamInfo<BadCase> &Info) {
+      return Info.param.Name;
+    });
+
+const BadCase TypeCases[] = {
+    {"qubit_reuse", "qpu k(q: qubit) -> qubit[2] { return q + q }\n",
+     "more than once"},
+    {"qubit_leak",
+     "qpu k(q: qubit) -> bit { a = 'p' | std.measure\n return a }\n",
+     "never used"},
+    {"span_mismatch",
+     "qpu k(q: qubit) -> qubit { return q | {'0'} >> {'1'} }\n", "span"},
+    {"dim_mismatch",
+     "qpu k(q: qubit[2]) -> qubit[2] { return q | std[2] >> std[3] }\n",
+     "dimensions differ"},
+    {"dup_eigenbits",
+     "qpu k(q: qubit) -> qubit { return q | {'0','0'} >> {'0','1'} }\n",
+     "orthogonal"},
+    {"mixed_prim_literal",
+     "qpu k(q: qubit) -> qubit { return q | {'0','m'} >> {'0','1'} }\n",
+     "primitive"},
+    {"adjoint_of_measure",
+     "qpu k(q: qubit) -> bit { return q | ~(std.measure) }\n", "reversible"},
+    {"pipe_dim", "qpu k(q: qubit[3]) -> qubit[3] { return q | std.flip }\n",
+     "cannot pipe"},
+    {"partial_measure",
+     "qpu k(q: qubit) -> bit { return q | {'0'}.measure }\n",
+     "fully spanning"},
+    {"basis_as_value", "qpu k() -> bit { return std | std.measure }\n",
+     "not a first-class value"},
+    {"unknown_var", "qpu k() -> bit { return zap | std.measure }\n",
+     "unknown variable"},
+    {"return_mismatch", "qpu k(q: qubit) -> bit[2] "
+                        "{ return q | std.measure }\n",
+     "mismatch"},
+    {"cond_not_bit",
+     "qpu k(q: qubit[2]) -> qubit[2] "
+     "{ a, b = q | id[2]\n return (a | std.flip if b else id) + '0' | "
+     "id[2] }\n",
+     "bit[1]"},
+    {"flip_of_fourier",
+     "qpu k(q: qubit[2]) -> qubit[2] { return q | fourier[2].flip }\n",
+     ".flip"},
+    {"sign_needs_single_bit",
+     "classical g(x: bit[2]) -> bit[2] { return x }\n"
+     "qpu k(q: qubit[2]) -> qubit[2] { return q | g.sign }\n",
+     "bit[1]"},
+    {"classical_width",
+     "classical g(x: bit[2], y: bit[3]) -> bit[2] { return x & y }\n",
+     "equal width"},
+    {"missing_return", "qpu k(q: qubit) -> qubit { a = q | id }\n",
+     "return"},
+    {"stmt_after_return",
+     "qpu k(q: qubit) -> qubit { return q\n a = 'p' | std.measure }\n",
+     "after return"},
+};
+
+class TypeErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(TypeErrors, Reported) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(GetParam().Source, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  std::unique_ptr<Program> E = expandProgram(*P, {}, Diags);
+  ASSERT_TRUE(E) << Diags.str();
+  EXPECT_FALSE(typeCheckProgram(*E, Diags)) << GetParam().Name;
+  EXPECT_NE(Diags.str().find(GetParam().ExpectInMessage), std::string::npos)
+      << "got: " << Diags.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Diagnostics, TypeErrors, ::testing::ValuesIn(TypeCases),
+    [](const ::testing::TestParamInfo<BadCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(DiagnosticsTest, UnboundDimensionVariableMentionsInference) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(
+      "qpu k[N](q: qubit[N]) -> qubit[N] { return q | id[N] }\n", Diags);
+  ASSERT_TRUE(P);
+  EXPECT_EQ(expandProgram(*P, {}, Diags), nullptr);
+  EXPECT_NE(Diags.str().find("dimension variable"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, ConflictingInferenceReported) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(
+      "classical g(a: bit[N], b: bit[N]) -> bit { return (a & "
+      "b).xor_reduce() }\n",
+      Diags);
+  ASSERT_TRUE(P);
+  ProgramBindings B;
+  B.Captures["g"]["a"] = CaptureValue::bitsFromString("101");
+  B.Captures["g"]["b"] = CaptureValue::bitsFromString("10");
+  EXPECT_EQ(expandProgram(*P, B, Diags), nullptr);
+  EXPECT_NE(Diags.str().find("conflicting"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, CompilerSurfacesPhaseInMessage) {
+  QwertyCompiler Compiler;
+  CompileResult R = Compiler.compile("qpu k( {", {}, CompileOptions());
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.ErrorMessage.find("parse"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, LocationsAreOneBased) {
+  DiagnosticEngine Diags;
+  parseProgram("\nqpu k( {", Diags);
+  ASSERT_TRUE(Diags.hadError());
+  // Error is on line 2.
+  EXPECT_NE(Diags.str().find("2:"), std::string::npos);
+}
+
+} // namespace

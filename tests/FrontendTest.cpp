@@ -1,0 +1,530 @@
+//===- FrontendTest.cpp - Lexer/parser/typechecker/canonicalizer tests ----===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Canonicalize.h"
+#include "ast/Expand.h"
+#include "ast/Parser.h"
+#include "ast/TypeChecker.h"
+
+#include <gtest/gtest.h>
+
+using namespace asdf;
+
+namespace {
+
+/// The Bernstein-Vazirani program of Fig. 1, in our DSL.
+const char *BVSource = R"(
+classical f[N](secret: bit[N], x: bit[N]) -> bit {
+    return (secret & x).xor_reduce()
+}
+
+qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+    return 'p'[N] | f.sign \
+        | pm[N] >> std[N] \
+        | std[N].measure
+}
+)";
+
+/// Quantum teleportation (Fig. C13), in our DSL.
+const char *TeleportSource = R"(
+qpu teleport(secret: qubit) -> qubit {
+    alice, bob = 'p0' | '1' & std.flip
+    m_pm, m_std = secret + alice | '1' & std.flip | (pm + std).measure
+    secret_teleported = bob | (pm.flip if m_std else id) \
+        | (std.flip if m_pm else id)
+    return secret_teleported
+}
+)";
+
+std::unique_ptr<Program> parseOk(const char *Source) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(Source, Diags);
+  EXPECT_TRUE(P != nullptr) << Diags.str();
+  return P;
+}
+
+/// Parses, expands (with B-V style bindings), and type checks.
+std::unique_ptr<Program> frontendOk(const char *Source,
+                                    const ProgramBindings &Bindings) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(Source, Diags);
+  if (!P) {
+    ADD_FAILURE() << "parse failed: " << Diags.str();
+    return nullptr;
+  }
+  std::unique_ptr<Program> E = expandProgram(*P, Bindings, Diags);
+  if (!E) {
+    ADD_FAILURE() << "expand failed: " << Diags.str();
+    return nullptr;
+  }
+  if (!typeCheckProgram(*E, Diags)) {
+    ADD_FAILURE() << "type check failed: " << Diags.str();
+    return nullptr;
+  }
+  return E;
+}
+
+ProgramBindings bvBindings(const std::string &Secret) {
+  ProgramBindings B;
+  B.Captures["f"]["secret"] = CaptureValue::bitsFromString(Secret);
+  B.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LexerTest, TokenizesPipeline) {
+  DiagnosticEngine Diags;
+  Lexer L("'p'[4] | pm[4] >> std[4]", Diags);
+  ASSERT_FALSE(Diags.hadError());
+  std::vector<Token::Kind> Kinds;
+  for (const Token &T : L.tokens())
+    Kinds.push_back(T.TheKind);
+  using TK = Token::Kind;
+  std::vector<TK> Expected = {
+      TK::QubitLit, TK::LBracket, TK::Integer,    TK::RBracket, TK::Pipe,
+      TK::Identifier, TK::LBracket, TK::Integer,  TK::RBracket, TK::Shift,
+      TK::Identifier, TK::LBracket, TK::Integer,  TK::RBracket, TK::Newline,
+      TK::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, LineContinuationJoinsLines) {
+  DiagnosticEngine Diags;
+  Lexer L("a \\\n b", Diags);
+  ASSERT_FALSE(Diags.hadError());
+  // a, b, newline, eof: no newline between a and b.
+  EXPECT_EQ(L.tokens().size(), 4u);
+}
+
+TEST(LexerTest, CommentsIgnored) {
+  DiagnosticEngine Diags;
+  Lexer L("a # comment\nb // another\n", Diags);
+  ASSERT_FALSE(Diags.hadError());
+  unsigned Idents = 0;
+  for (const Token &T : L.tokens())
+    if (T.is(Token::Kind::Identifier))
+      ++Idents;
+  EXPECT_EQ(Idents, 2u);
+}
+
+TEST(LexerTest, ArrowVsMinus) {
+  DiagnosticEngine Diags;
+  Lexer L("-> -'p'", Diags);
+  ASSERT_FALSE(Diags.hadError());
+  EXPECT_TRUE(L.tokens()[0].is(Token::Kind::Arrow));
+  EXPECT_TRUE(L.tokens()[1].is(Token::Kind::Minus));
+  EXPECT_TRUE(L.tokens()[2].is(Token::Kind::QubitLit));
+}
+
+TEST(LexerTest, UnterminatedQubitLiteralErrors) {
+  DiagnosticEngine Diags;
+  Lexer L("'p0", Diags);
+  EXPECT_TRUE(Diags.hadError());
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, ParsesBernsteinVazirani) {
+  std::unique_ptr<Program> P = parseOk(BVSource);
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Functions.size(), 2u);
+  EXPECT_TRUE(P->Functions[0]->isClassical());
+  EXPECT_TRUE(P->Functions[1]->isQpu());
+  EXPECT_EQ(P->Functions[1]->DimVars.size(), 1u);
+}
+
+TEST(ParserTest, ParsesTeleport) {
+  std::unique_ptr<Program> P = parseOk(TeleportSource);
+  ASSERT_TRUE(P);
+  FunctionDef *F = P->lookup("teleport");
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->Body.size(), 4u);
+}
+
+TEST(ParserTest, PrecedencePipeLoosest) {
+  std::unique_ptr<Program> P =
+      parseOk("qpu k() -> bit { return 'p' | pm >> std | std.measure }\n");
+  ASSERT_TRUE(P);
+  const auto *Ret =
+      cast<ReturnStmt>(P->Functions[0]->Body.front().get());
+  // Top node must be a pipe whose function is the measure.
+  const auto *Outer = dyn_cast<PipeExpr>(Ret->Value.get());
+  ASSERT_TRUE(Outer);
+  EXPECT_TRUE(isa<MeasureExpr>(Outer->Func.get()));
+  const auto *Inner = dyn_cast<PipeExpr>(Outer->Value.get());
+  ASSERT_TRUE(Inner);
+  EXPECT_TRUE(isa<BasisTranslationExpr>(Inner->Func.get()));
+}
+
+TEST(ParserTest, PrecedenceTensorTighterThanShift) {
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k(q: qubit[2]) -> qubit[2] { return q | std + std >> pm + pm }\n");
+  ASSERT_TRUE(P);
+  const auto *Ret = cast<ReturnStmt>(P->Functions[0]->Body.front().get());
+  const auto *Pipe = cast<PipeExpr>(Ret->Value.get());
+  const auto *BT = dyn_cast<BasisTranslationExpr>(Pipe->Func.get());
+  ASSERT_TRUE(BT);
+  EXPECT_TRUE(isa<TensorExpr>(BT->InBasis.get()));
+  EXPECT_TRUE(isa<TensorExpr>(BT->OutBasis.get()));
+}
+
+TEST(ParserTest, NegatedVectorInBasisLiteral) {
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k(q: qubit) -> qubit { return q | {'0','1'} >> {-'1','0'} }\n");
+  ASSERT_TRUE(P);
+}
+
+TEST(ParserTest, PhaseAnnotation) {
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k(q: qubit) -> qubit { return q | {'0','1'} >> {'0','1'@45} }\n");
+  ASSERT_TRUE(P);
+}
+
+TEST(ParserTest, MissingReturnTypeStillParses) {
+  DiagnosticEngine Diags;
+  // Syntax ok; the *type checker* rejects missing return types for qpu.
+  std::unique_ptr<Program> P =
+      parseProgram("qpu k(q: qubit) { return q }\n", Diags);
+  EXPECT_TRUE(P != nullptr);
+}
+
+TEST(ParserTest, SyntaxErrorReported) {
+  DiagnosticEngine Diags;
+  EXPECT_EQ(parseProgram("qpu k( { }", Diags), nullptr);
+  EXPECT_TRUE(Diags.hadError());
+}
+
+TEST(ParserTest, ConditionalExpression) {
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k(q: qubit, m: bit) -> qubit { return q | (std.flip if m else "
+      "id) }\n");
+  ASSERT_TRUE(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Expansion
+//===----------------------------------------------------------------------===//
+
+TEST(ExpandTest, InfersDimVarFromCapture) {
+  std::unique_ptr<Program> E = frontendOk(BVSource, bvBindings("1010"));
+  ASSERT_TRUE(E);
+  // kernel's return type must be bit[4].
+  FunctionDef *K = E->lookup("kernel");
+  ASSERT_TRUE(K);
+  EXPECT_EQ(K->ReturnTy, Type::bit(4));
+  // The captured cfunc parameter is dropped from the signature.
+  EXPECT_TRUE(K->Params.empty());
+}
+
+TEST(ExpandTest, ExplicitDimVarBinding) {
+  ProgramBindings B;
+  B.DimVars["N"] = 3;
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k[N](q: qubit[N]) -> qubit[N] { return q | pm[N] >> std[N] }\n");
+  std::unique_ptr<Program> E = expandProgram(*P, B, Diags);
+  ASSERT_TRUE(E) << Diags.str();
+  EXPECT_EQ(E->Functions[0]->Params[0].Ty, Type::qubit(3));
+}
+
+TEST(ExpandTest, UnboundDimVarFails) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k[N](q: qubit[N]) -> qubit[N] { return q | pm[N] >> std[N] }\n");
+  std::unique_ptr<Program> E = expandProgram(*P, {}, Diags);
+  EXPECT_EQ(E, nullptr);
+  EXPECT_TRUE(Diags.hadError());
+}
+
+TEST(ExpandTest, BroadcastOfQubitLiteral) {
+  ProgramBindings B;
+  B.DimVars["N"] = 5;
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k[N]() -> bit[N] { return 'p'[N] | std[N].measure }\n");
+  std::unique_ptr<Program> E = expandProgram(*P, B, Diags);
+  ASSERT_TRUE(E) << Diags.str();
+  const auto *Ret = cast<ReturnStmt>(E->Functions[0]->Body.front().get());
+  const auto *Pipe = cast<PipeExpr>(Ret->Value.get());
+  const auto *QL = dyn_cast<QubitLiteralExpr>(Pipe->Value.get());
+  ASSERT_TRUE(QL);
+  EXPECT_EQ(QL->dim(), 5u);
+}
+
+TEST(ExpandTest, DimArithmetic) {
+  ProgramBindings B;
+  B.DimVars["N"] = 4;
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k[N]() -> bit[N+1] { return 'p'[N+1] | std[N+1].measure }\n");
+  std::unique_ptr<Program> E = expandProgram(*P, B, Diags);
+  ASSERT_TRUE(E) << Diags.str();
+  EXPECT_EQ(E->Functions[0]->ReturnTy, Type::bit(5));
+}
+
+//===----------------------------------------------------------------------===//
+// Type checking
+//===----------------------------------------------------------------------===//
+
+TEST(TypeCheckTest, BVTypeChecks) {
+  EXPECT_TRUE(frontendOk(BVSource, bvBindings("10101010")));
+}
+
+TEST(TypeCheckTest, TeleportTypeChecks) {
+  EXPECT_TRUE(frontendOk(TeleportSource, {}));
+}
+
+TEST(TypeCheckTest, LinearityDoubleUseRejected) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k(q: qubit) -> qubit[2] { return q + q }\n");
+  std::unique_ptr<Program> E = expandProgram(*P, {}, Diags);
+  ASSERT_TRUE(E);
+  EXPECT_FALSE(typeCheckProgram(*E, Diags));
+  EXPECT_NE(Diags.str().find("more than once"), std::string::npos);
+}
+
+TEST(TypeCheckTest, LinearityUnusedRejected) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k(q: qubit) -> bit { a = 'p' | std.measure\n return a }\n");
+  // q is never consumed.
+  std::unique_ptr<Program> E = expandProgram(*P, {}, Diags);
+  ASSERT_TRUE(E);
+  EXPECT_FALSE(typeCheckProgram(*E, Diags));
+  EXPECT_NE(Diags.str().find("never used"), std::string::npos);
+}
+
+TEST(TypeCheckTest, SpanMismatchRejected) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k(q: qubit[2]) -> qubit[2] { return q | {'01','10'} >> "
+      "{'00','11'} }\n");
+  std::unique_ptr<Program> E = expandProgram(*P, {}, Diags);
+  ASSERT_TRUE(E);
+  EXPECT_FALSE(typeCheckProgram(*E, Diags));
+  EXPECT_NE(Diags.str().find("span"), std::string::npos);
+}
+
+TEST(TypeCheckTest, TranslationDimMismatchRejected) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k(q: qubit[2]) -> qubit[2] { return q | std[2] >> std[3] }\n");
+  std::unique_ptr<Program> E = expandProgram(*P, {}, Diags);
+  ASSERT_TRUE(E);
+  EXPECT_FALSE(typeCheckProgram(*E, Diags));
+}
+
+TEST(TypeCheckTest, DuplicateEigenbitsRejected) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k(q: qubit) -> qubit { return q | {'0','0'} >> {'0','1'} }\n");
+  std::unique_ptr<Program> E = expandProgram(*P, {}, Diags);
+  ASSERT_TRUE(E);
+  EXPECT_FALSE(typeCheckProgram(*E, Diags));
+  EXPECT_NE(Diags.str().find("orthogonal"), std::string::npos);
+}
+
+TEST(TypeCheckTest, MixedPrimInLiteralRejected) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k(q: qubit) -> qubit { return q | {'0','m'} >> {'0','1'} }\n");
+  std::unique_ptr<Program> E = expandProgram(*P, {}, Diags);
+  ASSERT_TRUE(E);
+  EXPECT_FALSE(typeCheckProgram(*E, Diags));
+}
+
+TEST(TypeCheckTest, AdjointOfMeasureRejected) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k(q: qubit) -> bit { return q | ~(std.measure) }\n");
+  std::unique_ptr<Program> E = expandProgram(*P, {}, Diags);
+  ASSERT_TRUE(E);
+  EXPECT_FALSE(typeCheckProgram(*E, Diags));
+  EXPECT_NE(Diags.str().find("reversible"), std::string::npos);
+}
+
+TEST(TypeCheckTest, PredicationTypes) {
+  std::unique_ptr<Program> E = frontendOk(
+      "qpu k(q: qubit[3]) -> qubit[3] { return q | '11' & std.flip }\n", {});
+  ASSERT_TRUE(E);
+  const auto *Ret = cast<ReturnStmt>(E->Functions[0]->Body.front().get());
+  const auto *Pipe = cast<PipeExpr>(Ret->Value.get());
+  EXPECT_EQ(Pipe->Func->Ty, Type::revFunc(3));
+}
+
+TEST(TypeCheckTest, PipeDimMismatchRejected) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k(q: qubit[2]) -> qubit[2] { return q | std.flip }\n");
+  std::unique_ptr<Program> E = expandProgram(*P, {}, Diags);
+  ASSERT_TRUE(E);
+  EXPECT_FALSE(typeCheckProgram(*E, Diags));
+}
+
+TEST(TypeCheckTest, KernelAsFunctionValue) {
+  const char *Source = R"(
+qpu inner(q: qubit[2]) -> qubit[2] { return q | pm[2] >> std[2] }
+qpu outer(q: qubit[2]) -> qubit[2] { return q | inner | ~inner }
+)";
+  EXPECT_TRUE(frontendOk(Source, {}));
+}
+
+TEST(TypeCheckTest, AdjointOfIrreversibleKernelRejected) {
+  const char *Source = R"(
+qpu inner(q: qubit) -> bit { return q | std.measure }
+qpu outer(q: qubit) -> bit { return q | ~inner }
+)";
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(Source);
+  std::unique_ptr<Program> E = expandProgram(*P, {}, Diags);
+  ASSERT_TRUE(E);
+  EXPECT_FALSE(typeCheckProgram(*E, Diags));
+}
+
+TEST(TypeCheckTest, PartialSpanMeasureRejected) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "qpu k(q: qubit) -> bit { return q | {'0'}.measure }\n");
+  std::unique_ptr<Program> E = expandProgram(*P, {}, Diags);
+  ASSERT_TRUE(E);
+  EXPECT_FALSE(typeCheckProgram(*E, Diags));
+  EXPECT_NE(Diags.str().find("fully spanning"), std::string::npos);
+}
+
+TEST(TypeCheckTest, MeasureInFourierBasis) {
+  EXPECT_TRUE(frontendOk(
+      "qpu k(q: qubit[3]) -> bit[3] { return q | fourier[3].measure }\n",
+      {}));
+}
+
+TEST(TypeCheckTest, ClassicalFunctionChecks) {
+  EXPECT_TRUE(frontendOk(
+      "classical g[N](x: bit[N]) -> bit { return (x & x).or_reduce() }\n"
+      "qpu k[N](g: cfunc[N,1], q: qubit[N]) -> qubit[N] "
+      "{ return q | g.sign }\n",
+      [] {
+        ProgramBindings B;
+        B.DimVars["N"] = 4;
+        B.Captures["k"]["g"] = CaptureValue::classicalFunc("g");
+        return B;
+      }()));
+}
+
+TEST(TypeCheckTest, ClassicalWidthMismatchRejected) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseOk(
+      "classical g(x: bit[2], y: bit[3]) -> bit[2] { return x & y }\n");
+  std::unique_ptr<Program> E = expandProgram(*P, {}, Diags);
+  ASSERT_TRUE(E);
+  EXPECT_FALSE(typeCheckProgram(*E, Diags));
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalization (§4.2)
+//===----------------------------------------------------------------------===//
+
+/// Returns the return-value expression of the only qpu function.
+const Expr *returnExpr(const Program &P) {
+  for (const auto &F : P.Functions)
+    if (F->isQpu())
+      for (const StmtPtr &S : F->Body)
+        if (const auto *Ret = dyn_cast<ReturnStmt>(S.get()))
+          return Ret->Value.get();
+  return nullptr;
+}
+
+TEST(CanonicalizeTest, DoubleAdjointRemoved) {
+  std::unique_ptr<Program> E = frontendOk(
+      "qpu k(q: qubit) -> qubit { return q | ~~(pm >> std) }\n", {});
+  ASSERT_TRUE(E);
+  canonicalizeProgram(*E);
+  const auto *Pipe = cast<PipeExpr>(returnExpr(*E));
+  EXPECT_TRUE(isa<BasisTranslationExpr>(Pipe->Func.get()));
+}
+
+TEST(CanonicalizeTest, AdjointOfTranslationSwapsSides) {
+  std::unique_ptr<Program> E = frontendOk(
+      "qpu k(q: qubit) -> qubit { return q | ~({'0','1'} >> {'1','0'}) }\n",
+      {});
+  ASSERT_TRUE(E);
+  canonicalizeProgram(*E);
+  const auto *Pipe = cast<PipeExpr>(returnExpr(*E));
+  const auto *BT = dyn_cast<BasisTranslationExpr>(Pipe->Func.get());
+  ASSERT_TRUE(BT);
+  // After swapping, the in-basis is {'1','0'}.
+  Basis BIn = evalBasis(*BT->InBasis);
+  ASSERT_TRUE(BIn.elements().front().isLiteral());
+  EXPECT_EQ(
+      BIn.elements().front().literalValue().Vectors.front().Eigenbits, 1u);
+}
+
+TEST(CanonicalizeTest, FullySpanningPredicateBecomesIdentityTensor) {
+  std::unique_ptr<Program> E = frontendOk(
+      "qpu k(q: qubit[3]) -> qubit[3] { return q | std[2] & pm.flip }\n",
+      {});
+  ASSERT_TRUE(E);
+  canonicalizeProgram(*E);
+  const auto *Pipe = cast<PipeExpr>(returnExpr(*E));
+  const auto *T = dyn_cast<TensorExpr>(Pipe->Func.get());
+  ASSERT_TRUE(T);
+  const auto *Id = dyn_cast<IdentityExpr>(T->Lhs.get());
+  ASSERT_TRUE(Id);
+  EXPECT_EQ(Id->Dim, 2u);
+}
+
+TEST(CanonicalizeTest, PredicatedTranslationFoldsIntoTranslation) {
+  std::unique_ptr<Program> E = frontendOk(
+      "qpu k(q: qubit[3]) -> qubit[3] { return q | '11' & (pm >> std) }\n",
+      {});
+  ASSERT_TRUE(E);
+  canonicalizeProgram(*E);
+  const auto *Pipe = cast<PipeExpr>(returnExpr(*E));
+  const auto *BT = dyn_cast<BasisTranslationExpr>(Pipe->Func.get());
+  ASSERT_TRUE(BT);
+  Basis BIn = evalBasis(*BT->InBasis);
+  EXPECT_EQ(BIn.dim(), 3u);
+  EXPECT_EQ(BIn.size(), 2u); // {'11'} + pm
+}
+
+TEST(CanonicalizeTest, FlipDesugarsToTranslation) {
+  std::unique_ptr<Program> E = frontendOk(
+      "qpu k(q: qubit) -> qubit { return q | std.flip }\n", {});
+  ASSERT_TRUE(E);
+  canonicalizeProgram(*E);
+  const auto *Pipe = cast<PipeExpr>(returnExpr(*E));
+  const auto *BT = dyn_cast<BasisTranslationExpr>(Pipe->Func.get());
+  ASSERT_TRUE(BT);
+  // std.flip == {'0','1'} >> {'1','0'}.
+  Basis BIn = evalBasis(*BT->InBasis);
+  Basis BOut = evalBasis(*BT->OutBasis);
+  EXPECT_EQ(BIn.elements().front().literalValue().Vectors[0].Eigenbits, 0u);
+  EXPECT_EQ(BOut.elements().front().literalValue().Vectors[0].Eigenbits, 1u);
+}
+
+TEST(CanonicalizeTest, AdjointPushedThroughPredication) {
+  std::unique_ptr<Program> E = frontendOk(
+      "qpu k(q: qubit[2]) -> qubit[2] { return q | ~('1' & (std >> pm)) }\n",
+      {});
+  ASSERT_TRUE(E);
+  canonicalizeProgram(*E);
+  const auto *Pipe = cast<PipeExpr>(returnExpr(*E));
+  // ~('1' & (std>>pm)) -> '1' & ~(std>>pm) -> '1' & (pm>>std)
+  // -> {'1'}+pm >> {'1'}+std.
+  const auto *BT = dyn_cast<BasisTranslationExpr>(Pipe->Func.get());
+  ASSERT_TRUE(BT);
+  Basis BIn = evalBasis(*BT->InBasis);
+  ASSERT_EQ(BIn.size(), 2u);
+  EXPECT_TRUE(BIn.elements()[1].isBuiltin());
+  EXPECT_EQ(BIn.elements()[1].prim(), PrimitiveBasis::Pm);
+}
+
+} // namespace

@@ -1,0 +1,489 @@
+//===- PipelineTest.cpp - End-to-end compiler + simulator tests -----------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs whole Qwerty programs through every stage of Fig. 2 and validates
+/// the executed semantics on the state-vector simulator: Bernstein-Vazirani
+/// recovers its secret, Deutsch-Jozsa distinguishes balanced oracles,
+/// Grover finds the marked item, Simon's samples are orthogonal to the
+/// secret, and teleportation preserves arbitrary states through the
+/// classically-conditioned circuit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "classical/LogicNetwork.h"
+#include "classical/ReversibleSynth.h"
+#include "ast/Parser.h"
+#include "ast/TypeChecker.h"
+#include "compiler/Compiler.h"
+#include "qcirc/Flatten.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace asdf;
+
+namespace {
+
+/// Reads the output bits of a shot through the circuit's output mapping.
+std::string outputString(const Circuit &C, const ShotResult &R) {
+  std::string S;
+  for (int Ref : C.OutputBits) {
+    if (Ref == -2)
+      S.push_back('1');
+    else if (Ref == -3)
+      S.push_back('0');
+    else
+      S.push_back(R.Bits[static_cast<unsigned>(Ref)] ? '1' : '0');
+  }
+  return S;
+}
+
+const char *BVSource = R"(
+classical f[N](secret: bit[N], x: bit[N]) -> bit {
+    return (secret & x).xor_reduce()
+}
+qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+    return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+}
+)";
+
+ProgramBindings bvBindings(const std::string &Secret) {
+  ProgramBindings B;
+  B.Captures["f"]["secret"] = CaptureValue::bitsFromString(Secret);
+  B.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+  return B;
+}
+
+TEST(PipelineTest, BernsteinVaziraniRecoversSecret) {
+  for (const char *Secret : {"1010", "1111", "0001", "1011010"}) {
+    QwertyCompiler Compiler;
+    CompileResult R = Compiler.compile(BVSource, bvBindings(Secret));
+    ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+    // B-V is deterministic: every shot yields the secret.
+    ShotResult Shot = simulate(R.FlatCircuit, 42);
+    EXPECT_EQ(outputString(R.FlatCircuit, Shot), Secret);
+  }
+}
+
+TEST(PipelineTest, BVFullyInlines) {
+  QwertyCompiler Compiler;
+  CompileResult R = Compiler.compileToQwertyIR(BVSource, bvBindings("1010"));
+  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  // With optimization, everything inlines into one function with no
+  // call_indirect ops (§8.2).
+  EXPECT_EQ(R.QwertyIR->Functions.size(), 1u);
+  for (auto &O : R.QwertyIR->Functions[0]->Body.Ops) {
+    EXPECT_NE(O->Kind, OpKind::CallIndirect);
+    EXPECT_NE(O->Kind, OpKind::Call);
+  }
+}
+
+TEST(PipelineTest, BVNoOptKeepsCallIndirects) {
+  QwertyCompiler Compiler;
+  CompileOptions Opts;
+  Opts.Inline = false;
+  CompileResult R =
+      Compiler.compileToQwertyIR(BVSource, bvBindings("1010"), Opts);
+  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  unsigned Consts = 0, Indirects = 0;
+  for (auto &F : R.QwertyIR->Functions)
+    for (auto &O : F->Body.Ops) {
+      Consts += O->Kind == OpKind::FuncConst;
+      Indirects += O->Kind == OpKind::CallIndirect;
+    }
+  EXPECT_GT(Consts, 0u);
+  EXPECT_GT(Indirects, 0u);
+}
+
+TEST(PipelineTest, DeutschJozsaBalancedDetected) {
+  // Balanced oracle (XOR of all bits): kernel output must be nonzero.
+  const char *Source = R"(
+classical f[N](x: bit[N]) -> bit {
+    return x.xor_reduce()
+}
+qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+    return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+}
+)";
+  ProgramBindings B;
+  B.DimVars["N"] = 5;
+  B.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+  QwertyCompiler Compiler;
+  CompileResult R = Compiler.compile(Source, B);
+  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  ShotResult Shot = simulate(R.FlatCircuit, 7);
+  // XOR-of-all-bits oracle is the secret 11111 in B-V terms.
+  EXPECT_EQ(outputString(R.FlatCircuit, Shot), "11111");
+}
+
+TEST(PipelineTest, GroverFindsMarkedItem) {
+  // One Grover iteration on 2 qubits finds the all-ones item with
+  // certainty: 'p'[2] | f.sign | diffuser.
+  const char *Source = R"(
+classical oracle[N](x: bit[N]) -> bit {
+    return x.and_reduce()
+}
+qpu kernel[N](oracle: cfunc[N, 1]) -> bit[N] {
+    return 'p'[N] | oracle.sign \
+        | {'p'[N]} >> {-'p'[N]} \
+        | std[N].measure
+}
+)";
+  ProgramBindings B;
+  B.DimVars["N"] = 2;
+  B.Captures["kernel"]["oracle"] = CaptureValue::classicalFunc("oracle");
+  QwertyCompiler Compiler;
+  CompileResult R = Compiler.compile(Source, B);
+  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  // Grover on N=2 with one iteration succeeds with probability 1; note the
+  // diffuser {'p'[2]} >> {-'p'[2]} flips the sign of everything EXCEPT...
+  // rather, exactly ON |++>, which is the standard diffuser up to global
+  // phase.
+  std::map<std::string, unsigned> Counts;
+  for (unsigned S = 0; S < 32; ++S)
+    ++Counts[outputString(R.FlatCircuit, simulate(R.FlatCircuit, S))];
+  ASSERT_EQ(Counts.size(), 1u);
+  EXPECT_EQ(Counts.begin()->first, "11");
+}
+
+TEST(PipelineTest, SimonSamplesOrthogonalToSecret) {
+  // Simon's with secret s: f(x) = f(x ^ s). Use f(x) = (x & mask) where
+  // mask zeroes the last bit and secret = 00...01: f(x) = x >> drops the
+  // last bit. Measured samples y obey y . s = 0, i.e. the last bit of y is
+  // always 0.
+  const char *Source = R"(
+classical f[N](mask: bit[N], x: bit[N]) -> bit[N] {
+    return x & mask
+}
+qpu kernel[N](f: cfunc[N, N]) -> bit[N] {
+    q = 'p'[N] + '0'[N] | f.xor | (pm[N] >> std[N]) + id[N]
+    first, second = q | (std[N] + std[N]).measure
+    return first
+}
+)";
+  unsigned N = 4;
+  ProgramBindings B;
+  B.Captures["f"]["mask"] = CaptureValue::bitsFromString("1110");
+  B.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+  QwertyCompiler Compiler;
+  CompileResult R = Compiler.compile(Source, B);
+  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  for (unsigned S = 0; S < 40; ++S) {
+    std::string Y = outputString(R.FlatCircuit, simulate(R.FlatCircuit, S));
+    ASSERT_EQ(Y.size(), N);
+    // y . s = 0 with s = 0001 means the last bit of y is 0.
+    EXPECT_EQ(Y[3], '0') << "sample " << Y;
+  }
+}
+
+TEST(PipelineTest, TeleportPreservesState) {
+  const char *Source = R"(
+qpu teleport(secret: qubit) -> qubit {
+    alice, bob = 'p0' | '1' & std.flip
+    m_pm, m_std = secret + alice | '1' & std.flip | (pm + std).measure
+    secret_teleported = bob | (std.flip if m_std else id) \
+        | (pm.flip if m_pm else id)
+    return secret_teleported
+}
+)";
+  // Note: Fig. C13 of the paper conditions pm.flip on m_std and std.flip
+  // on m_pm; working the algebra (and simulating), the corrections are the
+  // other way around: X^(m_std) then Z^(m_pm).
+  QwertyCompiler Compiler;
+  CompileOptions Opts;
+  Opts.Entry = "teleport";
+  CompileResult R = Compiler.compile(Source, {}, Opts);
+  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  const Circuit &C = R.FlatCircuit;
+  ASSERT_EQ(C.OutputQubits.size(), 1u);
+  unsigned OutQ = C.OutputQubits.front();
+
+  // Teleport a few distinct states prepared on the input register (the
+  // argument occupies register 0).
+  for (double Theta : {0.0, 0.7, 1.3, 2.2, M_PI}) {
+    StateVector SV(C.NumQubits);
+    SV.apply(GateKind::RY, {}, {0}, Theta);
+    std::mt19937_64 Rng(round(Theta * 1000));
+    std::vector<bool> Bits(C.NumBits, false);
+    for (const CircuitInstr &I : C.Instrs) {
+      if (I.CondBit >= 0 &&
+          Bits[static_cast<unsigned>(I.CondBit)] != I.CondVal)
+        continue;
+      switch (I.TheKind) {
+      case CircuitInstr::Kind::Gate:
+        SV.apply(I.Gate, I.Controls, I.Targets, I.Param);
+        break;
+      case CircuitInstr::Kind::Measure:
+        Bits[static_cast<unsigned>(I.Cbit)] = SV.measure(I.Targets[0], Rng);
+        break;
+      case CircuitInstr::Kind::Reset:
+        SV.reset(I.Targets[0], Rng);
+        break;
+      }
+    }
+    // The output qubit must be in state RY(theta)|0>: check probability.
+    double WantP1 = std::pow(std::sin(Theta / 2.0), 2);
+    EXPECT_NEAR(SV.probOne(OutQ), WantP1, 1e-9) << "theta=" << Theta;
+  }
+}
+
+TEST(PipelineTest, AdjointOfKernelUndoesIt) {
+  const char *Source = R"(
+qpu prep(q: qubit[2]) -> qubit[2] {
+    return q | pm[2] >> std[2] | {'00','01'} >> {'01','00'}
+}
+qpu kernel(q: qubit[2]) -> qubit[2] {
+    return q | prep | ~prep
+}
+)";
+  QwertyCompiler Compiler;
+  CompileOptions Opts;
+  Opts.Entry = "kernel";
+  CompileResult R = Compiler.compile(Source, {}, Opts);
+  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  // prep then ~prep is the identity.
+  std::vector<std::vector<Amplitude>> U = circuitUnitary(R.FlatCircuit);
+  std::vector<std::vector<Amplitude>> Id(
+      U.size(), std::vector<Amplitude>(U.size(), Amplitude(0)));
+  for (unsigned I = 0; I < Id.size(); ++I)
+    Id[I][I] = Amplitude(1);
+  EXPECT_TRUE(unitariesEquivalent(U, Id, 1e-8));
+}
+
+TEST(PipelineTest, PredicatedKernelActsOnlyInSpan) {
+  const char *Source = R"(
+qpu flipper(q: qubit) -> qubit {
+    return q | std.flip
+}
+qpu kernel(q: qubit[2]) -> qubit[2] {
+    return q | '1' & flipper
+}
+)";
+  QwertyCompiler Compiler;
+  CompileOptions Opts;
+  Opts.Entry = "kernel";
+  CompileResult R = Compiler.compile(Source, {}, Opts);
+  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  // '1' & X == CX.
+  std::vector<std::vector<Amplitude>> U = circuitUnitary(R.FlatCircuit);
+  std::vector<std::vector<Amplitude>> CX(4, std::vector<Amplitude>(4));
+  CX[0][0] = CX[1][1] = CX[3][2] = CX[2][3] = Amplitude(1);
+  EXPECT_TRUE(unitariesEquivalent(U, CX, 1e-8));
+}
+
+TEST(PipelineTest, RenamingSwapPredication) {
+  // A kernel whose body swaps its two qubits by renaming; predicated, this
+  // must become a controlled swap (Fig. 5).
+  const char *Source = R"(
+qpu swapper(q: qubit[2]) -> qubit[2] {
+    a, b = q | id[2]
+    return b + a
+}
+qpu kernel(q: qubit[3]) -> qubit[3] {
+    return q | '1' & swapper
+}
+)";
+  QwertyCompiler Compiler;
+  CompileOptions Opts;
+  Opts.Entry = "kernel";
+  CompileResult R = Compiler.compile(Source, {}, Opts);
+  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  std::vector<std::vector<Amplitude>> URaw = circuitUnitary(R.FlatCircuit);
+  // The kernel's qubit outputs may be a permutation of the physical
+  // registers (renaming survives to the entry boundary); fold that
+  // permutation into the unitary so we compare position-space semantics.
+  const std::vector<unsigned> &OutQ = R.FlatCircuit.OutputQubits;
+  ASSERT_EQ(OutQ.size(), 3u);
+  unsigned N = R.FlatCircuit.NumQubits;
+  std::vector<std::vector<Amplitude>> U(URaw.size(),
+                                        std::vector<Amplitude>(URaw.size()));
+  for (uint64_t RIdx = 0; RIdx < URaw.size(); ++RIdx) {
+    uint64_t Pos = 0;
+    for (unsigned P = 0; P < OutQ.size(); ++P)
+      if (RIdx & (uint64_t(1) << (N - 1 - OutQ[P])))
+        Pos |= uint64_t(1) << (OutQ.size() - 1 - P);
+    for (uint64_t CIdx = 0; CIdx < URaw.size(); ++CIdx)
+      U[Pos][CIdx] = URaw[RIdx][CIdx];
+  }
+  // Controlled-SWAP (Fredkin) on (control q0; targets q1,q2).
+  std::vector<std::vector<Amplitude>> F(8, std::vector<Amplitude>(8));
+  for (unsigned I = 0; I < 8; ++I) {
+    unsigned J = I;
+    if (I & 4) { // control set: swap the low two bits
+      unsigned B1 = (I >> 1) & 1, B0 = I & 1;
+      J = (I & 4) | (B0 << 1) | B1;
+    }
+    F[J][I] = Amplitude(1);
+  }
+  EXPECT_TRUE(unitariesEquivalent(U, F, 1e-8));
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle synthesis (§6.4)
+//===----------------------------------------------------------------------===//
+
+/// Builds U_f for a classical source function and checks the full truth
+/// table against LogicNetwork::evaluate.
+void expectOracleCorrect(const std::string &Source, const std::string &Func,
+                         const ProgramBindings &Bindings) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(Source, Diags);
+  ASSERT_TRUE(P) << Diags.str();
+  std::unique_ptr<Program> E = expandProgram(*P, Bindings, Diags);
+  ASSERT_TRUE(E) << Diags.str();
+  ASSERT_TRUE(typeCheckProgram(*E, Diags)) << Diags.str();
+  FunctionDef *F = E->lookup(Func);
+  ASSERT_TRUE(F);
+  std::optional<LogicNetwork> Net = buildLogicNetwork(*F, Diags);
+  ASSERT_TRUE(Net) << Diags.str();
+  unsigned NIn = Net->numInputs(), NOut = Net->numOutputs();
+  ASSERT_LE(NIn + NOut, 10u);
+
+  // Emit the embedding into a standalone circuit.
+  Module M;
+  IRFunction *IRF = M.create("u_f");
+  Builder B(&IRF->Body);
+  std::vector<Value *> Qs;
+  for (unsigned I = 0; I < NIn + NOut; ++I)
+    Qs.push_back(B.qalloc());
+  GateEmitter GE(B, Qs);
+  std::vector<unsigned> In, Out;
+  for (unsigned I = 0; I < NIn; ++I)
+    In.push_back(I);
+  for (unsigned I = 0; I < NOut; ++I)
+    Out.push_back(NIn + I);
+  ASSERT_TRUE(emitXorEmbedding(GE, *Net, In, Out, {}));
+  for (unsigned I = 0; I < NIn + NOut; ++I)
+    B.qfreez(GE.wire(I));
+  B.ret({});
+  DiagnosticEngine FlatDiags;
+  std::optional<Circuit> C = flattenToCircuit(M, "u_f", FlatDiags);
+  ASSERT_TRUE(C) << FlatDiags.str();
+
+  // Truth table: |x>|0...0> -> |x>|f(x)>.
+  for (uint64_t X = 0; X < (uint64_t(1) << NIn); ++X) {
+    std::vector<bool> InBits;
+    for (unsigned I = 0; I < NIn; ++I)
+      InBits.push_back(bitAt(X, NIn, I));
+    std::vector<bool> Want = Net->evaluate(InBits);
+    StateVector SV(C->NumQubits);
+    SV.setBasisState(X << (C->NumQubits - NIn));
+    for (const CircuitInstr &I : C->Instrs)
+      SV.apply(I.Gate, I.Controls, I.Targets, I.Param);
+    // Expected basis state: x concatenated with f(x), ancillas |0>.
+    uint64_t WantIdx = X;
+    for (unsigned I = 0; I < NOut; ++I)
+      WantIdx = (WantIdx << 1) | (Want[I] ? 1 : 0);
+    WantIdx <<= C->NumQubits - NIn - NOut;
+    EXPECT_NEAR(std::abs(SV.amplitudes()[WantIdx]), 1.0, 1e-9)
+        << "input " << X;
+  }
+}
+
+TEST(OracleTest, BVInnerProductOracle) {
+  ProgramBindings B;
+  B.Captures["f"]["secret"] = CaptureValue::bitsFromString("101");
+  expectOracleCorrect(R"(
+classical f[N](secret: bit[N], x: bit[N]) -> bit {
+    return (secret & x).xor_reduce()
+}
+)",
+                      "f", B);
+}
+
+TEST(OracleTest, AndReduceOracle) {
+  ProgramBindings B;
+  B.DimVars["N"] = 3;
+  expectOracleCorrect(R"(
+classical f[N](x: bit[N]) -> bit {
+    return x.and_reduce()
+}
+)",
+                      "f", B);
+}
+
+TEST(OracleTest, MaskOracle) {
+  ProgramBindings B;
+  B.Captures["f"]["mask"] = CaptureValue::bitsFromString("110");
+  expectOracleCorrect(R"(
+classical f[N](mask: bit[N], x: bit[N]) -> bit[N] {
+    return x & mask
+}
+)",
+                      "f", B);
+}
+
+TEST(OracleTest, MixedLogicOracle) {
+  ProgramBindings B;
+  B.DimVars["N"] = 3;
+  expectOracleCorrect(R"(
+classical f[N](x: bit[N]) -> bit {
+    a = x ^ ~x
+    b = x | x
+    return (a & b).xor_reduce()
+}
+)",
+                      "f", B);
+}
+
+TEST(OracleTest, OrReduceNeedsAncilla) {
+  ProgramBindings B;
+  B.DimVars["N"] = 4;
+  expectOracleCorrect(R"(
+classical f[N](x: bit[N]) -> bit {
+    return x.or_reduce()
+}
+)",
+                      "f", B);
+}
+
+TEST(LogicNetworkTest, ConstantFoldingKillsCapturedAnds) {
+  // (secret & x).xor_reduce() with a constant secret must become a pure
+  // XOR cone: zero AND nodes (the paper's ancilla-free B-V oracle).
+  ProgramBindings B;
+  B.Captures["f"]["secret"] = CaptureValue::bitsFromString("1010");
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(R"(
+classical f[N](secret: bit[N], x: bit[N]) -> bit {
+    return (secret & x).xor_reduce()
+}
+)",
+                                            Diags);
+  ASSERT_TRUE(P);
+  std::unique_ptr<Program> E = expandProgram(*P, B, Diags);
+  ASSERT_TRUE(E);
+  ASSERT_TRUE(typeCheckProgram(*E, Diags));
+  std::optional<LogicNetwork> Net =
+      buildLogicNetwork(*E->lookup("f"), Diags);
+  ASSERT_TRUE(Net);
+  EXPECT_EQ(Net->numAndNodes(), 0u);
+}
+
+TEST(LogicNetworkTest, AndTreeFlattensToOneNode) {
+  ProgramBindings B;
+  B.DimVars["N"] = 5;
+  DiagnosticEngine Diags;
+  std::unique_ptr<Program> P = parseProgram(R"(
+classical f[N](x: bit[N]) -> bit {
+    return x.and_reduce()
+}
+)",
+                                            Diags);
+  ASSERT_TRUE(P);
+  std::unique_ptr<Program> E = expandProgram(*P, B, Diags);
+  ASSERT_TRUE(E);
+  ASSERT_TRUE(typeCheckProgram(*E, Diags));
+  std::optional<LogicNetwork> Net =
+      buildLogicNetwork(*E->lookup("f"), Diags);
+  ASSERT_TRUE(Net);
+  // A single flattened 5-ary AND node -> one MCX when embedded.
+  EXPECT_EQ(Net->numAndNodes(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,281 @@
+//===- PropertyTest.cpp - Cross-cutting property-based tests --------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests tying multiple subsystems together through the simulator:
+///
+///   - ~t composed with t is the identity for random translations (the
+///     adjoint transform of §5.2 really inverts synthesized circuits);
+///   - predication acts as identity outside the predicate span and as the
+///     base function inside it, for random predicates (§5.3 + §6.3);
+///   - the synthesized QFT matches the DFT matrix;
+///   - span checking agrees with a brute-force span comparison on random
+///     small bases (Algorithms B1-B4 vs ground truth);
+///   - Selinger- and naive-decomposed circuits are unitarily equivalent.
+///
+//===----------------------------------------------------------------------===//
+
+#include "basis/SpanCheck.h"
+#include "compiler/Compiler.h"
+#include "qcirc/Flatten.h"
+#include "qcirc/Peephole.h"
+#include "sim/Simulator.h"
+#include "synth/BasisSynth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <random>
+
+using namespace asdf;
+
+namespace {
+
+using Matrix = std::vector<std::vector<Amplitude>>;
+
+/// Random std basis literal over Dim qubits with Count vectors.
+BasisLiteral randomLiteral(std::mt19937_64 &Rng, unsigned Dim,
+                           unsigned Count) {
+  std::vector<uint64_t> All(uint64_t(1) << Dim);
+  for (uint64_t I = 0; I < All.size(); ++I)
+    All[I] = I;
+  std::shuffle(All.begin(), All.end(), Rng);
+  std::vector<BasisVector> Vecs;
+  for (unsigned I = 0; I < Count; ++I)
+    Vecs.push_back(BasisVector(PrimitiveBasis::Std, Dim, All[I]));
+  return BasisLiteral(std::move(Vecs));
+}
+
+Circuit synthesize(const Basis &In, const Basis &Out) {
+  Module M;
+  IRFunction *F = M.create("t");
+  Builder B(&F->Body);
+  std::vector<Value *> Qs;
+  for (unsigned I = 0; I < In.dim(); ++I)
+    Qs.push_back(B.qalloc());
+  GateEmitter E(B, Qs);
+  EXPECT_TRUE(synthesizeTranslation(E, In, Out));
+  for (unsigned I = 0; I < In.dim(); ++I)
+    B.qfreez(E.wire(I));
+  B.ret({});
+  DiagnosticEngine Diags;
+  std::optional<Circuit> C = flattenToCircuit(M, "t", Diags);
+  EXPECT_TRUE(C.has_value()) << Diags.str();
+  return C ? std::move(*C) : Circuit();
+}
+
+Matrix identity(uint64_t Dim) {
+  Matrix I(Dim, std::vector<Amplitude>(Dim, Amplitude(0)));
+  for (uint64_t K = 0; K < Dim; ++K)
+    I[K][K] = Amplitude(1);
+  return I;
+}
+
+//===----------------------------------------------------------------------===//
+// Adjoint round trips
+//===----------------------------------------------------------------------===//
+
+class AdjointRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AdjointRoundTrip, TranslationThenAdjointIsIdentity) {
+  std::mt19937_64 Rng(GetParam() * 31 + 5);
+  unsigned Dim = 2 + GetParam() % 2;
+  unsigned Count = 2 + Rng() % ((1u << Dim) - 1);
+  BasisLiteral LIn = randomLiteral(Rng, Dim, Count);
+  BasisLiteral LOut = LIn;
+  std::shuffle(LOut.Vectors.begin(), LOut.Vectors.end(), Rng);
+  Basis In = Basis::literal(LIn), Out = Basis::literal(LOut);
+
+  // t = In >> Out followed by its adjoint Out >> In.
+  Circuit Fwd = synthesize(In, Out);
+  Circuit Bwd = synthesize(Out, In);
+  // Compose: pad to the wider of the two (ancilla counts may differ).
+  unsigned W = std::max(Fwd.NumQubits, Bwd.NumQubits);
+  Circuit Both;
+  Both.NumQubits = W;
+  for (const CircuitInstr &I : Fwd.Instrs)
+    Both.append(I);
+  for (const CircuitInstr &I : Bwd.Instrs)
+    Both.append(I);
+  ASSERT_LE(W, 10u);
+  Matrix U = circuitUnitary(Both);
+  EXPECT_TRUE(unitariesEquivalent(U, identity(U.size()), 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Property, AdjointRoundTrip,
+                         ::testing::Range(0u, 12u));
+
+//===----------------------------------------------------------------------===//
+// Predication identity outside the span
+//===----------------------------------------------------------------------===//
+
+class PredicationProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PredicationProperty, IdentityOutsidePredicateSpan) {
+  std::mt19937_64 Rng(GetParam() * 67 + 11);
+  // Predicate: a random 1- or 2-vector literal on 2 qubits; body: X on one
+  // qubit.
+  unsigned PredCount = 1 + Rng() % 2;
+  BasisLiteral Pred = randomLiteral(Rng, 2, PredCount);
+  BasisVector V0(PrimitiveBasis::Std, 1, 0), V1(PrimitiveBasis::Std, 1, 1);
+  Basis In = Basis::literal(Pred).tensor(
+      Basis::literal(BasisLiteral({V0, V1})));
+  Basis Out = Basis::literal(Pred).tensor(
+      Basis::literal(BasisLiteral({V1, V0})));
+  Circuit C = synthesize(In, Out);
+  ASSERT_LE(C.NumQubits, 10u);
+  Matrix U = circuitUnitary(C);
+
+  uint64_t AncBits = C.NumQubits - 3;
+  for (uint64_t X = 0; X < 8; ++X) {
+    uint64_t PredState = X >> 1;
+    bool InSpan = false;
+    for (const BasisVector &V : Pred.Vectors)
+      InSpan |= uint64_t(V.Eigenbits) == PredState;
+    uint64_t WantX = InSpan ? (X ^ 1) : X;
+    double Amp = std::abs(U[WantX << AncBits][X << AncBits]);
+    EXPECT_NEAR(Amp, 1.0, 1e-9)
+        << "pred " << Pred.str() << " input " << X;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Property, PredicationProperty,
+                         ::testing::Range(0u, 10u));
+
+//===----------------------------------------------------------------------===//
+// QFT vs the DFT matrix
+//===----------------------------------------------------------------------===//
+
+class QftProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(QftProperty, MatchesDftMatrix) {
+  unsigned N = GetParam();
+  Circuit C = synthesize(Basis::builtin(PrimitiveBasis::Std, N),
+                         Basis::builtin(PrimitiveBasis::Fourier, N));
+  Matrix U = circuitUnitary(C);
+  uint64_t Dim = uint64_t(1) << N;
+  double Norm = 1.0 / std::sqrt(double(Dim));
+  for (uint64_t R = 0; R < Dim; ++R)
+    for (uint64_t K = 0; K < Dim; ++K) {
+      double Ang = 2.0 * M_PI * double(R) * double(K) / double(Dim);
+      Amplitude Want = Norm * Amplitude(std::cos(Ang), std::sin(Ang));
+      EXPECT_NEAR(std::abs(U[R][K] - Want), 0.0, 1e-9)
+          << "N=" << N << " row " << R << " col " << K;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Property, QftProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+//===----------------------------------------------------------------------===//
+// Span checking vs brute force
+//===----------------------------------------------------------------------===//
+
+/// Ground truth: compares spans by row-reducing the stacked vectors.
+bool bruteForceSpansEqual(const BasisLiteral &A, const BasisLiteral &B) {
+  // std literals: spans are equal iff the *sets* of eigenbits are equal.
+  std::vector<uint64_t> SA, SB;
+  for (const BasisVector &V : A.Vectors)
+    SA.push_back(uint64_t(V.Eigenbits));
+  for (const BasisVector &V : B.Vectors)
+    SB.push_back(uint64_t(V.Eigenbits));
+  std::sort(SA.begin(), SA.end());
+  std::sort(SB.begin(), SB.end());
+  return SA == SB;
+}
+
+class SpanVsBruteForce : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SpanVsBruteForce, AgreesOnRandomStdBases) {
+  std::mt19937_64 Rng(GetParam() * 101 + 7);
+  unsigned Dim = 2 + GetParam() % 3;
+  unsigned CountA = 1 + Rng() % (1u << Dim);
+  BasisLiteral A = randomLiteral(Rng, Dim, CountA);
+  // Half the time, B spans the same set (shuffled); otherwise random.
+  BasisLiteral B = A;
+  if (Rng() % 2) {
+    std::shuffle(B.Vectors.begin(), B.Vectors.end(), Rng);
+  } else {
+    B = randomLiteral(Rng, Dim, 1 + Rng() % (1u << Dim));
+  }
+  bool Want = bruteForceSpansEqual(A, B);
+  bool Got = spansEquivalent(Basis::literal(A), Basis::literal(B));
+  EXPECT_EQ(Got, Want) << A.str() << " vs " << B.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Property, SpanVsBruteForce,
+                         ::testing::Range(0u, 30u));
+
+//===----------------------------------------------------------------------===//
+// Decomposition equivalence
+//===----------------------------------------------------------------------===//
+
+class DecompositionEquivalence : public ::testing::TestWithParam<unsigned> {
+};
+
+TEST_P(DecompositionEquivalence, SelingerAndNaiveAgree) {
+  unsigned Controls = 2 + GetParam();
+  auto Build = [&](McDecompose Mode) {
+    Module M;
+    IRFunction *F = M.create("mcx");
+    Builder B(&F->Body);
+    std::vector<Value *> Qs;
+    for (unsigned I = 0; I < Controls + 1; ++I)
+      Qs.push_back(B.qalloc());
+    std::vector<Value *> Ctls(Qs.begin(), Qs.end() - 1);
+    std::vector<Value *> Out = B.gate(GateKind::X, Ctls, {Qs.back()});
+    for (Value *V : Out)
+      B.qfreez(V);
+    B.ret({});
+    decomposeMultiControls(M, Mode);
+    DiagnosticEngine Diags;
+    return *flattenToCircuit(M, "mcx", Diags);
+  };
+  Circuit Sel = Build(McDecompose::Selinger);
+  Circuit Naive = Build(McDecompose::Naive);
+  unsigned W = std::max(Sel.NumQubits, Naive.NumQubits);
+  ASSERT_LE(W, 10u);
+  Sel.NumQubits = Naive.NumQubits = W;
+  Matrix A = circuitUnitary(Sel);
+  Matrix B = circuitUnitary(Naive);
+  EXPECT_TRUE(unitariesEquivalent(A, B, 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Property, DecompositionEquivalence,
+                         ::testing::Range(0u, 4u));
+
+//===----------------------------------------------------------------------===//
+// Peepholes preserve semantics
+//===----------------------------------------------------------------------===//
+
+TEST(PeepholeProperty, PreservesBVSemantics) {
+  const char *Source = R"(
+classical f[N](secret: bit[N], x: bit[N]) -> bit {
+    return (secret & x).xor_reduce()
+}
+qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+    return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+}
+)";
+  for (bool Peephole : {false, true}) {
+    ProgramBindings B;
+    B.Captures["f"]["secret"] = CaptureValue::bitsFromString("10011");
+    B.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+    QwertyCompiler Compiler;
+    CompileOptions Opts;
+    Opts.PeepholeOpt = Peephole;
+    CompileResult R = Compiler.compile(Source, B, Opts);
+    ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+    ShotResult Shot = simulate(R.FlatCircuit, 9);
+    std::string Out;
+    for (int Bit : R.FlatCircuit.OutputBits)
+      Out.push_back(Bit >= 0 && Shot.Bits[unsigned(Bit)] ? '1' : '0');
+    EXPECT_EQ(Out, "10011") << "peephole=" << Peephole;
+  }
+}
+
+} // namespace

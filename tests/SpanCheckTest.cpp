@@ -1,0 +1,254 @@
+//===- SpanCheckTest.cpp - Tests for span equivalence checking ------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests Algorithms B1-B4, including the worked example of Fig. 3 and the
+/// exponential-blowup-avoidance example of §4.1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "basis/SpanCheck.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace asdf;
+
+namespace {
+
+BasisLiteral lit(std::initializer_list<const char *> Strs) {
+  std::vector<BasisVector> Vecs;
+  for (const char *S : Strs)
+    Vecs.push_back(BasisVector::fromString(S));
+  return BasisLiteral(std::move(Vecs));
+}
+
+Basis litBasis(std::initializer_list<const char *> Strs) {
+  return Basis::literal(lit(Strs));
+}
+
+TEST(SpanCheckTest, IdenticalBuiltins) {
+  EXPECT_TRUE(spansEquivalent(Basis::builtin(PrimitiveBasis::Std, 3),
+                              Basis::builtin(PrimitiveBasis::Std, 3)));
+}
+
+TEST(SpanCheckTest, DifferentPrimitiveBasesFullySpan) {
+  // Lemma B.2: all fully-spanning bases of the same dimension agree in span.
+  EXPECT_TRUE(spansEquivalent(Basis::builtin(PrimitiveBasis::Std, 3),
+                              Basis::builtin(PrimitiveBasis::Pm, 3)));
+  EXPECT_TRUE(spansEquivalent(Basis::builtin(PrimitiveBasis::Fourier, 4),
+                              Basis::builtin(PrimitiveBasis::Ij, 4)));
+}
+
+TEST(SpanCheckTest, DimensionMismatchFails) {
+  EXPECT_FALSE(spansEquivalent(Basis::builtin(PrimitiveBasis::Std, 3),
+                               Basis::builtin(PrimitiveBasis::Std, 4)));
+}
+
+TEST(SpanCheckTest, SwapExample) {
+  // {'01','10'} >> {'10','01'} from §2.2: same span on both sides.
+  EXPECT_TRUE(spansEquivalent(litBasis({"01", "10"}), litBasis({"10", "01"})));
+}
+
+TEST(SpanCheckTest, DifferentSubspacesFail) {
+  EXPECT_FALSE(spansEquivalent(litBasis({"01", "10"}),
+                               litBasis({"00", "11"})));
+}
+
+TEST(SpanCheckTest, LiteralVsBuiltinFullSpan) {
+  EXPECT_TRUE(spansEquivalent(litBasis({"00", "01", "10", "11"}),
+                              Basis::builtin(PrimitiveBasis::Std, 2)));
+  EXPECT_TRUE(spansEquivalent(litBasis({"pm", "mp", "pp", "mm"}),
+                              Basis::builtin(PrimitiveBasis::Std, 2)));
+}
+
+TEST(SpanCheckTest, PartialLiteralVsBuiltinFails) {
+  EXPECT_FALSE(spansEquivalent(litBasis({"00", "11"}),
+                               Basis::builtin(PrimitiveBasis::Std, 2)));
+}
+
+TEST(SpanCheckTest, PhasesIgnored) {
+  BasisVector V1(PrimitiveBasis::Std, 1, 0);
+  BasisVector V2(PrimitiveBasis::Std, 1, 1, /*Phase=*/M_PI);
+  Basis Lhs = Basis::literal(BasisLiteral({V1, V2}));
+  EXPECT_TRUE(spansEquivalent(Lhs, Basis::builtin(PrimitiveBasis::Std, 1)));
+}
+
+TEST(SpanCheckTest, ExponentialExampleRunsInPolyTime) {
+  // §4.1: {'0','1'}[64] >> {'1','0'}[64] represents 2^64 vectors; factoring
+  // keeps the check polynomial. If this test finishes at all, we did not
+  // take the naive product.
+  Basis Lhs = litBasis({"0", "1"}).power(64);
+  Basis Rhs = litBasis({"1", "0"}).power(64);
+  EXPECT_TRUE(spansEquivalent(Lhs, Rhs));
+}
+
+TEST(SpanCheckTest, Figure3WorkedExample) {
+  //    {'p'} + fourier[3] + {'1'@45} + pm
+  // >> {-'p'} + std[2] + ij + {-'11','10'}
+  BasisVector PhasedOne(PrimitiveBasis::Std, 1, 1, /*Phase=*/M_PI / 4);
+  Basis Lhs = litBasis({"p"})
+                  .tensor(Basis::builtin(PrimitiveBasis::Fourier, 3))
+                  .tensor(Basis::literal(BasisLiteral({PhasedOne})))
+                  .tensor(Basis::builtin(PrimitiveBasis::Pm, 1));
+  BasisVector NegP(PrimitiveBasis::Pm, 1, 0, /*Phase=*/M_PI);
+  BasisVector Neg11(PrimitiveBasis::Std, 2, 0b11, /*Phase=*/M_PI);
+  BasisVector Ten(PrimitiveBasis::Std, 2, 0b10);
+  Basis Rhs = Basis::literal(BasisLiteral({NegP}))
+                  .tensor(Basis::builtin(PrimitiveBasis::Std, 2))
+                  .tensor(Basis::builtin(PrimitiveBasis::Ij, 1))
+                  .tensor(Basis::literal(BasisLiteral({Neg11, Ten})));
+  EXPECT_TRUE(spansEquivalent(Lhs, Rhs));
+}
+
+TEST(SpanCheckTest, Figure3VariantWithWrongTailFails) {
+  // Same as Fig. 3 but the final literal does not span {'10','11'}.
+  Basis Lhs = litBasis({"p"})
+                  .tensor(Basis::builtin(PrimitiveBasis::Fourier, 3))
+                  .tensor(litBasis({"1"}))
+                  .tensor(Basis::builtin(PrimitiveBasis::Pm, 1));
+  Basis Rhs = litBasis({"p"})
+                  .tensor(Basis::builtin(PrimitiveBasis::Std, 2))
+                  .tensor(Basis::builtin(PrimitiveBasis::Ij, 1))
+                  .tensor(litBasis({"00", "01"}));
+  EXPECT_FALSE(spansEquivalent(Lhs, Rhs));
+}
+
+TEST(SpanCheckTest, FourierSeparability) {
+  // Lemma B.1: fourier[4] factors into fourier[1] x fourier[3] span-wise.
+  Basis Lhs = Basis::builtin(PrimitiveBasis::Fourier, 4);
+  Basis Rhs = Basis::builtin(PrimitiveBasis::Fourier, 1)
+                  .tensor(Basis::builtin(PrimitiveBasis::Fourier, 3));
+  EXPECT_TRUE(spansEquivalent(Lhs, Rhs));
+}
+
+TEST(SpanCheckTest, SingletonVsSingletonMatch) {
+  EXPECT_TRUE(spansEquivalent(litBasis({"1"}), litBasis({"1"})));
+  EXPECT_FALSE(spansEquivalent(litBasis({"1"}), litBasis({"0"})));
+  // Different primitive basis singletons never match unless fully spanning.
+  EXPECT_FALSE(spansEquivalent(litBasis({"1"}), litBasis({"m"})));
+}
+
+TEST(SpanCheckTest, LiteralFactorsAcrossElementBoundary) {
+  // {'01','10'} + {'0','1'} vs the merged 3-qubit literal.
+  Basis Lhs = litBasis({"01", "10"}).tensor(litBasis({"0", "1"}));
+  Basis Rhs = litBasis({"010", "011", "100", "101"});
+  EXPECT_TRUE(spansEquivalent(Lhs, Rhs));
+}
+
+TEST(SpanCheckTest, PredicatePrefixMustMatch) {
+  // {'1'} + std vs {'11','10'}: prefix {'1'} factors out.
+  Basis Lhs = litBasis({"1"}).tensor(Basis::builtin(PrimitiveBasis::Std, 1));
+  Basis Rhs = litBasis({"11", "10"});
+  EXPECT_TRUE(spansEquivalent(Lhs, Rhs));
+  // But {'0'} + std does not span {'11','10'}.
+  Basis Bad = litBasis({"0"}).tensor(Basis::builtin(PrimitiveBasis::Std, 1));
+  EXPECT_FALSE(spansEquivalent(Bad, Rhs));
+}
+
+TEST(FactorTest, FullSpanPrefixSucceeds) {
+  // {'00','01','10','11'} = std[1] x {'0','1'}.
+  std::optional<BasisLiteral> Rem =
+      factorFullSpanPrefix(lit({"00", "01", "10", "11"}), 1);
+  ASSERT_TRUE(Rem.has_value());
+  EXPECT_EQ(Rem->Dim, 1u);
+  EXPECT_EQ(Rem->Vectors.size(), 2u);
+}
+
+TEST(FactorTest, FullSpanPrefixFailsOnEntangledLiteral) {
+  // {'00','11'} cannot factor a fully-spanning 1-qubit prefix.
+  EXPECT_FALSE(factorFullSpanPrefix(lit({"00", "11"}), 1).has_value());
+}
+
+TEST(FactorTest, FullSpanPrefixFailsOnIndivisibleCount) {
+  EXPECT_FALSE(factorFullSpanPrefix(lit({"00", "01", "10"}), 1).has_value());
+}
+
+TEST(FactorTest, LiteralPrefixSucceeds) {
+  // {'10','11'} = {'1'} x {'0','1'}.
+  std::optional<BasisLiteral> Rem =
+      factorLiteralPrefix(lit({"10", "11"}), lit({"1"}));
+  ASSERT_TRUE(Rem.has_value());
+  EXPECT_EQ(Rem->Vectors.size(), 2u);
+  EXPECT_TRUE(Rem->fullySpans());
+}
+
+TEST(FactorTest, LiteralPrefixWrongPrefixFails) {
+  EXPECT_FALSE(factorLiteralPrefix(lit({"10", "11"}), lit({"0"})).has_value());
+}
+
+TEST(FactorTest, LiteralPrefixMixedPrimFails) {
+  EXPECT_FALSE(factorLiteralPrefix(lit({"10", "11"}), lit({"m"})).has_value());
+}
+
+TEST(FactorTest, FactorLiteralAtDiscoversPrefix) {
+  std::optional<std::pair<BasisLiteral, BasisLiteral>> Fac =
+      factorLiteralAt(lit({"101", "100", "011", "010"}), 2);
+  ASSERT_TRUE(Fac.has_value());
+  EXPECT_EQ(Fac->first.Vectors.size(), 2u);
+  EXPECT_EQ(Fac->second.Vectors.size(), 2u);
+  EXPECT_EQ(Fac->first.Dim, 2u);
+  EXPECT_EQ(Fac->second.Dim, 1u);
+}
+
+TEST(FactorTest, FactorLiteralAtFailsOnNonProduct) {
+  // Appendix F example: {'00','10','01','11'} with prefix 1 works, but the
+  // 4-vector literal {'00','01','10','11'} minus one pair does not.
+  EXPECT_FALSE(factorLiteralAt(lit({"00", "01", "10"}), 1).has_value());
+}
+
+TEST(FactorTest, MergeElementsFormsProduct) {
+  BasisLiteral Merged = mergeElements(
+      BasisElement::literal(lit({"0", "1"})),
+      BasisElement::literal(lit({"0", "1"})));
+  EXPECT_EQ(Merged.Dim, 2u);
+  EXPECT_EQ(Merged.Vectors.size(), 4u);
+  EXPECT_TRUE(Merged.fullySpans());
+}
+
+TEST(FactorTest, BuiltinToLiteralEnumerates) {
+  BasisLiteral L = builtinToLiteral(PrimitiveBasis::Std, 3);
+  EXPECT_EQ(L.Vectors.size(), 8u);
+  EXPECT_TRUE(L.fullySpans());
+}
+
+// Property-style sweep: {'0','1'}[k] matches std[k] and any reordering.
+class SpanPowerSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SpanPowerSweep, PowerOfFullSpanMatchesBuiltin) {
+  unsigned K = GetParam();
+  Basis Lhs = litBasis({"0", "1"}).power(K);
+  EXPECT_TRUE(spansEquivalent(Lhs, Basis::builtin(PrimitiveBasis::Std, K)));
+  EXPECT_TRUE(
+      spansEquivalent(Lhs, litBasis({"1", "0"}).power(K)));
+  EXPECT_FALSE(
+      spansEquivalent(Lhs, Basis::builtin(PrimitiveBasis::Std, K + 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(SpanCheck, SpanPowerSweep,
+                         ::testing::Values(1u, 2u, 3u, 8u, 16u, 33u, 64u));
+
+// Property-style sweep: a predicate literal tensored with a fully spanning
+// basis factors correctly regardless of how the right side is merged.
+class SpanPredicateSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SpanPredicateSweep, PredicateFactorsFromMergedLiteral) {
+  unsigned N = GetParam();
+  // lhs = {'1'} + std[N]; rhs = the 2^N vectors prefixed by '1', merged.
+  Basis Lhs =
+      litBasis({"1"}).tensor(Basis::builtin(PrimitiveBasis::Std, N));
+  std::vector<BasisVector> Vecs;
+  for (uint64_t I = 0; I < (uint64_t(1) << N); ++I)
+    Vecs.push_back(BasisVector(PrimitiveBasis::Std, N + 1,
+                               bitConcat(1, I, N)));
+  Basis Rhs = Basis::literal(BasisLiteral(std::move(Vecs)));
+  EXPECT_TRUE(spansEquivalent(Lhs, Rhs));
+}
+
+INSTANTIATE_TEST_SUITE_P(SpanCheck, SpanPredicateSweep,
+                         ::testing::Values(1u, 2u, 3u, 6u, 10u));
+
+} // namespace

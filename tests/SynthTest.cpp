@@ -1,0 +1,461 @@
+//===- SynthTest.cpp - Basis translation synthesis correctness tests ------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests for §6.3: every synthesized basis-translation circuit is
+/// checked against a reference unitary built directly from the translation's
+/// definition (§2.2): U = sum_j |out_j><in_j| + (I - P_span).
+///
+//===----------------------------------------------------------------------===//
+
+#include "qcirc/Flatten.h"
+#include "sim/Simulator.h"
+#include "synth/BasisSynth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+using namespace asdf;
+
+namespace {
+
+using Matrix = std::vector<std::vector<Amplitude>>;
+
+/// Single-qubit eigenvectors of each primitive basis.
+std::pair<Amplitude, Amplitude> qubitVector(PrimitiveBasis Prim,
+                                            bool Minus) {
+  const double S2 = 1.0 / std::sqrt(2.0);
+  const Amplitude I(0.0, 1.0);
+  switch (Prim) {
+  case PrimitiveBasis::Std:
+    return Minus ? std::make_pair(Amplitude(0), Amplitude(1))
+                 : std::make_pair(Amplitude(1), Amplitude(0));
+  case PrimitiveBasis::Pm:
+    return Minus ? std::make_pair(Amplitude(S2), Amplitude(-S2))
+                 : std::make_pair(Amplitude(S2), Amplitude(S2));
+  case PrimitiveBasis::Ij:
+    return Minus ? std::make_pair(Amplitude(S2), -I * S2)
+                 : std::make_pair(Amplitude(S2), I * S2);
+  case PrimitiveBasis::Fourier:
+    break;
+  }
+  return {Amplitude(1), Amplitude(0)};
+}
+
+/// State vector (over Dim qubits) of one basis vector of an element.
+std::vector<Amplitude> elementVectorState(const BasisElement &El,
+                                          uint64_t Index) {
+  unsigned D = El.dim();
+  uint64_t Size = uint64_t(1) << D;
+  std::vector<Amplitude> V(Size, Amplitude(0));
+  if (El.isBuiltin() && El.prim() == PrimitiveBasis::Fourier) {
+    // fourier vector k: QFT|k> = sum_x e^{2 pi i k x / 2^D} |x> / sqrt(2^D).
+    double Norm = 1.0 / std::sqrt(double(Size));
+    for (uint64_t X = 0; X < Size; ++X) {
+      double Ang = 2.0 * M_PI * double(Index) * double(X) / double(Size);
+      V[X] = Norm * Amplitude(std::cos(Ang), std::sin(Ang));
+    }
+    return V;
+  }
+  PrimitiveBasis Prim;
+  uint64_t Bits;
+  double Phase = 0.0;
+  if (El.isBuiltin()) {
+    Prim = El.prim();
+    Bits = Index;
+  } else {
+    const BasisVector &BV = El.literalValue().Vectors[Index];
+    Prim = BV.Prim;
+    Bits = BV.Eigenbits;
+    if (BV.HasPhase)
+      Phase = BV.Phase;
+  }
+  // Product of single-qubit vectors.
+  V[0] = Amplitude(1);
+  uint64_t Cur = 1;
+  for (unsigned Q = 0; Q < D; ++Q) {
+    auto [A0, A1] = qubitVector(Prim, bitAt(Bits, D, Q));
+    std::vector<Amplitude> Next(Cur * 2, Amplitude(0));
+    for (uint64_t X = 0; X < Cur; ++X) {
+      Next[X * 2] = V[X] * A0;
+      Next[X * 2 + 1] = V[X] * A1;
+    }
+    Cur *= 2;
+    for (uint64_t X = 0; X < Cur; ++X)
+      V[X] = Next[X];
+  }
+  V.resize(Size);
+  Amplitude Ph(std::cos(Phase), std::sin(Phase));
+  for (Amplitude &A : V)
+    A *= Ph;
+  return V;
+}
+
+/// Number of vectors an element enumerates.
+uint64_t elementVectorCount(const BasisElement &El) {
+  if (El.isBuiltin())
+    return uint64_t(1) << El.dim();
+  return El.literalValue().Vectors.size();
+}
+
+/// State of the J-th vector of a whole canon basis (element-major order).
+std::vector<Amplitude> basisVectorState(const Basis &B, uint64_t J) {
+  std::vector<Amplitude> State = {Amplitude(1)};
+  // Element-major: the FIRST element varies slowest.
+  std::vector<uint64_t> Radix;
+  for (const BasisElement &El : B.elements())
+    Radix.push_back(elementVectorCount(El));
+  std::vector<uint64_t> Digits(Radix.size());
+  for (unsigned I = Radix.size(); I-- > 0;) {
+    Digits[I] = J % Radix[I];
+    J /= Radix[I];
+  }
+  for (unsigned I = 0; I < B.elements().size(); ++I) {
+    std::vector<Amplitude> Piece =
+        elementVectorState(B.elements()[I], Digits[I]);
+    std::vector<Amplitude> Next(State.size() * Piece.size());
+    for (uint64_t X = 0; X < State.size(); ++X)
+      for (uint64_t Y = 0; Y < Piece.size(); ++Y)
+        Next[X * Piece.size() + Y] = State[X] * Piece[Y];
+    State = std::move(Next);
+  }
+  return State;
+}
+
+/// Builds the reference unitary of a translation per §2.2:
+/// U = sum_j |out_j><in_j| + (I - P) where P projects onto span(b_in).
+Matrix referenceUnitary(const Basis &In, const Basis &Out) {
+  unsigned N = In.dim();
+  uint64_t Dim = uint64_t(1) << N;
+  uint64_t Count = 1;
+  for (const BasisElement &El : In.elements())
+    Count *= elementVectorCount(El);
+  Matrix U(Dim, std::vector<Amplitude>(Dim, Amplitude(0)));
+  Matrix P(Dim, std::vector<Amplitude>(Dim, Amplitude(0)));
+  for (uint64_t J = 0; J < Count; ++J) {
+    std::vector<Amplitude> VIn = basisVectorState(In, J);
+    std::vector<Amplitude> VOut = basisVectorState(Out, J);
+    for (uint64_t R = 0; R < Dim; ++R)
+      for (uint64_t C = 0; C < Dim; ++C) {
+        U[R][C] += VOut[R] * std::conj(VIn[C]);
+        P[R][C] += VIn[R] * std::conj(VIn[C]);
+      }
+  }
+  for (uint64_t R = 0; R < Dim; ++R)
+    for (uint64_t C = 0; C < Dim; ++C)
+      U[R][C] += (R == C ? Amplitude(1) : Amplitude(0)) - P[R][C];
+  return U;
+}
+
+/// Synthesizes In >> Out into a flat circuit via the QCircuit machinery.
+Circuit synthesizeToCircuit(const Basis &In, const Basis &Out) {
+  Module M;
+  IRFunction *F = M.create("t");
+  unsigned N = In.dim();
+  Builder B(&F->Body);
+  std::vector<Value *> Qs;
+  for (unsigned I = 0; I < N; ++I)
+    Qs.push_back(B.qalloc());
+  GateEmitter E(B, Qs);
+  EXPECT_TRUE(synthesizeTranslation(E, In, Out));
+  for (unsigned I = 0; I < N; ++I)
+    B.qfreez(E.wire(I));
+  B.ret({});
+  DiagnosticEngine Diags;
+  std::optional<Circuit> C = flattenToCircuit(M, "t", Diags);
+  EXPECT_TRUE(C.has_value()) << Diags.str();
+  return C ? std::move(*C) : Circuit();
+}
+
+/// Checks a synthesized circuit against the reference unitary. The circuit
+/// may use ancillas; they must start and end in |0>.
+void expectTranslationCorrect(const Basis &In, const Basis &Out) {
+  Circuit C = synthesizeToCircuit(In, Out);
+  unsigned N = In.dim();
+  ASSERT_GE(C.NumQubits, N);
+  ASSERT_LE(C.NumQubits, 14u);
+  Matrix Ref = referenceUnitary(In, Out);
+  uint64_t DataDim = uint64_t(1) << N;
+  unsigned Anc = C.NumQubits - N;
+  for (uint64_t K = 0; K < DataDim; ++K) {
+    StateVector SV(C.NumQubits);
+    // Data qubits leftmost; ancillas rightmost start at |0>.
+    SV.setBasisState(K << Anc);
+    for (const CircuitInstr &I : C.Instrs) {
+      ASSERT_EQ(I.TheKind, CircuitInstr::Kind::Gate);
+      SV.apply(I.Gate, I.Controls, I.Targets, I.Param);
+    }
+    for (uint64_t R = 0; R < (uint64_t(1) << C.NumQubits); ++R) {
+      Amplitude Got = SV.amplitudes()[R];
+      Amplitude Want = (R & ((uint64_t(1) << Anc) - 1)) == 0
+                           ? Ref[R >> Anc][K]
+                           : Amplitude(0);
+      ASSERT_NEAR(std::abs(Got - Want), 0.0, 1e-9)
+          << "translation " << In.str() << " >> " << Out.str()
+          << " wrong at column " << K << ", row " << R;
+    }
+  }
+}
+
+Basis lit(std::initializer_list<const char *> Strs) {
+  std::vector<BasisVector> Vecs;
+  for (const char *S : Strs)
+    Vecs.push_back(BasisVector::fromString(S));
+  return Basis::literal(BasisLiteral(std::move(Vecs)));
+}
+
+//===----------------------------------------------------------------------===//
+// Unit pieces
+//===----------------------------------------------------------------------===//
+
+TEST(MMDTest, SynthesizesSmallPermutations) {
+  // Swap of two 1-bit values: X.
+  std::vector<McxGate> G = synthesizePermutation({1, 0}, 1);
+  ASSERT_EQ(G.size(), 1u);
+  EXPECT_EQ(G[0].ControlMask, 0u);
+
+  // CNOT permutation: 00,01,11,10 (target = low bit, control = high bit).
+  std::vector<McxGate> G2 = synthesizePermutation({0, 1, 3, 2}, 2);
+  ASSERT_EQ(G2.size(), 1u);
+  EXPECT_EQ(G2[0].ControlMask, 2u);
+  EXPECT_EQ(G2[0].Target, 0u);
+}
+
+class MMDRandomPerm : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MMDRandomPerm, RealizesPermutation) {
+  unsigned Bits = 3;
+  uint64_t Size = 8;
+  std::mt19937_64 Rng(GetParam());
+  std::vector<uint64_t> Perm(Size);
+  for (uint64_t I = 0; I < Size; ++I)
+    Perm[I] = I;
+  std::shuffle(Perm.begin(), Perm.end(), Rng);
+  std::vector<McxGate> Gates = synthesizePermutation(Perm, Bits);
+  // Apply the gates classically and verify.
+  for (uint64_t X = 0; X < Size; ++X) {
+    uint64_t V = X;
+    for (const McxGate &G : Gates)
+      if ((V & G.ControlMask) == G.ControlMask)
+        V ^= uint64_t(1) << G.Target;
+    EXPECT_EQ(V, Perm[X]) << "input " << X;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Synth, MMDRandomPerm,
+                         ::testing::Range(0u, 20u));
+
+TEST(E6Test, UnconditionalWhenPrimsMatch) {
+  std::vector<Standardization> L, R;
+  determineStandardizations(Basis::builtin(PrimitiveBasis::Pm, 3),
+                            Basis::builtin(PrimitiveBasis::Pm, 3), L, R);
+  ASSERT_EQ(L.size(), 1u);
+  EXPECT_FALSE(L[0].Conditional);
+}
+
+TEST(E6Test, ConditionalWhenPrimsDiffer) {
+  std::vector<Standardization> L, R;
+  determineStandardizations(Basis::builtin(PrimitiveBasis::Pm, 3),
+                            Basis::builtin(PrimitiveBasis::Std, 3), L, R);
+  ASSERT_EQ(L.size(), 1u);
+  EXPECT_TRUE(L[0].Conditional);
+  EXPECT_EQ(L[0].Prim, PrimitiveBasis::Pm);
+}
+
+TEST(E6Test, InseparableFourierPadding) {
+  // Fig. E14: std + fourier[3] >> fourier[3] + std.
+  Basis In = Basis::builtin(PrimitiveBasis::Std, 1)
+                 .tensor(Basis::builtin(PrimitiveBasis::Fourier, 3));
+  Basis Out = Basis::builtin(PrimitiveBasis::Fourier, 3)
+                  .tensor(Basis::builtin(PrimitiveBasis::Std, 1));
+  std::vector<Standardization> L, R;
+  determineStandardizations(In, Out, L, R);
+  // Left: std@0 (cond), fourier[3]@1 (cond). Right: fourier[3]@0 (cond),
+  // std@3 (cond).
+  ASSERT_EQ(L.size(), 2u);
+  EXPECT_EQ(L[1].Prim, PrimitiveBasis::Fourier);
+  EXPECT_EQ(L[1].Offset, 1u);
+  EXPECT_EQ(L[1].Dim, 3u);
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R[0].Prim, PrimitiveBasis::Fourier);
+  EXPECT_EQ(R[0].Offset, 0u);
+}
+
+TEST(AlignTest, PredicateAndActiveSplit) {
+  // {'1'} + std >> {'11','10'} (Appendix F).
+  Basis In = lit({"1"}).tensor(Basis::builtin(PrimitiveBasis::Std, 1));
+  Basis Out = lit({"11", "10"});
+  std::vector<AlignedPair> Pairs =
+      alignTranslation(standardizedBasis(In), standardizedBasis(Out));
+  ASSERT_EQ(Pairs.size(), 2u);
+  EXPECT_TRUE(Pairs[0].Identical); // {'1'} predicate
+  EXPECT_FALSE(Pairs[1].Identical);
+  // Active pair maps 0 -> 1, 1 -> 0.
+  EXPECT_EQ(Pairs[1].In.Vectors[0].Eigenbits, 0u);
+  EXPECT_EQ(Pairs[1].Out.Vectors[0].Eigenbits, 1u);
+}
+
+TEST(AlignTest, MergeWhenNotFactorable) {
+  // Appendix F: {'0','1'} + {'0','1'} >> {'00','10','01','11'} cannot be
+  // factored; merging must kick in.
+  Basis In = lit({"0", "1"}).tensor(lit({"0", "1"}));
+  Basis Out = lit({"00", "10", "01", "11"});
+  std::vector<AlignedPair> Pairs = alignTranslation(In, Out);
+  ASSERT_EQ(Pairs.size(), 1u);
+  EXPECT_EQ(Pairs[0].In.Dim, 2u);
+  EXPECT_EQ(Pairs[0].In.Vectors.size(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end synthesis correctness vs the §2.2 semantics
+//===----------------------------------------------------------------------===//
+
+TEST(TranslationTest, SwapExample) {
+  // §2.2: {'01','10'} >> {'10','01'} is a SWAP gate.
+  expectTranslationCorrect(lit({"01", "10"}), lit({"10", "01"}));
+}
+
+TEST(TranslationTest, StdFlipIsX) {
+  expectTranslationCorrect(lit({"0", "1"}), lit({"1", "0"}));
+}
+
+TEST(TranslationTest, PmToStdIsHadamard) {
+  expectTranslationCorrect(Basis::builtin(PrimitiveBasis::Pm, 2),
+                           Basis::builtin(PrimitiveBasis::Std, 2));
+}
+
+TEST(TranslationTest, IjRoundTrip) {
+  expectTranslationCorrect(Basis::builtin(PrimitiveBasis::Ij, 1),
+                           Basis::builtin(PrimitiveBasis::Std, 1));
+  expectTranslationCorrect(Basis::builtin(PrimitiveBasis::Std, 1),
+                           Basis::builtin(PrimitiveBasis::Ij, 1));
+}
+
+TEST(TranslationTest, Figure7ConditionalStandardization) {
+  // {'m'} + ij >> {'m'} + pm.
+  Basis In = lit({"m"}).tensor(Basis::builtin(PrimitiveBasis::Ij, 1));
+  Basis Out = lit({"m"}).tensor(Basis::builtin(PrimitiveBasis::Pm, 1));
+  expectTranslationCorrect(In, Out);
+}
+
+TEST(TranslationTest, Figure8GroverDiffuserPhase) {
+  // {'p'[3]} >> {-'p'[3]}.
+  BasisVector P3 = BasisVector::fromString("ppp");
+  BasisVector NegP3(PrimitiveBasis::Pm, 3, 0, M_PI);
+  expectTranslationCorrect(Basis::literal(BasisLiteral({P3})),
+                           Basis::literal(BasisLiteral({NegP3})));
+}
+
+TEST(TranslationTest, Figure9AlignmentExample) {
+  // {'01','10'} + {'0','1'} >> {'101','100','011','010'}.
+  Basis In = lit({"01", "10"}).tensor(lit({"0", "1"}));
+  Basis Out = lit({"101", "100", "011", "010"});
+  expectTranslationCorrect(In, Out);
+}
+
+TEST(TranslationTest, PredicatedFlipIsCX) {
+  // {'1'} + {'0','1'} >> {'1'} + {'1','0'}: controlled X.
+  Basis In = lit({"1"}).tensor(lit({"0", "1"}));
+  Basis Out = lit({"1"}).tensor(lit({"1", "0"}));
+  expectTranslationCorrect(In, Out);
+}
+
+TEST(TranslationTest, ZeroPolarityPredicate) {
+  Basis In = lit({"0"}).tensor(lit({"0", "1"}));
+  Basis Out = lit({"0"}).tensor(lit({"1", "0"}));
+  expectTranslationCorrect(In, Out);
+}
+
+TEST(TranslationTest, PmPredicate) {
+  // {'m'} & X: predicate in the pm basis.
+  Basis In = lit({"m"}).tensor(lit({"0", "1"}));
+  Basis Out = lit({"m"}).tensor(lit({"1", "0"}));
+  expectTranslationCorrect(In, Out);
+}
+
+TEST(TranslationTest, MultiVectorPredicateUsesIndicator) {
+  // {'00','11'} & X: span-membership predicate.
+  Basis In = lit({"00", "11"}).tensor(lit({"0", "1"}));
+  Basis Out = lit({"00", "11"}).tensor(lit({"1", "0"}));
+  expectTranslationCorrect(In, Out);
+}
+
+TEST(TranslationTest, FourierBasisTranslation) {
+  expectTranslationCorrect(Basis::builtin(PrimitiveBasis::Fourier, 2),
+                           Basis::builtin(PrimitiveBasis::Std, 2));
+  expectTranslationCorrect(Basis::builtin(PrimitiveBasis::Std, 2),
+                           Basis::builtin(PrimitiveBasis::Fourier, 2));
+}
+
+TEST(TranslationTest, InseparableFourierOverlap) {
+  // Fig. E14: std + fourier[2] >> fourier[2] + std.
+  Basis In = Basis::builtin(PrimitiveBasis::Std, 1)
+                 .tensor(Basis::builtin(PrimitiveBasis::Fourier, 2));
+  Basis Out = Basis::builtin(PrimitiveBasis::Fourier, 2)
+                  .tensor(Basis::builtin(PrimitiveBasis::Std, 1));
+  expectTranslationCorrect(In, Out);
+}
+
+TEST(TranslationTest, PhasedVectorPair) {
+  // {'0','1'@45} >> {'0'@-30,'1'}.
+  BasisVector V0(PrimitiveBasis::Std, 1, 0);
+  BasisVector V1P(PrimitiveBasis::Std, 1, 1, M_PI / 4);
+  BasisVector V0P(PrimitiveBasis::Std, 1, 0, -M_PI / 6);
+  BasisVector V1(PrimitiveBasis::Std, 1, 1);
+  expectTranslationCorrect(Basis::literal(BasisLiteral({V0, V1P})),
+                           Basis::literal(BasisLiteral({V0P, V1})));
+}
+
+TEST(TranslationTest, CyclePermutation) {
+  // 3-cycle on two qubits: 00 -> 01 -> 10 -> 00.
+  expectTranslationCorrect(lit({"00", "01", "10"}),
+                           lit({"01", "10", "00"}));
+}
+
+TEST(TranslationTest, MixedPrimitiveSides) {
+  // pm >> ij on 1 qubit with a phase: nontrivial (de)standardization.
+  expectTranslationCorrect(Basis::builtin(PrimitiveBasis::Pm, 1),
+                           Basis::builtin(PrimitiveBasis::Ij, 1));
+}
+
+TEST(TranslationTest, PartialSpanIdentityOutside) {
+  // {'01','10'} >> {'10','01'} leaves |00> and |11> alone; checked by the
+  // reference unitary construction automatically.
+  expectTranslationCorrect(lit({"01", "10"}), lit({"10", "01"}));
+}
+
+// Property sweep: random std-literal permutation translations on 3 qubits.
+class RandomTranslation : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomTranslation, MatchesReference) {
+  std::mt19937_64 Rng(GetParam() * 7919 + 13);
+  unsigned Dim = 2 + (GetParam() % 2);
+  uint64_t Size = uint64_t(1) << Dim;
+  // Pick a random subset (even a partial span) and a random permutation of
+  // it.
+  std::vector<uint64_t> All(Size);
+  for (uint64_t I = 0; I < Size; ++I)
+    All[I] = I;
+  std::shuffle(All.begin(), All.end(), Rng);
+  unsigned Count = 2 + Rng() % (Size - 1);
+  std::vector<uint64_t> InBits(All.begin(), All.begin() + Count);
+  std::vector<uint64_t> OutBits = InBits;
+  std::shuffle(OutBits.begin(), OutBits.end(), Rng);
+  std::vector<BasisVector> InV, OutV;
+  for (unsigned I = 0; I < Count; ++I) {
+    InV.push_back(BasisVector(PrimitiveBasis::Std, Dim, InBits[I]));
+    OutV.push_back(BasisVector(PrimitiveBasis::Std, Dim, OutBits[I]));
+  }
+  expectTranslationCorrect(Basis::literal(BasisLiteral(InV)),
+                           Basis::literal(BasisLiteral(OutV)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Synth, RandomTranslation,
+                         ::testing::Range(0u, 25u));
+
+} // namespace
