@@ -21,6 +21,7 @@
 #include "codegen/QirEmitter.h"
 #include "compiler/Compiler.h"
 #include "estimate/ResourceEstimator.h"
+#include "sim/CircuitAnalysis.h"
 #include "sim/Simulator.h"
 
 #include <cstdio>
@@ -45,7 +46,11 @@ void usage() {
       "  --no-inline             disable the inlining pipeline (emit "
       "callables)\n"
       "  --no-peephole           disable QCircuit peepholes\n"
-      "  --shots <n>             shots for --emit run (default 1)\n");
+      "  --shots <n>             shots for --emit run (default 1)\n"
+      "  --seed <n>              base RNG seed for --emit run (default 0)\n"
+      "  --backend auto|sv|stab  simulation backend for --emit run\n"
+      "                          (auto picks the stabilizer tableau for\n"
+      "                          Clifford circuits, statevector otherwise)\n");
 }
 
 bool splitEq(const std::string &Arg, std::string &Key, std::string &Value) {
@@ -67,6 +72,8 @@ int main(int argc, char **argv) {
   std::string Path = argv[1];
   std::string Emit = "qasm";
   unsigned Shots = 1;
+  uint64_t Seed = 0;
+  BackendKind Backend = BackendKind::Auto;
   CompileOptions Opts;
   ProgramBindings Bindings;
 
@@ -115,6 +122,15 @@ int main(int argc, char **argv) {
       Opts.PeepholeOpt = false;
     } else if (Arg == "--shots") {
       Shots = std::atoi(Next());
+    } else if (Arg == "--seed") {
+      Seed = std::strtoull(Next(), nullptr, 0);
+    } else if (Arg == "--backend") {
+      std::string Name = Next();
+      if (!parseBackendKind(Name, Backend)) {
+        std::fprintf(stderr, "unknown backend '%s'\n", Name.c_str());
+        usage();
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       usage();
@@ -177,13 +193,18 @@ int main(int argc, char **argv) {
     return 0;
   }
   if (Emit == "run") {
-    if (R.FlatCircuit.NumQubits > 24) {
-      std::fprintf(stderr, "circuit too wide to simulate (%u qubits)\n",
-                   R.FlatCircuit.NumQubits);
+    CircuitProfile Profile = analyzeCircuit(R.FlatCircuit);
+    SimBackend &B =
+        BackendRegistry::instance().select(R.FlatCircuit, Backend, &Profile);
+    if (!B.supports(R.FlatCircuit, Profile)) {
+      std::fprintf(stderr,
+                   "backend '%s' cannot simulate this circuit (%u qubits, "
+                   "%s)\n",
+                   B.name(), R.FlatCircuit.NumQubits,
+                   Profile.CliffordOnly ? "Clifford" : "non-Clifford");
       return 1;
     }
-    for (unsigned S = 0; S < Shots; ++S) {
-      ShotResult Shot = simulate(R.FlatCircuit, S);
+    for (const ShotResult &Shot : B.runBatch(R.FlatCircuit, Shots, Seed)) {
       std::string Out;
       for (int Bit : R.FlatCircuit.OutputBits)
         Out.push_back(Bit == -2                ? '1'

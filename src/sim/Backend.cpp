@@ -1,0 +1,120 @@
+//===- Backend.cpp - Pluggable simulation-backend interface ---------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Backend.h"
+
+#include "sim/CircuitAnalysis.h"
+#include "sim/StabilizerBackend.h"
+#include "sim/StatevectorBackend.h"
+
+#include <cassert>
+
+using namespace asdf;
+
+std::string ShotResult::str() const {
+  std::string S;
+  for (bool B : Bits)
+    S.push_back(B ? '1' : '0');
+  return S;
+}
+
+uint64_t asdf::deriveShotSeed(uint64_t Seed, uint64_t Shot) {
+  // splitmix64 finalizer over a golden-ratio stride: adjacent shots land in
+  // statistically independent streams, and shot S of run (C, Seed) replays
+  // bit-for-bit on every backend and platform.
+  uint64_t Z = Seed + 0x9E3779B97F4A7C15ull * (Shot + 1);
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+bool asdf::parseBackendKind(const std::string &Name, BackendKind &Kind) {
+  if (Name == "auto") {
+    Kind = BackendKind::Auto;
+    return true;
+  }
+  if (Name == "sv" || Name == "statevector") {
+    Kind = BackendKind::Statevector;
+    return true;
+  }
+  if (Name == "stab" || Name == "stabilizer") {
+    Kind = BackendKind::Stabilizer;
+    return true;
+  }
+  return false;
+}
+
+std::vector<ShotResult> SimBackend::runBatch(const Circuit &C,
+                                             unsigned Shots,
+                                             uint64_t Seed) const {
+  std::vector<ShotResult> Results;
+  Results.reserve(Shots);
+  for (unsigned S = 0; S < Shots; ++S)
+    Results.push_back(run(C, deriveShotSeed(Seed, S)));
+  return Results;
+}
+
+std::map<std::string, unsigned>
+SimBackend::runShots(const Circuit &C, unsigned Shots, uint64_t Seed) const {
+  std::map<std::string, unsigned> Counts;
+  for (const ShotResult &R : runBatch(C, Shots, Seed))
+    ++Counts[R.str()];
+  return Counts;
+}
+
+BackendRegistry::BackendRegistry() {
+  registerBackend(std::make_unique<StatevectorBackend>());
+  registerBackend(std::make_unique<StabilizerBackend>());
+}
+
+BackendRegistry &BackendRegistry::instance() {
+  static BackendRegistry Registry;
+  return Registry;
+}
+
+void BackendRegistry::registerBackend(std::unique_ptr<SimBackend> B) {
+  for (std::unique_ptr<SimBackend> &Existing : Backends)
+    if (std::string(Existing->name()) == B->name()) {
+      Existing = std::move(B);
+      return;
+    }
+  Backends.push_back(std::move(B));
+}
+
+SimBackend *BackendRegistry::lookup(const std::string &Name) const {
+  for (const std::unique_ptr<SimBackend> &B : Backends)
+    if (Name == B->name())
+      return B.get();
+  return nullptr;
+}
+
+SimBackend &BackendRegistry::select(const Circuit &C, BackendKind Kind,
+                                    const CircuitProfile *Profile) const {
+  SimBackend *Sv = lookup("sv");
+  SimBackend *Stab = lookup("stab");
+  assert(Sv && Stab && "built-in backends missing");
+  switch (Kind) {
+  case BackendKind::Statevector:
+    return *Sv;
+  case BackendKind::Stabilizer:
+    return *Stab;
+  case BackendKind::Auto:
+    break;
+  }
+  CircuitProfile P = Profile ? *Profile : analyzeCircuit(C);
+  // Tableau updates are polynomial where dense amplitudes are exponential:
+  // take the stabilizer engine whenever it is exact for this circuit.
+  if (Stab->supports(C, P))
+    return *Stab;
+  return *Sv;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> Names;
+  for (const std::unique_ptr<SimBackend> &B : Backends)
+    Names.push_back(B->name());
+  return Names;
+}

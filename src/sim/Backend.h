@@ -1,0 +1,121 @@
+//===- Backend.h - Pluggable simulation-backend interface -----------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulation-backend subsystem. A `SimBackend` executes flat circuits
+/// (§7) and reports which circuits it can run exactly; the `BackendRegistry`
+/// owns the built-in engines and auto-dispatches each circuit to the fastest
+/// backend that supports it:
+///
+///   - `StatevectorBackend` — dense amplitudes, any gate set, <= 26 qubits;
+///   - `StabilizerBackend`  — CHP tableau, Clifford + measure + reset +
+///     feed-forward, thousands of qubits.
+///
+/// Shots are made independent-but-reproducible by deriving every shot's RNG
+/// seed from the base seed and the shot index with a splitmix64 hash, so the
+/// same (circuit, seed, shots) triple replays identically on any backend
+/// while no two shots share a stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SIM_BACKEND_H
+#define ASDF_SIM_BACKEND_H
+
+#include "qcirc/Circuit.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace asdf {
+
+struct CircuitProfile;
+
+/// Which backend `simulate`/`runShots` should use.
+enum class BackendKind {
+  Auto,        ///< Fastest backend that supports the circuit.
+  Statevector, ///< Force the dense engine.
+  Stabilizer,  ///< Force the tableau engine.
+};
+
+/// Parses "auto"/"sv"/"stab" (also "statevector"/"stabilizer"). Returns
+/// false on unknown names.
+bool parseBackendKind(const std::string &Name, BackendKind &Kind);
+
+/// Derives the RNG seed for shot \p Shot of a run with base seed \p Seed.
+/// splitmix64 finalizer: statistically independent streams per shot, yet
+/// fully determined by (Seed, Shot).
+uint64_t deriveShotSeed(uint64_t Seed, uint64_t Shot);
+
+/// The classical outcome of one circuit execution.
+struct ShotResult {
+  std::vector<bool> Bits; ///< Indexed by classical bit number.
+
+  std::string str() const;
+};
+
+/// Abstract interface every simulation engine implements.
+class SimBackend {
+public:
+  virtual ~SimBackend() = default;
+
+  /// Short stable identifier ("sv", "stab") used by --backend and tests.
+  virtual const char *name() const = 0;
+
+  /// True if this backend executes \p C exactly. \p P is the precomputed
+  /// classification of \p C (see CircuitAnalysis.h).
+  virtual bool supports(const Circuit &C, const CircuitProfile &P) const = 0;
+
+  /// Executes \p C once from |0...0>, honoring measurements, resets, and
+  /// classical conditions. \p Seed fully determines the outcome.
+  virtual ShotResult run(const Circuit &C, uint64_t Seed) const = 0;
+
+  /// Executes \p C \p Shots times, returning outcomes in shot order; shot
+  /// S uses seed deriveShotSeed(\p Seed, S). The default loops run();
+  /// backends override it to amortize work across shots.
+  virtual std::vector<ShotResult> runBatch(const Circuit &C, unsigned Shots,
+                                           uint64_t Seed) const;
+
+  /// Aggregates runBatch into outcome frequencies keyed by the classical
+  /// bit string (bit 0 first).
+  std::map<std::string, unsigned> runShots(const Circuit &C, unsigned Shots,
+                                           uint64_t Seed) const;
+};
+
+/// Owns the engines and picks one per circuit.
+class BackendRegistry {
+public:
+  /// The process-wide registry, with the built-in backends registered.
+  static BackendRegistry &instance();
+
+  /// Registers \p B under B->name(), replacing any same-named backend.
+  void registerBackend(std::unique_ptr<SimBackend> B);
+
+  /// Finds a backend by name(); null if absent.
+  SimBackend *lookup(const std::string &Name) const;
+
+  /// Resolves \p Kind for \p C. Auto prefers the stabilizer engine whenever
+  /// it supports the circuit (tableau updates are polynomial where dense
+  /// amplitudes are exponential); otherwise the dense engine. A forced kind
+  /// returns that backend even if it does not support \p C — callers that
+  /// care check supports() first. Pass \p Profile if the circuit is already
+  /// analyzed; otherwise Auto analyzes it internally.
+  SimBackend &select(const Circuit &C, BackendKind Kind,
+                     const CircuitProfile *Profile = nullptr) const;
+
+  /// Registered backend names, registration order.
+  std::vector<std::string> names() const;
+
+private:
+  BackendRegistry();
+  std::vector<std::unique_ptr<SimBackend>> Backends;
+};
+
+} // namespace asdf
+
+#endif // ASDF_SIM_BACKEND_H

@@ -1,0 +1,93 @@
+//===- CircuitAnalysis.cpp - Circuit classification for dispatch ----------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/CircuitAnalysis.h"
+
+#include <cmath>
+
+using namespace asdf;
+
+bool asdf::quarterTurns(double Theta, unsigned &QuarterTurns, double Tol) {
+  double Quarters = Theta / (M_PI / 2.0);
+  double Rounded = std::round(Quarters);
+  if (std::abs(Quarters - Rounded) > Tol)
+    return false;
+  long long K = static_cast<long long>(Rounded) % 4;
+  if (K < 0)
+    K += 4;
+  QuarterTurns = static_cast<unsigned>(K);
+  return true;
+}
+
+bool asdf::isCliffordInstr(const CircuitInstr &I) {
+  if (I.TheKind != CircuitInstr::Kind::Gate)
+    return true; // Measure and reset are native tableau operations.
+  size_t NumControls = I.Controls.size();
+  unsigned Quarters;
+  switch (I.Gate) {
+  case GateKind::X:
+  case GateKind::Y:
+  case GateKind::Z:
+    // Pauli gates stay Clifford with one control (CX/CY/CZ); two or more
+    // controls (Toffoli and up) leave the group.
+    return NumControls <= 1;
+  case GateKind::H:
+  case GateKind::S:
+  case GateKind::Sdg:
+  case GateKind::Swap:
+    return NumControls == 0;
+  case GateKind::P:
+    if (!quarterTurns(I.Param, Quarters))
+      return false;
+    // P(0) is the identity at any control count; P(pi) == Z is Clifford
+    // with up to one control (CZ); P(+-pi/2) == S/Sdg only uncontrolled
+    // (CS is not Clifford).
+    if (Quarters == 0)
+      return true;
+    if (Quarters == 2)
+      return NumControls <= 1;
+    return NumControls == 0;
+  case GateKind::RZ:
+    // RZ(k*pi/2) equals P(k*pi/2) up to global phase — but only when
+    // uncontrolled, where the global phase is unobservable.
+    return NumControls == 0 && quarterTurns(I.Param, Quarters);
+  case GateKind::T:
+  case GateKind::Tdg:
+  case GateKind::RX:
+  case GateKind::RY:
+    return false;
+  }
+  return false;
+}
+
+CircuitProfile asdf::analyzeCircuit(const Circuit &C) {
+  CircuitProfile P;
+  bool InPrefix = true;
+  for (const CircuitInstr &I : C.Instrs) {
+    if (I.CondBit >= 0)
+      P.HasFeedForward = true;
+    switch (I.TheKind) {
+    case CircuitInstr::Kind::Gate:
+      if (I.Controls.size() > P.MaxControls)
+        P.MaxControls = static_cast<unsigned>(I.Controls.size());
+      if (!isCliffordInstr(I))
+        P.CliffordOnly = false;
+      if (InPrefix && I.CondBit < 0) {
+        ++P.UnconditionalGatePrefix;
+        continue;
+      }
+      break;
+    case CircuitInstr::Kind::Measure:
+      P.HasMeasure = true;
+      break;
+    case CircuitInstr::Kind::Reset:
+      P.HasReset = true;
+      break;
+    }
+    InPrefix = false;
+  }
+  return P;
+}

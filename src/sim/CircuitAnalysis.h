@@ -1,0 +1,60 @@
+//===- CircuitAnalysis.h - Circuit classification for dispatch ------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cheap single-pass classification of flat circuits that drives backend
+/// auto-dispatch and multi-shot amortization:
+///
+///   - Clifford-only circuits run on the stabilizer tableau;
+///   - the length of the measurement-free unconditional prefix lets the
+///     dense engine simulate that prefix once and fork it per shot;
+///   - feed-forward (classically conditioned instructions) distinguishes
+///     dynamic circuits from static prepare-and-measure ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SIM_CIRCUITANALYSIS_H
+#define ASDF_SIM_CIRCUITANALYSIS_H
+
+#include "qcirc/Circuit.h"
+
+#include <cstddef>
+
+namespace asdf {
+
+/// What one pass over the instruction list learned about a circuit.
+struct CircuitProfile {
+  /// Every gate is Clifford (X/Y/Z/H/S/Sdg/Swap, CX/CY/CZ, and P/RZ at
+  /// multiples of pi/2 with suitable control counts).
+  bool CliffordOnly = true;
+  bool HasMeasure = false;
+  bool HasReset = false;
+  /// Any instruction is classically conditioned (CondBit >= 0).
+  bool HasFeedForward = false;
+  /// Largest control count on any gate.
+  unsigned MaxControls = 0;
+  /// Number of leading instructions that are unconditional gates — the
+  /// deterministic prefix shared by every shot.
+  size_t UnconditionalGatePrefix = 0;
+
+  bool measureFree() const { return !HasMeasure && !HasReset; }
+};
+
+/// Classifies \p C in one pass.
+CircuitProfile analyzeCircuit(const Circuit &C);
+
+/// True if one instruction is a Clifford-group operation the tableau engine
+/// executes exactly. Gate instructions only; measure/reset always qualify.
+bool isCliffordInstr(const CircuitInstr &I);
+
+/// If \p Theta is a multiple of pi/2 (within \p Tol), returns true and sets
+/// \p QuarterTurns to the multiple mod 4 (0..3). The tableau engine maps
+/// P/RZ at quarter turns onto I/S/Z/Sdg.
+bool quarterTurns(double Theta, unsigned &QuarterTurns, double Tol = 1e-12);
+
+} // namespace asdf
+
+#endif // ASDF_SIM_CIRCUITANALYSIS_H

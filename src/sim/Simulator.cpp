@@ -1,4 +1,4 @@
-//===- Simulator.cpp - Dense state-vector simulator ------------------------===//
+//===- Simulator.cpp - Circuit execution facade ----------------------------===//
 //
 // Part of the Asdf reproduction. MIT license.
 //
@@ -7,191 +7,25 @@
 #include "sim/Simulator.h"
 
 #include <cassert>
-#include <cmath>
 
 using namespace asdf;
 
-StateVector::StateVector(unsigned NumQubits) : NumQubits(NumQubits) {
-  assert(NumQubits <= 26 && "state vector too large");
-  Amp.assign(uint64_t(1) << NumQubits, Amplitude(0.0, 0.0));
-  Amp[0] = Amplitude(1.0, 0.0);
-}
-
-void StateVector::setBasisState(uint64_t Index) {
-  std::fill(Amp.begin(), Amp.end(), Amplitude(0.0, 0.0));
-  Amp[Index] = Amplitude(1.0, 0.0);
-}
-
-namespace {
-
-/// 2x2 gate matrices.
-struct Mat2 {
-  Amplitude M[2][2];
-};
-
-Mat2 gateMatrix(GateKind G, double Theta) {
-  const double S2 = 1.0 / std::sqrt(2.0);
-  const Amplitude I(0.0, 1.0);
-  switch (G) {
-  case GateKind::X:
-    return {{{0, 1}, {1, 0}}};
-  case GateKind::Y:
-    return {{{0, -I}, {I, 0}}};
-  case GateKind::Z:
-    return {{{1, 0}, {0, -1}}};
-  case GateKind::H:
-    return {{{S2, S2}, {S2, -S2}}};
-  case GateKind::S:
-    return {{{1, 0}, {0, I}}};
-  case GateKind::Sdg:
-    return {{{1, 0}, {0, -I}}};
-  case GateKind::T:
-    return {{{1, 0}, {0, std::exp(I * (M_PI / 4.0))}}};
-  case GateKind::Tdg:
-    return {{{1, 0}, {0, std::exp(-I * (M_PI / 4.0))}}};
-  case GateKind::P:
-    return {{{1, 0}, {0, std::exp(I * Theta)}}};
-  case GateKind::RX:
-    return {{{std::cos(Theta / 2), -I * std::sin(Theta / 2)},
-             {-I * std::sin(Theta / 2), std::cos(Theta / 2)}}};
-  case GateKind::RY:
-    return {{{std::cos(Theta / 2), -std::sin(Theta / 2)},
-             {std::sin(Theta / 2), std::cos(Theta / 2)}}};
-  case GateKind::RZ:
-    return {{{std::exp(-I * (Theta / 2)), 0},
-             {0, std::exp(I * (Theta / 2))}}};
-  case GateKind::Swap:
-    break;
-  }
-  assert(false && "no 2x2 matrix for this gate");
-  return {{{1, 0}, {0, 1}}};
-}
-
-} // namespace
-
-void StateVector::apply(GateKind G, const std::vector<unsigned> &Controls,
-                        const std::vector<unsigned> &Targets, double Param) {
-  uint64_t CtlMask = 0;
-  for (unsigned C : Controls)
-    CtlMask |= qubitBit(C);
-
-  if (G == GateKind::Swap) {
-    assert(Targets.size() == 2);
-    uint64_t BitA = qubitBit(Targets[0]);
-    uint64_t BitB = qubitBit(Targets[1]);
-    for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx) {
-      if ((Idx & CtlMask) != CtlMask)
-        continue;
-      bool A = Idx & BitA, Bb = Idx & BitB;
-      if (A && !Bb) {
-        uint64_t Other = (Idx & ~BitA) | BitB;
-        std::swap(Amp[Idx], Amp[Other]);
-      }
-    }
-    return;
-  }
-
-  assert(Targets.size() == 1);
-  Mat2 M = gateMatrix(G, Param);
-  uint64_t Bit = qubitBit(Targets[0]);
-  for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx) {
-    if (Idx & Bit)
-      continue; // Handle each pair once, from the 0 side.
-    if (((Idx & CtlMask) != CtlMask) ||
-        (((Idx | Bit) & CtlMask) != CtlMask))
-      continue;
-    uint64_t Idx1 = Idx | Bit;
-    Amplitude A0 = Amp[Idx], A1 = Amp[Idx1];
-    Amp[Idx] = M.M[0][0] * A0 + M.M[0][1] * A1;
-    Amp[Idx1] = M.M[1][0] * A0 + M.M[1][1] * A1;
-  }
-}
-
-double StateVector::probOne(unsigned Q) const {
-  uint64_t Bit = qubitBit(Q);
-  double P = 0.0;
-  for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx)
-    if (Idx & Bit)
-      P += std::norm(Amp[Idx]);
-  return P;
-}
-
-bool StateVector::measure(unsigned Q, std::mt19937_64 &Rng) {
-  double P1 = probOne(Q);
-  std::uniform_real_distribution<double> Dist(0.0, 1.0);
-  bool One = Dist(Rng) < P1;
-  uint64_t Bit = qubitBit(Q);
-  double Norm = std::sqrt(One ? P1 : 1.0 - P1);
-  if (Norm < 1e-300)
-    Norm = 1.0;
-  for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx) {
-    bool IsOne = Idx & Bit;
-    if (IsOne == One)
-      Amp[Idx] /= Norm;
-    else
-      Amp[Idx] = Amplitude(0.0, 0.0);
-  }
-  return One;
-}
-
-void StateVector::reset(unsigned Q, std::mt19937_64 &Rng) {
-  if (measure(Q, Rng))
-    apply(GateKind::X, {}, {Q}, 0.0);
-}
-
-double StateVector::overlap(const StateVector &Other) const {
-  assert(Amp.size() == Other.Amp.size());
-  Amplitude Dot(0.0, 0.0);
-  for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx)
-    Dot += std::conj(Other.Amp[Idx]) * Amp[Idx];
-  return std::abs(Dot);
-}
-
-std::string ShotResult::str() const {
-  std::string S;
-  for (bool B : Bits)
-    S.push_back(B ? '1' : '0');
-  return S;
-}
-
-ShotResult asdf::simulate(const Circuit &C, uint64_t Seed) {
-  StateVector SV(C.NumQubits);
-  std::mt19937_64 Rng(Seed * 0x9E3779B97F4A7C15ull + 0xDEADBEEF);
-  ShotResult R;
-  R.Bits.assign(C.NumBits, false);
-  for (const CircuitInstr &I : C.Instrs) {
-    if (I.CondBit >= 0 &&
-        R.Bits[static_cast<unsigned>(I.CondBit)] != I.CondVal)
-      continue;
-    switch (I.TheKind) {
-    case CircuitInstr::Kind::Gate:
-      SV.apply(I.Gate, I.Controls, I.Targets, I.Param);
-      break;
-    case CircuitInstr::Kind::Measure:
-      R.Bits[static_cast<unsigned>(I.Cbit)] = SV.measure(I.Targets[0], Rng);
-      break;
-    case CircuitInstr::Kind::Reset:
-      SV.reset(I.Targets[0], Rng);
-      break;
-    }
-  }
-  return R;
+ShotResult asdf::simulate(const Circuit &C, uint64_t Seed,
+                          BackendKind Backend) {
+  return BackendRegistry::instance().select(C, Backend).run(C, Seed);
 }
 
 std::map<std::string, unsigned> asdf::runShots(const Circuit &C,
-                                               unsigned Shots,
-                                               uint64_t Seed) {
-  std::map<std::string, unsigned> Counts;
-  for (unsigned S = 0; S < Shots; ++S)
-    ++Counts[simulate(C, Seed + S).str()];
-  return Counts;
+                                               unsigned Shots, uint64_t Seed,
+                                               BackendKind Backend) {
+  return BackendRegistry::instance().select(C, Backend).runShots(C, Shots,
+                                                                 Seed);
 }
 
 std::vector<std::vector<Amplitude>> asdf::circuitUnitary(const Circuit &C) {
   assert(C.NumQubits <= 10 && "unitary extraction limited to 10 qubits");
   uint64_t Dim = uint64_t(1) << C.NumQubits;
   std::vector<std::vector<Amplitude>> U(Dim, std::vector<Amplitude>(Dim));
-  std::mt19937_64 Rng(1);
   for (uint64_t K = 0; K < Dim; ++K) {
     StateVector SV(C.NumQubits);
     SV.setBasisState(K);

@@ -1,14 +1,17 @@
-//===- Simulator.h - Dense state-vector simulator --------------------------===//
+//===- Simulator.h - Circuit execution facade ------------------------------===//
 //
 // Part of the Asdf reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A dense state-vector simulator executing flat circuits — the stand-in
-/// for qir-runner (§7). Used by tests to verify that synthesized circuits
-/// implement their specified semantics (basis translations, oracles,
-/// adjoints, predication) and by the examples to run algorithms end to end.
+/// The convenience entry points for executing flat circuits — the stand-in
+/// for qir-runner (§7) — over the pluggable backend subsystem (Backend.h).
+/// `simulate` and `runShots` auto-dispatch by default: Clifford circuits run
+/// on the CHP stabilizer tableau (thousands of qubits), everything else on
+/// the dense statevector engine. Tests and examples that poke amplitudes
+/// directly keep using `StateVector` (StatevectorBackend.h, re-exported
+/// here).
 ///
 /// Convention: qubit 0 is the leftmost qubit and occupies the most
 /// significant bit of a basis-state index, matching the eigenbit convention
@@ -19,7 +22,8 @@
 #ifndef ASDF_SIM_SIMULATOR_H
 #define ASDF_SIM_SIMULATOR_H
 
-#include "qcirc/Circuit.h"
+#include "sim/Backend.h"
+#include "sim/StatevectorBackend.h"
 
 #include <complex>
 #include <cstdint>
@@ -30,60 +34,18 @@
 
 namespace asdf {
 
-using Amplitude = std::complex<double>;
-
-/// A dense quantum state over a fixed number of qubits.
-class StateVector {
-public:
-  explicit StateVector(unsigned NumQubits);
-
-  unsigned numQubits() const { return NumQubits; }
-  const std::vector<Amplitude> &amplitudes() const { return Amp; }
-  std::vector<Amplitude> &amplitudes() { return Amp; }
-
-  /// Sets the state to the computational basis state |index>.
-  void setBasisState(uint64_t Index);
-
-  /// Applies one gate (with controls).
-  void apply(GateKind G, const std::vector<unsigned> &Controls,
-             const std::vector<unsigned> &Targets, double Param);
-
-  /// Measures qubit \p Q; collapses the state. \p Rng drives sampling.
-  bool measure(unsigned Q, std::mt19937_64 &Rng);
-
-  /// Resets qubit \p Q to |0> (measure and correct).
-  void reset(unsigned Q, std::mt19937_64 &Rng);
-
-  /// Probability that qubit \p Q reads 1.
-  double probOne(unsigned Q) const;
-
-  /// Inner-product magnitude |<other|this>|.
-  double overlap(const StateVector &Other) const;
-
-private:
-  unsigned NumQubits;
-  std::vector<Amplitude> Amp;
-
-  uint64_t qubitBit(unsigned Q) const {
-    return uint64_t(1) << (NumQubits - 1 - Q);
-  }
-};
-
-/// The classical outcome of one circuit execution.
-struct ShotResult {
-  std::vector<bool> Bits; ///< Indexed by classical bit number.
-
-  std::string str() const;
-};
-
 /// Executes \p C once from |0...0>, honoring measurements, resets, and
-/// classical conditions.
-ShotResult simulate(const Circuit &C, uint64_t Seed = 0);
+/// classical conditions, on the backend selected by \p Backend.
+ShotResult simulate(const Circuit &C, uint64_t Seed = 0,
+                    BackendKind Backend = BackendKind::Auto);
 
 /// Executes \p C \p Shots times, returning outcome frequencies keyed by the
-/// classical bit string (bit 0 first).
-std::map<std::string, unsigned> runShots(const Circuit &C, unsigned Shots,
-                                         uint64_t Seed = 0);
+/// classical bit string (bit 0 first). Each shot's seed derives from
+/// (\p Seed, shot index) via deriveShotSeed, so shots are independent yet
+/// the whole run replays deterministically.
+std::map<std::string, unsigned>
+runShots(const Circuit &C, unsigned Shots, uint64_t Seed = 0,
+         BackendKind Backend = BackendKind::Auto);
 
 /// Computes the full unitary of a measurement-free circuit by simulating
 /// every basis input. Requires C.NumQubits <= 10. Column k is U|k>.

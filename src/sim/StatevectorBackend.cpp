@@ -1,0 +1,325 @@
+//===- StatevectorBackend.cpp - Dense state-vector engine -----------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/StatevectorBackend.h"
+
+#include "sim/CircuitAnalysis.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace asdf;
+
+StateVector::StateVector(unsigned NumQubits) : NumQubits(NumQubits) {
+  assert(NumQubits <= StatevectorBackend::MaxQubits &&
+         "state vector too large");
+  Amp.assign(uint64_t(1) << NumQubits, Amplitude(0.0, 0.0));
+  Amp[0] = Amplitude(1.0, 0.0);
+}
+
+void StateVector::setBasisState(uint64_t Index) {
+  std::fill(Amp.begin(), Amp.end(), Amplitude(0.0, 0.0));
+  Amp[Index] = Amplitude(1.0, 0.0);
+}
+
+namespace {
+
+/// 2x2 gate matrices for the generic fallback path.
+struct Mat2 {
+  Amplitude M[2][2];
+};
+
+Mat2 gateMatrix(GateKind G, double Theta) {
+  const double S2 = 1.0 / std::sqrt(2.0);
+  const Amplitude I(0.0, 1.0);
+  switch (G) {
+  case GateKind::X:
+    return {{{0, 1}, {1, 0}}};
+  case GateKind::Y:
+    return {{{0, -I}, {I, 0}}};
+  case GateKind::Z:
+    return {{{1, 0}, {0, -1}}};
+  case GateKind::H:
+    return {{{S2, S2}, {S2, -S2}}};
+  case GateKind::S:
+    return {{{1, 0}, {0, I}}};
+  case GateKind::Sdg:
+    return {{{1, 0}, {0, -I}}};
+  case GateKind::T:
+    return {{{1, 0}, {0, std::exp(I * (M_PI / 4.0))}}};
+  case GateKind::Tdg:
+    return {{{1, 0}, {0, std::exp(-I * (M_PI / 4.0))}}};
+  case GateKind::P:
+    return {{{1, 0}, {0, std::exp(I * Theta)}}};
+  case GateKind::RX:
+    return {{{std::cos(Theta / 2), -I * std::sin(Theta / 2)},
+             {-I * std::sin(Theta / 2), std::cos(Theta / 2)}}};
+  case GateKind::RY:
+    return {{{std::cos(Theta / 2), -std::sin(Theta / 2)},
+             {std::sin(Theta / 2), std::cos(Theta / 2)}}};
+  case GateKind::RZ:
+    return {{{std::exp(-I * (Theta / 2)), 0},
+             {0, std::exp(I * (Theta / 2))}}};
+  case GateKind::Swap:
+    break;
+  }
+  assert(false && "no 2x2 matrix for this gate");
+  return {{{1, 0}, {0, 1}}};
+}
+
+/// The phase a diagonal gate puts on |1> (it puts 1 on |0>), or nullopt if
+/// the gate is not diagonal-with-unit-top-left.
+bool diagonalPhase(GateKind G, double Theta, Amplitude &Phase) {
+  const Amplitude I(0.0, 1.0);
+  switch (G) {
+  case GateKind::Z:
+    Phase = Amplitude(-1.0, 0.0);
+    return true;
+  case GateKind::S:
+    Phase = I;
+    return true;
+  case GateKind::Sdg:
+    Phase = -I;
+    return true;
+  case GateKind::T:
+    Phase = std::exp(I * (M_PI / 4.0));
+    return true;
+  case GateKind::Tdg:
+    Phase = std::exp(-I * (M_PI / 4.0));
+    return true;
+  case GateKind::P:
+    Phase = std::exp(I * Theta);
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+void StateVector::phaseSweep(uint64_t Mask, Amplitude Phase) {
+  for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx)
+    if ((Idx & Mask) == Mask)
+      Amp[Idx] *= Phase;
+}
+
+void StateVector::pairSwap(uint64_t CtlMask, uint64_t Bit) {
+  for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx) {
+    if (Idx & Bit)
+      continue; // Handle each pair once, from the 0 side.
+    if ((Idx & CtlMask) != CtlMask)
+      continue;
+    std::swap(Amp[Idx], Amp[Idx | Bit]);
+  }
+}
+
+void StateVector::apply(GateKind G, const std::vector<unsigned> &Controls,
+                        const std::vector<unsigned> &Targets, double Param) {
+  uint64_t CtlMask = 0;
+  for (unsigned C : Controls)
+    CtlMask |= qubitBit(C);
+
+  if (G == GateKind::Swap) {
+    assert(Targets.size() == 2);
+    uint64_t BitA = qubitBit(Targets[0]);
+    uint64_t BitB = qubitBit(Targets[1]);
+    for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx) {
+      if ((Idx & CtlMask) != CtlMask)
+        continue;
+      bool A = Idx & BitA, Bb = Idx & BitB;
+      if (A && !Bb) {
+        uint64_t Other = (Idx & ~BitA) | BitB;
+        std::swap(Amp[Idx], Amp[Other]);
+      }
+    }
+    return;
+  }
+
+  assert(Targets.size() == 1);
+  uint64_t Bit = qubitBit(Targets[0]);
+  if (CtlMask & Bit)
+    return; // Degenerate control == target: no pair has the control set and
+            // the target clear, so this was always a no-op.
+
+  // Diagonal gates collapse to a single masked phase sweep at any control
+  // count: the phase lands exactly where all controls and the target read 1.
+  Amplitude Phase;
+  if (diagonalPhase(G, Param, Phase)) {
+    phaseSweep(CtlMask | Bit, Phase);
+    return;
+  }
+
+  // X at any control count is a pure pair permutation (X, CX, Toffoli...).
+  if (G == GateKind::X) {
+    pairSwap(CtlMask, Bit);
+    return;
+  }
+
+  // Y: permutation plus a fixed +-i twist.
+  if (G == GateKind::Y) {
+    const Amplitude I(0.0, 1.0);
+    for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx) {
+      if (Idx & Bit)
+        continue;
+      if ((Idx & CtlMask) != CtlMask)
+        continue;
+      uint64_t Idx1 = Idx | Bit;
+      Amplitude A0 = Amp[Idx];
+      Amp[Idx] = -I * Amp[Idx1];
+      Amp[Idx1] = I * A0;
+    }
+    return;
+  }
+
+  // H: real butterfly, no complex matrix products.
+  if (G == GateKind::H) {
+    const double S2 = 1.0 / std::sqrt(2.0);
+    for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx) {
+      if (Idx & Bit)
+        continue;
+      if ((Idx & CtlMask) != CtlMask)
+        continue;
+      uint64_t Idx1 = Idx | Bit;
+      Amplitude A0 = Amp[Idx], A1 = Amp[Idx1];
+      Amp[Idx] = S2 * (A0 + A1);
+      Amp[Idx1] = S2 * (A0 - A1);
+    }
+    return;
+  }
+
+  // Uncontrolled RZ: one diagonal sweep over the whole state.
+  if (G == GateKind::RZ && CtlMask == 0) {
+    const Amplitude I(0.0, 1.0);
+    Amplitude P0 = std::exp(-I * (Param / 2)), P1 = std::exp(I * (Param / 2));
+    for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx)
+      Amp[Idx] *= (Idx & Bit) ? P1 : P0;
+    return;
+  }
+
+  // Generic controlled-2x2 fallback (RX/RY, controlled rotations).
+  Mat2 M = gateMatrix(G, Param);
+  for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx) {
+    if (Idx & Bit)
+      continue; // Handle each pair once, from the 0 side.
+    if ((Idx & CtlMask) != CtlMask)
+      continue;
+    uint64_t Idx1 = Idx | Bit;
+    Amplitude A0 = Amp[Idx], A1 = Amp[Idx1];
+    Amp[Idx] = M.M[0][0] * A0 + M.M[0][1] * A1;
+    Amp[Idx1] = M.M[1][0] * A0 + M.M[1][1] * A1;
+  }
+}
+
+double StateVector::probOne(unsigned Q) const {
+  uint64_t Bit = qubitBit(Q);
+  double P = 0.0;
+  for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx)
+    if (Idx & Bit)
+      P += std::norm(Amp[Idx]);
+  return P;
+}
+
+bool StateVector::measure(unsigned Q, std::mt19937_64 &Rng) {
+  double P1 = probOne(Q);
+  std::uniform_real_distribution<double> Dist(0.0, 1.0);
+  bool One = Dist(Rng) < P1;
+  uint64_t Bit = qubitBit(Q);
+  double Norm = std::sqrt(One ? P1 : 1.0 - P1);
+  if (Norm < 1e-300)
+    Norm = 1.0;
+  for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx) {
+    bool IsOne = Idx & Bit;
+    if (IsOne == One)
+      Amp[Idx] /= Norm;
+    else
+      Amp[Idx] = Amplitude(0.0, 0.0);
+  }
+  return One;
+}
+
+void StateVector::reset(unsigned Q, std::mt19937_64 &Rng) {
+  if (measure(Q, Rng))
+    apply(GateKind::X, {}, {Q}, 0.0);
+}
+
+double StateVector::overlap(const StateVector &Other) const {
+  assert(Amp.size() == Other.Amp.size());
+  Amplitude Dot(0.0, 0.0);
+  for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx)
+    Dot += std::conj(Other.Amp[Idx]) * Amp[Idx];
+  return std::abs(Dot);
+}
+
+namespace {
+
+std::mt19937_64 shotRng(uint64_t Seed) {
+  return std::mt19937_64(Seed * 0x9E3779B97F4A7C15ull + 0xDEADBEEF);
+}
+
+/// Executes instructions [Start, end) on \p SV, recording bits into \p R.
+void execute(const Circuit &C, size_t Start, StateVector &SV, ShotResult &R,
+             std::mt19937_64 &Rng) {
+  for (size_t N = Start; N < C.Instrs.size(); ++N) {
+    const CircuitInstr &I = C.Instrs[N];
+    if (I.CondBit >= 0 &&
+        R.Bits[static_cast<unsigned>(I.CondBit)] != I.CondVal)
+      continue;
+    switch (I.TheKind) {
+    case CircuitInstr::Kind::Gate:
+      SV.apply(I.Gate, I.Controls, I.Targets, I.Param);
+      break;
+    case CircuitInstr::Kind::Measure:
+      R.Bits[static_cast<unsigned>(I.Cbit)] = SV.measure(I.Targets[0], Rng);
+      break;
+    case CircuitInstr::Kind::Reset:
+      SV.reset(I.Targets[0], Rng);
+      break;
+    }
+  }
+}
+
+} // namespace
+
+bool StatevectorBackend::supports(const Circuit &C,
+                                  const CircuitProfile &) const {
+  return C.NumQubits <= MaxQubits;
+}
+
+ShotResult StatevectorBackend::run(const Circuit &C, uint64_t Seed) const {
+  StateVector SV(C.NumQubits);
+  std::mt19937_64 Rng = shotRng(Seed);
+  ShotResult R;
+  R.Bits.assign(C.NumBits, false);
+  execute(C, 0, SV, R, Rng);
+  return R;
+}
+
+std::vector<ShotResult> StatevectorBackend::runBatch(const Circuit &C,
+                                                     unsigned Shots,
+                                                     uint64_t Seed) const {
+  size_t Prefix = analyzeCircuit(C).UnconditionalGatePrefix;
+  if (Shots <= 1 || Prefix == 0)
+    return SimBackend::runBatch(C, Shots, Seed);
+
+  // The unconditional gate prefix is identical for every shot and consumes
+  // no randomness: simulate it once, fork the state per shot. Results match
+  // run(C, deriveShotSeed(Seed, S)) exactly.
+  StateVector Shared(C.NumQubits);
+  for (size_t N = 0; N < Prefix; ++N)
+    Shared.apply(C.Instrs[N].Gate, C.Instrs[N].Controls, C.Instrs[N].Targets,
+                 C.Instrs[N].Param);
+  std::vector<ShotResult> Results;
+  Results.reserve(Shots);
+  for (unsigned S = 0; S < Shots; ++S) {
+    StateVector SV = Shared;
+    std::mt19937_64 Rng = shotRng(deriveShotSeed(Seed, S));
+    ShotResult R;
+    R.Bits.assign(C.NumBits, false);
+    execute(C, Prefix, SV, R, Rng);
+    Results.push_back(std::move(R));
+  }
+  return Results;
+}

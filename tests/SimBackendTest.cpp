@@ -1,0 +1,353 @@
+//===- SimBackendTest.cpp - Backend subsystem tests -----------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the pluggable backend subsystem: circuit classification,
+/// registry dispatch, per-shot seed derivation, multi-shot amortization,
+/// and — the load-bearing property — that the stabilizer tableau and the
+/// dense statevector engine induce the same outcome distributions on random
+/// small Clifford circuits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/CircuitAnalysis.h"
+#include "sim/Simulator.h"
+#include "sim/StabilizerBackend.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace asdf;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Circuit analysis
+//===----------------------------------------------------------------------===//
+
+TEST(CircuitAnalysisTest, ClassifiesCliffordAndPrefix) {
+  Circuit C;
+  C.NumQubits = 3;
+  C.NumBits = 1;
+  C.append(CircuitInstr::gate(GateKind::H, {}, {0}));
+  C.append(CircuitInstr::gate(GateKind::X, {0}, {1}));
+  C.append(CircuitInstr::measure(1, 0));
+  CircuitInstr Cond = CircuitInstr::gate(GateKind::Z, {}, {2});
+  Cond.CondBit = 0;
+  C.append(Cond);
+  CircuitProfile P = analyzeCircuit(C);
+  EXPECT_TRUE(P.CliffordOnly);
+  EXPECT_TRUE(P.HasMeasure);
+  EXPECT_TRUE(P.HasFeedForward);
+  EXPECT_FALSE(P.HasReset);
+  EXPECT_EQ(P.UnconditionalGatePrefix, 2u);
+  EXPECT_EQ(P.MaxControls, 1u);
+}
+
+TEST(CircuitAnalysisTest, TGateBreaksClifford) {
+  Circuit C;
+  C.NumQubits = 1;
+  C.append(CircuitInstr::gate(GateKind::H, {}, {0}));
+  EXPECT_TRUE(analyzeCircuit(C).CliffordOnly);
+  C.append(CircuitInstr::gate(GateKind::T, {}, {0}));
+  EXPECT_FALSE(analyzeCircuit(C).CliffordOnly);
+}
+
+TEST(CircuitAnalysisTest, PhaseAngleGranularity) {
+  auto Gate1Q = [](GateKind G, double Theta) {
+    Circuit C;
+    C.NumQubits = 2;
+    C.append(CircuitInstr::gate(G, {}, {0}, Theta));
+    return analyzeCircuit(C).CliffordOnly;
+  };
+  EXPECT_TRUE(Gate1Q(GateKind::P, M_PI / 2));
+  EXPECT_TRUE(Gate1Q(GateKind::P, -M_PI / 2));
+  EXPECT_TRUE(Gate1Q(GateKind::P, M_PI));
+  EXPECT_TRUE(Gate1Q(GateKind::RZ, 3 * M_PI / 2));
+  EXPECT_FALSE(Gate1Q(GateKind::P, M_PI / 4));
+  EXPECT_FALSE(Gate1Q(GateKind::RZ, 0.7));
+
+  // Controlled P(pi) is CZ (Clifford); controlled P(pi/2) is CS (not).
+  Circuit C;
+  C.NumQubits = 2;
+  C.append(CircuitInstr::gate(GateKind::P, {0}, {1}, M_PI));
+  EXPECT_TRUE(analyzeCircuit(C).CliffordOnly);
+  C.append(CircuitInstr::gate(GateKind::P, {0}, {1}, M_PI / 2));
+  EXPECT_FALSE(analyzeCircuit(C).CliffordOnly);
+
+  // Toffoli leaves the Clifford group.
+  Circuit D;
+  D.NumQubits = 3;
+  D.append(CircuitInstr::gate(GateKind::X, {0, 1}, {2}));
+  EXPECT_FALSE(analyzeCircuit(D).CliffordOnly);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry and dispatch
+//===----------------------------------------------------------------------===//
+
+TEST(BackendRegistryTest, BuiltinsRegistered) {
+  BackendRegistry &Reg = BackendRegistry::instance();
+  ASSERT_NE(Reg.lookup("sv"), nullptr);
+  ASSERT_NE(Reg.lookup("stab"), nullptr);
+  EXPECT_EQ(Reg.lookup("nope"), nullptr);
+  EXPECT_EQ(Reg.names().size(), 2u);
+}
+
+TEST(BackendRegistryTest, AutoPrefersStabilizerForClifford) {
+  Circuit Cliff;
+  Cliff.NumQubits = 2;
+  Cliff.append(CircuitInstr::gate(GateKind::H, {}, {0}));
+  Cliff.append(CircuitInstr::gate(GateKind::X, {0}, {1}));
+  BackendRegistry &Reg = BackendRegistry::instance();
+  EXPECT_STREQ(Reg.select(Cliff, BackendKind::Auto).name(), "stab");
+  EXPECT_STREQ(Reg.select(Cliff, BackendKind::Statevector).name(), "sv");
+
+  Circuit Magic = Cliff;
+  Magic.append(CircuitInstr::gate(GateKind::T, {}, {1}));
+  EXPECT_STREQ(Reg.select(Magic, BackendKind::Auto).name(), "sv");
+  EXPECT_STREQ(Reg.select(Magic, BackendKind::Stabilizer).name(), "stab");
+}
+
+TEST(BackendRegistryTest, ParseBackendKind) {
+  BackendKind K;
+  EXPECT_TRUE(parseBackendKind("auto", K));
+  EXPECT_EQ(K, BackendKind::Auto);
+  EXPECT_TRUE(parseBackendKind("sv", K));
+  EXPECT_EQ(K, BackendKind::Statevector);
+  EXPECT_TRUE(parseBackendKind("stabilizer", K));
+  EXPECT_EQ(K, BackendKind::Stabilizer);
+  EXPECT_FALSE(parseBackendKind("qpu", K));
+}
+
+//===----------------------------------------------------------------------===//
+// Per-shot seed derivation
+//===----------------------------------------------------------------------===//
+
+TEST(ShotSeedTest, DeterministicAndWellSpread) {
+  EXPECT_EQ(deriveShotSeed(7, 3), deriveShotSeed(7, 3));
+  // Nearby (seed, shot) pairs land far apart; in particular the collision
+  // family seed+shot == const of the old Seed+S scheme is gone.
+  EXPECT_NE(deriveShotSeed(7, 3), deriveShotSeed(7, 4));
+  EXPECT_NE(deriveShotSeed(7, 3), deriveShotSeed(8, 3));
+  EXPECT_NE(deriveShotSeed(7, 3), deriveShotSeed(6, 4));
+  EXPECT_NE(deriveShotSeed(7, 3), deriveShotSeed(8, 2));
+}
+
+TEST(ShotSeedTest, RunShotsReproducible) {
+  Circuit C;
+  C.NumQubits = 2;
+  C.NumBits = 2;
+  C.append(CircuitInstr::gate(GateKind::H, {}, {0}));
+  C.append(CircuitInstr::gate(GateKind::H, {}, {1}));
+  C.append(CircuitInstr::measure(0, 0));
+  C.append(CircuitInstr::measure(1, 1));
+  for (BackendKind K : {BackendKind::Statevector, BackendKind::Stabilizer}) {
+    std::map<std::string, unsigned> A = runShots(C, 200, 5, K);
+    std::map<std::string, unsigned> B = runShots(C, 200, 5, K);
+    EXPECT_EQ(A, B);
+    EXPECT_NE(A, runShots(C, 200, 6, K));
+  }
+}
+
+TEST(ShotSeedTest, PrefixAmortizationMatchesPerShotRuns) {
+  // The statevector runShots forks the shared prefix; every shot must equal
+  // an independent run() with the same derived seed.
+  Circuit C;
+  C.NumQubits = 3;
+  C.NumBits = 3;
+  C.append(CircuitInstr::gate(GateKind::H, {}, {0}));
+  C.append(CircuitInstr::gate(GateKind::T, {}, {0})); // keep it off the tableau
+  C.append(CircuitInstr::gate(GateKind::H, {}, {1}));
+  C.append(CircuitInstr::gate(GateKind::X, {1}, {2}));
+  for (unsigned Q = 0; Q < 3; ++Q)
+    C.append(CircuitInstr::measure(Q, Q));
+  StatevectorBackend Sv;
+  std::map<std::string, unsigned> Amortized = Sv.runShots(C, 300, 17);
+  std::map<std::string, unsigned> Manual;
+  for (unsigned S = 0; S < 300; ++S)
+    ++Manual[Sv.run(C, deriveShotSeed(17, S)).str()];
+  EXPECT_EQ(Amortized, Manual);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-backend equivalence on random Clifford circuits
+//===----------------------------------------------------------------------===//
+
+/// A random Clifford circuit on \p NumQubits qubits ending in measure-all
+/// (qubit i -> classical bit i).
+Circuit randomCliffordCircuit(std::mt19937_64 &Rng, unsigned NumQubits,
+                              unsigned NumGates) {
+  Circuit C;
+  C.NumQubits = NumQubits;
+  C.NumBits = NumQubits;
+  std::uniform_int_distribution<unsigned> PickGate(0, 8);
+  std::uniform_int_distribution<unsigned> PickQubit(0, NumQubits - 1);
+  for (unsigned G = 0; G < NumGates; ++G) {
+    unsigned A = PickQubit(Rng);
+    unsigned B = PickQubit(Rng);
+    while (NumQubits > 1 && B == A)
+      B = PickQubit(Rng);
+    switch (PickGate(Rng)) {
+    case 0:
+      C.append(CircuitInstr::gate(GateKind::H, {}, {A}));
+      break;
+    case 1:
+      C.append(CircuitInstr::gate(GateKind::S, {}, {A}));
+      break;
+    case 2:
+      C.append(CircuitInstr::gate(GateKind::Sdg, {}, {A}));
+      break;
+    case 3:
+      C.append(CircuitInstr::gate(GateKind::X, {}, {A}));
+      break;
+    case 4:
+      C.append(CircuitInstr::gate(GateKind::Y, {}, {A}));
+      break;
+    case 5:
+      C.append(CircuitInstr::gate(GateKind::Z, {}, {A}));
+      break;
+    case 6:
+      C.append(CircuitInstr::gate(GateKind::X, {A}, {B}));
+      break;
+    case 7:
+      C.append(CircuitInstr::gate(GateKind::Z, {A}, {B}));
+      break;
+    default:
+      C.append(CircuitInstr::gate(GateKind::Swap, {}, {A, B}));
+      break;
+    }
+  }
+  for (unsigned Q = 0; Q < NumQubits; ++Q)
+    C.append(CircuitInstr::measure(Q, Q));
+  return C;
+}
+
+/// Exact outcome distribution of the measure-all tail, read off the dense
+/// amplitudes of the gate prefix. Outcome strings are bit 0 first, matching
+/// ShotResult::str with qubit i measured into bit i.
+std::map<std::string, double> exactDistribution(const Circuit &C) {
+  StateVector SV(C.NumQubits);
+  for (const CircuitInstr &I : C.Instrs)
+    if (I.TheKind == CircuitInstr::Kind::Gate)
+      SV.apply(I.Gate, I.Controls, I.Targets, I.Param);
+  std::map<std::string, double> Dist;
+  uint64_t Dim = uint64_t(1) << C.NumQubits;
+  for (uint64_t Idx = 0; Idx < Dim; ++Idx) {
+    double P = std::norm(SV.amplitudes()[Idx]);
+    if (P < 1e-15)
+      continue;
+    std::string Key;
+    // Qubit 0 is the most significant bit of a basis index.
+    for (unsigned Q = 0; Q < C.NumQubits; ++Q)
+      Key.push_back((Idx >> (C.NumQubits - 1 - Q)) & 1 ? '1' : '0');
+    Dist[Key] += P;
+  }
+  return Dist;
+}
+
+TEST(BackendEquivalenceTest, RandomCliffordDistributionsMatch) {
+  std::mt19937_64 Rng(20250726);
+  const unsigned Shots = 4000;
+  for (unsigned Trial = 0; Trial < 20; ++Trial) {
+    unsigned NumQubits = 2 + Trial % 7; // 2..8 qubits
+    Circuit C = randomCliffordCircuit(Rng, NumQubits, 24 + 2 * Trial);
+    ASSERT_TRUE(analyzeCircuit(C).CliffordOnly);
+    std::map<std::string, unsigned> Counts =
+        runShots(C, Shots, 1000 + Trial, BackendKind::Stabilizer);
+    std::map<std::string, double> Exact = exactDistribution(C);
+    // Every sampled outcome is possible.
+    double Tv = 0.0;
+    for (const auto &KV : Counts) {
+      ASSERT_TRUE(Exact.count(KV.first))
+          << "trial " << Trial << ": impossible outcome " << KV.first;
+    }
+    // Total variation between empirical and exact stays at sampling noise.
+    for (const auto &KV : Exact) {
+      auto It = Counts.find(KV.first);
+      double Freq = It == Counts.end() ? 0.0 : double(It->second) / Shots;
+      Tv += std::abs(Freq - KV.second);
+    }
+    Tv /= 2.0;
+    EXPECT_LT(Tv, 0.12) << "trial " << Trial << " (" << NumQubits
+                        << " qubits)";
+  }
+}
+
+TEST(BackendEquivalenceTest, DynamicCliffordCircuitsMatch) {
+  // Mid-circuit measurement, feed-forward, and reset: compare the two
+  // engines' sampled distributions directly.
+  std::mt19937_64 Rng(77);
+  for (unsigned Trial = 0; Trial < 8; ++Trial) {
+    Circuit C = randomCliffordCircuit(Rng, 3, 12);
+    // Splice in a mid-circuit measurement feeding a correction, plus a
+    // reset, before the final measure-all (keeps the tail intact).
+    std::vector<CircuitInstr> Tail(C.Instrs.end() - 3, C.Instrs.end());
+    C.Instrs.resize(C.Instrs.size() - 3);
+    C.append(CircuitInstr::measure(0, 0));
+    CircuitInstr Fix = CircuitInstr::gate(GateKind::X, {}, {1});
+    Fix.CondBit = 0;
+    C.append(Fix);
+    C.append(CircuitInstr::reset(2));
+    C.append(CircuitInstr::gate(GateKind::H, {}, {2}));
+    for (const CircuitInstr &I : Tail)
+      C.append(I);
+    const unsigned Shots = 4000;
+    std::map<std::string, unsigned> Sv =
+        runShots(C, Shots, 5 + Trial, BackendKind::Statevector);
+    std::map<std::string, unsigned> Stab =
+        runShots(C, Shots, 900 + Trial, BackendKind::Stabilizer);
+    std::map<std::string, double> Union;
+    for (const auto &KV : Sv)
+      Union[KV.first] += 0; // ensure key
+    for (const auto &KV : Stab)
+      Union[KV.first] += 0;
+    double Tv = 0.0;
+    for (const auto &KV : Union) {
+      auto A = Sv.find(KV.first), B = Stab.find(KV.first);
+      double Fa = A == Sv.end() ? 0.0 : double(A->second) / Shots;
+      double Fb = B == Stab.end() ? 0.0 : double(B->second) / Shots;
+      Tv += std::abs(Fa - Fb);
+    }
+    Tv /= 2.0;
+    EXPECT_LT(Tv, 0.1) << "trial " << Trial;
+  }
+}
+
+TEST(BackendEquivalenceTest, DegenerateGatesAreNoOpsOnBothBackends) {
+  // Ill-formed control == target and swap(q, q) instructions have always
+  // been no-ops in the dense engine; the tableau must agree instead of
+  // corrupting its rows.
+  Circuit C;
+  C.NumQubits = 2;
+  C.NumBits = 2;
+  C.append(CircuitInstr::gate(GateKind::H, {}, {0}));
+  C.append(CircuitInstr::gate(GateKind::X, {1}, {1}));
+  C.append(CircuitInstr::gate(GateKind::Z, {0}, {0}));
+  C.append(CircuitInstr::gate(GateKind::Y, {1}, {1}));
+  C.append(CircuitInstr::gate(GateKind::Swap, {}, {0, 0}));
+  C.append(CircuitInstr::gate(GateKind::H, {}, {0})); // net identity
+  C.append(CircuitInstr::measure(0, 0));
+  C.append(CircuitInstr::measure(1, 1));
+  ASSERT_TRUE(analyzeCircuit(C).CliffordOnly);
+  for (BackendKind K : {BackendKind::Statevector, BackendKind::Stabilizer}) {
+    std::map<std::string, unsigned> Counts = runShots(C, 50, 3, K);
+    ASSERT_EQ(Counts.size(), 1u) << "backend " << int(K);
+    EXPECT_EQ(Counts.begin()->first, "00") << "backend " << int(K);
+  }
+}
+
+TEST(BackendEquivalenceTest, AutoMatchesForcedStabilizer) {
+  std::mt19937_64 Rng(123);
+  Circuit C = randomCliffordCircuit(Rng, 4, 20);
+  // Auto must dispatch to the tableau: identical counts, same seeds.
+  EXPECT_EQ(runShots(C, 500, 9, BackendKind::Auto),
+            runShots(C, 500, 9, BackendKind::Stabilizer));
+}
+
+} // namespace

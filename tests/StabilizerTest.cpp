@@ -1,0 +1,289 @@
+//===- StabilizerTest.cpp - CHP tableau engine unit tests -----------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/CircuitAnalysis.h"
+#include "sim/StabilizerBackend.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace asdf;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Deterministic single- and two-qubit behavior
+//===----------------------------------------------------------------------===//
+
+TEST(TableauTest, FreshStateMeasuresZero) {
+  Tableau T(2);
+  std::mt19937_64 Rng(1);
+  EXPECT_FALSE(T.measure(0, Rng));
+  EXPECT_FALSE(T.measure(1, Rng));
+}
+
+TEST(TableauTest, XFlipsOutcome) {
+  Tableau T(1);
+  std::mt19937_64 Rng(1);
+  T.x(0);
+  EXPECT_TRUE(T.measure(0, Rng));
+}
+
+TEST(TableauTest, YFlipsOutcome) {
+  Tableau T(1);
+  std::mt19937_64 Rng(1);
+  T.y(0);
+  EXPECT_TRUE(T.measure(0, Rng));
+}
+
+TEST(TableauTest, HZHIsX) {
+  Tableau T(1);
+  std::mt19937_64 Rng(1);
+  T.h(0);
+  T.z(0);
+  T.h(0);
+  bool Outcome;
+  ASSERT_TRUE(T.isDeterministic(0, Outcome));
+  EXPECT_TRUE(Outcome);
+}
+
+TEST(TableauTest, SSquaredIsZ) {
+  Tableau T(1);
+  T.h(0);
+  T.s(0);
+  T.s(0);
+  T.h(0); // H Z H = X
+  bool Outcome;
+  ASSERT_TRUE(T.isDeterministic(0, Outcome));
+  EXPECT_TRUE(Outcome);
+}
+
+TEST(TableauTest, SdgCancelsS) {
+  Tableau T(1);
+  T.h(0);
+  T.s(0);
+  T.sdg(0);
+  T.h(0); // identity overall
+  bool Outcome;
+  ASSERT_TRUE(T.isDeterministic(0, Outcome));
+  EXPECT_FALSE(Outcome);
+}
+
+TEST(TableauTest, CxEntanglesFromControl) {
+  Tableau T(2);
+  std::mt19937_64 Rng(1);
+  T.x(0);
+  T.cx(0, 1);
+  EXPECT_TRUE(T.measure(0, Rng));
+  EXPECT_TRUE(T.measure(1, Rng));
+}
+
+TEST(TableauTest, CzMatchesHCxH) {
+  // CZ sandwiched in H on the target equals CX: |10> -> |11>.
+  Tableau T(2);
+  std::mt19937_64 Rng(1);
+  T.x(0);
+  T.h(1);
+  T.cz(0, 1);
+  T.h(1);
+  EXPECT_TRUE(T.measure(1, Rng));
+}
+
+TEST(TableauTest, CyOnPlusControl) {
+  // CY with control |1>: Y flips the target.
+  Tableau T(2);
+  std::mt19937_64 Rng(1);
+  T.x(0);
+  T.cy(0, 1);
+  EXPECT_TRUE(T.measure(1, Rng));
+}
+
+TEST(TableauTest, SwapMovesExcitation) {
+  Tableau T(2);
+  std::mt19937_64 Rng(1);
+  T.x(0);
+  T.swapQubits(0, 1);
+  EXPECT_FALSE(T.measure(0, Rng));
+  EXPECT_TRUE(T.measure(1, Rng));
+}
+
+//===----------------------------------------------------------------------===//
+// Randomness, collapse, reset
+//===----------------------------------------------------------------------===//
+
+TEST(TableauTest, PlusStateIsRandomThenCollapses) {
+  unsigned Ones = 0;
+  for (unsigned S = 0; S < 64; ++S) {
+    Tableau T(1);
+    std::mt19937_64 Rng(S);
+    T.h(0);
+    bool Outcome;
+    EXPECT_FALSE(T.isDeterministic(0, Outcome));
+    bool First = T.measure(0, Rng);
+    Ones += First;
+    // Collapsed: re-measuring is deterministic and repeats the outcome.
+    ASSERT_TRUE(T.isDeterministic(0, Outcome));
+    EXPECT_EQ(Outcome, First);
+    EXPECT_EQ(T.measure(0, Rng), First);
+  }
+  // Both outcomes occur across seeds.
+  EXPECT_GT(Ones, 8u);
+  EXPECT_LT(Ones, 56u);
+}
+
+TEST(TableauTest, ResetAfterSuperposition) {
+  for (unsigned S = 0; S < 16; ++S) {
+    Tableau T(2);
+    std::mt19937_64 Rng(S);
+    T.h(0);
+    T.cx(0, 1);
+    T.reset(0, Rng);
+    bool Outcome;
+    ASSERT_TRUE(T.isDeterministic(0, Outcome));
+    EXPECT_FALSE(Outcome);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// GHZ correlations
+//===----------------------------------------------------------------------===//
+
+TEST(TableauTest, GhzBitsAgreeAndBothBranchesAppear) {
+  unsigned AllOnes = 0;
+  for (unsigned S = 0; S < 64; ++S) {
+    Tableau T(5);
+    std::mt19937_64 Rng(S * 7 + 3);
+    T.h(0);
+    for (unsigned Q = 1; Q < 5; ++Q)
+      T.cx(Q - 1, Q);
+    bool First = T.measure(0, Rng);
+    for (unsigned Q = 1; Q < 5; ++Q)
+      EXPECT_EQ(T.measure(Q, Rng), First);
+    AllOnes += First;
+  }
+  EXPECT_GT(AllOnes, 8u);
+  EXPECT_LT(AllOnes, 56u);
+}
+
+TEST(TableauTest, GhzFiveHundredQubits) {
+  // The acceptance bar for the subsystem: a 500-qubit GHZ prepare-and-
+  // measure is far beyond dense amplitudes (2^500) but easy in the tableau.
+  const unsigned N = 500;
+  Tableau T(N);
+  std::mt19937_64 Rng(11);
+  T.h(0);
+  for (unsigned Q = 1; Q < N; ++Q)
+    T.cx(Q - 1, Q);
+  bool First = T.measure(0, Rng);
+  for (unsigned Q = 1; Q < N; ++Q)
+    ASSERT_EQ(T.measure(Q, Rng), First) << "qubit " << Q;
+}
+
+//===----------------------------------------------------------------------===//
+// Backend-level execution: feed-forward and distributions
+//===----------------------------------------------------------------------===//
+
+/// Builds the standard teleportation circuit for a secret state prepared by
+/// \p PrepGates on qubit 0, with X/Z corrections fed forward from the Bell
+/// measurement, then undoes the preparation on Bob's qubit (2) and measures
+/// it — bit 2 must always read 0.
+Circuit teleportationCircuit(const std::vector<GateKind> &PrepGates) {
+  Circuit C;
+  C.NumQubits = 3;
+  C.NumBits = 3;
+  for (GateKind G : PrepGates)
+    C.append(CircuitInstr::gate(G, {}, {0}));
+  // Bell pair on (1, 2).
+  C.append(CircuitInstr::gate(GateKind::H, {}, {1}));
+  C.append(CircuitInstr::gate(GateKind::X, {1}, {2}));
+  // Bell measurement of (0, 1).
+  C.append(CircuitInstr::gate(GateKind::X, {0}, {1}));
+  C.append(CircuitInstr::gate(GateKind::H, {}, {0}));
+  C.append(CircuitInstr::measure(0, 0));
+  C.append(CircuitInstr::measure(1, 1));
+  // Feed-forward corrections.
+  CircuitInstr FixX = CircuitInstr::gate(GateKind::X, {}, {2});
+  FixX.CondBit = 1;
+  C.append(FixX);
+  CircuitInstr FixZ = CircuitInstr::gate(GateKind::Z, {}, {2});
+  FixZ.CondBit = 0;
+  C.append(FixZ);
+  // Undo the preparation on Bob's qubit; |0> certifies the teleport.
+  for (auto It = PrepGates.rbegin(); It != PrepGates.rend(); ++It) {
+    GateKind Adj = *It == GateKind::S   ? GateKind::Sdg
+                   : *It == GateKind::Sdg ? GateKind::S
+                                          : *It;
+    C.append(CircuitInstr::gate(Adj, {}, {2}));
+  }
+  C.append(CircuitInstr::measure(2, 2));
+  return C;
+}
+
+TEST(StabilizerBackendTest, TeleportationFeedForward) {
+  StabilizerBackend Backend;
+  const std::vector<std::vector<GateKind>> Preps = {
+      {},                           // |0>
+      {GateKind::X},                // |1>
+      {GateKind::H},                // |+>
+      {GateKind::H, GateKind::S},   // |+i>
+      {GateKind::X, GateKind::H},   // |->
+  };
+  for (const std::vector<GateKind> &Prep : Preps) {
+    Circuit C = teleportationCircuit(Prep);
+    ASSERT_TRUE(Backend.supports(C, analyzeCircuit(C)));
+    for (uint64_t Seed = 0; Seed < 32; ++Seed)
+      EXPECT_FALSE(Backend.run(C, Seed).Bits[2]) << "seed " << Seed;
+  }
+}
+
+TEST(StabilizerBackendTest, GhzDistributionIsTwoPoint) {
+  StabilizerBackend Backend;
+  Circuit C;
+  C.NumQubits = 3;
+  C.NumBits = 3;
+  C.append(CircuitInstr::gate(GateKind::H, {}, {0}));
+  C.append(CircuitInstr::gate(GateKind::X, {0}, {1}));
+  C.append(CircuitInstr::gate(GateKind::X, {1}, {2}));
+  for (unsigned Q = 0; Q < 3; ++Q)
+    C.append(CircuitInstr::measure(Q, Q));
+  std::map<std::string, unsigned> Counts = Backend.runShots(C, 1000, 42);
+  ASSERT_EQ(Counts.size(), 2u);
+  EXPECT_NEAR(Counts["000"] / 1000.0, 0.5, 0.08);
+  EXPECT_NEAR(Counts["111"] / 1000.0, 0.5, 0.08);
+}
+
+TEST(StabilizerBackendTest, RejectsNonClifford) {
+  StabilizerBackend Backend;
+  Circuit C;
+  C.NumQubits = 1;
+  C.append(CircuitInstr::gate(GateKind::T, {}, {0}));
+  EXPECT_FALSE(Backend.supports(C, analyzeCircuit(C)));
+}
+
+TEST(StabilizerBackendTest, QuarterTurnPhasesAreClifford) {
+  StabilizerBackend Backend;
+  Circuit C;
+  C.NumQubits = 2;
+  C.NumBits = 2;
+  // P(pi/2) == S and CP(pi) == CZ: H S S H == X on qubit 0.
+  C.append(CircuitInstr::gate(GateKind::H, {}, {0}));
+  C.append(CircuitInstr::gate(GateKind::P, {}, {0}, M_PI / 2));
+  C.append(CircuitInstr::gate(GateKind::P, {}, {0}, M_PI / 2));
+  C.append(CircuitInstr::gate(GateKind::H, {}, {0}));
+  // CZ via controlled P(pi), sandwiched in H on target: CX. |1>|0> -> |11>.
+  C.append(CircuitInstr::gate(GateKind::H, {}, {1}));
+  C.append(CircuitInstr::gate(GateKind::P, {0}, {1}, M_PI));
+  C.append(CircuitInstr::gate(GateKind::H, {}, {1}));
+  C.append(CircuitInstr::measure(0, 0));
+  C.append(CircuitInstr::measure(1, 1));
+  ASSERT_TRUE(Backend.supports(C, analyzeCircuit(C)));
+  ShotResult R = Backend.run(C, 5);
+  EXPECT_TRUE(R.Bits[0]);
+  EXPECT_TRUE(R.Bits[1]);
+}
+
+} // namespace
