@@ -1,0 +1,146 @@
+//===- shot_throughput.cpp - Shot-parallel + fusion throughput ------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Charts the dense execution plan on a rotation-dense circuit (layered
+/// RY/RZ over every wire with CX ladders — the gate mix of Grover and
+/// period finding after decomposition): shots/sec versus worker count with
+/// fusion on and off, plus the single-shot fusion gain on the prefix.
+///
+/// Also re-proves the determinism contract where it matters most: every
+/// (jobs, fuse) configuration must return bit-identical per-shot results.
+///
+/// Usage: shot_throughput [qubits] [shots] [layers]   (default 20 1000 4)
+///
+/// Acceptance bar from the execution-plan issue: >= 3x throughput at
+/// jobs=4 vs jobs=1 on the default 20-qubit 1000-shot circuit. The check
+/// is skipped (exit 0) on machines with fewer than 4 hardware threads,
+/// where the speedup physically cannot materialize.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Fusion.h"
+#include "sim/StatevectorBackend.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+using namespace asdf;
+
+namespace {
+
+/// L layers of per-wire RY/RZ rotations plus a CX ladder, then measure-all:
+/// dense in fusible single-qubit runs and in per-shot measurement work.
+Circuit rotationDense(unsigned NumQubits, unsigned Layers) {
+  Circuit C;
+  C.NumQubits = NumQubits;
+  C.NumBits = NumQubits;
+  for (unsigned L = 0; L < Layers; ++L) {
+    for (unsigned Q = 0; Q < NumQubits; ++Q) {
+      C.append(CircuitInstr::gate(GateKind::RY, {}, {Q},
+                                  0.3 + 0.1 * Q + 0.7 * L));
+      C.append(CircuitInstr::gate(GateKind::RZ, {}, {Q},
+                                  1.1 + 0.05 * Q + 0.3 * L));
+      C.append(CircuitInstr::gate(GateKind::T, {}, {Q}));
+    }
+    for (unsigned Q = 1; Q < NumQubits; ++Q)
+      C.append(CircuitInstr::gate(GateKind::X, {Q - 1}, {Q}));
+  }
+  for (unsigned Q = 0; Q < NumQubits; ++Q)
+    C.append(CircuitInstr::measure(Q, Q));
+  return C;
+}
+
+double seconds(const std::function<void()> &Body) {
+  auto Start = std::chrono::steady_clock::now();
+  Body();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned NumQubits = argc > 1 ? std::atoi(argv[1]) : 20;
+  unsigned Shots = argc > 2 ? std::atoi(argv[2]) : 1000;
+  unsigned Layers = argc > 3 ? std::atoi(argv[3]) : 4;
+  unsigned Cores = std::thread::hardware_concurrency();
+
+  Circuit C = rotationDense(NumQubits, Layers);
+  StatevectorBackend Sv;
+  FusedCircuit FC = fuseCircuit(C);
+  std::printf("=== Shot throughput: %u qubits, %u shots, %u layers "
+              "(%u hardware threads) ===\n",
+              NumQubits, Shots, Layers, Cores);
+  std::printf("fusion plan: %s\n\n", FC.summary().c_str());
+
+  // Single-shot prefix gain: the whole rotation cascade runs once per call.
+  {
+    RunOptions Fused, Unfused;
+    Fused.Jobs = Unfused.Jobs = 1;
+    Unfused.Fuse = false;
+    double TU = seconds([&] { Sv.runBatch(C, 1, 42, Unfused); });
+    double TF = seconds([&] { Sv.runBatch(C, 1, 42, Fused); });
+    std::printf("single shot: unfused %.4f s, fused %.4f s  (%.2fx)\n\n",
+                TU, TF, TF > 0 ? TU / TF : 0.0);
+  }
+
+  std::printf("%6s %8s %14s %14s %10s\n", "jobs", "fusion", "seconds",
+              "shots/sec", "speedup");
+  double Base = 0.0, FusedAt1 = 0.0, FusedAt4 = 0.0;
+  for (bool Fuse : {false, true}) {
+    for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+      RunOptions Opts;
+      Opts.Jobs = Jobs;
+      Opts.Fuse = Fuse;
+      double T = seconds([&] { Sv.runBatch(C, Shots, 42, Opts); });
+      if (!Fuse && Jobs == 1)
+        Base = T;
+      if (Fuse && Jobs == 1)
+        FusedAt1 = T;
+      if (Fuse && Jobs == 4)
+        FusedAt4 = T;
+      std::printf("%6u %8s %14.4f %14.1f %9.2fx\n", Jobs,
+                  Fuse ? "on" : "off", T, Shots / T,
+                  Base > 0 ? Base / T : 1.0);
+    }
+  }
+
+  // Determinism: the fastest and the slowest configuration agree bit-exactly.
+  {
+    RunOptions Serial, Parallel;
+    Serial.Jobs = 1;
+    Serial.Fuse = false;
+    Parallel.Jobs = 0;
+    unsigned CheckShots = Shots < 64 ? Shots : 64;
+    std::vector<ShotResult> A = Sv.runBatch(C, CheckShots, 42, Serial);
+    std::vector<ShotResult> B = Sv.runBatch(C, CheckShots, 42, Parallel);
+    bool Same = true;
+    for (unsigned S = 0; S < CheckShots; ++S)
+      Same &= A[S].Bits == B[S].Bits;
+    std::printf("\nper-shot parity, serial-unfused vs parallel-fused: %s\n",
+                Same ? "bit-exact" : "MISMATCH");
+    if (!Same)
+      return 1;
+  }
+
+  double Speedup = FusedAt4 > 0 ? FusedAt1 / FusedAt4 : 0.0;
+  std::printf("\njobs=4 vs jobs=1 (fused): %.2fx\n", Speedup);
+  // Enforce the >=3x bar only where it is meaningful: the full-scale
+  // default workload on a machine with at least 4 hardware threads.
+  // Reduced smoke runs (CI shared runners, laptops) still exercise every
+  // path and the parity check above, without a timing-noise gate.
+  if (Cores < 4 || NumQubits < 20 || Shots < 1000) {
+    std::printf("speedup bar SKIPPED (needs >= 4 hardware threads and the "
+                "default 20-qubit 1000-shot workload)\n");
+    return 0;
+  }
+  std::printf("target >= 3x: %s\n", Speedup >= 3.0 ? "PASS" : "FAIL");
+  return Speedup >= 3.0 ? 0 : 1;
+}

@@ -50,7 +50,12 @@ void usage() {
       "  --seed <n>              base RNG seed for --emit run (default 0)\n"
       "  --backend auto|sv|stab  simulation backend for --emit run\n"
       "                          (auto picks the stabilizer tableau for\n"
-      "                          Clifford circuits, statevector otherwise)\n");
+      "                          Clifford circuits, statevector otherwise)\n"
+      "  --jobs <n>              shot-parallel worker threads for --emit\n"
+      "                          run (default 0 = one per hardware core;\n"
+      "                          results are identical for any value)\n"
+      "  --no-fuse               disable the gate-fusion pass of the dense\n"
+      "                          execution plan\n");
 }
 
 bool splitEq(const std::string &Arg, std::string &Key, std::string &Value) {
@@ -74,6 +79,7 @@ int main(int argc, char **argv) {
   unsigned Shots = 1;
   uint64_t Seed = 0;
   BackendKind Backend = BackendKind::Auto;
+  RunOptions RunOpts;
   CompileOptions Opts;
   ProgramBindings Bindings;
 
@@ -124,6 +130,10 @@ int main(int argc, char **argv) {
       Shots = std::atoi(Next());
     } else if (Arg == "--seed") {
       Seed = std::strtoull(Next(), nullptr, 0);
+    } else if (Arg == "--jobs") {
+      RunOpts.Jobs = std::atoi(Next());
+    } else if (Arg == "--no-fuse") {
+      RunOpts.Fuse = false;
     } else if (Arg == "--backend") {
       std::string Name = Next();
       if (!parseBackendKind(Name, Backend)) {
@@ -196,15 +206,43 @@ int main(int argc, char **argv) {
     CircuitProfile Profile = analyzeCircuit(R.FlatCircuit);
     SimBackend &B =
         BackendRegistry::instance().select(R.FlatCircuit, Backend, &Profile);
-    if (!B.supports(R.FlatCircuit, Profile)) {
+    bool Supported = B.supports(R.FlatCircuit, Profile);
+    bool IsSv = std::strcmp(B.name(), "sv") == 0;
+    // Decide with the run's own options, computing the cap exactly once
+    // so the note below can never contradict the rejection.
+    unsigned DenseCap = StatevectorBackend::maxQubits(RunOpts);
+    if (IsSv)
+      Supported = R.FlatCircuit.NumQubits <= DenseCap;
+    if (!Supported) {
+      // The precise-diagnostic path: the same message whether the circuit
+      // will run fused or not, including where the dense cap came from.
       std::fprintf(stderr,
                    "backend '%s' cannot simulate this circuit (%u qubits, "
                    "%s)\n",
                    B.name(), R.FlatCircuit.NumQubits,
                    Profile.CliffordOnly ? "Clifford" : "non-Clifford");
+      if (IsSv) {
+        std::fprintf(stderr,
+                     "note: dense cap is %u qubits (%s); fusion %s changes "
+                     "the cap: it never widens the state\n",
+                     DenseCap,
+                     RunOpts.MaxStateQubits ? "set by options"
+                                            : "derived from available memory",
+                     RunOpts.Fuse ? "does not" : "being off does not");
+        if (Profile.CliffordOnly)
+          std::fprintf(stderr,
+                       "note: the circuit is Clifford; --backend stab runs "
+                       "it at any width\n");
+      }
       return 1;
     }
-    for (const ShotResult &Shot : B.runBatch(R.FlatCircuit, Shots, Seed)) {
+    if (RunOpts.Fuse && IsSv) {
+      FusedCircuit Plan = fuseCircuit(R.FlatCircuit);
+      if (Plan.GatesFused > 0)
+        std::fprintf(stderr, "fusion: %s\n", Plan.summary().c_str());
+    }
+    for (const ShotResult &Shot :
+         B.runBatch(R.FlatCircuit, Shots, Seed, RunOpts)) {
       std::string Out;
       for (int Bit : R.FlatCircuit.OutputBits)
         Out.push_back(Bit == -2                ? '1'

@@ -10,7 +10,11 @@
 #include "sim/StabilizerBackend.h"
 #include "sim/StatevectorBackend.h"
 
+#include <atomic>
 #include <cassert>
+#include <mutex>
+#include <system_error>
+#include <thread>
 
 using namespace asdf;
 
@@ -47,20 +51,90 @@ bool asdf::parseBackendKind(const std::string &Name, BackendKind &Kind) {
   return false;
 }
 
-std::vector<ShotResult> SimBackend::runBatch(const Circuit &C,
-                                             unsigned Shots,
-                                             uint64_t Seed) const {
-  std::vector<ShotResult> Results;
-  Results.reserve(Shots);
-  for (unsigned S = 0; S < Shots; ++S)
-    Results.push_back(run(C, deriveShotSeed(Seed, S)));
+unsigned asdf::resolveJobCount(unsigned RequestedJobs, unsigned Shots) {
+  unsigned Cores = std::thread::hardware_concurrency();
+  if (Cores == 0)
+    Cores = 1;
+  unsigned Jobs = RequestedJobs == 0 ? Cores : RequestedJobs;
+  // Oversubscription past a few threads per core never helps a CPU-bound
+  // sweep, and an absurd request (--jobs 50000, or -1 wrapped unsigned)
+  // must not exhaust thread-creation resources.
+  unsigned MaxJobs = Cores * 4;
+  if (Jobs > MaxJobs)
+    Jobs = MaxJobs;
+  if (Shots < Jobs)
+    Jobs = Shots;
+  return Jobs < 1 ? 1 : Jobs;
+}
+
+void asdf::parallelShotLoop(unsigned Jobs, unsigned Shots,
+                           const std::function<void(unsigned)> &Body) {
+  if (Jobs <= 1 || Shots <= 1) {
+    for (unsigned S = 0; S < Shots; ++S)
+      Body(S);
+    return;
+  }
+  // Chunked self-scheduling queue: workers grab the next chunk of shot
+  // indices as they go idle, so stragglers (shots whose feed-forward takes
+  // a longer path) never serialize the batch. Chunks keep the atomic off
+  // the fast path for cheap shots while staying small enough to balance.
+  unsigned Chunk = Shots / (Jobs * 8);
+  if (Chunk < 1)
+    Chunk = 1;
+  std::atomic<unsigned> Next{0};
+  std::atomic<bool> Failed{false};
+  std::exception_ptr FirstError;
+  std::mutex ErrorLock;
+  auto Worker = [&] {
+    try {
+      while (!Failed.load(std::memory_order_relaxed)) {
+        unsigned Begin = Next.fetch_add(Chunk, std::memory_order_relaxed);
+        if (Begin >= Shots)
+          return;
+        unsigned End = Begin + Chunk < Shots ? Begin + Chunk : Shots;
+        for (unsigned S = Begin; S < End; ++S)
+          Body(S);
+      }
+    } catch (...) {
+      // Park the first exception (e.g. a state fork's bad_alloc) and stop
+      // the queue; the caller sees it rethrown, as the serial loop would.
+      std::lock_guard<std::mutex> Guard(ErrorLock);
+      if (!FirstError)
+        FirstError = std::current_exception();
+      Failed.store(true, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> Threads;
+  Threads.reserve(Jobs - 1);
+  for (unsigned T = 1; T < Jobs; ++T) {
+    try {
+      Threads.emplace_back(Worker);
+    } catch (const std::system_error &) {
+      break; // Thread resources exhausted: run with what we got.
+    }
+  }
+  Worker(); // This thread is worker 0.
+  for (std::thread &T : Threads)
+    T.join();
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}
+
+std::vector<ShotResult> SimBackend::runBatch(const Circuit &C, unsigned Shots,
+                                             uint64_t Seed,
+                                             const RunOptions &Opts) const {
+  std::vector<ShotResult> Results(Shots);
+  parallelShotLoop(resolveJobCount(Opts.Jobs, Shots), Shots, [&](unsigned S) {
+    Results[S] = run(C, deriveShotSeed(Seed, S));
+  });
   return Results;
 }
 
 std::map<std::string, unsigned>
-SimBackend::runShots(const Circuit &C, unsigned Shots, uint64_t Seed) const {
+SimBackend::runShots(const Circuit &C, unsigned Shots, uint64_t Seed,
+                     const RunOptions &Opts) const {
   std::map<std::string, unsigned> Counts;
-  for (const ShotResult &R : runBatch(C, Shots, Seed))
+  for (const ShotResult &R : runBatch(C, Shots, Seed, Opts))
     ++Counts[R.str()];
   return Counts;
 }

@@ -17,7 +17,10 @@
 /// Shots are made independent-but-reproducible by deriving every shot's RNG
 /// seed from the base seed and the shot index with a splitmix64 hash, so the
 /// same (circuit, seed, shots) triple replays identically on any backend
-/// while no two shots share a stream.
+/// while no two shots share a stream. That contract is what lets multi-shot
+/// runs execute shot-parallel (`RunOptions::Jobs` workers over a
+/// work-stealing shot queue) with results still written in shot-index
+/// order, bit-identical to the serial path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +30,7 @@
 #include "qcirc/Circuit.h"
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -52,6 +56,46 @@ bool parseBackendKind(const std::string &Name, BackendKind &Kind);
 /// fully determined by (Seed, Shot).
 uint64_t deriveShotSeed(uint64_t Seed, uint64_t Shot);
 
+/// Execution-plan knobs threaded through runShots/runBatch. The defaults
+/// are the fast path: gate fusion on, one worker per hardware core. Every
+/// combination returns bit-identical per-shot results up to floating-point
+/// rounding of fused matrices — shot S always runs with
+/// deriveShotSeed(Seed, S) and lands at result index S, regardless of
+/// scheduling.
+struct RunOptions {
+  /// Worker threads for multi-shot runs. 0 means one per hardware core;
+  /// 1 forces the serial path.
+  unsigned Jobs = 0;
+  /// Run the gate-fusion pass before dense execution (Fusion.h).
+  bool Fuse = true;
+  /// Override input to StatevectorBackend::maxQubits, the dense-cap
+  /// policy consulted by support checks (e.g. the asdfc driver) before a
+  /// run; 0 derives the cap from available physical memory. This is a
+  /// policy knob for those pre-run checks, not a limit enforced inside
+  /// runBatch itself — a forced backend runs whatever it is handed, per
+  /// the BackendRegistry::select contract.
+  unsigned MaxStateQubits = 0;
+};
+
+/// Resolves RunOptions::Jobs against the machine and the shot count: 0
+/// becomes std::thread::hardware_concurrency, explicit requests are capped
+/// at 4x the core count (oversubscribing a CPU-bound sweep further only
+/// risks thread-creation failure), and the result is clamped to [1, Shots]
+/// (minimum 1 even for zero shots).
+unsigned resolveJobCount(unsigned RequestedJobs, unsigned Shots);
+
+/// Runs \p Body(S) for every S in [0, Shots) on \p Jobs worker threads,
+/// claiming shot indices from a shared chunked work queue (idle workers
+/// steal the next chunk as they finish — no static partition, so uneven
+/// shot costs balance out). \p Body must be safe to call concurrently for
+/// distinct S. Jobs <= 1 degenerates to a plain loop on this thread. If
+/// \p Body throws, the queue drains, every worker joins, and the first
+/// exception is rethrown here — same observable behavior as the serial
+/// loop. Thread-creation failure degrades to fewer workers, never an
+/// error.
+void parallelShotLoop(unsigned Jobs, unsigned Shots,
+                      const std::function<void(unsigned)> &Body);
+
 /// The classical outcome of one circuit execution.
 struct ShotResult {
   std::vector<bool> Bits; ///< Indexed by classical bit number.
@@ -72,19 +116,28 @@ public:
   virtual bool supports(const Circuit &C, const CircuitProfile &P) const = 0;
 
   /// Executes \p C once from |0...0>, honoring measurements, resets, and
-  /// classical conditions. \p Seed fully determines the outcome.
+  /// classical conditions. \p Seed fully determines the outcome. Must be
+  /// safe to call concurrently (the shot-parallel runner does).
   virtual ShotResult run(const Circuit &C, uint64_t Seed) const = 0;
 
   /// Executes \p C \p Shots times, returning outcomes in shot order; shot
-  /// S uses seed deriveShotSeed(\p Seed, S). The default loops run();
+  /// S uses seed deriveShotSeed(\p Seed, S), so the result is independent
+  /// of \p Opts (jobs, fusion) up to floating-point rounding of fused
+  /// matrices. The default fans run() out over a shot-parallel work queue;
   /// backends override it to amortize work across shots.
   virtual std::vector<ShotResult> runBatch(const Circuit &C, unsigned Shots,
-                                           uint64_t Seed) const;
+                                           uint64_t Seed,
+                                           const RunOptions &Opts) const;
+  std::vector<ShotResult> runBatch(const Circuit &C, unsigned Shots,
+                                   uint64_t Seed) const {
+    return runBatch(C, Shots, Seed, RunOptions());
+  }
 
   /// Aggregates runBatch into outcome frequencies keyed by the classical
   /// bit string (bit 0 first).
-  std::map<std::string, unsigned> runShots(const Circuit &C, unsigned Shots,
-                                           uint64_t Seed) const;
+  std::map<std::string, unsigned>
+  runShots(const Circuit &C, unsigned Shots, uint64_t Seed,
+           const RunOptions &Opts = RunOptions()) const;
 };
 
 /// Owns the engines and picks one per circuit.

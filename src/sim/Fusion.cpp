@@ -1,0 +1,234 @@
+//===- Fusion.cpp - Gate fusion for the dense execution plan --------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Fusion.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace asdf;
+
+using Cplx = std::complex<double>;
+
+Mat2 asdf::matmul(const Mat2 &A, const Mat2 &B) {
+  Mat2 R;
+  for (int I = 0; I < 2; ++I)
+    for (int J = 0; J < 2; ++J)
+      R.M[I][J] = A.M[I][0] * B.M[0][J] + A.M[I][1] * B.M[1][J];
+  return R;
+}
+
+Mat2 asdf::gateMatrix2(GateKind G, double Theta) {
+  const double S2 = 1.0 / std::sqrt(2.0);
+  const Cplx I(0.0, 1.0);
+  switch (G) {
+  case GateKind::X:
+    return {{{0, 1}, {1, 0}}};
+  case GateKind::Y:
+    return {{{0, -I}, {I, 0}}};
+  case GateKind::Z:
+    return {{{1, 0}, {0, -1}}};
+  case GateKind::H:
+    return {{{S2, S2}, {S2, -S2}}};
+  case GateKind::S:
+    return {{{1, 0}, {0, I}}};
+  case GateKind::Sdg:
+    return {{{1, 0}, {0, -I}}};
+  case GateKind::T:
+    return {{{1, 0}, {0, std::exp(I * (M_PI / 4.0))}}};
+  case GateKind::Tdg:
+    return {{{1, 0}, {0, std::exp(-I * (M_PI / 4.0))}}};
+  case GateKind::P:
+    return {{{1, 0}, {0, std::exp(I * Theta)}}};
+  case GateKind::RX:
+    return {{{std::cos(Theta / 2), -I * std::sin(Theta / 2)},
+             {-I * std::sin(Theta / 2), std::cos(Theta / 2)}}};
+  case GateKind::RY:
+    return {{{std::cos(Theta / 2), -std::sin(Theta / 2)},
+             {std::sin(Theta / 2), std::cos(Theta / 2)}}};
+  case GateKind::RZ:
+    return {{{std::exp(-I * (Theta / 2)), 0},
+             {0, std::exp(I * (Theta / 2))}}};
+  case GateKind::Swap:
+    break;
+  }
+  assert(false && "no 2x2 matrix for this gate");
+  return Mat2::identity();
+}
+
+namespace {
+
+/// The phases a diagonal gate puts on |0> and |1> of its target (applied
+/// only where every control reads 1). False for non-diagonal gates.
+bool diagonalPhases(GateKind G, double Theta, Cplx &P0, Cplx &P1) {
+  const Cplx I(0.0, 1.0);
+  P0 = Cplx(1.0, 0.0);
+  switch (G) {
+  case GateKind::Z:
+    P1 = Cplx(-1.0, 0.0);
+    return true;
+  case GateKind::S:
+    P1 = I;
+    return true;
+  case GateKind::Sdg:
+    P1 = -I;
+    return true;
+  case GateKind::T:
+    P1 = std::exp(I * (M_PI / 4.0));
+    return true;
+  case GateKind::Tdg:
+    P1 = std::exp(-I * (M_PI / 4.0));
+    return true;
+  case GateKind::P:
+    P1 = std::exp(I * Theta);
+    return true;
+  case GateKind::RZ:
+    P0 = std::exp(-I * (Theta / 2));
+    P1 = std::exp(I * (Theta / 2));
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+std::string FusedCircuit::summary() const {
+  return std::to_string(GatesIn) + " gates -> " + std::to_string(Ops.size()) +
+         " ops (" + std::to_string(GatesFused) + " fused, " +
+         std::to_string(SweepsCoalesced) + " sweep entries coalesced)";
+}
+
+FusedCircuit asdf::fuseCircuit(const Circuit &C) {
+  FusedCircuit FC;
+  FC.Source = &C;
+  const unsigned N = C.NumQubits;
+  auto QubitBit = [&](unsigned Q) { return uint64_t(1) << (N - 1 - Q); };
+
+  /// The open run of uncontrolled single-qubit gates on one wire.
+  struct PendingRun {
+    Mat2 U = Mat2::identity();
+    unsigned Count = 0;
+    size_t OnlyInstr = 0; ///< Source index, meaningful when Count == 1.
+  };
+  std::vector<PendingRun> Pending(N);
+  bool PrefixOpen = true;
+
+  auto emitInstr = [&](size_t Idx) {
+    FusedOp Op;
+    Op.TheKind = FusedOp::Kind::Instr;
+    Op.InstrIndex = Idx;
+    FC.Ops.push_back(std::move(Op));
+  };
+
+  // Diagonal ops commute, so an entry landing directly after another
+  // diagonal op merges into it: one memory pass applies both.
+  auto emitDiagEntry = [&](DiagEntry E) {
+    if (!FC.Ops.empty() && FC.Ops.back().TheKind == FusedOp::Kind::Diag) {
+      FC.Ops.back().Diag.push_back(E);
+      ++FC.SweepsCoalesced;
+      return;
+    }
+    FusedOp Op;
+    Op.TheKind = FusedOp::Kind::Diag;
+    Op.Diag.push_back(E);
+    FC.Ops.push_back(std::move(Op));
+  };
+
+  auto flush = [&](unsigned Q) {
+    PendingRun &P = Pending[Q];
+    if (P.Count == 0)
+      return;
+    if (P.Count == 1) {
+      // A lone gate keeps its specialized engine kernel (and bit-exact
+      // arithmetic): pass it through instead of wrapping it in a matrix.
+      emitInstr(P.OnlyInstr);
+    } else if (P.U.isDiagonal()) {
+      FC.GatesFused += P.Count;
+      emitDiagEntry({0, QubitBit(Q), P.U.M[0][0], P.U.M[1][1]});
+    } else {
+      FC.GatesFused += P.Count;
+      FusedOp Op;
+      Op.TheKind = FusedOp::Kind::Unitary;
+      Op.Target = Q;
+      Op.U = P.U;
+      FC.Ops.push_back(std::move(Op));
+    }
+    P = PendingRun();
+  };
+  auto flushAll = [&] {
+    for (unsigned Q = 0; Q < N; ++Q)
+      flush(Q);
+  };
+
+  for (size_t Idx = 0; Idx < C.Instrs.size(); ++Idx) {
+    const CircuitInstr &I = C.Instrs[Idx];
+
+    // Measurement, reset, and feed-forward are full barriers: randomness
+    // and classical control must see exactly the state the unfused program
+    // would have at this point. They also close the shared prefix.
+    if (I.TheKind != CircuitInstr::Kind::Gate || I.CondBit >= 0) {
+      flushAll();
+      if (PrefixOpen) {
+        FC.UnconditionalPrefixOps = FC.Ops.size();
+        PrefixOpen = false;
+      }
+      if (I.TheKind == CircuitInstr::Kind::Gate)
+        ++FC.GatesIn;
+      emitInstr(Idx);
+      continue;
+    }
+
+    ++FC.GatesIn;
+
+    if (I.Gate == GateKind::Swap) {
+      for (unsigned T : I.Targets)
+        flush(T);
+      for (unsigned Ctl : I.Controls)
+        flush(Ctl);
+      emitInstr(Idx);
+      continue;
+    }
+
+    assert(I.Targets.size() == 1 && "non-swap gates have one target");
+    unsigned T = I.Targets[0];
+
+    if (I.Controls.empty()) {
+      PendingRun &P = Pending[T];
+      P.U = matmul(gateMatrix2(I.Gate, I.Param), P.U);
+      if (++P.Count == 1)
+        P.OnlyInstr = Idx;
+      continue;
+    }
+
+    uint64_t CtlMask = 0;
+    for (unsigned Ctl : I.Controls)
+      CtlMask |= QubitBit(Ctl);
+    if (CtlMask & QubitBit(T)) {
+      // Degenerate control == target has always been a no-op in the
+      // engines; the plan drops it outright.
+      ++FC.GatesFused;
+      continue;
+    }
+
+    flush(T);
+    for (unsigned Ctl : I.Controls)
+      flush(Ctl);
+
+    Cplx P0, P1;
+    if (diagonalPhases(I.Gate, I.Param, P0, P1)) {
+      ++FC.GatesFused;
+      emitDiagEntry({CtlMask, QubitBit(T), P0, P1});
+      continue;
+    }
+    emitInstr(Idx); // Controlled non-diagonal (CX, CH, CRY...): pass through.
+  }
+
+  flushAll();
+  if (PrefixOpen)
+    FC.UnconditionalPrefixOps = FC.Ops.size();
+  return FC;
+}

@@ -1,0 +1,117 @@
+//===- Fusion.h - Gate fusion for the dense execution plan ----------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The gate-fusion pass of the dense execution plan. A flat circuit applies
+/// every gate as its own sweep over all 2^n amplitudes, so rotation-dense
+/// circuits (Grover diffusers, QFT tails) are bound by memory passes, not
+/// arithmetic. `fuseCircuit` rewrites the instruction stream into a
+/// `FusedCircuit` of coarser ops the statevector engine consumes:
+///
+///   - **2x2 run fusion**: a maximal run of adjacent uncontrolled
+///     single-qubit gates on the same wire (adjacent up to commuting
+///     instructions on other wires) collapses into one fused 2x2 unitary —
+///     one sweep instead of k;
+///   - **diagonal coalescing**: consecutive diagonal ops — controlled
+///     phases (CZ/CP/CCZ/CRZ...) and fused runs that stayed diagonal
+///     (S·T·RZ chains) — merge into a single phase sweep that applies every
+///     entry in one pass over the state;
+///   - everything else (swaps, controlled non-diagonal gates, measurement,
+///     reset, classically-conditioned instructions) passes through by
+///     reference into the original instruction.
+///
+/// Fusion is exact: the fused stream applies the same operator product in
+/// the same order (up to commuting disjoint-wire reorderings), and
+/// measurements/resets/feed-forward act as full barriers, so per-shot RNG
+/// consumption is identical to the unfused path. Amplitudes may differ from
+/// unfused execution only by floating-point rounding of the pre-multiplied
+/// matrices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SIM_FUSION_H
+#define ASDF_SIM_FUSION_H
+
+#include "qcirc/Circuit.h"
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asdf {
+
+/// One 2x2 complex matrix (row-major), the currency of single-qubit fusion.
+struct Mat2 {
+  std::complex<double> M[2][2];
+
+  static Mat2 identity() { return {{{1, 0}, {0, 1}}}; }
+
+  /// True if both off-diagonal entries are exactly zero — guaranteed for
+  /// products of diagonal factors (0*x + y*0 stays 0 in IEEE arithmetic).
+  bool isDiagonal() const {
+    return std::abs(M[0][1]) == 0.0 && std::abs(M[1][0]) == 0.0;
+  }
+};
+
+/// Matrix product A*B ("apply B first, then A", matching gate order).
+Mat2 matmul(const Mat2 &A, const Mat2 &B);
+
+/// The 2x2 matrix of an uncontrolled single-qubit gate. Asserts on Swap.
+Mat2 gateMatrix2(GateKind G, double Theta);
+
+/// One entry of a coalesced diagonal sweep, in basis-index space: indices
+/// with all CtlMask bits set pick up Phase0 or Phase1 depending on the
+/// target bit; all other indices are untouched.
+struct DiagEntry {
+  uint64_t CtlMask = 0;
+  uint64_t TargetBit = 0;
+  std::complex<double> Phase0{1.0, 0.0};
+  std::complex<double> Phase1{1.0, 0.0};
+};
+
+/// One op of the fused execution plan.
+struct FusedOp {
+  enum class Kind {
+    Unitary, ///< Fused 2x2 on Target.
+    Diag,    ///< Coalesced diagonal sweep (one memory pass, many entries).
+    Instr,   ///< Pass-through: Source->Instrs[InstrIndex].
+  };
+
+  Kind TheKind = Kind::Instr;
+  unsigned Target = 0;          ///< Unitary only.
+  Mat2 U = Mat2::identity();    ///< Unitary only.
+  std::vector<DiagEntry> Diag;  ///< Diag only.
+  size_t InstrIndex = 0;        ///< Instr only.
+};
+
+/// The fused execution plan for one circuit. Holds a pointer into the
+/// source circuit for pass-through instructions; the source must outlive
+/// the plan.
+struct FusedCircuit {
+  const Circuit *Source = nullptr;
+  std::vector<FusedOp> Ops;
+  /// Ops before the first measurement/reset/conditional instruction — the
+  /// deterministic prefix shared by every shot (mirrors
+  /// CircuitProfile::UnconditionalGatePrefix at op granularity).
+  size_t UnconditionalPrefixOps = 0;
+
+  // Plan statistics, for diagnostics and the --emit run stderr summary.
+  size_t GatesIn = 0;       ///< Gate instructions consumed.
+  size_t GatesFused = 0;    ///< Gates folded into Unitary/Diag ops.
+  size_t SweepsCoalesced = 0; ///< Diagonal ops merged into a neighbor.
+
+  /// "123 gates -> 41 ops (96 fused, 12 sweeps coalesced)"
+  std::string summary() const;
+};
+
+/// Builds the fused execution plan for \p C. Never fails; a circuit with
+/// nothing to fuse comes back as pure pass-through ops.
+FusedCircuit fuseCircuit(const Circuit &C);
+
+} // namespace asdf
+
+#endif // ASDF_SIM_FUSION_H

@@ -17,9 +17,10 @@ ShotResult asdf::simulate(const Circuit &C, uint64_t Seed,
 
 std::map<std::string, unsigned> asdf::runShots(const Circuit &C,
                                                unsigned Shots, uint64_t Seed,
-                                               BackendKind Backend) {
+                                               BackendKind Backend,
+                                               const RunOptions &Opts) {
   return BackendRegistry::instance().select(C, Backend).runShots(C, Shots,
-                                                                 Seed);
+                                                                 Seed, Opts);
 }
 
 std::vector<std::vector<Amplitude>> asdf::circuitUnitary(const Circuit &C) {

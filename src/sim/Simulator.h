@@ -42,10 +42,12 @@ ShotResult simulate(const Circuit &C, uint64_t Seed = 0,
 /// Executes \p C \p Shots times, returning outcome frequencies keyed by the
 /// classical bit string (bit 0 first). Each shot's seed derives from
 /// (\p Seed, shot index) via deriveShotSeed, so shots are independent yet
-/// the whole run replays deterministically.
+/// the whole run replays deterministically — including under the
+/// shot-parallel, gate-fused execution plan selected by \p Opts.
 std::map<std::string, unsigned>
 runShots(const Circuit &C, unsigned Shots, uint64_t Seed = 0,
-         BackendKind Backend = BackendKind::Auto);
+         BackendKind Backend = BackendKind::Auto,
+         const RunOptions &Opts = RunOptions());
 
 /// Computes the full unitary of a measurement-free circuit by simulating
 /// every basis input. Requires C.NumQubits <= 10. Column k is U|k>.

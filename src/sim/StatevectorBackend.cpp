@@ -10,11 +10,17 @@
 
 #include <cassert>
 #include <cmath>
+#include <fstream>
+#include <limits>
+
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#endif
 
 using namespace asdf;
 
 StateVector::StateVector(unsigned NumQubits) : NumQubits(NumQubits) {
-  assert(NumQubits <= StatevectorBackend::MaxQubits &&
+  assert(NumQubits <= StatevectorBackend::HardMaxQubits &&
          "state vector too large");
   Amp.assign(uint64_t(1) << NumQubits, Amplitude(0.0, 0.0));
   Amp[0] = Amplitude(1.0, 0.0);
@@ -26,49 +32,6 @@ void StateVector::setBasisState(uint64_t Index) {
 }
 
 namespace {
-
-/// 2x2 gate matrices for the generic fallback path.
-struct Mat2 {
-  Amplitude M[2][2];
-};
-
-Mat2 gateMatrix(GateKind G, double Theta) {
-  const double S2 = 1.0 / std::sqrt(2.0);
-  const Amplitude I(0.0, 1.0);
-  switch (G) {
-  case GateKind::X:
-    return {{{0, 1}, {1, 0}}};
-  case GateKind::Y:
-    return {{{0, -I}, {I, 0}}};
-  case GateKind::Z:
-    return {{{1, 0}, {0, -1}}};
-  case GateKind::H:
-    return {{{S2, S2}, {S2, -S2}}};
-  case GateKind::S:
-    return {{{1, 0}, {0, I}}};
-  case GateKind::Sdg:
-    return {{{1, 0}, {0, -I}}};
-  case GateKind::T:
-    return {{{1, 0}, {0, std::exp(I * (M_PI / 4.0))}}};
-  case GateKind::Tdg:
-    return {{{1, 0}, {0, std::exp(-I * (M_PI / 4.0))}}};
-  case GateKind::P:
-    return {{{1, 0}, {0, std::exp(I * Theta)}}};
-  case GateKind::RX:
-    return {{{std::cos(Theta / 2), -I * std::sin(Theta / 2)},
-             {-I * std::sin(Theta / 2), std::cos(Theta / 2)}}};
-  case GateKind::RY:
-    return {{{std::cos(Theta / 2), -std::sin(Theta / 2)},
-             {std::sin(Theta / 2), std::cos(Theta / 2)}}};
-  case GateKind::RZ:
-    return {{{std::exp(-I * (Theta / 2)), 0},
-             {0, std::exp(I * (Theta / 2))}}};
-  case GateKind::Swap:
-    break;
-  }
-  assert(false && "no 2x2 matrix for this gate");
-  return {{{1, 0}, {0, 1}}};
-}
 
 /// The phase a diagonal gate puts on |1> (it puts 1 on |0>), or nullopt if
 /// the gate is not diagonal-with-unit-top-left.
@@ -200,7 +163,7 @@ void StateVector::apply(GateKind G, const std::vector<unsigned> &Controls,
   }
 
   // Generic controlled-2x2 fallback (RX/RY, controlled rotations).
-  Mat2 M = gateMatrix(G, Param);
+  Mat2 M = gateMatrix2(G, Param);
   for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx) {
     if (Idx & Bit)
       continue; // Handle each pair once, from the 0 side.
@@ -210,6 +173,36 @@ void StateVector::apply(GateKind G, const std::vector<unsigned> &Controls,
     Amplitude A0 = Amp[Idx], A1 = Amp[Idx1];
     Amp[Idx] = M.M[0][0] * A0 + M.M[0][1] * A1;
     Amp[Idx1] = M.M[1][0] * A0 + M.M[1][1] * A1;
+  }
+}
+
+void StateVector::applyMatrix2(unsigned Q, const Mat2 &U) {
+  uint64_t Bit = qubitBit(Q);
+  for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx) {
+    if (Idx & Bit)
+      continue; // Handle each pair once, from the 0 side.
+    uint64_t Idx1 = Idx | Bit;
+    Amplitude A0 = Amp[Idx], A1 = Amp[Idx1];
+    Amp[Idx] = U.M[0][0] * A0 + U.M[0][1] * A1;
+    Amp[Idx1] = U.M[1][0] * A0 + U.M[1][1] * A1;
+  }
+}
+
+void StateVector::applyDiagSweep(const std::vector<DiagEntry> &Entries) {
+  // One pass over the amplitudes no matter how many phases were coalesced:
+  // the sweep is memory-bound at scale, so k merged entries cost ~1/k of k
+  // separate sweeps.
+  for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx) {
+    Amplitude F(1.0, 0.0);
+    bool Touched = false;
+    for (const DiagEntry &E : Entries) {
+      if ((Idx & E.CtlMask) != E.CtlMask)
+        continue;
+      F *= (Idx & E.TargetBit) ? E.Phase1 : E.Phase0;
+      Touched = true;
+    }
+    if (Touched)
+      Amp[Idx] *= F;
   }
 }
 
@@ -259,33 +252,102 @@ std::mt19937_64 shotRng(uint64_t Seed) {
   return std::mt19937_64(Seed * 0x9E3779B97F4A7C15ull + 0xDEADBEEF);
 }
 
+/// Executes one instruction on \p SV (honoring its classical condition),
+/// recording bits into \p R. Shared by the fused and unfused paths so
+/// instruction semantics can never diverge between them.
+void executeInstr(const CircuitInstr &I, StateVector &SV, ShotResult &R,
+                  std::mt19937_64 &Rng) {
+  if (I.CondBit >= 0 &&
+      R.Bits[static_cast<unsigned>(I.CondBit)] != I.CondVal)
+    return;
+  switch (I.TheKind) {
+  case CircuitInstr::Kind::Gate:
+    SV.apply(I.Gate, I.Controls, I.Targets, I.Param);
+    break;
+  case CircuitInstr::Kind::Measure:
+    R.Bits[static_cast<unsigned>(I.Cbit)] = SV.measure(I.Targets[0], Rng);
+    break;
+  case CircuitInstr::Kind::Reset:
+    SV.reset(I.Targets[0], Rng);
+    break;
+  }
+}
+
 /// Executes instructions [Start, end) on \p SV, recording bits into \p R.
 void execute(const Circuit &C, size_t Start, StateVector &SV, ShotResult &R,
              std::mt19937_64 &Rng) {
-  for (size_t N = Start; N < C.Instrs.size(); ++N) {
-    const CircuitInstr &I = C.Instrs[N];
-    if (I.CondBit >= 0 &&
-        R.Bits[static_cast<unsigned>(I.CondBit)] != I.CondVal)
-      continue;
-    switch (I.TheKind) {
-    case CircuitInstr::Kind::Gate:
-      SV.apply(I.Gate, I.Controls, I.Targets, I.Param);
+  for (size_t N = Start; N < C.Instrs.size(); ++N)
+    executeInstr(C.Instrs[N], SV, R, Rng);
+}
+
+/// Executes fused ops [Begin, End) on \p SV, recording bits into \p R.
+void executeFused(const FusedCircuit &FC, size_t Begin, size_t End,
+                  StateVector &SV, ShotResult &R, std::mt19937_64 &Rng) {
+  const Circuit &C = *FC.Source;
+  for (size_t N = Begin; N < End; ++N) {
+    const FusedOp &Op = FC.Ops[N];
+    switch (Op.TheKind) {
+    case FusedOp::Kind::Unitary:
+      SV.applyMatrix2(Op.Target, Op.U);
       break;
-    case CircuitInstr::Kind::Measure:
-      R.Bits[static_cast<unsigned>(I.Cbit)] = SV.measure(I.Targets[0], Rng);
+    case FusedOp::Kind::Diag:
+      SV.applyDiagSweep(Op.Diag);
       break;
-    case CircuitInstr::Kind::Reset:
-      SV.reset(I.Targets[0], Rng);
+    case FusedOp::Kind::Instr:
+      executeInstr(C.Instrs[Op.InstrIndex], SV, R, Rng);
       break;
     }
   }
 }
 
+/// Available physical memory in bytes, or 0 if the OS won't say. Prefers
+/// /proc/meminfo's MemAvailable (free + reclaimable page cache — what an
+/// allocation can actually get) over _SC_AVPHYS_PAGES, which counts only
+/// truly-free pages and collapses under a warm page cache.
+uint64_t availablePhysicalMemory() {
+  if (std::ifstream Meminfo{"/proc/meminfo"}) {
+    std::string Key;
+    uint64_t KiB;
+    while (Meminfo >> Key >> KiB) {
+      if (Key == "MemAvailable:")
+        return KiB * 1024;
+      Meminfo.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    }
+  }
+#if defined(_SC_AVPHYS_PAGES) && defined(_SC_PAGESIZE)
+  long Pages = sysconf(_SC_AVPHYS_PAGES);
+  long PageSize = sysconf(_SC_PAGESIZE);
+  if (Pages > 0 && PageSize > 0)
+    return uint64_t(Pages) * uint64_t(PageSize);
+#endif
+  return 0;
+}
+
 } // namespace
+
+unsigned StatevectorBackend::maxQubits(const RunOptions &Opts) {
+  if (Opts.MaxStateQubits)
+    return Opts.MaxStateQubits < HardMaxQubits ? Opts.MaxStateQubits
+                                               : HardMaxQubits;
+  uint64_t Avail = availablePhysicalMemory();
+  if (Avail == 0)
+    return 26; // No answer from the OS: the historical fixed cap.
+  // The shared prefix state plus one per-shot fork must fit in half of
+  // available memory (one state within a quarter), leaving the rest to
+  // the process and the OS. runBatch shrinks its worker count to match
+  // (fewer forks near the cap), so admitting a circuit here never commits
+  // the runner to more memory than this budget.
+  uint64_t Budget = Avail / 4;
+  unsigned Cap = 0;
+  while (Cap < HardMaxQubits &&
+         (uint64_t(sizeof(Amplitude)) << (Cap + 1)) <= Budget)
+    ++Cap;
+  return Cap;
+}
 
 bool StatevectorBackend::supports(const Circuit &C,
                                   const CircuitProfile &) const {
-  return C.NumQubits <= MaxQubits;
+  return C.NumQubits <= maxQubits();
 }
 
 ShotResult StatevectorBackend::run(const Circuit &C, uint64_t Seed) const {
@@ -297,29 +359,71 @@ ShotResult StatevectorBackend::run(const Circuit &C, uint64_t Seed) const {
   return R;
 }
 
-std::vector<ShotResult> StatevectorBackend::runBatch(const Circuit &C,
-                                                     unsigned Shots,
-                                                     uint64_t Seed) const {
-  size_t Prefix = analyzeCircuit(C).UnconditionalGatePrefix;
-  if (Shots <= 1 || Prefix == 0)
-    return SimBackend::runBatch(C, Shots, Seed);
+std::vector<ShotResult>
+StatevectorBackend::runBatch(const Circuit &C, unsigned Shots, uint64_t Seed,
+                             const RunOptions &Opts) const {
+  if (Shots == 0)
+    return {};
 
-  // The unconditional gate prefix is identical for every shot and consumes
-  // no randomness: simulate it once, fork the state per shot. Results match
-  // run(C, deriveShotSeed(Seed, S)) exactly.
+  // Build the execution plan: fused ops or the raw instruction stream,
+  // each with its unconditional-prefix boundary.
+  FusedCircuit FC;
+  size_t Prefix;
+  if (Opts.Fuse) {
+    FC = fuseCircuit(C);
+    Prefix = FC.UnconditionalPrefixOps;
+  } else {
+    Prefix = analyzeCircuit(C).UnconditionalGatePrefix;
+  }
+
+  // The unconditional prefix is identical for every shot and consumes no
+  // randomness (and reads no bits): simulate it once on the shared state.
   StateVector Shared(C.NumQubits);
-  for (size_t N = 0; N < Prefix; ++N)
-    Shared.apply(C.Instrs[N].Gate, C.Instrs[N].Controls, C.Instrs[N].Targets,
-                 C.Instrs[N].Param);
-  std::vector<ShotResult> Results;
-  Results.reserve(Shots);
-  for (unsigned S = 0; S < Shots; ++S) {
-    StateVector SV = Shared;
+  {
+    ShotResult Scratch;
+    Scratch.Bits.assign(C.NumBits, false);
+    std::mt19937_64 Unused = shotRng(0);
+    if (Opts.Fuse)
+      executeFused(FC, 0, Prefix, Shared, Scratch, Unused);
+    else
+      for (size_t N = 0; N < Prefix; ++N)
+        executeInstr(C.Instrs[N], Shared, Scratch, Unused);
+  }
+
+  // Runs the post-prefix remainder of shot S on \p SV. Shot S always uses
+  // deriveShotSeed(Seed, S) and lands at Results[S], so the outcome is
+  // independent of worker count and matches the serial path.
+  auto runRest = [&](StateVector &SV, unsigned S) {
     std::mt19937_64 Rng = shotRng(deriveShotSeed(Seed, S));
     ShotResult R;
     R.Bits.assign(C.NumBits, false);
-    execute(C, Prefix, SV, R, Rng);
-    Results.push_back(std::move(R));
+    if (Opts.Fuse)
+      executeFused(FC, Prefix, FC.Ops.size(), SV, R, Rng);
+    else
+      execute(C, Prefix, SV, R, Rng);
+    return R;
+  };
+
+  std::vector<ShotResult> Results(Shots);
+  if (Shots == 1) {
+    // Single shot: finish directly on the shared state, no fork.
+    Results[0] = runRest(Shared, 0);
+    return Results;
   }
+
+  unsigned Jobs = resolveJobCount(Opts.Jobs, Shots);
+  if (uint64_t Avail = availablePhysicalMemory()) {
+    // Each in-flight shot forks the shared state, so near the qubit cap
+    // shrink the worker count until shared + forks fit in half of
+    // available memory — the budget maxQubits admitted the circuit under.
+    uint64_t StateBytes = uint64_t(sizeof(Amplitude)) << C.NumQubits;
+    uint64_t MaxStates = (Avail / 2) / StateBytes;
+    if (MaxStates <= Jobs) // Shared + Jobs forks would not fit.
+      Jobs = MaxStates > 1 ? static_cast<unsigned>(MaxStates - 1) : 1;
+  }
+  parallelShotLoop(Jobs, Shots, [&](unsigned S) {
+    StateVector SV = Shared;
+    Results[S] = runRest(SV, S);
+  });
   return Results;
 }

@@ -7,13 +7,17 @@
 /// \file
 /// The dense amplitude engine — the stand-in for qir-runner (§7) — behind
 /// the SimBackend interface. Exact for every gate kind at any control
-/// count, memory-bound at 2^n amplitudes (capped at 26 qubits).
+/// count, memory-bound at 2^n amplitudes; the qubit cap derives from
+/// available physical memory (override via RunOptions::MaxStateQubits).
 ///
 /// Hot Clifford gates bypass the generic controlled-2x2 path with
 /// specialized kernels: diagonal gates (Z/S/Sdg/T/Tdg/P/RZ) become a single
 /// masked phase sweep at any control count, X becomes a pair permutation,
-/// and Y a permutation with a fixed +-i twist. Multi-shot runs simulate the
-/// unconditional gate prefix once and fork the state per shot.
+/// and Y a permutation with a fixed +-i twist. Multi-shot runs fuse the
+/// circuit (Fusion.h), simulate the unconditional gate prefix once, fork
+/// the state per shot, and run the shots on a work-stealing thread pool —
+/// all without changing per-shot RNG consumption, so every (jobs, fuse)
+/// combination replays the same outcomes.
 ///
 /// Convention: qubit 0 is the leftmost qubit and occupies the most
 /// significant bit of a basis-state index, matching the eigenbit convention
@@ -25,6 +29,7 @@
 #define ASDF_SIM_STATEVECTORBACKEND_H
 
 #include "sim/Backend.h"
+#include "sim/Fusion.h"
 
 #include <complex>
 #include <random>
@@ -48,6 +53,13 @@ public:
   /// Applies one gate (with controls).
   void apply(GateKind G, const std::vector<unsigned> &Controls,
              const std::vector<unsigned> &Targets, double Param);
+
+  /// Applies a (fused) 2x2 unitary to qubit \p Q.
+  void applyMatrix2(unsigned Q, const Mat2 &U);
+
+  /// Applies a coalesced diagonal sweep: one pass over the amplitudes,
+  /// multiplying in every matching entry's phase.
+  void applyDiagSweep(const std::vector<DiagEntry> &Entries);
 
   /// Measures qubit \p Q; collapses the state. \p Rng drives sampling.
   bool measure(unsigned Q, std::mt19937_64 &Rng);
@@ -80,13 +92,28 @@ class StatevectorBackend : public SimBackend {
 public:
   const char *name() const override { return "sv"; }
   bool supports(const Circuit &C, const CircuitProfile &P) const override;
+  /// The serial, unfused reference path: the differential tests pin every
+  /// optimized configuration against this.
   ShotResult run(const Circuit &C, uint64_t Seed) const override;
-  /// Simulates the unconditional gate prefix once and forks it per shot.
+  /// The execution-plan path: fuses the circuit (unless Opts.Fuse is off),
+  /// simulates the unconditional prefix once, and forks it per shot across
+  /// Opts.Jobs workers.
   std::vector<ShotResult> runBatch(const Circuit &C, unsigned Shots,
-                                   uint64_t Seed) const override;
+                                   uint64_t Seed,
+                                   const RunOptions &Opts) const override;
+  using SimBackend::runBatch;
 
-  /// Widest circuit the dense engine accepts.
-  static constexpr unsigned MaxQubits = 26;
+  /// Absolute cap regardless of memory: 2^30 amplitudes (16 GiB) keeps
+  /// index arithmetic and allocation sizes comfortably in range.
+  static constexpr unsigned HardMaxQubits = 30;
+
+  /// Widest circuit the dense engine accepts under \p Opts:
+  /// Opts.MaxStateQubits if set, otherwise derived from available physical
+  /// memory (the shared state plus one per-shot fork within half of it —
+  /// one state per quarter; runBatch shrinks its worker count to stay
+  /// inside the same budget), falling back to 26 when the OS won't say.
+  /// Never exceeds HardMaxQubits.
+  static unsigned maxQubits(const RunOptions &Opts = RunOptions());
 };
 
 } // namespace asdf

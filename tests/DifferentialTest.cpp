@@ -1,0 +1,276 @@
+//===- DifferentialTest.cpp - Differential fuzzing of the execution plan --===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential testing of the dense execution plan against the serial,
+/// unfused reference path. ~200 random circuits — mixed Clifford gates,
+/// rotations at arbitrary angles, multi-controlled gates, mid-circuit
+/// measurement, reset, and feed-forward — each executed under every
+/// {fused, unfused} x {jobs=1, jobs=4} configuration at a fixed seed, with
+/// per-shot results required to agree bit-exactly. The optimized paths
+/// share per-shot seeds and RNG-consumption order with the reference by
+/// construction; these tests are what keeps that true as kernels evolve.
+///
+/// A second battery pins the stabilizer tableau: jobs=1 vs jobs=4 must be
+/// bit-exact, and sampled distributions must match the dense engine's on
+/// random dynamic Clifford circuits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/CircuitAnalysis.h"
+#include "sim/Fusion.h"
+#include "sim/Simulator.h"
+#include "sim/StabilizerBackend.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+using namespace asdf;
+
+namespace {
+
+/// A random circuit over \p NumQubits qubits mixing Clifford gates,
+/// rotations, Toffoli-class gates, mid-circuit measurement, reset, and
+/// feed-forward, ending in measure-all. \p CliffordOnly restricts the gate
+/// alphabet to what the tableau engine supports exactly.
+Circuit randomCircuit(std::mt19937_64 &Rng, unsigned NumQubits,
+                      unsigned NumInstrs, bool CliffordOnly) {
+  Circuit C;
+  C.NumQubits = NumQubits;
+  C.NumBits = NumQubits;
+  std::uniform_int_distribution<unsigned> PickOp(0, CliffordOnly ? 11 : 15);
+  std::uniform_int_distribution<unsigned> PickQubit(0, NumQubits - 1);
+  std::uniform_real_distribution<double> PickAngle(-2.0 * M_PI, 2.0 * M_PI);
+  auto Other = [&](unsigned A) {
+    unsigned B = PickQubit(Rng);
+    while (NumQubits > 1 && B == A)
+      B = PickQubit(Rng);
+    return B;
+  };
+  for (unsigned N = 0; N < NumInstrs; ++N) {
+    unsigned A = PickQubit(Rng);
+    switch (PickOp(Rng)) {
+    case 0:
+      C.append(CircuitInstr::gate(GateKind::H, {}, {A}));
+      break;
+    case 1:
+      C.append(CircuitInstr::gate(GateKind::S, {}, {A}));
+      break;
+    case 2:
+      C.append(CircuitInstr::gate(GateKind::Sdg, {}, {A}));
+      break;
+    case 3:
+      C.append(CircuitInstr::gate(GateKind::X, {}, {A}));
+      break;
+    case 4:
+      C.append(CircuitInstr::gate(GateKind::Y, {}, {A}));
+      break;
+    case 5:
+      C.append(CircuitInstr::gate(GateKind::Z, {}, {A}));
+      break;
+    case 6:
+      C.append(CircuitInstr::gate(GateKind::X, {Other(A)}, {A}));
+      break;
+    case 7:
+      C.append(CircuitInstr::gate(GateKind::Z, {Other(A)}, {A}));
+      break;
+    case 8:
+      C.append(CircuitInstr::gate(GateKind::Swap, {}, {A, Other(A)}));
+      break;
+    case 9:
+      C.append(CircuitInstr::measure(A, A));
+      break;
+    case 10:
+      C.append(CircuitInstr::reset(A));
+      break;
+    case 11: {
+      // Feed-forward: condition a Clifford correction on any bit.
+      CircuitInstr Fix = CircuitInstr::gate(
+          N % 2 ? GateKind::X : GateKind::Z, {}, {A});
+      Fix.CondBit = static_cast<int>(PickQubit(Rng));
+      Fix.CondVal = N % 3 != 0;
+      C.append(Fix);
+      break;
+    }
+    case 12:
+      C.append(CircuitInstr::gate(GateKind::T, {}, {A}));
+      break;
+    case 13:
+      C.append(CircuitInstr::gate(
+          N % 2 ? GateKind::RY : GateKind::RX, {}, {A}, PickAngle(Rng)));
+      break;
+    case 14:
+      C.append(CircuitInstr::gate(
+          N % 2 ? GateKind::RZ : GateKind::P, {}, {A}, PickAngle(Rng)));
+      break;
+    default: {
+      if (NumQubits < 3) {
+        C.append(CircuitInstr::gate(GateKind::Tdg, {}, {A}));
+        break;
+      }
+      unsigned B = Other(A), D = Other(A);
+      while (D == B)
+        D = Other(A);
+      C.append(CircuitInstr::gate(N % 2 ? GateKind::X : GateKind::Z,
+                                  {B, D}, {A})); // Toffoli / CCZ
+      break;
+    }
+    }
+  }
+  for (unsigned Q = 0; Q < NumQubits; ++Q)
+    C.append(CircuitInstr::measure(Q, Q));
+  return C;
+}
+
+void expectBatchesBitExact(const std::vector<ShotResult> &Want,
+                           const std::vector<ShotResult> &Got,
+                           const char *Config, unsigned Trial) {
+  ASSERT_EQ(Want.size(), Got.size()) << Config << " trial " << Trial;
+  for (size_t S = 0; S < Want.size(); ++S)
+    ASSERT_EQ(Want[S].Bits, Got[S].Bits)
+        << Config << " trial " << Trial << " shot " << S;
+}
+
+//===----------------------------------------------------------------------===//
+// Statevector: fused/parallel configurations vs the serial unfused reference
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialTest, RandomCircuitsBitExactAcrossConfigs) {
+  std::mt19937_64 Rng(0xD1FFEull);
+  StatevectorBackend Sv;
+  const unsigned Shots = 12;
+  for (unsigned Trial = 0; Trial < 200; ++Trial) {
+    unsigned NumQubits = 2 + Trial % 7; // 2..8 qubits
+    Circuit C = randomCircuit(Rng, NumQubits, 18 + Trial % 24,
+                              /*CliffordOnly=*/Trial % 4 == 0);
+    uint64_t Seed = 1000 + Trial;
+
+    RunOptions Reference;
+    Reference.Jobs = 1;
+    Reference.Fuse = false;
+    std::vector<ShotResult> Want = Sv.runBatch(C, Shots, Seed, Reference);
+
+    // The reference path must equal per-shot run() calls — the amortized
+    // prefix and the batch machinery add nothing observable.
+    for (unsigned S = 0; S < Shots; ++S)
+      ASSERT_EQ(Want[S].Bits, Sv.run(C, deriveShotSeed(Seed, S)).Bits)
+          << "reference vs run() trial " << Trial << " shot " << S;
+
+    for (bool Fuse : {true, false}) {
+      for (unsigned Jobs : {1u, 4u}) {
+        if (!Fuse && Jobs == 1)
+          continue; // That is the reference itself.
+        RunOptions Opts;
+        Opts.Jobs = Jobs;
+        Opts.Fuse = Fuse;
+        std::vector<ShotResult> Got = Sv.runBatch(C, Shots, Seed, Opts);
+        expectBatchesBitExact(Want, Got,
+                              Fuse ? (Jobs == 1 ? "fused/j1" : "fused/j4")
+                                   : "unfused/j4",
+                              Trial);
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, FusionPlanCoversEveryGate) {
+  // Structural invariant behind the differential battery: every gate of
+  // the source circuit lands in the plan exactly once (fused, swept, or
+  // passed through), and barriers never end up inside the prefix.
+  std::mt19937_64 Rng(99);
+  for (unsigned Trial = 0; Trial < 50; ++Trial) {
+    Circuit C = randomCircuit(Rng, 2 + Trial % 5, 30, Trial % 2 == 0);
+    FusedCircuit FC = fuseCircuit(C);
+    ASSERT_EQ(FC.Source, &C);
+    size_t GateInstrs = 0;
+    for (const CircuitInstr &I : C.Instrs)
+      if (I.TheKind == CircuitInstr::Kind::Gate)
+        ++GateInstrs;
+    EXPECT_EQ(FC.GatesIn, GateInstrs) << "trial " << Trial;
+    ASSERT_LE(FC.UnconditionalPrefixOps, FC.Ops.size());
+    for (size_t N = 0; N < FC.UnconditionalPrefixOps; ++N) {
+      const FusedOp &Op = FC.Ops[N];
+      if (Op.TheKind != FusedOp::Kind::Instr)
+        continue;
+      const CircuitInstr &I = C.Instrs[Op.InstrIndex];
+      EXPECT_TRUE(I.TheKind == CircuitInstr::Kind::Gate && I.CondBit < 0)
+          << "barrier inside prefix, trial " << Trial << " op " << N;
+    }
+  }
+}
+
+TEST(DifferentialTest, FusionCoalescesRotationRuns) {
+  // A rotation cascade on one wire plus a CZ chain must actually shrink:
+  // the plan is pointless if nothing fuses.
+  Circuit C;
+  C.NumQubits = 3;
+  C.NumBits = 3;
+  for (unsigned K = 0; K < 10; ++K)
+    C.append(CircuitInstr::gate(GateKind::RY, {}, {0}, 0.1 * (K + 1)));
+  for (unsigned K = 0; K < 6; ++K)
+    C.append(CircuitInstr::gate(K % 2 ? GateKind::Z : GateKind::P, {1}, {2},
+                                0.2 * (K + 1)));
+  for (unsigned Q = 0; Q < 3; ++Q)
+    C.append(CircuitInstr::measure(Q, Q));
+  FusedCircuit FC = fuseCircuit(C);
+  // 10 RYs -> one Unitary op; 6 controlled phases -> one Diag op; plus the
+  // three measurements.
+  EXPECT_EQ(FC.Ops.size(), 5u) << FC.summary();
+  EXPECT_EQ(FC.GatesFused, 16u);
+  EXPECT_EQ(FC.UnconditionalPrefixOps, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Stabilizer: parallel parity and cross-engine distributions
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialTest, StabilizerParallelBitExact) {
+  std::mt19937_64 Rng(0x57ABull);
+  StabilizerBackend Stab;
+  for (unsigned Trial = 0; Trial < 40; ++Trial) {
+    Circuit C = randomCircuit(Rng, 2 + Trial % 6, 24, /*CliffordOnly=*/true);
+    ASSERT_TRUE(analyzeCircuit(C).CliffordOnly);
+    RunOptions Serial, Parallel;
+    Serial.Jobs = 1;
+    Parallel.Jobs = 4;
+    std::vector<ShotResult> Want = Stab.runBatch(C, 16, Trial, Serial);
+    std::vector<ShotResult> Got = Stab.runBatch(C, 16, Trial, Parallel);
+    expectBatchesBitExact(Want, Got, "stab/j4", Trial);
+  }
+}
+
+TEST(DifferentialTest, StabilizerMatchesStatevectorDistributions) {
+  // The engines sample with different RNG-consumption patterns, so parity
+  // here is distributional: total variation within sampling noise.
+  std::mt19937_64 Rng(0xD15Cull);
+  const unsigned Shots = 3000;
+  for (unsigned Trial = 0; Trial < 6; ++Trial) {
+    Circuit C = randomCircuit(Rng, 2 + Trial, 20, /*CliffordOnly=*/true);
+    RunOptions SvOpts; // fused, parallel: the optimized dense path
+    std::map<std::string, unsigned> Sv =
+        runShots(C, Shots, 11 + Trial, BackendKind::Statevector, SvOpts);
+    std::map<std::string, unsigned> Stab =
+        runShots(C, Shots, 800 + Trial, BackendKind::Stabilizer);
+    std::map<std::string, bool> Keys;
+    for (const auto &KV : Sv)
+      Keys[KV.first] = true;
+    for (const auto &KV : Stab)
+      Keys[KV.first] = true;
+    double Tv = 0.0;
+    for (const auto &KV : Keys) {
+      auto A = Sv.find(KV.first), B = Stab.find(KV.first);
+      double Fa = A == Sv.end() ? 0.0 : double(A->second) / Shots;
+      double Fb = B == Stab.end() ? 0.0 : double(B->second) / Shots;
+      Tv += std::abs(Fa - Fb);
+    }
+    Tv /= 2.0;
+    EXPECT_LT(Tv, 0.11) << "trial " << Trial;
+  }
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+; Asdf reproduction: QIR Unrestricted Profile
+%Qubit = type opaque
+%Result = type opaque
+%Array = type opaque
+%Callable = type opaque
+%Tuple = type opaque
+
+
+define %Array* @kernel() {
+entry:
+  %v0 = call %Qubit* @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(%Qubit* %v0)
+  %v1 = call %Qubit* @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(%Qubit* %v1)
+  %v2 = call %Qubit* @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(%Qubit* %v2)
+  %v3 = call %Qubit* @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(%Qubit* %v3)
+  %v4 = call %Qubit* @__quantum__rt__qubit_allocate()
+  %v5 = call %Qubit* @__quantum__rt__qubit_allocate()
+  %v6 = call %Qubit* @__quantum__rt__qubit_allocate()
+  %v7 = call %Qubit* @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__cx__body(%Qubit* %v1, %Qubit* %v5)
+  call void @__quantum__qis__cx__body(%Qubit* %v2, %Qubit* %v6)
+  call void @__quantum__qis__cx__body(%Qubit* %v3, %Qubit* %v7)
+  call void @__quantum__qis__swap__body(%Qubit* %v1, %Qubit* %v2)
+  call void @__quantum__qis__swap__body(%Qubit* %v0, %Qubit* %v3)
+  call void @__quantum__qis__h__body(%Qubit* %v3)
+  call void @__quantum__qis__rz__body(double -1.5708, %Qubit* %v3, %Qubit* %v2)
+  call void @__quantum__qis__h__body(%Qubit* %v2)
+  call void @__quantum__qis__rz__body(double -0.785398, %Qubit* %v3, %Qubit* %v1)
+  call void @__quantum__qis__rz__body(double -1.5708, %Qubit* %v2, %Qubit* %v1)
+  call void @__quantum__qis__h__body(%Qubit* %v1)
+  call void @__quantum__qis__rz__body(double -0.392699, %Qubit* %v3, %Qubit* %v0)
+  call void @__quantum__qis__rz__body(double -0.785398, %Qubit* %v2, %Qubit* %v0)
+  call void @__quantum__qis__rz__body(double -1.5708, %Qubit* %v1, %Qubit* %v0)
+  call void @__quantum__qis__h__body(%Qubit* %v0)
+  %v8 = call %Result* @__quantum__qis__m__body(%Qubit* %v0)
+  call void @__quantum__rt__qubit_release(%Qubit* %v0)
+  %v9 = call %Result* @__quantum__qis__m__body(%Qubit* %v1)
+  call void @__quantum__rt__qubit_release(%Qubit* %v1)
+  %v10 = call %Result* @__quantum__qis__m__body(%Qubit* %v2)
+  call void @__quantum__rt__qubit_release(%Qubit* %v2)
+  %v11 = call %Result* @__quantum__qis__m__body(%Qubit* %v3)
+  call void @__quantum__rt__qubit_release(%Qubit* %v3)
+  %v12 = call %Array* @__quantum__rt__array_create_1d(i64 4, %Result* %v8, %Result* %v9, %Result* %v10, %Result* %v11)
+  %v13 = call %Result* @__quantum__qis__m__body(%Qubit* %v4)
+  call void @__quantum__rt__qubit_release(%Qubit* %v4)
+  %v14 = call %Result* @__quantum__qis__m__body(%Qubit* %v5)
+  call void @__quantum__rt__qubit_release(%Qubit* %v5)
+  %v15 = call %Result* @__quantum__qis__m__body(%Qubit* %v6)
+  call void @__quantum__rt__qubit_release(%Qubit* %v6)
+  %v16 = call %Result* @__quantum__qis__m__body(%Qubit* %v7)
+  call void @__quantum__rt__qubit_release(%Qubit* %v7)
+  ret %Array* %v12
+}
+
+declare %Array* @__quantum__rt__array_create_1d(i64, %Result*, %Result*, %Result*, %Result*)
+declare %Qubit* @__quantum__rt__qubit_allocate()
+declare %Result* @__quantum__qis__m__body(%Qubit*)
+declare void @__quantum__qis__cx__body(%Qubit*, %Qubit*)
+declare void @__quantum__qis__h__body(%Qubit*)
+declare void @__quantum__qis__rz__body(double, %Qubit*, %Qubit*)
+declare void @__quantum__qis__swap__body(%Qubit*, %Qubit*)
+declare void @__quantum__rt__qubit_release(%Qubit*)

@@ -1,0 +1,41 @@
+; Asdf reproduction: QIR Unrestricted Profile
+%Qubit = type opaque
+%Result = type opaque
+%Array = type opaque
+%Callable = type opaque
+%Tuple = type opaque
+
+
+define %Array* @teleport(%Array* %v0) {
+entry:
+  %v1 = call %Qubit* @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(%Qubit* %v1)
+  %v2 = call %Qubit* @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__cx__body(%Qubit* %v1, %Qubit* %v2)
+  %v3 = call %Array* @__quantum__rt__array_create_1d(i64 1, %Qubit* %v2)
+  %v4 = call %Qubit* @__quantum__rt__array_get_element_ptr_1d(%Array* %v0, i64 0)
+  call void @__quantum__qis__cx__body(%Qubit* %v4, %Qubit* %v1)
+  call void @__quantum__qis__h__body(%Qubit* %v4)
+  %v5 = call %Result* @__quantum__qis__m__body(%Qubit* %v4)
+  call void @__quantum__rt__qubit_release(%Qubit* %v4)
+  %v6 = call %Result* @__quantum__qis__m__body(%Qubit* %v1)
+  call void @__quantum__rt__qubit_release(%Qubit* %v1)
+  ; if %v6 (structured control flow lowered to br in full LLVM)
+  call void @__quantum__qis__x__body(%Qubit* %v2)
+  %v7 = call %Array* @__quantum__rt__array_create_1d(i64 1, %Qubit* %v2)
+  ; if %v5 (structured control flow lowered to br in full LLVM)
+  %v8 = call %Qubit* @__quantum__rt__array_get_element_ptr_1d(%Array* %v7, i64 0)
+  call void @__quantum__qis__z__body(%Qubit* %v8)
+  %v9 = call %Array* @__quantum__rt__array_create_1d(i64 1, %Qubit* %v8)
+  ret %Array* %v9
+}
+
+declare %Array* @__quantum__rt__array_create_1d(i64, %Qubit*)
+declare %Qubit* @__quantum__rt__array_get_element_ptr_1d(%Array*, i64)
+declare %Qubit* @__quantum__rt__qubit_allocate()
+declare %Result* @__quantum__qis__m__body(%Qubit*)
+declare void @__quantum__qis__cx__body(%Qubit*, %Qubit*)
+declare void @__quantum__qis__h__body(%Qubit*)
+declare void @__quantum__qis__x__body(%Qubit*)
+declare void @__quantum__qis__z__body(%Qubit*)
+declare void @__quantum__rt__qubit_release(%Qubit*)
