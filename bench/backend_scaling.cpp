@@ -15,6 +15,10 @@
 /// Acceptance bar from the backend-subsystem issue: 500-qubit GHZ
 /// prepare-and-measure under one second on the stabilizer backend.
 ///
+/// Usage: backend_scaling [--smoke]   (--smoke trims the sweep to seconds
+/// for CI: small widths, fewer shots, outcome sanity instead of the
+/// timing bar)
+///
 //===----------------------------------------------------------------------===//
 
 #include "sim/CircuitAnalysis.h"
@@ -22,6 +26,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 using namespace asdf;
 
@@ -52,14 +57,17 @@ double secondsFor(const Circuit &C, unsigned Shots, BackendKind Kind) {
 
 } // namespace
 
-int main() {
-  const unsigned Shots = 64;
-  std::printf("=== Backend scaling: GHZ prepare-and-measure, %u shots ===\n\n",
-              Shots);
+int main(int argc, char **argv) {
+  bool Smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const unsigned Shots = Smoke ? 16 : 64;
+  std::printf("=== Backend scaling: GHZ prepare-and-measure, %u shots%s ===\n\n",
+              Shots, Smoke ? " (smoke)" : "");
 
   std::printf("--- statevector (dense amplitudes, 2^n) ---\n");
   std::printf("%8s %14s\n", "qubits", "seconds");
   for (unsigned N : {4, 8, 12, 16, 20, 22}) {
+    if (Smoke && N > 12)
+      continue;
     double Secs = secondsFor(ghz(N), Shots, BackendKind::Statevector);
     std::printf("%8u %14.4f\n", N, Secs);
   }
@@ -68,6 +76,8 @@ int main() {
   std::printf("%8s %14s\n", "qubits", "seconds");
   double At500 = 0.0;
   for (unsigned N : {4, 16, 64, 100, 250, 500, 1000, 2000}) {
+    if (Smoke && N > 100)
+      continue;
     double Secs = secondsFor(ghz(N), Shots, BackendKind::Stabilizer);
     if (N == 500)
       At500 = Secs / Shots; // single prepare-and-measure execution
@@ -81,6 +91,12 @@ int main() {
               BackendRegistry::instance()
                   .select(C, BackendKind::Auto)
                   .name());
+  if (Smoke) {
+    // The timing bar needs the full 500-qubit sweep; the smoke run has
+    // already proven every path (both engines, dispatch, GHZ sanity).
+    std::printf("500-qubit timing bar SKIPPED (smoke mode)\n");
+    return 0;
+  }
   std::printf("500-qubit GHZ single shot: %.4f s (target < 1 s): %s\n",
               At500, At500 < 1.0 ? "PASS" : "FAIL");
   return At500 < 1.0 ? 0 : 1;

@@ -21,6 +21,7 @@
 #include "codegen/QirEmitter.h"
 #include "compiler/Compiler.h"
 #include "estimate/ResourceEstimator.h"
+#include "noise/NoiseSpec.h"
 #include "sim/CircuitAnalysis.h"
 #include "sim/Simulator.h"
 
@@ -55,7 +56,15 @@ void usage() {
       "                          run (default 0 = one per hardware core;\n"
       "                          results are identical for any value)\n"
       "  --no-fuse               disable the gate-fusion pass of the dense\n"
-      "                          execution plan\n");
+      "                          execution plan\n"
+      "  --noise <file.ini>      noise model for --emit run (INI spec; see\n"
+      "                          README \"Noisy simulation\"). Pauli-only\n"
+      "                          models run on the stabilizer engine via\n"
+      "                          Pauli frames; general Kraus models run as\n"
+      "                          dense quantum trajectories\n"
+      "  --trajectories          print noise/trajectory diagnostics (model\n"
+      "                          summary, execution path, sampled error\n"
+      "                          branches) to stderr\n");
 }
 
 bool splitEq(const std::string &Arg, std::string &Key, std::string &Value) {
@@ -82,6 +91,10 @@ int main(int argc, char **argv) {
   RunOptions RunOpts;
   CompileOptions Opts;
   ProgramBindings Bindings;
+  NoiseModel Noise;
+  bool HasNoise = false;
+  bool Trajectories = false;
+  bool JobsExplicitZero = false;
 
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -132,8 +145,22 @@ int main(int argc, char **argv) {
       Seed = std::strtoull(Next(), nullptr, 0);
     } else if (Arg == "--jobs") {
       RunOpts.Jobs = std::atoi(Next());
+      JobsExplicitZero = RunOpts.Jobs == 0;
     } else if (Arg == "--no-fuse") {
       RunOpts.Fuse = false;
+    } else if (Arg == "--noise") {
+      std::string Error;
+      if (!loadNoiseSpec(Next(), Noise, Error)) {
+        std::fprintf(stderr, "noise spec: %s\n", Error.c_str());
+        return 1;
+      }
+      if (!Noise.validate(Error)) {
+        std::fprintf(stderr, "noise spec: %s\n", Error.c_str());
+        return 1;
+      }
+      HasNoise = true;
+    } else if (Arg == "--trajectories") {
+      Trajectories = true;
     } else if (Arg == "--backend") {
       std::string Name = Next();
       if (!parseBackendKind(Name, Backend)) {
@@ -203,9 +230,14 @@ int main(int argc, char **argv) {
     return 0;
   }
   if (Emit == "run") {
+    if (HasNoise && !Noise.empty())
+      RunOpts.Noise = &Noise;
+    NoiseStats Counters;
+    if (Trajectories && RunOpts.Noise)
+      RunOpts.NoiseCounters = &Counters;
     CircuitProfile Profile = analyzeCircuit(R.FlatCircuit);
-    SimBackend &B =
-        BackendRegistry::instance().select(R.FlatCircuit, Backend, &Profile);
+    SimBackend &B = BackendRegistry::instance().select(
+        R.FlatCircuit, Backend, &Profile, RunOpts.Noise);
     bool Supported = B.supports(R.FlatCircuit, Profile);
     bool IsSv = std::strcmp(B.name(), "sv") == 0;
     // Decide with the run's own options, computing the cap exactly once
@@ -236,10 +268,39 @@ int main(int argc, char **argv) {
       }
       return 1;
     }
+    if (RunOpts.Noise && !B.supportsNoise(*RunOpts.Noise)) {
+      std::fprintf(stderr,
+                   "backend '%s' cannot execute this noise model "
+                   "(non-Pauli channels need dense trajectories)\n",
+                   B.name());
+      std::fprintf(stderr, "note: --backend sv runs any Kraus model; the "
+                           "stabilizer engine needs a Pauli-only model\n");
+      return 1;
+    }
+    if (JobsExplicitZero)
+      std::fprintf(stderr,
+                   "jobs: 0 means one worker per hardware core; using %u\n",
+                   resolveJobCount(0, Shots));
     if (RunOpts.Fuse && IsSv) {
-      FusedCircuit Plan = fuseCircuit(R.FlatCircuit);
+      FusedCircuit Plan = fuseCircuit(R.FlatCircuit, RunOpts.Noise);
       if (Plan.GatesFused > 0)
         std::fprintf(stderr, "fusion: %s\n", Plan.summary().c_str());
+    }
+    if (Trajectories && RunOpts.Noise) {
+      NoisePlan Plan = planNoise(*RunOpts.Noise, R.FlatCircuit);
+      size_t Sites = 0;
+      for (const std::vector<NoiseOp> &Ops : Plan.PerInstr)
+        Sites += Ops.size();
+      const char *Path =
+          IsSv ? "statevector-trajectory"
+               : (Profile.HasFeedForward ? "tableau-monte-carlo"
+                                         : "pauli-frame");
+      std::fprintf(stderr, "noise: %s\n",
+                   RunOpts.Noise->summary().c_str());
+      std::fprintf(stderr,
+                   "noise: %zu insertion site(s) over %zu instruction(s); "
+                   "path: %s\n",
+                   Sites, R.FlatCircuit.Instrs.size(), Path);
     }
     for (const ShotResult &Shot :
          B.runBatch(R.FlatCircuit, Shots, Seed, RunOpts)) {
@@ -251,6 +312,15 @@ int main(int argc, char **argv) {
                                                               : '0');
       std::printf("%s\n", Out.c_str());
     }
+    if (Trajectories && RunOpts.NoiseCounters)
+      std::fprintf(
+          stderr,
+          "trajectories: %llu channel application(s), %llu error "
+          "branch(es), %llu readout flip(s) over %u shot(s)\n",
+          static_cast<unsigned long long>(Counters.ChannelApps.load()),
+          static_cast<unsigned long long>(Counters.ErrorBranches.load()),
+          static_cast<unsigned long long>(Counters.ReadoutFlips.load()),
+          Shots);
     return 0;
   }
   std::fprintf(stderr, "unknown emit target '%s'\n", Emit.c_str());

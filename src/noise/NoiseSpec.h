@@ -1,0 +1,59 @@
+//===- NoiseSpec.h - INI-style noise-model spec parser --------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The textual spec format behind `asdfc --noise model.ini`. A spec is a
+/// tiny INI dialect — sections attach channels to gate kinds, qubits, or
+/// readout; `#`/`;` start comments:
+///
+///   [gate:x]                  ; X and its controlled variants (CX,
+///   depolarizing = 0.01       ; Toffoli) — applied target-first
+///
+///   [gate:*]                  ; gates without their own section
+///   depolarizing = 0.001
+///
+///   [qubit:3]                 ; after every gate touching qubit 3
+///   amplitude_damping = 0.02
+///   phase_damping = 0.01      ; multiple lines compose in order
+///
+///   [readout]                 ; global readout error
+///   p0to1 = 0.01
+///   p1to0 = 0.03
+///
+///   [readout:5]               ; per-qubit override
+///   p0to1 = 0.08
+///
+/// Channel keys: depolarizing, bit_flip, phase_flip, amplitude_damping,
+/// phase_damping — each takes one probability/rate in [0, 1]. Gate names
+/// are the lower-case gateKindName spellings (x, y, z, h, s, sdg, t, tdg,
+/// p, rx, ry, rz, swap) or `*` for the default slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_NOISE_NOISESPEC_H
+#define ASDF_NOISE_NOISESPEC_H
+
+#include "noise/NoiseModel.h"
+
+#include <string>
+
+namespace asdf {
+
+/// Parses \p Text into \p M (appending to whatever the model already
+/// holds). On failure returns false and fills \p Error with a
+/// "line N: ..." message; \p M may then be partially filled and should be
+/// discarded.
+bool parseNoiseSpec(const std::string &Text, NoiseModel &M,
+                    std::string &Error);
+
+/// Reads and parses the spec file at \p Path. False on I/O or parse
+/// errors, with \p Error explaining which.
+bool loadNoiseSpec(const std::string &Path, NoiseModel &M,
+                   std::string &Error);
+
+} // namespace asdf
+
+#endif // ASDF_NOISE_NOISESPEC_H

@@ -1,0 +1,238 @@
+//===- PauliFrame.cpp - Pauli-frame sampling for noisy Clifford circuits --===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "noise/PauliFrame.h"
+
+#include "sim/CircuitAnalysis.h"
+#include "sim/StabilizerBackend.h"
+
+#include <cassert>
+
+using namespace asdf;
+
+namespace {
+
+std::mt19937_64 shotRng(uint64_t Seed) {
+  // The engines' shared seeding convention (StatevectorBackend,
+  // StabilizerBackend): every path that consumes per-shot randomness uses
+  // the same generator family.
+  return std::mt19937_64(Seed * 0x9E3779B97F4A7C15ull + 0xDEADBEEF);
+}
+
+/// One Pauli frame: x and z bit per qubit, packed 64 per word. Phases are
+/// irrelevant — only measurement flips (x bits) are ever observed.
+struct Frame {
+  std::vector<uint64_t> X, Z;
+
+  explicit Frame(unsigned Words) : X(Words, 0), Z(Words, 0) {}
+
+  bool x(unsigned Q) const { return (X[Q >> 6] >> (Q & 63)) & 1; }
+  bool z(unsigned Q) const { return (Z[Q >> 6] >> (Q & 63)) & 1; }
+  void flipX(unsigned Q) { X[Q >> 6] ^= uint64_t(1) << (Q & 63); }
+  void flipZ(unsigned Q) { Z[Q >> 6] ^= uint64_t(1) << (Q & 63); }
+  void clear(unsigned Q) {
+    uint64_t Mask = ~(uint64_t(1) << (Q & 63));
+    X[Q >> 6] &= Mask;
+    Z[Q >> 6] &= Mask;
+  }
+  void mulIn(const std::vector<uint64_t> &Ax, const std::vector<uint64_t> &Az) {
+    for (size_t W = 0; W < X.size(); ++W) {
+      X[W] ^= Ax[W];
+      Z[W] ^= Az[W];
+    }
+  }
+
+  // Clifford conjugations of the frame, O(1) bit operations each.
+  void h(unsigned Q) {
+    bool Xb = x(Q), Zb = z(Q);
+    if (Xb != Zb) {
+      flipX(Q);
+      flipZ(Q);
+    }
+  }
+  void s(unsigned Q) { // Sdg conjugates frames identically (phase-free).
+    if (x(Q))
+      flipZ(Q);
+  }
+  void cx(unsigned Ctl, unsigned Tgt) {
+    if (Ctl == Tgt)
+      return; // Degenerate no-op, matching the engines.
+    if (x(Ctl))
+      flipX(Tgt);
+    if (z(Tgt))
+      flipZ(Ctl);
+  }
+  void cz(unsigned A, unsigned B) {
+    if (A == B)
+      return;
+    if (x(A))
+      flipZ(B);
+    if (x(B))
+      flipZ(A);
+  }
+  void cy(unsigned Ctl, unsigned Tgt) { // CY = S_t CX S_t^dagger.
+    s(Tgt);
+    cx(Ctl, Tgt);
+    s(Tgt);
+  }
+  void swapQubits(unsigned A, unsigned B) {
+    if (A == B)
+      return;
+    bool Xa = x(A), Za = z(A), Xb = x(B), Zb = z(B);
+    if (Xa != Xb) {
+      flipX(A);
+      flipX(B);
+    }
+    if (Za != Zb) {
+      flipZ(A);
+      flipZ(B);
+    }
+  }
+};
+
+/// Conjugates the frame through one (validated Clifford) gate, mirroring
+/// applyCliffordInstr's gate set. Uncontrolled Paulis commute with every
+/// Pauli up to phase: no-ops on the frame.
+void propagate(Frame &F, const CircuitInstr &I) {
+  unsigned Tgt = I.Targets.empty() ? 0 : I.Targets[0];
+  bool Controlled = !I.Controls.empty();
+  unsigned Ctl = Controlled ? I.Controls[0] : 0;
+  unsigned Quarters = 0;
+  switch (I.Gate) {
+  case GateKind::X:
+    if (Controlled)
+      F.cx(Ctl, Tgt);
+    return;
+  case GateKind::Y:
+    if (Controlled)
+      F.cy(Ctl, Tgt);
+    return;
+  case GateKind::Z:
+    if (Controlled)
+      F.cz(Ctl, Tgt);
+    return;
+  case GateKind::H:
+    F.h(Tgt);
+    return;
+  case GateKind::S:
+  case GateKind::Sdg:
+    F.s(Tgt);
+    return;
+  case GateKind::Swap:
+    F.swapQubits(I.Targets[0], I.Targets[1]);
+    return;
+  case GateKind::P:
+  case GateKind::RZ: {
+    bool Ok = quarterTurns(I.Param, Quarters);
+    assert(Ok && "non-Clifford phase reached the frame sampler");
+    (void)Ok;
+    if (Quarters == 0)
+      return;
+    if (Quarters == 2) {
+      if (Controlled)
+        F.cz(Ctl, Tgt);
+      return; // Uncontrolled Z: frame no-op.
+    }
+    F.s(Tgt); // S and Sdg conjugate identically.
+    return;
+  }
+  case GateKind::T:
+  case GateKind::Tdg:
+  case GateKind::RX:
+  case GateKind::RY:
+    break;
+  }
+  assert(false && "non-Clifford gate reached the frame sampler");
+}
+
+} // namespace
+
+FrameReference::FrameReference(const Circuit &Circ, uint64_t Seed)
+    : C(&Circ), Words((Circ.NumQubits + 63) / 64) {
+  if (Words == 0)
+    Words = 1;
+  Tableau T(Circ.NumQubits);
+  // The reference stream must never collide with a shot's stream (shots
+  // use deriveShotSeed(Seed, S) for S < Shots): park it at index 2^64-1.
+  std::mt19937_64 Rng = shotRng(deriveShotSeed(Seed, ~uint64_t(0)));
+  for (const CircuitInstr &I : Circ.Instrs) {
+    assert(I.CondBit < 0 && "frame sampling cannot replay feed-forward");
+    switch (I.TheKind) {
+    case CircuitInstr::Kind::Gate:
+      applyCliffordInstr(T, I);
+      break;
+    case CircuitInstr::Kind::Measure:
+    case CircuitInstr::Kind::Reset: {
+      MeasureRecord Rec;
+      bool Outcome = T.measure(I.Targets[0], Rng, &Rec);
+      if (I.TheKind == CircuitInstr::Kind::Reset && Outcome)
+        T.x(I.Targets[0]);
+      Event E;
+      E.Random = Rec.Random;
+      E.RefOutcome = Outcome;
+      E.AntiX = std::move(Rec.AntiX);
+      E.AntiZ = std::move(Rec.AntiZ);
+      Events.push_back(std::move(E));
+      break;
+    }
+    }
+  }
+}
+
+ShotResult FrameReference::sampleShot(const NoiseModel &Model,
+                                      const PauliNoisePlan &Plan,
+                                      uint64_t ShotSeed,
+                                      NoiseStats *Stats) const {
+  std::mt19937_64 Rng = shotRng(ShotSeed);
+  Frame F(Words);
+  ShotResult R;
+  R.Bits.assign(C->NumBits, false);
+  size_t EventIdx = 0;
+  for (size_t Idx = 0; Idx < C->Instrs.size(); ++Idx) {
+    const CircuitInstr &I = C->Instrs[Idx];
+    switch (I.TheKind) {
+    case CircuitInstr::Kind::Gate: {
+      propagate(F, I);
+      for (const PauliNoiseOp &Op : Plan.PerInstr[Idx]) {
+        unsigned P = samplePauli(Op, Rng);
+        if (P == 1 || P == 2)
+          F.flipX(Op.Qubit);
+        if (P == 2 || P == 3)
+          F.flipZ(Op.Qubit);
+        if (Stats) {
+          Stats->ChannelApps.fetch_add(1, std::memory_order_relaxed);
+          if (P != 0)
+            Stats->ErrorBranches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      break;
+    }
+    case CircuitInstr::Kind::Measure:
+    case CircuitInstr::Kind::Reset: {
+      const Event &E = Events[EventIdx++];
+      // A random collapse in the reference is fresh randomness per shot:
+      // flipping a fair coin on the recorded anticommuting stabilizer
+      // moves this shot onto the other collapse branch — jointly flipping
+      // every outcome that branch choice touches.
+      if (E.Random && (Rng() & 1))
+        F.mulIn(E.AntiX, E.AntiZ);
+      unsigned Q = I.Targets[0];
+      if (I.TheKind == CircuitInstr::Kind::Measure) {
+        bool Outcome = E.RefOutcome ^ F.x(Q);
+        Outcome =
+            applyReadoutError(Model.readoutFor(Q), Outcome, Rng, Stats);
+        R.Bits[static_cast<unsigned>(I.Cbit)] = Outcome;
+      } else {
+        // Reset forces |0> for every shot: the frame on Q dies with the
+        // discarded state.
+        F.clear(Q);
+      }
+      break;
+    }
+    }
+  }
+  return R;
+}

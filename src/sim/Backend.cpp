@@ -6,6 +6,7 @@
 
 #include "sim/Backend.h"
 
+#include "noise/NoiseModel.h"
 #include "sim/CircuitAnalysis.h"
 #include "sim/StabilizerBackend.h"
 #include "sim/StatevectorBackend.h"
@@ -120,12 +121,23 @@ void asdf::parallelShotLoop(unsigned Jobs, unsigned Shots,
     std::rethrow_exception(FirstError);
 }
 
+ShotResult SimBackend::runNoisy(const Circuit &C, uint64_t Seed,
+                                const NoiseModel &, NoiseStats *) const {
+  return run(C, Seed);
+}
+
+bool SimBackend::supportsNoise(const NoiseModel &) const { return false; }
+
 std::vector<ShotResult> SimBackend::runBatch(const Circuit &C, unsigned Shots,
                                              uint64_t Seed,
                                              const RunOptions &Opts) const {
+  const NoiseModel *Noise =
+      Opts.Noise && !Opts.Noise->empty() ? Opts.Noise : nullptr;
   std::vector<ShotResult> Results(Shots);
   parallelShotLoop(resolveJobCount(Opts.Jobs, Shots), Shots, [&](unsigned S) {
-    Results[S] = run(C, deriveShotSeed(Seed, S));
+    Results[S] = Noise ? runNoisy(C, deriveShotSeed(Seed, S), *Noise,
+                                  Opts.NoiseCounters)
+                       : run(C, deriveShotSeed(Seed, S));
   });
   return Results;
 }
@@ -166,7 +178,8 @@ SimBackend *BackendRegistry::lookup(const std::string &Name) const {
 }
 
 SimBackend &BackendRegistry::select(const Circuit &C, BackendKind Kind,
-                                    const CircuitProfile *Profile) const {
+                                    const CircuitProfile *Profile,
+                                    const NoiseModel *Noise) const {
   SimBackend *Sv = lookup("sv");
   SimBackend *Stab = lookup("stab");
   assert(Sv && Stab && "built-in backends missing");
@@ -180,8 +193,12 @@ SimBackend &BackendRegistry::select(const Circuit &C, BackendKind Kind,
   }
   CircuitProfile P = Profile ? *Profile : analyzeCircuit(C);
   // Tableau updates are polynomial where dense amplitudes are exponential:
-  // take the stabilizer engine whenever it is exact for this circuit.
-  if (Stab->supports(C, P))
+  // take the stabilizer engine whenever it is exact for this circuit and
+  // for the noise model (Pauli-only; general Kraus channels need dense
+  // trajectories).
+  if (Noise && Noise->empty())
+    Noise = nullptr;
+  if (Stab->supports(C, P) && (!Noise || Stab->supportsNoise(*Noise)))
     return *Stab;
   return *Sv;
 }

@@ -39,6 +39,8 @@
 namespace asdf {
 
 struct CircuitProfile;
+class NoiseModel;
+struct NoiseStats;
 
 /// Which backend `simulate`/`runShots` should use.
 enum class BackendKind {
@@ -75,6 +77,16 @@ struct RunOptions {
   /// runBatch itself — a forced backend runs whatever it is handed, per
   /// the BackendRegistry::select contract.
   unsigned MaxStateQubits = 0;
+  /// Noise model for the run (noise/NoiseModel.h); null or empty means
+  /// ideal execution. Non-owning — the model must outlive the run. Noisy
+  /// shots keep the determinism contract: shot S samples all noise from
+  /// the deriveShotSeed(Seed, S) stream, so per-shot bits are still
+  /// independent of Jobs and Fuse. Callers must route the model only to a
+  /// backend whose supportsNoise accepts it (auto-dispatch does).
+  const NoiseModel *Noise = nullptr;
+  /// Optional cross-thread diagnostics counters for the noisy run (asdfc
+  /// --trajectories). Non-owning.
+  NoiseStats *NoiseCounters = nullptr;
 };
 
 /// Resolves RunOptions::Jobs against the machine and the shot count: 0
@@ -120,6 +132,19 @@ public:
   /// safe to call concurrently (the shot-parallel runner does).
   virtual ShotResult run(const Circuit &C, uint64_t Seed) const = 0;
 
+  /// Executes one noisy trajectory of \p C (quantum-trajectory Kraus
+  /// sampling on the dense engine, Pauli injection on the tableau). The
+  /// base implementation ignores \p Noise and runs ideally — callers must
+  /// check supportsNoise first; the registry's auto-dispatch does.
+  virtual ShotResult runNoisy(const Circuit &C, uint64_t Seed,
+                              const NoiseModel &Noise,
+                              NoiseStats *Stats = nullptr) const;
+
+  /// True if this backend executes \p Noise exactly (the dense engine
+  /// takes any Kraus model, the tableau only Pauli-only models). The base
+  /// implementation refuses every model.
+  virtual bool supportsNoise(const NoiseModel &Noise) const;
+
   /// Executes \p C \p Shots times, returning outcomes in shot order; shot
   /// S uses seed deriveShotSeed(\p Seed, S), so the result is independent
   /// of \p Opts (jobs, fusion) up to floating-point rounding of fused
@@ -154,12 +179,15 @@ public:
 
   /// Resolves \p Kind for \p C. Auto prefers the stabilizer engine whenever
   /// it supports the circuit (tableau updates are polynomial where dense
-  /// amplitudes are exponential); otherwise the dense engine. A forced kind
-  /// returns that backend even if it does not support \p C — callers that
-  /// care check supports() first. Pass \p Profile if the circuit is already
-  /// analyzed; otherwise Auto analyzes it internally.
+  /// amplitudes are exponential) AND can execute \p Noise (Pauli-only
+  /// models; null means ideal); otherwise the dense engine. A forced kind
+  /// returns that backend even if it does not support \p C or \p Noise —
+  /// callers that care check supports()/supportsNoise() first. Pass
+  /// \p Profile if the circuit is already analyzed; otherwise Auto
+  /// analyzes it internally.
   SimBackend &select(const Circuit &C, BackendKind Kind,
-                     const CircuitProfile *Profile = nullptr) const;
+                     const CircuitProfile *Profile = nullptr,
+                     const NoiseModel *Noise = nullptr) const;
 
   /// Registered backend names, registration order.
   std::vector<std::string> names() const;

@@ -6,6 +6,8 @@
 
 #include "sim/Fusion.h"
 
+#include "noise/NoiseModel.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -102,7 +104,11 @@ std::string FusedCircuit::summary() const {
          std::to_string(SweepsCoalesced) + " sweep entries coalesced)";
 }
 
-FusedCircuit asdf::fuseCircuit(const Circuit &C) {
+bool asdf::isFusionBarrier(const CircuitInstr &I) {
+  return I.TheKind != CircuitInstr::Kind::Gate || I.CondBit >= 0;
+}
+
+FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise) {
   FusedCircuit FC;
   FC.Source = &C;
   const unsigned N = C.NumQubits;
@@ -170,7 +176,7 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C) {
     // Measurement, reset, and feed-forward are full barriers: randomness
     // and classical control must see exactly the state the unfused program
     // would have at this point. They also close the shared prefix.
-    if (I.TheKind != CircuitInstr::Kind::Gate || I.CondBit >= 0) {
+    if (isFusionBarrier(I)) {
       flushAll();
       if (PrefixOpen) {
         FC.UnconditionalPrefixOps = FC.Ops.size();
@@ -183,6 +189,20 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C) {
     }
 
     ++FC.GatesIn;
+
+    // Channel barrier: trajectory sampling right after a noisy gate must
+    // see the exact unfused state in program order, and it consumes
+    // per-shot randomness — so the gate passes through unfused and closes
+    // the shared prefix.
+    if (Noise && Noise->affectsGate(I)) {
+      flushAll();
+      if (PrefixOpen) {
+        FC.UnconditionalPrefixOps = FC.Ops.size();
+        PrefixOpen = false;
+      }
+      emitInstr(Idx);
+      continue;
+    }
 
     if (I.Gate == GateKind::Swap) {
       for (unsigned T : I.Targets)

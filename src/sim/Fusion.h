@@ -44,6 +44,8 @@
 
 namespace asdf {
 
+class NoiseModel;
+
 /// One 2x2 complex matrix (row-major), the currency of single-qubit fusion.
 struct Mat2 {
   std::complex<double> M[2][2];
@@ -108,9 +110,20 @@ struct FusedCircuit {
   std::string summary() const;
 };
 
+/// True if \p I is a full fusion barrier: measurement, reset, and
+/// feed-forward must see exactly the state (and consume exactly the
+/// randomness) the unfused program would have at that point. Reusable by
+/// anything that must not reorder across these points — the noise
+/// subsystem's insertion planning uses it too.
+bool isFusionBarrier(const CircuitInstr &I);
+
 /// Builds the fused execution plan for \p C. Never fails; a circuit with
-/// nothing to fuse comes back as pure pass-through ops.
-FusedCircuit fuseCircuit(const Circuit &C);
+/// nothing to fuse comes back as pure pass-through ops. A non-null
+/// \p Noise adds channel barriers: a gate with noise attached passes
+/// through unfused (trajectory sampling right after it must see the exact
+/// unfused state, in program order) and closes the shared unconditional
+/// prefix, since it consumes per-shot randomness.
+FusedCircuit fuseCircuit(const Circuit &C, const NoiseModel *Noise = nullptr);
 
 } // namespace asdf
 

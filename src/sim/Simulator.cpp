@@ -7,6 +7,7 @@
 #include "sim/Simulator.h"
 
 #include <cassert>
+#include <cmath>
 
 using namespace asdf;
 
@@ -19,8 +20,27 @@ std::map<std::string, unsigned> asdf::runShots(const Circuit &C,
                                                unsigned Shots, uint64_t Seed,
                                                BackendKind Backend,
                                                const RunOptions &Opts) {
-  return BackendRegistry::instance().select(C, Backend).runShots(C, Shots,
-                                                                 Seed, Opts);
+  return BackendRegistry::instance()
+      .select(C, Backend, nullptr, Opts.Noise)
+      .runShots(C, Shots, Seed, Opts);
+}
+
+double asdf::tvDistance(const std::map<std::string, unsigned> &A,
+                        const std::map<std::string, unsigned> &B,
+                        unsigned Shots) {
+  std::map<std::string, char> Union;
+  for (const auto &KV : A)
+    Union[KV.first] = 0;
+  for (const auto &KV : B)
+    Union[KV.first] = 0;
+  double Tv = 0.0;
+  for (const auto &KV : Union) {
+    auto Ia = A.find(KV.first), Ib = B.find(KV.first);
+    double Fa = Ia == A.end() ? 0.0 : double(Ia->second) / Shots;
+    double Fb = Ib == B.end() ? 0.0 : double(Ib->second) / Shots;
+    Tv += std::abs(Fa - Fb);
+  }
+  return Tv / 2.0;
 }
 
 std::vector<std::vector<Amplitude>> asdf::circuitUnitary(const Circuit &C) {

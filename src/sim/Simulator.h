@@ -49,6 +49,13 @@ runShots(const Circuit &C, unsigned Shots, uint64_t Seed = 0,
          BackendKind Backend = BackendKind::Auto,
          const RunOptions &Opts = RunOptions());
 
+/// Total-variation distance between two outcome-frequency maps (as
+/// returned by runShots), each over \p Shots samples: half the L1
+/// distance of the empirical distributions, in [0, 1]. The common currency
+/// of the cross-engine distribution parity checks in tests and benches.
+double tvDistance(const std::map<std::string, unsigned> &A,
+                  const std::map<std::string, unsigned> &B, unsigned Shots);
+
 /// Computes the full unitary of a measurement-free circuit by simulating
 /// every basis input. Requires C.NumQubits <= 10. Column k is U|k>.
 std::vector<std::vector<Amplitude>> circuitUnitary(const Circuit &C);

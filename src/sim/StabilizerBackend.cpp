@@ -6,6 +6,8 @@
 
 #include "sim/StabilizerBackend.h"
 
+#include "noise/NoiseModel.h"
+#include "noise/PauliFrame.h"
 #include "sim/CircuitAnalysis.h"
 
 #include <cassert>
@@ -207,10 +209,13 @@ bool Tableau::isDeterministic(unsigned Q, bool &Outcome) const {
   return true;
 }
 
-bool Tableau::measure(unsigned Q, std::mt19937_64 &Rng) {
+bool Tableau::measure(unsigned Q, std::mt19937_64 &Rng, MeasureRecord *Rec) {
   bool Outcome;
-  if (isDeterministic(Q, Outcome))
+  if (isDeterministic(Q, Outcome)) {
+    if (Rec)
+      Rec->Random = false;
     return Outcome;
+  }
 
   // Random outcome: some stabilizer generator P anticommutes with Z_Q.
   // Every other generator anticommuting with Z_Q is repaired by
@@ -219,6 +224,13 @@ bool Tableau::measure(unsigned Q, std::mt19937_64 &Rng) {
   unsigned P = N;
   while (!xBit(P, Q))
     ++P;
+  if (Rec) {
+    // Row P is the Pauli mapping one collapse branch's post-measurement
+    // state onto the other's: exactly what the frame sampler replays.
+    Rec->Random = true;
+    Rec->AntiX.assign(xRow(P), xRow(P) + Words);
+    Rec->AntiZ.assign(zRow(P), zRow(P) + Words);
+  }
   for (unsigned I = 0; I < 2 * N; ++I)
     if (I != P && xBit(I, Q))
       rowMult(I, P);
@@ -243,10 +255,7 @@ bool StabilizerBackend::supports(const Circuit &,
   return P.CliffordOnly;
 }
 
-namespace {
-
-/// Applies one (already validated Clifford) gate instruction to \p T.
-void applyClifford(Tableau &T, const CircuitInstr &I) {
+void asdf::applyCliffordInstr(Tableau &T, const CircuitInstr &I) {
   unsigned Tgt = I.Targets.empty() ? 0 : I.Targets[0];
   bool Controlled = !I.Controls.empty();
   unsigned Ctl = Controlled ? I.Controls[0] : 0;
@@ -303,28 +312,111 @@ void applyClifford(Tableau &T, const CircuitInstr &I) {
   assert(false && "non-Clifford gate reached the tableau engine");
 }
 
-} // namespace
+namespace {
 
-ShotResult StabilizerBackend::run(const Circuit &C, uint64_t Seed) const {
+/// One tableau execution of \p C, optionally a noisy one: with \p Plan,
+/// every executed gate is followed by sampled Paulis (O(n) sign updates
+/// each) and every measurement by readout error on the recorded bit.
+/// Shared by run() and the Monte-Carlo noisy path so semantics can never
+/// diverge.
+ShotResult runTableau(const Circuit &C, uint64_t Seed,
+                      const PauliNoisePlan *Plan, const NoiseModel *Noise,
+                      NoiseStats *Stats) {
   Tableau T(C.NumQubits);
   std::mt19937_64 Rng(Seed * 0x9E3779B97F4A7C15ull + 0xDEADBEEF);
   ShotResult R;
   R.Bits.assign(C.NumBits, false);
-  for (const CircuitInstr &I : C.Instrs) {
+  for (size_t Idx = 0; Idx < C.Instrs.size(); ++Idx) {
+    const CircuitInstr &I = C.Instrs[Idx];
     if (I.CondBit >= 0 &&
         R.Bits[static_cast<unsigned>(I.CondBit)] != I.CondVal)
       continue;
     switch (I.TheKind) {
     case CircuitInstr::Kind::Gate:
-      applyClifford(T, I);
+      applyCliffordInstr(T, I);
+      if (Plan)
+        for (const PauliNoiseOp &Op : Plan->PerInstr[Idx]) {
+          unsigned P = samplePauli(Op, Rng);
+          if (P == 1)
+            T.x(Op.Qubit);
+          else if (P == 2)
+            T.y(Op.Qubit);
+          else if (P == 3)
+            T.z(Op.Qubit);
+          if (Stats) {
+            Stats->ChannelApps.fetch_add(1, std::memory_order_relaxed);
+            if (P != 0)
+              Stats->ErrorBranches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
       break;
-    case CircuitInstr::Kind::Measure:
-      R.Bits[static_cast<unsigned>(I.Cbit)] = T.measure(I.Targets[0], Rng);
+    case CircuitInstr::Kind::Measure: {
+      bool Outcome = T.measure(I.Targets[0], Rng);
+      if (Noise)
+        Outcome = applyReadoutError(Noise->readoutFor(I.Targets[0]), Outcome,
+                                    Rng, Stats);
+      R.Bits[static_cast<unsigned>(I.Cbit)] = Outcome;
       break;
+    }
     case CircuitInstr::Kind::Reset:
       T.reset(I.Targets[0], Rng);
       break;
     }
   }
   return R;
+}
+
+} // namespace
+
+ShotResult StabilizerBackend::run(const Circuit &C, uint64_t Seed) const {
+  return runTableau(C, Seed, nullptr, nullptr, nullptr);
+}
+
+bool StabilizerBackend::supportsNoise(const NoiseModel &Noise) const {
+  return Noise.isPauliOnly();
+}
+
+ShotResult StabilizerBackend::runNoisy(const Circuit &C, uint64_t Seed,
+                                       const NoiseModel &Noise,
+                                       NoiseStats *Stats) const {
+  assert(Noise.isPauliOnly() &&
+         "non-Pauli noise model reached the tableau engine");
+  PauliNoisePlan Plan = planPauliNoise(Noise, C);
+  return runTableau(C, Seed, &Plan, &Noise, Stats);
+}
+
+std::vector<ShotResult>
+StabilizerBackend::runBatch(const Circuit &C, unsigned Shots, uint64_t Seed,
+                            const RunOptions &Opts) const {
+  const NoiseModel *Noise =
+      Opts.Noise && !Opts.Noise->empty() ? Opts.Noise : nullptr;
+  if (!Noise)
+    return SimBackend::runBatch(C, Shots, Seed, Opts);
+  assert(Noise->isPauliOnly() &&
+         "non-Pauli noise model reached the tableau engine");
+
+  PauliNoisePlan Plan = planPauliNoise(*Noise, C);
+  std::vector<ShotResult> Results(Shots);
+  CircuitProfile P = analyzeCircuit(C);
+  if (!P.HasFeedForward) {
+    // Pauli-frame fast path: one ideal tableau reference, then O(gates)
+    // bit operations per shot. Shot S still samples everything from the
+    // deriveShotSeed(Seed, S) stream, so results are jobs-invariant.
+    FrameReference Ref(C, Seed);
+    parallelShotLoop(resolveJobCount(Opts.Jobs, Shots), Shots,
+                     [&](unsigned S) {
+                       Results[S] = Ref.sampleShot(*Noise, Plan,
+                                                   deriveShotSeed(Seed, S),
+                                                   Opts.NoiseCounters);
+                     });
+    return Results;
+  }
+  // Feed-forward: the instruction sequence itself depends on per-shot
+  // bits, which frames cannot replay — fall back to independent noisy
+  // tableau runs (still polynomial).
+  parallelShotLoop(resolveJobCount(Opts.Jobs, Shots), Shots, [&](unsigned S) {
+    Results[S] = runTableau(C, deriveShotSeed(Seed, S), &Plan, Noise,
+                            Opts.NoiseCounters);
+  });
+  return Results;
 }

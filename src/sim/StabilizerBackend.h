@@ -29,6 +29,21 @@
 
 namespace asdf {
 
+class NoiseModel;
+struct NoiseStats;
+struct PauliNoisePlan;
+
+/// What one measurement did, recorded for the Pauli-frame sampler
+/// (noise/PauliFrame.h): whether the outcome was random and, if so, the
+/// stabilizer that anticommuted with the measured Z — the Pauli that maps
+/// the post-measurement state of one outcome onto the other's.
+struct MeasureRecord {
+  bool Random = false;
+  /// The anticommuting stabilizer, packed 64 qubits per word (random
+  /// outcomes only; sign omitted — frames track Paulis up to phase).
+  std::vector<uint64_t> AntiX, AntiZ;
+};
+
 /// The destabilizer/stabilizer tableau of an n-qubit stabilizer state,
 /// starting at |0...0>.
 class Tableau {
@@ -53,8 +68,9 @@ public:
 
   /// Measures qubit \p Q in the computational basis, collapsing the state.
   /// \p Rng decides random outcomes (when some stabilizer anticommutes with
-  /// Z_Q); deterministic outcomes consume no randomness.
-  bool measure(unsigned Q, std::mt19937_64 &Rng);
+  /// Z_Q); deterministic outcomes consume no randomness. \p Rec, if given,
+  /// receives what the frame sampler needs to replay this collapse.
+  bool measure(unsigned Q, std::mt19937_64 &Rng, MeasureRecord *Rec = nullptr);
 
   /// True if measuring \p Q would give a deterministic outcome; sets
   /// \p Outcome without collapsing anything.
@@ -92,13 +108,37 @@ private:
 
 /// The tableau engine as a SimBackend ("stab"). Supports Clifford circuits
 /// — gates classified by isCliffordInstr — with measurement, reset, and
-/// classical feed-forward, at any width.
+/// classical feed-forward, at any width. Noise models must be Pauli-only;
+/// they run through two polynomial paths:
+///
+///   - no feed-forward: the ideal circuit runs once as a tableau reference
+///     and every shot propagates a sampled Pauli frame through it
+///     (noise/PauliFrame.h) — O(gates) bit operations per shot;
+///   - feed-forward: each shot is an independent tableau run with sampled
+///     Paulis injected after noisy gates (O(n) sign updates each).
 class StabilizerBackend : public SimBackend {
 public:
   const char *name() const override { return "stab"; }
   bool supports(const Circuit &C, const CircuitProfile &P) const override;
   ShotResult run(const Circuit &C, uint64_t Seed) const override;
+  /// Pauli-only models only (supportsNoise); the tableau Monte-Carlo path.
+  ShotResult runNoisy(const Circuit &C, uint64_t Seed,
+                      const NoiseModel &Noise,
+                      NoiseStats *Stats = nullptr) const override;
+  /// Dispatches noisy batches onto the Pauli-frame fast path (Clifford, no
+  /// feed-forward) or the per-shot tableau Monte-Carlo path.
+  std::vector<ShotResult> runBatch(const Circuit &C, unsigned Shots,
+                                   uint64_t Seed,
+                                   const RunOptions &Opts) const override;
+  using SimBackend::runBatch;
+  /// True exactly for Pauli-only models.
+  bool supportsNoise(const NoiseModel &Noise) const override;
 };
+
+/// Applies one (already validated Clifford) gate instruction to \p T.
+/// Shared by the backend's execution loops and the Pauli-frame reference
+/// run (noise/PauliFrame.cpp), so gate semantics can never diverge.
+void applyCliffordInstr(Tableau &T, const CircuitInstr &I);
 
 } // namespace asdf
 

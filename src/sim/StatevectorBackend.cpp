@@ -6,6 +6,7 @@
 
 #include "sim/StatevectorBackend.h"
 
+#include "noise/NoiseModel.h"
 #include "sim/CircuitAnalysis.h"
 
 #include <cassert>
@@ -206,6 +207,66 @@ void StateVector::applyDiagSweep(const std::vector<DiagEntry> &Entries) {
   }
 }
 
+void StateVector::applyChannel(unsigned Q, const KrausChannel &Ch,
+                               std::mt19937_64 &Rng, NoiseStats *Stats) {
+  // One pass accumulates every branch's probability ||K_k |psi>||^2 —
+  // trace preservation (checked at model load) makes them sum to one.
+  size_t NumOps = Ch.Ops.size();
+  double P[8];
+  std::vector<double> PBig;
+  double *Probs = P;
+  if (NumOps > 8) {
+    PBig.assign(NumOps, 0.0);
+    Probs = PBig.data();
+  } else {
+    std::fill(P, P + NumOps, 0.0);
+  }
+  uint64_t Bit = qubitBit(Q);
+  for (uint64_t Idx = 0; Idx < Amp.size(); ++Idx) {
+    if (Idx & Bit)
+      continue;
+    Amplitude A0 = Amp[Idx], A1 = Amp[Idx | Bit];
+    for (size_t K = 0; K < NumOps; ++K) {
+      const Mat2 &M = Ch.Ops[K];
+      Probs[K] += std::norm(M.M[0][0] * A0 + M.M[0][1] * A1) +
+                  std::norm(M.M[1][0] * A0 + M.M[1][1] * A1);
+    }
+  }
+  double Total = 0.0;
+  for (size_t K = 0; K < NumOps; ++K)
+    Total += Probs[K];
+  // Exactly one uniform draw per application, scaled into the realized
+  // total so floating-point drift can never leave the draw unclaimed.
+  std::uniform_real_distribution<double> Dist(0.0, 1.0);
+  double U = Dist(Rng) * Total;
+  size_t Pick = 0;
+  bool Found = false;
+  double Cum = 0.0;
+  for (size_t K = 0; K < NumOps; ++K) {
+    if (Probs[K] <= 0.0)
+      continue; // A dead branch (zero operator, or annihilated state).
+    Pick = K;   // Last live branch absorbs any rounding remainder.
+    Found = true;
+    Cum += Probs[K];
+    if (U < Cum)
+      break;
+  }
+  assert(Found && "channel annihilated the state");
+  if (!Found)
+    return;
+  if (Stats) {
+    Stats->ChannelApps.fetch_add(1, std::memory_order_relaxed);
+    if (Pick != 0)
+      Stats->ErrorBranches.fetch_add(1, std::memory_order_relaxed);
+  }
+  double Norm = 1.0 / std::sqrt(Probs[Pick]);
+  Mat2 U2 = Ch.Ops[Pick];
+  for (int I = 0; I < 2; ++I)
+    for (int J = 0; J < 2; ++J)
+      U2.M[I][J] *= Norm;
+  applyMatrix2(Q, U2);
+}
+
 double StateVector::probOne(unsigned Q) const {
   uint64_t Bit = qubitBit(Q);
   double P = 0.0;
@@ -252,21 +313,44 @@ std::mt19937_64 shotRng(uint64_t Seed) {
   return std::mt19937_64(Seed * 0x9E3779B97F4A7C15ull + 0xDEADBEEF);
 }
 
+/// The per-run noise hookup of the trajectory executor: the resolved
+/// channel plan plus the model (for readout errors) and the optional
+/// diagnostics counters. Null context means ideal execution.
+struct TrajectoryContext {
+  const NoisePlan *Plan = nullptr;
+  const NoiseModel *Model = nullptr;
+  NoiseStats *Stats = nullptr;
+};
+
 /// Executes one instruction on \p SV (honoring its classical condition),
 /// recording bits into \p R. Shared by the fused and unfused paths so
-/// instruction semantics can never diverge between them.
-void executeInstr(const CircuitInstr &I, StateVector &SV, ShotResult &R,
-                  std::mt19937_64 &Rng) {
+/// instruction semantics can never diverge between them. \p Noise, if
+/// given, makes this a trajectory step: one sampled Kraus branch per
+/// channel attached to instruction \p Idx, and readout error on the
+/// recorded measurement bit (the collapsed state is untouched, and
+/// feed-forward reads the noisy bit). A condition-skipped gate applies no
+/// noise and consumes no randomness.
+void executeInstr(const CircuitInstr &I, size_t Idx, StateVector &SV,
+                  ShotResult &R, std::mt19937_64 &Rng,
+                  const TrajectoryContext *Noise) {
   if (I.CondBit >= 0 &&
       R.Bits[static_cast<unsigned>(I.CondBit)] != I.CondVal)
     return;
   switch (I.TheKind) {
   case CircuitInstr::Kind::Gate:
     SV.apply(I.Gate, I.Controls, I.Targets, I.Param);
+    if (Noise)
+      for (const NoiseOp &Op : Noise->Plan->PerInstr[Idx])
+        SV.applyChannel(Op.Qubit, *Op.Channel, Rng, Noise->Stats);
     break;
-  case CircuitInstr::Kind::Measure:
-    R.Bits[static_cast<unsigned>(I.Cbit)] = SV.measure(I.Targets[0], Rng);
+  case CircuitInstr::Kind::Measure: {
+    bool Outcome = SV.measure(I.Targets[0], Rng);
+    if (Noise)
+      Outcome = applyReadoutError(Noise->Model->readoutFor(I.Targets[0]),
+                                  Outcome, Rng, Noise->Stats);
+    R.Bits[static_cast<unsigned>(I.Cbit)] = Outcome;
     break;
+  }
   case CircuitInstr::Kind::Reset:
     SV.reset(I.Targets[0], Rng);
     break;
@@ -275,14 +359,15 @@ void executeInstr(const CircuitInstr &I, StateVector &SV, ShotResult &R,
 
 /// Executes instructions [Start, end) on \p SV, recording bits into \p R.
 void execute(const Circuit &C, size_t Start, StateVector &SV, ShotResult &R,
-             std::mt19937_64 &Rng) {
+             std::mt19937_64 &Rng, const TrajectoryContext *Noise = nullptr) {
   for (size_t N = Start; N < C.Instrs.size(); ++N)
-    executeInstr(C.Instrs[N], SV, R, Rng);
+    executeInstr(C.Instrs[N], N, SV, R, Rng, Noise);
 }
 
 /// Executes fused ops [Begin, End) on \p SV, recording bits into \p R.
 void executeFused(const FusedCircuit &FC, size_t Begin, size_t End,
-                  StateVector &SV, ShotResult &R, std::mt19937_64 &Rng) {
+                  StateVector &SV, ShotResult &R, std::mt19937_64 &Rng,
+                  const TrajectoryContext *Noise = nullptr) {
   const Circuit &C = *FC.Source;
   for (size_t N = Begin; N < End; ++N) {
     const FusedOp &Op = FC.Ops[N];
@@ -294,7 +379,8 @@ void executeFused(const FusedCircuit &FC, size_t Begin, size_t End,
       SV.applyDiagSweep(Op.Diag);
       break;
     case FusedOp::Kind::Instr:
-      executeInstr(C.Instrs[Op.InstrIndex], SV, R, Rng);
+      executeInstr(C.Instrs[Op.InstrIndex], Op.InstrIndex, SV, R, Rng,
+                   Noise);
       break;
     }
   }
@@ -359,21 +445,55 @@ ShotResult StatevectorBackend::run(const Circuit &C, uint64_t Seed) const {
   return R;
 }
 
+bool StatevectorBackend::supportsNoise(const NoiseModel &) const {
+  return true;
+}
+
+ShotResult StatevectorBackend::runNoisy(const Circuit &C, uint64_t Seed,
+                                        const NoiseModel &Noise,
+                                        NoiseStats *Stats) const {
+  NoisePlan Plan = planNoise(Noise, C);
+  TrajectoryContext Ctx{&Plan, &Noise, Stats};
+  StateVector SV(C.NumQubits);
+  std::mt19937_64 Rng = shotRng(Seed);
+  ShotResult R;
+  R.Bits.assign(C.NumBits, false);
+  execute(C, 0, SV, R, Rng, &Ctx);
+  return R;
+}
+
 std::vector<ShotResult>
 StatevectorBackend::runBatch(const Circuit &C, unsigned Shots, uint64_t Seed,
                              const RunOptions &Opts) const {
   if (Shots == 0)
     return {};
 
+  // Resolve the noise plan once per batch; per-shot trajectory execution
+  // then never touches a map.
+  const NoiseModel *Noise =
+      Opts.Noise && !Opts.Noise->empty() ? Opts.Noise : nullptr;
+  NoisePlan Plan;
+  TrajectoryContext Ctx;
+  const TrajectoryContext *Traj = nullptr;
+  if (Noise) {
+    Plan = planNoise(*Noise, C);
+    Ctx = {&Plan, Noise, Opts.NoiseCounters};
+    Traj = &Ctx;
+  }
+
   // Build the execution plan: fused ops or the raw instruction stream,
-  // each with its unconditional-prefix boundary.
+  // each with its unconditional-prefix boundary. Noisy gates consume
+  // per-shot randomness, so the shared prefix ends at the first of them
+  // (fuseCircuit's channel barriers do the same at op granularity).
   FusedCircuit FC;
   size_t Prefix;
   if (Opts.Fuse) {
-    FC = fuseCircuit(C);
+    FC = fuseCircuit(C, Noise);
     Prefix = FC.UnconditionalPrefixOps;
   } else {
     Prefix = analyzeCircuit(C).UnconditionalGatePrefix;
+    if (Noise && Plan.FirstNoisyInstr < Prefix)
+      Prefix = Plan.FirstNoisyInstr;
   }
 
   // The unconditional prefix is identical for every shot and consumes no
@@ -387,7 +507,7 @@ StatevectorBackend::runBatch(const Circuit &C, unsigned Shots, uint64_t Seed,
       executeFused(FC, 0, Prefix, Shared, Scratch, Unused);
     else
       for (size_t N = 0; N < Prefix; ++N)
-        executeInstr(C.Instrs[N], Shared, Scratch, Unused);
+        executeInstr(C.Instrs[N], N, Shared, Scratch, Unused, nullptr);
   }
 
   // Runs the post-prefix remainder of shot S on \p SV. Shot S always uses
@@ -398,9 +518,9 @@ StatevectorBackend::runBatch(const Circuit &C, unsigned Shots, uint64_t Seed,
     ShotResult R;
     R.Bits.assign(C.NumBits, false);
     if (Opts.Fuse)
-      executeFused(FC, Prefix, FC.Ops.size(), SV, R, Rng);
+      executeFused(FC, Prefix, FC.Ops.size(), SV, R, Rng, Traj);
     else
-      execute(C, Prefix, SV, R, Rng);
+      execute(C, Prefix, SV, R, Rng, Traj);
     return R;
   };
 

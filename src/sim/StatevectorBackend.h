@@ -36,6 +36,10 @@
 
 namespace asdf {
 
+struct KrausChannel;
+class NoiseModel;
+struct NoiseStats;
+
 using Amplitude = std::complex<double>;
 
 /// A dense quantum state over a fixed number of qubits.
@@ -60,6 +64,13 @@ public:
   /// Applies a coalesced diagonal sweep: one pass over the amplitudes,
   /// multiplying in every matching entry's phase.
   void applyDiagSweep(const std::vector<DiagEntry> &Entries);
+
+  /// Quantum-trajectory step: samples one Kraus branch of \p Ch on qubit
+  /// \p Q — branch k with probability ||K_k |psi>||^2 — and applies
+  /// K_k / sqrt(p_k). Consumes exactly one uniform draw, so RNG
+  /// consumption is identical on every execution plan.
+  void applyChannel(unsigned Q, const KrausChannel &Ch, std::mt19937_64 &Rng,
+                    NoiseStats *Stats = nullptr);
 
   /// Measures qubit \p Q; collapses the state. \p Rng drives sampling.
   bool measure(unsigned Q, std::mt19937_64 &Rng);
@@ -95,13 +106,23 @@ public:
   /// The serial, unfused reference path: the differential tests pin every
   /// optimized configuration against this.
   ShotResult run(const Circuit &C, uint64_t Seed) const override;
+  /// The serial, unfused noisy reference: one quantum trajectory, sampling
+  /// a Kraus branch per attached channel after each gate and readout error
+  /// after each measurement, all from the shot's RNG stream.
+  ShotResult runNoisy(const Circuit &C, uint64_t Seed,
+                      const NoiseModel &Noise,
+                      NoiseStats *Stats = nullptr) const override;
   /// The execution-plan path: fuses the circuit (unless Opts.Fuse is off),
   /// simulates the unconditional prefix once, and forks it per shot across
-  /// Opts.Jobs workers.
+  /// Opts.Jobs workers. With Opts.Noise, runs quantum trajectories: noisy
+  /// gates act as fusion barriers and close the shared prefix, and every
+  /// {jobs, fuse} combination still returns bit-identical per-shot results.
   std::vector<ShotResult> runBatch(const Circuit &C, unsigned Shots,
                                    uint64_t Seed,
                                    const RunOptions &Opts) const override;
   using SimBackend::runBatch;
+  /// The dense engine executes any Kraus model.
+  bool supportsNoise(const NoiseModel &Noise) const override;
 
   /// Absolute cap regardless of memory: 2^30 amplitudes (16 GiB) keeps
   /// index arithmetic and allocation sizes comfortably in range.

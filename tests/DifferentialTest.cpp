@@ -256,20 +256,7 @@ TEST(DifferentialTest, StabilizerMatchesStatevectorDistributions) {
         runShots(C, Shots, 11 + Trial, BackendKind::Statevector, SvOpts);
     std::map<std::string, unsigned> Stab =
         runShots(C, Shots, 800 + Trial, BackendKind::Stabilizer);
-    std::map<std::string, bool> Keys;
-    for (const auto &KV : Sv)
-      Keys[KV.first] = true;
-    for (const auto &KV : Stab)
-      Keys[KV.first] = true;
-    double Tv = 0.0;
-    for (const auto &KV : Keys) {
-      auto A = Sv.find(KV.first), B = Stab.find(KV.first);
-      double Fa = A == Sv.end() ? 0.0 : double(A->second) / Shots;
-      double Fb = B == Stab.end() ? 0.0 : double(B->second) / Shots;
-      Tv += std::abs(Fa - Fb);
-    }
-    Tv /= 2.0;
-    EXPECT_LT(Tv, 0.11) << "trial " << Trial;
+    EXPECT_LT(tvDistance(Sv, Stab, Shots), 0.11) << "trial " << Trial;
   }
 }
 

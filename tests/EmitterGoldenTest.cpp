@@ -12,14 +12,8 @@
 /// register naming, instruction order — shows up as a readable diff here
 /// instead of silently altering every downstream artifact.
 ///
-/// **Regenerating**: after an intentional emitter change, run
-///
-///   ASDF_REGEN_GOLDEN=1 ./build/EmitterGoldenTest
-///
-/// which rewrites every golden file with current output (the run itself
-/// then passes trivially); review the diff and commit the new files.
-/// Golden files live at ASDF_GOLDEN_DIR, baked in by CMake as
-/// <source>/tests/golden.
+/// Regeneration workflow: README "Golden files". Golden files live at
+/// ASDF_GOLDEN_DIR, baked in by CMake as <source>/tests/golden.
 ///
 //===----------------------------------------------------------------------===//
 

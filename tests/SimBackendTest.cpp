@@ -87,6 +87,76 @@ TEST(CircuitAnalysisTest, PhaseAngleGranularity) {
   EXPECT_FALSE(analyzeCircuit(D).CliffordOnly);
 }
 
+TEST(CircuitAnalysisTest, EmptyCircuitIsCliffordAndDispatchesToTableau) {
+  Circuit C;
+  C.NumQubits = 0;
+  C.NumBits = 0;
+  CircuitProfile P = analyzeCircuit(C);
+  EXPECT_TRUE(P.CliffordOnly);
+  EXPECT_TRUE(P.measureFree());
+  EXPECT_FALSE(P.HasFeedForward);
+  EXPECT_EQ(P.UnconditionalGatePrefix, 0u);
+  EXPECT_EQ(P.MaxControls, 0u);
+  // Degenerate but legal: auto-dispatch picks the tableau and a run
+  // returns the empty bit string.
+  BackendRegistry &Reg = BackendRegistry::instance();
+  EXPECT_STREQ(Reg.select(C, BackendKind::Auto, &P).name(), "stab");
+  EXPECT_TRUE(simulate(C, 3).Bits.empty());
+}
+
+TEST(CircuitAnalysisTest, MeasureOnlyCircuitHasEmptyPrefix) {
+  Circuit C;
+  C.NumQubits = 2;
+  C.NumBits = 2;
+  C.append(CircuitInstr::measure(0, 0));
+  C.append(CircuitInstr::measure(1, 1));
+  CircuitProfile P = analyzeCircuit(C);
+  EXPECT_TRUE(P.CliffordOnly);
+  EXPECT_TRUE(P.HasMeasure);
+  EXPECT_FALSE(P.HasReset);
+  EXPECT_EQ(P.UnconditionalGatePrefix, 0u);
+  BackendRegistry &Reg = BackendRegistry::instance();
+  EXPECT_STREQ(Reg.select(C, BackendKind::Auto, &P).name(), "stab");
+  // |00> measured is deterministic on both engines.
+  for (BackendKind K : {BackendKind::Statevector, BackendKind::Stabilizer}) {
+    std::map<std::string, unsigned> Counts = runShots(C, 20, 1, K);
+    ASSERT_EQ(Counts.size(), 1u);
+    EXPECT_EQ(Counts.begin()->first, "00");
+  }
+}
+
+TEST(CircuitAnalysisTest, ResetInterruptsPrefixButNotCliffordness) {
+  Circuit C;
+  C.NumQubits = 2;
+  C.NumBits = 2;
+  C.append(CircuitInstr::gate(GateKind::H, {}, {0}));
+  C.append(CircuitInstr::gate(GateKind::X, {0}, {1}));
+  C.append(CircuitInstr::reset(1));
+  C.append(CircuitInstr::gate(GateKind::H, {}, {1}));
+  C.append(CircuitInstr::measure(0, 0));
+  C.append(CircuitInstr::measure(1, 1));
+  CircuitProfile P = analyzeCircuit(C);
+  // The reset ends the shareable prefix after two gates; the circuit
+  // stays Clifford (reset is a native tableau operation), so dispatch
+  // still picks the tableau.
+  EXPECT_EQ(P.UnconditionalGatePrefix, 2u);
+  EXPECT_TRUE(P.CliffordOnly);
+  EXPECT_TRUE(P.HasReset);
+  EXPECT_FALSE(P.HasFeedForward);
+  BackendRegistry &Reg = BackendRegistry::instance();
+  EXPECT_STREQ(Reg.select(C, BackendKind::Auto, &P).name(), "stab");
+
+  // A non-Clifford gate after the reset flips the dispatch decision; the
+  // prefix is unchanged.
+  Circuit D = C;
+  D.Instrs.insert(D.Instrs.begin() + 4,
+                  CircuitInstr::gate(GateKind::T, {}, {1}));
+  CircuitProfile Q = analyzeCircuit(D);
+  EXPECT_EQ(Q.UnconditionalGatePrefix, 2u);
+  EXPECT_FALSE(Q.CliffordOnly);
+  EXPECT_STREQ(Reg.select(D, BackendKind::Auto, &Q).name(), "sv");
+}
+
 //===----------------------------------------------------------------------===//
 // Registry and dispatch
 //===----------------------------------------------------------------------===//
@@ -302,20 +372,7 @@ TEST(BackendEquivalenceTest, DynamicCliffordCircuitsMatch) {
         runShots(C, Shots, 5 + Trial, BackendKind::Statevector);
     std::map<std::string, unsigned> Stab =
         runShots(C, Shots, 900 + Trial, BackendKind::Stabilizer);
-    std::map<std::string, double> Union;
-    for (const auto &KV : Sv)
-      Union[KV.first] += 0; // ensure key
-    for (const auto &KV : Stab)
-      Union[KV.first] += 0;
-    double Tv = 0.0;
-    for (const auto &KV : Union) {
-      auto A = Sv.find(KV.first), B = Stab.find(KV.first);
-      double Fa = A == Sv.end() ? 0.0 : double(A->second) / Shots;
-      double Fb = B == Stab.end() ? 0.0 : double(B->second) / Shots;
-      Tv += std::abs(Fa - Fb);
-    }
-    Tv /= 2.0;
-    EXPECT_LT(Tv, 0.1) << "trial " << Trial;
+    EXPECT_LT(tvDistance(Sv, Stab, Shots), 0.1) << "trial " << Trial;
   }
 }
 
