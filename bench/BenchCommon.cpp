@@ -122,16 +122,19 @@ qpu kernel[N](f: cfunc[N, N]) -> bit[N] {
 
 Circuit asdf::compileAsdfBenchmark(BenchAlgorithm Alg, unsigned N) {
   BenchProgram P = makeBenchProgram(Alg, N);
-  QwertyCompiler Compiler;
-  CompileOptions Opts;
+  SessionOptions Opts;
   Opts.Entry = P.Entry;
-  CompileResult R = Compiler.compile(P.Source, P.Bindings, Opts);
-  if (!R.Ok) {
+  // The common -O3 transpiler pass (§8.3) rides the circuit stage of the
+  // pipeline plan instead of being a bespoke post-processing call.
+  Opts.Plan.Circuit = {"transpile-o3"};
+  CompileSession S(P.Source, P.Bindings, Opts);
+  Circuit *C = S.flatCircuit();
+  if (!C) {
     std::fprintf(stderr, "benchmark %s/%u failed to compile:\n%s\n",
-                 benchAlgorithmName(Alg), N, R.ErrorMessage.c_str());
+                 benchAlgorithmName(Alg), N, S.errorMessage().c_str());
     std::abort();
   }
-  return transpileO3(R.FlatCircuit);
+  return std::move(*C);
 }
 
 Circuit asdf::buildBaselineBenchmark(BenchAlgorithm Alg, BaselineStyle Style,

@@ -23,7 +23,7 @@
 #define ASDF_BENCH_BENCHCOMMON_H
 
 #include "baselines/Baselines.h"
-#include "compiler/Compiler.h"
+#include "compiler/CompileSession.h"
 
 #include <string>
 

@@ -16,7 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "compiler/Compiler.h"
+#include "compiler/CompileSession.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,15 +46,16 @@ const Case Cases[] = {
 };
 
 unsigned gateCount(const char *Source, bool AstCanon) {
-  QwertyCompiler Compiler;
-  CompileOptions Opts;
-  Opts.AstCanonicalize = AstCanon;
-  CompileResult R = Compiler.compile(Source, {}, Opts);
-  if (!R.Ok) {
-    std::fprintf(stderr, "compile failed:\n%s\n", R.ErrorMessage.c_str());
+  SessionOptions Opts;
+  if (!AstCanon)
+    Opts.Plan = presetPlan("no-canon");
+  CompileSession S(Source, {}, Opts);
+  Circuit *C = S.flatCircuit();
+  if (!C) {
+    std::fprintf(stderr, "compile failed:\n%s\n", S.errorMessage().c_str());
     std::abort();
   }
-  return R.FlatCircuit.stats().Total;
+  return C->stats().Total;
 }
 
 } // namespace

@@ -59,20 +59,19 @@ int main() {
        {BenchAlgorithm::BV, BenchAlgorithm::DJ, BenchAlgorithm::Grover,
         BenchAlgorithm::PeriodFinding, BenchAlgorithm::Simon}) {
     BenchProgram P = makeBenchProgram(Alg, 8);
-    QwertyCompiler Compiler;
-    CompileOptions Off, On;
+    SessionOptions Off, On;
     Off.Entry = On.Entry = P.Entry;
-    Off.Inline = false;
-    CompileResult ROff = Compiler.compileToQwertyIR(P.Source, P.Bindings,
-                                                    Off);
-    CompileResult ROn = Compiler.compileToQwertyIR(P.Source, P.Bindings,
-                                                   On);
-    if (!ROff.Ok || !ROn.Ok) {
+    Off.Plan = presetPlan("no-opt");
+    CompileSession SOff(P.Source, P.Bindings, Off);
+    CompileSession SOn(P.Source, P.Bindings, On);
+    Module *MOff = SOff.qwertyIR();
+    Module *MOn = SOn.qwertyIR();
+    if (!MOff || !MOn) {
       std::fprintf(stderr, "compile failed\n");
       return 1;
     }
-    IRCounts COff = countIR(*ROff.QwertyIR);
-    IRCounts COn = countIR(*ROn.QwertyIR);
+    IRCounts COff = countIR(*MOff);
+    IRCounts COn = countIR(*MOn);
     SingleFunction &= COn.Functions == 1 && COn.CallIndirects == 0;
     std::printf("%-8s | %9u %7u %9u | %9u %7u %9u\n",
                 benchAlgorithmName(Alg), COff.Functions, COff.Ops,

@@ -24,16 +24,17 @@ namespace {
 
 Circuit compileWith(BenchAlgorithm Alg, unsigned N, bool Peephole) {
   BenchProgram P = makeBenchProgram(Alg, N);
-  QwertyCompiler Compiler;
-  CompileOptions Opts;
+  SessionOptions Opts;
   Opts.Entry = P.Entry;
-  Opts.PeepholeOpt = Peephole;
-  CompileResult R = Compiler.compile(P.Source, P.Bindings, Opts);
-  if (!R.Ok) {
-    std::fprintf(stderr, "compile failed: %s\n", R.ErrorMessage.c_str());
+  if (!Peephole)
+    Opts.Plan = presetPlan("no-peephole");
+  CompileSession S(P.Source, P.Bindings, Opts);
+  Circuit *C = S.flatCircuit();
+  if (!C) {
+    std::fprintf(stderr, "compile failed: %s\n", S.errorMessage().c_str());
     std::abort();
   }
-  return R.FlatCircuit;
+  return std::move(*C);
 }
 
 } // namespace

@@ -1,0 +1,154 @@
+//===- compile_throughput.cpp - End-to-end compilation throughput ---------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the compiler itself (every other bench measures its output):
+/// end-to-end compiles/sec through CompileSession for the five §8.1
+/// benchmark programs, plus an aggregated per-pass wall-time table from the
+/// session instrumentation — the table that tells the next optimization PR
+/// where compile time actually goes.
+///
+/// Usage: compile_throughput [--smoke] [N] [repeats]
+///        (default N=8 repeats=20; --smoke = N=5 repeats=2, sized for CI —
+///        every program still compiles and the artifact sanity checks
+///        still run)
+///
+/// Acceptance bar: every benchmark program compiles, the per-pass times
+/// sum to (almost all of) the end-to-end wall time, and throughput on the
+/// default workload stays above 5 compiles/sec — two orders of magnitude
+/// of headroom against the ~0.001 compiles/sec a regression to quadratic
+/// inlining would produce, yet tight enough to flag one.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace asdf;
+
+namespace {
+
+double now() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+struct PassTotal {
+  double Seconds = 0.0;
+  unsigned Runs = 0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Smoke = false;
+  std::vector<unsigned> Args;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+    else
+      Args.push_back(std::atoi(argv[I]));
+  }
+  unsigned N = Args.size() > 0 ? Args[0] : (Smoke ? 5 : 8);
+  unsigned Repeats = Args.size() > 1 ? Args[1] : (Smoke ? 2 : 20);
+
+  const BenchAlgorithm Algs[] = {BenchAlgorithm::BV, BenchAlgorithm::DJ,
+                                 BenchAlgorithm::Grover,
+                                 BenchAlgorithm::Simon,
+                                 BenchAlgorithm::PeriodFinding};
+
+  std::printf("=== Compilation throughput (N=%u, %u repeat(s)%s) ===\n\n",
+              N, Repeats, Smoke ? ", smoke" : "");
+  std::printf("%-8s | %9s | %10s | %8s %8s\n", "bench", "compiles", "sec",
+              "ms/comp", "comp/s");
+
+  // Ordered per-pass totals across every compile, keyed stage:pass.
+  std::vector<std::string> PassOrder;
+  std::map<std::string, PassTotal> PassTotals;
+  double TotalSecs = 0.0, InstrumentedSecs = 0.0;
+  unsigned TotalCompiles = 0;
+  bool Ok = true;
+
+  for (BenchAlgorithm Alg : Algs) {
+    BenchProgram P = makeBenchProgram(Alg, N);
+    double T0 = now();
+    for (unsigned R = 0; R < Repeats; ++R) {
+      SessionOptions Opts;
+      Opts.Entry = P.Entry;
+      Opts.CollectTimings = true;
+      CompileSession S(P.Source, P.Bindings, Opts);
+      Circuit *C = S.flatCircuit();
+      if (!C || C->Instrs.empty()) {
+        std::fprintf(stderr, "%s/%u failed to compile:\n%s\n",
+                     benchAlgorithmName(Alg), N,
+                     S.errorMessage().c_str());
+        Ok = false;
+        continue;
+      }
+      for (const PassTiming &T : S.timings()) {
+        std::string Key = std::string(pipelineStageName(T.Stage)) + ":" +
+                          T.PassName;
+        auto [It, Inserted] = PassTotals.emplace(Key, PassTotal());
+        if (Inserted)
+          PassOrder.push_back(Key);
+        It->second.Seconds += T.Seconds;
+        ++It->second.Runs;
+        InstrumentedSecs += T.Seconds;
+      }
+    }
+    double Secs = now() - T0;
+    TotalSecs += Secs;
+    TotalCompiles += Repeats;
+    std::printf("%-8s | %9u | %10.4f | %8.2f %8.1f\n",
+                benchAlgorithmName(Alg), Repeats, Secs,
+                1e3 * Secs / Repeats, Repeats / Secs);
+  }
+
+  std::printf("\noverall: %u compiles in %.3f s -> %.1f compiles/sec\n\n",
+              TotalCompiles, TotalSecs, TotalCompiles / TotalSecs);
+
+  std::printf("per-pass totals over all %u compiles:\n", TotalCompiles);
+  std::printf("  %10s  %6s  %6s  %s\n", "total-sec", "share", "runs",
+              "stage:pass");
+  for (const std::string &Key : PassOrder) {
+    const PassTotal &T = PassTotals[Key];
+    std::printf("  %10.4f  %5.1f%%  %6u  %s\n", T.Seconds,
+                100.0 * T.Seconds / InstrumentedSecs, T.Runs, Key.c_str());
+  }
+
+  // Sanity: the instrumented pass time must account for most of the wall
+  // time (the rest is session setup, module cloning, and artifact moves).
+  double Coverage = InstrumentedSecs / TotalSecs;
+  std::printf("\ninstrumentation coverage: %.0f%% of wall time\n",
+              100.0 * Coverage);
+  if (Coverage < 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: per-pass timings cover only %.0f%% of wall time — "
+                 "untimed work crept into the pipeline\n",
+                 100.0 * Coverage);
+    Ok = false;
+  }
+
+  // Throughput bar, armed only at the full-scale workload.
+  double PerSec = TotalCompiles / TotalSecs;
+  if (!Smoke && Args.empty() && PerSec < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: %.1f compiles/sec is below the 5/sec bar\n",
+                 PerSec);
+    Ok = false;
+  }
+  if (!Ok)
+    return 1;
+  std::printf("OK\n");
+  return 0;
+}

@@ -18,7 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "compiler/Compiler.h"
+#include "compiler/CompileSession.h"
 #include "sim/Simulator.h"
 
 #include <cstdio>
@@ -39,19 +39,20 @@ qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
   ProgramBindings B;
   B.DimVars["N"] = N;
   B.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
-  QwertyCompiler Compiler;
-  CompileResult R = Compiler.compile(Source, B);
-  if (!R.Ok) {
-    std::fprintf(stderr, "compile error:\n%s\n", R.ErrorMessage.c_str());
+  CompileSession Session(Source, B);
+  Circuit *Flat = Session.flatCircuit();
+  if (!Flat) {
+    std::fprintf(stderr, "compile error:\n%s\n",
+                 Session.errorMessage().c_str());
     std::exit(1);
   }
-  CircuitStats S = R.FlatCircuit.stats();
+  CircuitStats S = Flat->stats();
   std::printf("  synthesized: %lu gates, %lu CX, %u qubits\n",
               (unsigned long)S.Total, (unsigned long)S.CxCount,
-              R.FlatCircuit.NumQubits);
-  ShotResult Shot = simulate(R.FlatCircuit, 17);
+              Flat->NumQubits);
+  ShotResult Shot = simulate(*Flat, 17);
   std::string Out;
-  for (int Bit : R.FlatCircuit.OutputBits)
+  for (int Bit : Flat->OutputBits)
     Out.push_back(Bit >= 0 && Shot.Bits[unsigned(Bit)] ? '1' : '0');
   return Out;
 }

@@ -17,7 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "baselines/Baselines.h"
-#include "compiler/Compiler.h"
+#include "compiler/CompileSession.h"
 #include "estimate/ResourceEstimator.h"
 #include "sim/Simulator.h"
 
@@ -53,23 +53,24 @@ qpu kernel[N](oracle: cfunc[N, 1]) -> bit[N] {
   Bindings.Captures["kernel"]["oracle"] =
       CaptureValue::classicalFunc("oracle");
 
-  QwertyCompiler Compiler;
-  CompileResult R = Compiler.compile(OS.str(), Bindings);
-  if (!R.Ok) {
-    std::fprintf(stderr, "compile error:\n%s\n", R.ErrorMessage.c_str());
+  CompileSession Session(OS.str(), Bindings);
+  Circuit *Flat = Session.flatCircuit();
+  if (!Flat) {
+    std::fprintf(stderr, "compile error:\n%s\n",
+                 Session.errorMessage().c_str());
     return 1;
   }
 
-  CircuitStats Stats = R.FlatCircuit.stats();
+  CircuitStats Stats = Flat->stats();
   std::printf("Grover over %u qubits, %u iteration(s): %lu gates "
               "(%lu T), %u qubits incl. ancillas\n",
               N, Iters, (unsigned long)Stats.Total,
-              (unsigned long)Stats.TCount, R.FlatCircuit.NumQubits);
-  ResourceEstimate Est = estimateResources(R.FlatCircuit);
+              (unsigned long)Stats.TCount, Flat->NumQubits);
+  ResourceEstimate Est = estimateResources(*Flat);
   std::printf("fault-tolerant estimate: %s\n\n", Est.str().c_str());
 
   std::map<std::string, unsigned> Counts =
-      runShots(R.FlatCircuit, /*Shots=*/256, /*Seed=*/7);
+      runShots(*Flat, /*Shots=*/256, /*Seed=*/7);
   std::string Marked(N, '1');
   unsigned Hit = 0, Total = 0;
   std::printf("measurement histogram (top entries):\n");

@@ -16,7 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "compiler/Compiler.h"
+#include "compiler/CompileSession.h"
 #include "estimate/ResourceEstimator.h"
 #include "sim/Simulator.h"
 
@@ -49,23 +49,24 @@ qpu kernel[N](f: cfunc[N, N]) -> bit[N] {
   Bindings.Captures["f"]["mask"] = CaptureValue::bitsFromString(Mask);
   Bindings.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
 
-  QwertyCompiler Compiler;
-  CompileResult R = Compiler.compile(Source, Bindings);
-  if (!R.Ok) {
-    std::fprintf(stderr, "compile error:\n%s\n", R.ErrorMessage.c_str());
+  CompileSession Session(Source, Bindings);
+  Circuit *Flat = Session.flatCircuit();
+  if (!Flat) {
+    std::fprintf(stderr, "compile error:\n%s\n",
+                 Session.errorMessage().c_str());
     return 1;
   }
 
-  CircuitStats Stats = R.FlatCircuit.stats();
+  CircuitStats Stats = Flat->stats();
   std::printf("period finding over %u qubits: %lu gates, %u qubits\n", N,
-              (unsigned long)Stats.Total, R.FlatCircuit.NumQubits);
-  ResourceEstimate Est = estimateResources(R.FlatCircuit);
+              (unsigned long)Stats.Total, Flat->NumQubits);
+  ResourceEstimate Est = estimateResources(*Flat);
   std::printf("fault-tolerant estimate: %s\n\n", Est.str().c_str());
 
   // With additive period r = 2^(N-1), the measured fourier index y obeys
   // y * r = 0 (mod 2^N), i.e. y is even: its last bit is always 0.
   std::map<std::string, unsigned> Raw =
-      runShots(R.FlatCircuit, /*Shots=*/256, /*Seed=*/3);
+      runShots(*Flat, /*Shots=*/256, /*Seed=*/3);
   std::map<std::string, unsigned> Counts;
   for (const auto &[Bits, Count] : Raw)
     Counts[Bits.substr(0, N)] += Count; // Group by the phase register.

@@ -18,7 +18,7 @@
 
 #include "codegen/QasmEmitter.h"
 #include "codegen/QirEmitter.h"
-#include "compiler/Compiler.h"
+#include "compiler/CompileSession.h"
 #include "sim/Simulator.h"
 
 #include <cstdio>
@@ -48,24 +48,27 @@ qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
   Bindings.Captures["f"]["secret"] = CaptureValue::bitsFromString(Secret);
   Bindings.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
 
-  QwertyCompiler Compiler;
-  CompileResult R = Compiler.compile(Source, Bindings);
-  if (!R.Ok) {
-    std::fprintf(stderr, "compile error:\n%s\n", R.ErrorMessage.c_str());
+  // The session caches every artifact: the Qwerty IR and the flat circuit
+  // below come from one compilation.
+  CompileSession Session(Source, Bindings);
+  Circuit *Flat = Session.flatCircuit();
+  if (!Flat) {
+    std::fprintf(stderr, "compile error:\n%s\n",
+                 Session.errorMessage().c_str());
     return 1;
   }
 
-  std::printf("=== Optimized Qwerty IR ===\n%s\n", R.QwertyIR->str().c_str());
-  std::printf("=== OpenQASM 3 ===\n%s\n",
-              emitOpenQasm3(R.FlatCircuit).c_str());
-  std::optional<std::string> Qir = emitQirBaseProfile(R.FlatCircuit);
+  std::printf("=== Optimized Qwerty IR ===\n%s\n",
+              Session.qwertyIR()->str().c_str());
+  std::printf("=== OpenQASM 3 ===\n%s\n", emitOpenQasm3(*Flat).c_str());
+  std::optional<std::string> Qir = emitQirBaseProfile(*Flat);
   if (Qir)
     std::printf("=== QIR (Base Profile) ===\n%s\n", Qir->c_str());
 
   // One shot suffices: Bernstein-Vazirani is deterministic.
-  ShotResult Shot = simulate(R.FlatCircuit, /*Seed=*/1);
+  ShotResult Shot = simulate(*Flat, /*Seed=*/1);
   std::string Measured;
-  for (int Bit : R.FlatCircuit.OutputBits)
+  for (int Bit : Flat->OutputBits)
     Measured.push_back(
         Bit >= 0 && Shot.Bits[static_cast<unsigned>(Bit)] ? '1' : '0');
   std::printf("secret:   %s\nmeasured: %s  -> %s\n", Secret.c_str(),

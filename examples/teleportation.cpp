@@ -22,7 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "codegen/QasmEmitter.h"
-#include "compiler/Compiler.h"
+#include "compiler/CompileSession.h"
 #include "sim/Simulator.h"
 
 #include <cmath>
@@ -41,19 +41,20 @@ qpu teleport(secret: qubit) -> qubit {
 }
 )";
 
-  QwertyCompiler Compiler;
-  CompileOptions Opts;
+  SessionOptions Opts;
   Opts.Entry = "teleport";
-  CompileResult R = Compiler.compile(Source, {}, Opts);
-  if (!R.Ok) {
-    std::fprintf(stderr, "compile error:\n%s\n", R.ErrorMessage.c_str());
+  CompileSession Session(Source, {}, Opts);
+  Circuit *Flat = Session.flatCircuit();
+  if (!Flat) {
+    std::fprintf(stderr, "compile error:\n%s\n",
+                 Session.errorMessage().c_str());
     return 1;
   }
 
   std::printf("=== Teleportation as a dynamic OpenQASM 3 circuit ===\n%s\n",
-              emitOpenQasm3(R.FlatCircuit).c_str());
+              emitOpenQasm3(*Flat).c_str());
 
-  const Circuit &C = R.FlatCircuit;
+  const Circuit &C = *Flat;
   unsigned OutQ = C.OutputQubits.front();
   bool AllOk = true;
   std::printf("teleporting RY(theta)|0> states:\n");

@@ -1,0 +1,141 @@
+//===- CompileSession.h - One compilation: source, artifacts, diagnostics -===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The primary compilation API. A CompileSession owns one compilation of
+/// one source program: the source text, the dimension/capture bindings, the
+/// diagnostics engine, the pipeline plan, and a cache of every intermediate
+/// artifact of Fig. 2. Artifact getters run exactly the pipeline prefix
+/// they need and memoize it:
+///
+///   CompileSession S(Source, Bindings);
+///   const Circuit *C = S.flatCircuit();   // runs parse .. flatten
+///   if (!C) die(S.errorMessage());        // names the failing stage:pass
+///   const Module *QW = S.qwertyIR();      // already cached — no recompile
+///
+/// Embedders (asdfc, the simulator harnesses, the resource estimator
+/// sweeps, benches, tests) all drive compilation through sessions; the old
+/// two-method QwertyCompiler survives only as a deprecated shim over this
+/// class. Unlike the shim's historical behavior, a session never re-runs
+/// the front half: the Qwerty IR is preserved by deep-cloning the module
+/// before the destructive QCircuit conversion.
+///
+/// Instrumentation (per-pass wall time + IR statistics, dump-before/after,
+/// inter-pass verification) is configured in SessionOptions and surfaced on
+/// the CLI as --pass-timings, --print-before/--print-after, --verify-each.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_COMPILER_COMPILESESSION_H
+#define ASDF_COMPILER_COMPILESESSION_H
+
+#include "ast/Expand.h"
+#include "compiler/Pass.h"
+#include "compiler/PassRegistry.h"
+#include "ir/IR.h"
+#include "qcirc/Circuit.h"
+
+#include <memory>
+#include <string>
+
+namespace asdf {
+
+/// Configuration of one compilation session.
+struct SessionOptions {
+  /// Entry kernel name.
+  std::string Entry = "kernel";
+  /// Which passes run in each stage; see PassRegistry.h for presets.
+  PipelinePlan Plan = presetPlan("default");
+  /// Record per-pass wall time and IR statistics (timings(), timingReport()).
+  bool CollectTimings = false;
+  /// Verify the IR after every pass; failures name the offending pass.
+  bool VerifyEach = false;
+  /// Dump IR after/before passes: unset = off, "" = every pass, otherwise
+  /// the named pass (stage transitions parse/lower/convert/flatten count;
+  /// `parse` has no predecessor unit and thus no before-dump).
+  std::optional<std::string> PrintAfter;
+  std::optional<std::string> PrintBefore;
+  /// Dump destination; defaults to stderr.
+  std::function<void(const std::string &Banner, const std::string &IR)>
+      PrintSink;
+};
+
+/// One compilation of one program, with cached artifacts.
+class CompileSession {
+public:
+  CompileSession(std::string Source, ProgramBindings Bindings,
+                 SessionOptions Options = SessionOptions());
+
+  //===--- Artifact getters (run + cache; null on failure) ---===//
+
+  /// The expanded, checked, canonicalized AST (§4).
+  Program *ast();
+  /// The Qwerty IR after the qwerty-stage pipeline (§5.4).
+  Module *qwertyIR();
+  /// The QCircuit IR after conversion + the qcirc-stage pipeline (§6).
+  Module *qcircIR();
+  /// The flat, reg2mem'd circuit (§7). Requires a plan that fully inlines
+  /// (PipelinePlan::producesFlatCircuit).
+  Circuit *flatCircuit();
+
+  //===--- Status and instrumentation ---===//
+
+  bool ok() const { return !Failed; }
+  /// On failure: which pass failed, on which stage, for which entry, plus
+  /// every accumulated diagnostic (with source locations where known).
+  const std::string &errorMessage() const { return ErrorMessage; }
+  DiagnosticEngine &diagnostics() { return Diags; }
+  const SessionOptions &options() const { return Options; }
+
+  const std::vector<PassTiming> &timings() const { return Ctx.Timings; }
+  std::string timingReport() const { return Ctx.timingReport(); }
+
+  /// Every artifact the session has materialized so far. Used by the
+  /// deprecated QwertyCompiler shim to move results out; a session whose
+  /// artifacts were taken must not run further stages.
+  struct Artifacts {
+    std::unique_ptr<Program> AST;
+    std::unique_ptr<Module> QwertyIR;
+    std::unique_ptr<Module> QCircIR;
+    std::optional<Circuit> Flat;
+  };
+  Artifacts takeArtifacts();
+
+private:
+  /// Pipeline prefix already materialized, in stage order.
+  enum class Phase { None, AST, Qwerty, QCirc, Flat };
+
+  bool runTo(Phase Target);
+  bool runAstStage();
+  bool runQwertyStage();
+  bool runQCircStage();
+  bool runCircuitStage();
+  bool fail();
+
+  template <typename UnitT>
+  bool runPassList(PipelineStage Stage,
+                   const std::vector<std::string> &Names, UnitT &U);
+
+  std::string Source;
+  ProgramBindings Bindings;
+  SessionOptions Options;
+
+  DiagnosticEngine Diags;
+  PassContext Ctx;
+
+  Phase Done = Phase::None;
+  bool Failed = false;
+  std::string ErrorMessage;
+
+  std::unique_ptr<Program> AST;
+  std::unique_ptr<Module> QwertyIR;
+  std::unique_ptr<Module> QCircIR;
+  std::optional<Circuit> Flat;
+};
+
+} // namespace asdf
+
+#endif // ASDF_COMPILER_COMPILESESSION_H

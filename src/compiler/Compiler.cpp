@@ -1,4 +1,4 @@
-//===- Compiler.cpp - The Asdf compiler driver -----------------------------===//
+//===- Compiler.cpp - Deprecated two-method compiler shim -----------------===//
 //
 // Part of the Asdf reproduction. MIT license.
 //
@@ -6,101 +6,61 @@
 
 #include "compiler/Compiler.h"
 
-#include "ast/Canonicalize.h"
-#include "ast/Parser.h"
-#include "ast/TypeChecker.h"
-#include "qcirc/Convert.h"
-#include "qcirc/Flatten.h"
-#include "qcirc/Peephole.h"
-#include "qwerty/Lower.h"
-#include "transform/Passes.h"
+#include "compiler/CompileSession.h"
 
 using namespace asdf;
+
+namespace {
+
+SessionOptions sessionOptions(const CompileOptions &Options) {
+  SessionOptions SO;
+  SO.Entry = Options.Entry;
+  SO.Plan = planFromOptions(Options);
+  return SO;
+}
+
+/// Moves a session's artifacts into the legacy result struct. \p Deep
+/// selects the full pipeline; otherwise only the front half runs.
+CompileResult harvest(CompileSession &S, const CompileOptions &Options,
+                      bool Deep) {
+  CompileResult R;
+  Module *QW = S.qwertyIR();
+  if (Deep && QW) {
+    S.qcircIR();
+    if (Options.Inline)
+      S.flatCircuit();
+  }
+  if (!S.ok()) {
+    R.Ok = false;
+    R.ErrorMessage = S.errorMessage();
+    return R;
+  }
+  CompileSession::Artifacts A = S.takeArtifacts();
+  R.AST = std::move(A.AST);
+  R.QwertyIR = std::move(A.QwertyIR);
+  R.QCircIR = std::move(A.QCircIR);
+  if (A.Flat)
+    R.FlatCircuit = std::move(*A.Flat);
+  R.Ok = true;
+  return R;
+}
+
+} // namespace
 
 CompileResult QwertyCompiler::compileToQwertyIR(const std::string &Source,
                                                 const ProgramBindings &
                                                     Bindings,
                                                 const CompileOptions &
                                                     Options) {
-  CompileResult R;
-  DiagnosticEngine Diags;
-  auto Fail = [&](const std::string &Phase) {
-    R.Ok = false;
-    R.ErrorMessage = Phase + ":\n" + Diags.str();
-    return std::move(R);
-  };
-
-  // §4: AST generation, expansion, type checking, canonicalization.
-  std::unique_ptr<Program> Parsed = parseProgram(Source, Diags);
-  if (!Parsed)
-    return Fail("parse");
-  R.AST = expandProgram(*Parsed, Bindings, Diags);
-  if (!R.AST)
-    return Fail("expand");
-  if (!typeCheckProgram(*R.AST, Diags))
-    return Fail("type check");
-  if (Options.AstCanonicalize)
-    canonicalizeProgram(*R.AST);
-
-  // §5: lowering to Qwerty IR and the optimization pipeline.
-  R.QwertyIR = lowerToQwertyIR(*R.AST, Diags);
-  if (!R.QwertyIR)
-    return Fail("lower to Qwerty IR");
-  if (Options.Inline) {
-    runQwertyOptPipeline(*R.QwertyIR, {Options.Entry});
-  } else {
-    runQwertyNoOptPipeline(*R.QwertyIR);
-    // §6.2: generate the specializations the callable path will need.
-    std::set<SpecKey> Specs =
-        analyzeSpecializations(*R.QwertyIR, Options.Entry);
-    if (!generateSpecializations(*R.QwertyIR, Specs))
-      return Fail("specialization generation");
-  }
-  if (!verifyModule(*R.QwertyIR, Diags))
-    return Fail("Qwerty IR verification");
-
-  R.Ok = true;
+  CompileSession S(Source, Bindings, sessionOptions(Options));
+  CompileResult R = harvest(S, Options, /*Deep=*/false);
   return R;
 }
 
 CompileResult QwertyCompiler::compile(const std::string &Source,
                                       const ProgramBindings &Bindings,
                                       const CompileOptions &Options) {
-  CompileResult R = compileToQwertyIR(Source, Bindings, Options);
-  if (!R.Ok)
-    return R;
-  DiagnosticEngine Diags;
-  auto Fail = [&](const std::string &Phase) {
-    R.Ok = false;
-    R.ErrorMessage = Phase + ":\n" + Diags.str();
-    return std::move(R);
-  };
-
-  // §6: clone the Qwerty IR into the QCircuit stage and convert.
-  // (Conversion is destructive in place; keep QwertyIR for inspection by
-  // re-running the front half.)
-  CompileResult Front =
-      compileToQwertyIR(Source, Bindings, Options);
-  R.QCircIR = std::move(Front.QwertyIR);
-  if (!convertToQCircuit(*R.QCircIR, *R.AST, Diags))
-    return Fail("QCircuit conversion");
-  canonicalizeIR(*R.QCircIR);
-  if (Options.PeepholeOpt)
-    peepholeOptimize(*R.QCircIR);
-  if (Options.DecomposeMultiControl) {
-    decomposeMultiControls(*R.QCircIR, McDecompose::Selinger);
-    if (Options.PeepholeOpt)
-      peepholeOptimize(*R.QCircIR);
-  }
-
-  // §7: reg2mem into a flat circuit (only meaningful when inlined).
-  if (Options.Inline) {
-    std::optional<Circuit> Flat =
-        flattenToCircuit(*R.QCircIR, Options.Entry, Diags);
-    if (!Flat)
-      return Fail("flatten");
-    R.FlatCircuit = std::move(*Flat);
-  }
-  R.Ok = true;
+  CompileSession S(Source, Bindings, sessionOptions(Options));
+  CompileResult R = harvest(S, Options, /*Deep=*/true);
   return R;
 }

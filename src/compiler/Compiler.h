@@ -1,14 +1,20 @@
-//===- Compiler.h - The Asdf compiler driver ------------------------------===//
+//===- Compiler.h - Deprecated two-method compiler shim -------------------===//
 //
 // Part of the Asdf reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The top-level compilation pipeline (Fig. 2): DSL source -> Qwerty AST
-/// (parse, expand, type check, canonicalize) -> Qwerty IR (lower, lift,
-/// canonicalize, inline) -> QCircuit IR (dialect conversion, synthesis,
-/// peepholes) -> flat circuit / OpenQASM 3 / QIR.
+/// The legacy compilation entry points, kept as a thin shim over
+/// CompileSession for older embedders. New code should construct a
+/// CompileSession (compiler/CompileSession.h) directly: it exposes every
+/// intermediate artifact with caching, pipeline plans instead of boolean
+/// flags, and the pass instrumentation hooks. The boolean knobs below map
+/// onto pipeline presets via planFromOptions (PassRegistry.h):
+///
+///   {Inline=0}          -> preset "no-opt"
+///   {PeepholeOpt=0}     -> preset "no-peephole" (QCirc stage)
+///   {AstCanonicalize=0} -> preset "no-canon"    (AST stage)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,13 +30,14 @@
 
 namespace asdf {
 
-/// Compiler configuration.
+/// Legacy compiler configuration. Each boolean selects between pipeline
+/// presets; see planFromOptions.
 struct CompileOptions {
   /// Entry kernel name.
   std::string Entry = "kernel";
   /// Run the optimization pipeline (§5.4). When false, only lambda lifting
-  /// runs, leaving call_indirect ops to lower to QIR callables (the
-  /// "Asdf (No Opt)" configuration of Table 1).
+  /// and specialization run, leaving call_indirect ops to lower to QIR
+  /// callables (the "Asdf (No Opt)" configuration of Table 1).
   bool Inline = true;
   /// Run QCircuit-level peephole optimizations (§6.5).
   bool PeepholeOpt = true;
@@ -43,7 +50,7 @@ struct CompileOptions {
   bool DecomposeMultiControl = true;
 };
 
-/// Result of a compilation.
+/// Result of a legacy compilation.
 struct CompileResult {
   bool Ok = false;
   std::string ErrorMessage;
@@ -54,7 +61,9 @@ struct CompileResult {
   Circuit FlatCircuit;                ///< reg2mem'd circuit (§7).
 };
 
-/// The compiler: drives every phase of Fig. 2.
+/// DEPRECATED: drive compilation through CompileSession instead. This shim
+/// constructs a session per call and moves the artifacts out, so callers
+/// lose the artifact cache and the instrumentation surface.
 class QwertyCompiler {
 public:
   QwertyCompiler() = default;

@@ -12,14 +12,19 @@
 ///
 /// Emission targets: qasm (OpenQASM 3), qir (Unrestricted Profile QIR),
 /// qir-base (Base Profile QIR), qwerty-ir, circuit, run (simulate and print
-/// the measured bits). --no-inline disables the §5.4 pipeline, leaving QIR
-/// callables in place.
+/// the measured bits), estimate.
+///
+/// The pipeline is selected with --pipeline (a preset name or a
+/// "stage:pass,..." spec); --print-after/--print-before, --pass-timings,
+/// and --verify-each expose the pass instrumentation. The legacy
+/// --no-inline/--no-peephole flags remain as shorthands for the no-opt and
+/// no-peephole presets.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "codegen/QasmEmitter.h"
 #include "codegen/QirEmitter.h"
-#include "compiler/Compiler.h"
+#include "compiler/CompileSession.h"
 #include "estimate/ResourceEstimator.h"
 #include "noise/NoiseSpec.h"
 #include "sim/CircuitAnalysis.h"
@@ -28,6 +33,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -35,18 +41,31 @@ using namespace asdf;
 
 namespace {
 
-void usage() {
+void usage(FILE *Out) {
   std::fprintf(
-      stderr,
+      Out,
       "usage: asdfc <file.qw> [options]\n"
+      "  -h, --help              print this help and exit\n"
       "  --entry <name>          entry kernel (default: kernel)\n"
       "  --bind <Var>=<int>      bind a dimension variable\n"
       "  --capture <fn>.<param>=<bits>   bind a bit-string capture\n"
       "  --capture <fn>.<param>=@<name>  bind a classical-function capture\n"
       "  --emit qasm|qir|qir-base|qwerty-ir|circuit|run|estimate\n"
-      "  --no-inline             disable the inlining pipeline (emit "
-      "callables)\n"
-      "  --no-peephole           disable QCircuit peepholes\n"
+      "  --pipeline <plan>       pipeline preset (default, no-opt,\n"
+      "                          no-peephole, no-canon) or an explicit\n"
+      "                          \"stage:pass,...;stage:pass,...\" spec\n"
+      "                          (stages: ast, qwerty, qcirc, circuit);\n"
+      "                          see README \"Compilation pipeline\"\n"
+      "  --print-after[=pass]    dump IR to stderr after every pass (or\n"
+      "                          only the named pass/transition)\n"
+      "  --print-before[=pass]   same, before passes\n"
+      "  --pass-timings          report per-pass wall time and IR-size\n"
+      "                          deltas to stderr after compiling\n"
+      "  --verify-each           run the IR verifier after every pass and\n"
+      "                          name the pass that broke the IR\n"
+      "  --no-inline             shorthand for --pipeline no-opt (emit\n"
+      "                          callables)\n"
+      "  --no-peephole           shorthand for --pipeline no-peephole\n"
       "  --shots <n>             shots for --emit run (default 1)\n"
       "  --seed <n>              base RNG seed for --emit run (default 0)\n"
       "  --backend auto|sv|stab  simulation backend for --emit run\n"
@@ -67,6 +86,14 @@ void usage() {
       "                          branches) to stderr\n");
 }
 
+/// Exits with code 2 after a one-line diagnosis plus a usage pointer, the
+/// convention for every command-line error.
+[[noreturn]] void usageError(const std::string &Message) {
+  std::fprintf(stderr, "asdfc: %s\n", Message.c_str());
+  std::fprintf(stderr, "run 'asdfc --help' for usage\n");
+  std::exit(2);
+}
+
 bool splitEq(const std::string &Arg, std::string &Key, std::string &Value) {
   size_t Eq = Arg.find('=');
   if (Eq == std::string::npos)
@@ -76,57 +103,74 @@ bool splitEq(const std::string &Arg, std::string &Key, std::string &Value) {
   return true;
 }
 
+bool validEmit(const std::string &E) {
+  static const std::set<std::string> Valid = {
+      "qasm", "qir", "qir-base", "qwerty-ir", "circuit", "run", "estimate"};
+  return Valid.count(E) != 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "-h") == 0 ||
+                    std::strcmp(argv[1], "--help") == 0)) {
+    usage(stdout);
+    return 0;
+  }
   if (argc < 2) {
-    usage();
+    usage(stderr);
     return 2;
   }
   std::string Path = argv[1];
+  if (!Path.empty() && Path[0] == '-')
+    usageError("first argument must be the input .qw file (got option '" +
+               Path + "')");
   std::string Emit = "qasm";
   unsigned Shots = 1;
   uint64_t Seed = 0;
   BackendKind Backend = BackendKind::Auto;
   RunOptions RunOpts;
-  CompileOptions Opts;
+  SessionOptions Opts;
   ProgramBindings Bindings;
   NoiseModel Noise;
+  std::string PipelineArg;
+  bool NoInline = false, NoPeephole = false;
   bool HasNoise = false;
   bool Trajectories = false;
+  bool PassTimings = false;
   bool JobsExplicitZero = false;
 
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
     auto Next = [&]() -> const char * {
-      if (I + 1 >= argc) {
-        usage();
-        std::exit(2);
-      }
+      if (I + 1 >= argc)
+        usageError("option '" + Arg + "' expects a value");
       return argv[++I];
     };
-    if (Arg == "--entry") {
+    if (Arg == "-h" || Arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (Arg == "--entry") {
       Opts.Entry = Next();
     } else if (Arg == "--bind") {
       std::string Key, Value;
-      if (!splitEq(Next(), Key, Value)) {
-        usage();
-        return 2;
-      }
-      Bindings.DimVars[Key] = std::atoll(Value.c_str());
+      if (!splitEq(Next(), Key, Value))
+        usageError("--bind expects <Var>=<int>");
+      if (!Bindings.DimVars.emplace(Key, std::atoll(Value.c_str())).second)
+        usageError("duplicate --bind for dimension variable '" + Key +
+                   "' (each variable can be bound once)");
     } else if (Arg == "--capture") {
       std::string Key, Value;
-      if (!splitEq(Next(), Key, Value)) {
-        usage();
-        return 2;
-      }
+      if (!splitEq(Next(), Key, Value))
+        usageError("--capture expects <function>.<param>=<value>");
       size_t Dot = Key.find('.');
-      if (Dot == std::string::npos) {
-        std::fprintf(stderr, "capture key must be <function>.<param>\n");
-        return 2;
-      }
+      if (Dot == std::string::npos)
+        usageError("capture key '" + Key + "' must be <function>.<param>");
       std::string Func = Key.substr(0, Dot);
       std::string Param = Key.substr(Dot + 1);
+      if (Bindings.Captures[Func].count(Param))
+        usageError("duplicate --capture for '" + Key +
+                   "' (each parameter can be captured once)");
       if (!Value.empty() && Value[0] == '@')
         Bindings.Captures[Func][Param] =
             CaptureValue::classicalFunc(Value.substr(1));
@@ -135,10 +179,30 @@ int main(int argc, char **argv) {
             CaptureValue::bitsFromString(Value);
     } else if (Arg == "--emit") {
       Emit = Next();
+      if (!validEmit(Emit))
+        usageError("unknown --emit value '" + Emit +
+                   "' (expected qasm, qir, qir-base, qwerty-ir, circuit, "
+                   "run, or estimate)");
+    } else if (Arg == "--pipeline") {
+      PipelineArg = Next();
+    } else if (Arg == "--print-after" ||
+               Arg.rfind("--print-after=", 0) == 0) {
+      Opts.PrintAfter = Arg == "--print-after"
+                            ? std::string()
+                            : Arg.substr(std::strlen("--print-after="));
+    } else if (Arg == "--print-before" ||
+               Arg.rfind("--print-before=", 0) == 0) {
+      Opts.PrintBefore = Arg == "--print-before"
+                             ? std::string()
+                             : Arg.substr(std::strlen("--print-before="));
+    } else if (Arg == "--pass-timings") {
+      PassTimings = true;
+    } else if (Arg == "--verify-each") {
+      Opts.VerifyEach = true;
     } else if (Arg == "--no-inline") {
-      Opts.Inline = false;
+      NoInline = true;
     } else if (Arg == "--no-peephole") {
-      Opts.PeepholeOpt = false;
+      NoPeephole = true;
     } else if (Arg == "--shots") {
       Shots = std::atoi(Next());
     } else if (Arg == "--seed") {
@@ -163,17 +227,32 @@ int main(int argc, char **argv) {
       Trajectories = true;
     } else if (Arg == "--backend") {
       std::string Name = Next();
-      if (!parseBackendKind(Name, Backend)) {
-        std::fprintf(stderr, "unknown backend '%s'\n", Name.c_str());
-        usage();
-        return 2;
-      }
+      if (!parseBackendKind(Name, Backend))
+        usageError("unknown backend '" + Name +
+                   "' (expected auto, sv, or stab)");
     } else {
-      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
-      usage();
-      return 2;
+      usageError("unknown option '" + Arg + "'");
     }
   }
+
+  // Resolve the pipeline plan: --pipeline text wins; the legacy shorthands
+  // only modify the default plan, and combining them with an explicit
+  // --pipeline would be ambiguous.
+  if (!PipelineArg.empty() && (NoInline || NoPeephole))
+    usageError("--pipeline cannot be combined with --no-inline/"
+               "--no-peephole (encode the ablation in the plan instead)");
+  if (!PipelineArg.empty()) {
+    std::string Error;
+    if (!parsePipelinePlan(PipelineArg, Opts.Plan, Error))
+      usageError(Error);
+  } else if (NoInline) {
+    Opts.Plan.Qwerty = presetPlan("no-opt").Qwerty;
+    if (NoPeephole)
+      Opts.Plan.QCirc = presetPlan("no-peephole").QCirc;
+  } else if (NoPeephole) {
+    Opts.Plan.QCirc = presetPlan("no-peephole").QCirc;
+  }
+  Opts.CollectTimings = PassTimings;
 
   std::ifstream In(Path);
   if (!In) {
@@ -183,147 +262,161 @@ int main(int argc, char **argv) {
   std::ostringstream Buf;
   Buf << In.rdbuf();
 
-  QwertyCompiler Compiler;
-  CompileResult R = Compiler.compile(Buf.str(), Bindings, Opts);
-  if (!R.Ok) {
-    std::fprintf(stderr, "%s: %s\n", Path.c_str(), R.ErrorMessage.c_str());
-    return 1;
-  }
+  CompileSession Session(Buf.str(), Bindings, Opts);
+  // Reports the pass-timing table even when compilation fails partway:
+  // the timings up to the failing pass are exactly what's useful then.
+  auto Finish = [&](int Code) {
+    if (PassTimings)
+      std::fprintf(stderr, "%s", Session.timingReport().c_str());
+    return Code;
+  };
+  auto CompileError = [&]() {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(),
+                 Session.errorMessage().c_str());
+    return Finish(1);
+  };
 
   if (Emit == "qwerty-ir") {
-    std::printf("%s", R.QwertyIR->str().c_str());
-    return 0;
+    Module *QW = Session.qwertyIR();
+    if (!QW)
+      return CompileError();
+    std::printf("%s", QW->str().c_str());
+    return Finish(0);
   }
   if (Emit == "qir") {
+    Module *QC = Session.qcircIR();
+    if (!QC)
+      return CompileError();
     QirCallableStats Stats;
-    std::printf("%s", emitQirUnrestricted(*R.QCircIR, &Stats).c_str());
+    std::printf("%s", emitQirUnrestricted(*QC, &Stats).c_str());
     std::fprintf(stderr, "; callable_create: %u, callable_invoke: %u\n",
                  Stats.Creates, Stats.Invokes);
-    return 0;
+    return Finish(0);
   }
-  if (!Opts.Inline) {
+  if (!Session.options().Plan.producesFlatCircuit()) {
     std::fprintf(stderr,
-                 "--no-inline supports only --emit qir/qwerty-ir\n");
-    return 1;
+                 "a non-inlining pipeline supports only --emit "
+                 "qir/qwerty-ir\n");
+    return Finish(1);
   }
+  Circuit *Flat = Session.flatCircuit();
+  if (!Flat)
+    return CompileError();
+  const Circuit &FlatCircuit = *Flat;
+
   if (Emit == "qasm") {
-    std::printf("%s", emitOpenQasm3(R.FlatCircuit).c_str());
-    return 0;
+    std::printf("%s", emitOpenQasm3(FlatCircuit).c_str());
+    return Finish(0);
   }
   if (Emit == "qir-base") {
-    std::optional<std::string> Qir = emitQirBaseProfile(R.FlatCircuit);
+    std::optional<std::string> Qir = emitQirBaseProfile(FlatCircuit);
     if (!Qir) {
       std::fprintf(stderr, "circuit needs features outside the Base "
                            "Profile (dynamic conditions)\n");
-      return 1;
+      return Finish(1);
     }
     std::printf("%s", Qir->c_str());
-    return 0;
+    return Finish(0);
   }
   if (Emit == "circuit") {
-    std::printf("%s", R.FlatCircuit.str().c_str());
-    return 0;
+    std::printf("%s", FlatCircuit.str().c_str());
+    return Finish(0);
   }
   if (Emit == "estimate") {
-    ResourceEstimate Est = estimateResources(R.FlatCircuit);
+    ResourceEstimate Est = estimateResources(FlatCircuit);
     std::printf("%s\n", Est.str().c_str());
-    return 0;
+    return Finish(0);
   }
-  if (Emit == "run") {
-    if (HasNoise && !Noise.empty())
-      RunOpts.Noise = &Noise;
-    NoiseStats Counters;
-    if (Trajectories && RunOpts.Noise)
-      RunOpts.NoiseCounters = &Counters;
-    CircuitProfile Profile = analyzeCircuit(R.FlatCircuit);
-    SimBackend &B = BackendRegistry::instance().select(
-        R.FlatCircuit, Backend, &Profile, RunOpts.Noise);
-    bool Supported = B.supports(R.FlatCircuit, Profile);
-    bool IsSv = std::strcmp(B.name(), "sv") == 0;
-    // Decide with the run's own options, computing the cap exactly once
-    // so the note below can never contradict the rejection.
-    unsigned DenseCap = StatevectorBackend::maxQubits(RunOpts);
-    if (IsSv)
-      Supported = R.FlatCircuit.NumQubits <= DenseCap;
-    if (!Supported) {
-      // The precise-diagnostic path: the same message whether the circuit
-      // will run fused or not, including where the dense cap came from.
+  // Emit == "run" (the only remaining target; validated at parse time).
+  if (HasNoise && !Noise.empty())
+    RunOpts.Noise = &Noise;
+  NoiseStats Counters;
+  if (Trajectories && RunOpts.Noise)
+    RunOpts.NoiseCounters = &Counters;
+  CircuitProfile Profile = analyzeCircuit(FlatCircuit);
+  SimBackend &B = BackendRegistry::instance().select(
+      FlatCircuit, Backend, &Profile, RunOpts.Noise);
+  bool Supported = B.supports(FlatCircuit, Profile);
+  bool IsSv = std::strcmp(B.name(), "sv") == 0;
+  // Decide with the run's own options, computing the cap exactly once
+  // so the note below can never contradict the rejection.
+  unsigned DenseCap = StatevectorBackend::maxQubits(RunOpts);
+  if (IsSv)
+    Supported = FlatCircuit.NumQubits <= DenseCap;
+  if (!Supported) {
+    // The precise-diagnostic path: the same message whether the circuit
+    // will run fused or not, including where the dense cap came from.
+    std::fprintf(stderr,
+                 "backend '%s' cannot simulate this circuit (%u qubits, "
+                 "%s)\n",
+                 B.name(), FlatCircuit.NumQubits,
+                 Profile.CliffordOnly ? "Clifford" : "non-Clifford");
+    if (IsSv) {
       std::fprintf(stderr,
-                   "backend '%s' cannot simulate this circuit (%u qubits, "
-                   "%s)\n",
-                   B.name(), R.FlatCircuit.NumQubits,
-                   Profile.CliffordOnly ? "Clifford" : "non-Clifford");
-      if (IsSv) {
+                   "note: dense cap is %u qubits (%s); fusion %s changes "
+                   "the cap: it never widens the state\n",
+                   DenseCap,
+                   RunOpts.MaxStateQubits ? "set by options"
+                                          : "derived from available memory",
+                   RunOpts.Fuse ? "does not" : "being off does not");
+      if (Profile.CliffordOnly)
         std::fprintf(stderr,
-                     "note: dense cap is %u qubits (%s); fusion %s changes "
-                     "the cap: it never widens the state\n",
-                     DenseCap,
-                     RunOpts.MaxStateQubits ? "set by options"
-                                            : "derived from available memory",
-                     RunOpts.Fuse ? "does not" : "being off does not");
-        if (Profile.CliffordOnly)
-          std::fprintf(stderr,
-                       "note: the circuit is Clifford; --backend stab runs "
-                       "it at any width\n");
-      }
-      return 1;
+                     "note: the circuit is Clifford; --backend stab runs "
+                     "it at any width\n");
     }
-    if (RunOpts.Noise && !B.supportsNoise(*RunOpts.Noise)) {
-      std::fprintf(stderr,
-                   "backend '%s' cannot execute this noise model "
-                   "(non-Pauli channels need dense trajectories)\n",
-                   B.name());
-      std::fprintf(stderr, "note: --backend sv runs any Kraus model; the "
-                           "stabilizer engine needs a Pauli-only model\n");
-      return 1;
-    }
-    if (JobsExplicitZero)
-      std::fprintf(stderr,
-                   "jobs: 0 means one worker per hardware core; using %u\n",
-                   resolveJobCount(0, Shots));
-    if (RunOpts.Fuse && IsSv) {
-      FusedCircuit Plan = fuseCircuit(R.FlatCircuit, RunOpts.Noise);
-      if (Plan.GatesFused > 0)
-        std::fprintf(stderr, "fusion: %s\n", Plan.summary().c_str());
-    }
-    if (Trajectories && RunOpts.Noise) {
-      NoisePlan Plan = planNoise(*RunOpts.Noise, R.FlatCircuit);
-      size_t Sites = 0;
-      for (const std::vector<NoiseOp> &Ops : Plan.PerInstr)
-        Sites += Ops.size();
-      const char *Path =
-          IsSv ? "statevector-trajectory"
-               : (Profile.HasFeedForward ? "tableau-monte-carlo"
-                                         : "pauli-frame");
-      std::fprintf(stderr, "noise: %s\n",
-                   RunOpts.Noise->summary().c_str());
-      std::fprintf(stderr,
-                   "noise: %zu insertion site(s) over %zu instruction(s); "
-                   "path: %s\n",
-                   Sites, R.FlatCircuit.Instrs.size(), Path);
-    }
-    for (const ShotResult &Shot :
-         B.runBatch(R.FlatCircuit, Shots, Seed, RunOpts)) {
-      std::string Out;
-      for (int Bit : R.FlatCircuit.OutputBits)
-        Out.push_back(Bit == -2                ? '1'
-                      : Bit == -3              ? '0'
-                      : Shot.Bits[static_cast<unsigned>(Bit)] ? '1'
-                                                              : '0');
-      std::printf("%s\n", Out.c_str());
-    }
-    if (Trajectories && RunOpts.NoiseCounters)
-      std::fprintf(
-          stderr,
-          "trajectories: %llu channel application(s), %llu error "
-          "branch(es), %llu readout flip(s) over %u shot(s)\n",
-          static_cast<unsigned long long>(Counters.ChannelApps.load()),
-          static_cast<unsigned long long>(Counters.ErrorBranches.load()),
-          static_cast<unsigned long long>(Counters.ReadoutFlips.load()),
-          Shots);
-    return 0;
+    return Finish(1);
   }
-  std::fprintf(stderr, "unknown emit target '%s'\n", Emit.c_str());
-  usage();
-  return 2;
+  if (RunOpts.Noise && !B.supportsNoise(*RunOpts.Noise)) {
+    std::fprintf(stderr,
+                 "backend '%s' cannot execute this noise model "
+                 "(non-Pauli channels need dense trajectories)\n",
+                 B.name());
+    std::fprintf(stderr, "note: --backend sv runs any Kraus model; the "
+                         "stabilizer engine needs a Pauli-only model\n");
+    return Finish(1);
+  }
+  if (JobsExplicitZero)
+    std::fprintf(stderr,
+                 "jobs: 0 means one worker per hardware core; using %u\n",
+                 resolveJobCount(0, Shots));
+  if (RunOpts.Fuse && IsSv) {
+    FusedCircuit Plan = fuseCircuit(FlatCircuit, RunOpts.Noise);
+    if (Plan.GatesFused > 0)
+      std::fprintf(stderr, "fusion: %s\n", Plan.summary().c_str());
+  }
+  if (Trajectories && RunOpts.Noise) {
+    NoisePlan Plan = planNoise(*RunOpts.Noise, FlatCircuit);
+    size_t Sites = 0;
+    for (const std::vector<NoiseOp> &Ops : Plan.PerInstr)
+      Sites += Ops.size();
+    const char *NoisePath =
+        IsSv ? "statevector-trajectory"
+             : (Profile.HasFeedForward ? "tableau-monte-carlo"
+                                       : "pauli-frame");
+    std::fprintf(stderr, "noise: %s\n", RunOpts.Noise->summary().c_str());
+    std::fprintf(stderr,
+                 "noise: %zu insertion site(s) over %zu instruction(s); "
+                 "path: %s\n",
+                 Sites, FlatCircuit.Instrs.size(), NoisePath);
+  }
+  for (const ShotResult &Shot :
+       B.runBatch(FlatCircuit, Shots, Seed, RunOpts)) {
+    std::string Out;
+    for (int Bit : FlatCircuit.OutputBits)
+      Out.push_back(Bit == -2                ? '1'
+                    : Bit == -3              ? '0'
+                    : Shot.Bits[static_cast<unsigned>(Bit)] ? '1'
+                                                            : '0');
+    std::printf("%s\n", Out.c_str());
+  }
+  if (Trajectories && RunOpts.NoiseCounters)
+    std::fprintf(
+        stderr,
+        "trajectories: %llu channel application(s), %llu error "
+        "branch(es), %llu readout flip(s) over %u shot(s)\n",
+        static_cast<unsigned long long>(Counters.ChannelApps.load()),
+        static_cast<unsigned long long>(Counters.ErrorBranches.load()),
+        static_cast<unsigned long long>(Counters.ReadoutFlips.load()),
+        Shots);
+  return Finish(0);
 }

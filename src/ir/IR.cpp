@@ -654,6 +654,24 @@ void asdf::cloneBlockBody(Builder &B, Block &Source, ValueMap &Map,
   }
 }
 
+std::unique_ptr<Module> asdf::cloneModule(const Module &M) {
+  auto Out = std::make_unique<Module>();
+  for (const auto &F : M.Functions) {
+    IRFunction *NF = Out->create(F->Name);
+    NF->ResultTypes = F->ResultTypes;
+    NF->IsLambdaLifted = F->IsLambdaLifted;
+    NF->IsSpecialization = F->IsSpecialization;
+    NF->Loc = F->Loc;
+    ValueMap Map;
+    Block &Body = const_cast<IRFunction &>(*F).Body;
+    for (Value &A : Body.Args)
+      Map[&A] = NF->Body.addArg(A.Ty);
+    Builder B(&NF->Body);
+    cloneBlockBody(B, Body, Map, /*SkipTerminator=*/false);
+  }
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Printing
 //===----------------------------------------------------------------------===//
@@ -807,15 +825,17 @@ public:
 
   bool verify(const IRFunction &F) {
     FuncName = F.Name;
+    FuncLoc = F.Loc;
     return verifyBlock(F.Body, OpKind::Ret);
   }
 
 private:
   DiagnosticEngine &Diags;
   std::string FuncName;
+  SourceLoc FuncLoc;
 
   bool fail(const std::string &Msg) {
-    Diags.error(SourceLoc(), "in function '" + FuncName + "': " + Msg);
+    Diags.error(FuncLoc, "in function '" + FuncName + "': " + Msg);
     return false;
   }
 
@@ -839,6 +859,16 @@ private:
     // regions of one scf.if are mutually exclusive and together count as a
     // single use (this arises from the Appendix C push-down pattern).
     auto RegionPath = [&](Op *User) {
+      // Rebundling ops (qbpack/qbid) forward their operand without quantum
+      // effect; when such an op's single bundle is consumed exactly once,
+      // the *consumer's* region decides exclusivity. (The canonicalizer
+      // hoists packs above scf.if forks, leaving the pack at top level
+      // while each branch consumes the bundle — Appendix C.)
+      unsigned Hops = 0;
+      while ((User->Kind == OpKind::QbPack || User->Kind == OpKind::QbId) &&
+             User->numResults() == 1 && User->result(0)->hasOneUse() &&
+             Hops++ < 1000)
+        User = User->result(0)->singleUser();
       // Chain of (region-op, region index) from outermost to the user.
       std::vector<std::pair<const Op *, unsigned>> Path;
       Block *Cur = User->ParentBlock;

@@ -373,6 +373,10 @@ public:
   /// Classical-function defs referenced by EmbedClassical are not IR
   /// functions; this marks compiler-generated specializations (§6.2).
   bool IsSpecialization = false;
+  /// Source location of the kernel this function was lowered from (or of
+  /// the kernel a lifted lambda / generated specialization derives from),
+  /// so mid-pipeline failures can point back at the offending source.
+  SourceLoc Loc;
 
   IRFunction(std::string Name) : Name(std::move(Name)) {
     Body.ParentFunc = this;
@@ -496,6 +500,11 @@ Op *cloneOp(Builder &B, Op *Source, ValueMap &Map);
 /// if \p SkipTerminator.
 void cloneBlockBody(Builder &B, Block &Source, ValueMap &Map,
                     bool SkipTerminator = true);
+
+/// Deep-copies an entire module: functions, signatures, flags, bodies. The
+/// artifact cache uses this to preserve the Qwerty IR while the destructive
+/// QCircuit conversion runs on the copy.
+std::unique_ptr<Module> cloneModule(const Module &M);
 
 /// Verifies structural invariants: operand/result types, linear use of
 /// qubit-typed values, terminator placement. Reports problems to \p Diags.

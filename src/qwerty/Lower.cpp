@@ -69,6 +69,7 @@ std::unique_ptr<Module> Lowering::run() {
     if (!F->isQpu())
       continue;
     IRFunction *IRF = M->create(F->Name);
+    IRF->Loc = F->Loc;
     for (const Param &P : F->Params)
       IRF->Body.addArg(convertType(P.Ty));
     if (!F->ReturnTy.isUnit() && !F->ReturnTy.isInvalid())

@@ -110,9 +110,13 @@ void asdf::liftLambdas(Module &M) {
       if (!Lambda)
         continue;
 
+      // createUnique may reallocate M.Functions, invalidating F — read
+      // everything needed from F first.
+      SourceLoc ParentLoc = F->Loc;
       IRFunction *Lifted =
           M.createUnique(F->Name + "__lambda" + std::to_string(Counter++));
       Lifted->IsLambdaLifted = true;
+      Lifted->Loc = ParentLoc;
       moveBlockIntoFunction(*Lambda->Regions[0], *Lifted);
       Lambda->Regions.clear();
 
@@ -587,6 +591,7 @@ bool asdf::generateSpecializations(Module &M, const std::set<SpecKey> &Specs) {
       return false;
     IRFunction *Spec = M.create(specSymbol(Key));
     Spec->IsSpecialization = true;
+    Spec->Loc = Orig->Loc;
     moveBlockIntoFunction(*Body, *Spec);
   }
   return true;

@@ -7,7 +7,7 @@
 #include "baselines/Baselines.h"
 #include "codegen/QasmEmitter.h"
 #include "codegen/QirEmitter.h"
-#include "compiler/Compiler.h"
+#include "compiler/CompileSession.h"
 #include "estimate/ResourceEstimator.h"
 #include "sim/Simulator.h"
 
@@ -17,7 +17,7 @@ using namespace asdf;
 
 namespace {
 
-Circuit bvCircuit(const std::string &Secret, bool Inline = true) {
+Circuit bvCircuit(const std::string &Secret) {
   const char *Source = R"(
 classical f[N](secret: bit[N], x: bit[N]) -> bit {
     return (secret & x).xor_reduce()
@@ -29,12 +29,10 @@ qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
   ProgramBindings B;
   B.Captures["f"]["secret"] = CaptureValue::bitsFromString(Secret);
   B.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
-  QwertyCompiler Compiler;
-  CompileOptions Opts;
-  Opts.Inline = Inline;
-  CompileResult R = Compiler.compile(Source, B, Opts);
-  EXPECT_TRUE(R.Ok) << R.ErrorMessage;
-  return R.FlatCircuit;
+  CompileSession S(Source, B);
+  Circuit *C = S.flatCircuit();
+  EXPECT_NE(C, nullptr) << S.errorMessage();
+  return C ? std::move(*C) : Circuit();
 }
 
 //===----------------------------------------------------------------------===//
@@ -116,13 +114,13 @@ qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
   ProgramBindings B;
   B.Captures["f"]["secret"] = CaptureValue::bitsFromString("101");
   B.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
-  QwertyCompiler Compiler;
-  CompileOptions Opts;
-  Opts.Inline = false;
-  CompileResult R = Compiler.compile(Source, B, Opts);
-  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  SessionOptions Opts;
+  Opts.Plan = presetPlan("no-opt");
+  CompileSession S(Source, B, Opts);
+  Module *QCircIR = S.qcircIR();
+  ASSERT_NE(QCircIR, nullptr) << S.errorMessage();
   QirCallableStats Stats;
-  std::string Qir = emitQirUnrestricted(*R.QCircIR, &Stats);
+  std::string Qir = emitQirUnrestricted(*QCircIR, &Stats);
   EXPECT_GT(Stats.Creates, 0u);
   EXPECT_GT(Stats.Invokes, 0u);
   EXPECT_NE(Qir.find("__quantum__rt__callable_create"), std::string::npos);
@@ -134,11 +132,11 @@ TEST(QirTest, UnrestrictedInlinedHasNoCallables) {
   const char *Source = R"(
 qpu kernel(q: qubit[2]) -> qubit[2] { return q | pm[2] >> std[2] }
 )";
-  QwertyCompiler Compiler;
-  CompileResult R = Compiler.compile(Source, {}, CompileOptions());
-  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  CompileSession S(Source, {});
+  Module *QCircIR = S.qcircIR();
+  ASSERT_NE(QCircIR, nullptr) << S.errorMessage();
   QirCallableStats Stats;
-  emitQirUnrestricted(*R.QCircIR, &Stats);
+  emitQirUnrestricted(*QCircIR, &Stats);
   EXPECT_EQ(Stats.Creates, 0u);
   EXPECT_EQ(Stats.Invokes, 0u);
 }

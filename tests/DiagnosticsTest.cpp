@@ -15,7 +15,7 @@
 #include "ast/Expand.h"
 #include "ast/Parser.h"
 #include "ast/TypeChecker.h"
-#include "compiler/Compiler.h"
+#include "compiler/CompileSession.h"
 
 #include <gtest/gtest.h>
 
@@ -157,10 +157,37 @@ TEST(DiagnosticsTest, ConflictingInferenceReported) {
 }
 
 TEST(DiagnosticsTest, CompilerSurfacesPhaseInMessage) {
-  QwertyCompiler Compiler;
-  CompileResult R = Compiler.compile("qpu k( {", {}, CompileOptions());
-  EXPECT_FALSE(R.Ok);
-  EXPECT_NE(R.ErrorMessage.find("parse"), std::string::npos);
+  CompileSession S("qpu k( {", {});
+  EXPECT_EQ(S.flatCircuit(), nullptr);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.errorMessage().find("parse"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, PassFailureNamesStagePassAndEntry) {
+  // Flattening a wrong entry fails mid-pipeline; the session error names
+  // the stage:pass and the entry kernel, not just a generic message.
+  CompileSession S("qpu kernel(q: qubit) -> qubit { return q | std.flip }",
+                   {}, [] {
+                     SessionOptions O;
+                     O.Entry = "nonexistent";
+                     return O;
+                   }());
+  EXPECT_EQ(S.flatCircuit(), nullptr);
+  EXPECT_NE(S.errorMessage().find("nonexistent"), std::string::npos);
+  // Artifacts materialized before the failing stage stay inspectable.
+  EXPECT_NE(S.qcircIR(), nullptr);
+  EXPECT_NE(S.qwertyIR(), nullptr);
+}
+
+TEST(DiagnosticsTest, VerifierReportsKernelSourceLocation) {
+  // The entry kernel starts on line 2 of this source; a verifier failure
+  // inside it must carry that location through the pass pipeline.
+  const char *Source = "\nqpu kernel(q: qubit) -> qubit { return q | id }";
+  CompileSession S(Source, {});
+  Module *QW = S.qwertyIR();
+  ASSERT_NE(QW, nullptr) << S.errorMessage();
+  ASSERT_FALSE(QW->Functions.empty());
+  EXPECT_EQ(QW->Functions.front()->Loc.Line, 2u);
 }
 
 TEST(DiagnosticsTest, LocationsAreOneBased) {

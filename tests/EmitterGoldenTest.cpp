@@ -20,7 +20,7 @@
 #include "baselines/Baselines.h"
 #include "codegen/QasmEmitter.h"
 #include "codegen/QirEmitter.h"
-#include "compiler/Compiler.h"
+#include "compiler/CompileSession.h"
 
 #include <gtest/gtest.h>
 
@@ -68,17 +68,22 @@ void checkGolden(const std::string &Name, const std::string &Got) {
 }
 
 struct Compiled {
-  CompileResult R;
+  Circuit FlatCircuit;
+  std::unique_ptr<Module> QCircIR;
 };
 
 Compiled compileOrDie(const std::string &Source,
                       const ProgramBindings &Bindings,
                       const std::string &Entry = "kernel") {
-  QwertyCompiler Compiler;
-  CompileOptions Opts;
+  SessionOptions Opts;
   Opts.Entry = Entry;
-  Compiled C{Compiler.compile(Source, Bindings, Opts)};
-  EXPECT_TRUE(C.R.Ok) << C.R.ErrorMessage;
+  CompileSession S(Source, Bindings, Opts);
+  EXPECT_NE(S.flatCircuit(), nullptr) << S.errorMessage();
+  CompileSession::Artifacts A = S.takeArtifacts();
+  Compiled C;
+  if (A.Flat)
+    C.FlatCircuit = std::move(*A.Flat);
+  C.QCircIR = std::move(A.QCircIR);
   return C;
 }
 
@@ -173,26 +178,26 @@ qpu teleport(secret: qubit) -> qubit {
 //===----------------------------------------------------------------------===//
 
 TEST(EmitterGoldenTest, QasmBernsteinVazirani) {
-  checkGolden("bv.qasm", emitOpenQasm3(bernsteinVazirani().R.FlatCircuit));
+  checkGolden("bv.qasm", emitOpenQasm3(bernsteinVazirani().FlatCircuit));
 }
 
 TEST(EmitterGoldenTest, QasmDeutschJozsa) {
   checkGolden("deutsch_jozsa.qasm",
-              emitOpenQasm3(deutschJozsa().R.FlatCircuit));
+              emitOpenQasm3(deutschJozsa().FlatCircuit));
 }
 
 TEST(EmitterGoldenTest, QasmGrover) {
-  checkGolden("grover.qasm", emitOpenQasm3(grover().R.FlatCircuit));
+  checkGolden("grover.qasm", emitOpenQasm3(grover().FlatCircuit));
 }
 
 TEST(EmitterGoldenTest, QasmPeriodFinding) {
   checkGolden("period_finding.qasm",
-              emitOpenQasm3(periodFinding().R.FlatCircuit));
+              emitOpenQasm3(periodFinding().FlatCircuit));
 }
 
 TEST(EmitterGoldenTest, QasmTeleportation) {
   checkGolden("teleportation.qasm",
-              emitOpenQasm3(teleportation().R.FlatCircuit));
+              emitOpenQasm3(teleportation().FlatCircuit));
 }
 
 //===----------------------------------------------------------------------===//
@@ -201,14 +206,14 @@ TEST(EmitterGoldenTest, QasmTeleportation) {
 
 TEST(EmitterGoldenTest, QirBaseBernsteinVazirani) {
   std::optional<std::string> Qir =
-      emitQirBaseProfile(bernsteinVazirani().R.FlatCircuit);
+      emitQirBaseProfile(bernsteinVazirani().FlatCircuit);
   ASSERT_TRUE(Qir.has_value());
   checkGolden("bv.ll", *Qir);
 }
 
 TEST(EmitterGoldenTest, QirBaseDeutschJozsa) {
   std::optional<std::string> Qir =
-      emitQirBaseProfile(deutschJozsa().R.FlatCircuit);
+      emitQirBaseProfile(deutschJozsa().FlatCircuit);
   ASSERT_TRUE(Qir.has_value());
   checkGolden("deutsch_jozsa.ll", *Qir);
 }
@@ -218,24 +223,24 @@ TEST(EmitterGoldenTest, QirUnrestrictedGrover) {
   // The multi-controlled oracle/diffuser gates are outside the Base
   // Profile (it requires decomposed controls); pin that, then golden the
   // Unrestricted Profile emission.
-  EXPECT_FALSE(emitQirBaseProfile(C.R.FlatCircuit).has_value());
-  ASSERT_NE(C.R.QCircIR, nullptr);
-  checkGolden("grover.ll", emitQirUnrestricted(*C.R.QCircIR));
+  EXPECT_FALSE(emitQirBaseProfile(C.FlatCircuit).has_value());
+  ASSERT_NE(C.QCircIR, nullptr);
+  checkGolden("grover.ll", emitQirUnrestricted(*C.QCircIR));
 }
 
 TEST(EmitterGoldenTest, QirUnrestrictedPeriodFinding) {
   Compiled C = periodFinding();
-  ASSERT_NE(C.R.QCircIR, nullptr);
-  checkGolden("period_finding.ll", emitQirUnrestricted(*C.R.QCircIR));
+  ASSERT_NE(C.QCircIR, nullptr);
+  checkGolden("period_finding.ll", emitQirUnrestricted(*C.QCircIR));
 }
 
 TEST(EmitterGoldenTest, QirTeleportation) {
   Compiled C = teleportation();
   // Teleportation feed-forward is outside the Base Profile by design.
-  EXPECT_FALSE(emitQirBaseProfile(C.R.FlatCircuit).has_value());
-  ASSERT_NE(C.R.QCircIR, nullptr);
+  EXPECT_FALSE(emitQirBaseProfile(C.FlatCircuit).has_value());
+  ASSERT_NE(C.QCircIR, nullptr);
   QirCallableStats Stats;
-  checkGolden("teleportation.ll", emitQirUnrestricted(*C.R.QCircIR, &Stats));
+  checkGolden("teleportation.ll", emitQirUnrestricted(*C.QCircIR, &Stats));
 }
 
 } // namespace

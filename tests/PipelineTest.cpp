@@ -18,7 +18,7 @@
 #include "classical/ReversibleSynth.h"
 #include "ast/Parser.h"
 #include "ast/TypeChecker.h"
-#include "compiler/Compiler.h"
+#include "compiler/CompileSession.h"
 #include "qcirc/Flatten.h"
 #include "sim/Simulator.h"
 
@@ -62,37 +62,36 @@ ProgramBindings bvBindings(const std::string &Secret) {
 
 TEST(PipelineTest, BernsteinVaziraniRecoversSecret) {
   for (const char *Secret : {"1010", "1111", "0001", "1011010"}) {
-    QwertyCompiler Compiler;
-    CompileResult R = Compiler.compile(BVSource, bvBindings(Secret));
-    ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+    CompileSession S(BVSource, bvBindings(Secret));
+    Circuit *C = S.flatCircuit();
+    ASSERT_TRUE(C) << S.errorMessage();
     // B-V is deterministic: every shot yields the secret.
-    ShotResult Shot = simulate(R.FlatCircuit, 42);
-    EXPECT_EQ(outputString(R.FlatCircuit, Shot), Secret);
+    ShotResult Shot = simulate(*C, 42);
+    EXPECT_EQ(outputString(*C, Shot), Secret);
   }
 }
 
 TEST(PipelineTest, BVFullyInlines) {
-  QwertyCompiler Compiler;
-  CompileResult R = Compiler.compileToQwertyIR(BVSource, bvBindings("1010"));
-  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  CompileSession S(BVSource, bvBindings("1010"));
+  Module *QwertyIR = S.qwertyIR();
+  ASSERT_TRUE(QwertyIR) << S.errorMessage();
   // With optimization, everything inlines into one function with no
   // call_indirect ops (§8.2).
-  EXPECT_EQ(R.QwertyIR->Functions.size(), 1u);
-  for (auto &O : R.QwertyIR->Functions[0]->Body.Ops) {
+  EXPECT_EQ(QwertyIR->Functions.size(), 1u);
+  for (auto &O : QwertyIR->Functions[0]->Body.Ops) {
     EXPECT_NE(O->Kind, OpKind::CallIndirect);
     EXPECT_NE(O->Kind, OpKind::Call);
   }
 }
 
 TEST(PipelineTest, BVNoOptKeepsCallIndirects) {
-  QwertyCompiler Compiler;
-  CompileOptions Opts;
-  Opts.Inline = false;
-  CompileResult R =
-      Compiler.compileToQwertyIR(BVSource, bvBindings("1010"), Opts);
-  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  SessionOptions Opts;
+  Opts.Plan = presetPlan("no-opt");
+  CompileSession S(BVSource, bvBindings("1010"), Opts);
+  Module *QwertyIR = S.qwertyIR();
+  ASSERT_TRUE(QwertyIR) << S.errorMessage();
   unsigned Consts = 0, Indirects = 0;
-  for (auto &F : R.QwertyIR->Functions)
+  for (auto &F : QwertyIR->Functions)
     for (auto &O : F->Body.Ops) {
       Consts += O->Kind == OpKind::FuncConst;
       Indirects += O->Kind == OpKind::CallIndirect;
@@ -114,12 +113,12 @@ qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
   ProgramBindings B;
   B.DimVars["N"] = 5;
   B.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
-  QwertyCompiler Compiler;
-  CompileResult R = Compiler.compile(Source, B);
-  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
-  ShotResult Shot = simulate(R.FlatCircuit, 7);
+  CompileSession S(Source, B);
+  Circuit *C = S.flatCircuit();
+  ASSERT_TRUE(C) << S.errorMessage();
+  ShotResult Shot = simulate(*C, 7);
   // XOR-of-all-bits oracle is the secret 11111 in B-V terms.
-  EXPECT_EQ(outputString(R.FlatCircuit, Shot), "11111");
+  EXPECT_EQ(outputString(*C, Shot), "11111");
 }
 
 TEST(PipelineTest, GroverFindsMarkedItem) {
@@ -138,16 +137,16 @@ qpu kernel[N](oracle: cfunc[N, 1]) -> bit[N] {
   ProgramBindings B;
   B.DimVars["N"] = 2;
   B.Captures["kernel"]["oracle"] = CaptureValue::classicalFunc("oracle");
-  QwertyCompiler Compiler;
-  CompileResult R = Compiler.compile(Source, B);
-  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  CompileSession Session(Source, B);
+  Circuit *C = Session.flatCircuit();
+  ASSERT_TRUE(C) << Session.errorMessage();
   // Grover on N=2 with one iteration succeeds with probability 1; note the
   // diffuser {'p'[2]} >> {-'p'[2]} flips the sign of everything EXCEPT...
   // rather, exactly ON |++>, which is the standard diffuser up to global
   // phase.
   std::map<std::string, unsigned> Counts;
   for (unsigned S = 0; S < 32; ++S)
-    ++Counts[outputString(R.FlatCircuit, simulate(R.FlatCircuit, S))];
+    ++Counts[outputString(*C, simulate(*C, S))];
   ASSERT_EQ(Counts.size(), 1u);
   EXPECT_EQ(Counts.begin()->first, "11");
 }
@@ -171,11 +170,11 @@ qpu kernel[N](f: cfunc[N, N]) -> bit[N] {
   ProgramBindings B;
   B.Captures["f"]["mask"] = CaptureValue::bitsFromString("1110");
   B.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
-  QwertyCompiler Compiler;
-  CompileResult R = Compiler.compile(Source, B);
-  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  CompileSession Session(Source, B);
+  Circuit *C = Session.flatCircuit();
+  ASSERT_TRUE(C) << Session.errorMessage();
   for (unsigned S = 0; S < 40; ++S) {
-    std::string Y = outputString(R.FlatCircuit, simulate(R.FlatCircuit, S));
+    std::string Y = outputString(*C, simulate(*C, S));
     ASSERT_EQ(Y.size(), N);
     // y . s = 0 with s = 0001 means the last bit of y is 0.
     EXPECT_EQ(Y[3], '0') << "sample " << Y;
@@ -195,12 +194,12 @@ qpu teleport(secret: qubit) -> qubit {
   // Note: Fig. C13 of the paper conditions pm.flip on m_std and std.flip
   // on m_pm; working the algebra (and simulating), the corrections are the
   // other way around: X^(m_std) then Z^(m_pm).
-  QwertyCompiler Compiler;
-  CompileOptions Opts;
+  SessionOptions Opts;
   Opts.Entry = "teleport";
-  CompileResult R = Compiler.compile(Source, {}, Opts);
-  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
-  const Circuit &C = R.FlatCircuit;
+  CompileSession Session(Source, {}, Opts);
+  Circuit *Flat = Session.flatCircuit();
+  ASSERT_TRUE(Flat) << Session.errorMessage();
+  const Circuit &C = *Flat;
   ASSERT_EQ(C.OutputQubits.size(), 1u);
   unsigned OutQ = C.OutputQubits.front();
 
@@ -242,13 +241,11 @@ qpu kernel(q: qubit[2]) -> qubit[2] {
     return q | prep | ~prep
 }
 )";
-  QwertyCompiler Compiler;
-  CompileOptions Opts;
-  Opts.Entry = "kernel";
-  CompileResult R = Compiler.compile(Source, {}, Opts);
-  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  CompileSession Session(Source, {});
+  Circuit *C = Session.flatCircuit();
+  ASSERT_TRUE(C) << Session.errorMessage();
   // prep then ~prep is the identity.
-  std::vector<std::vector<Amplitude>> U = circuitUnitary(R.FlatCircuit);
+  std::vector<std::vector<Amplitude>> U = circuitUnitary(*C);
   std::vector<std::vector<Amplitude>> Id(
       U.size(), std::vector<Amplitude>(U.size(), Amplitude(0)));
   for (unsigned I = 0; I < Id.size(); ++I)
@@ -265,13 +262,11 @@ qpu kernel(q: qubit[2]) -> qubit[2] {
     return q | '1' & flipper
 }
 )";
-  QwertyCompiler Compiler;
-  CompileOptions Opts;
-  Opts.Entry = "kernel";
-  CompileResult R = Compiler.compile(Source, {}, Opts);
-  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
+  CompileSession Session(Source, {});
+  Circuit *C = Session.flatCircuit();
+  ASSERT_TRUE(C) << Session.errorMessage();
   // '1' & X == CX.
-  std::vector<std::vector<Amplitude>> U = circuitUnitary(R.FlatCircuit);
+  std::vector<std::vector<Amplitude>> U = circuitUnitary(*C);
   std::vector<std::vector<Amplitude>> CX(4, std::vector<Amplitude>(4));
   CX[0][0] = CX[1][1] = CX[3][2] = CX[2][3] = Amplitude(1);
   EXPECT_TRUE(unitariesEquivalent(U, CX, 1e-8));
@@ -289,18 +284,16 @@ qpu kernel(q: qubit[3]) -> qubit[3] {
     return q | '1' & swapper
 }
 )";
-  QwertyCompiler Compiler;
-  CompileOptions Opts;
-  Opts.Entry = "kernel";
-  CompileResult R = Compiler.compile(Source, {}, Opts);
-  ASSERT_TRUE(R.Ok) << R.ErrorMessage;
-  std::vector<std::vector<Amplitude>> URaw = circuitUnitary(R.FlatCircuit);
+  CompileSession Session(Source, {});
+  Circuit *C = Session.flatCircuit();
+  ASSERT_TRUE(C) << Session.errorMessage();
+  std::vector<std::vector<Amplitude>> URaw = circuitUnitary(*C);
   // The kernel's qubit outputs may be a permutation of the physical
   // registers (renaming survives to the entry boundary); fold that
   // permutation into the unitary so we compare position-space semantics.
-  const std::vector<unsigned> &OutQ = R.FlatCircuit.OutputQubits;
+  const std::vector<unsigned> &OutQ = C->OutputQubits;
   ASSERT_EQ(OutQ.size(), 3u);
-  unsigned N = R.FlatCircuit.NumQubits;
+  unsigned N = C->NumQubits;
   std::vector<std::vector<Amplitude>> U(URaw.size(),
                                         std::vector<Amplitude>(URaw.size()));
   for (uint64_t RIdx = 0; RIdx < URaw.size(); ++RIdx) {

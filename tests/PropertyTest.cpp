@@ -19,7 +19,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "basis/SpanCheck.h"
-#include "compiler/Compiler.h"
+#include "compiler/CompileSession.h"
 #include "qcirc/Flatten.h"
 #include "qcirc/Peephole.h"
 #include "sim/Simulator.h"
@@ -265,14 +265,15 @@ qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
     ProgramBindings B;
     B.Captures["f"]["secret"] = CaptureValue::bitsFromString("10011");
     B.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
-    QwertyCompiler Compiler;
-    CompileOptions Opts;
-    Opts.PeepholeOpt = Peephole;
-    CompileResult R = Compiler.compile(Source, B, Opts);
-    ASSERT_TRUE(R.Ok) << R.ErrorMessage;
-    ShotResult Shot = simulate(R.FlatCircuit, 9);
+    SessionOptions Opts;
+    if (!Peephole)
+      Opts.Plan = presetPlan("no-peephole");
+    CompileSession S(Source, B, Opts);
+    Circuit *C = S.flatCircuit();
+    ASSERT_NE(C, nullptr) << S.errorMessage();
+    ShotResult Shot = simulate(*C, 9);
     std::string Out;
-    for (int Bit : R.FlatCircuit.OutputBits)
+    for (int Bit : C->OutputBits)
       Out.push_back(Bit >= 0 && Shot.Bits[unsigned(Bit)] ? '1' : '0');
     EXPECT_EQ(Out, "10011") << "peephole=" << Peephole;
   }
