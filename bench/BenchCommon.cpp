@@ -6,11 +6,137 @@
 
 #include "BenchCommon.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 using namespace asdf;
+
+namespace {
+
+/// Minimal JSON string escape (quotes, backslashes, control characters).
+std::string jsonEscape(const std::string &S) {
+  std::string R;
+  R.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      R += "\\\"";
+      break;
+    case '\\':
+      R += "\\\\";
+      break;
+    case '\n':
+      R += "\\n";
+      break;
+    case '\t':
+      R += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        R += Buf;
+      } else {
+        R.push_back(C);
+      }
+    }
+  }
+  return R;
+}
+
+/// Renders a double as a JSON number; non-finite values become null (JSON
+/// has no inf/nan).
+std::string jsonNumber(double V) {
+  if (!std::isfinite(V))
+    return "null";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}
+
+} // namespace
+
+BenchJson::BenchJson(std::string BenchName, int &Argc, char **Argv)
+    : Name(std::move(BenchName)) {
+  // Strip "--json <path>" from argv so positional bench parsing is
+  // untouched wherever the flag lands.
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") != 0)
+      continue;
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "%s: --json expects a file path\n", Name.c_str());
+      std::exit(2);
+    }
+    Path = Argv[I + 1];
+    for (int J = I; J + 2 < Argc; ++J)
+      Argv[J] = Argv[J + 2];
+    Argc -= 2;
+    break;
+  }
+}
+
+BenchJson::~BenchJson() {
+  if (!Written)
+    write();
+}
+
+void BenchJson::config(const std::string &Key, const std::string &Value) {
+  Config.emplace_back(Key, "\"" + jsonEscape(Value) + "\"");
+}
+void BenchJson::config(const std::string &Key, const char *Value) {
+  config(Key, std::string(Value));
+}
+void BenchJson::config(const std::string &Key, double Value) {
+  Config.emplace_back(Key, jsonNumber(Value));
+}
+void BenchJson::config(const std::string &Key, long long Value) {
+  Config.emplace_back(Key, std::to_string(Value));
+}
+void BenchJson::config(const std::string &Key, unsigned Value) {
+  Config.emplace_back(Key, std::to_string(Value));
+}
+void BenchJson::config(const std::string &Key, bool Value) {
+  Config.emplace_back(Key, Value ? "true" : "false");
+}
+
+void BenchJson::metric(const std::string &MetricName, double Value,
+                       const std::string &Unit) {
+  Metrics.push_back({MetricName, Unit, Value});
+}
+
+bool BenchJson::write() {
+  Written = true;
+  if (Path.empty())
+    return true;
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "%s: cannot write bench JSON to '%s'\n",
+                 Name.c_str(), Path.c_str());
+    return false;
+  }
+  Out << "{\n  \"bench\": \"" << jsonEscape(Name) << "\",\n  \"config\": {";
+  for (size_t I = 0; I < Config.size(); ++I)
+    Out << (I ? ", " : "") << "\"" << jsonEscape(Config[I].first)
+        << "\": " << Config[I].second;
+  Out << "},\n  \"metrics\": [";
+  for (size_t I = 0; I < Metrics.size(); ++I)
+    Out << (I ? ",\n    " : "\n    ") << "{\"name\": \""
+        << jsonEscape(Metrics[I].Name) << "\", \"value\": "
+        << jsonNumber(Metrics[I].Value) << ", \"unit\": \""
+        << jsonEscape(Metrics[I].Unit) << "\"}";
+  Out << "\n  ]\n}\n";
+  Out.flush();
+  if (!Out) {
+    std::fprintf(stderr, "%s: write to '%s' failed\n", Name.c_str(),
+                 Path.c_str());
+    return false;
+  }
+  return true;
+}
 
 namespace {
 

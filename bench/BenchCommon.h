@@ -26,8 +26,58 @@
 #include "compiler/CompileSession.h"
 
 #include <string>
+#include <vector>
 
 namespace asdf {
+
+/// Machine-readable perf trajectory for one bench run. Construct it first
+/// thing in main: it strips "--json <path>" from argv (so the positional
+/// parsing every bench does stays untouched) and, when a path was given,
+/// writes on destruction (or an explicit write()) a JSON document of the
+/// form
+///
+///   {"bench": "<name>",
+///    "config": {"qubits": 20, "smoke": false, ...},
+///    "metrics": [{"name": "...", "value": 1.23, "unit": "s"}, ...]}
+///
+/// Without --json it is inert, so every bench can record unconditionally.
+class BenchJson {
+public:
+  BenchJson(std::string BenchName, int &Argc, char **Argv);
+  ~BenchJson();
+  BenchJson(const BenchJson &) = delete;
+  BenchJson &operator=(const BenchJson &) = delete;
+
+  /// True when a --json path was given (metrics will be written).
+  bool enabled() const { return !Path.empty(); }
+
+  void config(const std::string &Key, const std::string &Value);
+  void config(const std::string &Key, const char *Value);
+  void config(const std::string &Key, double Value);
+  void config(const std::string &Key, long long Value);
+  void config(const std::string &Key, unsigned Value);
+  void config(const std::string &Key, bool Value);
+
+  /// Records one metric sample. \p Unit is free-form ("s", "shots/sec",
+  /// "amps/sec", "x", "count"...).
+  void metric(const std::string &Name, double Value,
+              const std::string &Unit);
+
+  /// Writes the file now; returns false (and reports to stderr) on I/O
+  /// failure. Destruction will not write again after an explicit call.
+  bool write();
+
+private:
+  std::string Name;
+  std::string Path;
+  std::vector<std::pair<std::string, std::string>> Config; // key, raw JSON
+  struct Metric {
+    std::string Name, Unit;
+    double Value;
+  };
+  std::vector<Metric> Metrics;
+  bool Written = false;
+};
 
 /// A ready-to-compile benchmark program.
 struct BenchProgram {

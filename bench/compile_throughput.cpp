@@ -11,7 +11,7 @@
 /// session instrumentation — the table that tells the next optimization PR
 /// where compile time actually goes.
 ///
-/// Usage: compile_throughput [--smoke] [N] [repeats]
+/// Usage: compile_throughput [--smoke] [--json <path>] [N] [repeats]
 ///        (default N=8 repeats=20; --smoke = N=5 repeats=2, sized for CI —
 ///        every program still compiles and the artifact sanity checks
 ///        still run)
@@ -51,6 +51,7 @@ struct PassTotal {
 } // namespace
 
 int main(int argc, char **argv) {
+  BenchJson Json("compile_throughput", argc, argv);
   bool Smoke = false;
   std::vector<unsigned> Args;
   for (int I = 1; I < argc; ++I) {
@@ -67,6 +68,9 @@ int main(int argc, char **argv) {
                                  BenchAlgorithm::Simon,
                                  BenchAlgorithm::PeriodFinding};
 
+  Json.config("smoke", Smoke);
+  Json.config("oracle_bits", N);
+  Json.config("repeats", Repeats);
   std::printf("=== Compilation throughput (N=%u, %u repeat(s)%s) ===\n\n",
               N, Repeats, Smoke ? ", smoke" : "");
   std::printf("%-8s | %9s | %10s | %8s %8s\n", "bench", "compiles", "sec",
@@ -112,10 +116,14 @@ int main(int argc, char **argv) {
     std::printf("%-8s | %9u | %10.4f | %8.2f %8.1f\n",
                 benchAlgorithmName(Alg), Repeats, Secs,
                 1e3 * Secs / Repeats, Repeats / Secs);
+    Json.metric(std::string("compiles_per_sec_") + benchAlgorithmName(Alg),
+                Repeats / Secs, "compiles/sec");
   }
 
   std::printf("\noverall: %u compiles in %.3f s -> %.1f compiles/sec\n\n",
               TotalCompiles, TotalSecs, TotalCompiles / TotalSecs);
+  Json.metric("compiles_per_sec_overall", TotalCompiles / TotalSecs,
+              "compiles/sec");
 
   std::printf("per-pass totals over all %u compiles:\n", TotalCompiles);
   std::printf("  %10s  %6s  %6s  %s\n", "total-sec", "share", "runs",
@@ -129,6 +137,7 @@ int main(int argc, char **argv) {
   // Sanity: the instrumented pass time must account for most of the wall
   // time (the rest is session setup, module cloning, and artifact moves).
   double Coverage = InstrumentedSecs / TotalSecs;
+  Json.metric("instrumentation_coverage", Coverage, "ratio");
   std::printf("\ninstrumentation coverage: %.0f%% of wall time\n",
               100.0 * Coverage);
   if (Coverage < 0.5) {

@@ -18,11 +18,13 @@
 ///      Pauli frames (total variation), so this harness cannot bit-rot
 ///      into measuring two different physics.
 ///
-/// Usage: noisy_throughput [--smoke] [qubits shots layers]
-///        (default 16 2000 3; --smoke shrinks everything for CI)
+/// Usage: noisy_throughput [--smoke] [--json <path>] [qubits shots layers]
+///        (default 16 2000 3; --smoke shrinks everything for CI; --json
+///        writes the machine-readable perf trajectory)
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "noise/NoiseModel.h"
 #include "sim/CircuitAnalysis.h"
 #include "sim/Simulator.h"
@@ -97,6 +99,7 @@ double seconds(const std::function<void()> &Body) {
 } // namespace
 
 int main(int argc, char **argv) {
+  BenchJson Json("noisy_throughput", argc, argv);
   bool Smoke = false;
   int ArgBase = 1;
   if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
@@ -112,6 +115,10 @@ int main(int argc, char **argv) {
     Layers = 2;
   }
 
+  Json.config("smoke", Smoke);
+  Json.config("qubits", NumQubits);
+  Json.config("shots", Shots);
+  Json.config("layers", Layers);
   std::printf("=== Noisy throughput: %u qubits, %u shots, %u layers%s ===\n\n",
               NumQubits, Shots, Layers, Smoke ? " (smoke)" : "");
 
@@ -136,11 +143,17 @@ int main(int argc, char **argv) {
       }
       std::printf("%6u %12.4f %12.4f %9.2fx\n", Jobs, TI, TN,
                   TI > 0 ? TN / TI : 0.0);
+      Json.metric("ideal_seconds_j" + std::to_string(Jobs), TI, "s");
+      Json.metric("noisy_seconds_j" + std::to_string(Jobs), TN, "s");
     }
     std::printf("ideal-vs-noisy overhead at jobs=1: %.2fx "
                 "(%.1f noisy shots/sec)\n\n",
                 IdealAt1 > 0 ? NoisyAt1 / IdealAt1 : 0.0,
                 NoisyAt1 > 0 ? Shots / NoisyAt1 : 0.0);
+    Json.metric("noisy_overhead_j1",
+                IdealAt1 > 0 ? NoisyAt1 / IdealAt1 : 0.0, "x");
+    Json.metric("noisy_shots_per_sec_j1",
+                NoisyAt1 > 0 ? Shots / NoisyAt1 : 0.0, "shots/sec");
   }
 
   // --- 2. Pauli frames: noisy Clifford far beyond the dense cap -----------
@@ -164,6 +177,8 @@ int main(int argc, char **argv) {
           Results[0].Bits.size() == N)
         WideOk = true;
       std::printf("%8u %12.4f %14.1f\n", N, T, FrameShots / T);
+      Json.metric("frame_shots_per_sec_" + std::to_string(N) + "q",
+                  FrameShots / T, "shots/sec");
     }
     std::printf("noisy Clifford at >= 100 qubits via Pauli frames: %s\n\n",
                 WideOk ? "PASS" : "FAIL");
@@ -195,6 +210,7 @@ int main(int argc, char **argv) {
     std::printf("cross-engine parity (Pauli model, %u shots): TV = %.4f "
                 "(bar < 0.08): %s\n",
                 ParityShots, Tv, Tv < 0.08 ? "PASS" : "FAIL");
+    Json.metric("cross_engine_tv_distance", Tv, "tv");
   }
 
   return (WideOk && Tv < 0.08) ? 0 : 1;

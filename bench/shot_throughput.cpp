@@ -13,10 +13,11 @@
 /// Also re-proves the determinism contract where it matters most: every
 /// (jobs, fuse) configuration must return bit-identical per-shot results.
 ///
-/// Usage: shot_throughput [--smoke] [qubits] [shots] [layers]
+/// Usage: shot_throughput [--smoke] [--json <path>] [qubits] [shots] [layers]
 ///        (default 20 1000 4; --smoke = 12 300 3, sized for CI runners —
 ///        every path and the bit-parity check still run, the timing bar
-///        auto-disarms below the full-scale workload)
+///        auto-disarms below the full-scale workload; --json writes the
+///        machine-readable perf trajectory)
 ///
 /// Acceptance bar from the execution-plan issue: >= 3x throughput at
 /// jobs=4 vs jobs=1 on the default 20-qubit 1000-shot circuit. The check
@@ -25,6 +26,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "sim/Fusion.h"
 #include "sim/StatevectorBackend.h"
 
@@ -71,6 +73,7 @@ double seconds(const std::function<void()> &Body) {
 } // namespace
 
 int main(int argc, char **argv) {
+  BenchJson Json("shot_throughput", argc, argv);
   bool Smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   int ArgBase = Smoke ? 2 : 1;
   unsigned NumQubits = argc > ArgBase ? std::atoi(argv[ArgBase]) : 20;
@@ -82,6 +85,11 @@ int main(int argc, char **argv) {
     Layers = 3;
   }
   unsigned Cores = std::thread::hardware_concurrency();
+  Json.config("smoke", Smoke);
+  Json.config("qubits", NumQubits);
+  Json.config("shots", Shots);
+  Json.config("layers", Layers);
+  Json.config("hardware_threads", Cores);
 
   Circuit C = rotationDense(NumQubits, Layers);
   StatevectorBackend Sv;
@@ -90,6 +98,7 @@ int main(int argc, char **argv) {
               "(%u hardware threads) ===\n",
               NumQubits, Shots, Layers, Cores);
   std::printf("fusion plan: %s\n\n", FC.summary().c_str());
+  Json.config("fusion_plan", FC.summary());
 
   // Single-shot prefix gain: the whole rotation cascade runs once per call.
   {
@@ -100,6 +109,8 @@ int main(int argc, char **argv) {
     double TF = seconds([&] { Sv.runBatch(C, 1, 42, Fused); });
     std::printf("single shot: unfused %.4f s, fused %.4f s  (%.2fx)\n\n",
                 TU, TF, TF > 0 ? TU / TF : 0.0);
+    Json.metric("single_shot_unfused_seconds", TU, "s");
+    Json.metric("single_shot_fused_seconds", TF, "s");
   }
 
   std::printf("%6s %8s %14s %14s %10s\n", "jobs", "fusion", "seconds",
@@ -110,6 +121,8 @@ int main(int argc, char **argv) {
       RunOptions Opts;
       Opts.Jobs = Jobs;
       Opts.Fuse = Fuse;
+      SimStats Stats;
+      Opts.SimCounters = &Stats;
       double T = seconds([&] { Sv.runBatch(C, Shots, 42, Opts); });
       if (!Fuse && Jobs == 1)
         Base = T;
@@ -120,6 +133,20 @@ int main(int argc, char **argv) {
       std::printf("%6u %8s %14.4f %14.1f %9.2fx\n", Jobs,
                   Fuse ? "on" : "off", T, Shots / T,
                   Base > 0 ? Base / T : 1.0);
+      std::string Tag = std::string("j") + std::to_string(Jobs) +
+                        (Fuse ? "_fused" : "_unfused");
+      Json.metric("shots_per_sec_" + Tag, Shots / T, "shots/sec");
+      if (Fuse && Jobs == 1) {
+        // The per-run counters ride along once, from the canonical config.
+        Json.metric("fused_ops", double(Stats.FusedOps.load()), "count");
+        Json.metric("fused_blocks", double(Stats.FusedBlocks.load()),
+                    "count");
+        Json.metric("amplitudes_touched",
+                    double(Stats.AmplitudesTouched.load()), "count");
+        Json.metric("amps_per_sec",
+                    T > 0 ? double(Stats.AmplitudesTouched.load()) / T : 0.0,
+                    "amps/sec");
+      }
     }
   }
 
@@ -143,6 +170,7 @@ int main(int argc, char **argv) {
 
   double Speedup = FusedAt4 > 0 ? FusedAt1 / FusedAt4 : 0.0;
   std::printf("\njobs=4 vs jobs=1 (fused): %.2fx\n", Speedup);
+  Json.metric("speedup_j4_vs_j1_fused", Speedup, "x");
   // Enforce the >=3x bar only where it is meaningful: the full-scale
   // default workload on a machine with at least 4 hardware threads.
   // Reduced smoke runs (CI shared runners, laptops) still exercise every

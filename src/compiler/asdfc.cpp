@@ -30,12 +30,14 @@
 #include "sim/CircuitAnalysis.h"
 #include "sim/Simulator.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace asdf;
 
@@ -71,11 +73,21 @@ void usage(FILE *Out) {
       "  --backend auto|sv|stab  simulation backend for --emit run\n"
       "                          (auto picks the stabilizer tableau for\n"
       "                          Clifford circuits, statevector otherwise)\n"
-      "  --jobs <n>              shot-parallel worker threads for --emit\n"
-      "                          run (default 0 = one per hardware core;\n"
-      "                          results are identical for any value)\n"
+      "  --jobs <n>              worker threads for --emit run (default 0 =\n"
+      "                          one per hardware core; results are\n"
+      "                          identical for any value)\n"
+      "  --parallel auto|shot|amp  how the dense engine spends the workers:\n"
+      "                          shot-parallel forks, amplitude-parallel\n"
+      "                          kernels, or (default) a hybrid chosen\n"
+      "                          from shots x qubits; results are\n"
+      "                          bit-identical either way\n"
       "  --no-fuse               disable the gate-fusion pass of the dense\n"
       "                          execution plan\n"
+      "  --fuse-k <n>            widest fused block in qubits (default 3 =\n"
+      "                          8x8 matrices; 1 = per-wire runs only)\n"
+      "  --sim-stats             print simulation counters (gate kernels,\n"
+      "                          fused ops/blocks, amplitudes touched,\n"
+      "                          amps/sec) to stderr after --emit run\n"
       "  --noise <file.ini>      noise model for --emit run (INI spec; see\n"
       "                          README \"Noisy simulation\"). Pauli-only\n"
       "                          models run on the stabilizer engine via\n"
@@ -139,6 +151,7 @@ int main(int argc, char **argv) {
   bool Trajectories = false;
   bool PassTimings = false;
   bool JobsExplicitZero = false;
+  bool SimStatsRequested = false;
 
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -210,8 +223,27 @@ int main(int argc, char **argv) {
     } else if (Arg == "--jobs") {
       RunOpts.Jobs = std::atoi(Next());
       JobsExplicitZero = RunOpts.Jobs == 0;
+    } else if (Arg == "--parallel") {
+      std::string Mode = Next();
+      if (Mode == "auto")
+        RunOpts.Parallel = ParallelMode::Auto;
+      else if (Mode == "shot")
+        RunOpts.Parallel = ParallelMode::Shot;
+      else if (Mode == "amp" || Mode == "amplitude")
+        RunOpts.Parallel = ParallelMode::Amplitude;
+      else
+        usageError("unknown --parallel mode '" + Mode +
+                   "' (expected auto, shot, or amp)");
     } else if (Arg == "--no-fuse") {
       RunOpts.Fuse = false;
+    } else if (Arg == "--fuse-k") {
+      int K = std::atoi(Next());
+      if (K < 1 || K > static_cast<int>(MaxFuseQubits))
+        usageError("--fuse-k expects a block width between 1 and " +
+                   std::to_string(MaxFuseQubits) + " qubits");
+      RunOpts.FuseMaxQubits = static_cast<unsigned>(K);
+    } else if (Arg == "--sim-stats") {
+      SimStatsRequested = true;
     } else if (Arg == "--noise") {
       std::string Error;
       if (!loadNoiseSpec(Next(), Noise, Error)) {
@@ -377,10 +409,12 @@ int main(int argc, char **argv) {
   }
   if (JobsExplicitZero)
     std::fprintf(stderr,
-                 "jobs: 0 means one worker per hardware core; using %u\n",
-                 resolveJobCount(0, Shots));
+                 "jobs: 0 means one worker per hardware core; worker "
+                 "budget %u (shot-parallel runs clamp to the %u shot(s))\n",
+                 resolveJobCount(0), Shots);
   if (RunOpts.Fuse && IsSv) {
-    FusedCircuit Plan = fuseCircuit(FlatCircuit, RunOpts.Noise);
+    FusedCircuit Plan =
+        fuseCircuit(FlatCircuit, RunOpts.Noise, RunOpts.FuseMaxQubits);
     if (Plan.GatesFused > 0)
       std::fprintf(stderr, "fusion: %s\n", Plan.summary().c_str());
   }
@@ -399,8 +433,16 @@ int main(int argc, char **argv) {
                  "path: %s\n",
                  Sites, FlatCircuit.Instrs.size(), NoisePath);
   }
-  for (const ShotResult &Shot :
-       B.runBatch(FlatCircuit, Shots, Seed, RunOpts)) {
+  SimStats SimCounters;
+  if (SimStatsRequested)
+    RunOpts.SimCounters = &SimCounters;
+  auto RunStart = std::chrono::steady_clock::now();
+  std::vector<ShotResult> Batch =
+      B.runBatch(FlatCircuit, Shots, Seed, RunOpts);
+  double RunSecs = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - RunStart)
+                       .count();
+  for (const ShotResult &Shot : Batch) {
     std::string Out;
     for (int Bit : FlatCircuit.OutputBits)
       Out.push_back(Bit == -2                ? '1'
@@ -408,6 +450,22 @@ int main(int argc, char **argv) {
                     : Shot.Bits[static_cast<unsigned>(Bit)] ? '1'
                                                             : '0');
     std::printf("%s\n", Out.c_str());
+  }
+  if (SimStatsRequested) {
+    uint64_t Amps = SimCounters.AmplitudesTouched.load();
+    std::fprintf(
+        stderr,
+        "sim-stats: %llu gate kernel(s), %llu fused op(s) (%llu block(s)), "
+        "%llu amplitudes touched, %.3g amps/sec over %u shot(s)\n",
+        static_cast<unsigned long long>(SimCounters.GatesApplied.load()),
+        static_cast<unsigned long long>(SimCounters.FusedOps.load()),
+        static_cast<unsigned long long>(SimCounters.FusedBlocks.load()),
+        static_cast<unsigned long long>(Amps),
+        RunSecs > 0 ? double(Amps) / RunSecs : 0.0, Shots);
+    if (!IsSv)
+      std::fprintf(stderr, "sim-stats: note: the '%s' backend does not "
+                           "report dense-engine counters\n",
+                   B.name());
   }
   if (Trajectories && RunOpts.NoiseCounters)
     std::fprintf(

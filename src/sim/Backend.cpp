@@ -52,7 +52,7 @@ bool asdf::parseBackendKind(const std::string &Name, BackendKind &Kind) {
   return false;
 }
 
-unsigned asdf::resolveJobCount(unsigned RequestedJobs, unsigned Shots) {
+unsigned asdf::resolveJobCount(unsigned RequestedJobs) {
   unsigned Cores = std::thread::hardware_concurrency();
   if (Cores == 0)
     Cores = 1;
@@ -63,38 +63,51 @@ unsigned asdf::resolveJobCount(unsigned RequestedJobs, unsigned Shots) {
   unsigned MaxJobs = Cores * 4;
   if (Jobs > MaxJobs)
     Jobs = MaxJobs;
+  return Jobs < 1 ? 1 : Jobs;
+}
+
+unsigned asdf::resolveJobCount(unsigned RequestedJobs, unsigned Shots) {
+  unsigned Jobs = resolveJobCount(RequestedJobs);
   if (Shots < Jobs)
     Jobs = Shots;
   return Jobs < 1 ? 1 : Jobs;
 }
 
-void asdf::parallelShotLoop(unsigned Jobs, unsigned Shots,
-                           const std::function<void(unsigned)> &Body) {
-  if (Jobs <= 1 || Shots <= 1) {
-    for (unsigned S = 0; S < Shots; ++S)
-      Body(S);
-    return;
-  }
-  // Chunked self-scheduling queue: workers grab the next chunk of shot
-  // indices as they go idle, so stragglers (shots whose feed-forward takes
-  // a longer path) never serialize the batch. Chunks keep the atomic off
-  // the fast path for cheap shots while staying small enough to balance.
-  unsigned Chunk = Shots / (Jobs * 8);
+namespace {
+
+/// The shared chunked self-scheduling queue behind parallelIndexLoop and
+/// parallelShotLoop: workers grab the next chunk of indices as they go
+/// idle, so stragglers (shots whose feed-forward takes a longer path,
+/// index ranges crossing a slow page) never serialize the run. Chunks keep
+/// the atomic off the fast path while staying small enough to balance.
+/// Body receives (Worker, Begin, End) with dense worker ids in [0, Jobs).
+void parallelChunkLoop(
+    unsigned Jobs, uint64_t NumItems, uint64_t Chunk,
+    const std::function<void(unsigned, uint64_t, uint64_t)> &Body) {
   if (Chunk < 1)
     Chunk = 1;
-  std::atomic<unsigned> Next{0};
+  // Clamp the worker count to the actual number of chunks: requesting 8
+  // workers for 3 work items must spawn at most 3, never 5 idle threads.
+  uint64_t NumChunks = (NumItems + Chunk - 1) / Chunk;
+  if (NumChunks < Jobs)
+    Jobs = static_cast<unsigned>(NumChunks);
+  if (Jobs <= 1 || NumItems <= Chunk) {
+    if (NumItems > 0)
+      Body(0, 0, NumItems);
+    return;
+  }
+  std::atomic<uint64_t> Next{0};
   std::atomic<bool> Failed{false};
   std::exception_ptr FirstError;
   std::mutex ErrorLock;
-  auto Worker = [&] {
+  auto Worker = [&](unsigned W) {
     try {
       while (!Failed.load(std::memory_order_relaxed)) {
-        unsigned Begin = Next.fetch_add(Chunk, std::memory_order_relaxed);
-        if (Begin >= Shots)
+        uint64_t Begin = Next.fetch_add(Chunk, std::memory_order_relaxed);
+        if (Begin >= NumItems)
           return;
-        unsigned End = Begin + Chunk < Shots ? Begin + Chunk : Shots;
-        for (unsigned S = Begin; S < End; ++S)
-          Body(S);
+        uint64_t End = Begin + Chunk < NumItems ? Begin + Chunk : NumItems;
+        Body(W, Begin, End);
       }
     } catch (...) {
       // Park the first exception (e.g. a state fork's bad_alloc) and stop
@@ -109,16 +122,52 @@ void asdf::parallelShotLoop(unsigned Jobs, unsigned Shots,
   Threads.reserve(Jobs - 1);
   for (unsigned T = 1; T < Jobs; ++T) {
     try {
-      Threads.emplace_back(Worker);
+      Threads.emplace_back(Worker, T);
     } catch (const std::system_error &) {
       break; // Thread resources exhausted: run with what we got.
     }
   }
-  Worker(); // This thread is worker 0.
+  Worker(0); // This thread is worker 0.
   for (std::thread &T : Threads)
     T.join();
   if (FirstError)
     std::rethrow_exception(FirstError);
+}
+
+} // namespace
+
+void asdf::parallelIndexLoop(
+    unsigned Jobs, uint64_t NumItems, uint64_t MinChunk,
+    const std::function<void(uint64_t, uint64_t)> &Body) {
+  if (MinChunk < 1)
+    MinChunk = 1;
+  // Aim for ~8 chunks per worker for balance, but never below the
+  // caller's floor: a tiny chunk of a memory-bound sweep costs more in
+  // queue traffic than it recovers in balance.
+  uint64_t Chunk = Jobs > 1 ? NumItems / (uint64_t(Jobs) * 8) : NumItems;
+  if (Chunk < MinChunk)
+    Chunk = MinChunk;
+  parallelChunkLoop(Jobs, NumItems, Chunk,
+                    [&](unsigned, uint64_t Begin, uint64_t End) {
+                      Body(Begin, End);
+                    });
+}
+
+void asdf::parallelShotLoop(
+    unsigned Jobs, unsigned Shots,
+    const std::function<void(unsigned, unsigned)> &Body) {
+  uint64_t Chunk = Jobs > 1 ? Shots / (uint64_t(Jobs) * 8) : Shots;
+  parallelChunkLoop(Jobs, Shots, Chunk,
+                    [&](unsigned W, uint64_t Begin, uint64_t End) {
+                      for (uint64_t S = Begin; S < End; ++S)
+                        Body(W, static_cast<unsigned>(S));
+                    });
+}
+
+void asdf::parallelShotLoop(unsigned Jobs, unsigned Shots,
+                            const std::function<void(unsigned)> &Body) {
+  parallelShotLoop(Jobs, Shots,
+                   [&](unsigned, unsigned S) { Body(S); });
 }
 
 ShotResult SimBackend::runNoisy(const Circuit &C, uint64_t Seed,

@@ -29,6 +29,7 @@
 
 #include "qcirc/Circuit.h"
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -58,18 +59,61 @@ bool parseBackendKind(const std::string &Name, BackendKind &Kind);
 /// fully determined by (Seed, Shot).
 uint64_t deriveShotSeed(uint64_t Seed, uint64_t Shot);
 
+/// Where the dense engine spends its worker threads.
+enum class ParallelMode {
+  /// Pick from shots x qubits: the shared prefix always runs
+  /// amplitude-parallel; the per-shot remainder runs shot-parallel when
+  /// there are enough shots to keep every worker busy, amplitude-parallel
+  /// otherwise (the low-shot/large-n regime).
+  Auto,
+  /// Shot-parallel only: one serial engine per in-flight shot.
+  Shot,
+  /// Amplitude-parallel only: shots run one after another, each kernel's
+  /// index range split across the workers.
+  Amplitude,
+};
+
+/// Lightweight cross-thread counters for one dense run (RunOptions::
+/// SimCounters, asdfc --sim-stats, bench JSON). Relaxed atomics bumped
+/// once per kernel application, never per amplitude.
+struct SimStats {
+  /// Raw gate/measure/reset kernels applied (pass-through instructions and
+  /// the unfused path).
+  std::atomic<uint64_t> GatesApplied{0};
+  /// Fused ops applied (2x2 runs, diagonal sweeps, multi-qubit blocks).
+  std::atomic<uint64_t> FusedOps{0};
+  /// Of those, multi-qubit block applications (gather/scatter sweeps).
+  std::atomic<uint64_t> FusedBlocks{0};
+  /// Amplitudes read-modify-written across all kernels, the currency of
+  /// the memory-bound engine (amps/sec = this over wall time).
+  std::atomic<uint64_t> AmplitudesTouched{0};
+};
+
 /// Execution-plan knobs threaded through runShots/runBatch. The defaults
 /// are the fast path: gate fusion on, one worker per hardware core. Every
 /// combination returns bit-identical per-shot results up to floating-point
 /// rounding of fused matrices — shot S always runs with
 /// deriveShotSeed(Seed, S) and lands at result index S, regardless of
-/// scheduling.
+/// scheduling, and the dense kernels' reductions use a fixed chunked
+/// summation order, so even amplitude-parallel execution is bit-identical
+/// across worker counts.
 struct RunOptions {
   /// Worker threads for multi-shot runs. 0 means one per hardware core;
   /// 1 forces the serial path.
   unsigned Jobs = 0;
   /// Run the gate-fusion pass before dense execution (Fusion.h).
   bool Fuse = true;
+  /// Largest combined support (in qubits) a fused multi-qubit block may
+  /// accumulate: k=3 means up to 8x8 matrices applied in one
+  /// gather/scatter sweep. 1 restricts fusion to per-wire 2x2 runs and
+  /// diagonal coalescing (the pre-block behavior). Clamped to
+  /// [1, MaxFuseQubits].
+  unsigned FuseMaxQubits = 3;
+  /// How the dense engine parallelizes (see ParallelMode).
+  ParallelMode Parallel = ParallelMode::Auto;
+  /// Optional cross-thread simulation counters for the run (asdfc
+  /// --sim-stats, bench JSON). Non-owning; dense engine only.
+  SimStats *SimCounters = nullptr;
   /// Override input to StatevectorBackend::maxQubits, the dense-cap
   /// policy consulted by support checks (e.g. the asdfc driver) before a
   /// run; 0 derives the cap from available physical memory. This is a
@@ -89,22 +133,44 @@ struct RunOptions {
   NoiseStats *NoiseCounters = nullptr;
 };
 
-/// Resolves RunOptions::Jobs against the machine and the shot count: 0
-/// becomes std::thread::hardware_concurrency, explicit requests are capped
-/// at 4x the core count (oversubscribing a CPU-bound sweep further only
-/// risks thread-creation failure), and the result is clamped to [1, Shots]
-/// (minimum 1 even for zero shots).
+/// Resolves RunOptions::Jobs against the machine alone: 0 becomes
+/// std::thread::hardware_concurrency, explicit requests are capped at 4x
+/// the core count (oversubscribing a CPU-bound sweep further only risks
+/// thread-creation failure). The worker budget for amplitude-parallel
+/// kernels, where the shot count does not bound useful parallelism.
+unsigned resolveJobCount(unsigned RequestedJobs);
+
+/// As above, additionally clamped to [1, Shots] (minimum 1 even for zero
+/// shots): the resolution for shot-parallel loops, where a worker beyond
+/// the shot count could only idle.
 unsigned resolveJobCount(unsigned RequestedJobs, unsigned Shots);
 
-/// Runs \p Body(S) for every S in [0, Shots) on \p Jobs worker threads,
-/// claiming shot indices from a shared chunked work queue (idle workers
-/// steal the next chunk as they finish — no static partition, so uneven
-/// shot costs balance out). \p Body must be safe to call concurrently for
-/// distinct S. Jobs <= 1 degenerates to a plain loop on this thread. If
-/// \p Body throws, the queue drains, every worker joins, and the first
-/// exception is rethrown here — same observable behavior as the serial
-/// loop. Thread-creation failure degrades to fewer workers, never an
-/// error.
+/// Runs \p Body(Begin, End) over disjoint subranges covering [0,
+/// \p NumItems) on up to \p Jobs worker threads, claiming chunks of at
+/// least \p MinChunk items from a shared work queue (idle workers steal
+/// the next chunk as they finish — no static partition, so uneven chunk
+/// costs balance out). The generalization of the shot loop that the dense
+/// engine's amplitude-parallel kernels split their index ranges over.
+/// \p Body must be safe to call concurrently for disjoint ranges. The
+/// worker count is clamped to the number of chunks, so no idle thread is
+/// ever spawned; Jobs <= 1 or a single chunk degenerates to one
+/// Body(0, NumItems) call on this thread. If \p Body throws, the queue
+/// drains, every worker joins, and the first exception is rethrown here —
+/// same observable behavior as the serial loop. Thread-creation failure
+/// degrades to fewer workers, never an error.
+void parallelIndexLoop(unsigned Jobs, uint64_t NumItems, uint64_t MinChunk,
+                       const std::function<void(uint64_t, uint64_t)> &Body);
+
+/// Runs \p Body(Worker, S) for every S in [0, Shots) on \p Jobs worker
+/// threads over the chunked work queue of parallelIndexLoop. Worker ids
+/// are dense in [0, Jobs), so callers can hoist per-worker scratch (e.g.
+/// a forked state per worker instead of per shot) out of the loop. The
+/// worker count is clamped to Shots — requesting more workers than work
+/// items never spawns idle threads.
+void parallelShotLoop(unsigned Jobs, unsigned Shots,
+                      const std::function<void(unsigned, unsigned)> &Body);
+
+/// Worker-agnostic convenience overload: runs \p Body(S) for every shot.
 void parallelShotLoop(unsigned Jobs, unsigned Shots,
                       const std::function<void(unsigned)> &Body);
 

@@ -8,6 +8,7 @@
 
 #include "noise/NoiseModel.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -98,29 +99,159 @@ bool diagonalPhases(GateKind G, double Theta, Cplx &P0, Cplx &P1) {
 
 } // namespace
 
+std::vector<Cplx> asdf::blockMatmul(const std::vector<Cplx> &A,
+                                    const std::vector<Cplx> &B,
+                                    unsigned Dim) {
+  assert(A.size() == size_t(Dim) * Dim && B.size() == size_t(Dim) * Dim);
+  std::vector<Cplx> R(size_t(Dim) * Dim, Cplx(0.0, 0.0));
+  for (unsigned I = 0; I < Dim; ++I)
+    for (unsigned K = 0; K < Dim; ++K) {
+      Cplx AIK = A[size_t(I) * Dim + K];
+      if (AIK == Cplx(0.0, 0.0))
+        continue;
+      for (unsigned J = 0; J < Dim; ++J)
+        R[size_t(I) * Dim + J] += AIK * B[size_t(K) * Dim + J];
+    }
+  return R;
+}
+
+std::vector<Cplx>
+asdf::gateBlockMatrix(const CircuitInstr &I,
+                      const std::vector<unsigned> &Support) {
+  assert(I.TheKind == CircuitInstr::Kind::Gate && "gate instructions only");
+  const unsigned M = Support.size();
+  assert(M <= MaxFuseQubits && "support too wide for a block matrix");
+  const unsigned Dim = 1u << M;
+  // Local bit of Support[j]: MSB-first, matching the global convention.
+  auto LocalBit = [&](unsigned Q) -> unsigned {
+    for (unsigned J = 0; J < M; ++J)
+      if (Support[J] == Q)
+        return 1u << (M - 1 - J);
+    assert(false && "qubit not in support");
+    return 0;
+  };
+  unsigned CtlMask = 0;
+  for (unsigned C : I.Controls)
+    CtlMask |= LocalBit(C);
+
+  std::vector<Cplx> R(size_t(Dim) * Dim, Cplx(0.0, 0.0));
+  if (I.Gate == GateKind::Swap) {
+    assert(I.Targets.size() == 2);
+    unsigned BitA = LocalBit(I.Targets[0]), BitB = LocalBit(I.Targets[1]);
+    for (unsigned Col = 0; Col < Dim; ++Col) {
+      unsigned Row = Col;
+      if ((Col & CtlMask) == CtlMask) {
+        Row = Col & ~(BitA | BitB);
+        if (Col & BitA)
+          Row |= BitB;
+        if (Col & BitB)
+          Row |= BitA;
+      }
+      R[size_t(Row) * Dim + Col] = Cplx(1.0, 0.0);
+    }
+    return R;
+  }
+
+  assert(I.Targets.size() == 1);
+  unsigned Bit = LocalBit(I.Targets[0]);
+  Mat2 U = gateMatrix2(I.Gate, I.Param);
+  for (unsigned Col = 0; Col < Dim; ++Col) {
+    if ((Col & CtlMask) != CtlMask) {
+      R[size_t(Col) * Dim + Col] = Cplx(1.0, 0.0);
+      continue;
+    }
+    unsigned Tv = (Col & Bit) ? 1 : 0;
+    R[size_t(Col & ~Bit) * Dim + Col] = U.M[0][Tv];
+    R[size_t(Col | Bit) * Dim + Col] = U.M[1][Tv];
+  }
+  return R;
+}
+
+namespace {
+
+/// Expands matrix \p U over qubit set \p From into qubit set \p To
+/// (From subset of To, both sorted ascending): identity tensors in on the
+/// extra qubits, respecting the MSB-first local basis convention.
+std::vector<Cplx> embedBlockMatrix(const std::vector<Cplx> &U,
+                                   const std::vector<unsigned> &From,
+                                   const std::vector<unsigned> &To) {
+  const unsigned MF = From.size(), MT = To.size();
+  const unsigned DimF = 1u << MF, DimT = 1u << MT;
+  if (From == To)
+    return U;
+  // For each To basis index, precompute its From sub-index and the
+  // spectator remainder (the bits outside From, packed in order).
+  std::vector<unsigned> SubIdx(DimT), RestIdx(DimT);
+  std::vector<int> FromPos(MT, -1);
+  for (unsigned J = 0, F = 0; J < MT; ++J) {
+    if (F < MF && To[J] == From[F])
+      FromPos[J] = static_cast<int>(F++);
+  }
+  for (unsigned B = 0; B < DimT; ++B) {
+    unsigned Sub = 0, Rest = 0;
+    for (unsigned J = 0; J < MT; ++J) {
+      unsigned BitVal = (B >> (MT - 1 - J)) & 1;
+      if (FromPos[J] >= 0)
+        Sub = (Sub << 1) | BitVal;
+      else
+        Rest = (Rest << 1) | BitVal;
+    }
+    SubIdx[B] = Sub;
+    RestIdx[B] = Rest;
+  }
+  std::vector<Cplx> R(size_t(DimT) * DimT, Cplx(0.0, 0.0));
+  for (unsigned Row = 0; Row < DimT; ++Row)
+    for (unsigned Col = 0; Col < DimT; ++Col)
+      if (RestIdx[Row] == RestIdx[Col])
+        R[size_t(Row) * DimT + Col] =
+            U[size_t(SubIdx[Row]) * DimF + SubIdx[Col]];
+  return R;
+}
+
+bool isDiagonalBlock(const std::vector<Cplx> &U, unsigned Dim) {
+  for (unsigned Row = 0; Row < Dim; ++Row)
+    for (unsigned Col = 0; Col < Dim; ++Col)
+      if (Row != Col && U[size_t(Row) * Dim + Col] != Cplx(0.0, 0.0))
+        return false;
+  return true;
+}
+
+} // namespace
+
 std::string FusedCircuit::summary() const {
-  return std::to_string(GatesIn) + " gates -> " + std::to_string(Ops.size()) +
-         " ops (" + std::to_string(GatesFused) + " fused, " +
-         std::to_string(SweepsCoalesced) + " sweep entries coalesced)";
+  std::string S = std::to_string(GatesIn) + " gates -> " +
+                  std::to_string(Ops.size()) + " ops (" +
+                  std::to_string(GatesFused) + " fused";
+  if (BlocksFormed)
+    S += ", " + std::to_string(BlocksFormed) + " blocks <= " +
+         std::to_string(WidestBlock) + "q";
+  S += ", " + std::to_string(SweepsCoalesced) + " sweep entries coalesced)";
+  return S;
 }
 
 bool asdf::isFusionBarrier(const CircuitInstr &I) {
   return I.TheKind != CircuitInstr::Kind::Gate || I.CondBit >= 0;
 }
 
-FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise) {
+FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
+                               unsigned MaxBlockQubits) {
   FusedCircuit FC;
   FC.Source = &C;
   const unsigned N = C.NumQubits;
+  const unsigned MaxK =
+      MaxBlockQubits < 1 ? 1
+      : MaxBlockQubits > MaxFuseQubits ? MaxFuseQubits
+                                       : MaxBlockQubits;
   auto QubitBit = [&](unsigned Q) { return uint64_t(1) << (N - 1 - Q); };
 
-  /// The open run of uncontrolled single-qubit gates on one wire.
-  struct PendingRun {
-    Mat2 U = Mat2::identity();
-    unsigned Count = 0;
-    size_t OnlyInstr = 0; ///< Source index, meaningful when Count == 1.
+  /// An open accumulation of adjacent gates over one (disjoint) support.
+  struct OpenBlock {
+    std::vector<unsigned> Qubits; ///< Sorted ascending.
+    std::vector<Cplx> U;          ///< 2^m x 2^m, MSB-first local basis.
+    unsigned Count = 0;           ///< Gates absorbed.
+    size_t OnlyInstr = 0;         ///< Source index, meaningful at Count 1.
   };
-  std::vector<PendingRun> Pending(N);
+  std::vector<OpenBlock> Open;
   bool PrefixOpen = true;
 
   auto emitInstr = [&](size_t Idx) {
@@ -144,31 +275,62 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise) {
     FC.Ops.push_back(std::move(Op));
   };
 
-  auto flush = [&](unsigned Q) {
-    PendingRun &P = Pending[Q];
-    if (P.Count == 0)
+  auto flushBlock = [&](OpenBlock &B) {
+    if (B.Count == 0)
       return;
-    if (P.Count == 1) {
+    if (B.Count == 1) {
       // A lone gate keeps its specialized engine kernel (and bit-exact
       // arithmetic): pass it through instead of wrapping it in a matrix.
-      emitInstr(P.OnlyInstr);
-    } else if (P.U.isDiagonal()) {
-      FC.GatesFused += P.Count;
-      emitDiagEntry({0, QubitBit(Q), P.U.M[0][0], P.U.M[1][1]});
-    } else {
-      FC.GatesFused += P.Count;
+      emitInstr(B.OnlyInstr);
+      return;
+    }
+    FC.GatesFused += B.Count;
+    if (B.Qubits.size() == 1) {
+      // A run that never grew past one wire keeps the cheap 2x2 kernels.
+      Mat2 U2{{{B.U[0], B.U[1]}, {B.U[2], B.U[3]}}};
+      if (U2.isDiagonal()) {
+        emitDiagEntry({0, QubitBit(B.Qubits[0]), U2.M[0][0], U2.M[1][1]});
+        return;
+      }
       FusedOp Op;
       Op.TheKind = FusedOp::Kind::Unitary;
-      Op.Target = Q;
-      Op.U = P.U;
+      Op.Target = B.Qubits[0];
+      Op.U = U2;
       FC.Ops.push_back(std::move(Op));
+      return;
     }
-    P = PendingRun();
+    ++FC.BlocksFormed;
+    if (B.Qubits.size() > FC.WidestBlock)
+      FC.WidestBlock = B.Qubits.size();
+    FusedOp Op;
+    Op.TheKind = FusedOp::Kind::Block;
+    Op.Qubits = std::move(B.Qubits);
+    Op.BlockU = std::move(B.U);
+    FC.Ops.push_back(std::move(Op));
   };
-  auto flushAll = [&] {
-    for (unsigned Q = 0; Q < N; ++Q)
-      flush(Q);
+  // Flushes (in creation order — open supports are pairwise disjoint, so
+  // any order is exact) every open block whose support intersects \p Qs,
+  // or every block when \p Qs is null.
+  auto flushTouching = [&](const std::vector<unsigned> *Qs) {
+    std::vector<OpenBlock> Kept;
+    Kept.reserve(Open.size());
+    for (OpenBlock &B : Open) {
+      bool Touches = Qs == nullptr;
+      if (Qs)
+        for (unsigned Q : *Qs)
+          if (std::find(B.Qubits.begin(), B.Qubits.end(), Q) !=
+              B.Qubits.end()) {
+            Touches = true;
+            break;
+          }
+      if (Touches)
+        flushBlock(B);
+      else
+        Kept.push_back(std::move(B));
+    }
+    Open = std::move(Kept);
   };
+  auto flushAll = [&] { flushTouching(nullptr); };
 
   for (size_t Idx = 0; Idx < C.Instrs.size(); ++Idx) {
     const CircuitInstr &I = C.Instrs[Idx];
@@ -204,47 +366,128 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise) {
       continue;
     }
 
-    if (I.Gate == GateKind::Swap) {
-      for (unsigned T : I.Targets)
-        flush(T);
+    // The gate's support: targets plus controls, sorted and deduplicated
+    // (duplicate controls OR into one mask bit in the engines, and they
+    // collapse the same way in a block matrix — only a control landing ON
+    // a target is special).
+    std::vector<unsigned> S = I.Targets;
+    S.insert(S.end(), I.Controls.begin(), I.Controls.end());
+    std::sort(S.begin(), S.end());
+    S.erase(std::unique(S.begin(), S.end()), S.end());
+
+    bool CtlOnTarget = false;
+    for (unsigned T : I.Targets)
       for (unsigned Ctl : I.Controls)
-        flush(Ctl);
-      emitInstr(Idx);
-      continue;
-    }
-
-    assert(I.Targets.size() == 1 && "non-swap gates have one target");
-    unsigned T = I.Targets[0];
-
-    if (I.Controls.empty()) {
-      PendingRun &P = Pending[T];
-      P.U = matmul(gateMatrix2(I.Gate, I.Param), P.U);
-      if (++P.Count == 1)
-        P.OnlyInstr = Idx;
-      continue;
-    }
-
-    uint64_t CtlMask = 0;
-    for (unsigned Ctl : I.Controls)
-      CtlMask |= QubitBit(Ctl);
-    if (CtlMask & QubitBit(T)) {
+        if (Ctl == T)
+          CtlOnTarget = true;
+    if (I.Gate != GateKind::Swap && CtlOnTarget) {
       // Degenerate control == target has always been a no-op in the
       // engines; the plan drops it outright.
       ++FC.GatesFused;
       continue;
     }
-
-    flush(T);
-    for (unsigned Ctl : I.Controls)
-      flush(Ctl);
-
-    Cplx P0, P1;
-    if (diagonalPhases(I.Gate, I.Param, P0, P1)) {
-      ++FC.GatesFused;
-      emitDiagEntry({CtlMask, QubitBit(T), P0, P1});
+    if (I.Gate == GateKind::Swap &&
+        (CtlOnTarget || I.Targets[0] == I.Targets[1])) {
+      // A swap sharing a control with a target (or swapping a qubit with
+      // itself) has engine-specific semantics; pass it through rather
+      // than modeling it as a matrix.
+      flushTouching(&S);
+      emitInstr(Idx);
       continue;
     }
-    emitInstr(Idx); // Controlled non-diagonal (CX, CH, CRY...): pass through.
+
+    Cplx P0, P1;
+    bool IsDiag = I.Targets.size() == 1 &&
+                  diagonalPhases(I.Gate, I.Param, P0, P1);
+
+    // Which open blocks does this gate touch, and how wide would the
+    // merged support be?
+    std::vector<unsigned> Union = S;
+    bool AnyOverlap = false;
+    for (const OpenBlock &B : Open) {
+      bool Touches = false;
+      for (unsigned Q : B.Qubits)
+        if (std::find(S.begin(), S.end(), Q) != S.end()) {
+          Touches = true;
+          break;
+        }
+      if (!Touches)
+        continue;
+      AnyOverlap = true;
+      for (unsigned Q : B.Qubits)
+        if (std::find(Union.begin(), Union.end(), Q) == Union.end())
+          Union.push_back(Q);
+    }
+    std::sort(Union.begin(), Union.end());
+
+    // A controlled diagonal landing on untouched wires is cheapest as a
+    // coalesced sweep entry — no gather/scatter, any control count.
+    if (IsDiag && !I.Controls.empty() && !AnyOverlap) {
+      uint64_t CtlMask = 0;
+      for (unsigned Ctl : I.Controls)
+        CtlMask |= QubitBit(Ctl);
+      ++FC.GatesFused;
+      emitDiagEntry({CtlMask, QubitBit(I.Targets[0]), P0, P1});
+      continue;
+    }
+
+    if (Union.size() > MaxK) {
+      // Merging would blow the block budget: flush what it touches, then
+      // place the gate on its own.
+      flushTouching(&S);
+      if (S.size() > MaxK) {
+        // Support too wide for any block. Wide diagonals still coalesce
+        // into a sweep entry; everything else passes through.
+        if (IsDiag) {
+          uint64_t CtlMask = 0;
+          for (unsigned Ctl : I.Controls)
+            CtlMask |= QubitBit(Ctl);
+          ++FC.GatesFused;
+          emitDiagEntry({CtlMask, QubitBit(I.Targets[0]), P0, P1});
+        } else {
+          emitInstr(Idx);
+        }
+        continue;
+      }
+      OpenBlock B;
+      B.Qubits = S;
+      B.U = gateBlockMatrix(I, S);
+      B.Count = 1;
+      B.OnlyInstr = Idx;
+      Open.push_back(std::move(B));
+      continue;
+    }
+
+    // Merge the touched blocks (disjoint supports commute, so any
+    // multiplication order is exact) and fold the gate in on top.
+    OpenBlock Merged;
+    Merged.Qubits = Union;
+    const unsigned Dim = 1u << Union.size();
+    Merged.U.assign(size_t(Dim) * Dim, Cplx(0.0, 0.0));
+    for (unsigned D = 0; D < Dim; ++D)
+      Merged.U[size_t(D) * Dim + D] = Cplx(1.0, 0.0);
+    std::vector<OpenBlock> Kept;
+    Kept.reserve(Open.size());
+    for (OpenBlock &B : Open) {
+      bool Touches = false;
+      for (unsigned Q : B.Qubits)
+        if (std::find(S.begin(), S.end(), Q) != S.end()) {
+          Touches = true;
+          break;
+        }
+      if (!Touches) {
+        Kept.push_back(std::move(B));
+        continue;
+      }
+      Merged.U = blockMatmul(embedBlockMatrix(B.U, B.Qubits, Union),
+                             Merged.U, Dim);
+      Merged.Count += B.Count;
+    }
+    Merged.U = blockMatmul(gateBlockMatrix(I, Union), Merged.U, Dim);
+    if (++Merged.Count == 1)
+      Merged.OnlyInstr = Idx;
+    Open = std::move(Kept);
+    Open.push_back(std::move(Merged));
   }
 
   flushAll();

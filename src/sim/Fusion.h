@@ -11,17 +11,28 @@
 /// arithmetic. `fuseCircuit` rewrites the instruction stream into a
 /// `FusedCircuit` of coarser ops the statevector engine consumes:
 ///
-///   - **2x2 run fusion**: a maximal run of adjacent uncontrolled
-///     single-qubit gates on the same wire (adjacent up to commuting
-///     instructions on other wires) collapses into one fused 2x2 unitary —
-///     one sweep instead of k;
+///   - **multi-qubit block fusion** (qsim-style): adjacent gates whose
+///     combined support stays within k qubits (k = 3 by default, 8x8
+///     matrices; RunOptions::FuseMaxQubits) greedily accumulate into one
+///     `FusedOp::Block` applied in a single gather/scatter sweep — CX
+///     ladders interleaved with rotation runs collapse into a handful of
+///     block sweeps. Open blocks on disjoint supports accumulate
+///     independently (adjacent up to commuting instructions on other
+///     wires) and merge when a spanning gate arrives. A block that never
+///     grew past one wire flushes as a fused 2x2 unitary (or a diagonal
+///     entry when the product stayed diagonal), so k = 1 reproduces the
+///     per-wire run fusion of earlier revisions;
 ///   - **diagonal coalescing**: consecutive diagonal ops — controlled
-///     phases (CZ/CP/CCZ/CRZ...) and fused runs that stayed diagonal
-///     (S·T·RZ chains) — merge into a single phase sweep that applies every
-///     entry in one pass over the state;
-///   - everything else (swaps, controlled non-diagonal gates, measurement,
-///     reset, classically-conditioned instructions) passes through by
-///     reference into the original instruction.
+///     phases (CZ/CP/CCZ/CRZ...) on wires with no open block and fused
+///     runs that stayed diagonal (S·T·RZ chains) — merge into a single
+///     phase sweep that applies every entry in one pass over the state.
+///     Diagonal gates landing on an open block's support are absorbed into
+///     the block instead, so H·S·H sandwiches still fuse;
+///   - everything else (gates whose support exceeds k, measurement, reset,
+///     classically-conditioned instructions) passes through by reference
+///     into the original instruction. A gate that ends up alone in its
+///     block also passes through, keeping the engine's specialized
+///     bit-exact kernels for lone gates.
 ///
 /// Fusion is exact: the fused stream applies the same operator product in
 /// the same order (up to commuting disjoint-wire reorderings), and
@@ -75,11 +86,17 @@ struct DiagEntry {
   std::complex<double> Phase1{1.0, 0.0};
 };
 
+/// Hard ceiling on FuseMaxQubits: 64x64 block matrices. Past this the
+/// gather/scatter working set and the O(4^k) arithmetic per amplitude stop
+/// paying for the saved memory passes.
+inline constexpr unsigned MaxFuseQubits = 6;
+
 /// One op of the fused execution plan.
 struct FusedOp {
   enum class Kind {
     Unitary, ///< Fused 2x2 on Target.
     Diag,    ///< Coalesced diagonal sweep (one memory pass, many entries).
+    Block,   ///< Fused multi-qubit block: 2^m x 2^m unitary on Qubits.
     Instr,   ///< Pass-through: Source->Instrs[InstrIndex].
   };
 
@@ -88,6 +105,12 @@ struct FusedOp {
   Mat2 U = Mat2::identity();    ///< Unitary only.
   std::vector<DiagEntry> Diag;  ///< Diag only.
   size_t InstrIndex = 0;        ///< Instr only.
+  /// Block only: the support, sorted ascending by qubit number. Qubits[0]
+  /// owns the most significant bit of the local 2^m basis index, matching
+  /// the global eigenbit convention.
+  std::vector<unsigned> Qubits;
+  /// Block only: row-major 2^m x 2^m matrix over the local basis.
+  std::vector<std::complex<double>> BlockU;
 };
 
 /// The fused execution plan for one circuit. Holds a pointer into the
@@ -103,10 +126,12 @@ struct FusedCircuit {
 
   // Plan statistics, for diagnostics and the --emit run stderr summary.
   size_t GatesIn = 0;       ///< Gate instructions consumed.
-  size_t GatesFused = 0;    ///< Gates folded into Unitary/Diag ops.
+  size_t GatesFused = 0;    ///< Gates folded into Unitary/Diag/Block ops.
   size_t SweepsCoalesced = 0; ///< Diagonal ops merged into a neighbor.
+  size_t BlocksFormed = 0;  ///< Multi-qubit Block ops emitted.
+  size_t WidestBlock = 0;   ///< Largest Block support (qubits) emitted.
 
-  /// "123 gates -> 41 ops (96 fused, 12 sweeps coalesced)"
+  /// "123 gates -> 41 ops (96 fused, 7 blocks <= 3q, 12 sweeps coalesced)"
   std::string summary() const;
 };
 
@@ -122,8 +147,27 @@ bool isFusionBarrier(const CircuitInstr &I);
 /// \p Noise adds channel barriers: a gate with noise attached passes
 /// through unfused (trajectory sampling right after it must see the exact
 /// unfused state, in program order) and closes the shared unconditional
-/// prefix, since it consumes per-shot randomness.
-FusedCircuit fuseCircuit(const Circuit &C, const NoiseModel *Noise = nullptr);
+/// prefix, since it consumes per-shot randomness. \p MaxBlockQubits is the
+/// block-fusion budget k (clamped to [1, MaxFuseQubits]): the widest
+/// combined support a Block op may accumulate; 1 disables multi-qubit
+/// blocks, reproducing per-wire 2x2 run fusion.
+FusedCircuit fuseCircuit(const Circuit &C, const NoiseModel *Noise = nullptr,
+                         unsigned MaxBlockQubits = 3);
+
+/// The full 2^m x 2^m unitary of gate instruction \p I over the qubit set
+/// \p Support, which must be sorted ascending and contain every control
+/// and target of \p I (it may be wider; extra qubits tensor in as
+/// identity). Controls fold in as identity rows/columns where any control
+/// bit reads 0. Local basis convention matches FusedOp::Qubits:
+/// Support[0] is the most significant local bit. Exposed for the
+/// block-fusion property tests.
+std::vector<std::complex<double>>
+gateBlockMatrix(const CircuitInstr &I, const std::vector<unsigned> &Support);
+
+/// Row-major product A*B of two Dim x Dim matrices ("apply B first").
+std::vector<std::complex<double>>
+blockMatmul(const std::vector<std::complex<double>> &A,
+            const std::vector<std::complex<double>> &B, unsigned Dim);
 
 } // namespace asdf
 

@@ -10,14 +10,28 @@
 /// count, memory-bound at 2^n amplitudes; the qubit cap derives from
 /// available physical memory (override via RunOptions::MaxStateQubits).
 ///
-/// Hot Clifford gates bypass the generic controlled-2x2 path with
-/// specialized kernels: diagonal gates (Z/S/Sdg/T/Tdg/P/RZ) become a single
-/// masked phase sweep at any control count, X becomes a pair permutation,
-/// and Y a permutation with a fixed +-i twist. Multi-shot runs fuse the
-/// circuit (Fusion.h), simulate the unconditional gate prefix once, fork
-/// the state per shot, and run the shots on a work-stealing thread pool —
-/// all without changing per-shot RNG consumption, so every (jobs, fuse)
-/// combination replays the same outcomes.
+/// Every kernel is a branch-free strided sweep (QuEST-style): instead of
+/// filtering all 2^n indices with an `(Idx & Mask) == Mask` test, the
+/// kernels enumerate exactly the 2^(n-c-1) relevant pair indices by bit
+/// insertion over the target/control bits, so uncontrolled diagonal/X/H/
+/// phase kernels become contiguous, auto-vectorizable runs over
+/// restrict-qualified re/im data. Hot Clifford gates bypass the generic
+/// controlled-2x2 path with specialized kernels: diagonal gates
+/// (Z/S/Sdg/T/Tdg/P/RZ) become a strided phase sweep at any control count,
+/// X becomes a pair permutation, and Y a permutation with a fixed +-i
+/// twist. Fused multi-qubit blocks (Fusion.h) apply a 2^k x 2^k matrix in
+/// one gather/scatter sweep.
+///
+/// Multi-shot runs fuse the circuit, simulate the unconditional gate
+/// prefix once, fork the state per shot, and run the shots on a
+/// work-stealing thread pool — all without changing per-shot RNG
+/// consumption, so every (jobs, fuse) combination replays the same
+/// outcomes. In the low-shot/large-n regime the engine instead (or in
+/// hybrid, additionally) splits each kernel's index range across the
+/// workers (`setParallelJobs`); all probability reductions use a fixed
+/// chunked summation order, so amplitude-parallel execution is
+/// bit-identical across worker counts — and bit-identical to the serial
+/// reference.
 ///
 /// Convention: qubit 0 is the leftmost qubit and occupies the most
 /// significant bit of a basis-state index, matching the eigenbit convention
@@ -61,16 +75,32 @@ public:
   /// Applies a (fused) 2x2 unitary to qubit \p Q.
   void applyMatrix2(unsigned Q, const Mat2 &U);
 
+  /// Applies a fused multi-qubit block: the 2^m x 2^m row-major unitary
+  /// \p U over \p Qubits (sorted ascending, Qubits[0] = local MSB,
+  /// matching FusedOp::Qubits) in one gather/scatter sweep.
+  void applyBlock(const std::vector<unsigned> &Qubits,
+                  const std::vector<Amplitude> &U);
+
   /// Applies a coalesced diagonal sweep: one pass over the amplitudes,
   /// multiplying in every matching entry's phase.
   void applyDiagSweep(const std::vector<DiagEntry> &Entries);
+
+  /// Splits every subsequent kernel's index range across \p Jobs workers
+  /// (amplitude-level parallelism). 1 restores serial kernels. Any value
+  /// produces bit-identical amplitudes: per-amplitude updates are
+  /// independent and reductions use a fixed chunked summation order.
+  void setParallelJobs(unsigned Jobs) { ParJobs = Jobs < 1 ? 1 : Jobs; }
+
+  /// Attaches per-run simulation counters (null detaches). Non-owning;
+  /// safe to share across concurrently-running shots (atomics).
+  void setStats(SimStats *S) { Stats = S; }
 
   /// Quantum-trajectory step: samples one Kraus branch of \p Ch on qubit
   /// \p Q — branch k with probability ||K_k |psi>||^2 — and applies
   /// K_k / sqrt(p_k). Consumes exactly one uniform draw, so RNG
   /// consumption is identical on every execution plan.
   void applyChannel(unsigned Q, const KrausChannel &Ch, std::mt19937_64 &Rng,
-                    NoiseStats *Stats = nullptr);
+                    NoiseStats *NStats = nullptr);
 
   /// Measures qubit \p Q; collapses the state. \p Rng drives sampling.
   bool measure(unsigned Q, std::mt19937_64 &Rng);
@@ -87,15 +117,28 @@ public:
 private:
   unsigned NumQubits;
   std::vector<Amplitude> Amp;
+  unsigned ParJobs = 1;      ///< Amplitude-parallel worker count.
+  SimStats *Stats = nullptr; ///< Optional per-run counters.
 
   uint64_t qubitBit(unsigned Q) const {
     return uint64_t(1) << (NumQubits - 1 - Q);
   }
 
-  /// Kernel: Amp[i] *= Phase for every i with (i & Mask) == Mask.
+  /// Strided kernel: Amp[i] *= Phase for the 2^(n-k) indices with all k
+  /// Mask bits set — no index filtering.
   void phaseSweep(uint64_t Mask, Amplitude Phase);
-  /// Kernel: swap the target pair wherever all controls are set.
+  /// Strided kernel: swap the target pair wherever all controls are set.
   void pairSwap(uint64_t CtlMask, uint64_t Bit);
+  /// Strided kernel: generic controlled 2x2 (the fallback all specialized
+  /// kernels reduce to).
+  void matrix2Kernel(uint64_t CtlMask, uint64_t Bit, const Mat2 &U);
+  /// Deterministic chunked sum of per-pair contributions of the target
+  /// bit's upper half (used by probOne and the channel-probability pass):
+  /// fixed chunk boundaries and a serial chunk-order accumulation make the
+  /// result independent of ParJobs.
+  double reduceOneProb(uint64_t Bit) const;
+
+  void bumpStats(uint64_t Touched, bool Fused, bool Block = false) const;
 };
 
 /// The dense engine as a SimBackend ("sv").
@@ -112,11 +155,15 @@ public:
   ShotResult runNoisy(const Circuit &C, uint64_t Seed,
                       const NoiseModel &Noise,
                       NoiseStats *Stats = nullptr) const override;
-  /// The execution-plan path: fuses the circuit (unless Opts.Fuse is off),
-  /// simulates the unconditional prefix once, and forks it per shot across
-  /// Opts.Jobs workers. With Opts.Noise, runs quantum trajectories: noisy
-  /// gates act as fusion barriers and close the shared prefix, and every
-  /// {jobs, fuse} combination still returns bit-identical per-shot results.
+  /// The execution-plan path: fuses the circuit (unless Opts.Fuse is off;
+  /// Opts.FuseMaxQubits bounds block width), simulates the unconditional
+  /// prefix once (amplitude-parallel), then spends the Opts.Jobs worker
+  /// budget per Opts.Parallel — shot-parallel per-worker forks when shots
+  /// are plentiful, amplitude-parallel kernels in the low-shot/large-n
+  /// regime, chosen automatically in hybrid mode. With Opts.Noise, runs
+  /// quantum trajectories: noisy gates act as fusion barriers and close
+  /// the shared prefix. Every {jobs, fuse-k, parallel-mode} combination
+  /// returns bit-identical per-shot results.
   std::vector<ShotResult> runBatch(const Circuit &C, unsigned Shots,
                                    uint64_t Seed,
                                    const RunOptions &Opts) const override;

@@ -77,6 +77,26 @@ inline std::string bitsToString(EigenBits Bits, unsigned Dim) {
   return S;
 }
 
+/// Inserts a 0 bit into \p X at the position of the single-bit mask \p M:
+/// every bit of \p X at or above M's position shifts up one place. The
+/// workhorse of strided state-vector kernels — enumerating J over
+/// [0, 2^(n-1)) and inserting a zero at the target bit visits exactly the
+/// lower index of every amplitude pair, with no branches.
+inline uint64_t insertZeroBit(uint64_t X, uint64_t M) {
+  return ((X & ~(M - 1)) << 1) | (X & (M - 1));
+}
+
+/// Inserts 0 bits at each of \p K single-bit positions in \p Masks, which
+/// must be sorted ascending (insertions at ascending positions never
+/// disturb one another). Enumerating J over [0, 2^(n-K)) yields every index
+/// whose pinned bits are clear, each exactly once and in increasing order.
+inline uint64_t insertZeroBits(uint64_t X, const uint64_t *Masks,
+                               unsigned K) {
+  for (unsigned I = 0; I < K; ++I)
+    X = insertZeroBit(X, Masks[I]);
+  return X;
+}
+
 /// True if \p N is a power of two (and nonzero).
 inline bool isPowerOf2(uint64_t N) { return N != 0 && std::has_single_bit(N); }
 

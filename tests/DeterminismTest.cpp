@@ -22,6 +22,10 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <set>
+#include <thread>
+
 using namespace asdf;
 
 namespace {
@@ -160,6 +164,108 @@ TEST(DeterminismTest, ResolveJobCountClamps) {
   EXPECT_EQ(resolveJobCount(1, 1000), 1u);
   EXPECT_GE(resolveJobCount(0, 1000), 1u); // auto: at least one worker
   EXPECT_EQ(resolveJobCount(5, 0), 1u);    // never below one worker
+
+  // The shot-free overload (the amplitude-parallel worker budget) still
+  // honors the 4x-cores oversubscription cap and the floor of one.
+  unsigned Cores = std::thread::hardware_concurrency();
+  if (Cores == 0)
+    Cores = 1;
+  EXPECT_GE(resolveJobCount(0), 1u);
+  EXPECT_LE(resolveJobCount(1u << 30), Cores * 4);
+}
+
+TEST(DeterminismTest, AmplitudeParallelBitIdenticalAcrossJobs) {
+  // 14 qubits: 2^13 pairs, enough for the amplitude-parallel kernels to
+  // actually split their index ranges. The fixed-chunk reductions must
+  // make every jobs count — and the serial unfused reference — agree on
+  // every sampled bit.
+  Circuit C;
+  C.NumQubits = 14;
+  C.NumBits = 14;
+  for (unsigned Q = 0; Q < 14; ++Q) {
+    C.append(CircuitInstr::gate(GateKind::H, {}, {Q}));
+    C.append(CircuitInstr::gate(GateKind::RY, {}, {Q}, 0.2 + 0.15 * Q));
+  }
+  for (unsigned Q = 1; Q < 14; ++Q)
+    C.append(CircuitInstr::gate(GateKind::X, {Q - 1}, {Q}));
+  C.append(CircuitInstr::measure(0, 0));
+  CircuitInstr Fix = CircuitInstr::gate(GateKind::X, {}, {1});
+  Fix.CondBit = 0;
+  C.append(Fix);
+  C.append(CircuitInstr::gate(GateKind::RZ, {}, {1}, 0.9));
+  for (unsigned Q = 1; Q < 14; ++Q)
+    C.append(CircuitInstr::measure(Q, Q));
+
+  StatevectorBackend Sv;
+  const unsigned Shots = 6;
+  RunOptions Amp1;
+  Amp1.Parallel = ParallelMode::Amplitude;
+  Amp1.Jobs = 1;
+  std::vector<ShotResult> Want = Sv.runBatch(C, Shots, 77, Amp1);
+  for (unsigned Jobs : {2u, 3u, 4u, 8u}) {
+    RunOptions Opts = Amp1;
+    Opts.Jobs = Jobs;
+    std::vector<ShotResult> Got = Sv.runBatch(C, Shots, 77, Opts);
+    ASSERT_EQ(Want.size(), Got.size());
+    for (unsigned S = 0; S < Shots; ++S)
+      ASSERT_EQ(Want[S].Bits, Got[S].Bits) << "amp jobs " << Jobs
+                                           << " shot " << S;
+  }
+  // And bit-identical to the serial unfused reference path.
+  RunOptions Ref;
+  Ref.Jobs = 1;
+  Ref.Fuse = false;
+  Ref.Parallel = ParallelMode::Shot;
+  std::vector<ShotResult> RefResults = Sv.runBatch(C, Shots, 77, Ref);
+  for (unsigned S = 0; S < Shots; ++S)
+    EXPECT_EQ(Want[S].Bits, RefResults[S].Bits) << "vs reference, shot " << S;
+}
+
+TEST(DeterminismTest, ParallelLoopsNeverSpawnIdleWorkers) {
+  // Regression for the Shots < Jobs case: 16 requested workers for 3 work
+  // items must run on at most 3 threads — never 13 idle spawns.
+  std::mutex Lock;
+  std::set<std::thread::id> Ids;
+  std::vector<int> ShotRuns(3, 0);
+  parallelShotLoop(16, 3, [&](unsigned S) {
+    {
+      std::lock_guard<std::mutex> G(Lock);
+      Ids.insert(std::this_thread::get_id());
+    }
+    ShotRuns[S]++;
+  });
+  EXPECT_LE(Ids.size(), 3u);
+  for (int R : ShotRuns)
+    EXPECT_EQ(R, 1);
+
+  // Worker ids stay dense in [0, Jobs) so per-worker scratch is safe.
+  parallelShotLoop(4, 50, [&](unsigned W, unsigned S) {
+    EXPECT_LT(W, 4u);
+    EXPECT_LT(S, 50u);
+  });
+
+  // parallelIndexLoop covers [0, N) exactly once, in disjoint ranges,
+  // honoring the chunk floor.
+  std::vector<int> Seen(1000, 0);
+  parallelIndexLoop(4, 1000, 16, [&](uint64_t B, uint64_t E) {
+    ASSERT_LE(B, E);
+    ASSERT_LE(E, uint64_t(1000));
+    for (uint64_t I = B; I < E; ++I)
+      Seen[I]++;
+  });
+  for (int R : Seen)
+    EXPECT_EQ(R, 1);
+
+  // Degenerate sizes: empty and single-item loops.
+  unsigned Calls = 0;
+  parallelIndexLoop(8, 0, 1, [&](uint64_t, uint64_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0u);
+  parallelIndexLoop(8, 1, 1, [&](uint64_t B, uint64_t E) {
+    EXPECT_EQ(B, 0u);
+    EXPECT_EQ(E, 1u);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 1u);
 }
 
 } // namespace

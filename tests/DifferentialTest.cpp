@@ -161,21 +161,153 @@ TEST(DifferentialTest, RandomCircuitsBitExactAcrossConfigs) {
       ASSERT_EQ(Want[S].Bits, Sv.run(C, deriveShotSeed(Seed, S)).Bits)
           << "reference vs run() trial " << Trial << " shot " << S;
 
-    for (bool Fuse : {true, false}) {
-      for (unsigned Jobs : {1u, 4u}) {
-        if (!Fuse && Jobs == 1)
-          continue; // That is the reference itself.
-        RunOptions Opts;
-        Opts.Jobs = Jobs;
-        Opts.Fuse = Fuse;
-        std::vector<ShotResult> Got = Sv.runBatch(C, Shots, Seed, Opts);
-        expectBatchesBitExact(Want, Got,
-                              Fuse ? (Jobs == 1 ? "fused/j1" : "fused/j4")
-                                   : "unfused/j4",
-                              Trial);
-      }
+    // Every execution-plan axis at once: block-fusion budget k, worker
+    // count, and where the workers go (shot- vs amplitude-parallel, plus
+    // the hybrid). All must replay the reference bit-exactly.
+    struct Config {
+      bool Fuse;
+      unsigned FuseK;
+      unsigned Jobs;
+      ParallelMode Mode;
+      const char *Name;
+    };
+    const Config Configs[] = {
+        {false, 3, 4, ParallelMode::Shot, "unfused/shot/j4"},
+        {false, 3, 4, ParallelMode::Amplitude, "unfused/amp/j4"},
+        {true, 1, 1, ParallelMode::Shot, "fuse1/shot/j1"},
+        {true, 1, 4, ParallelMode::Shot, "fuse1/shot/j4"},
+        {true, 1, 4, ParallelMode::Amplitude, "fuse1/amp/j4"},
+        {true, 2, 1, ParallelMode::Shot, "fuse2/shot/j1"},
+        {true, 2, 4, ParallelMode::Shot, "fuse2/shot/j4"},
+        {true, 2, 4, ParallelMode::Amplitude, "fuse2/amp/j4"},
+        {true, 3, 1, ParallelMode::Shot, "fuse3/shot/j1"},
+        {true, 3, 4, ParallelMode::Shot, "fuse3/shot/j4"},
+        {true, 3, 4, ParallelMode::Amplitude, "fuse3/amp/j4"},
+        {true, 3, 4, ParallelMode::Auto, "fuse3/auto/j4"},
+    };
+    for (const Config &Cfg : Configs) {
+      RunOptions Opts;
+      Opts.Jobs = Cfg.Jobs;
+      Opts.Fuse = Cfg.Fuse;
+      Opts.FuseMaxQubits = Cfg.FuseK;
+      Opts.Parallel = Cfg.Mode;
+      std::vector<ShotResult> Got = Sv.runBatch(C, Shots, Seed, Opts);
+      expectBatchesBitExact(Want, Got, Cfg.Name, Trial);
     }
   }
+}
+
+TEST(DifferentialTest, BlockFusedMatricesEqualGateProducts) {
+  // The block-fusion property: a FusedOp::Block's matrix equals the
+  // product of its constituent gates' full matrices over the block
+  // support, computed here independently with the exported
+  // gateBlockMatrix/blockMatmul utilities. A non-diagonal 3-qubit opener
+  // guarantees every following gate lands in the same block.
+  std::mt19937_64 Rng(0xB10Cull);
+  std::uniform_int_distribution<unsigned> PickOp(0, 12);
+  std::uniform_int_distribution<unsigned> PickQ(0, 2);
+  std::uniform_real_distribution<double> Angle(-3.0, 3.0);
+  for (unsigned Trial = 0; Trial < 60; ++Trial) {
+    Circuit C;
+    C.NumQubits = 3;
+    C.NumBits = 3;
+    // Toffoli opener: a non-diagonal gate spanning all three qubits, so
+    // the block covers the full support from the first instruction and
+    // every later gate merges into it.
+    C.append(CircuitInstr::gate(GateKind::X, {0, 1}, {2}));
+    unsigned NumGates = 4 + Trial % 12;
+    for (unsigned N = 0; N < NumGates; ++N) {
+      unsigned A = PickQ(Rng);
+      unsigned B = (A + 1 + PickQ(Rng) % 2) % 3;
+      switch (PickOp(Rng)) {
+      case 0:
+        C.append(CircuitInstr::gate(GateKind::H, {}, {A}));
+        break;
+      case 1:
+        C.append(CircuitInstr::gate(GateKind::S, {}, {A}));
+        break;
+      case 2:
+        C.append(CircuitInstr::gate(GateKind::T, {}, {A}));
+        break;
+      case 3:
+        C.append(CircuitInstr::gate(GateKind::X, {}, {A}));
+        break;
+      case 4:
+        C.append(CircuitInstr::gate(GateKind::Y, {}, {A}));
+        break;
+      case 5:
+        C.append(CircuitInstr::gate(GateKind::RX, {}, {A}, Angle(Rng)));
+        break;
+      case 6:
+        C.append(CircuitInstr::gate(GateKind::RY, {}, {A}, Angle(Rng)));
+        break;
+      case 7:
+        C.append(CircuitInstr::gate(GateKind::RZ, {}, {A}, Angle(Rng)));
+        break;
+      case 8:
+        C.append(CircuitInstr::gate(GateKind::P, {}, {A}, Angle(Rng)));
+        break;
+      case 9:
+        C.append(CircuitInstr::gate(GateKind::X, {B}, {A}));
+        break;
+      case 10:
+        C.append(CircuitInstr::gate(GateKind::Z, {B}, {A}));
+        break;
+      case 11:
+        C.append(CircuitInstr::gate(GateKind::Swap, {}, {A, B}));
+        break;
+      default:
+        C.append(CircuitInstr::gate(GateKind::X, {(A + 1) % 3, (A + 2) % 3},
+                                    {A}));
+        break;
+      }
+    }
+    FusedCircuit FC = fuseCircuit(C);
+    ASSERT_EQ(FC.Ops.size(), 1u) << "trial " << Trial << ": " << FC.summary();
+    const FusedOp &Op = FC.Ops[0];
+    ASSERT_EQ(Op.TheKind, FusedOp::Kind::Block) << "trial " << Trial;
+    const std::vector<unsigned> Support = {0, 1, 2};
+    ASSERT_EQ(Op.Qubits, Support);
+    std::vector<std::complex<double>> Want =
+        gateBlockMatrix(C.Instrs[0], Support);
+    for (size_t N = 1; N < C.Instrs.size(); ++N)
+      Want = blockMatmul(gateBlockMatrix(C.Instrs[N], Support), Want, 8);
+    ASSERT_EQ(Op.BlockU.size(), Want.size());
+    for (size_t I = 0; I < Want.size(); ++I)
+      EXPECT_LT(std::abs(Op.BlockU[I] - Want[I]), 1e-12)
+          << "trial " << Trial << " entry " << I;
+  }
+}
+
+TEST(DifferentialTest, DuplicateControlsAreNotDroppedByFusion) {
+  // Regression: a repeated control qubit (Controls={0,0}) ORs into one
+  // mask bit in the engines — it is a plain CX, not a degenerate no-op.
+  // The fusion pass must keep it (only control == target gates drop).
+  Circuit C;
+  C.NumQubits = 2;
+  C.NumBits = 2;
+  C.append(CircuitInstr::gate(GateKind::X, {}, {0}));
+  C.append(CircuitInstr::gate(GateKind::X, {0, 0}, {1}));
+  for (unsigned Q = 0; Q < 2; ++Q)
+    C.append(CircuitInstr::measure(Q, Q));
+  StatevectorBackend Sv;
+  RunOptions Ref, Fused;
+  Ref.Jobs = Fused.Jobs = 1;
+  Ref.Fuse = false;
+  std::vector<ShotResult> Want = Sv.runBatch(C, 1, 5, Ref);
+  std::vector<ShotResult> Got = Sv.runBatch(C, 1, 5, Fused);
+  ASSERT_EQ(Want[0].Bits, Got[0].Bits);
+  EXPECT_TRUE(Want[0].Bits[0] && Want[0].Bits[1]); // X then CX: |11>
+
+  // And a control-on-target gate still drops as the no-op it always was.
+  Circuit D;
+  D.NumQubits = 2;
+  D.NumBits = 2;
+  D.append(CircuitInstr::gate(GateKind::X, {1}, {1}));
+  for (unsigned Q = 0; Q < 2; ++Q)
+    D.append(CircuitInstr::measure(Q, Q));
+  EXPECT_EQ(Sv.runBatch(D, 1, 5, Ref)[0].Bits,
+            Sv.runBatch(D, 1, 5, Fused)[0].Bits);
 }
 
 TEST(DifferentialTest, FusionPlanCoversEveryGate) {

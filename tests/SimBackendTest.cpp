@@ -399,6 +399,51 @@ TEST(BackendEquivalenceTest, DegenerateGatesAreNoOpsOnBothBackends) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Simulation counters
+//===----------------------------------------------------------------------===//
+
+TEST(SimStatsTest, CountersTrackKernelsAndAmplitudes) {
+  // Rotation runs on every wire plus a CX ladder: with the default fuse-k
+  // of 3 the plan must form multi-qubit blocks, and every kernel must
+  // report the amplitudes it touched.
+  Circuit C;
+  C.NumQubits = 6;
+  C.NumBits = 6;
+  for (unsigned Q = 0; Q < 6; ++Q) {
+    C.append(CircuitInstr::gate(GateKind::RY, {}, {Q}, 0.3 + 0.1 * Q));
+    C.append(CircuitInstr::gate(GateKind::H, {}, {Q}));
+  }
+  for (unsigned Q = 1; Q < 6; ++Q)
+    C.append(CircuitInstr::gate(GateKind::X, {Q - 1}, {Q}));
+  for (unsigned Q = 0; Q < 6; ++Q)
+    C.append(CircuitInstr::measure(Q, Q));
+  StatevectorBackend Sv;
+
+  SimStats Fused;
+  RunOptions FusedOpts;
+  FusedOpts.Jobs = 1;
+  FusedOpts.SimCounters = &Fused;
+  Sv.runBatch(C, 4, 11, FusedOpts);
+  EXPECT_GT(Fused.FusedOps.load(), 0u);
+  EXPECT_GT(Fused.FusedBlocks.load(), 0u);
+  EXPECT_GT(Fused.AmplitudesTouched.load(), 0u);
+  EXPECT_GT(Fused.GatesApplied.load(), 0u); // the measure kernels
+
+  SimStats Unfused;
+  RunOptions UnfusedOpts;
+  UnfusedOpts.Jobs = 1;
+  UnfusedOpts.Fuse = false;
+  UnfusedOpts.SimCounters = &Unfused;
+  Sv.runBatch(C, 4, 11, UnfusedOpts);
+  EXPECT_EQ(Unfused.FusedOps.load(), 0u);
+  EXPECT_EQ(Unfused.FusedBlocks.load(), 0u);
+  EXPECT_GT(Unfused.GatesApplied.load(), Fused.GatesApplied.load());
+  // Fusion's whole point, now measurable: fewer amplitudes touched.
+  EXPECT_LT(Fused.AmplitudesTouched.load(),
+            Unfused.AmplitudesTouched.load());
+}
+
 TEST(BackendEquivalenceTest, AutoMatchesForcedStabilizer) {
   std::mt19937_64 Rng(123);
   Circuit C = randomCliffordCircuit(Rng, 4, 20);
