@@ -1,0 +1,276 @@
+//===- service_throughput.cpp - Daemon service throughput and latency -----===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the compile-and-run service the way a client feels it, driving
+/// `AsdfService` in-process (the daemon minus the socket, so numbers are
+/// about the cache and the worker pool, not loopback I/O):
+///
+///   - cold vs. warm compile latency per §8.1 program — the content-hashed
+///     artifact cache must make a warm compile at least 10x faster than a
+///     cold one, or the daemon is not paying for itself;
+///   - mixed compile/run throughput (requests/sec) through the worker
+///     pool, with mean and p99 request latency;
+///   - the cache hit rate of the workload (must be nonzero even in smoke);
+///   - a determinism audit: every daemon-served run result is compared
+///     bit-for-bit against a serial single-threaded reference.
+///
+/// Usage: service_throughput [--smoke] [--json <path>] [N] [warm-repeats]
+///        (default N=8 warm-repeats=40; --smoke = N=5 warm-repeats=6)
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "service/Service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+using namespace asdf;
+
+namespace {
+
+double now() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+double percentile(std::vector<double> V, double P) {
+  if (V.empty())
+    return 0.0;
+  std::sort(V.begin(), V.end());
+  size_t At = static_cast<size_t>(P * (V.size() - 1));
+  return V[At];
+}
+
+ServiceRequest compileRequest(const BenchProgram &P, uint64_t Id) {
+  ServiceRequest R;
+  R.TheKind = ServiceRequest::Kind::Compile;
+  R.Id = Id;
+  R.Source = P.Source;
+  R.Entry = P.Entry;
+  R.Bindings = P.Bindings;
+  R.Emit = "qasm";
+  return R;
+}
+
+ServiceRequest runRequest(const BenchProgram &P, uint64_t Id,
+                          unsigned Shots, uint64_t Seed) {
+  ServiceRequest R;
+  R.TheKind = ServiceRequest::Kind::Run;
+  R.Id = Id;
+  R.Source = P.Source;
+  R.Entry = P.Entry;
+  R.Bindings = P.Bindings;
+  R.Shots = Shots;
+  R.Seed = Seed;
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchJson Json("service_throughput", argc, argv);
+  bool Smoke = false;
+  std::vector<unsigned> Args;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+    else
+      Args.push_back(std::atoi(argv[I]));
+  }
+  unsigned N = Args.size() > 0 ? Args[0] : (Smoke ? 5 : 8);
+  unsigned WarmRepeats = Args.size() > 1 ? Args[1] : (Smoke ? 6 : 40);
+
+  const BenchAlgorithm Algs[] = {BenchAlgorithm::BV, BenchAlgorithm::DJ,
+                                 BenchAlgorithm::Grover,
+                                 BenchAlgorithm::Simon,
+                                 BenchAlgorithm::PeriodFinding};
+  std::vector<BenchProgram> Programs;
+  for (BenchAlgorithm Alg : Algs)
+    Programs.push_back(makeBenchProgram(Alg, N));
+
+  Json.config("smoke", Smoke);
+  Json.config("oracle_bits", N);
+  Json.config("warm_repeats", WarmRepeats);
+  std::printf("=== Service throughput (N=%u, %u warm repeat(s)%s) ===\n\n",
+              N, WarmRepeats, Smoke ? ", smoke" : "");
+  bool Ok = true;
+
+  //===--- Cold vs. warm compile latency --------------------------------===//
+
+  AsdfService Service(ServiceOptions{0, ArtifactCache::DefaultByteBudget});
+  std::printf("%-8s | %10s | %10s | %8s\n", "bench", "cold-ms", "warm-us",
+              "speedup");
+  double ColdTotal = 0.0, WarmTotal = 0.0;
+  uint64_t NextId = 1;
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    ServiceRequest R = compileRequest(Programs[I], NextId++);
+    double T0 = now();
+    ServiceResponse Cold = Service.handle(R);
+    double ColdSecs = now() - T0;
+    if (!Cold.Ok || Cold.CacheHit) {
+      std::fprintf(stderr, "FAIL: cold compile of %s: %s\n",
+                   benchAlgorithmName(Algs[I]), Cold.Error.Message.c_str());
+      Ok = false;
+      continue;
+    }
+    double WarmSecs = 0.0;
+    for (unsigned W = 0; W < WarmRepeats; ++W) {
+      R.Id = NextId++;
+      T0 = now();
+      ServiceResponse Warm = Service.handle(R);
+      WarmSecs += now() - T0;
+      if (!Warm.Ok || !Warm.CacheHit || Warm.Artifact != Cold.Artifact) {
+        std::fprintf(stderr,
+                     "FAIL: warm compile of %s missed or diverged\n",
+                     benchAlgorithmName(Algs[I]));
+        Ok = false;
+        break;
+      }
+    }
+    WarmSecs /= WarmRepeats;
+    ColdTotal += ColdSecs;
+    WarmTotal += WarmSecs;
+    std::printf("%-8s | %10.2f | %10.1f | %7.0fx\n",
+                benchAlgorithmName(Algs[I]), 1e3 * ColdSecs, 1e6 * WarmSecs,
+                ColdSecs / WarmSecs);
+    Json.metric(std::string("cold_compile_ms_") +
+                    benchAlgorithmName(Algs[I]),
+                1e3 * ColdSecs, "ms");
+    Json.metric(std::string("warm_compile_us_") +
+                    benchAlgorithmName(Algs[I]),
+                1e6 * WarmSecs, "us");
+  }
+  double Speedup = ColdTotal / WarmTotal;
+  std::printf("\nwarm-cache speedup overall: %.0fx\n\n", Speedup);
+  Json.metric("warm_speedup", Speedup, "x");
+  if (Speedup < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: warm-cache compiles only %.1fx faster than cold "
+                 "(bar: 10x)\n",
+                 Speedup);
+    Ok = false;
+  }
+
+  //===--- Mixed compile/run throughput through the worker pool ---------===//
+
+  // The request mix: per program, one compile plus several runs with
+  // distinct seeds. Recorded twice — once serially for the reference
+  // bits, once submitted all at once to the pool.
+  unsigned RunsPerProgram = Smoke ? 3 : 8;
+  unsigned Shots = Smoke ? 16 : 64;
+  std::vector<ServiceRequest> Mix;
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    Mix.push_back(compileRequest(Programs[I], NextId++));
+    for (unsigned S = 0; S < RunsPerProgram; ++S)
+      Mix.push_back(
+          runRequest(Programs[I], NextId++, Shots, 0x9000 + 31 * S));
+  }
+
+  // Serial reference on a fresh, single-worker service.
+  std::vector<ServiceResponse> Want;
+  {
+    AsdfService Serial(ServiceOptions{1, ArtifactCache::DefaultByteBudget});
+    for (const ServiceRequest &R : Mix)
+      Want.push_back(Serial.handle(R));
+  }
+
+  AsdfService Pool(ServiceOptions{0, ArtifactCache::DefaultByteBudget});
+  std::vector<ServiceResponse> Got(Mix.size());
+  std::vector<double> LatencySecs(Mix.size());
+  std::mutex DoneMu;
+  std::condition_variable DoneCV;
+  size_t DoneCount = 0;
+  double T0 = now();
+  for (size_t I = 0; I < Mix.size(); ++I) {
+    double Submitted = now();
+    bool Accepted = Pool.submit(Mix[I], [&, I, Submitted](ServiceResponse R) {
+      Got[I] = std::move(R);
+      LatencySecs[I] = now() - Submitted;
+      std::lock_guard<std::mutex> Lock(DoneMu);
+      ++DoneCount;
+      DoneCV.notify_one();
+    });
+    if (!Accepted) {
+      std::fprintf(stderr, "FAIL: pool rejected request %zu\n", I);
+      Ok = false;
+    }
+  }
+  {
+    std::unique_lock<std::mutex> Lock(DoneMu);
+    DoneCV.wait(Lock, [&] { return DoneCount == Mix.size(); });
+  }
+  double WallSecs = now() - T0;
+
+  double PerSec = Mix.size() / WallSecs;
+  double MeanMs = 0.0;
+  for (double L : LatencySecs)
+    MeanMs += 1e3 * L / LatencySecs.size();
+  double P99Ms = 1e3 * percentile(LatencySecs, 0.99);
+  std::printf("mixed load: %zu requests (%zu programs x [1 compile + %u "
+              "run(s) x %u shot(s)]) on %u worker(s)\n",
+              Mix.size(), Programs.size(), RunsPerProgram, Shots,
+              Pool.workers());
+  std::printf("  %.3f s wall -> %.1f requests/sec; latency mean %.2f ms, "
+              "p99 %.2f ms\n",
+              WallSecs, PerSec, MeanMs, P99Ms);
+  Json.metric("requests_per_sec", PerSec, "req/sec");
+  Json.metric("latency_mean_ms", MeanMs, "ms");
+  Json.metric("latency_p99_ms", P99Ms, "ms");
+
+  //===--- Determinism audit against the serial reference ---------------===//
+
+  size_t Mismatches = 0;
+  for (size_t I = 0; I < Mix.size(); ++I) {
+    if (!Got[I].Ok || Got[I].Results != Want[I].Results ||
+        Got[I].Artifact != Want[I].Artifact)
+      ++Mismatches;
+  }
+  if (Mismatches) {
+    std::fprintf(stderr,
+                 "FAIL: %zu of %zu pooled responses diverge from the "
+                 "serial reference\n",
+                 Mismatches, Mix.size());
+    Ok = false;
+  } else {
+    std::printf("  determinism: all %zu pooled responses bit-identical to "
+                "the serial reference\n",
+                Mix.size());
+  }
+
+  //===--- Cache hit rate -----------------------------------------------===//
+
+  CacheStats CS = Pool.cache().stats();
+  double HitRate = CS.Hits + CS.Misses
+                       ? double(CS.Hits) / double(CS.Hits + CS.Misses)
+                       : 0.0;
+  std::printf("  cache: %llu hit(s), %llu miss(es) -> %.0f%% hit rate, "
+              "%llu insertion(s), %llu eviction(s)\n",
+              static_cast<unsigned long long>(CS.Hits),
+              static_cast<unsigned long long>(CS.Misses), 100.0 * HitRate,
+              static_cast<unsigned long long>(CS.Insertions),
+              static_cast<unsigned long long>(CS.Evictions));
+  Json.metric("cache_hit_rate", HitRate, "ratio");
+  if (CS.Hits == 0) {
+    std::fprintf(stderr, "FAIL: the mixed workload produced no cache "
+                         "hits\n");
+    Ok = false;
+  }
+
+  if (!Ok)
+    return 1;
+  std::printf("OK\n");
+  return 0;
+}

@@ -51,6 +51,53 @@ CompileSession::CompileSession(std::string Source, ProgramBindings Bindings,
   Ctx.PrintSink = this->Options.PrintSink;
 }
 
+void CompileSession::hashIdentity(ContentHasher &H,
+                                  const std::string &Source,
+                                  const std::string &Entry,
+                                  const PipelinePlan &Plan,
+                                  const ProgramBindings &Bindings) {
+  // Every field is length-prefixed (ContentHasher::str) and preceded by a
+  // tag, so adjacent fields can never alias. The plan hashes via its
+  // canonical spec text: two spellings of the same pass list (a preset
+  // name vs. the explicit stage:pass spec) are the same compilation.
+  H.str("source");
+  H.str(Source);
+  H.str("entry");
+  H.str(Entry);
+  H.str("plan");
+  H.str(Plan.str());
+  H.str("dimvars");
+  H.u64(Bindings.DimVars.size());
+  for (const auto &[Name, Value] : Bindings.DimVars) {
+    H.str(Name);
+    H.i64(Value);
+  }
+  H.str("captures");
+  H.u64(Bindings.Captures.size());
+  for (const auto &[Func, Params] : Bindings.Captures) {
+    H.str(Func);
+    H.u64(Params.size());
+    for (const auto &[Param, Capture] : Params) {
+      H.str(Param);
+      if (Capture.TheKind == CaptureValue::Kind::ClassicalFunc) {
+        H.str("func");
+        H.str(Capture.FuncName);
+      } else {
+        H.str("bits");
+        H.u64(Capture.Bits.size());
+        for (bool B : Capture.Bits)
+          H.u64(B ? 1 : 0);
+      }
+    }
+  }
+}
+
+std::array<uint64_t, 2> CompileSession::contentHash() const {
+  ContentHasher H;
+  hashIdentity(H, Source, Options.Entry, Options.Plan, Bindings);
+  return H.digest();
+}
+
 template <typename UnitT>
 bool CompileSession::runPassList(PipelineStage Stage,
                                  const std::vector<std::string> &Names,

@@ -37,7 +37,9 @@
 #include "compiler/PassRegistry.h"
 #include "ir/IR.h"
 #include "qcirc/Circuit.h"
+#include "support/Hash.h"
 
+#include <array>
 #include <memory>
 #include <string>
 
@@ -92,6 +94,25 @@ public:
 
   const std::vector<PassTiming> &timings() const { return Ctx.Timings; }
   std::string timingReport() const { return Ctx.timingReport(); }
+
+  //===--- Content hashing (the service's cache-key hook) ---===//
+
+  /// Streams the canonical byte encoding of one compilation's identity —
+  /// source text, entry kernel, pipeline plan, and bindings — into \p H.
+  /// The encoding is exact, not semantic: any byte difference in the
+  /// source (even whitespace) and any field difference in the plan or
+  /// bindings produces a different digest, while the same inputs hash
+  /// identically in every process on every run (std::map iteration is
+  /// sorted; no pointers or addresses are fed in). The artifact cache
+  /// combines this with the build fingerprint and the artifact kind to
+  /// form its key.
+  static void hashIdentity(ContentHasher &H, const std::string &Source,
+                           const std::string &Entry,
+                           const PipelinePlan &Plan,
+                           const ProgramBindings &Bindings);
+
+  /// The digest of hashIdentity over this session's own inputs.
+  std::array<uint64_t, 2> contentHash() const;
 
   /// Every artifact the session has materialized so far. Used by the
   /// deprecated QwertyCompiler shim to move results out; a session whose

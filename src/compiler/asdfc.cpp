@@ -29,6 +29,7 @@
 #include "noise/NoiseSpec.h"
 #include "sim/CircuitAnalysis.h"
 #include "sim/Simulator.h"
+#include "support/BuildInfo.h"
 
 #include <chrono>
 #include <cstdio>
@@ -48,6 +49,10 @@ void usage(FILE *Out) {
       Out,
       "usage: asdfc <file.qw> [options]\n"
       "  -h, --help              print this help and exit\n"
+      "  --version               print version, build identity (compiler,\n"
+      "                          build type, native-arch, commit), and the\n"
+      "                          build fingerprint that keys the asdfd\n"
+      "                          artifact cache, then exit\n"
       "  --entry <name>          entry kernel (default: kernel)\n"
       "  --bind <Var>=<int>      bind a dimension variable\n"
       "  --capture <fn>.<param>=<bits>   bind a bit-string capture\n"
@@ -129,6 +134,10 @@ int main(int argc, char **argv) {
     usage(stdout);
     return 0;
   }
+  if (argc >= 2 && std::strcmp(argv[1], "--version") == 0) {
+    printVersion("asdfc");
+    return 0;
+  }
   if (argc < 2) {
     usage(stderr);
     return 2;
@@ -162,6 +171,9 @@ int main(int argc, char **argv) {
     };
     if (Arg == "-h" || Arg == "--help") {
       usage(stdout);
+      return 0;
+    } else if (Arg == "--version") {
+      printVersion("asdfc");
       return 0;
     } else if (Arg == "--entry") {
       Opts.Entry = Next();
@@ -442,15 +454,8 @@ int main(int argc, char **argv) {
   double RunSecs = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - RunStart)
                        .count();
-  for (const ShotResult &Shot : Batch) {
-    std::string Out;
-    for (int Bit : FlatCircuit.OutputBits)
-      Out.push_back(Bit == -2                ? '1'
-                    : Bit == -3              ? '0'
-                    : Shot.Bits[static_cast<unsigned>(Bit)] ? '1'
-                                                            : '0');
-    std::printf("%s\n", Out.c_str());
-  }
+  for (const ShotResult &Shot : Batch)
+    std::printf("%s\n", formatShotBits(FlatCircuit, Shot).c_str());
   if (SimStatsRequested) {
     uint64_t Amps = SimCounters.AmplitudesTouched.load();
     std::fprintf(

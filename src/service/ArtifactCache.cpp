@@ -1,0 +1,114 @@
+//===- ArtifactCache.cpp - Content-hashed LRU artifact cache --------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ArtifactCache.h"
+
+#include "compiler/CompileSession.h"
+#include "service/Request.h"
+#include "support/BuildInfo.h"
+
+#include <cstdio>
+
+using namespace asdf;
+
+std::string CacheKey::hex() const {
+  char Buf[33];
+  std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
+                static_cast<unsigned long long>(Hi),
+                static_cast<unsigned long long>(Lo));
+  return Buf;
+}
+
+CacheKey asdf::computeCacheKey(const ServiceRequest &R,
+                               const PipelinePlan &Plan,
+                               const std::string &ArtifactKind,
+                               const std::string &BuildFingerprint) {
+  ContentHasher H;
+  // The compiler owns the encoding of its own inputs (CompileSession's
+  // hashing hook); the service layers the build fingerprint and the
+  // artifact discriminator on top.
+  H.str("fingerprint");
+  H.str(BuildFingerprint.empty() ? buildFingerprint() : BuildFingerprint);
+  H.str("artifact");
+  H.str(ArtifactKind);
+  CompileSession::hashIdentity(H, R.Source, R.Entry, Plan, R.Bindings);
+  auto D = H.digest();
+  return CacheKey{D[0], D[1]};
+}
+
+size_t CachedArtifact::bytes() const {
+  size_t N = sizeof(CachedArtifact) + Kind.size() + Text.size();
+  if (Flat) {
+    N += sizeof(Circuit) + Flat->Instrs.size() * sizeof(CircuitInstr) +
+         Flat->OutputQubits.size() * sizeof(unsigned) +
+         Flat->OutputBits.size() * sizeof(int);
+    for (const CircuitInstr &I : Flat->Instrs)
+      N += (I.Controls.size() + I.Targets.size()) * sizeof(unsigned);
+  }
+  return N;
+}
+
+ArtifactCache::ArtifactCache(size_t ByteBudget) : Budget(ByteBudget) {
+  S.ByteBudget = ByteBudget;
+}
+
+std::shared_ptr<const CachedArtifact> ArtifactCache::get(const CacheKey &K) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Map.find(K);
+  if (It == Map.end()) {
+    ++S.Misses;
+    return nullptr;
+  }
+  ++S.Hits;
+  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+  return It->second.Art;
+}
+
+void ArtifactCache::put(const CacheKey &K,
+                        std::shared_ptr<const CachedArtifact> Art) {
+  size_t Bytes = Art->bytes();
+  std::lock_guard<std::mutex> Lock(M);
+  if (Bytes > Budget)
+    return;
+  auto It = Map.find(K);
+  if (It != Map.end()) {
+    // Concurrent compilers can race to fill the same key; keep the
+    // incumbent (identical content) and just refresh recency.
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return;
+  }
+  Lru.push_front(K);
+  Map.emplace(K, Slot{std::move(Art), Lru.begin()});
+  ++S.Insertions;
+  S.BytesUsed += Bytes;
+  evictOverBudgetLocked();
+}
+
+void ArtifactCache::evictOverBudgetLocked() {
+  while (S.BytesUsed > Budget && !Lru.empty()) {
+    const CacheKey &Victim = Lru.back();
+    auto It = Map.find(Victim);
+    S.BytesUsed -= It->second.Art->bytes();
+    Map.erase(It);
+    Lru.pop_back();
+    ++S.Evictions;
+  }
+}
+
+CacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  CacheStats Out = S;
+  Out.Entries = Map.size();
+  Out.ByteBudget = Budget;
+  return Out;
+}
+
+void ArtifactCache::setByteBudget(size_t Bytes) {
+  std::lock_guard<std::mutex> Lock(M);
+  Budget = Bytes;
+  S.ByteBudget = Bytes;
+  evictOverBudgetLocked();
+}

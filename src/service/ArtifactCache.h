@@ -1,0 +1,136 @@
+//===- ArtifactCache.h - Content-hashed LRU artifact cache ----------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's memory: compiled artifacts keyed by a 128-bit content hash
+/// of everything that determines them — source text (byte-exact, not
+/// semantic: whitespace changes are different keys by design), entry
+/// kernel, canonical pipeline plan, bindings, the build fingerprint (so
+/// artifacts never cross incompatible builds), and the artifact kind. Two
+/// requests that agree on all of those get the same artifact, so the
+/// second one is a hash lookup instead of a compile — the O(compile) ->
+/// O(1) amortization the service exists for.
+///
+/// Entries are immutable and handed out as shared_ptr, so a reader keeps
+/// its artifact alive even if the entry is evicted mid-request. Eviction
+/// is strict LRU under a byte budget; hits, misses, evictions, and bytes
+/// are counted for the stats op and the throughput bench. One mutex
+/// guards the map+LRU list — lookups are microseconds against
+/// milliseconds of compile, so a sharded design would be complexity
+/// without a measurable win at the current request rates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SERVICE_ARTIFACTCACHE_H
+#define ASDF_SERVICE_ARTIFACTCACHE_H
+
+#include "qcirc/Circuit.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace asdf {
+
+struct ServiceRequest;
+struct PipelinePlan;
+
+/// A 128-bit content-hash cache key.
+struct CacheKey {
+  uint64_t Hi = 0, Lo = 0;
+
+  bool operator==(const CacheKey &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+  /// 32 hex digits, the form shown in protocol responses.
+  std::string hex() const;
+};
+
+struct CacheKeyHasher {
+  size_t operator()(const CacheKey &K) const {
+    return static_cast<size_t>(K.Hi ^ K.Lo);
+  }
+};
+
+/// Computes the cache key for \p R's compilation under this build: the
+/// compiler's own identity encoding (CompileSession::hashIdentity over
+/// source, entry, \p Plan, bindings) prefixed with the build fingerprint
+/// and \p ArtifactKind. The kind discriminates what the entry holds: an
+/// emit target ("qasm", "qir", ...) for compile requests, "flat-circuit"
+/// for the compiled circuit object run requests execute. \p Plan is the
+/// parsed pipeline, so equivalent spellings (a preset name vs. its
+/// explicit stage:pass spec) share a key. \p BuildFingerprint defaults to
+/// this binary's buildFingerprint().
+CacheKey computeCacheKey(const ServiceRequest &R, const PipelinePlan &Plan,
+                         const std::string &ArtifactKind,
+                         const std::string &BuildFingerprint = std::string());
+
+/// One immutable cached artifact: rendered text for compile requests, the
+/// flat circuit object for run requests.
+struct CachedArtifact {
+  std::string Kind;                    ///< Emit target or "flat-circuit".
+  std::string Text;                    ///< Rendered artifact ("" for
+                                       ///< flat-circuit entries).
+  std::shared_ptr<const Circuit> Flat; ///< For flat-circuit entries.
+
+  /// Approximate resident size, the unit of the cache's byte budget.
+  size_t bytes() const;
+};
+
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t Insertions = 0;
+  uint64_t Entries = 0;
+  size_t BytesUsed = 0;
+  size_t ByteBudget = 0;
+};
+
+/// Thread-safe LRU cache of CachedArtifacts under a byte budget.
+class ArtifactCache {
+public:
+  explicit ArtifactCache(size_t ByteBudget = DefaultByteBudget);
+
+  /// Looks up \p K, bumping it to most-recently-used. Counts a hit or a
+  /// miss; null on miss.
+  std::shared_ptr<const CachedArtifact> get(const CacheKey &K);
+
+  /// Inserts \p Art under \p K (replacing any existing entry without
+  /// counting an eviction), then evicts least-recently-used entries until
+  /// the budget holds. An artifact larger than the whole budget is not
+  /// cached at all — it would only evict everything and then miss anyway.
+  void put(const CacheKey &K, std::shared_ptr<const CachedArtifact> Art);
+
+  CacheStats stats() const;
+
+  /// Adjusts the budget, evicting immediately if the new budget is
+  /// exceeded.
+  void setByteBudget(size_t Bytes);
+
+  static constexpr size_t DefaultByteBudget = 256u << 20; // 256 MiB
+
+private:
+  void evictOverBudgetLocked();
+
+  mutable std::mutex M;
+  size_t Budget;
+  /// Front = most recently used.
+  std::list<CacheKey> Lru;
+  struct Slot {
+    std::shared_ptr<const CachedArtifact> Art;
+    std::list<CacheKey>::iterator LruIt;
+  };
+  std::unordered_map<CacheKey, Slot, CacheKeyHasher> Map;
+  CacheStats S;
+};
+
+} // namespace asdf
+
+#endif // ASDF_SERVICE_ARTIFACTCACHE_H

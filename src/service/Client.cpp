@@ -1,0 +1,130 @@
+//===- Client.cpp - Blocking NDJSON client for asdfd ----------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace asdf;
+
+ServiceClient::~ServiceClient() { close(); }
+
+void ServiceClient::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+  Buffer.clear();
+}
+
+bool ServiceClient::connect(const std::string &SocketPath,
+                            std::string &Error) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Error = "cannot connect to daemon at " + SocketPath + ": " +
+            std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::call(const ServiceRequest &R, ServiceResponse &Out,
+                         std::string &Error, double RecvTimeoutSecs) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return false;
+  }
+  std::string Line = R.toJson().write() + "\n";
+  size_t Off = 0;
+  while (Off < Line.size()) {
+    ssize_t N =
+        ::send(Fd, Line.data() + Off, Line.size() - Off, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  // Read until the matching id: a pipelined peer may interleave other
+  // responses first.
+  while (true) {
+    std::string RespLine;
+    if (!readLine(RespLine, Error, RecvTimeoutSecs))
+      return false;
+    json::Value V;
+    if (!json::parse(RespLine, V, Error)) {
+      Error = "malformed response: " + Error;
+      return false;
+    }
+    ServiceResponse Resp;
+    if (!ServiceResponse::fromJson(V, Resp, Error))
+      return false;
+    if (Resp.Id == R.Id) {
+      Out = std::move(Resp);
+      return true;
+    }
+  }
+}
+
+bool ServiceClient::readLine(std::string &Line, std::string &Error,
+                             double TimeoutSecs) {
+  while (true) {
+    size_t Nl = Buffer.find('\n');
+    if (Nl != std::string::npos) {
+      Line = Buffer.substr(0, Nl);
+      Buffer.erase(0, Nl + 1);
+      return true;
+    }
+    if (TimeoutSecs > 0) {
+      pollfd P{Fd, POLLIN, 0};
+      int Ready = ::poll(&P, 1, static_cast<int>(TimeoutSecs * 1000));
+      if (Ready == 0) {
+        Error = "timed out waiting for the daemon's response";
+        return false;
+      }
+      if (Ready < 0) {
+        if (errno == EINTR)
+          continue;
+        Error = std::string("poll: ") + std::strerror(errno);
+        return false;
+      }
+    }
+    char Chunk[4096];
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      Error = "daemon closed the connection";
+      return false;
+    }
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+}

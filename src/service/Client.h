@@ -1,0 +1,57 @@
+//===- Client.h - Blocking NDJSON client for asdfd ------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal synchronous client for the asdfd protocol: connect to the
+/// unix socket, write one request line, read response lines until the one
+/// whose `id` matches. asdf-cli is a thin shell around this class, and the
+/// integration tests use it to talk to a freshly spawned daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SERVICE_CLIENT_H
+#define ASDF_SERVICE_CLIENT_H
+
+#include "service/Request.h"
+
+#include <string>
+
+namespace asdf {
+
+class ServiceClient {
+public:
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient &) = delete;
+  ServiceClient &operator=(const ServiceClient &) = delete;
+
+  /// Connects to the daemon at \p SocketPath. False + \p Error on failure
+  /// (no daemon, permission, path too long).
+  bool connect(const std::string &SocketPath, std::string &Error);
+
+  /// Sends \p R and blocks until the response with the same id arrives.
+  /// \p RecvTimeoutSecs bounds the wait for *each* response line
+  /// (<= 0: wait forever). False + \p Error on transport failure — a
+  /// request the daemon answered with ok=false still returns true here,
+  /// with the error in \p Out.Error.
+  bool call(const ServiceRequest &R, ServiceResponse &Out,
+            std::string &Error, double RecvTimeoutSecs = 0.0);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+private:
+  bool readLine(std::string &Line, std::string &Error,
+                double TimeoutSecs);
+
+  int Fd = -1;
+  std::string Buffer;
+};
+
+} // namespace asdf
+
+#endif // ASDF_SERVICE_CLIENT_H

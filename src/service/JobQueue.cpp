@@ -1,0 +1,91 @@
+//===- JobQueue.cpp - Persistent worker pool for service requests ---------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/JobQueue.h"
+
+using namespace asdf;
+
+JobQueue::JobQueue(unsigned Workers) {
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 1;
+  }
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I) {
+    try {
+      Threads.emplace_back([this] { workerMain(); });
+    } catch (const std::system_error &) {
+      break; // Degrade to fewer workers, same policy as parallelIndexLoop.
+    }
+  }
+  if (Threads.empty())
+    Threads.emplace_back([this] { workerMain(); }); // Must not be zero.
+}
+
+JobQueue::~JobQueue() { drain(); }
+
+bool JobQueue::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Draining) {
+      ++Rejected;
+      return false;
+    }
+    Queue.push_back(std::move(Job));
+    ++Submitted;
+  }
+  CV.notify_one();
+  return true;
+}
+
+void JobQueue::drain() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Draining && Threads.empty())
+      return;
+    Draining = true;
+  }
+  CV.notify_all();
+  // Joining outside the lock; workers exit once the queue is empty.
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ToJoin.swap(Threads);
+  }
+  for (std::thread &T : ToJoin)
+    if (T.joinable())
+      T.join();
+}
+
+JobQueue::Counters JobQueue::counters() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Counters C;
+  C.Submitted = Submitted;
+  C.Executed = Executed;
+  C.Rejected = Rejected;
+  C.Pending = Queue.size();
+  return C;
+}
+
+void JobQueue::workerMain() {
+  while (true) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      CV.wait(Lock, [this] { return Draining || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Draining and nothing left.
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Job(); // Jobs are noexcept by contract (Service wraps handler errors).
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ++Executed;
+    }
+  }
+}

@@ -1,0 +1,78 @@
+//===- JobQueue.h - Persistent worker pool for service requests -----------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's request executor: a fixed pool of worker threads draining
+/// a FIFO of jobs. This is deliberately a different animal from
+/// `parallelIndexLoop` (Backend.h), which is a run-to-completion loop for
+/// one bounded batch — the daemon needs workers that outlive any one
+/// request. The two compose: the JobQueue provides request-level
+/// concurrency (M requests in flight on N workers), and each simulation
+/// request's runBatch call *reuses* parallelIndexLoop internally for its
+/// shot/amplitude parallelism, with the request's own Jobs knob deciding
+/// how many threads that inner loop spends.
+///
+/// Shutdown is graceful by default: `drain()` stops admission, lets every
+/// queued job finish, and joins the workers — the SIGTERM story of asdfd.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SERVICE_JOBQUEUE_H
+#define ASDF_SERVICE_JOBQUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asdf {
+
+class JobQueue {
+public:
+  /// Spawns \p Workers threads (0 = one per hardware core, minimum 1).
+  explicit JobQueue(unsigned Workers = 0);
+  /// Drains and joins.
+  ~JobQueue();
+
+  JobQueue(const JobQueue &) = delete;
+  JobQueue &operator=(const JobQueue &) = delete;
+
+  /// Enqueues \p Job. Returns false (without running it) once drain() has
+  /// started — callers translate that into a shutting-down error.
+  bool submit(std::function<void()> Job);
+
+  /// Stops admission, runs every already-queued job to completion, and
+  /// joins the workers. Idempotent; safe to call from any non-worker
+  /// thread.
+  void drain();
+
+  unsigned workers() const { return static_cast<unsigned>(Threads.size()); }
+
+  struct Counters {
+    uint64_t Submitted = 0;
+    uint64_t Executed = 0;
+    uint64_t Rejected = 0;
+    uint64_t Pending = 0;
+  };
+  Counters counters() const;
+
+private:
+  void workerMain();
+
+  mutable std::mutex M;
+  std::condition_variable CV;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Threads;
+  bool Draining = false;
+  uint64_t Submitted = 0, Executed = 0, Rejected = 0;
+};
+
+} // namespace asdf
+
+#endif // ASDF_SERVICE_JOBQUEUE_H

@@ -1,0 +1,350 @@
+//===- Request.cpp - The shared request/job abstraction -------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Request.h"
+
+#include <set>
+
+using namespace asdf;
+
+namespace {
+
+const char *kindName(ServiceRequest::Kind K) {
+  switch (K) {
+  case ServiceRequest::Kind::Compile:
+    return "compile";
+  case ServiceRequest::Kind::Run:
+    return "run";
+  case ServiceRequest::Kind::Stats:
+    return "stats";
+  case ServiceRequest::Kind::Shutdown:
+    return "shutdown";
+  }
+  return "?";
+}
+
+bool parseKind(const std::string &Name, ServiceRequest::Kind &Out) {
+  if (Name == "compile")
+    Out = ServiceRequest::Kind::Compile;
+  else if (Name == "run")
+    Out = ServiceRequest::Kind::Run;
+  else if (Name == "stats")
+    Out = ServiceRequest::Kind::Stats;
+  else if (Name == "shutdown")
+    Out = ServiceRequest::Kind::Shutdown;
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+json::Value ServiceRequest::toJson() const {
+  json::Value O = json::Value::object();
+  O.set("id", json::Value::integer(Id));
+  O.set("op", json::Value::str(kindName(TheKind)));
+  if (TheKind == Kind::Stats || TheKind == Kind::Shutdown)
+    return O;
+  O.set("source", json::Value::str(Source));
+  if (Entry != "kernel")
+    O.set("entry", json::Value::str(Entry));
+  if (Pipeline != "default")
+    O.set("pipeline", json::Value::str(Pipeline));
+  if (!Bindings.DimVars.empty()) {
+    json::Value Bind = json::Value::object();
+    for (const auto &[Name, Value] : Bindings.DimVars)
+      Bind.set(Name, json::Value::integer(static_cast<int64_t>(Value)));
+    O.set("bind", std::move(Bind));
+  }
+  if (!Bindings.Captures.empty()) {
+    // Same key syntax as the asdfc flag: "<function>.<param>", with
+    // classical-function captures spelled "@name".
+    json::Value Cap = json::Value::object();
+    for (const auto &[Func, Params] : Bindings.Captures)
+      for (const auto &[Param, Capture] : Params) {
+        std::string Value;
+        if (Capture.TheKind == CaptureValue::Kind::ClassicalFunc) {
+          Value = "@" + Capture.FuncName;
+        } else {
+          Value.reserve(Capture.Bits.size());
+          for (bool B : Capture.Bits)
+            Value.push_back(B ? '1' : '0');
+        }
+        Cap.set(Func + "." + Param, json::Value::str(Value));
+      }
+    O.set("capture", std::move(Cap));
+  }
+  if (TheKind == Kind::Compile) {
+    O.set("emit", json::Value::str(Emit));
+  } else {
+    O.set("shots", json::Value::integer(static_cast<uint64_t>(Shots)));
+    O.set("seed", json::Value::integer(Seed));
+    if (Backend != "auto")
+      O.set("backend", json::Value::str(Backend));
+    if (Jobs != 1)
+      O.set("jobs", json::Value::integer(static_cast<uint64_t>(Jobs)));
+  }
+  if (TimeoutSecs > 0)
+    O.set("timeout", json::Value::number(TimeoutSecs));
+  return O;
+}
+
+bool ServiceRequest::fromJson(const json::Value &V, ServiceRequest &Out,
+                              std::string &Error) {
+  if (!V.isObject()) {
+    Error = "request must be a JSON object";
+    return false;
+  }
+  const json::Value *Op = V.get("op");
+  if (!Op || !Op->isString()) {
+    Error = "request needs a string \"op\" field";
+    return false;
+  }
+  Out = ServiceRequest();
+  if (!parseKind(Op->asString(), Out.TheKind)) {
+    Error = "unknown op '" + Op->asString() +
+            "' (expected compile, run, stats, or shutdown)";
+    return false;
+  }
+
+  static const std::set<std::string> Known = {
+      "id",   "op",      "source", "entry",   "pipeline", "bind",
+      "capture", "emit", "shots",  "seed",    "backend",  "jobs",
+      "timeout"};
+  for (const auto &[Key, Member] : V.members()) {
+    (void)Member;
+    if (!Known.count(Key)) {
+      Error = "unknown request field \"" + Key + "\"";
+      return false;
+    }
+  }
+
+  if (const json::Value *Id = V.get("id")) {
+    if (!Id->isNumber()) {
+      Error = "\"id\" must be a number";
+      return false;
+    }
+    Out.Id = Id->asU64();
+  }
+  if (const json::Value *T = V.get("timeout")) {
+    if (!T->isNumber()) {
+      Error = "\"timeout\" must be a number (seconds)";
+      return false;
+    }
+    Out.TimeoutSecs = T->asDouble();
+  }
+  if (Out.TheKind == Kind::Stats || Out.TheKind == Kind::Shutdown)
+    return true;
+
+  const json::Value *Source = V.get("source");
+  if (!Source || !Source->isString()) {
+    Error = std::string(kindName(Out.TheKind)) +
+            " request needs a string \"source\" field";
+    return false;
+  }
+  Out.Source = Source->asString();
+  if (const json::Value *E = V.get("entry")) {
+    if (!E->isString()) {
+      Error = "\"entry\" must be a string";
+      return false;
+    }
+    Out.Entry = E->asString();
+  }
+  if (const json::Value *P = V.get("pipeline")) {
+    if (!P->isString()) {
+      Error = "\"pipeline\" must be a string";
+      return false;
+    }
+    Out.Pipeline = P->asString();
+  }
+  if (const json::Value *Bind = V.get("bind")) {
+    if (!Bind->isObject()) {
+      Error = "\"bind\" must be an object of {var: int}";
+      return false;
+    }
+    for (const auto &[Name, Member] : Bind->members()) {
+      if (!Member.isNumber()) {
+        Error = "bind value for '" + Name + "' must be an integer";
+        return false;
+      }
+      Out.Bindings.DimVars[Name] = Member.asI64();
+    }
+  }
+  if (const json::Value *Cap = V.get("capture")) {
+    if (!Cap->isObject()) {
+      Error = "\"capture\" must be an object of {\"fn.param\": value}";
+      return false;
+    }
+    for (const auto &[Key, Member] : Cap->members()) {
+      size_t Dot = Key.find('.');
+      if (Dot == std::string::npos) {
+        Error = "capture key '" + Key + "' must be <function>.<param>";
+        return false;
+      }
+      if (!Member.isString()) {
+        Error = "capture value for '" + Key + "' must be a string";
+        return false;
+      }
+      const std::string &Value = Member.asString();
+      CaptureValue CV;
+      if (!Value.empty() && Value[0] == '@') {
+        CV = CaptureValue::classicalFunc(Value.substr(1));
+      } else {
+        for (char C : Value)
+          if (C != '0' && C != '1') {
+            Error = "capture value for '" + Key +
+                    "' must be a bit string or @function";
+            return false;
+          }
+        CV = CaptureValue::bitsFromString(Value);
+      }
+      Out.Bindings.Captures[Key.substr(0, Dot)][Key.substr(Dot + 1)] =
+          std::move(CV);
+    }
+  }
+  if (Out.TheKind == Kind::Compile) {
+    if (const json::Value *E = V.get("emit")) {
+      if (!E->isString()) {
+        Error = "\"emit\" must be a string";
+        return false;
+      }
+      Out.Emit = E->asString();
+    }
+    return true;
+  }
+  // Run.
+  if (const json::Value *S = V.get("shots")) {
+    if (!S->isNumber()) {
+      Error = "\"shots\" must be a number";
+      return false;
+    }
+    Out.Shots = static_cast<unsigned>(S->asU64());
+  }
+  if (const json::Value *S = V.get("seed")) {
+    if (!S->isNumber()) {
+      Error = "\"seed\" must be a number";
+      return false;
+    }
+    Out.Seed = S->asU64();
+  }
+  if (const json::Value *B = V.get("backend")) {
+    if (!B->isString()) {
+      Error = "\"backend\" must be a string";
+      return false;
+    }
+    Out.Backend = B->asString();
+  }
+  if (const json::Value *J = V.get("jobs")) {
+    if (!J->isNumber()) {
+      Error = "\"jobs\" must be a number";
+      return false;
+    }
+    Out.Jobs = static_cast<unsigned>(J->asU64());
+  }
+  return true;
+}
+
+json::Value ServiceResponse::toJson() const {
+  json::Value O = json::Value::object();
+  O.set("id", json::Value::integer(Id));
+  O.set("ok", json::Value::boolean(Ok));
+  if (!Ok) {
+    json::Value E = json::Value::object();
+    E.set("kind", json::Value::str(Error.Kind));
+    E.set("message", json::Value::str(Error.Message));
+    O.set("error", std::move(E));
+    return O;
+  }
+  if (!StatsBody.isNull()) {
+    O.set("stats", StatsBody);
+    return O;
+  }
+  if (!Key.empty()) {
+    O.set("cache", json::Value::str(CacheHit ? "hit" : "miss"));
+    O.set("key", json::Value::str(Key));
+    O.set("compile_secs", json::Value::number(CompileSecs));
+  }
+  if (!Artifact.empty())
+    O.set("artifact", json::Value::str(Artifact));
+  if (!Results.empty()) {
+    json::Value R = json::Value::array();
+    for (const std::string &S : Results)
+      R.push(json::Value::str(S));
+    O.set("results", std::move(R));
+    json::Value C = json::Value::object();
+    for (const auto &[Bits, N] : Counts)
+      C.set(Bits, json::Value::integer(static_cast<uint64_t>(N)));
+    O.set("counts", std::move(C));
+  }
+  return O;
+}
+
+bool ServiceResponse::fromJson(const json::Value &V, ServiceResponse &Out,
+                               std::string &Error) {
+  if (!V.isObject()) {
+    Error = "response must be a JSON object";
+    return false;
+  }
+  Out = ServiceResponse();
+  if (const json::Value *Id = V.get("id"))
+    Out.Id = Id->asU64();
+  const json::Value *Ok = V.get("ok");
+  if (!Ok || !Ok->isBool()) {
+    Error = "response needs a boolean \"ok\" field";
+    return false;
+  }
+  Out.Ok = Ok->asBool();
+  if (!Out.Ok) {
+    if (const json::Value *E = V.get("error")) {
+      if (const json::Value *K = E->get("kind"))
+        Out.Error.Kind = K->asString();
+      if (const json::Value *M = E->get("message"))
+        Out.Error.Message = M->asString();
+    }
+    if (Out.Error.Kind.empty())
+      Out.Error.Kind = "internal";
+    return true;
+  }
+  if (const json::Value *A = V.get("artifact"))
+    Out.Artifact = A->asString();
+  if (const json::Value *C = V.get("cache"))
+    Out.CacheHit = C->asString() == "hit";
+  if (const json::Value *K = V.get("key"))
+    Out.Key = K->asString();
+  if (const json::Value *S = V.get("compile_secs"))
+    Out.CompileSecs = S->asDouble();
+  if (const json::Value *R = V.get("results"))
+    for (const json::Value &E : R->elements())
+      Out.Results.push_back(E.asString());
+  if (const json::Value *C = V.get("counts"))
+    for (const auto &[Bits, N] : C->members())
+      Out.Counts[Bits] = static_cast<unsigned>(N.asU64());
+  if (const json::Value *S = V.get("stats"))
+    Out.StatsBody = *S;
+  return true;
+}
+
+ServiceResponse ServiceResponse::failure(uint64_t Id, std::string Kind,
+                                         std::string Message) {
+  ServiceResponse R;
+  R.Id = Id;
+  R.Ok = false;
+  R.Error.Kind = std::move(Kind);
+  R.Error.Message = std::move(Message);
+  return R;
+}
+
+bool asdf::parseRequestLine(const std::string &Line, ServiceRequest &Out,
+                            uint64_t &IdOut, std::string &Error) {
+  IdOut = 0;
+  json::Value V;
+  if (!json::parse(Line, V, Error))
+    return false;
+  if (V.isObject())
+    if (const json::Value *Id = V.get("id"))
+      IdOut = Id->asU64();
+  return ServiceRequest::fromJson(V, Out, Error);
+}

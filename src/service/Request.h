@@ -1,0 +1,148 @@
+//===- Request.h - The shared request/job abstraction ---------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One `ServiceRequest` describes one unit of work — a compilation, a
+/// simulation run, a stats query, or a shutdown — and one `ServiceResponse`
+/// its outcome. Everything that submits work constructs the same structs:
+/// asdf-cli builds one from its argv, asdfd parses one per NDJSON line,
+/// the service bench synthesizes thousands in-process, and the tests build
+/// the serial reference from the identical object. That sharing is the
+/// point (ROADMAP: "a request/job abstraction shared by the CLI, benches,
+/// and the daemon"): there is exactly one mapping from request fields to
+/// compiler/simulator inputs, so "daemon-served results are bit-identical
+/// to asdfc" reduces to both paths calling the same code on the same
+/// struct.
+///
+/// The JSON encoding (docs/protocol.md) is the wire format of asdfd;
+/// parse/serialize round-trips exactly, including 64-bit seeds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SERVICE_REQUEST_H
+#define ASDF_SERVICE_REQUEST_H
+
+#include "ast/Expand.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asdf {
+
+/// One unit of service work.
+struct ServiceRequest {
+  enum class Kind { Compile, Run, Stats, Shutdown };
+
+  Kind TheKind = Kind::Compile;
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  uint64_t Id = 0;
+
+  //===--- Compile and Run fields ---===//
+
+  /// Qwerty source text.
+  std::string Source;
+  /// Entry kernel name.
+  std::string Entry = "kernel";
+  /// Pipeline preset name or "stage:pass,..." spec (PassRegistry.h).
+  std::string Pipeline = "default";
+  /// Dimension-variable and capture bindings.
+  ProgramBindings Bindings;
+  /// Compile only: which artifact to return — qasm, qir, qir-base,
+  /// qwerty-ir, or circuit.
+  std::string Emit = "qasm";
+
+  //===--- Run fields ---===//
+
+  unsigned Shots = 1;
+  /// Per-request base RNG seed: shot S of this request runs with
+  /// deriveShotSeed(Seed, S) exactly as `asdfc --seed` does, so the same
+  /// request produces the same bits whether served by the daemon (any
+  /// worker count, any interleaving with other requests) or by asdfc.
+  uint64_t Seed = 0;
+  /// Backend name for BackendRegistry: auto, sv, or stab.
+  std::string Backend = "auto";
+  /// Worker threads for this run's simulation (RunOptions::Jobs; 0 = one
+  /// per hardware core). Results are identical for any value.
+  unsigned Jobs = 1;
+
+  //===--- Scheduling ---===//
+
+  /// Per-request timeout in seconds; <= 0 means none. Enforced
+  /// cooperatively: a request whose deadline has passed when a worker
+  /// picks it up (or between its compile and run halves) fails with a
+  /// "timeout" error. An in-flight compiler pass is not preempted.
+  double TimeoutSecs = 0.0;
+
+  /// Serializes to the wire object ({"id": ..., "op": ...}).
+  json::Value toJson() const;
+
+  /// Parses a wire object. Returns false and fills \p Error on malformed
+  /// or unknown fields/ops; unknown keys are rejected so typos fail loudly
+  /// instead of silently running defaults.
+  static bool fromJson(const json::Value &V, ServiceRequest &Out,
+                       std::string &Error);
+};
+
+/// Machine-readable error classification of a failed request.
+struct ServiceError {
+  /// One of: bad-request, compile-error, unsupported, timeout,
+  /// shutting-down, internal.
+  std::string Kind;
+  /// Human-readable detail; for compile-error this is the CompileSession
+  /// message naming the failing stage:pass and entry.
+  std::string Message;
+};
+
+/// The outcome of one request.
+struct ServiceResponse {
+  uint64_t Id = 0;
+  bool Ok = false;
+  ServiceError Error; ///< Valid when !Ok.
+
+  //===--- Compile (and Run: the compile half) ---===//
+
+  /// Compile only: the rendered artifact text.
+  std::string Artifact;
+  /// Whether the artifact/circuit came from the cache.
+  bool CacheHit = false;
+  /// Hex cache key of the request (compile and run).
+  std::string Key;
+  /// Seconds spent compiling (0 on a hit).
+  double CompileSecs = 0.0;
+
+  //===--- Run ---===//
+
+  /// Per-shot output bit strings in shot order — exactly the stdout lines
+  /// of `asdfc --emit run` on the same request.
+  std::vector<std::string> Results;
+  /// Aggregated outcome frequencies (sorted by bit string).
+  std::map<std::string, unsigned> Counts;
+
+  //===--- Stats ---===//
+
+  /// Stats payload, pre-encoded (Service.cpp fills it).
+  json::Value StatsBody;
+
+  json::Value toJson() const;
+  static bool fromJson(const json::Value &V, ServiceResponse &Out,
+                       std::string &Error);
+
+  static ServiceResponse failure(uint64_t Id, std::string Kind,
+                                 std::string Message);
+};
+
+/// Parses one NDJSON request line (text -> JSON -> struct). On failure the
+/// caller should answer with a bad-request error echoing the id when one
+/// could be recovered (\p IdOut is filled best-effort).
+bool parseRequestLine(const std::string &Line, ServiceRequest &Out,
+                      uint64_t &IdOut, std::string &Error);
+
+} // namespace asdf
+
+#endif // ASDF_SERVICE_REQUEST_H

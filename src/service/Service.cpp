@@ -1,0 +1,320 @@
+//===- Service.cpp - The compile-and-run service engine -------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "codegen/QasmEmitter.h"
+#include "codegen/QirEmitter.h"
+#include "compiler/CompileSession.h"
+#include "sim/CircuitAnalysis.h"
+#include "sim/Simulator.h"
+#include "support/BuildInfo.h"
+
+#include <cstring>
+
+using namespace asdf;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+bool validServiceEmit(const std::string &E) {
+  return E == "qasm" || E == "qir" || E == "qir-base" || E == "qwerty-ir" ||
+         E == "circuit";
+}
+
+} // namespace
+
+AsdfService::AsdfService(ServiceOptions Options)
+    : Cache(Options.CacheBytes), Queue(Options.Workers),
+      Start(Clock::now()) {}
+
+AsdfService::~AsdfService() { drain(); }
+
+void AsdfService::drain() {
+  ShuttingDown.store(true);
+  Queue.drain();
+}
+
+ServiceResponse AsdfService::handle(const ServiceRequest &R) {
+  Clock::time_point Deadline; // Epoch = none.
+  if (R.TimeoutSecs > 0)
+    Deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(R.TimeoutSecs));
+  return handle(R, Deadline);
+}
+
+ServiceResponse AsdfService::handle(const ServiceRequest &R,
+                                    Clock::time_point Deadline) {
+  ServiceResponse Resp = [&] {
+    if (expired(Deadline)) {
+      NumTimeouts.fetch_add(1, std::memory_order_relaxed);
+      return ServiceResponse::failure(
+          R.Id, "timeout", "request deadline passed before execution");
+    }
+    switch (R.TheKind) {
+    case ServiceRequest::Kind::Compile:
+      NumCompile.fetch_add(1, std::memory_order_relaxed);
+      return handleCompile(R, Deadline);
+    case ServiceRequest::Kind::Run:
+      NumRun.fetch_add(1, std::memory_order_relaxed);
+      return handleRun(R, Deadline);
+    case ServiceRequest::Kind::Stats:
+      NumStats.fetch_add(1, std::memory_order_relaxed);
+      return handleStats(R);
+    case ServiceRequest::Kind::Shutdown:
+      return handleShutdown(R);
+    }
+    return ServiceResponse::failure(R.Id, "internal", "unreachable");
+  }();
+  if (!Resp.Ok)
+    NumErrors.fetch_add(1, std::memory_order_relaxed);
+  return Resp;
+}
+
+bool AsdfService::submit(ServiceRequest R,
+                         std::function<void(ServiceResponse)> Done) {
+  Clock::time_point Deadline;
+  if (R.TimeoutSecs > 0)
+    Deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(R.TimeoutSecs));
+  return Queue.submit(
+      [this, R = std::move(R), Done = std::move(Done), Deadline] {
+        Done(handle(R, Deadline));
+      });
+}
+
+std::shared_ptr<const Circuit> AsdfService::flatCircuitFor(
+    const ServiceRequest &R, const PipelinePlan &Plan, bool &WasHit,
+    std::string &KeyHex, double &CompileSecs, ServiceResponse &Failure) {
+  CacheKey Key = computeCacheKey(R, Plan, "flat-circuit");
+  KeyHex = Key.hex();
+  if (std::shared_ptr<const CachedArtifact> Hit = Cache.get(Key)) {
+    WasHit = true;
+    return Hit->Flat;
+  }
+  WasHit = false;
+  Clock::time_point T0 = Clock::now();
+  SessionOptions Opts;
+  Opts.Entry = R.Entry;
+  Opts.Plan = Plan;
+  CompileSession Session(R.Source, R.Bindings, Opts);
+  Circuit *Flat = Session.flatCircuit();
+  CompileSecs = secondsSince(T0);
+  if (!Flat) {
+    Failure = ServiceResponse::failure(R.Id, "compile-error",
+                                       Session.errorMessage());
+    return nullptr;
+  }
+  auto Shared = std::make_shared<Circuit>(std::move(*Flat));
+  auto Entry = std::make_shared<CachedArtifact>();
+  Entry->Kind = "flat-circuit";
+  Entry->Flat = Shared;
+  Cache.put(Key, std::move(Entry));
+  return Shared;
+}
+
+ServiceResponse
+AsdfService::handleCompile(const ServiceRequest &R,
+                           Clock::time_point Deadline) {
+  if (!validServiceEmit(R.Emit))
+    return ServiceResponse::failure(
+        R.Id, "bad-request",
+        "unknown emit '" + R.Emit +
+            "' (expected qasm, qir, qir-base, qwerty-ir, or circuit)");
+  PipelinePlan Plan;
+  std::string Error;
+  if (!parsePipelinePlan(R.Pipeline, Plan, Error))
+    return ServiceResponse::failure(R.Id, "bad-request", Error);
+  if (!Plan.producesFlatCircuit() && R.Emit != "qir" &&
+      R.Emit != "qwerty-ir")
+    return ServiceResponse::failure(
+        R.Id, "unsupported",
+        "a non-inlining pipeline supports only emit qir/qwerty-ir");
+
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  CacheKey Key = computeCacheKey(R, Plan, R.Emit);
+  Resp.Key = Key.hex();
+  if (std::shared_ptr<const CachedArtifact> Hit = Cache.get(Key)) {
+    Resp.Ok = true;
+    Resp.CacheHit = true;
+    Resp.Artifact = Hit->Text;
+    return Resp;
+  }
+  if (expired(Deadline)) {
+    NumTimeouts.fetch_add(1, std::memory_order_relaxed);
+    return ServiceResponse::failure(R.Id, "timeout",
+                                    "request deadline passed before compile");
+  }
+
+  Clock::time_point T0 = Clock::now();
+  SessionOptions Opts;
+  Opts.Entry = R.Entry;
+  Opts.Plan = Plan;
+  CompileSession Session(R.Source, R.Bindings, Opts);
+  std::string Text;
+  if (R.Emit == "qwerty-ir") {
+    Module *QW = Session.qwertyIR();
+    if (!QW)
+      return ServiceResponse::failure(R.Id, "compile-error",
+                                      Session.errorMessage());
+    Text = QW->str();
+  } else if (R.Emit == "qir") {
+    Module *QC = Session.qcircIR();
+    if (!QC)
+      return ServiceResponse::failure(R.Id, "compile-error",
+                                      Session.errorMessage());
+    Text = emitQirUnrestricted(*QC);
+  } else {
+    Circuit *Flat = Session.flatCircuit();
+    if (!Flat)
+      return ServiceResponse::failure(R.Id, "compile-error",
+                                      Session.errorMessage());
+    if (R.Emit == "qasm") {
+      Text = emitOpenQasm3(*Flat);
+    } else if (R.Emit == "circuit") {
+      Text = Flat->str();
+    } else { // qir-base
+      std::optional<std::string> Qir = emitQirBaseProfile(*Flat);
+      if (!Qir)
+        return ServiceResponse::failure(
+            R.Id, "unsupported",
+            "circuit needs features outside the Base Profile (dynamic "
+            "conditions)");
+      Text = std::move(*Qir);
+    }
+  }
+  Resp.CompileSecs = secondsSince(T0);
+  Resp.Ok = true;
+  Resp.CacheHit = false;
+  Resp.Artifact = Text;
+  auto Entry = std::make_shared<CachedArtifact>();
+  Entry->Kind = R.Emit;
+  Entry->Text = std::move(Text);
+  Cache.put(Key, std::move(Entry));
+  return Resp;
+}
+
+ServiceResponse AsdfService::handleRun(const ServiceRequest &R,
+                                       Clock::time_point Deadline) {
+  PipelinePlan Plan;
+  std::string Error;
+  if (!parsePipelinePlan(R.Pipeline, Plan, Error))
+    return ServiceResponse::failure(R.Id, "bad-request", Error);
+  if (!Plan.producesFlatCircuit())
+    return ServiceResponse::failure(
+        R.Id, "unsupported",
+        "run requests need a fully inlining pipeline (the plan keeps "
+        "callables, which only the QIR path can emit)");
+  BackendKind Kind;
+  if (!parseBackendKind(R.Backend, Kind))
+    return ServiceResponse::failure(
+        R.Id, "bad-request",
+        "unknown backend '" + R.Backend + "' (expected auto, sv, or stab)");
+
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  ServiceResponse Failure;
+  std::shared_ptr<const Circuit> Flat = flatCircuitFor(
+      R, Plan, Resp.CacheHit, Resp.Key, Resp.CompileSecs, Failure);
+  if (!Flat)
+    return Failure;
+  if (expired(Deadline)) {
+    NumTimeouts.fetch_add(1, std::memory_order_relaxed);
+    return ServiceResponse::failure(R.Id, "timeout",
+                                    "request deadline passed before run");
+  }
+
+  // Identical pre-run checks to the asdfc driver: a backend is only handed
+  // circuits it supports, with the dense cap derived from this request's
+  // options.
+  RunOptions RunOpts;
+  RunOpts.Jobs = R.Jobs;
+  CircuitProfile Profile = analyzeCircuit(*Flat);
+  SimBackend &B =
+      BackendRegistry::instance().select(*Flat, Kind, &Profile, nullptr);
+  bool Supported = B.supports(*Flat, Profile);
+  if (std::strcmp(B.name(), "sv") == 0)
+    Supported = Flat->NumQubits <= StatevectorBackend::maxQubits(RunOpts);
+  if (!Supported)
+    return ServiceResponse::failure(
+        R.Id, "unsupported",
+        std::string("backend '") + B.name() +
+            "' cannot simulate this circuit (" +
+            std::to_string(Flat->NumQubits) + " qubits, " +
+            (Profile.CliffordOnly ? "Clifford" : "non-Clifford") + ")");
+
+  std::vector<ShotResult> Batch = B.runBatch(*Flat, R.Shots, R.Seed, RunOpts);
+  NumShots.fetch_add(R.Shots, std::memory_order_relaxed);
+  Resp.Results.reserve(Batch.size());
+  for (const ShotResult &Shot : Batch) {
+    Resp.Results.push_back(formatShotBits(*Flat, Shot));
+    ++Resp.Counts[Resp.Results.back()];
+  }
+  Resp.Ok = true;
+  return Resp;
+}
+
+ServiceResponse AsdfService::handleStats(const ServiceRequest &R) {
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  Resp.Ok = true;
+  Resp.StatsBody = statsJson();
+  return Resp;
+}
+
+ServiceResponse AsdfService::handleShutdown(const ServiceRequest &R) {
+  ShuttingDown.store(true);
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  Resp.Ok = true;
+  return Resp;
+}
+
+json::Value AsdfService::statsJson() const {
+  json::Value O = json::Value::object();
+  O.set("version", json::Value::str(buildInfo().Version));
+  O.set("fingerprint", json::Value::str(buildFingerprint()));
+  O.set("uptime_secs", json::Value::number(secondsSince(Start)));
+  O.set("workers", json::Value::integer(
+                       static_cast<uint64_t>(Queue.workers())));
+
+  CacheStats CS = Cache.stats();
+  json::Value C = json::Value::object();
+  C.set("hits", json::Value::integer(CS.Hits));
+  C.set("misses", json::Value::integer(CS.Misses));
+  C.set("evictions", json::Value::integer(CS.Evictions));
+  C.set("insertions", json::Value::integer(CS.Insertions));
+  C.set("entries", json::Value::integer(CS.Entries));
+  C.set("bytes_used", json::Value::integer(
+                          static_cast<uint64_t>(CS.BytesUsed)));
+  C.set("byte_budget", json::Value::integer(
+                           static_cast<uint64_t>(CS.ByteBudget)));
+  O.set("cache", std::move(C));
+
+  json::Value Req = json::Value::object();
+  Req.set("compile", json::Value::integer(NumCompile.load()));
+  Req.set("run", json::Value::integer(NumRun.load()));
+  Req.set("stats", json::Value::integer(NumStats.load()));
+  Req.set("errors", json::Value::integer(NumErrors.load()));
+  Req.set("timeouts", json::Value::integer(NumTimeouts.load()));
+  Req.set("shots", json::Value::integer(NumShots.load()));
+  O.set("requests", std::move(Req));
+
+  JobQueue::Counters QC = Queue.counters();
+  json::Value Q = json::Value::object();
+  Q.set("submitted", json::Value::integer(QC.Submitted));
+  Q.set("executed", json::Value::integer(QC.Executed));
+  Q.set("rejected", json::Value::integer(QC.Rejected));
+  Q.set("pending", json::Value::integer(QC.Pending));
+  O.set("queue", std::move(Q));
+  return O;
+}

@@ -1,0 +1,120 @@
+//===- Service.h - The compile-and-run service engine ---------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `AsdfService` is asdfd with the sockets stripped away: an artifact
+/// cache, a worker pool, and a request handler mapping `ServiceRequest` ->
+/// `ServiceResponse`. The daemon feeds it NDJSON lines; the throughput
+/// bench and the concurrency tests drive `handle`/`submit` in-process
+/// against the very same code path, which is how "daemon-served results
+/// are bit-identical to asdfc" is tested without flaky socket plumbing.
+///
+/// Request handling is synchronous-per-request (`handle`, safe from any
+/// number of threads) with an async wrapper (`submit`) that runs the
+/// handler on the JobQueue and invokes a completion callback. Compile
+/// requests are served from the ArtifactCache when the content hash
+/// matches; run requests cache the compiled flat circuit under the same
+/// key scheme and then execute through the ordinary backend registry, so
+/// one daemon amortizes compilation across every client while the
+/// simulation engine's determinism contract (same request, same seed ->
+/// same bits, any worker count) carries over unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SERVICE_SERVICE_H
+#define ASDF_SERVICE_SERVICE_H
+
+#include "service/ArtifactCache.h"
+#include "service/JobQueue.h"
+#include "service/Request.h"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+
+namespace asdf {
+
+struct ServiceOptions {
+  /// Worker threads executing requests (JobQueue; 0 = one per core).
+  unsigned Workers = 0;
+  /// Artifact-cache byte budget.
+  size_t CacheBytes = ArtifactCache::DefaultByteBudget;
+};
+
+class AsdfService {
+public:
+  explicit AsdfService(ServiceOptions Options = ServiceOptions());
+  ~AsdfService();
+
+  /// Executes one request to completion on the calling thread. Thread-safe
+  /// and non-blocking with respect to other requests (compilation runs
+  /// outside the cache lock). The deadline, if any, is derived from
+  /// R.TimeoutSecs at entry.
+  ServiceResponse handle(const ServiceRequest &R);
+
+  /// As above with an explicit deadline (already-expired deadlines fail
+  /// with a "timeout" error before any work). Epoch means none.
+  ServiceResponse
+  handle(const ServiceRequest &R,
+         std::chrono::steady_clock::time_point Deadline);
+
+  /// Enqueues \p R on the worker pool; \p Done fires exactly once, on a
+  /// worker thread, with the response. Returns false (and does not call
+  /// \p Done) if the service is draining. The request's timeout starts
+  /// now — time spent queued counts against it.
+  bool submit(ServiceRequest R,
+              std::function<void(ServiceResponse)> Done);
+
+  /// True once a shutdown request has been handled (or drain() called);
+  /// the server layer polls this to stop accepting.
+  bool shuttingDown() const { return ShuttingDown.load(); }
+
+  /// Stops admission and completes all in-flight/queued requests.
+  void drain();
+
+  ArtifactCache &cache() { return Cache; }
+  unsigned workers() const { return Queue.workers(); }
+
+  /// The stats payload of the "stats" op (also used by --version-style
+  /// reporting in the bench): cache counters, request counters, queue
+  /// state, fingerprint, uptime.
+  json::Value statsJson() const;
+
+private:
+  ServiceResponse handleCompile(
+      const ServiceRequest &R,
+      std::chrono::steady_clock::time_point Deadline);
+  ServiceResponse handleRun(const ServiceRequest &R,
+                            std::chrono::steady_clock::time_point Deadline);
+  ServiceResponse handleStats(const ServiceRequest &R);
+  ServiceResponse handleShutdown(const ServiceRequest &R);
+
+  /// Returns the compiled flat circuit for \p R, from cache or by
+  /// compiling now; null with \p Failure filled on compile errors.
+  std::shared_ptr<const Circuit>
+  flatCircuitFor(const ServiceRequest &R, const PipelinePlan &Plan,
+                 bool &WasHit, std::string &KeyHex, double &CompileSecs,
+                 ServiceResponse &Failure);
+
+  static bool expired(std::chrono::steady_clock::time_point Deadline) {
+    return Deadline != std::chrono::steady_clock::time_point() &&
+           std::chrono::steady_clock::now() >= Deadline;
+  }
+
+  ArtifactCache Cache;
+  JobQueue Queue;
+  std::atomic<bool> ShuttingDown{false};
+  std::chrono::steady_clock::time_point Start;
+
+  // Request counters (stats op). Relaxed: they are monotonic telemetry.
+  std::atomic<uint64_t> NumCompile{0}, NumRun{0}, NumStats{0},
+      NumErrors{0}, NumTimeouts{0}, NumShots{0};
+};
+
+} // namespace asdf
+
+#endif // ASDF_SERVICE_SERVICE_H

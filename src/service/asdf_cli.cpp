@@ -1,0 +1,248 @@
+//===- asdf_cli.cpp - Thin client for the asdfd daemon --------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin command-line client for asdfd. It builds the same
+/// `ServiceRequest` struct asdfc-equivalent flags would describe, sends it
+/// over the unix socket, and prints results in asdfc's format — so
+/// `asdf-cli run prog.qw --shots 100 --seed 7` writes bit-for-bit the
+/// stdout of `asdfc prog.qw --emit run --shots 100 --seed 7`, just served
+/// from a warm daemon instead of a cold process.
+///
+///   asdf-cli --socket /run/asdf.sock compile prog.qw --emit qasm
+///   asdf-cli --socket /run/asdf.sock run prog.qw --shots 100 --seed 7
+///   asdf-cli --socket /run/asdf.sock stats
+///   asdf-cli --socket /run/asdf.sock shutdown
+///
+/// Exit codes follow the toolchain convention: 0 success, 1 runtime or
+/// daemon-reported errors, 2 command-line errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "support/BuildInfo.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace asdf;
+
+namespace {
+
+void usage(FILE *Out) {
+  std::fprintf(
+      Out,
+      "usage: asdf-cli [--socket <path>] <command> [options]\n"
+      "commands:\n"
+      "  compile <file.qw>   compile remotely and print the artifact\n"
+      "  run <file.qw>       simulate remotely; prints one output bit\n"
+      "                      string per shot, identical to asdfc\n"
+      "  stats               print daemon statistics (JSON)\n"
+      "  shutdown            ask the daemon to drain and exit\n"
+      "global options:\n"
+      "  -h, --help          print this help and exit\n"
+      "  --version           print version, build identity, and the cache\n"
+      "                      fingerprint, then exit\n"
+      "  --socket <path>     daemon socket (default: $ASDF_SOCKET, else\n"
+      "                      /tmp/asdfd.sock)\n"
+      "  --timeout <secs>    per-request timeout, also bounding the wait\n"
+      "                      for the response (default: none)\n"
+      "compile/run options (same meaning as asdfc):\n"
+      "  --entry <name>      entry kernel (default: kernel)\n"
+      "  --bind <Var>=<int>  bind a dimension variable\n"
+      "  --capture <fn>.<param>=<bits|@name>  bind a capture\n"
+      "  --pipeline <plan>   pipeline preset or stage:pass spec\n"
+      "  --emit qasm|qir|qir-base|qwerty-ir|circuit   (compile only)\n"
+      "run options:\n"
+      "  --shots <n>         shots (default 1)\n"
+      "  --seed <n>          base RNG seed (default 0); results are\n"
+      "                      bit-identical to asdfc for the same seed\n"
+      "  --backend auto|sv|stab\n"
+      "  --jobs <n>          daemon-side worker threads for this run\n"
+      "                      (default 1; results identical for any value)\n");
+}
+
+[[noreturn]] void usageError(const std::string &Message) {
+  std::fprintf(stderr, "asdf-cli: %s\n", Message.c_str());
+  std::fprintf(stderr, "run 'asdf-cli --help' for usage\n");
+  std::exit(2);
+}
+
+bool splitEq(const std::string &Arg, std::string &Key, std::string &Value) {
+  size_t Eq = Arg.find('=');
+  if (Eq == std::string::npos)
+    return false;
+  Key = Arg.substr(0, Eq);
+  Value = Arg.substr(Eq + 1);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Socket;
+  if (const char *Env = std::getenv("ASDF_SOCKET"))
+    Socket = Env;
+  if (Socket.empty())
+    Socket = "/tmp/asdfd.sock";
+
+  ServiceRequest Req;
+  Req.Id = 1;
+  std::string Command;
+  std::string File;
+  double Timeout = 0.0;
+  bool EmitSet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc)
+        usageError("option '" + Arg + "' expects a value");
+      return argv[++I];
+    };
+    if (Arg == "-h" || Arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (Arg == "--version") {
+      printVersion("asdf-cli");
+      return 0;
+    } else if (Arg == "--socket") {
+      Socket = Next();
+    } else if (Arg == "--timeout") {
+      Timeout = std::atof(Next());
+      if (Timeout <= 0)
+        usageError("--timeout expects a positive number of seconds");
+    } else if (Arg == "--entry") {
+      Req.Entry = Next();
+    } else if (Arg == "--pipeline") {
+      Req.Pipeline = Next();
+    } else if (Arg == "--emit") {
+      Req.Emit = Next();
+      EmitSet = true;
+    } else if (Arg == "--bind") {
+      std::string Key, Value;
+      if (!splitEq(Next(), Key, Value))
+        usageError("--bind expects <Var>=<int>");
+      if (!Req.Bindings.DimVars.emplace(Key, std::atoll(Value.c_str()))
+               .second)
+        usageError("duplicate --bind for dimension variable '" + Key +
+                   "'");
+    } else if (Arg == "--capture") {
+      std::string Key, Value;
+      if (!splitEq(Next(), Key, Value))
+        usageError("--capture expects <function>.<param>=<value>");
+      size_t Dot = Key.find('.');
+      if (Dot == std::string::npos)
+        usageError("capture key '" + Key + "' must be <function>.<param>");
+      std::string Func = Key.substr(0, Dot);
+      std::string Param = Key.substr(Dot + 1);
+      if (Req.Bindings.Captures[Func].count(Param))
+        usageError("duplicate --capture for '" + Key + "'");
+      if (!Value.empty() && Value[0] == '@')
+        Req.Bindings.Captures[Func][Param] =
+            CaptureValue::classicalFunc(Value.substr(1));
+      else
+        Req.Bindings.Captures[Func][Param] =
+            CaptureValue::bitsFromString(Value);
+    } else if (Arg == "--shots") {
+      Req.Shots = static_cast<unsigned>(std::atoi(Next()));
+    } else if (Arg == "--seed") {
+      Req.Seed = std::strtoull(Next(), nullptr, 0);
+    } else if (Arg == "--backend") {
+      Req.Backend = Next();
+    } else if (Arg == "--jobs") {
+      Req.Jobs = static_cast<unsigned>(std::atoi(Next()));
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      usageError("unknown option '" + Arg + "'");
+    } else if (Command.empty()) {
+      Command = Arg;
+    } else if (File.empty()) {
+      File = Arg;
+    } else {
+      usageError("unexpected argument '" + Arg + "'");
+    }
+  }
+
+  if (Command.empty())
+    usageError("expected a command (compile, run, stats, or shutdown)");
+  if (Command == "compile") {
+    Req.TheKind = ServiceRequest::Kind::Compile;
+  } else if (Command == "run") {
+    Req.TheKind = ServiceRequest::Kind::Run;
+    if (EmitSet)
+      usageError("--emit applies only to the compile command");
+  } else if (Command == "stats") {
+    Req.TheKind = ServiceRequest::Kind::Stats;
+  } else if (Command == "shutdown") {
+    Req.TheKind = ServiceRequest::Kind::Shutdown;
+  } else {
+    usageError("unknown command '" + Command +
+               "' (expected compile, run, stats, or shutdown)");
+  }
+
+  if (Req.TheKind == ServiceRequest::Kind::Compile ||
+      Req.TheKind == ServiceRequest::Kind::Run) {
+    if (File.empty())
+      usageError(Command + " expects a .qw file argument");
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "asdf-cli: cannot open '%s'\n", File.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Req.Source = Buf.str();
+  } else if (!File.empty()) {
+    usageError(Command + " takes no file argument");
+  }
+  Req.TimeoutSecs = Timeout;
+
+  ServiceClient Client;
+  std::string Error;
+  if (!Client.connect(Socket, Error)) {
+    std::fprintf(stderr, "asdf-cli: %s\n", Error.c_str());
+    return 1;
+  }
+  ServiceResponse Resp;
+  // Give the daemon a little slack past the request's own deadline before
+  // declaring the transport dead.
+  if (!Client.call(Req, Resp, Error, Timeout > 0 ? Timeout + 5.0 : 0.0)) {
+    std::fprintf(stderr, "asdf-cli: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!Resp.Ok) {
+    std::fprintf(stderr, "asdf-cli: %s: %s\n", Resp.Error.Kind.c_str(),
+                 Resp.Error.Message.c_str());
+    return 1;
+  }
+
+  switch (Req.TheKind) {
+  case ServiceRequest::Kind::Compile:
+    std::fprintf(stderr, "asdf-cli: cache %s (key %s, compile %.1f ms)\n",
+                 Resp.CacheHit ? "hit" : "miss", Resp.Key.c_str(),
+                 Resp.CompileSecs * 1e3);
+    std::fputs(Resp.Artifact.c_str(), stdout);
+    break;
+  case ServiceRequest::Kind::Run:
+    std::fprintf(stderr, "asdf-cli: cache %s (key %s, compile %.1f ms)\n",
+                 Resp.CacheHit ? "hit" : "miss", Resp.Key.c_str(),
+                 Resp.CompileSecs * 1e3);
+    for (const std::string &Bits : Resp.Results)
+      std::printf("%s\n", Bits.c_str());
+    break;
+  case ServiceRequest::Kind::Stats:
+    std::printf("%s\n", Resp.StatsBody.write().c_str());
+    break;
+  case ServiceRequest::Kind::Shutdown:
+    std::fprintf(stderr, "asdf-cli: daemon draining\n");
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+//===- asdfd.cpp - The persistent compile-and-run daemon ------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The asdf daemon: a long-lived compile-and-run service over a unix
+/// socket, speaking newline-delimited JSON (docs/protocol.md). Repeated
+/// submissions of the same (source, pipeline, bindings) pay compile cost
+/// once — artifacts are served from a content-hashed LRU cache — and run
+/// requests execute on the shared simulation engine with per-request
+/// seeds, bit-identical to `asdfc --emit run` on the same request.
+///
+///   asdfd --socket /run/asdf.sock --workers 8 --cache-mb 256
+///
+/// SIGTERM/SIGINT drain gracefully: in-flight requests finish, responses
+/// flush, the socket file is removed, exit code 0.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+#include "support/BuildInfo.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace asdf;
+
+namespace {
+
+Server *ActiveServer = nullptr;
+
+void onSignal(int) {
+  if (ActiveServer)
+    ActiveServer->requestShutdown(); // Async-signal-safe (pipe write).
+}
+
+void usage(FILE *Out) {
+  std::fprintf(
+      Out,
+      "usage: asdfd --socket <path> [options]\n"
+      "  -h, --help          print this help and exit\n"
+      "  --version           print version, build identity, and the cache\n"
+      "                      fingerprint, then exit\n"
+      "  --socket <path>     unix socket to listen on (required)\n"
+      "  --workers <n>       request worker threads (default 0 = one per\n"
+      "                      hardware core)\n"
+      "  --cache-mb <n>      artifact-cache byte budget in MiB (default\n"
+      "                      256)\n"
+      "  --verbose           log connections and requests to stderr\n"
+      "\n"
+      "Protocol: newline-delimited JSON over the socket; ops compile,\n"
+      "run, stats, shutdown. See docs/protocol.md. SIGTERM drains\n"
+      "gracefully.\n");
+}
+
+[[noreturn]] void usageError(const std::string &Message) {
+  std::fprintf(stderr, "asdfd: %s\n", Message.c_str());
+  std::fprintf(stderr, "run 'asdfd --help' for usage\n");
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerOptions Options;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc)
+        usageError("option '" + Arg + "' expects a value");
+      return argv[++I];
+    };
+    if (Arg == "-h" || Arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (Arg == "--version") {
+      printVersion("asdfd");
+      return 0;
+    } else if (Arg == "--socket") {
+      Options.SocketPath = Next();
+    } else if (Arg == "--workers") {
+      Options.Service.Workers = static_cast<unsigned>(std::atoi(Next()));
+    } else if (Arg == "--cache-mb") {
+      long long Mb = std::atoll(Next());
+      if (Mb <= 0)
+        usageError("--cache-mb expects a positive number of MiB");
+      Options.Service.CacheBytes =
+          static_cast<size_t>(Mb) * (1 << 20);
+    } else if (Arg == "--verbose") {
+      Options.Verbose = true;
+    } else {
+      usageError("unknown option '" + Arg + "'");
+    }
+  }
+  if (Options.SocketPath.empty())
+    usageError("--socket <path> is required");
+
+  Server Daemon(Options);
+  std::string Error;
+  if (!Daemon.start(Error)) {
+    std::fprintf(stderr, "asdfd: %s\n", Error.c_str());
+    return 1;
+  }
+
+  ActiveServer = &Daemon;
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::fprintf(stderr,
+               "asdfd %s listening on %s (%u worker(s), cache %zu MiB)\n",
+               ASDF_VERSION_STRING, Options.SocketPath.c_str(),
+               Daemon.service().workers(),
+               Options.Service.CacheBytes >> 20);
+  int Code = Daemon.serve();
+  ActiveServer = nullptr;
+  return Code;
+}

@@ -25,6 +25,17 @@ std::map<std::string, unsigned> asdf::runShots(const Circuit &C,
       .runShots(C, Shots, Seed, Opts);
 }
 
+std::string asdf::formatShotBits(const Circuit &C, const ShotResult &Shot) {
+  std::string Out;
+  Out.reserve(C.OutputBits.size());
+  for (int Bit : C.OutputBits)
+    Out.push_back(Bit == -2                ? '1'
+                  : Bit == -3              ? '0'
+                  : Shot.Bits[static_cast<unsigned>(Bit)] ? '1'
+                                                          : '0');
+  return Out;
+}
+
 double asdf::tvDistance(const std::map<std::string, unsigned> &A,
                         const std::map<std::string, unsigned> &B,
                         unsigned Shots) {

@@ -49,6 +49,14 @@ runShots(const Circuit &C, unsigned Shots, uint64_t Seed = 0,
          BackendKind Backend = BackendKind::Auto,
          const RunOptions &Opts = RunOptions());
 
+/// Renders one shot's classical outcome as the entry function's returned
+/// bit string: one character per OutputBits entry, with the constant
+/// pseudo-bits (-2 = literal '1', -3 = literal '0') folded in. This is
+/// exactly one stdout line of `asdfc --emit run`, and the daemon's run
+/// responses use the same function — the bit-for-bit comparability of the
+/// two paths is part of the service's determinism contract.
+std::string formatShotBits(const Circuit &C, const ShotResult &Shot);
+
 /// Total-variation distance between two outcome-frequency maps (as
 /// returned by runShots), each over \p Shots samples: half the L1
 /// distance of the empirical distributions, in [0, 1]. The common currency

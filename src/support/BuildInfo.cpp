@@ -1,0 +1,77 @@
+//===- BuildInfo.cpp - Build identity and fingerprint ---------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BuildInfo.h"
+
+#include "support/Hash.h"
+
+#include <cstdio>
+
+// CMake defines these on this translation unit only; the fallbacks keep
+// ad-hoc builds (e.g. a bare `g++` invocation in a test harness) working.
+#ifndef ASDF_BUILD_COMPILER
+#define ASDF_BUILD_COMPILER "unknown"
+#endif
+#ifndef ASDF_BUILD_TYPE
+#define ASDF_BUILD_TYPE "unknown"
+#endif
+#ifndef ASDF_BUILD_NATIVE_ARCH
+#define ASDF_BUILD_NATIVE_ARCH 0
+#endif
+#ifndef ASDF_BUILD_SANITIZE
+#define ASDF_BUILD_SANITIZE 0
+#endif
+#ifndef ASDF_BUILD_COMMIT
+#define ASDF_BUILD_COMMIT "unknown"
+#endif
+
+namespace asdf {
+
+const BuildInfo &buildInfo() {
+  static const BuildInfo Info = [] {
+    BuildInfo I;
+    I.Version = ASDF_VERSION_STRING;
+    I.Compiler = ASDF_BUILD_COMPILER;
+    I.BuildType = ASDF_BUILD_TYPE;
+    I.NativeArch = ASDF_BUILD_NATIVE_ARCH != 0;
+    I.Sanitized = ASDF_BUILD_SANITIZE != 0;
+    I.Commit = ASDF_BUILD_COMMIT;
+    return I;
+  }();
+  return Info;
+}
+
+std::string BuildInfo::str() const {
+  std::string S;
+  S += "build: " + Compiler + ", " + BuildType;
+  S += NativeArch ? ", native-arch=on" : ", native-arch=off";
+  if (Sanitized)
+    S += ", sanitize=on";
+  S += ", commit " + Commit;
+  return S;
+}
+
+const std::string &buildFingerprint() {
+  static const std::string Fingerprint = [] {
+    const BuildInfo &I = buildInfo();
+    // A readable canonical encoding rather than a hash: the cache key
+    // hashes it anyway, and a readable fingerprint is directly
+    // comparable in --version output and stats payloads.
+    std::string S = "asdf-" + I.Version + ";" + I.Compiler + ";" +
+                    I.BuildType + ";native=" +
+                    (I.NativeArch ? "1" : "0") + ";sanitize=" +
+                    (I.Sanitized ? "1" : "0") + ";commit=" + I.Commit;
+    return S;
+  }();
+  return Fingerprint;
+}
+
+void printVersion(const char *Tool) {
+  std::printf("%s %s\n%s\nfingerprint: %s\n", Tool, ASDF_VERSION_STRING,
+              buildInfo().str().c_str(), buildFingerprint().c_str());
+}
+
+} // namespace asdf

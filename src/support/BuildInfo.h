@@ -1,0 +1,59 @@
+//===- BuildInfo.h - Build identity and fingerprint -----------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identity of this build of the toolchain: version, compiler, build type,
+/// whether ASDF_NATIVE_ARCH tuned the code for this machine, and the git
+/// commit when known at configure time. Surfaced by `--version` on asdfc,
+/// asdfd, and asdf-cli, and — critically — folded into the artifact-cache
+/// key as `buildFingerprint()`, so cached artifacts never cross
+/// incompatible builds: a daemon rebuilt with a different compiler, flags,
+/// or source revision computes different keys and repopulates its cache
+/// instead of serving stale artifacts.
+///
+/// The fields are baked in as compile definitions on BuildInfo.cpp only
+/// (see CMakeLists.txt), so changing them recompiles one translation unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SUPPORT_BUILDINFO_H
+#define ASDF_SUPPORT_BUILDINFO_H
+
+#include <string>
+
+namespace asdf {
+
+/// Toolchain release version (advanced with the PR sequence).
+#define ASDF_VERSION_STRING "0.6.0"
+
+struct BuildInfo {
+  std::string Version;    ///< ASDF_VERSION_STRING.
+  std::string Compiler;   ///< e.g. "GNU 13.2.0".
+  std::string BuildType;  ///< e.g. "Release".
+  bool NativeArch;        ///< ASDF_NATIVE_ARCH was ON and supported.
+  bool Sanitized;         ///< ASDF_SANITIZE build.
+  std::string Commit;     ///< Short git commit at configure time, or
+                          ///< "unknown" outside a git checkout.
+
+  /// Human-readable multi-line description (the --version body).
+  std::string str() const;
+};
+
+/// The identity of this binary's build.
+const BuildInfo &buildInfo();
+
+/// Stable one-line encoding of every BuildInfo field, the string hashed
+/// into artifact-cache keys. Two binaries share a fingerprint exactly when
+/// every identity field matches.
+const std::string &buildFingerprint();
+
+/// Prints `<tool> <version>` plus the BuildInfo body and the fingerprint
+/// to stdout — the shared `--version` implementation of the three CLIs.
+void printVersion(const char *Tool);
+
+} // namespace asdf
+
+#endif // ASDF_SUPPORT_BUILDINFO_H

@@ -1,0 +1,86 @@
+//===- Hash.h - Stable streaming content hashing --------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 128-bit streaming content hasher for cache keys: two independent
+/// FNV-1a 64 streams finished through the splitmix64 mixer. The hash is a
+/// pure function of the bytes fed in — no pointers, no iteration order of
+/// unordered containers, no ASLR — so the same logical content produces
+/// the same key in every process on every run, which is exactly the
+/// contract the service's content-addressed artifact cache needs.
+///
+/// Fields are fed length-prefixed (`str`) so that concatenation is
+/// unambiguous: ("ab", "c") and ("a", "bc") hash differently. This is a
+/// fast cache hash, not a cryptographic one; 128 bits makes accidental
+/// collisions astronomically unlikely, and the cache is an optimization
+/// layer, not a trust boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SUPPORT_HASH_H
+#define ASDF_SUPPORT_HASH_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace asdf {
+
+class ContentHasher {
+public:
+  /// Feeds \p N raw bytes. Prefer the typed feeders below, which make the
+  /// encoding self-delimiting.
+  void bytes(const void *Data, size_t N) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < N; ++I) {
+      Lo = (Lo ^ P[I]) * 0x100000001b3ULL;
+      Hi = (Hi ^ P[I]) * 0x100000001b3ULL;
+    }
+  }
+
+  /// Feeds a 64-bit value as 8 little-endian bytes (host-order independent).
+  void u64(uint64_t V) {
+    unsigned char B[8];
+    for (int I = 0; I < 8; ++I)
+      B[I] = static_cast<unsigned char>(V >> (8 * I));
+    bytes(B, 8);
+  }
+
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+
+  /// Feeds a string length-prefixed, so field boundaries are unambiguous.
+  void str(const std::string &S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+
+  /// The 128-bit digest. Each stream runs through the splitmix64 finalizer
+  /// (FNV's low bits mix weakly), then the streams are cross-mixed so the
+  /// halves are not trivially correlated.
+  std::array<uint64_t, 2> digest() const {
+    uint64_t A = mix(Lo);
+    uint64_t B = mix(Hi ^ A);
+    return {mix(A ^ (B >> 32)), B};
+  }
+
+private:
+  static uint64_t mix(uint64_t X) {
+    X += 0x9e3779b97f4a7c15ULL;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+    return X ^ (X >> 31);
+  }
+
+  // Two distinct FNV-1a offset bases; the second is the first advanced by
+  // one step over the byte 0x5c so the streams never coincide.
+  uint64_t Lo = 0xcbf29ce484222325ULL;
+  uint64_t Hi = 0xaf63bd4c8601b7dfULL;
+};
+
+} // namespace asdf
+
+#endif // ASDF_SUPPORT_HASH_H

@@ -1,0 +1,403 @@
+//===- ServiceCliTest.cpp - asdfd/asdf-cli end-to-end and exit codes ------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the real binaries:
+///
+///   - exit-code conventions across the whole toolchain: --help and
+///     --version exit 0, unknown flags/commands and usage errors exit 2,
+///     runtime failures (no daemon, unreadable file) exit 1 — the same
+///     contract for asdfc, asdfd, and asdf-cli;
+///   - end-to-end over a unix socket: spawn an asdfd, compile and run via
+///     asdf-cli, and require stdout bit-identical to asdfc on the same
+///     request; repeated compiles hit the cache (visible in stats);
+///   - graceful shutdown from both directions: the `shutdown` op and
+///     SIGTERM each drain, remove the socket file, and exit 0;
+///   - stale-socket recovery and the one-daemon-per-socket rule.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include <csignal>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#if defined(ASDF_ASDFC_PATH) && defined(ASDF_ASDFD_PATH) &&                   \
+    defined(ASDF_ASDF_CLI_PATH)
+
+namespace {
+
+const char *CoinSource = "qpu kernel() -> bit {\n"
+                         "    return 'p' | std.measure\n"
+                         "}\n";
+
+const char *BVSource =
+    "classical f[N](secret: bit[N], x: bit[N]) -> bit {\n"
+    "    return (secret & x).xor_reduce()\n"
+    "}\n"
+    "qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {\n"
+    "    return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure\n"
+    "}\n";
+
+/// Runs a shell command, captures combined stdout+stderr, returns the exit
+/// code.
+int runCommand(const std::string &Cmd, std::string &Output) {
+  FILE *P = popen((Cmd + " 2>&1").c_str(), "r");
+  if (!P)
+    return -1;
+  char Buf[4096];
+  Output.clear();
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Output.append(Buf, N);
+  int Status = pclose(P);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+std::string writeTemp(const std::string &Name, const std::string &Text) {
+  std::string Path = ::testing::TempDir() + Name;
+  std::ofstream Out(Path, std::ios::trunc);
+  Out << Text;
+  return Path;
+}
+
+bool socketAnswers(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  bool Ok =
+      ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0;
+  ::close(Fd);
+  return Ok;
+}
+
+/// A daemon child process, SIGKILLed on teardown if a test failed early.
+class Daemon {
+public:
+  /// Spawns asdfd on \p SocketPath and waits until it answers.
+  bool start(const std::string &SocketPath) {
+    Socket = SocketPath;
+    Pid = fork();
+    if (Pid < 0)
+      return false;
+    if (Pid == 0) {
+      int Null = ::open("/dev/null", O_WRONLY);
+      if (Null >= 0) {
+        ::dup2(Null, 2);
+        ::close(Null);
+      }
+      ::execl(ASDF_ASDFD_PATH, "asdfd", "--socket", SocketPath.c_str(),
+              "--workers", "2", static_cast<char *>(nullptr));
+      _exit(127);
+    }
+    // The daemon binds before serving; poll until the socket accepts.
+    for (int I = 0; I < 200; ++I) {
+      if (socketAnswers(Socket))
+        return true;
+      int Status = 0;
+      if (::waitpid(Pid, &Status, WNOHANG) == Pid) {
+        Pid = -1;
+        return false; // Died during startup.
+      }
+      ::usleep(50 * 1000);
+    }
+    return false;
+  }
+
+  /// Blocks until the daemon exits; returns its exit code (-1 on signal).
+  int wait() {
+    if (Pid < 0)
+      return -1;
+    int Status = 0;
+    if (::waitpid(Pid, &Status, 0) != Pid)
+      return -1;
+    Pid = -1;
+    return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  }
+
+  void signal(int Sig) {
+    if (Pid > 0)
+      ::kill(Pid, Sig);
+  }
+
+  pid_t pid() const { return Pid; }
+
+  ~Daemon() {
+    if (Pid > 0) {
+      ::kill(Pid, SIGKILL);
+      ::waitpid(Pid, nullptr, 0);
+    }
+  }
+
+private:
+  pid_t Pid = -1;
+  std::string Socket;
+};
+
+std::string cli(const std::string &SocketPath) {
+  return std::string(ASDF_ASDF_CLI_PATH) + " --socket " + SocketPath + " ";
+}
+
+//===----------------------------------------------------------------------===//
+// Exit-code conventions (no daemon needed)
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceCliExitCodes, HelpExitsZeroEverywhere) {
+  std::string Out;
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDFD_PATH) + " --help", Out), 0);
+  EXPECT_NE(Out.find("usage: asdfd"), std::string::npos);
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDF_CLI_PATH) + " --help", Out), 0);
+  EXPECT_NE(Out.find("usage: asdf-cli"), std::string::npos);
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDFC_PATH) + " --help", Out), 0);
+}
+
+TEST(ServiceCliExitCodes, VersionExitsZeroAndAgreesAcrossTools) {
+  // The fingerprint is the cache-key component: all three binaries of one
+  // build must print the same one.
+  std::string C, D, L;
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDFC_PATH) + " --version", C), 0);
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDFD_PATH) + " --version", D), 0);
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDF_CLI_PATH) + " --version", L),
+            0);
+  EXPECT_NE(C.find("asdfc "), std::string::npos);
+  auto fingerprintLine = [](const std::string &Out) {
+    size_t At = Out.find("fingerprint:");
+    size_t End = Out.find('\n', At);
+    return At == std::string::npos ? std::string() : Out.substr(At, End - At);
+  };
+  std::string FP = fingerprintLine(C);
+  EXPECT_FALSE(FP.empty());
+  EXPECT_NE(FP.find("asdf-"), std::string::npos);
+  EXPECT_EQ(fingerprintLine(D), FP);
+  EXPECT_EQ(fingerprintLine(L), FP);
+}
+
+TEST(ServiceCliExitCodes, UnknownFlagsExitTwo) {
+  std::string Out;
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDFD_PATH) + " --frobnicate", Out),
+            2);
+  EXPECT_NE(Out.find("unknown option '--frobnicate'"), std::string::npos);
+  EXPECT_NE(Out.find("--help"), std::string::npos);
+  EXPECT_EQ(
+      runCommand(std::string(ASDF_ASDF_CLI_PATH) + " --frobnicate", Out), 2);
+  EXPECT_NE(Out.find("unknown option '--frobnicate'"), std::string::npos);
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDFC_PATH) + " --frobnicate", Out),
+            2);
+}
+
+TEST(ServiceCliExitCodes, UsageErrorsExitTwo) {
+  std::string Out;
+  // asdfd without --socket.
+  EXPECT_EQ(runCommand(ASDF_ASDFD_PATH, Out), 2);
+  EXPECT_NE(Out.find("--socket"), std::string::npos);
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDFD_PATH) + " --socket s "
+                                                      "--cache-mb 0",
+                       Out),
+            2);
+  // asdf-cli without a command, with an unknown command, with a missing
+  // file argument, with --emit on run.
+  EXPECT_EQ(runCommand(ASDF_ASDF_CLI_PATH, Out), 2);
+  EXPECT_EQ(
+      runCommand(std::string(ASDF_ASDF_CLI_PATH) + " transmogrify", Out), 2);
+  EXPECT_NE(Out.find("unknown command"), std::string::npos);
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDF_CLI_PATH) + " compile", Out),
+            2);
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDF_CLI_PATH) +
+                           " run x.qw --emit qasm",
+                       Out),
+            2);
+  EXPECT_NE(Out.find("--emit"), std::string::npos);
+}
+
+TEST(ServiceCliExitCodes, RuntimeFailuresExitOne) {
+  std::string Out;
+  // No daemon at the socket.
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDF_CLI_PATH) +
+                           " --socket /nonexistent/asdf.sock stats",
+                       Out),
+            1);
+  EXPECT_NE(Out.find("cannot connect"), std::string::npos);
+  // Unreadable source file (the command parses fine).
+  std::string Sock = ::testing::TempDir() + "never-used.sock";
+  EXPECT_EQ(runCommand(cli(Sock) + "compile /nonexistent.qw", Out), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end against a live daemon
+//===----------------------------------------------------------------------===//
+
+class ServiceEndToEnd : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Socket = ::testing::TempDir() + "asdfd-e2e-" +
+             std::to_string(::getpid()) + ".sock";
+    ::unlink(Socket.c_str());
+    Coin = writeTemp("service_cli_coin.qw", CoinSource);
+    BV = writeTemp("service_cli_bv.qw", BVSource);
+    ASSERT_TRUE(D.start(Socket)) << "daemon failed to start";
+  }
+  void TearDown() override { ::unlink(Socket.c_str()); }
+
+  std::string Socket, Coin, BV;
+  Daemon D;
+};
+
+TEST_F(ServiceEndToEnd, RunIsBitIdenticalToAsdfc) {
+  // Identical request, identical seed: the daemon's stdout must equal
+  // asdfc's byte-for-byte. (Subshells drop stderr, where the cache/banner
+  // chatter lives.)
+  const std::string Args = " --shots 50 --seed 1234567890123456789";
+  std::string Direct, Served;
+  ASSERT_EQ(runCommand("( " + std::string(ASDF_ASDFC_PATH) + " " + Coin +
+                           " --emit run" + Args + " 2>/dev/null )",
+                       Direct),
+            0);
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "run " + Coin + Args +
+                           " 2>/dev/null )",
+                       Served),
+            0);
+  EXPECT_EQ(Served, Direct);
+  ASSERT_EQ(50, std::count(Direct.begin(), Direct.end(), '\n'));
+
+  // A second submission of the same request: same bits again, now from
+  // the cached circuit.
+  std::string Again, Err;
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "run " + Coin + Args +
+                           " 2>/dev/null )",
+                       Again),
+            0);
+  EXPECT_EQ(Again, Direct);
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "run " + Coin + Args +
+                           " >/dev/null )",
+                       Err),
+            0);
+  EXPECT_NE(Err.find("cache hit"), std::string::npos) << Err;
+}
+
+TEST_F(ServiceEndToEnd, RunWithCapturesIsBitIdenticalToAsdfc) {
+  const std::string Args = " --capture f.secret=110101 "
+                           "--capture kernel.f=@f --shots 5 --seed 7";
+  std::string Direct, Served;
+  ASSERT_EQ(runCommand("( " + std::string(ASDF_ASDFC_PATH) + " " + BV +
+                           " --emit run" + Args + " 2>/dev/null )",
+                       Direct),
+            0);
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "run " + BV + Args +
+                           " 2>/dev/null )",
+                       Served),
+            0);
+  EXPECT_EQ(Served, Direct);
+  EXPECT_NE(Direct.find("110101"), std::string::npos);
+}
+
+TEST_F(ServiceEndToEnd, CompileMatchesAsdfcAndHitsTheCache) {
+  std::string Direct, Cold, Warm, Err;
+  ASSERT_EQ(runCommand("( " + std::string(ASDF_ASDFC_PATH) + " " + Coin +
+                           " --emit qasm 2>/dev/null )",
+                       Direct),
+            0);
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "compile " + Coin +
+                           " --emit qasm 2>/dev/null )",
+                       Cold),
+            0);
+  EXPECT_EQ(Cold, Direct);
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "compile " + Coin +
+                           " --emit qasm 2>/dev/null )",
+                       Warm),
+            0);
+  EXPECT_EQ(Warm, Direct) << "cache hit must serve identical bytes";
+
+  // Stats over the wire report the hit.
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "stats 2>/dev/null )", Err), 0);
+  EXPECT_NE(Err.find("\"hits\":"), std::string::npos);
+  EXPECT_EQ(Err.find("\"hits\":0,"), std::string::npos)
+      << "expected a nonzero cache hit count: " << Err;
+}
+
+TEST_F(ServiceEndToEnd, DaemonErrorsExitOneWithTheKind) {
+  std::string Bad = writeTemp("service_cli_bad.qw",
+                              "qpu kernel() -> bit { return }");
+  std::string Out;
+  EXPECT_EQ(runCommand(cli(Socket) + "compile " + Bad, Out), 1);
+  EXPECT_NE(Out.find("compile-error"), std::string::npos) << Out;
+  EXPECT_EQ(runCommand(cli(Socket) + "run " + Coin + " --backend gpu", Out),
+            1);
+  EXPECT_NE(Out.find("bad-request"), std::string::npos) << Out;
+}
+
+TEST_F(ServiceEndToEnd, SecondDaemonOnTheSameSocketRefusesToStart) {
+  std::string Out;
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDFD_PATH) + " --socket " + Socket,
+                       Out),
+            1);
+  EXPECT_NE(Out.find("already"), std::string::npos) << Out;
+  // The incumbent is unharmed.
+  EXPECT_EQ(runCommand(cli(Socket) + "stats", Out), 0);
+}
+
+TEST_F(ServiceEndToEnd, ShutdownOpDrainsRemovesSocketAndExitsZero) {
+  std::string Out;
+  ASSERT_EQ(runCommand(cli(Socket) + "shutdown", Out), 0);
+  EXPECT_EQ(D.wait(), 0) << "clean drain must exit 0";
+  struct stat St;
+  EXPECT_NE(::stat(Socket.c_str(), &St), 0) << "socket file must be removed";
+}
+
+TEST_F(ServiceEndToEnd, SigtermDrainsRemovesSocketAndExitsZero) {
+  D.signal(SIGTERM);
+  EXPECT_EQ(D.wait(), 0) << "SIGTERM must drain gracefully";
+  struct stat St;
+  EXPECT_NE(::stat(Socket.c_str(), &St), 0) << "socket file must be removed";
+}
+
+TEST(ServiceStaleSocket, StaleFileIsReplacedOnStartup) {
+  // A socket file with no daemon behind it (e.g. after a crash) must not
+  // block the next start.
+  std::string Socket = ::testing::TempDir() + "asdfd-stale-" +
+                       std::to_string(::getpid()) + ".sock";
+  ::unlink(Socket.c_str());
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Socket.c_str(), sizeof(Addr.sun_path) - 1);
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  ::close(Fd); // Leaves the file behind, nobody listening.
+
+  Daemon D;
+  ASSERT_TRUE(D.start(Socket)) << "stale socket file blocked startup";
+  std::string Out;
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDF_CLI_PATH) + " --socket " +
+                           Socket + " shutdown",
+                       Out),
+            0);
+  EXPECT_EQ(D.wait(), 0);
+  ::unlink(Socket.c_str());
+}
+
+} // namespace
+
+#else
+TEST(ServiceCliTest, Skipped) {
+  GTEST_SKIP() << "binary paths not configured";
+}
+#endif // binary paths

@@ -1,0 +1,699 @@
+//===- ServiceTest.cpp - Cache, protocol, and service-engine tests --------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Locks down the compile-and-run service subsystem:
+///
+///   - cache-key stability: identical inputs hash identically (and the key
+///     of a fixed request is pinned as a golden value, so a hash change
+///     across commits is a deliberate, visible event), every single field
+///     change — including whitespace-only source edits — produces a new
+///     key, and equivalent pipeline spellings share one;
+///   - ArtifactCache LRU/byte-budget behavior and its counters;
+///   - NDJSON protocol round-trips, including full-width 64-bit seeds,
+///     and strict unknown-field rejection;
+///   - JobQueue admission, draining, and counters;
+///   - AsdfService request handling: compile artifacts match a direct
+///     CompileSession byte-for-byte, run results match a direct
+///     runBatch+formatShotBits reference bit-for-bit, repeats hit the
+///     cache, errors carry the right machine-readable kind, and expired
+///     deadlines time out before any work;
+///   - concurrency: many client threads with mixed compile/run requests
+///     against one service produce exactly the serial reference results
+///     (run under ASan/TSan in CI).
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "codegen/QasmEmitter.h"
+#include "compiler/CompileSession.h"
+#include "sim/Backend.h"
+#include "sim/Simulator.h"
+#include "support/BuildInfo.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace asdf;
+
+namespace {
+
+const char *BVSource = R"(
+classical f[N](secret: bit[N], x: bit[N]) -> bit {
+    return (secret & x).xor_reduce()
+}
+qpu kernel[N](f: cfunc[N, 1]) -> bit[N] {
+    return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure
+}
+)";
+
+const char *CoinSource = R"(
+qpu kernel() -> bit {
+    return 'p' | std.measure
+}
+)";
+
+ProgramBindings bvBindings(const std::string &Secret = "1101") {
+  ProgramBindings B;
+  B.Captures["f"]["secret"] = CaptureValue::bitsFromString(Secret);
+  B.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+  return B;
+}
+
+ServiceRequest bvCompileRequest(uint64_t Id = 1) {
+  ServiceRequest R;
+  R.TheKind = ServiceRequest::Kind::Compile;
+  R.Id = Id;
+  R.Source = BVSource;
+  R.Bindings = bvBindings();
+  return R;
+}
+
+ServiceRequest coinRunRequest(uint64_t Id = 1, unsigned Shots = 16,
+                              uint64_t Seed = 42) {
+  ServiceRequest R;
+  R.TheKind = ServiceRequest::Kind::Run;
+  R.Id = Id;
+  R.Source = CoinSource;
+  R.Shots = Shots;
+  R.Seed = Seed;
+  return R;
+}
+
+PipelinePlan defaultPlan() { return presetPlan("default"); }
+
+/// Pinned digest of a fixed request (see CacheKeyTest.DeterministicAndPinned).
+#define ASDF_SERVICE_GOLDEN_KEY "f82c055d96378e040d93dbb992da73bb"
+
+/// The serial reference for a run request: the exact computation asdfc
+/// performs, with the same formatting.
+std::vector<std::string> referenceRun(const ServiceRequest &R) {
+  SessionOptions SO;
+  SO.Entry = R.Entry;
+  PipelinePlan Plan;
+  std::string Error;
+  EXPECT_TRUE(parsePipelinePlan(R.Pipeline, Plan, Error)) << Error;
+  SO.Plan = Plan;
+  CompileSession S(R.Source, R.Bindings, SO);
+  Circuit *Flat = S.flatCircuit();
+  EXPECT_NE(Flat, nullptr) << S.errorMessage();
+  BackendKind Kind;
+  EXPECT_TRUE(parseBackendKind(R.Backend, Kind));
+  SimBackend &B = BackendRegistry::instance().select(*Flat, Kind);
+  RunOptions Opts;
+  Opts.Jobs = R.Jobs;
+  std::vector<std::string> Lines;
+  for (const ShotResult &Shot : B.runBatch(*Flat, R.Shots, R.Seed, Opts))
+    Lines.push_back(formatShotBits(*Flat, Shot));
+  return Lines;
+}
+
+//===----------------------------------------------------------------------===//
+// Cache-key stability
+//===----------------------------------------------------------------------===//
+
+TEST(CacheKeyTest, DeterministicAndPinned) {
+  ServiceRequest R = bvCompileRequest();
+  // Same inputs, same key — recomputed from scratch, with the fingerprint
+  // held fixed so the pin does not depend on the build machine.
+  CacheKey A = computeCacheKey(R, defaultPlan(), "qasm", "pin");
+  CacheKey B = computeCacheKey(R, defaultPlan(), "qasm", "pin");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hex().size(), 32u);
+  // Golden pin: the content-hash function is pure (no pointers, no
+  // iteration-order dependence), so this value must be stable across
+  // processes, runs, and machines. If an intentional hash change lands,
+  // update the pin — the daemon's cache is invalidated at the same moment.
+  EXPECT_EQ(A.hex(), ASDF_SERVICE_GOLDEN_KEY);
+}
+
+TEST(CacheKeyTest, EverySingleFieldChangesTheKey) {
+  ServiceRequest Base = bvCompileRequest();
+  CacheKey K0 = computeCacheKey(Base, defaultPlan(), "qasm", "fp");
+
+  // Source text, including a whitespace-only edit: hashing is byte-exact,
+  // not semantic, by design.
+  ServiceRequest R = Base;
+  R.Source += " ";
+  EXPECT_FALSE(computeCacheKey(R, defaultPlan(), "qasm", "fp") == K0)
+      << "whitespace-only source change must change the key";
+  R = Base;
+  R.Source = std::string(BVSource) + "\n// comment\n";
+  EXPECT_FALSE(computeCacheKey(R, defaultPlan(), "qasm", "fp") == K0);
+
+  // Entry kernel.
+  R = Base;
+  R.Entry = "other";
+  EXPECT_FALSE(computeCacheKey(R, defaultPlan(), "qasm", "fp") == K0);
+
+  // Pipeline plan.
+  PipelinePlan NoOpt = presetPlan("no-opt");
+  EXPECT_FALSE(computeCacheKey(Base, NoOpt, "qasm", "fp") == K0);
+
+  // Bindings: a different capture value, an added dimvar.
+  R = Base;
+  R.Bindings = bvBindings("1111");
+  EXPECT_FALSE(computeCacheKey(R, defaultPlan(), "qasm", "fp") == K0);
+  R = Base;
+  R.Bindings.DimVars["N"] = 4;
+  EXPECT_FALSE(computeCacheKey(R, defaultPlan(), "qasm", "fp") == K0);
+
+  // Artifact kind and build fingerprint.
+  EXPECT_FALSE(computeCacheKey(Base, defaultPlan(), "qir", "fp") == K0);
+  EXPECT_FALSE(computeCacheKey(Base, defaultPlan(), "qasm", "fp2") == K0);
+}
+
+TEST(CacheKeyTest, EquivalentPlanSpellingsShareAKey) {
+  // The key hashes the *parsed* plan, so the preset name and its explicit
+  // spec produce the same key even though the request text differs.
+  ServiceRequest R = bvCompileRequest();
+  PipelinePlan Preset = presetPlan("default");
+  PipelinePlan Explicit;
+  std::string Error;
+  ASSERT_TRUE(parsePipelinePlan(Preset.str(), Explicit, Error)) << Error;
+  EXPECT_EQ(computeCacheKey(R, Preset, "qasm", "fp"),
+            computeCacheKey(R, Explicit, "qasm", "fp"));
+}
+
+TEST(CacheKeyTest, RunVsCompileFieldsDoNotLeakIntoTheKey) {
+  // Shots/seed/backend/jobs select *execution*, not the artifact: two runs
+  // of the same program with different seeds share one compiled circuit.
+  ServiceRequest A = coinRunRequest(1, 16, 1);
+  ServiceRequest B = coinRunRequest(2, 999, 0xdeadbeefULL);
+  B.Jobs = 7;
+  B.Backend = "sv";
+  EXPECT_EQ(computeCacheKey(A, defaultPlan(), "flat-circuit", "fp"),
+            computeCacheKey(B, defaultPlan(), "flat-circuit", "fp"));
+}
+
+//===----------------------------------------------------------------------===//
+// ArtifactCache: LRU under a byte budget
+//===----------------------------------------------------------------------===//
+
+/// An artifact whose bytes() is exactly \p Bytes, so budget arithmetic in
+/// the tests below is precise (bytes() counts the struct + key strings).
+std::shared_ptr<const CachedArtifact> textArtifact(size_t Bytes) {
+  auto A = std::make_shared<CachedArtifact>();
+  A->Kind = "qasm";
+  size_t Overhead = sizeof(CachedArtifact) + A->Kind.size();
+  EXPECT_GE(Bytes, Overhead);
+  A->Text.assign(Bytes - Overhead, 'x');
+  return A;
+}
+
+CacheKey keyOf(uint64_t N) { return CacheKey{N, ~N}; }
+
+TEST(ArtifactCacheTest, EvictionRespectsTheByteBudget) {
+  ArtifactCache Cache(4096);
+  for (uint64_t I = 0; I < 16; ++I)
+    Cache.put(keyOf(I), textArtifact(1000));
+  CacheStats S = Cache.stats();
+  EXPECT_LE(S.BytesUsed, 4096u);
+  EXPECT_EQ(S.Entries, 4u) << "4 x 1000-byte entries fit a 4096 budget";
+  EXPECT_EQ(S.Insertions, 16u);
+  EXPECT_EQ(S.Evictions, 12u);
+  // The survivors are the most recently inserted.
+  EXPECT_EQ(Cache.get(keyOf(0)), nullptr);
+  EXPECT_NE(Cache.get(keyOf(15)), nullptr);
+}
+
+TEST(ArtifactCacheTest, GetBumpsRecency) {
+  ArtifactCache Cache(3000);
+  Cache.put(keyOf(1), textArtifact(1000));
+  Cache.put(keyOf(2), textArtifact(1000));
+  Cache.put(keyOf(3), textArtifact(1000));
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_NE(Cache.get(keyOf(1)), nullptr);
+  Cache.put(keyOf(4), textArtifact(1000));
+  EXPECT_NE(Cache.get(keyOf(1)), nullptr);
+  EXPECT_EQ(Cache.get(keyOf(2)), nullptr);
+  EXPECT_NE(Cache.get(keyOf(3)), nullptr);
+  EXPECT_NE(Cache.get(keyOf(4)), nullptr);
+}
+
+TEST(ArtifactCacheTest, OversizedArtifactIsNotCached) {
+  ArtifactCache Cache(1024);
+  Cache.put(keyOf(1), textArtifact(100));
+  Cache.put(keyOf(2), textArtifact(4096)); // Bigger than the whole budget.
+  EXPECT_EQ(Cache.get(keyOf(2)), nullptr);
+  // And it did not evict the incumbent to make room it could never use.
+  EXPECT_NE(Cache.get(keyOf(1)), nullptr);
+}
+
+TEST(ArtifactCacheTest, EvictedEntryStaysAliveForHolders) {
+  ArtifactCache Cache(1024);
+  Cache.put(keyOf(1), textArtifact(800));
+  std::shared_ptr<const CachedArtifact> Held = Cache.get(keyOf(1));
+  ASSERT_NE(Held, nullptr);
+  Cache.put(keyOf(2), textArtifact(800)); // Evicts 1.
+  EXPECT_EQ(Cache.get(keyOf(1)), nullptr);
+  EXPECT_EQ(Held->bytes(), 800u) << "holder's artifact must survive";
+}
+
+TEST(ArtifactCacheTest, ShrinkingTheBudgetEvictsImmediately) {
+  ArtifactCache Cache(4096);
+  for (uint64_t I = 0; I < 4; ++I)
+    Cache.put(keyOf(I), textArtifact(1000));
+  EXPECT_EQ(Cache.stats().Entries, 4u);
+  Cache.setByteBudget(2048);
+  CacheStats S = Cache.stats();
+  EXPECT_LE(S.BytesUsed, 2048u);
+  EXPECT_EQ(S.Entries, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolTest, RequestRoundTripsExactly) {
+  ServiceRequest R;
+  R.TheKind = ServiceRequest::Kind::Run;
+  R.Id = 0xFFFFFFFFFFFFFFFFull; // Full-width 64-bit ids survive.
+  R.Source = "qpu kernel() -> bit {\n return '0' | std.measure\n}";
+  R.Entry = "main";
+  R.Pipeline = "no-peephole";
+  R.Emit = "circuit";
+  R.Shots = 12345;
+  R.Seed = 0x8000000000000001ull; // > 2^63: must not round through double.
+  R.Backend = "stab";
+  R.Jobs = 8;
+  R.TimeoutSecs = 2.5;
+  R.Bindings.DimVars["N"] = 64;
+  R.Bindings.Captures["f"]["secret"] = CaptureValue::bitsFromString("101");
+  R.Bindings.Captures["kernel"]["f"] = CaptureValue::classicalFunc("f");
+
+  std::string Wire = R.toJson().write();
+  ServiceRequest Back;
+  uint64_t Id = 0;
+  std::string Error;
+  ASSERT_TRUE(parseRequestLine(Wire, Back, Id, Error)) << Error;
+  EXPECT_EQ(Id, R.Id);
+  EXPECT_EQ(Back.TheKind, R.TheKind);
+  EXPECT_EQ(Back.Source, R.Source);
+  EXPECT_EQ(Back.Entry, R.Entry);
+  EXPECT_EQ(Back.Pipeline, R.Pipeline);
+  EXPECT_EQ(Back.Shots, R.Shots);
+  EXPECT_EQ(Back.Seed, R.Seed);
+  EXPECT_EQ(Back.Backend, R.Backend);
+  EXPECT_EQ(Back.Jobs, R.Jobs);
+  EXPECT_DOUBLE_EQ(Back.TimeoutSecs, R.TimeoutSecs);
+  // Bindings survive; the cache key is the strongest equality check.
+  EXPECT_EQ(computeCacheKey(Back, defaultPlan(), "k", "fp"),
+            computeCacheKey(R, defaultPlan(), "k", "fp"));
+  // And re-serializing is byte-stable (canonical field order).
+  EXPECT_EQ(Back.toJson().write(), Wire);
+}
+
+TEST(ProtocolTest, ResponseRoundTripsExactly) {
+  ServiceResponse Resp;
+  Resp.Id = 7;
+  Resp.Ok = true;
+  Resp.Artifact = "OPENQASM 3;\n\"quoted\"\tand\nnewlines\xF0\x9F\x99\x82";
+  Resp.CacheHit = true;
+  Resp.Key = "00ff00ff00ff00ff00ff00ff00ff00ff";
+  Resp.CompileSecs = 0.125;
+  Resp.Results = {"0101", "1010"};
+  Resp.Counts = {{"0101", 1}, {"1010", 1}};
+
+  std::string Wire = Resp.toJson().write();
+  json::Value V;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Wire, V, Error)) << Error;
+  ServiceResponse Back;
+  ASSERT_TRUE(ServiceResponse::fromJson(V, Back, Error)) << Error;
+  EXPECT_EQ(Back.Id, Resp.Id);
+  EXPECT_TRUE(Back.Ok);
+  EXPECT_EQ(Back.Artifact, Resp.Artifact);
+  EXPECT_TRUE(Back.CacheHit);
+  EXPECT_EQ(Back.Key, Resp.Key);
+  EXPECT_EQ(Back.Results, Resp.Results);
+  EXPECT_EQ(Back.Counts, Resp.Counts);
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTrips) {
+  ServiceResponse Resp =
+      ServiceResponse::failure(3, "compile-error", "line 2: no such basis");
+  std::string Wire = Resp.toJson().write();
+  json::Value V;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Wire, V, Error)) << Error;
+  ServiceResponse Back;
+  ASSERT_TRUE(ServiceResponse::fromJson(V, Back, Error)) << Error;
+  EXPECT_FALSE(Back.Ok);
+  EXPECT_EQ(Back.Error.Kind, "compile-error");
+  EXPECT_EQ(Back.Error.Message, "line 2: no such basis");
+}
+
+TEST(ProtocolTest, UnknownFieldsAreRejected) {
+  ServiceRequest R;
+  uint64_t Id = 0;
+  std::string Error;
+  EXPECT_FALSE(parseRequestLine(
+      R"({"id": 5, "op": "compile", "source": "x", "shotz": 3})", R, Id,
+      Error));
+  EXPECT_NE(Error.find("shotz"), std::string::npos) << Error;
+  EXPECT_EQ(Id, 5u) << "id recovered best-effort for the error response";
+}
+
+TEST(ProtocolTest, MalformedLinesFailWithPosition) {
+  ServiceRequest R;
+  uint64_t Id = 0;
+  std::string Error;
+  EXPECT_FALSE(parseRequestLine("{\"id\": 1, ", R, Id, Error));
+  EXPECT_FALSE(parseRequestLine("[]", R, Id, Error));
+  EXPECT_FALSE(parseRequestLine(
+      R"({"id": 1, "op": "transmogrify"})", R, Id, Error));
+  EXPECT_NE(Error.find("transmogrify"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// JobQueue
+//===----------------------------------------------------------------------===//
+
+TEST(JobQueueTest, RunsEverySubmittedJob) {
+  std::atomic<int> Ran{0};
+  {
+    JobQueue Q(4);
+    EXPECT_EQ(Q.workers(), 4u);
+    for (int I = 0; I < 100; ++I)
+      ASSERT_TRUE(Q.submit([&] { Ran.fetch_add(1); }));
+    Q.drain();
+  }
+  EXPECT_EQ(Ran.load(), 100);
+}
+
+TEST(JobQueueTest, DrainStopsAdmissionButFinishesQueuedWork) {
+  std::atomic<int> Ran{0};
+  JobQueue Q(2);
+  for (int I = 0; I < 10; ++I)
+    ASSERT_TRUE(Q.submit([&] { Ran.fetch_add(1); }));
+  Q.drain();
+  EXPECT_EQ(Ran.load(), 10) << "queued jobs complete during drain";
+  EXPECT_FALSE(Q.submit([&] { Ran.fetch_add(1); }));
+  EXPECT_EQ(Ran.load(), 10);
+  JobQueue::Counters C = Q.counters();
+  EXPECT_EQ(C.Submitted, 10u);
+  EXPECT_EQ(C.Executed, 10u);
+  EXPECT_EQ(C.Rejected, 1u);
+  EXPECT_EQ(C.Pending, 0u);
+  Q.drain(); // Idempotent.
+}
+
+TEST(JobQueueTest, ZeroMeansHardwareConcurrency) {
+  JobQueue Q(0);
+  EXPECT_GE(Q.workers(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// AsdfService: compile
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, CompileMatchesDirectSessionByteForByte) {
+  AsdfService Service;
+  ServiceRequest R = bvCompileRequest();
+  ServiceResponse Resp = Service.handle(R);
+  ASSERT_TRUE(Resp.Ok) << Resp.Error.Message;
+  EXPECT_FALSE(Resp.CacheHit);
+  EXPECT_EQ(Resp.Key.size(), 32u);
+
+  CompileSession S(R.Source, R.Bindings);
+  Circuit *Flat = S.flatCircuit();
+  ASSERT_NE(Flat, nullptr) << S.errorMessage();
+  EXPECT_EQ(Resp.Artifact, emitOpenQasm3(*Flat));
+}
+
+TEST(ServiceTest, RepeatCompileHitsTheCache) {
+  AsdfService Service;
+  ServiceRequest R = bvCompileRequest();
+  ServiceResponse Cold = Service.handle(R);
+  ASSERT_TRUE(Cold.Ok) << Cold.Error.Message;
+  ServiceResponse Warm = Service.handle(R);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error.Message;
+  EXPECT_TRUE(Warm.CacheHit);
+  EXPECT_EQ(Warm.Key, Cold.Key);
+  EXPECT_EQ(Warm.Artifact, Cold.Artifact) << "hit serves identical bytes";
+  EXPECT_EQ(Warm.CompileSecs, 0.0);
+
+  CacheStats CS = Service.cache().stats();
+  EXPECT_EQ(CS.Hits, 1u);
+  EXPECT_EQ(CS.Misses, 1u);
+
+  // A different emit target of the same program is a distinct entry.
+  ServiceRequest Qir = R;
+  Qir.Emit = "qir";
+  ServiceResponse QirResp = Service.handle(Qir);
+  ASSERT_TRUE(QirResp.Ok) << QirResp.Error.Message;
+  EXPECT_FALSE(QirResp.CacheHit);
+  EXPECT_NE(QirResp.Key, Cold.Key);
+}
+
+TEST(ServiceTest, CompileErrorsCarryMachineReadableKinds) {
+  AsdfService Service;
+
+  ServiceRequest Bad = bvCompileRequest();
+  Bad.Emit = "mlir";
+  EXPECT_EQ(Service.handle(Bad).Error.Kind, "bad-request");
+
+  Bad = bvCompileRequest();
+  Bad.Pipeline = "turbo";
+  ServiceResponse Resp = Service.handle(Bad);
+  EXPECT_EQ(Resp.Error.Kind, "bad-request");
+  EXPECT_NE(Resp.Error.Message.find("unknown pipeline preset"),
+            std::string::npos);
+
+  Bad = bvCompileRequest();
+  Bad.Source = "qpu kernel() -> bit { return nonsense }";
+  Resp = Service.handle(Bad);
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Error.Kind, "compile-error");
+  EXPECT_FALSE(Resp.Error.Message.empty());
+
+  // Errors are not cached: a retry recompiles (and fails identically).
+  ServiceResponse Again = Service.handle(Bad);
+  EXPECT_EQ(Again.Error.Message, Resp.Error.Message);
+
+  Bad = bvCompileRequest();
+  Bad.Pipeline = "no-opt"; // Keeps callables: qasm cannot be emitted.
+  Resp = Service.handle(Bad);
+  EXPECT_EQ(Resp.Error.Kind, "unsupported");
+}
+
+//===----------------------------------------------------------------------===//
+// AsdfService: run
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, RunMatchesAsdfcReferenceBitForBit) {
+  AsdfService Service;
+  ServiceRequest R = coinRunRequest(1, 64, 0xfeedfaceULL);
+  ServiceResponse Resp = Service.handle(R);
+  ASSERT_TRUE(Resp.Ok) << Resp.Error.Message;
+  ASSERT_EQ(Resp.Results.size(), 64u);
+  EXPECT_EQ(Resp.Results, referenceRun(R));
+
+  // Counts aggregate the per-shot lines.
+  unsigned Total = 0;
+  for (const auto &[Bits, N] : Resp.Counts)
+    Total += N;
+  EXPECT_EQ(Total, 64u);
+}
+
+TEST(ServiceTest, RunIsDeterministicAndCachesTheCircuit) {
+  AsdfService Service;
+  ServiceRequest R = coinRunRequest(1, 32, 7);
+  ServiceResponse First = Service.handle(R);
+  ASSERT_TRUE(First.Ok) << First.Error.Message;
+  EXPECT_FALSE(First.CacheHit);
+
+  // Same request again: circuit comes from cache, bits are identical.
+  ServiceResponse Second = Service.handle(R);
+  ASSERT_TRUE(Second.Ok) << Second.Error.Message;
+  EXPECT_TRUE(Second.CacheHit);
+  EXPECT_EQ(Second.Results, First.Results);
+
+  // Different seed, same circuit (still a hit), different stream is
+  // allowed — but the jobs knob must never change the bits.
+  ServiceRequest Wide = R;
+  Wide.Jobs = 8;
+  ServiceResponse Parallel = Service.handle(Wide);
+  ASSERT_TRUE(Parallel.Ok) << Parallel.Error.Message;
+  EXPECT_TRUE(Parallel.CacheHit);
+  EXPECT_EQ(Parallel.Results, First.Results)
+      << "worker count changed the bits";
+}
+
+TEST(ServiceTest, RunWithBindingsMatchesReference) {
+  AsdfService Service;
+  ServiceRequest R;
+  R.TheKind = ServiceRequest::Kind::Run;
+  R.Id = 9;
+  R.Source = BVSource;
+  R.Bindings = bvBindings("110101");
+  R.Shots = 8;
+  R.Seed = 3;
+  ServiceResponse Resp = Service.handle(R);
+  ASSERT_TRUE(Resp.Ok) << Resp.Error.Message;
+  EXPECT_EQ(Resp.Results, referenceRun(R));
+  // Bernstein-Vazirani: every shot reads back the secret.
+  for (const std::string &Bits : Resp.Results)
+    EXPECT_EQ(Bits, "110101");
+}
+
+TEST(ServiceTest, RunErrorsCarryMachineReadableKinds) {
+  AsdfService Service;
+
+  ServiceRequest R = coinRunRequest();
+  R.Backend = "gpu";
+  EXPECT_EQ(Service.handle(R).Error.Kind, "bad-request");
+
+  R = coinRunRequest();
+  R.Pipeline = "no-opt";
+  EXPECT_EQ(Service.handle(R).Error.Kind, "unsupported");
+
+  R = coinRunRequest();
+  R.Source = "qpu kernel() -> bit { return }";
+  EXPECT_EQ(Service.handle(R).Error.Kind, "compile-error");
+}
+
+TEST(ServiceTest, ExpiredDeadlineTimesOutBeforeWork) {
+  AsdfService Service;
+  ServiceRequest R = coinRunRequest();
+  // A deadline already in the past: the request must fail as a timeout
+  // without compiling anything.
+  ServiceResponse Resp = Service.handle(
+      R, std::chrono::steady_clock::now() - std::chrono::seconds(1));
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Error.Kind, "timeout");
+  EXPECT_EQ(Service.cache().stats().Misses, 0u) << "no work was attempted";
+}
+
+TEST(ServiceTest, StatsReportTheCountersAndFingerprint) {
+  AsdfService Service;
+  Service.handle(bvCompileRequest(1));
+  Service.handle(bvCompileRequest(2)); // Hit.
+  Service.handle(coinRunRequest(3, 4, 1));
+
+  ServiceRequest Stats;
+  Stats.TheKind = ServiceRequest::Kind::Stats;
+  Stats.Id = 4;
+  ServiceResponse Resp = Service.handle(Stats);
+  ASSERT_TRUE(Resp.Ok);
+  const json::Value *Cache = Resp.StatsBody.get("cache");
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_EQ(Cache->get("hits")->asU64(), 1u);
+  EXPECT_EQ(Cache->get("misses")->asU64(), 2u);
+  const json::Value *Req = Resp.StatsBody.get("requests");
+  ASSERT_NE(Req, nullptr);
+  EXPECT_EQ(Req->get("compile")->asU64(), 2u);
+  EXPECT_EQ(Req->get("run")->asU64(), 1u);
+  EXPECT_EQ(Req->get("shots")->asU64(), 4u);
+  EXPECT_EQ(Resp.StatsBody.get("fingerprint")->asString(),
+            buildFingerprint());
+}
+
+TEST(ServiceTest, ShutdownFlipsTheFlagAndSubmitRejects) {
+  AsdfService Service;
+  ServiceRequest R;
+  R.TheKind = ServiceRequest::Kind::Shutdown;
+  R.Id = 1;
+  EXPECT_FALSE(Service.shuttingDown());
+  EXPECT_TRUE(Service.handle(R).Ok);
+  EXPECT_TRUE(Service.shuttingDown());
+  Service.drain();
+  EXPECT_FALSE(Service.submit(coinRunRequest(), [](ServiceResponse) {}))
+      << "submit after drain must be rejected without running";
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: N threads x M mixed requests == the serial reference
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceConcurrencyTest, MixedLoadIsBitIdenticalToSerial) {
+  // A pool of distinct programs (different secrets -> different cache
+  // keys) plus per-request seeds: enough variety that hits, misses, and
+  // evictions all happen under load.
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned PerThread = 12;
+
+  auto makeRequest = [](unsigned T, unsigned I) {
+    ServiceRequest R;
+    R.Id = T * 1000 + I;
+    if (I % 3 == 0) {
+      R.TheKind = ServiceRequest::Kind::Compile;
+      R.Source = BVSource;
+      R.Bindings = bvBindings(I % 2 ? "1011" : "0110");
+      R.Emit = (I % 6 == 0) ? std::string("qasm") : std::string("circuit");
+    } else {
+      R.TheKind = ServiceRequest::Kind::Run;
+      R.Source = CoinSource;
+      R.Shots = 16 + I;
+      R.Seed = uint64_t(T) << 32 | I;
+      R.Jobs = 1 + I % 3;
+    }
+    return R;
+  };
+
+  // Serial reference on a fresh service.
+  std::vector<std::vector<ServiceResponse>> Want(NumThreads);
+  {
+    AsdfService Serial(ServiceOptions{1, ArtifactCache::DefaultByteBudget});
+    for (unsigned T = 0; T < NumThreads; ++T)
+      for (unsigned I = 0; I < PerThread; ++I)
+        Want[T].push_back(Serial.handle(makeRequest(T, I)));
+  }
+
+  // Concurrent execution of the identical request set.
+  AsdfService Service(ServiceOptions{4, ArtifactCache::DefaultByteBudget});
+  std::vector<std::vector<ServiceResponse>> Got(NumThreads);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I < PerThread; ++I)
+        Got[T].push_back(Service.handle(makeRequest(T, I)));
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  for (unsigned T = 0; T < NumThreads; ++T)
+    for (unsigned I = 0; I < PerThread; ++I) {
+      const ServiceResponse &W = Want[T][I], &G = Got[T][I];
+      ASSERT_EQ(G.Ok, W.Ok) << "thread " << T << " request " << I << ": "
+                            << G.Error.Message;
+      EXPECT_EQ(G.Artifact, W.Artifact) << "thread " << T << " req " << I;
+      EXPECT_EQ(G.Results, W.Results) << "thread " << T << " req " << I;
+      EXPECT_EQ(G.Key, W.Key) << "thread " << T << " req " << I;
+    }
+
+  // The duplicate programs across threads must have produced cache hits.
+  EXPECT_GT(Service.cache().stats().Hits, 0u);
+}
+
+TEST(ServiceConcurrencyTest, SubmitCallbacksFireExactlyOnce) {
+  AsdfService Service(ServiceOptions{4, ArtifactCache::DefaultByteBudget});
+  constexpr unsigned N = 32;
+  std::atomic<unsigned> Fired{0};
+  std::vector<ServiceResponse> Out(N);
+  std::atomic<unsigned> Done{0};
+  for (unsigned I = 0; I < N; ++I)
+    ASSERT_TRUE(Service.submit(coinRunRequest(I, 8, I), [&, I](ServiceResponse R) {
+      Out[I] = std::move(R);
+      Fired.fetch_add(1);
+      Done.fetch_add(1);
+    }));
+  Service.drain();
+  EXPECT_EQ(Fired.load(), N);
+  for (unsigned I = 0; I < N; ++I) {
+    ASSERT_TRUE(Out[I].Ok) << Out[I].Error.Message;
+    EXPECT_EQ(Out[I].Id, I);
+    EXPECT_EQ(Out[I].Results, referenceRun(coinRunRequest(I, 8, I)))
+        << "async result diverges from the serial reference";
+  }
+}
+
+} // namespace
