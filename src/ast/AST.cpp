@@ -346,6 +346,17 @@ std::string MeasureExpr::str() const {
   return BasisOperand->str() + ".measure";
 }
 
+ExprPtr RotateExpr::clone() const {
+  auto E = std::make_unique<RotateExpr>();
+  E->BasisOperand = BasisOperand->clone();
+  E->Angle = Angle->clone();
+  return finishClone(std::move(E), *this);
+}
+
+std::string RotateExpr::str() const {
+  return BasisOperand->str() + ".rotate(" + Angle->str() + ")";
+}
+
 ExprPtr FlipExpr::clone() const {
   auto E = std::make_unique<FlipExpr>();
   E->BasisOperand = BasisOperand->clone();
@@ -435,6 +446,22 @@ ExprPtr FloatLiteralExpr::clone() const {
 }
 
 std::string FloatLiteralExpr::str() const { return std::to_string(Value); }
+
+ExprPtr FloatParamExpr::clone() const {
+  auto E = std::make_unique<FloatParamExpr>();
+  E->Name = Name;
+  E->Index = Index;
+  E->Scale = Scale;
+  E->Offset = Offset;
+  return finishClone(std::move(E), *this);
+}
+
+std::string FloatParamExpr::str() const {
+  if (Scale == 1.0 && Offset == 0.0)
+    return "$" + Name;
+  return "(" + std::to_string(Scale) + "*$" + Name + "+" +
+         std::to_string(Offset) + ")";
+}
 
 ExprPtr FloatBinaryExpr::clone() const {
   auto E = std::make_unique<FloatBinaryExpr>();

@@ -133,7 +133,7 @@ public:
     Measure,          ///< b.measure
     Project,          ///< b.project (measure, keep qubits) -- unused sugar
     Flip,             ///< b.flip
-    Rotate,           ///< b.rotate(theta) -- reserved
+    Rotate,           ///< b.rotate(theta): rotation about each basis axis
     EmbedXor,         ///< f.xor for classical f
     EmbedSign,        ///< f.sign for classical f
     Identity,         ///< id
@@ -143,6 +143,7 @@ public:
     BitLiteral,       ///< bit[N] constant (e.g. a capture)
     FloatLiteral,     ///< angle literal (degrees in surface syntax)
     FloatBinary,      ///< +,-,*,/ on angles (constant folded in §4.2)
+    FloatParam,       ///< $name: symbolic angle parameter (degrees)
     // Classical-function-body expressions.
     ClassicalBinary, ///< e1 & e2, e1 ^ e2, e1 | e2 on bit[N]
     ClassicalNot,    ///< ~e on bit[N]
@@ -324,6 +325,22 @@ public:
   std::string str() const override;
 };
 
+/// b.rotate(theta): a function value qubit[N] -> qubit[N] rotating each
+/// qubit by theta (degrees) about the axis of its basis element — RZ for
+/// std, RX for pm, RY for ij. The angle may be a literal, a dimvar
+/// expression, or a linear expression over one `$param` placeholder.
+class RotateExpr : public Expr {
+public:
+  RotateExpr() : Expr(Kind::Rotate) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Rotate; }
+
+  ExprPtr BasisOperand;
+  ExprPtr Angle;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
 /// b.flip: sugar for swapping the two vectors of a two-vector basis, e.g.
 /// std.flip == std >> {'1','0'} (an X gate when b is std).
 class FlipExpr : public Expr {
@@ -435,6 +452,27 @@ public:
   }
 
   double Value = 0.0;
+
+  ExprPtr clone() const override;
+  std::string str() const override;
+};
+
+/// $name: a symbolic angle parameter bound at run time. Expansion folds
+/// linear arithmetic over one parameter into the (Scale, Offset)
+/// coefficients here; lowering turns them into symbolic GateParams.
+class FloatParamExpr : public Expr {
+public:
+  FloatParamExpr() : Expr(Kind::FloatParam) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::FloatParam;
+  }
+
+  std::string Name;
+  /// Index into Program::FloatParams (first-occurrence order).
+  int Index = -1;
+  /// Folded linear coefficients, in degrees: Scale * value + Offset.
+  double Scale = 1.0;
+  double Offset = 0.0;
 
   ExprPtr clone() const override;
   std::string str() const override;
@@ -605,6 +643,9 @@ struct FunctionDef {
 /// A parsed Qwerty program: an ordered list of function definitions.
 struct Program {
   std::vector<std::unique_ptr<FunctionDef>> Functions;
+  /// Float-parameter names ($name) in first-occurrence order;
+  /// FloatParamExpr::Index indexes here.
+  std::vector<std::string> FloatParams;
 
   FunctionDef *lookup(const std::string &Name) const;
   std::string str() const;

@@ -10,6 +10,17 @@ using namespace asdf;
 
 namespace {
 
+/// A linear angle expression over at most one `$param`, in degrees:
+/// Scale * value + Offset. Index < 0 means fully constant (value Offset).
+struct LinAngle {
+  double Scale = 0.0;
+  double Offset = 0.0;
+  int Index = -1;
+  std::string Name;
+
+  bool isSymbolic() const { return Index >= 0; }
+};
+
 class Expander {
 public:
   Expander(const Program &Prog, const ProgramBindings &Bindings,
@@ -30,6 +41,7 @@ private:
                      const std::map<std::string, CaptureValue> &Captures);
   bool foldPhase(QubitLiteralExpr &QL);
   bool evalFloat(const Expr &E, double &Result);
+  bool evalAngle(const Expr &E, LinAngle &Out);
 };
 
 bool Expander::inferDimVars() {
@@ -67,6 +79,7 @@ std::unique_ptr<Program> Expander::run() {
   if (!inferDimVars())
     return nullptr;
   auto Out = std::make_unique<Program>();
+  Out->FloatParams = Prog.FloatParams;
   for (const auto &F : Prog.Functions) {
     std::unique_ptr<FunctionDef> NewF = expandFunction(*F);
     if (!NewF)
@@ -167,7 +180,96 @@ bool Expander::evalFloat(const Expr &E, double &Result) {
       return true;
     }
   }
+  if (isa<FloatParamExpr>(&E)) {
+    Diags.error(E.loc(), "'$' parameters may only appear inside .rotate "
+                         "angles");
+    return false;
+  }
   Diags.error(E.loc(), "cannot evaluate phase expression at compile time");
+  return false;
+}
+
+bool Expander::evalAngle(const Expr &E, LinAngle &Out) {
+  if (const auto *FL = dyn_cast<FloatLiteralExpr>(&E)) {
+    Out = LinAngle();
+    Out.Offset = FL->Value;
+    return true;
+  }
+  if (isa<VariableExpr>(&E)) {
+    double V = 0.0;
+    if (!evalFloat(E, V))
+      return false;
+    Out = LinAngle();
+    Out.Offset = V;
+    return true;
+  }
+  if (const auto *P = dyn_cast<FloatParamExpr>(&E)) {
+    Out.Scale = P->Scale;
+    Out.Offset = P->Offset;
+    Out.Index = P->Index;
+    Out.Name = P->Name;
+    return true;
+  }
+  if (const auto *Bin = dyn_cast<FloatBinaryExpr>(&E)) {
+    LinAngle L, R;
+    if (!evalAngle(*Bin->Lhs, L) || !evalAngle(*Bin->Rhs, R))
+      return false;
+    switch (Bin->Op) {
+    case FloatBinaryExpr::OpKind::Add:
+    case FloatBinaryExpr::OpKind::Sub: {
+      if (L.isSymbolic() && R.isSymbolic() && L.Index != R.Index) {
+        Diags.error(E.loc(), "angle expression mixes parameters '$" +
+                                 L.Name + "' and '$" + R.Name + "'");
+        return false;
+      }
+      bool Sub = Bin->Op == FloatBinaryExpr::OpKind::Sub;
+      Out.Index = L.isSymbolic() ? L.Index : R.Index;
+      Out.Name = L.isSymbolic() ? L.Name : R.Name;
+      Out.Scale = Sub ? L.Scale - R.Scale : L.Scale + R.Scale;
+      Out.Offset = Sub ? L.Offset - R.Offset : L.Offset + R.Offset;
+      return true;
+    }
+    case FloatBinaryExpr::OpKind::Mul: {
+      if (L.isSymbolic() && R.isSymbolic()) {
+        Diags.error(E.loc(),
+                    "angle expression is not linear in parameter '$" +
+                        L.Name + "'");
+        return false;
+      }
+      // Keep the operand order of the source expression so constant
+      // subterms fold exactly as the non-parametric path folds them.
+      if (R.isSymbolic()) {
+        Out.Index = R.Index;
+        Out.Name = R.Name;
+        Out.Scale = L.Offset * R.Scale;
+        Out.Offset = L.Offset * R.Offset;
+      } else {
+        Out.Index = L.Index;
+        Out.Name = L.Name;
+        Out.Scale = L.Scale * R.Offset;
+        Out.Offset = L.Offset * R.Offset;
+      }
+      return true;
+    }
+    case FloatBinaryExpr::OpKind::Div: {
+      if (R.isSymbolic()) {
+        Diags.error(E.loc(), "cannot divide by parameter '$" + R.Name +
+                                 "' in an angle expression");
+        return false;
+      }
+      if (R.Offset == 0.0) {
+        Diags.error(E.loc(), "division by zero in angle expression");
+        return false;
+      }
+      Out.Index = L.Index;
+      Out.Name = L.Name;
+      Out.Scale = L.Scale / R.Offset;
+      Out.Offset = L.Offset / R.Offset;
+      return true;
+    }
+    }
+  }
+  Diags.error(E.loc(), "cannot evaluate angle expression at compile time");
   return false;
 }
 
@@ -368,6 +470,32 @@ ExprPtr Expander::expandExpr(
     auto *FE = cast<FlipExpr>(Node);
     if (!Recurse(FE->BasisOperand))
       return nullptr;
+    return C;
+  }
+  case Expr::Kind::Rotate: {
+    auto *R = cast<RotateExpr>(Node);
+    if (!Recurse(R->BasisOperand))
+      return nullptr;
+    // Fold the angle to either a literal (degrees) or a single linear
+    // $param reference with folded coefficients.
+    LinAngle A;
+    if (!evalAngle(*R->Angle, A))
+      return nullptr;
+    SourceLoc AngleLoc = R->Angle->loc();
+    if (!A.isSymbolic()) {
+      auto Lit = std::make_unique<FloatLiteralExpr>();
+      Lit->Value = A.Offset;
+      Lit->setLoc(AngleLoc);
+      R->Angle = std::move(Lit);
+    } else {
+      auto P = std::make_unique<FloatParamExpr>();
+      P->Name = A.Name;
+      P->Index = A.Index;
+      P->Scale = A.Scale;
+      P->Offset = A.Offset;
+      P->setLoc(AngleLoc);
+      R->Angle = std::move(P);
+    }
     return C;
   }
   case Expr::Kind::EmbedXor: {

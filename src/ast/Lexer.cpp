@@ -7,6 +7,7 @@
 #include "ast/Lexer.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdlib>
 
 using namespace asdf;
@@ -77,6 +78,8 @@ std::string Token::describe() const {
     return "'*'";
   case Kind::Slash:
     return "'/'";
+  case Kind::Param:
+    return "parameter '$" + Text + "'";
   }
   return "<token>";
 }
@@ -172,12 +175,34 @@ void Lexer::lex(const std::string &Source, DiagnosticEngine &Diags) {
         Advance();
       }
       if (IsFloat) {
-        Push(Token::Kind::Float, Loc).FloatValue = std::strtod(Num.c_str(),
-                                                               nullptr);
+        // from_chars, not strtod: strtod obeys LC_NUMERIC, and under a
+        // comma-decimal locale it stops at the '.' of "45.5", silently
+        // truncating every float literal in the program.
+        double D = 0.0;
+        std::from_chars(Num.c_str(), Num.c_str() + Num.size(), D);
+        Push(Token::Kind::Float, Loc).FloatValue = D;
       } else {
         Push(Token::Kind::Integer, Loc).IntValue =
             std::strtoll(Num.c_str(), nullptr, 10);
       }
+      continue;
+    }
+    // Float-parameter placeholder: $name.
+    if (C == '$') {
+      Advance();
+      std::string Name;
+      while (I < N &&
+             (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+              Source[I] == '_')) {
+        Name.push_back(Source[I]);
+        Advance();
+      }
+      if (Name.empty() ||
+          std::isdigit(static_cast<unsigned char>(Name[0]))) {
+        Diags.error(Loc, "expected parameter name after '$'");
+        return;
+      }
+      Push(Token::Kind::Param, Loc).Text = std::move(Name);
       continue;
     }
     // Identifiers and keywords.

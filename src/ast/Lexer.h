@@ -56,6 +56,7 @@ struct Token {
     Equals,
     Star,
     Slash,
+    Param,  ///< $name float-parameter placeholder.
   };
 
   Kind TheKind = Kind::Eof;

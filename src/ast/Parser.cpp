@@ -26,6 +26,17 @@ private:
   /// True while parsing a `classical` function body: &, |, ^, ~ become
   /// bitwise operators instead of predication/pipe/adjoint.
   bool InClassical = false;
+  /// $param names in first-occurrence order (copied into the Program).
+  std::vector<std::string> FloatParams;
+
+  /// Interns a $param name, returning its stable index.
+  int paramIndex(const std::string &Name) {
+    for (size_t I = 0; I < FloatParams.size(); ++I)
+      if (FloatParams[I] == Name)
+        return static_cast<int>(I);
+    FloatParams.push_back(Name);
+    return static_cast<int>(FloatParams.size() - 1);
+  }
 
   const Token &peek(unsigned Ahead = 0) const {
     size_t I = Pos + Ahead;
@@ -96,6 +107,7 @@ std::unique_ptr<Program> Parser::parseProgram() {
     Prog->Functions.push_back(std::move(F));
     skipNewlines();
   }
+  Prog->FloatParams = std::move(FloatParams);
   return Prog;
 }
 
@@ -532,6 +544,17 @@ ExprPtr Parser::parseAttribute(ExprPtr Base, SourceLoc Loc) {
     E->setLoc(Loc);
     return E;
   }
+  if (Name == "rotate") {
+    if (!expect(TK::LParen, "'(' after .rotate"))
+      return nullptr;
+    auto E = std::make_unique<RotateExpr>();
+    E->BasisOperand = std::move(Base);
+    E->Angle = parseFloatExpr();
+    if (!E->Angle || !expect(TK::RParen, "')'"))
+      return nullptr;
+    E->setLoc(Loc);
+    return E;
+  }
   if (Name == "sign") {
     auto E = std::make_unique<EmbedSignExpr>();
     E->Func = std::move(Base);
@@ -797,6 +820,13 @@ ExprPtr Parser::parseFloatAtom() {
     // A dimension variable used in a phase expression, e.g. 360/2*K.
     auto E = std::make_unique<VariableExpr>();
     E->Name = advance().Text;
+    E->setLoc(Loc);
+    return E;
+  }
+  if (check(TK::Param)) {
+    auto E = std::make_unique<FloatParamExpr>();
+    E->Name = advance().Text;
+    E->Index = paramIndex(E->Name);
     E->setLoc(Loc);
     return E;
   }

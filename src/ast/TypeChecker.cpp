@@ -425,8 +425,28 @@ Type Checker::checkExpr(Expr &E) {
   case Expr::Kind::ClassicalRepeat:
     return error(E.loc(), "classical bit expression is only allowed inside "
                           "a 'classical' function");
+  case Expr::Kind::Rotate: {
+    auto &R = cast<RotateExpr>(E);
+    unsigned N = checkBasis(*R.BasisOperand);
+    if (!N)
+      return Type::invalid();
+    Basis B = evalBasis(*R.BasisOperand);
+    for (const BasisElement &El : B.elements())
+      if (!El.isBuiltin() || El.prim() == PrimitiveBasis::Fourier)
+        return error(E.loc(),
+                     ".rotate requires a built-in std/pm/ij basis");
+    if (!isa<FloatLiteralExpr>(R.Angle.get()) &&
+        !isa<FloatParamExpr>(R.Angle.get()))
+      return error(R.Angle->loc(),
+                   ".rotate angle must fold to a constant or to a linear "
+                   "expression in one '$' parameter");
+    return E.Ty = Type::revFunc(N);
+  }
+
+  case Expr::Kind::FloatParam:
+    return error(E.loc(), "angle expression is not a value");
+
   case Expr::Kind::Project:
-  case Expr::Kind::Rotate:
     return error(E.loc(), "unsupported expression");
   }
   return Type::invalid();

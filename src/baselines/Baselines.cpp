@@ -412,7 +412,8 @@ bool inversePair(const CircuitInstr &A, const CircuitInstr &B) {
       (A.Gate == GateKind::Tdg && B.Gate == GateKind::T))
     return true;
   if (isParam(A.Gate) && A.Gate == B.Gate)
-    return std::abs(A.Param + B.Param) < 1e-12;
+    return !A.isSymbolic() && !B.isSymbolic() &&
+           std::abs(A.Param + B.Param) < 1e-12;
   return false;
 }
 
@@ -441,7 +442,8 @@ Circuit asdf::transpileO3(const Circuit &C) {
         }
         // Merge rotations of the same kind on the same wires.
         if (B.TheKind == CircuitInstr::Kind::Gate && isParam(A.Gate) &&
-            A.Gate == B.Gate && sameWires(A, B) && A.CondBit == B.CondBit) {
+            A.Gate == B.Gate && sameWires(A, B) && A.CondBit == B.CondBit &&
+            !A.isSymbolic() && !B.isSymbolic()) {
           Out.Instrs[I].Param += B.Param;
           Dead[J] = true;
           Changed = true;
@@ -462,6 +464,7 @@ Circuit asdf::transpileO3(const Circuit &C) {
     std::vector<CircuitInstr> Kept;
     for (CircuitInstr &I : Out.Instrs) {
       if (I.TheKind == CircuitInstr::Kind::Gate && isParam(I.Gate) &&
+          !I.isSymbolic() &&
           std::abs(std::remainder(I.Param, 2 * M_PI)) < 1e-12) {
         Changed = true;
         continue;

@@ -49,7 +49,8 @@ bool isParamGate(GateKind K) {
          K == GateKind::RZ;
 }
 
-void emitGate(std::ostringstream &OS, const CircuitInstr &I) {
+void emitGate(std::ostringstream &OS, const CircuitInstr &I,
+              const Circuit &C) {
   unsigned NC = I.Controls.size();
   std::string Name = qasmGateName(I.Gate);
   // Prefer the named controlled forms of stdgates.inc, falling back to the
@@ -71,8 +72,14 @@ void emitGate(std::ostringstream &OS, const CircuitInstr &I) {
   else if (NC >= 1)
     Name = "ctrl(" + std::to_string(NC) + ") @ " + Name;
   OS << Name;
-  if (isParamGate(I.Gate))
-    OS << '(' << I.Param << ')';
+  if (isParamGate(I.Gate)) {
+    if (I.isSymbolic())
+      // Symbolic angle over an `input` parameter (declared in degrees).
+      OS << "((" << I.ParamScale << " * " << C.ParamNames[I.ParamIdx]
+         << " + " << I.ParamOfs << ") * pi / 180)";
+    else
+      OS << '(' << I.Param << ')';
+  }
   OS << ' ';
   bool First = true;
   for (unsigned Q : I.Controls) {
@@ -96,13 +103,15 @@ std::string asdf::emitOpenQasm3(const Circuit &C) {
     OS << "qubit[" << C.NumQubits << "] q;\n";
   if (C.NumBits)
     OS << "bit[" << C.NumBits << "] c;\n";
+  for (const std::string &P : C.ParamNames)
+    OS << "input float[64] " << P << ";\n";
   for (const CircuitInstr &I : C.Instrs) {
     if (I.CondBit >= 0)
       OS << "if (c[" << I.CondBit << "] == " << (I.CondVal ? 1 : 0)
          << ") { ";
     switch (I.TheKind) {
     case CircuitInstr::Kind::Gate:
-      emitGate(OS, I);
+      emitGate(OS, I, C);
       break;
     case CircuitInstr::Kind::Measure:
       OS << "c[" << I.Cbit << "] = measure q[" << I.Targets[0] << "];";

@@ -79,6 +79,8 @@ bool isParamGate(GateKind K) {
 //===----------------------------------------------------------------------===//
 
 std::optional<std::string> asdf::emitQirBaseProfile(const Circuit &C) {
+  if (C.isParametric())
+    return std::nullopt; // No symbolic angles in the Base Profile.
   std::ostringstream OS;
   std::set<std::string> Decls;
   std::ostringstream Body;
@@ -246,7 +248,7 @@ void UnrestrictedEmitter::emitOp(const Op &O) {
     std::ostringstream Args, Proto;
     bool First = true;
     if (isParamGate(O.GateAttr)) {
-      Args << "double " << O.FloatAttr;
+      Args << "double " << O.ParamAttr.concrete();
       Proto << "double";
       First = false;
     }

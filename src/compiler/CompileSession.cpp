@@ -7,11 +7,14 @@
 #include "compiler/CompileSession.h"
 
 #include "ast/AST.h"
+#include "ast/Lexer.h"
 #include "ast/Parser.h"
 #include "qcirc/Convert.h"
 #include "qcirc/Flatten.h"
 #include "qwerty/Lower.h"
 
+#include <algorithm>
+#include <cctype>
 #include <chrono>
 
 using namespace asdf;
@@ -252,4 +255,198 @@ CompileSession::Artifacts CompileSession::takeArtifacts() {
   A.QCircIR = std::move(QCircIR);
   A.Flat = std::move(Flat);
   return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Parametric compilation
+//===----------------------------------------------------------------------===//
+
+const std::vector<std::string> *CompileSession::paramNames() {
+  Circuit *C = flatCircuit();
+  return C ? &C->ParamNames : nullptr;
+}
+
+namespace {
+
+std::string joinParamNames(const std::vector<std::string> &Names) {
+  std::string S;
+  for (size_t I = 0; I < Names.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += "$" + Names[I];
+  }
+  return S;
+}
+
+} // namespace
+
+std::optional<Circuit>
+CompileSession::bindParams(const std::vector<double> &Values,
+                           std::string *Err) {
+  Circuit *C = flatCircuit();
+  if (!C) {
+    if (Err)
+      *Err = ErrorMessage;
+    return std::nullopt;
+  }
+  if (Values.size() != C->ParamNames.size()) {
+    if (Err) {
+      *Err = "cannot bind " + std::to_string(Values.size()) +
+             " value(s) to " + std::to_string(C->ParamNames.size()) +
+             " parameter(s)";
+      if (!C->ParamNames.empty())
+        *Err += " (" + joinParamNames(C->ParamNames) + ")";
+    }
+    return std::nullopt;
+  }
+  return bindCircuit(*C, Values);
+}
+
+std::optional<Circuit>
+CompileSession::bindParams(const std::map<std::string, double> &Values,
+                           std::string *Err) {
+  Circuit *C = flatCircuit();
+  if (!C) {
+    if (Err)
+      *Err = ErrorMessage;
+    return std::nullopt;
+  }
+  for (const auto &[Name, Value] : Values) {
+    (void)Value;
+    if (std::find(C->ParamNames.begin(), C->ParamNames.end(), Name) ==
+        C->ParamNames.end()) {
+      if (Err) {
+        *Err = "unknown parameter '$" + Name + "'";
+        *Err += C->ParamNames.empty()
+                    ? std::string("; the program declares no parameters")
+                    : "; the program declares (" +
+                          joinParamNames(C->ParamNames) + ")";
+      }
+      return std::nullopt;
+    }
+  }
+  std::vector<double> Ordered;
+  Ordered.reserve(C->ParamNames.size());
+  for (const std::string &Name : C->ParamNames) {
+    auto It = Values.find(Name);
+    if (It == Values.end()) {
+      if (Err)
+        *Err = "missing value for parameter '$" + Name + "'";
+      return std::nullopt;
+    }
+    Ordered.push_back(It->second);
+  }
+  return bindCircuit(*C, Ordered);
+}
+
+std::optional<ParameterizedSource>
+asdf::parameterizeSource(const std::string &Source) {
+  // A program that does not lex cannot be canonicalized; the caller hashes
+  // the source verbatim instead. The diagnostics are deliberately
+  // discarded — the real compile will re-report them with full context.
+  DiagnosticEngine Diags;
+  Lexer Lex(Source, Diags);
+  if (Diags.hadError())
+    return std::nullopt;
+  const std::vector<Token> &Toks = Lex.tokens();
+
+  // Lifted names share the program's own parameter namespace; refuse
+  // sources that already use the reserved prefix rather than risk capture.
+  for (const Token &T : Toks)
+    if (T.is(Token::Kind::Param) && T.Text.rfind("__a", 0) == 0)
+      return std::nullopt;
+
+  // Tokens carry line/column only; rebuild byte offsets from a line-start
+  // table, then re-scan each literal's lexeme extent with the lexer's own
+  // number syntax (digits, plus a '.' only when a digit follows — no
+  // exponents or hex).
+  std::vector<size_t> LineStarts{0};
+  for (size_t I = 0; I < Source.size(); ++I)
+    if (Source[I] == '\n')
+      LineStarts.push_back(I + 1);
+  auto byteOffset = [&](SourceLoc Loc) -> size_t {
+    if (Loc.Line == 0 || Loc.Line > LineStarts.size())
+      return std::string::npos;
+    size_t Off = LineStarts[Loc.Line - 1] + (Loc.Col ? Loc.Col - 1 : 0);
+    return Off <= Source.size() ? Off : std::string::npos;
+  };
+  auto literalEnd = [&](size_t Begin) {
+    size_t I = Begin;
+    while (I < Source.size()) {
+      char C = Source[I];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        ++I;
+        continue;
+      }
+      if (C == '.' && I + 1 < Source.size() &&
+          std::isdigit(static_cast<unsigned char>(Source[I + 1]))) {
+        I += 2;
+        continue;
+      }
+      break;
+    }
+    return I;
+  };
+
+  // Match `.rotate(` [ `-` ] <float-or-integer> `)` over the token stream.
+  // Anything else inside the parens (a parameter, a compound expression)
+  // is left for the real front end to evaluate.
+  struct Match {
+    size_t Begin, End;
+    double Value;
+  };
+  std::vector<Match> Matches;
+  for (size_t I = 0; I + 4 < Toks.size(); ++I) {
+    if (!Toks[I].is(Token::Kind::Dot) ||
+        !Toks[I + 1].is(Token::Kind::Identifier) ||
+        Toks[I + 1].Text != "rotate" || !Toks[I + 2].is(Token::Kind::LParen))
+      continue;
+    size_t J = I + 3;
+    bool Neg = false;
+    if (Toks[J].is(Token::Kind::Minus)) {
+      Neg = true;
+      ++J;
+    }
+    if (J + 1 >= Toks.size())
+      continue;
+    const Token &Lit = Toks[J];
+    double Value;
+    if (Lit.is(Token::Kind::Float))
+      Value = Lit.FloatValue;
+    else if (Lit.is(Token::Kind::Integer))
+      Value = static_cast<double>(Lit.IntValue);
+    else
+      continue;
+    if (!Toks[J + 1].is(Token::Kind::RParen))
+      continue;
+    size_t Begin = byteOffset(Neg ? Toks[J - 1].Loc : Lit.Loc);
+    size_t LitBegin = byteOffset(Lit.Loc);
+    if (Begin == std::string::npos || LitBegin == std::string::npos)
+      return std::nullopt;
+    Matches.push_back({Begin, literalEnd(LitBegin), Neg ? -Value : Value});
+  }
+
+  ParameterizedSource PS;
+  if (Matches.empty()) {
+    PS.Source = Source;
+    return PS;
+  }
+
+  std::string Out;
+  Out.reserve(Source.size());
+  size_t Cursor = 0;
+  for (size_t K = 0; K < Matches.size(); ++K) {
+    const Match &M = Matches[K];
+    if (M.Begin < Cursor || M.End > Source.size() || M.End <= M.Begin)
+      return std::nullopt; // Extent reconstruction failed; hash verbatim.
+    std::string Name = "__a" + std::to_string(K);
+    Out.append(Source, Cursor, M.Begin - Cursor);
+    Out += "$" + Name;
+    Cursor = M.End;
+    PS.LiftedNames.push_back(std::move(Name));
+    PS.LiftedValues.push_back(M.Value);
+  }
+  Out.append(Source, Cursor, std::string::npos);
+  PS.Source = std::move(Out);
+  return PS;
 }

@@ -40,8 +40,11 @@
 #include "support/Hash.h"
 
 #include <array>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace asdf {
 
@@ -82,6 +85,26 @@ public:
   /// The flat, reg2mem'd circuit (§7). Requires a plan that fully inlines
   /// (PipelinePlan::producesFlatCircuit).
   Circuit *flatCircuit();
+
+  //===--- Parametric compilation ---===//
+
+  /// The flat circuit's parameter names, in binding order (first
+  /// occurrence in the source). Empty for a non-parametric program; null
+  /// if compilation fails.
+  const std::vector<std::string> *paramNames();
+
+  /// Binds the flat circuit's parameters to \p Values (degrees, in
+  /// paramNames() order) and returns the concrete, runnable circuit.
+  /// Compilation runs (and caches) once; re-binding never recompiles.
+  /// Returns nullopt on compile failure or arity mismatch, describing the
+  /// problem in \p Err — a bind error does not poison the session, so the
+  /// caller can bind again with corrected values.
+  std::optional<Circuit> bindParams(const std::vector<double> &Values,
+                                    std::string *Err = nullptr);
+  /// As above, keyed by parameter name: every declared parameter must be
+  /// given exactly once, and unknown names are rejected.
+  std::optional<Circuit> bindParams(const std::map<std::string, double> &Values,
+                                    std::string *Err = nullptr);
 
   //===--- Status and instrumentation ---===//
 
@@ -156,6 +179,27 @@ private:
   std::unique_ptr<Module> QCircIR;
   std::optional<Circuit> Flat;
 };
+
+/// The result of parameterizeSource: the canonicalized source text with
+/// every literal `.rotate` angle lifted into a fresh parameter, plus the
+/// lifted names and their original values (degrees, in lift order).
+struct ParameterizedSource {
+  std::string Source;
+  std::vector<std::string> LiftedNames;  ///< "__a0", "__a1", ...
+  std::vector<double> LiftedValues;      ///< Degrees, parallel to names.
+};
+
+/// Lifts every literal `.rotate(<float>)` angle in \p Source into a fresh
+/// `$__aK` parameter, so two programs that differ only in their rotation
+/// angle values canonicalize to the same source text — the structural
+/// identity the service's bind-run cache keys on (compile the lifted
+/// source once, re-bind per request). Only lone literal angles (with an
+/// optional leading minus) are lifted; compound angle expressions are
+/// left alone. Returns nullopt when the source does not lex or already
+/// uses the reserved `$__a` parameter prefix; callers then fall back to
+/// hashing the source verbatim.
+std::optional<ParameterizedSource>
+parameterizeSource(const std::string &Source);
 
 } // namespace asdf
 

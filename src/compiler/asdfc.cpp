@@ -31,10 +31,13 @@
 #include "sim/Simulator.h"
 #include "support/BuildInfo.h"
 
+#include <cctype>
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -93,6 +96,17 @@ void usage(FILE *Out) {
       "  --sim-stats             print simulation counters (gate kernels,\n"
       "                          fused ops/blocks, amplitudes touched,\n"
       "                          amps/sec) to stderr after --emit run\n"
+      "  --param <name>=<float>  bind a rotation parameter (degrees); repeat\n"
+      "                          for each $-parameter the program declares.\n"
+      "                          Binding happens after compilation, so\n"
+      "                          re-binding never recompiles\n"
+      "  --sweep <spec>          run a parameter sweep with --emit run:\n"
+      "                          semicolon-separated points, each a comma-\n"
+      "                          separated value list in declaration order\n"
+      "                          (e.g. \"0,90;45,90;90,90\" for two\n"
+      "                          parameters x three points). Compiles and\n"
+      "                          fuses once, re-binds per point; per-point\n"
+      "                          results are bit-identical to recompiling\n"
       "  --noise <file.ini>      noise model for --emit run (INI spec; see\n"
       "                          README \"Noisy simulation\"). Pauli-only\n"
       "                          models run on the stabilizer engine via\n"
@@ -118,6 +132,24 @@ bool splitEq(const std::string &Arg, std::string &Key, std::string &Value) {
   Key = Arg.substr(0, Eq);
   Value = Arg.substr(Eq + 1);
   return true;
+}
+
+/// Locale-independent double parse of the whole string (strtod honors
+/// LC_NUMERIC, which would silently truncate "30.5" under a comma-decimal
+/// locale).
+bool parseDoubleArg(const std::string &S, double &Out) {
+  // Tolerate surrounding whitespace: sweep specs read naturally as
+  // "0; 45.5; 90". from_chars itself is locale-independent and exact.
+  const char *B = S.c_str();
+  const char *E = B + S.size();
+  while (B != E && std::isspace(static_cast<unsigned char>(*B)))
+    ++B;
+  while (E != B && std::isspace(static_cast<unsigned char>(E[-1])))
+    --E;
+  if (B == E)
+    return false;
+  std::from_chars_result R = std::from_chars(B, E, Out);
+  return R.ec == std::errc() && R.ptr == E;
 }
 
 bool validEmit(const std::string &E) {
@@ -161,6 +193,9 @@ int main(int argc, char **argv) {
   bool PassTimings = false;
   bool JobsExplicitZero = false;
   bool SimStatsRequested = false;
+  std::map<std::string, double> ParamArgs;
+  std::string SweepArg;
+  bool HasSweep = false;
 
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -256,6 +291,19 @@ int main(int argc, char **argv) {
       RunOpts.FuseMaxQubits = static_cast<unsigned>(K);
     } else if (Arg == "--sim-stats") {
       SimStatsRequested = true;
+    } else if (Arg == "--param") {
+      std::string Key, Value;
+      if (!splitEq(Next(), Key, Value))
+        usageError("--param expects <name>=<float>");
+      double D;
+      if (!parseDoubleArg(Value, D))
+        usageError("--param value '" + Value + "' is not a number");
+      if (!ParamArgs.emplace(Key, D).second)
+        usageError("duplicate --param for '" + Key +
+                   "' (each parameter can be bound once)");
+    } else if (Arg == "--sweep") {
+      SweepArg = Next();
+      HasSweep = true;
     } else if (Arg == "--noise") {
       std::string Error;
       if (!loadNoiseSpec(Next(), Noise, Error)) {
@@ -346,7 +394,77 @@ int main(int argc, char **argv) {
   Circuit *Flat = Session.flatCircuit();
   if (!Flat)
     return CompileError();
-  const Circuit &FlatCircuit = *Flat;
+
+  // Parameter handling: --param binds the compiled circuit once (for any
+  // flat-circuit emit target); --sweep re-binds per point inside the run.
+  if (HasSweep && Emit != "run")
+    usageError("--sweep requires --emit run");
+  if (HasSweep && !ParamArgs.empty())
+    usageError("--param cannot be combined with --sweep (the sweep spec "
+               "carries the values)");
+  const std::vector<std::string> &ParamNames = Flat->ParamNames;
+  Circuit BoundStorage;
+  if (!ParamArgs.empty()) {
+    std::string Err;
+    std::optional<Circuit> Bound = Session.bindParams(ParamArgs, &Err);
+    if (!Bound) {
+      std::fprintf(stderr, "%s: %s\n", Path.c_str(), Err.c_str());
+      return Finish(1);
+    }
+    BoundStorage = std::move(*Bound);
+  }
+  const Circuit &FlatCircuit = ParamArgs.empty() ? *Flat : BoundStorage;
+  if (Emit == "run" && !HasSweep && FlatCircuit.isParametric()) {
+    std::string Names;
+    for (size_t K = 0; K < ParamNames.size(); ++K)
+      Names += (K ? ", $" : "$") + ParamNames[K];
+    std::fprintf(stderr,
+                 "cannot run with %zu unbound parameter(s) (%s); bind "
+                 "each with --param or sweep with --sweep\n",
+                 ParamNames.size(), Names.c_str());
+    return Finish(1);
+  }
+  std::vector<std::vector<double>> SweepPoints;
+  if (HasSweep) {
+    if (ParamNames.empty()) {
+      std::fprintf(stderr, "--sweep requires a parametric program, but "
+                           "entry '%s' declares no $-parameters\n",
+                   Session.options().Entry.c_str());
+      return Finish(1);
+    }
+    size_t Pos = 0;
+    while (Pos <= SweepArg.size()) {
+      size_t Semi = SweepArg.find(';', Pos);
+      std::string PointSpec = SweepArg.substr(
+          Pos, Semi == std::string::npos ? std::string::npos : Semi - Pos);
+      std::vector<double> Point;
+      size_t VPos = 0;
+      while (VPos <= PointSpec.size() && !PointSpec.empty()) {
+        size_t Comma = PointSpec.find(',', VPos);
+        std::string Val = PointSpec.substr(
+            VPos,
+            Comma == std::string::npos ? std::string::npos : Comma - VPos);
+        double D;
+        if (!parseDoubleArg(Val, D))
+          usageError("--sweep value '" + Val + "' is not a number");
+        Point.push_back(D);
+        if (Comma == std::string::npos)
+          break;
+        VPos = Comma + 1;
+      }
+      if (Point.size() != ParamNames.size())
+        usageError("--sweep point " + std::to_string(SweepPoints.size()) +
+                   " has " + std::to_string(Point.size()) + " value(s) but "
+                   "the program declares " +
+                   std::to_string(ParamNames.size()) + " parameter(s)");
+      SweepPoints.push_back(std::move(Point));
+      if (Semi == std::string::npos)
+        break;
+      Pos = Semi + 1;
+    }
+    if (SweepPoints.empty())
+      usageError("--sweep expects at least one point");
+  }
 
   if (Emit == "qasm") {
     std::printf("%s", emitOpenQasm3(FlatCircuit).c_str());
@@ -356,7 +474,8 @@ int main(int argc, char **argv) {
     std::optional<std::string> Qir = emitQirBaseProfile(FlatCircuit);
     if (!Qir) {
       std::fprintf(stderr, "circuit needs features outside the Base "
-                           "Profile (dynamic conditions)\n");
+                           "Profile (dynamic conditions or unbound "
+                           "parameters)\n");
       return Finish(1);
     }
     std::printf("%s", Qir->c_str());
@@ -449,13 +568,33 @@ int main(int argc, char **argv) {
   if (SimStatsRequested)
     RunOpts.SimCounters = &SimCounters;
   auto RunStart = std::chrono::steady_clock::now();
-  std::vector<ShotResult> Batch =
-      B.runBatch(FlatCircuit, Shots, Seed, RunOpts);
+  std::vector<ShotResult> Batch;
+  std::vector<std::vector<ShotResult>> SweepResults;
+  if (HasSweep)
+    SweepResults = B.runSweep(FlatCircuit, SweepPoints, Shots, Seed, RunOpts);
+  else
+    Batch = B.runBatch(FlatCircuit, Shots, Seed, RunOpts);
   double RunSecs = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - RunStart)
                        .count();
-  for (const ShotResult &Shot : Batch)
-    std::printf("%s\n", formatShotBits(FlatCircuit, Shot).c_str());
+  if (HasSweep) {
+    for (size_t P = 0; P < SweepResults.size(); ++P) {
+      std::string Header = "# point " + std::to_string(P);
+      for (size_t K = 0; K < ParamNames.size(); ++K) {
+        char Buf[64];
+        std::to_chars_result R =
+            std::to_chars(Buf, Buf + sizeof(Buf), SweepPoints[P][K]);
+        Header += (K ? ", " : ": ") + ParamNames[K] + "=" +
+                  std::string(Buf, R.ptr);
+      }
+      std::printf("%s\n", Header.c_str());
+      for (const ShotResult &Shot : SweepResults[P])
+        std::printf("%s\n", formatShotBits(FlatCircuit, Shot).c_str());
+    }
+  } else {
+    for (const ShotResult &Shot : Batch)
+      std::printf("%s\n", formatShotBits(FlatCircuit, Shot).c_str());
+  }
   if (SimStatsRequested) {
     uint64_t Amps = SimCounters.AmplitudesTouched.load();
     std::fprintf(

@@ -538,13 +538,13 @@ void Builder::qfreez(Value *Q) { createOp(OpKind::QFreeZ, {Q}, {}); }
 std::vector<Value *> Builder::gate(GateKind G,
                                    const std::vector<Value *> &Controls,
                                    const std::vector<Value *> &Targets,
-                                   double Param) {
+                                   GateParam Param) {
   std::vector<Value *> Operands = Controls;
   Operands.insert(Operands.end(), Targets.begin(), Targets.end());
   std::vector<IRType> Types(Operands.size(), IRType::qubit());
   Op *O = createOp(OpKind::Gate, Operands, Types);
   O->GateAttr = G;
-  O->FloatAttr = Param;
+  O->ParamAttr = Param;
   O->NumControls = Controls.size();
   std::vector<Value *> Out;
   for (unsigned I = 0; I < O->numResults(); ++I)
@@ -624,6 +624,7 @@ Op *asdf::cloneOp(Builder &B, Op *Source, ValueMap &Map) {
   NewOp->DimAttr = Source->DimAttr;
   NewOp->GateAttr = Source->GateAttr;
   NewOp->FloatAttr = Source->FloatAttr;
+  NewOp->ParamAttr = Source->ParamAttr;
   NewOp->NumControls = Source->NumControls;
   NewOp->SymbolAttr = Source->SymbolAttr;
   NewOp->AdjFlag = Source->AdjFlag;
@@ -656,6 +657,7 @@ void asdf::cloneBlockBody(Builder &B, Block &Source, ValueMap &Map,
 
 std::unique_ptr<Module> asdf::cloneModule(const Module &M) {
   auto Out = std::make_unique<Module>();
+  Out->FloatParams = M.FloatParams;
   for (const auto &F : M.Functions) {
     IRFunction *NF = Out->create(F->Name);
     NF->ResultTypes = F->ResultTypes;
@@ -720,8 +722,13 @@ void Printer::printOp(const Op &O, unsigned Indent) {
   case OpKind::Gate:
     OS << ' ' << gateKindName(O.GateAttr);
     if (O.GateAttr == GateKind::P || O.GateAttr == GateKind::RX ||
-        O.GateAttr == GateKind::RY || O.GateAttr == GateKind::RZ)
-      OS << '(' << O.FloatAttr << ')';
+        O.GateAttr == GateKind::RY || O.GateAttr == GateKind::RZ) {
+      if (O.ParamAttr.isSymbolic())
+        OS << "($" << O.ParamAttr.Index << " * " << O.ParamAttr.Scale
+           << " + " << O.ParamAttr.Offset << " deg)";
+      else
+        OS << '(' << O.ParamAttr.concrete() << ')';
+    }
     break;
   case OpKind::ConstF:
     OS << ' ' << O.FloatAttr;

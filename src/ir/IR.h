@@ -33,6 +33,7 @@
 #include "support/Diagnostics.h"
 
 #include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <list>
@@ -205,6 +206,68 @@ GateKind adjointGateKind(GateKind K);
 /// True if the gate is self-adjoint (Hermitian).
 bool isHermitianGate(GateKind K);
 
+/// Degrees -> radians for gate angles. Every path that converts a rotation
+/// angle (literal lowering and symbolic bind alike) goes through this one
+/// function, so bound results match recompiled results bitwise.
+inline double degreesToRadians(double Deg) {
+  return Deg * (M_PI / 180.0);
+}
+
+/// A gate rotation angle: either a concrete value in radians or a linear
+/// function of one named module parameter (`Scale * param + Offset`).
+///
+/// Symbolic coefficients are kept in the *source* unit (degrees) and the
+/// degrees->radians conversion happens as the final step of eval(). This
+/// ordering exactly mirrors the non-parametric path — which folds the
+/// linear expression over a literal angle in degrees and then converts —
+/// so binding a parameter produces bit-identical doubles to recompiling
+/// with the literal substituted.
+struct GateParam {
+  /// Concrete: the angle in radians. Symbolic: additive term in degrees.
+  double Offset = 0.0;
+  /// Symbolic: multiplier of the parameter value (degrees per unit).
+  double Scale = 1.0;
+  /// Parameter index into Module::FloatParams, or -1 for concrete.
+  int Index = -1;
+
+  GateParam() = default;
+  /// Implicit from a concrete radians value (keeps `gate(..., theta)`
+  /// call sites working unchanged).
+  GateParam(double Radians) : Offset(Radians) {}
+  static GateParam symbolic(int Index, double ScaleDeg, double OffsetDeg) {
+    GateParam P;
+    P.Index = Index;
+    P.Scale = ScaleDeg;
+    P.Offset = OffsetDeg;
+    return P;
+  }
+
+  bool isSymbolic() const { return Index >= 0; }
+
+  /// The concrete radians value; symbolic params must be bound first.
+  double concrete() const {
+    assert(!isSymbolic() && "unbound symbolic gate parameter");
+    return Offset;
+  }
+
+  /// Evaluates against parameter values (degrees), returning radians.
+  double eval(const std::vector<double> &Vals) const {
+    if (!isSymbolic())
+      return Offset;
+    assert(static_cast<size_t>(Index) < Vals.size());
+    return degreesToRadians(Scale * Vals[Index] + Offset);
+  }
+
+  /// The adjoint parameter. Negating both coefficients is exact in IEEE
+  /// arithmetic, so adjoint-then-bind equals bind-then-negate bitwise.
+  GateParam negated() const {
+    GateParam P = *this;
+    P.Offset = -P.Offset;
+    P.Scale = -P.Scale;
+    return P;
+  }
+};
+
 /// Kind of classical-function embedding (§6.4).
 enum class EmbedKind {
   Xor, ///< Bennett embedding U_f|x>|y> = |x>|y ^ f(x)>.
@@ -267,7 +330,8 @@ public:
   bool MinusAttr = false;                        ///< QbPrep eigenstate.
   unsigned DimAttr = 0;      ///< QbPrep/QbId dim.
   GateKind GateAttr = GateKind::X;
-  double FloatAttr = 0.0;    ///< ConstF value; Gate parameter.
+  double FloatAttr = 0.0;    ///< ConstF value.
+  GateParam ParamAttr;       ///< Gate parameter (concrete or symbolic).
   unsigned NumControls = 0;  ///< Gate/CallableCtl control count.
   std::string SymbolAttr;    ///< FuncConst/Call/CallableCreate symbol;
                              ///< EmbedClassical classical function name.
@@ -391,6 +455,11 @@ class Module {
 public:
   std::vector<std::unique_ptr<IRFunction>> Functions;
 
+  /// Names of the module's float parameters (`$name` placeholders), in
+  /// first-occurrence order. Symbolic GateParam::Index values index here.
+  /// Empty for non-parametric programs.
+  std::vector<std::string> FloatParams;
+
   IRFunction *lookup(const std::string &Name) const {
     for (const auto &F : Functions)
       if (F->Name == Name)
@@ -469,7 +538,7 @@ public:
   /// gate G [controls] targets; returns new control+target values in order.
   std::vector<Value *> gate(GateKind G, const std::vector<Value *> &Controls,
                             const std::vector<Value *> &Targets,
-                            double Param = 0.0);
+                            GateParam Param = GateParam());
   /// Measure one qubit: returns (new qubit, i1 result).
   std::pair<Value *, Value *> measure1(Value *Q);
   Value *callableCreate(const std::string &Symbol, IRType FuncTy);

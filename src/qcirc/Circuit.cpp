@@ -19,8 +19,13 @@ std::string CircuitInstr::str() const {
   case Kind::Gate: {
     OS << gateKindName(Gate);
     if (Gate == GateKind::P || Gate == GateKind::RX ||
-        Gate == GateKind::RY || Gate == GateKind::RZ)
-      OS << '(' << Param << ')';
+        Gate == GateKind::RY || Gate == GateKind::RZ) {
+      if (isSymbolic())
+        OS << "($" << ParamIdx << " * " << ParamScale << " + " << ParamOfs
+           << " deg)";
+      else
+        OS << '(' << Param << ')';
+    }
     if (!Controls.empty()) {
       OS << " ctrl[";
       for (unsigned I = 0; I < Controls.size(); ++I)
@@ -83,7 +88,9 @@ CircuitStats Circuit::stats() const {
       // as one T, and arbitrary angles as one T-equivalent layer as well
       // (the Azure estimator similarly charges rotations one synthesis
       // round; absolute constants don't change the comparison shape).
-      IsT = !isCliffordAngle(I.Param) || !I.Controls.empty();
+      // Symbolic angles are non-Clifford for any generic binding.
+      IsT = I.isSymbolic() || !isCliffordAngle(I.Param) ||
+            !I.Controls.empty();
       (void)isTAngle(I.Param);
       break;
     default:
@@ -138,9 +145,28 @@ CircuitStats Circuit::stats() const {
 
 std::string Circuit::str() const {
   std::ostringstream OS;
-  OS << "circuit(" << NumQubits << " qubits, " << NumBits << " bits) {\n";
+  OS << "circuit(" << NumQubits << " qubits, " << NumBits << " bits";
+  for (const std::string &P : ParamNames)
+    OS << ", $" << P;
+  OS << ") {\n";
   for (const CircuitInstr &I : Instrs)
     OS << "  " << I.str() << '\n';
   OS << "}\n";
   return OS.str();
+}
+
+Circuit asdf::bindCircuit(const Circuit &C, const std::vector<double> &Vals) {
+  assert(Vals.size() == C.ParamNames.size() &&
+         "bindCircuit: wrong number of parameter values");
+  Circuit Out = C;
+  Out.ParamNames.clear();
+  for (CircuitInstr &I : Out.Instrs) {
+    if (I.TheKind != CircuitInstr::Kind::Gate || !I.isSymbolic())
+      continue;
+    I.Param = I.boundParam(Vals);
+    I.ParamIdx = -1;
+    I.ParamScale = 1.0;
+    I.ParamOfs = 0.0;
+  }
+  return Out;
 }

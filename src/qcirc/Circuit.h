@@ -35,7 +35,15 @@ struct CircuitInstr {
 
   Kind TheKind = Kind::Gate;
   GateKind Gate = GateKind::X;
+  /// Concrete gate angle in radians. Meaningless when ParamIdx >= 0 (the
+  /// instruction is symbolic and must be bound before execution).
   double Param = 0.0;
+  /// Symbolic angle: index into Circuit::ParamNames, or -1 for concrete.
+  /// When set, the bound angle is (ParamScale * value + ParamOfs) degrees,
+  /// converted to radians — see GateParam.
+  int ParamIdx = -1;
+  double ParamScale = 1.0;
+  double ParamOfs = 0.0;
   std::vector<unsigned> Controls;
   std::vector<unsigned> Targets;
   int Cbit = -1; ///< Measure destination.
@@ -44,14 +52,30 @@ struct CircuitInstr {
   int CondBit = -1;
   bool CondVal = true;
 
+  bool isSymbolic() const { return ParamIdx >= 0; }
+
+  /// The concrete radians angle under parameter values \p Vals (degrees).
+  double boundParam(const std::vector<double> &Vals) const {
+    if (ParamIdx < 0)
+      return Param;
+    return degreesToRadians(ParamScale * Vals[ParamIdx] + ParamOfs);
+  }
+
   static CircuitInstr gate(GateKind G, std::vector<unsigned> Controls,
-                           std::vector<unsigned> Targets, double Param = 0.0) {
+                           std::vector<unsigned> Targets,
+                           GateParam Param = GateParam()) {
     CircuitInstr I;
     I.TheKind = Kind::Gate;
     I.Gate = G;
     I.Controls = std::move(Controls);
     I.Targets = std::move(Targets);
-    I.Param = Param;
+    if (Param.isSymbolic()) {
+      I.ParamIdx = Param.Index;
+      I.ParamScale = Param.Scale;
+      I.ParamOfs = Param.Offset;
+    } else {
+      I.Param = Param.concrete();
+    }
     return I;
   }
   static CircuitInstr measure(unsigned Qubit, unsigned Cbit) {
@@ -93,8 +117,14 @@ struct Circuit {
   /// registers if it returns qubits, classical bits if it returns bits.
   std::vector<unsigned> OutputQubits;
   std::vector<int> OutputBits;
+  /// Float-parameter names ($name placeholders) in declaration order;
+  /// CircuitInstr::ParamIdx indexes here. Empty => fully concrete.
+  std::vector<std::string> ParamNames;
 
   void append(CircuitInstr I) { Instrs.push_back(std::move(I)); }
+
+  unsigned numParams() const { return ParamNames.size(); }
+  bool isParametric() const { return !ParamNames.empty(); }
 
   /// Computes gate statistics; rotation-style gates (P/RX/RY/RZ with
   /// non-Clifford angles) are counted as T-equivalents per the standard
@@ -107,6 +137,12 @@ struct Circuit {
 
   std::string str() const;
 };
+
+/// Returns a fully concrete copy of \p C with every symbolic angle bound to
+/// \p Vals (parameter values in degrees, one per ParamNames entry). The
+/// result has empty ParamNames and bitwise-matches the circuit that a
+/// recompile with the literals substituted would produce.
+Circuit bindCircuit(const Circuit &C, const std::vector<double> &Vals);
 
 } // namespace asdf
 

@@ -83,7 +83,7 @@ bool Flattener::flattenOp(Op *O) {
       QubitIdx[O->result(I)] = Q;
     }
     emit(CircuitInstr::gate(O->GateAttr, std::move(Controls),
-                            std::move(Targets), O->FloatAttr));
+                            std::move(Targets), O->ParamAttr));
     return true;
   }
   case OpKind::Measure1: {
@@ -256,5 +256,8 @@ std::optional<Circuit> asdf::flattenToCircuit(Module &M,
     return std::nullopt;
   }
   Flattener FL(Diags);
-  return FL.run(*F);
+  std::optional<Circuit> C = FL.run(*F);
+  if (C)
+    C->ParamNames = M.FloatParams;
+  return C;
 }

@@ -40,8 +40,18 @@ bool gatesCancel(const Op *A, const Op *B) {
       (KA == GateKind::T && KB == GateKind::Tdg) ||
       (KA == GateKind::Tdg && KB == GateKind::T))
     return true;
-  if (isParamGate(KA) && KA == KB)
-    return std::abs(A->FloatAttr + B->FloatAttr) < 1e-12;
+  if (isParamGate(KA) && KA == KB) {
+    const GateParam &PA = A->ParamAttr, &PB = B->ParamAttr;
+    if (PA.isSymbolic() != PB.isSymbolic())
+      return false;
+    if (PA.isSymbolic())
+      // Symbolic angles cancel only when they sum to zero for *every*
+      // binding: same parameter, exactly opposite scales, near-zero
+      // constant term.
+      return PA.Index == PB.Index && PA.Scale + PB.Scale == 0.0 &&
+             std::abs(PA.Offset + PB.Offset) < 1e-12;
+    return std::abs(PA.concrete() + PB.concrete()) < 1e-12;
+  }
   return false;
 }
 
@@ -324,7 +334,7 @@ bool decomposeOp(Op *O, McDecompose Mode) {
   } else {
     // Generic controlled-U: collapse controls into one ancilla.
     GateKind Kind = K;
-    double Param = O->FloatAttr;
+    GateParam Param = O->ParamAttr;
     unsigned T = Targets[0];
     withControlAncilla(E, Controls, Mode, [&](unsigned Anc) {
       E.gate(Kind, {Anc}, {T}, Param);

@@ -64,6 +64,7 @@ private:
 
 std::unique_ptr<Module> Lowering::run() {
   M = std::make_unique<Module>();
+  M->FloatParams = Prog.FloatParams;
   // First pass: declare all qpu functions so func_const can reference them.
   for (const auto &F : Prog.Functions) {
     if (!F->isQpu())
@@ -280,6 +281,41 @@ Value *Lowering::lowerFunc(Builder &B, const Expr &E) {
     Builder Inner(Body);
     Value *Res = Inner.embedClassical(
         Arg, Var->Name, IsXor ? EmbedKind::Xor : EmbedKind::Sign);
+    Inner.yield({Res});
+    return L->result();
+  }
+
+  case Expr::Kind::Rotate: {
+    // b.rotate(theta): per-qubit rotation about each basis element's axis
+    // (std -> RZ, pm -> RX, ij -> RY). These are the only Gate ops emitted
+    // at the Qwerty level; adjoint negates the (possibly symbolic) angle
+    // and predication adds controls, both handled by the generic Gate
+    // machinery in AdjointPred.
+    const auto &R = cast<RotateExpr>(E);
+    Basis Bv = evalBasis(*R.BasisOperand);
+    GateParam Param;
+    if (const auto *FP = dyn_cast<FloatParamExpr>(R.Angle.get())) {
+      Param = GateParam::symbolic(FP->Index, FP->Scale, FP->Offset);
+    } else {
+      const auto *Lit = cast<FloatLiteralExpr>(R.Angle.get());
+      Param = GateParam(degreesToRadians(Lit->Value));
+    }
+    unsigned N = Bv.dim();
+    Op *L = B.lambda(FuncTy);
+    Block *Body = L->Regions[0].get();
+    Value *Arg = Body->addArg(IRType::qbundle(N));
+    Builder Inner(Body);
+    std::vector<Value *> Qs = Inner.qbunpack(Arg);
+    unsigned QI = 0;
+    for (const BasisElement &El : Bv.elements()) {
+      assert(El.isBuiltin() && "type checker admits only built-in bases");
+      GateKind K = El.prim() == PrimitiveBasis::Std  ? GateKind::RZ
+                   : El.prim() == PrimitiveBasis::Pm ? GateKind::RX
+                                                     : GateKind::RY;
+      for (unsigned I = 0; I < El.dim(); ++I, ++QI)
+        Qs[QI] = Inner.gate(K, {}, {Qs[QI]}, Param).front();
+    }
+    Value *Res = Inner.qbpack(Qs);
     Inner.yield({Res});
     return L->result();
   }

@@ -18,6 +18,8 @@ const char *kindName(ServiceRequest::Kind K) {
     return "compile";
   case ServiceRequest::Kind::Run:
     return "run";
+  case ServiceRequest::Kind::BindRun:
+    return "bind-run";
   case ServiceRequest::Kind::Stats:
     return "stats";
   case ServiceRequest::Kind::Shutdown:
@@ -31,6 +33,8 @@ bool parseKind(const std::string &Name, ServiceRequest::Kind &Out) {
     Out = ServiceRequest::Kind::Compile;
   else if (Name == "run")
     Out = ServiceRequest::Kind::Run;
+  else if (Name == "bind-run")
+    Out = ServiceRequest::Kind::BindRun;
   else if (Name == "stats")
     Out = ServiceRequest::Kind::Stats;
   else if (Name == "shutdown")
@@ -86,6 +90,20 @@ json::Value ServiceRequest::toJson() const {
       O.set("backend", json::Value::str(Backend));
     if (Jobs != 1)
       O.set("jobs", json::Value::integer(static_cast<uint64_t>(Jobs)));
+    if (TheKind == Kind::BindRun) {
+      json::Value Params = json::Value::array();
+      for (const std::string &Name : SweepParams)
+        Params.push(json::Value::str(Name));
+      O.set("params", std::move(Params));
+      json::Value Pts = json::Value::array();
+      for (const std::vector<double> &Point : Points) {
+        json::Value P = json::Value::array();
+        for (double D : Point)
+          P.push(json::Value::number(D));
+        Pts.push(std::move(P));
+      }
+      O.set("points", std::move(Pts));
+    }
   }
   if (TimeoutSecs > 0)
     O.set("timeout", json::Value::number(TimeoutSecs));
@@ -106,20 +124,24 @@ bool ServiceRequest::fromJson(const json::Value &V, ServiceRequest &Out,
   Out = ServiceRequest();
   if (!parseKind(Op->asString(), Out.TheKind)) {
     Error = "unknown op '" + Op->asString() +
-            "' (expected compile, run, stats, or shutdown)";
+            "' (expected compile, run, bind-run, stats, or shutdown)";
     return false;
   }
 
   static const std::set<std::string> Known = {
       "id",   "op",      "source", "entry",   "pipeline", "bind",
       "capture", "emit", "shots",  "seed",    "backend",  "jobs",
-      "timeout"};
+      "timeout", "params", "points"};
   for (const auto &[Key, Member] : V.members()) {
     (void)Member;
     if (!Known.count(Key)) {
       Error = "unknown request field \"" + Key + "\"";
       return false;
     }
+  }
+  if (Out.TheKind != Kind::BindRun && (V.get("params") || V.get("points"))) {
+    Error = "\"params\"/\"points\" are only valid for op \"bind-run\"";
+    return false;
   }
 
   if (const json::Value *Id = V.get("id")) {
@@ -244,6 +266,42 @@ bool ServiceRequest::fromJson(const json::Value &V, ServiceRequest &Out,
     }
     Out.Jobs = static_cast<unsigned>(J->asU64());
   }
+  if (Out.TheKind != Kind::BindRun)
+    return true;
+  const json::Value *Params = V.get("params");
+  const json::Value *Points = V.get("points");
+  if (Params) {
+    if (!Params->isArray()) {
+      Error = "\"params\" must be an array of parameter names";
+      return false;
+    }
+    for (const json::Value &E : Params->elements()) {
+      if (!E.isString()) {
+        Error = "\"params\" entries must be strings";
+        return false;
+      }
+      Out.SweepParams.push_back(E.asString());
+    }
+  }
+  if (!Points || !Points->isArray()) {
+    Error = "bind-run request needs an array \"points\" field";
+    return false;
+  }
+  for (const json::Value &P : Points->elements()) {
+    if (!P.isArray()) {
+      Error = "\"points\" entries must be arrays of numbers";
+      return false;
+    }
+    std::vector<double> Point;
+    for (const json::Value &D : P.elements()) {
+      if (!D.isNumber()) {
+        Error = "\"points\" values must be numbers";
+        return false;
+      }
+      Point.push_back(D.asDouble());
+    }
+    Out.Points.push_back(std::move(Point));
+  }
   return true;
 }
 
@@ -278,6 +336,16 @@ json::Value ServiceResponse::toJson() const {
     for (const auto &[Bits, N] : Counts)
       C.set(Bits, json::Value::integer(static_cast<uint64_t>(N)));
     O.set("counts", std::move(C));
+  }
+  if (!PointResults.empty()) {
+    json::Value Pts = json::Value::array();
+    for (const std::vector<std::string> &Point : PointResults) {
+      json::Value P = json::Value::array();
+      for (const std::string &S : Point)
+        P.push(json::Value::str(S));
+      Pts.push(std::move(P));
+    }
+    O.set("point_results", std::move(Pts));
   }
   return O;
 }
@@ -322,6 +390,13 @@ bool ServiceResponse::fromJson(const json::Value &V, ServiceResponse &Out,
   if (const json::Value *C = V.get("counts"))
     for (const auto &[Bits, N] : C->members())
       Out.Counts[Bits] = static_cast<unsigned>(N.asU64());
+  if (const json::Value *P = V.get("point_results"))
+    for (const json::Value &Point : P->elements()) {
+      std::vector<std::string> Shots;
+      for (const json::Value &S : Point.elements())
+        Shots.push_back(S.asString());
+      Out.PointResults.push_back(std::move(Shots));
+    }
   if (const json::Value *S = V.get("stats"))
     Out.StatsBody = *S;
   return true;

@@ -37,7 +37,7 @@ namespace asdf {
 
 /// One unit of service work.
 struct ServiceRequest {
-  enum class Kind { Compile, Run, Stats, Shutdown };
+  enum class Kind { Compile, Run, BindRun, Stats, Shutdown };
 
   Kind TheKind = Kind::Compile;
   /// Client-chosen correlation id, echoed verbatim in the response.
@@ -70,6 +70,19 @@ struct ServiceRequest {
   /// Worker threads for this run's simulation (RunOptions::Jobs; 0 = one
   /// per hardware core). Results are identical for any value.
   unsigned Jobs = 1;
+
+  //===--- BindRun fields ---===//
+
+  /// Names of the program's $-parameters the sweep varies, defining the
+  /// value order within each point ("params" on the wire). Parameters the
+  /// service lifts from literal rotation angles are bound internally and
+  /// must not appear here.
+  std::vector<std::string> SweepParams;
+  /// The sweep points ("points"): one value list per point, each in
+  /// SweepParams order. Point P runs Shots shots with the sweep-derived
+  /// seed for P, so results are bit-identical to running each bound
+  /// circuit as its own run request with that seed.
+  std::vector<std::vector<double>> Points;
 
   //===--- Scheduling ---===//
 
@@ -123,6 +136,12 @@ struct ServiceResponse {
   std::vector<std::string> Results;
   /// Aggregated outcome frequencies (sorted by bit string).
   std::map<std::string, unsigned> Counts;
+
+  //===--- BindRun ---===//
+
+  /// Per-point per-shot bit strings ("point_results"): PointResults[P][S]
+  /// is shot S of sweep point P.
+  std::vector<std::vector<std::string>> PointResults;
 
   //===--- Stats ---===//
 

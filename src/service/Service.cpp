@@ -13,7 +13,9 @@
 #include "sim/Simulator.h"
 #include "support/BuildInfo.h"
 
+#include <algorithm>
 #include <cstring>
+#include <set>
 
 using namespace asdf;
 
@@ -66,6 +68,9 @@ ServiceResponse AsdfService::handle(const ServiceRequest &R,
     case ServiceRequest::Kind::Run:
       NumRun.fetch_add(1, std::memory_order_relaxed);
       return handleRun(R, Deadline);
+    case ServiceRequest::Kind::BindRun:
+      NumBindRun.fetch_add(1, std::memory_order_relaxed);
+      return handleBindRun(R, Deadline);
     case ServiceRequest::Kind::Stats:
       NumStats.fetch_add(1, std::memory_order_relaxed);
       return handleStats(R);
@@ -91,34 +96,106 @@ bool AsdfService::submit(ServiceRequest R,
       });
 }
 
+std::shared_ptr<const CachedArtifact> AsdfService::coalesceCompile(
+    const CacheKey &Key, bool &WasHit, double &CompileSecs,
+    ServiceResponse &Failure,
+    const std::function<std::shared_ptr<const CachedArtifact>(
+        ServiceResponse &, double &)> &Compute) {
+  CompileSecs = 0.0;
+  if (std::shared_ptr<const CachedArtifact> Hit = Cache.get(Key)) {
+    WasHit = true;
+    return Hit;
+  }
+  WasHit = false;
+  std::string KeyHex = Key.hex();
+  std::shared_ptr<Flight> F;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> Lock(FlightsM);
+    auto It = Flights.find(KeyHex);
+    if (It != Flights.end()) {
+      F = It->second;
+    } else {
+      F = std::make_shared<Flight>();
+      Flights.emplace(KeyHex, F);
+      Leader = true;
+    }
+  }
+  if (!Leader) {
+    // Another request is compiling exactly this key right now: wait for
+    // its result instead of compiling the same thing again (the classic
+    // cache stampede — both requests miss, both compile, one insert wins).
+    NumCoalesced.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> Lock(F->M);
+    F->CV.wait(Lock, [&] { return F->Done; });
+    if (F->Art) {
+      WasHit = true; // Served without compiling, exactly like a hit.
+      return F->Art;
+    }
+    Failure = F->Failure;
+    return nullptr;
+  }
+  NumCompiled.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const CachedArtifact> Art;
+  auto Publish = [&] {
+    {
+      std::lock_guard<std::mutex> Lock(FlightsM);
+      Flights.erase(KeyHex);
+    }
+    {
+      std::lock_guard<std::mutex> Lock(F->M);
+      F->Art = Art;
+      F->Failure = Failure;
+      F->Done = true;
+    }
+    F->CV.notify_all();
+  };
+  try {
+    Art = Compute(Failure, CompileSecs);
+  } catch (...) {
+    // Never strand waiters: publish an internal failure, then rethrow.
+    Failure = ServiceResponse::failure(0, "internal",
+                                       "compilation terminated abnormally");
+    Publish();
+    throw;
+  }
+  if (Art)
+    Cache.put(Key, Art); // Insert before waking waiters: no re-miss window.
+  Publish();
+  return Art;
+}
+
 std::shared_ptr<const Circuit> AsdfService::flatCircuitFor(
     const ServiceRequest &R, const PipelinePlan &Plan, bool &WasHit,
     std::string &KeyHex, double &CompileSecs, ServiceResponse &Failure) {
   CacheKey Key = computeCacheKey(R, Plan, "flat-circuit");
   KeyHex = Key.hex();
-  if (std::shared_ptr<const CachedArtifact> Hit = Cache.get(Key)) {
-    WasHit = true;
-    return Hit->Flat;
-  }
-  WasHit = false;
-  Clock::time_point T0 = Clock::now();
-  SessionOptions Opts;
-  Opts.Entry = R.Entry;
-  Opts.Plan = Plan;
-  CompileSession Session(R.Source, R.Bindings, Opts);
-  Circuit *Flat = Session.flatCircuit();
-  CompileSecs = secondsSince(T0);
-  if (!Flat) {
-    Failure = ServiceResponse::failure(R.Id, "compile-error",
-                                       Session.errorMessage());
+  std::shared_ptr<const CachedArtifact> Art = coalesceCompile(
+      Key, WasHit, CompileSecs, Failure,
+      [&](ServiceResponse &Fail,
+          double &Secs) -> std::shared_ptr<const CachedArtifact> {
+        Clock::time_point T0 = Clock::now();
+        SessionOptions Opts;
+        Opts.Entry = R.Entry;
+        Opts.Plan = Plan;
+        CompileSession Session(R.Source, R.Bindings, Opts);
+        Circuit *Flat = Session.flatCircuit();
+        Secs = secondsSince(T0);
+        if (!Flat) {
+          Fail = ServiceResponse::failure(R.Id, "compile-error",
+                                          Session.errorMessage());
+          return nullptr;
+        }
+        auto Entry = std::make_shared<CachedArtifact>();
+        Entry->Kind = "flat-circuit";
+        Entry->Flat = std::make_shared<Circuit>(std::move(*Flat));
+        return Entry;
+      });
+  if (!Art) {
+    Failure.Id = R.Id; // A coalesced failure carries the leader's id.
     return nullptr;
   }
-  auto Shared = std::make_shared<Circuit>(std::move(*Flat));
-  auto Entry = std::make_shared<CachedArtifact>();
-  Entry->Kind = "flat-circuit";
-  Entry->Flat = Shared;
-  Cache.put(Key, std::move(Entry));
-  return Shared;
+  return Art->Flat;
 }
 
 ServiceResponse
@@ -143,63 +220,74 @@ AsdfService::handleCompile(const ServiceRequest &R,
   Resp.Id = R.Id;
   CacheKey Key = computeCacheKey(R, Plan, R.Emit);
   Resp.Key = Key.hex();
-  if (std::shared_ptr<const CachedArtifact> Hit = Cache.get(Key)) {
-    Resp.Ok = true;
-    Resp.CacheHit = true;
-    Resp.Artifact = Hit->Text;
-    return Resp;
+  ServiceResponse Failure;
+  std::shared_ptr<const CachedArtifact> Art = coalesceCompile(
+      Key, Resp.CacheHit, Resp.CompileSecs, Failure,
+      [&](ServiceResponse &Fail,
+          double &Secs) -> std::shared_ptr<const CachedArtifact> {
+        if (expired(Deadline)) {
+          NumTimeouts.fetch_add(1, std::memory_order_relaxed);
+          Fail = ServiceResponse::failure(
+              R.Id, "timeout", "request deadline passed before compile");
+          return nullptr;
+        }
+        Clock::time_point T0 = Clock::now();
+        SessionOptions Opts;
+        Opts.Entry = R.Entry;
+        Opts.Plan = Plan;
+        CompileSession Session(R.Source, R.Bindings, Opts);
+        std::string Text;
+        if (R.Emit == "qwerty-ir") {
+          Module *QW = Session.qwertyIR();
+          if (!QW) {
+            Fail = ServiceResponse::failure(R.Id, "compile-error",
+                                            Session.errorMessage());
+            return nullptr;
+          }
+          Text = QW->str();
+        } else if (R.Emit == "qir") {
+          Module *QC = Session.qcircIR();
+          if (!QC) {
+            Fail = ServiceResponse::failure(R.Id, "compile-error",
+                                            Session.errorMessage());
+            return nullptr;
+          }
+          Text = emitQirUnrestricted(*QC);
+        } else {
+          Circuit *Flat = Session.flatCircuit();
+          if (!Flat) {
+            Fail = ServiceResponse::failure(R.Id, "compile-error",
+                                            Session.errorMessage());
+            return nullptr;
+          }
+          if (R.Emit == "qasm") {
+            Text = emitOpenQasm3(*Flat);
+          } else if (R.Emit == "circuit") {
+            Text = Flat->str();
+          } else { // qir-base
+            std::optional<std::string> Qir = emitQirBaseProfile(*Flat);
+            if (!Qir) {
+              Fail = ServiceResponse::failure(
+                  R.Id, "unsupported",
+                  "circuit needs features outside the Base Profile "
+                  "(dynamic conditions or unbound parameters)");
+              return nullptr;
+            }
+            Text = std::move(*Qir);
+          }
+        }
+        Secs = secondsSince(T0);
+        auto Entry = std::make_shared<CachedArtifact>();
+        Entry->Kind = R.Emit;
+        Entry->Text = std::move(Text);
+        return Entry;
+      });
+  if (!Art) {
+    Failure.Id = R.Id; // A coalesced failure carries the leader's id.
+    return Failure;
   }
-  if (expired(Deadline)) {
-    NumTimeouts.fetch_add(1, std::memory_order_relaxed);
-    return ServiceResponse::failure(R.Id, "timeout",
-                                    "request deadline passed before compile");
-  }
-
-  Clock::time_point T0 = Clock::now();
-  SessionOptions Opts;
-  Opts.Entry = R.Entry;
-  Opts.Plan = Plan;
-  CompileSession Session(R.Source, R.Bindings, Opts);
-  std::string Text;
-  if (R.Emit == "qwerty-ir") {
-    Module *QW = Session.qwertyIR();
-    if (!QW)
-      return ServiceResponse::failure(R.Id, "compile-error",
-                                      Session.errorMessage());
-    Text = QW->str();
-  } else if (R.Emit == "qir") {
-    Module *QC = Session.qcircIR();
-    if (!QC)
-      return ServiceResponse::failure(R.Id, "compile-error",
-                                      Session.errorMessage());
-    Text = emitQirUnrestricted(*QC);
-  } else {
-    Circuit *Flat = Session.flatCircuit();
-    if (!Flat)
-      return ServiceResponse::failure(R.Id, "compile-error",
-                                      Session.errorMessage());
-    if (R.Emit == "qasm") {
-      Text = emitOpenQasm3(*Flat);
-    } else if (R.Emit == "circuit") {
-      Text = Flat->str();
-    } else { // qir-base
-      std::optional<std::string> Qir = emitQirBaseProfile(*Flat);
-      if (!Qir)
-        return ServiceResponse::failure(
-            R.Id, "unsupported",
-            "circuit needs features outside the Base Profile (dynamic "
-            "conditions)");
-      Text = std::move(*Qir);
-    }
-  }
-  Resp.CompileSecs = secondsSince(T0);
   Resp.Ok = true;
-  Resp.CacheHit = false;
-  Resp.Artifact = Text;
-  auto Entry = std::make_shared<CachedArtifact>();
-  Entry->Kind = R.Emit;
-  Entry->Text = std::move(Text);
-  Cache.put(Key, std::move(Entry));
+  Resp.Artifact = Art->Text;
   return Resp;
 }
 
@@ -238,6 +326,10 @@ ServiceResponse AsdfService::handleRun(const ServiceRequest &R,
   // options.
   RunOptions RunOpts;
   RunOpts.Jobs = R.Jobs;
+  // Cooperative cancellation: the engines re-check this between shots, so
+  // a long multi-shot run cannot overshoot its deadline by more than one
+  // shot (an in-flight kernel is never preempted).
+  RunOpts.Deadline = Deadline;
   CircuitProfile Profile = analyzeCircuit(*Flat);
   SimBackend &B =
       BackendRegistry::instance().select(*Flat, Kind, &Profile, nullptr);
@@ -252,12 +344,162 @@ ServiceResponse AsdfService::handleRun(const ServiceRequest &R,
             std::to_string(Flat->NumQubits) + " qubits, " +
             (Profile.CliffordOnly ? "Clifford" : "non-Clifford") + ")");
 
-  std::vector<ShotResult> Batch = B.runBatch(*Flat, R.Shots, R.Seed, RunOpts);
+  std::vector<ShotResult> Batch;
+  try {
+    Batch = B.runBatch(*Flat, R.Shots, R.Seed, RunOpts);
+  } catch (const DeadlineExceeded &) {
+    NumTimeouts.fetch_add(1, std::memory_order_relaxed);
+    return ServiceResponse::failure(R.Id, "timeout",
+                                    "run deadline exceeded between shots");
+  }
   NumShots.fetch_add(R.Shots, std::memory_order_relaxed);
   Resp.Results.reserve(Batch.size());
   for (const ShotResult &Shot : Batch) {
     Resp.Results.push_back(formatShotBits(*Flat, Shot));
     ++Resp.Counts[Resp.Results.back()];
+  }
+  Resp.Ok = true;
+  return Resp;
+}
+
+ServiceResponse AsdfService::handleBindRun(const ServiceRequest &R,
+                                           Clock::time_point Deadline) {
+  PipelinePlan Plan;
+  std::string Error;
+  if (!parsePipelinePlan(R.Pipeline, Plan, Error))
+    return ServiceResponse::failure(R.Id, "bad-request", Error);
+  if (!Plan.producesFlatCircuit())
+    return ServiceResponse::failure(
+        R.Id, "unsupported",
+        "bind-run requests need a fully inlining pipeline (the plan keeps "
+        "callables, which only the QIR path can emit)");
+  BackendKind Kind;
+  if (!parseBackendKind(R.Backend, Kind))
+    return ServiceResponse::failure(
+        R.Id, "bad-request",
+        "unknown backend '" + R.Backend + "' (expected auto, sv, or stab)");
+  if (R.Points.empty())
+    return ServiceResponse::failure(R.Id, "bad-request",
+                                    "bind-run needs at least one point");
+  for (size_t P = 0; P < R.Points.size(); ++P)
+    if (R.Points[P].size() != R.SweepParams.size())
+      return ServiceResponse::failure(
+          R.Id, "bad-request",
+          "point " + std::to_string(P) + " has " +
+              std::to_string(R.Points[P].size()) +
+              " value(s) but \"params\" names " +
+              std::to_string(R.SweepParams.size()));
+  {
+    std::set<std::string> Seen;
+    for (const std::string &Name : R.SweepParams)
+      if (!Seen.insert(Name).second)
+        return ServiceResponse::failure(
+            R.Id, "bad-request",
+            "duplicate sweep parameter '" + Name + "'");
+  }
+
+  // Canonicalize the source: lift literal rotation angles into fresh
+  // $__aK parameters so requests differing only in angle values share one
+  // compiled (and cached) parametric circuit — the compile-once,
+  // re-bind-forever path. The structure hash (the cache key) is computed
+  // over the lifted source, which by construction excludes angle values.
+  ServiceRequest Canon = R;
+  std::optional<ParameterizedSource> PS = parameterizeSource(R.Source);
+  if (PS)
+    Canon.Source = PS->Source;
+
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  ServiceResponse Failure;
+  std::shared_ptr<const Circuit> Flat = flatCircuitFor(
+      Canon, Plan, Resp.CacheHit, Resp.Key, Resp.CompileSecs, Failure);
+  if (!Flat)
+    return Failure;
+  if (expired(Deadline)) {
+    NumTimeouts.fetch_add(1, std::memory_order_relaxed);
+    return ServiceResponse::failure(R.Id, "timeout",
+                                    "request deadline passed before run");
+  }
+
+  // Resolve every circuit parameter: lifted angles bind to the values
+  // they were lifted from, everything else must come from the request's
+  // sweep values by name.
+  const std::vector<std::string> &Names = Flat->ParamNames;
+  std::map<std::string, double> Lifted;
+  if (PS)
+    for (size_t K = 0; K < PS->LiftedNames.size(); ++K)
+      Lifted[PS->LiftedNames[K]] = PS->LiftedValues[K];
+  for (const std::string &Name : R.SweepParams) {
+    if (Name.rfind("__a", 0) == 0)
+      return ServiceResponse::failure(
+          R.Id, "bad-request",
+          "sweep parameter '" + Name +
+              "' uses the internally lifted angle namespace (the __a "
+              "prefix is reserved)");
+    if (std::find(Names.begin(), Names.end(), Name) == Names.end())
+      return ServiceResponse::failure(
+          R.Id, "bad-request",
+          "unknown sweep parameter '" + Name +
+              "' (the program declares no such $-parameter)");
+  }
+  std::vector<int> SweepIdx(Names.size(), -1);
+  std::vector<double> FixedVal(Names.size(), 0.0);
+  for (size_t I = 0; I < Names.size(); ++I) {
+    auto SIt =
+        std::find(R.SweepParams.begin(), R.SweepParams.end(), Names[I]);
+    if (SIt != R.SweepParams.end()) {
+      SweepIdx[I] = static_cast<int>(SIt - R.SweepParams.begin());
+      continue;
+    }
+    auto LIt = Lifted.find(Names[I]);
+    if (LIt == Lifted.end())
+      return ServiceResponse::failure(
+          R.Id, "bad-request",
+          "parameter '$" + Names[I] +
+              "' is not covered by \"params\" and has no literal value to "
+              "lift");
+    FixedVal[I] = LIt->second;
+  }
+  std::vector<std::vector<double>> FullPoints(R.Points.size());
+  for (size_t P = 0; P < R.Points.size(); ++P) {
+    FullPoints[P].resize(Names.size());
+    for (size_t I = 0; I < Names.size(); ++I)
+      FullPoints[P][I] =
+          SweepIdx[I] >= 0 ? R.Points[P][SweepIdx[I]] : FixedVal[I];
+  }
+
+  RunOptions RunOpts;
+  RunOpts.Jobs = R.Jobs;
+  RunOpts.Deadline = Deadline; // Checked between shots and between points.
+  CircuitProfile Profile = analyzeCircuit(*Flat);
+  SimBackend &B =
+      BackendRegistry::instance().select(*Flat, Kind, &Profile, nullptr);
+  bool Supported = B.supports(*Flat, Profile);
+  if (std::strcmp(B.name(), "sv") == 0)
+    Supported = Flat->NumQubits <= StatevectorBackend::maxQubits(RunOpts);
+  if (!Supported)
+    return ServiceResponse::failure(
+        R.Id, "unsupported",
+        std::string("backend '") + B.name() +
+            "' cannot simulate this circuit (" +
+            std::to_string(Flat->NumQubits) + " qubits, " +
+            (Profile.CliffordOnly ? "Clifford" : "non-Clifford") + ")");
+
+  std::vector<std::vector<ShotResult>> Sweep;
+  try {
+    Sweep = B.runSweep(*Flat, FullPoints, R.Shots, R.Seed, RunOpts);
+  } catch (const DeadlineExceeded &) {
+    NumTimeouts.fetch_add(1, std::memory_order_relaxed);
+    return ServiceResponse::failure(R.Id, "timeout",
+                                    "run deadline exceeded during sweep");
+  }
+  NumShots.fetch_add(static_cast<uint64_t>(R.Shots) * FullPoints.size(),
+                     std::memory_order_relaxed);
+  Resp.PointResults.resize(Sweep.size());
+  for (size_t P = 0; P < Sweep.size(); ++P) {
+    Resp.PointResults[P].reserve(Sweep[P].size());
+    for (const ShotResult &Shot : Sweep[P])
+      Resp.PointResults[P].push_back(formatShotBits(*Flat, Shot));
   }
   Resp.Ok = true;
   return Resp;
@@ -303,10 +545,13 @@ json::Value AsdfService::statsJson() const {
   json::Value Req = json::Value::object();
   Req.set("compile", json::Value::integer(NumCompile.load()));
   Req.set("run", json::Value::integer(NumRun.load()));
+  Req.set("bind_run", json::Value::integer(NumBindRun.load()));
   Req.set("stats", json::Value::integer(NumStats.load()));
   Req.set("errors", json::Value::integer(NumErrors.load()));
   Req.set("timeouts", json::Value::integer(NumTimeouts.load()));
   Req.set("shots", json::Value::integer(NumShots.load()));
+  Req.set("compiled", json::Value::integer(NumCompiled.load()));
+  Req.set("coalesced", json::Value::integer(NumCoalesced.load()));
   O.set("requests", std::move(Req));
 
   JobQueue::Counters QC = Queue.counters();

@@ -33,8 +33,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 
 namespace asdf {
 
@@ -90,11 +93,39 @@ private:
       std::chrono::steady_clock::time_point Deadline);
   ServiceResponse handleRun(const ServiceRequest &R,
                             std::chrono::steady_clock::time_point Deadline);
+  ServiceResponse
+  handleBindRun(const ServiceRequest &R,
+                std::chrono::steady_clock::time_point Deadline);
   ServiceResponse handleStats(const ServiceRequest &R);
   ServiceResponse handleShutdown(const ServiceRequest &R);
 
+  /// One in-flight compilation other requests with the same key wait on
+  /// instead of compiling the same thing concurrently (single-flight).
+  struct Flight {
+    std::mutex M;
+    std::condition_variable CV;
+    bool Done = false;
+    std::shared_ptr<const CachedArtifact> Art; ///< Null when the compile
+                                               ///< failed.
+    ServiceResponse Failure;                   ///< Valid when Art is null.
+  };
+
+  /// Cache lookup with single-flight miss coalescing: on a miss, exactly
+  /// one caller per key runs \p Compute (which compiles, fills
+  /// \p CompileSecs, and on failure fills \p Failure and returns null);
+  /// concurrent callers with the same key block until it finishes and
+  /// share its artifact (reported as a hit — they did not compile) or its
+  /// failure (the caller must overwrite Failure's response id with its
+  /// own). The artifact is inserted into the cache before waiters wake.
+  std::shared_ptr<const CachedArtifact> coalesceCompile(
+      const CacheKey &Key, bool &WasHit, double &CompileSecs,
+      ServiceResponse &Failure,
+      const std::function<std::shared_ptr<const CachedArtifact>(
+          ServiceResponse &, double &)> &Compute);
+
   /// Returns the compiled flat circuit for \p R, from cache or by
-  /// compiling now; null with \p Failure filled on compile errors.
+  /// compiling now (single-flight); null with \p Failure filled on
+  /// compile errors.
   std::shared_ptr<const Circuit>
   flatCircuitFor(const ServiceRequest &R, const PipelinePlan &Plan,
                  bool &WasHit, std::string &KeyHex, double &CompileSecs,
@@ -110,9 +141,17 @@ private:
   std::atomic<bool> ShuttingDown{false};
   std::chrono::steady_clock::time_point Start;
 
+  std::mutex FlightsM;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> Flights;
+
   // Request counters (stats op). Relaxed: they are monotonic telemetry.
-  std::atomic<uint64_t> NumCompile{0}, NumRun{0}, NumStats{0},
-      NumErrors{0}, NumTimeouts{0}, NumShots{0};
+  // NumCompiled counts compilations actually executed; NumCoalesced counts
+  // requests that waited on another request's identical compile — the
+  // stampede test pins {Compiled: 1, Coalesced: N-1} for N concurrent
+  // identical cold requests.
+  std::atomic<uint64_t> NumCompile{0}, NumRun{0}, NumBindRun{0},
+      NumStats{0}, NumErrors{0}, NumTimeouts{0}, NumShots{0},
+      NumCompiled{0}, NumCoalesced{0};
 };
 
 } // namespace asdf

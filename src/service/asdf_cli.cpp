@@ -25,12 +25,15 @@
 #include "service/Client.h"
 #include "support/BuildInfo.h"
 
+#include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace asdf;
 
@@ -44,6 +47,11 @@ void usage(FILE *Out) {
       "  compile <file.qw>   compile remotely and print the artifact\n"
       "  run <file.qw>       simulate remotely; prints one output bit\n"
       "                      string per shot, identical to asdfc\n"
+      "  bind-run <file.qw>  parameter sweep: the daemon compiles the\n"
+      "                      program once (literal rotation angles are\n"
+      "                      lifted, so programs differing only in angles\n"
+      "                      share a cached circuit), re-binds per point,\n"
+      "                      and runs each point's shots\n"
       "  stats               print daemon statistics (JSON)\n"
       "  shutdown            ask the daemon to drain and exit\n"
       "global options:\n"
@@ -66,7 +74,13 @@ void usage(FILE *Out) {
       "                      bit-identical to asdfc for the same seed\n"
       "  --backend auto|sv|stab\n"
       "  --jobs <n>          daemon-side worker threads for this run\n"
-      "                      (default 1; results identical for any value)\n");
+      "                      (default 1; results identical for any value)\n"
+      "bind-run options:\n"
+      "  --params <a,b,...>  names of the $-parameters the sweep varies,\n"
+      "                      defining the value order within each point\n"
+      "  --sweep <spec>      sweep points: semicolon-separated, each a\n"
+      "                      comma-separated value list in --params order\n"
+      "                      (e.g. --params theta --sweep \"0;45;90\")\n");
 }
 
 [[noreturn]] void usageError(const std::string &Message) {
@@ -84,6 +98,37 @@ bool splitEq(const std::string &Arg, std::string &Key, std::string &Value) {
   return true;
 }
 
+/// Splits \p Spec on \p Sep, keeping empty pieces (so a malformed spec
+/// fails loudly downstream instead of silently shrinking).
+std::vector<std::string> splitOn(const std::string &Spec, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Pos = 0;
+  while (true) {
+    size_t Next = Spec.find(Sep, Pos);
+    Parts.push_back(Spec.substr(
+        Pos, Next == std::string::npos ? std::string::npos : Next - Pos));
+    if (Next == std::string::npos)
+      return Parts;
+    Pos = Next + 1;
+  }
+}
+
+/// Locale-independent whole-string double parse (strtod honors LC_NUMERIC).
+bool parseDoubleArg(const std::string &S, double &Out) {
+  // Tolerate surrounding whitespace: sweep specs read naturally as
+  // "0; 45.5; 90". from_chars itself is locale-independent and exact.
+  const char *B = S.c_str();
+  const char *E = B + S.size();
+  while (B != E && std::isspace(static_cast<unsigned char>(*B)))
+    ++B;
+  while (E != B && std::isspace(static_cast<unsigned char>(E[-1])))
+    --E;
+  if (B == E)
+    return false;
+  std::from_chars_result R = std::from_chars(B, E, Out);
+  return R.ec == std::errc() && R.ptr == E;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -99,6 +144,8 @@ int main(int argc, char **argv) {
   std::string File;
   double Timeout = 0.0;
   bool EmitSet = false;
+  std::string ParamsArg, SweepArg;
+  bool ParamsSet = false, SweepSet = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -159,6 +206,12 @@ int main(int argc, char **argv) {
       Req.Backend = Next();
     } else if (Arg == "--jobs") {
       Req.Jobs = static_cast<unsigned>(std::atoi(Next()));
+    } else if (Arg == "--params") {
+      ParamsArg = Next();
+      ParamsSet = true;
+    } else if (Arg == "--sweep") {
+      SweepArg = Next();
+      SweepSet = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       usageError("unknown option '" + Arg + "'");
     } else if (Command.empty()) {
@@ -171,24 +224,57 @@ int main(int argc, char **argv) {
   }
 
   if (Command.empty())
-    usageError("expected a command (compile, run, stats, or shutdown)");
+    usageError("expected a command (compile, run, bind-run, stats, or "
+               "shutdown)");
   if (Command == "compile") {
     Req.TheKind = ServiceRequest::Kind::Compile;
   } else if (Command == "run") {
     Req.TheKind = ServiceRequest::Kind::Run;
     if (EmitSet)
       usageError("--emit applies only to the compile command");
+  } else if (Command == "bind-run") {
+    Req.TheKind = ServiceRequest::Kind::BindRun;
+    if (EmitSet)
+      usageError("--emit applies only to the compile command");
+    if (!SweepSet)
+      usageError("bind-run needs --sweep (the points to run)");
+    if (ParamsSet && !ParamsArg.empty())
+      for (const std::string &Name : splitOn(ParamsArg, ',')) {
+        if (Name.empty())
+          usageError("--params has an empty name");
+        Req.SweepParams.push_back(Name);
+      }
+    for (const std::string &PointSpec : splitOn(SweepArg, ';')) {
+      std::vector<double> Point;
+      if (!PointSpec.empty())
+        for (const std::string &Val : splitOn(PointSpec, ',')) {
+          double D;
+          if (!parseDoubleArg(Val, D))
+            usageError("--sweep value '" + Val + "' is not a number");
+          Point.push_back(D);
+        }
+      if (Point.size() != Req.SweepParams.size())
+        usageError("--sweep point " + std::to_string(Req.Points.size()) +
+                   " has " + std::to_string(Point.size()) +
+                   " value(s) but --params names " +
+                   std::to_string(Req.SweepParams.size()));
+      Req.Points.push_back(std::move(Point));
+    }
   } else if (Command == "stats") {
     Req.TheKind = ServiceRequest::Kind::Stats;
   } else if (Command == "shutdown") {
     Req.TheKind = ServiceRequest::Kind::Shutdown;
   } else {
     usageError("unknown command '" + Command +
-               "' (expected compile, run, stats, or shutdown)");
+               "' (expected compile, run, bind-run, stats, or shutdown)");
   }
+  if ((ParamsSet || SweepSet) &&
+      Req.TheKind != ServiceRequest::Kind::BindRun)
+    usageError("--params/--sweep apply only to the bind-run command");
 
   if (Req.TheKind == ServiceRequest::Kind::Compile ||
-      Req.TheKind == ServiceRequest::Kind::Run) {
+      Req.TheKind == ServiceRequest::Kind::Run ||
+      Req.TheKind == ServiceRequest::Kind::BindRun) {
     if (File.empty())
       usageError(Command + " expects a .qw file argument");
     std::ifstream In(File);
@@ -237,6 +323,25 @@ int main(int argc, char **argv) {
     for (const std::string &Bits : Resp.Results)
       std::printf("%s\n", Bits.c_str());
     break;
+  case ServiceRequest::Kind::BindRun: {
+    std::fprintf(stderr, "asdf-cli: cache %s (key %s, compile %.1f ms)\n",
+                 Resp.CacheHit ? "hit" : "miss", Resp.Key.c_str(),
+                 Resp.CompileSecs * 1e3);
+    for (size_t P = 0; P < Resp.PointResults.size(); ++P) {
+      std::string Header = "# point " + std::to_string(P);
+      for (size_t K = 0; K < Req.SweepParams.size(); ++K) {
+        char Buf[64];
+        std::to_chars_result R =
+            std::to_chars(Buf, Buf + sizeof(Buf), Req.Points[P][K]);
+        Header += (K ? ", " : ": ") + Req.SweepParams[K] + "=" +
+                  std::string(Buf, R.ptr);
+      }
+      std::printf("%s\n", Header.c_str());
+      for (const std::string &Bits : Resp.PointResults[P])
+        std::printf("%s\n", Bits.c_str());
+    }
+    break;
+  }
   case ServiceRequest::Kind::Stats:
     std::printf("%s\n", Resp.StatsBody.write().c_str());
     break;

@@ -36,6 +36,17 @@ uint64_t asdf::deriveShotSeed(uint64_t Seed, uint64_t Shot) {
   return Z ^ (Z >> 31);
 }
 
+uint64_t asdf::deriveSweepPointSeed(uint64_t Seed, uint64_t Point) {
+  // Same finalizer under a distinct salt, so the shot streams of sweep
+  // point P never collide with the plain shot streams of the same base
+  // seed (deriveShotSeed(Seed, S) vs deriveShotSeed(thisResult, S)).
+  uint64_t Z =
+      (Seed ^ 0xC2B2AE3D27D4EB4Full) + 0x9E3779B97F4A7C15ull * (Point + 1);
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
 bool asdf::parseBackendKind(const std::string &Name, BackendKind &Kind) {
   if (Name == "auto") {
     Kind = BackendKind::Auto;
@@ -184,10 +195,29 @@ std::vector<ShotResult> SimBackend::runBatch(const Circuit &C, unsigned Shots,
       Opts.Noise && !Opts.Noise->empty() ? Opts.Noise : nullptr;
   std::vector<ShotResult> Results(Shots);
   parallelShotLoop(resolveJobCount(Opts.Jobs, Shots), Shots, [&](unsigned S) {
+    if (Opts.deadlineExpired())
+      throw DeadlineExceeded();
     Results[S] = Noise ? runNoisy(C, deriveShotSeed(Seed, S), *Noise,
                                   Opts.NoiseCounters)
                        : run(C, deriveShotSeed(Seed, S));
   });
+  return Results;
+}
+
+std::vector<std::vector<ShotResult>>
+SimBackend::runSweep(const Circuit &C,
+                     const std::vector<std::vector<double>> &Points,
+                     unsigned Shots, uint64_t Seed,
+                     const RunOptions &Opts) const {
+  // The reference semantics: bind, then run, per point. Overrides must
+  // reproduce this bit-for-bit.
+  std::vector<std::vector<ShotResult>> Results(Points.size());
+  for (size_t P = 0; P < Points.size(); ++P) {
+    if (Opts.deadlineExpired())
+      throw DeadlineExceeded();
+    Circuit Bound = bindCircuit(C, Points[P]);
+    Results[P] = runBatch(Bound, Shots, deriveSweepPointSeed(Seed, P), Opts);
+  }
   return Results;
 }
 

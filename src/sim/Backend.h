@@ -30,10 +30,12 @@
 #include "qcirc/Circuit.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -58,6 +60,23 @@ bool parseBackendKind(const std::string &Name, BackendKind &Kind);
 /// splitmix64 finalizer: statistically independent streams per shot, yet
 /// fully determined by (Seed, Shot).
 uint64_t deriveShotSeed(uint64_t Seed, uint64_t Shot);
+
+/// Derives the base seed for point \p Point of a parameter sweep with base
+/// seed \p Seed: the sweep-level analogue of deriveShotSeed, salted so
+/// point P's shot streams never collide with the plain runs of \p Seed.
+/// Shot S of point P then uses deriveShotSeed(deriveSweepPointSeed(Seed,
+/// P), S) — which is also the contract a recompile-per-point reference
+/// must follow to reproduce runSweep bit-for-bit.
+uint64_t deriveSweepPointSeed(uint64_t Seed, uint64_t Point);
+
+/// Thrown by runBatch/runSweep when RunOptions::Deadline passes mid-run.
+/// The cooperative cancellation point sits between shots (and between
+/// sweep points), never inside a kernel, so a throw leaves no partially
+/// applied gate behind — the run's results are simply abandoned.
+class DeadlineExceeded : public std::runtime_error {
+public:
+  DeadlineExceeded() : std::runtime_error("run deadline exceeded") {}
+};
 
 /// Where the dense engine spends its worker threads.
 enum class ParallelMode {
@@ -131,6 +150,19 @@ struct RunOptions {
   /// Optional cross-thread diagnostics counters for the noisy run (asdfc
   /// --trajectories). Non-owning.
   NoiseStats *NoiseCounters = nullptr;
+  /// Cooperative deadline: a default-constructed (epoch) time_point means
+  /// none. The shot runners check it between shot chunks and runSweep
+  /// between points; past the deadline the run throws DeadlineExceeded
+  /// instead of finishing. Checks sit outside the kernels, so a run in a
+  /// long amplitude sweep finishes that sweep first — the deadline bounds
+  /// wasted work, not kernel latency.
+  std::chrono::steady_clock::time_point Deadline{};
+
+  /// True if a deadline is set and has passed.
+  bool deadlineExpired() const {
+    return Deadline.time_since_epoch().count() != 0 &&
+           std::chrono::steady_clock::now() >= Deadline;
+  }
 };
 
 /// Resolves RunOptions::Jobs against the machine alone: 0 becomes
@@ -223,6 +255,21 @@ public:
                                    uint64_t Seed) const {
     return runBatch(C, Shots, Seed, RunOptions());
   }
+
+  /// Executes the parametric circuit \p C once per parameter point:
+  /// Results[P] holds the \p Shots outcomes of \p C bound to \p Points[P]
+  /// (one value per C.ParamNames entry, bindCircuit order), run with base
+  /// seed deriveSweepPointSeed(\p Seed, P). The contract is bit-identity:
+  /// Results[P] == runBatch(bindCircuit(C, Points[P]), Shots,
+  /// deriveSweepPointSeed(Seed, P), Opts) for every point, on every
+  /// backend and execution plan. The default implementation is exactly
+  /// that loop; backends override it to reuse work across points (the
+  /// dense engine fuses the circuit structure once and re-materializes
+  /// only angle-dependent matrices per point). A non-parametric \p C is
+  /// allowed — each point must then be an empty value list.
+  virtual std::vector<std::vector<ShotResult>>
+  runSweep(const Circuit &C, const std::vector<std::vector<double>> &Points,
+           unsigned Shots, uint64_t Seed, const RunOptions &Opts) const;
 
   /// Aggregates runBatch into outcome frequencies keyed by the classical
   /// bit string (bit 0 first).

@@ -25,6 +25,9 @@ bool asdf::quarterTurns(double Theta, unsigned &QuarterTurns, double Tol) {
 bool asdf::isCliffordInstr(const CircuitInstr &I) {
   if (I.TheKind != CircuitInstr::Kind::Gate)
     return true; // Measure and reset are native tableau operations.
+  if (I.isSymbolic())
+    return false; // A symbolic angle has no fixed value to classify; the
+                  // tableau engine must never claim a parametric circuit.
   size_t NumControls = I.Controls.size();
   unsigned Quarters;
   switch (I.Gate) {

@@ -234,7 +234,8 @@ bool asdf::isFusionBarrier(const CircuitInstr &I) {
 }
 
 FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
-                               unsigned MaxBlockQubits) {
+                               unsigned MaxBlockQubits,
+                               FusionRecipe *Recipe) {
   FusedCircuit FC;
   FC.Source = &C;
   const unsigned N = C.NumQubits;
@@ -243,6 +244,10 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
       : MaxBlockQubits > MaxFuseQubits ? MaxFuseQubits
                                        : MaxBlockQubits;
   auto QubitBit = [&](unsigned Q) { return uint64_t(1) << (N - 1 - Q); };
+  if (Recipe) {
+    *Recipe = FusionRecipe();
+    Recipe->NumInstrs = C.Instrs.size();
+  }
 
   /// An open accumulation of adjacent gates over one (disjoint) support.
   struct OpenBlock {
@@ -250,15 +255,46 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
     std::vector<Cplx> U;          ///< 2^m x 2^m, MSB-first local basis.
     unsigned Count = 0;           ///< Gates absorbed.
     size_t OnlyInstr = 0;         ///< Source index, meaningful at Count 1.
+    int Node = -1;                ///< Recipe node, when recording.
   };
   std::vector<OpenBlock> Open;
   bool PrefixOpen = true;
+
+  // Recording hooks: a new recipe node per block construction, an event
+  // per plan emission. All no-ops when Recipe is null.
+  auto recordNode = [&](size_t Idx, const std::vector<unsigned> &Qubits,
+                        std::vector<int> Children, bool Direct,
+                        const std::vector<Cplx> &U) -> int {
+    if (!Recipe)
+      return -1;
+    FusionRecipe::Node Nd;
+    Nd.InstrIndex = Idx;
+    Nd.Qubits = Qubits;
+    Nd.Direct = Direct;
+    Nd.Symbolic = C.Instrs[Idx].isSymbolic();
+    for (int Ch : Children)
+      if (Recipe->Nodes[Ch].Symbolic)
+        Nd.Symbolic = true;
+    Nd.Children = std::move(Children);
+    Nd.CachedU = U;
+    Recipe->Nodes.push_back(std::move(Nd));
+    return static_cast<int>(Recipe->Nodes.size() - 1);
+  };
+  auto recordEvent = [&](FusionRecipe::Event E) {
+    if (Recipe)
+      Recipe->Events.push_back(E);
+  };
+  auto recordPrefix = [&] {
+    if (Recipe)
+      Recipe->PrefixEvents = Recipe->Events.size();
+  };
 
   auto emitInstr = [&](size_t Idx) {
     FusedOp Op;
     Op.TheKind = FusedOp::Kind::Instr;
     Op.InstrIndex = Idx;
     FC.Ops.push_back(std::move(Op));
+    recordEvent({FusionRecipe::Event::Kind::Instr, Idx, -1, 0, 0});
   };
 
   // Diagonal ops commute, so an entry landing directly after another
@@ -284,6 +320,10 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
       emitInstr(B.OnlyInstr);
       return;
     }
+    // The Diag-vs-Unitary choice below depends on angle values, so the
+    // recipe records only the flush itself; rebind re-decides from the
+    // rebuilt matrix, exactly as this code does.
+    recordEvent({FusionRecipe::Event::Kind::Run, 0, B.Node, 0, 0});
     FC.GatesFused += B.Count;
     if (B.Qubits.size() == 1) {
       // A run that never grew past one wire keeps the cheap 2x2 kernels.
@@ -342,6 +382,7 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
       flushAll();
       if (PrefixOpen) {
         FC.UnconditionalPrefixOps = FC.Ops.size();
+        recordPrefix();
         PrefixOpen = false;
       }
       if (I.TheKind == CircuitInstr::Kind::Gate)
@@ -360,6 +401,7 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
       flushAll();
       if (PrefixOpen) {
         FC.UnconditionalPrefixOps = FC.Ops.size();
+        recordPrefix();
         PrefixOpen = false;
       }
       emitInstr(Idx);
@@ -427,6 +469,8 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
       for (unsigned Ctl : I.Controls)
         CtlMask |= QubitBit(Ctl);
       ++FC.GatesFused;
+      recordEvent({FusionRecipe::Event::Kind::DiagGate, Idx, -1, CtlMask,
+                   QubitBit(I.Targets[0])});
       emitDiagEntry({CtlMask, QubitBit(I.Targets[0]), P0, P1});
       continue;
     }
@@ -443,6 +487,8 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
           for (unsigned Ctl : I.Controls)
             CtlMask |= QubitBit(Ctl);
           ++FC.GatesFused;
+          recordEvent({FusionRecipe::Event::Kind::DiagGate, Idx, -1, CtlMask,
+                       QubitBit(I.Targets[0])});
           emitDiagEntry({CtlMask, QubitBit(I.Targets[0]), P0, P1});
         } else {
           emitInstr(Idx);
@@ -454,6 +500,7 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
       B.U = gateBlockMatrix(I, S);
       B.Count = 1;
       B.OnlyInstr = Idx;
+      B.Node = recordNode(Idx, S, {}, /*Direct=*/true, B.U);
       Open.push_back(std::move(B));
       continue;
     }
@@ -467,6 +514,7 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
     for (unsigned D = 0; D < Dim; ++D)
       Merged.U[size_t(D) * Dim + D] = Cplx(1.0, 0.0);
     std::vector<OpenBlock> Kept;
+    std::vector<int> FoldedNodes;
     Kept.reserve(Open.size());
     for (OpenBlock &B : Open) {
       bool Touches = false;
@@ -482,16 +530,140 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
       Merged.U = blockMatmul(embedBlockMatrix(B.U, B.Qubits, Union),
                              Merged.U, Dim);
       Merged.Count += B.Count;
+      FoldedNodes.push_back(B.Node);
     }
     Merged.U = blockMatmul(gateBlockMatrix(I, Union), Merged.U, Dim);
     if (++Merged.Count == 1)
       Merged.OnlyInstr = Idx;
+    Merged.Node = recordNode(Idx, Union, std::move(FoldedNodes),
+                             /*Direct=*/false, Merged.U);
     Open = std::move(Kept);
     Open.push_back(std::move(Merged));
   }
 
   flushAll();
-  if (PrefixOpen)
+  if (PrefixOpen) {
+    FC.UnconditionalPrefixOps = FC.Ops.size();
+    recordPrefix();
+  }
+  if (Recipe) {
+    Recipe->GatesIn = FC.GatesIn;
+    Recipe->GatesFused = FC.GatesFused;
+    Recipe->BlocksFormed = FC.BlocksFormed;
+    Recipe->WidestBlock = FC.WidestBlock;
+    Recipe->Valid = true;
+  }
+  return FC;
+}
+
+FusedCircuit asdf::rebindFusedCircuit(const FusionRecipe &R,
+                                      const Circuit &Bound) {
+  assert(R.Valid && "recipe was never recorded");
+  assert(R.NumInstrs == Bound.Instrs.size() &&
+         "recipe recorded from a different circuit");
+  FusedCircuit FC;
+  FC.Source = &Bound;
+  FC.GatesIn = R.GatesIn;
+  FC.GatesFused = R.GatesFused;
+  FC.BlocksFormed = R.BlocksFormed;
+  FC.WidestBlock = R.WidestBlock;
+  const unsigned N = Bound.NumQubits;
+  auto QubitBit = [&](unsigned Q) { return uint64_t(1) << (N - 1 - Q); };
+
+  // Re-materialize the block matrices bottom-up (children always precede
+  // parents in the node list). Non-symbolic subtrees keep the recorded
+  // matrix: their gates' angles are the same on every bind, so the
+  // recording run already computed the exact value. Symbolic subtrees
+  // replay the identical construction fuseCircuit used — identity seed,
+  // children in fold order, gate on top — so every entry rounds exactly
+  // as a fresh fuse of the bound circuit would.
+  std::vector<std::vector<Cplx>> Computed(R.Nodes.size());
+  std::vector<const std::vector<Cplx> *> NodeU(R.Nodes.size());
+  for (size_t Ni = 0; Ni < R.Nodes.size(); ++Ni) {
+    const FusionRecipe::Node &Nd = R.Nodes[Ni];
+    if (!Nd.Symbolic) {
+      NodeU[Ni] = &Nd.CachedU;
+      continue;
+    }
+    const CircuitInstr &Gate = Bound.Instrs[Nd.InstrIndex];
+    if (Nd.Direct) {
+      Computed[Ni] = gateBlockMatrix(Gate, Nd.Qubits);
+    } else {
+      const unsigned Dim = 1u << Nd.Qubits.size();
+      std::vector<Cplx> U(size_t(Dim) * Dim, Cplx(0.0, 0.0));
+      for (unsigned D = 0; D < Dim; ++D)
+        U[size_t(D) * Dim + D] = Cplx(1.0, 0.0);
+      for (int Ch : Nd.Children)
+        U = blockMatmul(
+            embedBlockMatrix(*NodeU[Ch], R.Nodes[Ch].Qubits, Nd.Qubits), U,
+            Dim);
+      U = blockMatmul(gateBlockMatrix(Gate, Nd.Qubits), U, Dim);
+      Computed[Ni] = std::move(U);
+    }
+    NodeU[Ni] = &Computed[Ni];
+  }
+
+  // Replay the emission log with the same coalescing rules fuseCircuit
+  // applies, re-deciding the angle-dependent Diag-vs-Unitary flushes from
+  // the rebuilt matrices.
+  auto emitDiagEntry = [&](DiagEntry E) {
+    if (!FC.Ops.empty() && FC.Ops.back().TheKind == FusedOp::Kind::Diag) {
+      FC.Ops.back().Diag.push_back(E);
+      ++FC.SweepsCoalesced;
+      return;
+    }
+    FusedOp Op;
+    Op.TheKind = FusedOp::Kind::Diag;
+    Op.Diag.push_back(E);
+    FC.Ops.push_back(std::move(Op));
+  };
+  for (size_t Ei = 0; Ei < R.Events.size(); ++Ei) {
+    if (Ei == R.PrefixEvents)
+      FC.UnconditionalPrefixOps = FC.Ops.size();
+    const FusionRecipe::Event &E = R.Events[Ei];
+    switch (E.TheKind) {
+    case FusionRecipe::Event::Kind::Instr: {
+      FusedOp Op;
+      Op.TheKind = FusedOp::Kind::Instr;
+      Op.InstrIndex = E.InstrIndex;
+      FC.Ops.push_back(std::move(Op));
+      break;
+    }
+    case FusionRecipe::Event::Kind::DiagGate: {
+      const CircuitInstr &I = Bound.Instrs[E.InstrIndex];
+      Cplx P0, P1;
+      bool IsDiag = diagonalPhases(I.Gate, I.Param, P0, P1);
+      assert(IsDiag && "recorded diagonal gate is not diagonal");
+      (void)IsDiag;
+      emitDiagEntry({E.CtlMask, E.TargetBit, P0, P1});
+      break;
+    }
+    case FusionRecipe::Event::Kind::Run: {
+      const FusionRecipe::Node &Nd = R.Nodes[E.Node];
+      const std::vector<Cplx> &U = *NodeU[E.Node];
+      if (Nd.Qubits.size() == 1) {
+        Mat2 U2{{{U[0], U[1]}, {U[2], U[3]}}};
+        if (U2.isDiagonal()) {
+          emitDiagEntry({0, QubitBit(Nd.Qubits[0]), U2.M[0][0], U2.M[1][1]});
+          break;
+        }
+        FusedOp Op;
+        Op.TheKind = FusedOp::Kind::Unitary;
+        Op.Target = Nd.Qubits[0];
+        Op.U = U2;
+        FC.Ops.push_back(std::move(Op));
+        break;
+      }
+      FusedOp Op;
+      Op.TheKind = FusedOp::Kind::Block;
+      Op.Qubits = Nd.Qubits;
+      Op.BlockU = U;
+      FC.Ops.push_back(std::move(Op));
+      break;
+    }
+    }
+  }
+  if (R.PrefixEvents == R.Events.size())
     FC.UnconditionalPrefixOps = FC.Ops.size();
   return FC;
 }

@@ -142,6 +142,63 @@ struct FusedCircuit {
 /// subsystem's insertion planning uses it too.
 bool isFusionBarrier(const CircuitInstr &I);
 
+/// The structural record of one fuseCircuit run, the compile-once half of
+/// parametric execution. Every grouping decision fuseCircuit makes — which
+/// gates merge into which blocks, in which order, where flushes and
+/// barriers land — depends only on instruction kinds and supports, never
+/// on angle values. A recipe captures those decisions as matrix-product
+/// trees (`Nodes`) plus an ordered emission log (`Events`), so
+/// `rebindFusedCircuit` can rebuild the plan for a re-bound circuit by
+/// recomputing only the angle-dependent matrices — through the very same
+/// gateBlockMatrix/embedBlockMatrix/blockMatmul call sequence, so the
+/// rebuilt plan is bit-identical to running fuseCircuit afresh on the
+/// bound circuit. Subtrees that touch no symbolic parameter keep their
+/// recorded matrix and are never recomputed.
+struct FusionRecipe {
+  /// How one open block's matrix was built: a gate folded on top of zero
+  /// or more previously open blocks (the children, in fold order).
+  struct Node {
+    size_t InstrIndex = 0;        ///< The gate folded on top.
+    std::vector<unsigned> Qubits; ///< Support, sorted; Qubits[0] = MSB.
+    std::vector<int> Children;    ///< Prior nodes folded first, in order.
+    /// True for the budget-overflow path that seeds a block directly from
+    /// gateBlockMatrix; false for the identity-seeded merge fold. The two
+    /// construction paths round -0.0 differently, so replay must match.
+    bool Direct = false;
+    bool Symbolic = false;        ///< Subtree reads a symbolic parameter.
+    /// Matrix from the recording run; exact for every non-symbolic
+    /// subtree (concrete angles never change across binds).
+    std::vector<std::complex<double>> CachedU;
+  };
+
+  /// One plan-emission decision, replayed in order on rebind.
+  struct Event {
+    enum class Kind {
+      Instr,    ///< Pass-through of source instruction InstrIndex.
+      DiagGate, ///< Controlled/wide diagonal gate -> one sweep entry.
+      Run,      ///< Flushed block: Diag or Unitary or Block, decided by
+                ///< the rebuilt matrix exactly as flushBlock decides.
+    };
+    Kind TheKind = Kind::Instr;
+    size_t InstrIndex = 0;         ///< Instr/DiagGate source instruction.
+    int Node = -1;                 ///< Run: recipe node to materialize.
+    uint64_t CtlMask = 0;          ///< DiagGate entry placement.
+    uint64_t TargetBit = 0;        ///< DiagGate entry placement.
+  };
+
+  std::vector<Node> Nodes;
+  std::vector<Event> Events;
+  size_t PrefixEvents = 0; ///< Events before the prefix-closing barrier.
+  size_t NumInstrs = 0;    ///< Source instruction count (validation).
+  bool Valid = false;      ///< Set once a fuseCircuit run populated this.
+
+  // Structural plan statistics, copied into every rebuilt plan.
+  size_t GatesIn = 0;
+  size_t GatesFused = 0;
+  size_t BlocksFormed = 0;
+  size_t WidestBlock = 0;
+};
+
 /// Builds the fused execution plan for \p C. Never fails; a circuit with
 /// nothing to fuse comes back as pure pass-through ops. A non-null
 /// \p Noise adds channel barriers: a gate with noise attached passes
@@ -150,9 +207,25 @@ bool isFusionBarrier(const CircuitInstr &I);
 /// prefix, since it consumes per-shot randomness. \p MaxBlockQubits is the
 /// block-fusion budget k (clamped to [1, MaxFuseQubits]): the widest
 /// combined support a Block op may accumulate; 1 disables multi-qubit
-/// blocks, reproducing per-wire 2x2 run fusion.
+/// blocks, reproducing per-wire 2x2 run fusion. A non-null \p Recipe
+/// additionally records the structural decisions of this run so
+/// rebindFusedCircuit can re-materialize the plan for a re-bound circuit;
+/// when \p C is parametric, the returned plan itself is a template —
+/// matrices derived from symbolic angles are placeholders — and must not
+/// be executed, only rebound.
 FusedCircuit fuseCircuit(const Circuit &C, const NoiseModel *Noise = nullptr,
-                         unsigned MaxBlockQubits = 3);
+                         unsigned MaxBlockQubits = 3,
+                         FusionRecipe *Recipe = nullptr);
+
+/// Rebuilds the fused plan recorded in \p R for \p Bound — the same
+/// circuit structure the recipe was recorded from, with parameters bound
+/// to concrete values (bindCircuit). Only matrices whose product tree
+/// touches a symbolic parameter are recomputed, through the same
+/// floating-point operation sequence fuseCircuit uses, so the result is
+/// bit-identical to fuseCircuit(Bound) with the recording run's noise
+/// model and block budget. The returned plan points into \p Bound, which
+/// must outlive it.
+FusedCircuit rebindFusedCircuit(const FusionRecipe &R, const Circuit &Bound);
 
 /// The full 2^m x 2^m unitary of gate instruction \p I over the qubit set
 /// \p Support, which must be sorted ascending and contain every control

@@ -369,6 +369,7 @@ ShotResult runTableau(const Circuit &C, uint64_t Seed,
 } // namespace
 
 ShotResult StabilizerBackend::run(const Circuit &C, uint64_t Seed) const {
+  assert(!C.isParametric() && "bind parameters before running");
   return runTableau(C, Seed, nullptr, nullptr, nullptr);
 }
 

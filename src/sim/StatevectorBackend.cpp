@@ -850,6 +850,7 @@ bool StatevectorBackend::supports(const Circuit &C,
 }
 
 ShotResult StatevectorBackend::run(const Circuit &C, uint64_t Seed) const {
+  assert(!C.isParametric() && "bind parameters before running");
   StateVector SV(C.NumQubits);
   std::mt19937_64 Rng = shotRng(Seed);
   ShotResult R;
@@ -865,6 +866,7 @@ bool StatevectorBackend::supportsNoise(const NoiseModel &) const {
 ShotResult StatevectorBackend::runNoisy(const Circuit &C, uint64_t Seed,
                                         const NoiseModel &Noise,
                                         NoiseStats *Stats) const {
+  assert(!C.isParametric() && "bind parameters before running");
   NoisePlan Plan = planNoise(Noise, C);
   TrajectoryContext Ctx{&Plan, &Noise, Stats};
   StateVector SV(C.NumQubits);
@@ -875,39 +877,23 @@ ShotResult StatevectorBackend::runNoisy(const Circuit &C, uint64_t Seed,
   return R;
 }
 
-std::vector<ShotResult>
-StatevectorBackend::runBatch(const Circuit &C, unsigned Shots, uint64_t Seed,
-                             const RunOptions &Opts) const {
+namespace {
+
+/// The batch core behind runBatch and runSweep: executes \p Shots shots
+/// of \p C under the prebuilt execution plan — fused ops \p FC (null for
+/// the unfused instruction stream) with unconditional-prefix boundary
+/// \p Prefix — honoring the RunOptions worker budget and deadline.
+/// Factoring the plan out of the shot loop is what lets runSweep build
+/// one plan per sweep point (re-materialized from a recorded recipe)
+/// without re-fusing from scratch, while keeping every scheduling
+/// decision, RNG stream, and kernel sequence identical to runBatch.
+std::vector<ShotResult> runPlannedBatch(const Circuit &C,
+                                        const FusedCircuit *FC, size_t Prefix,
+                                        unsigned Shots, uint64_t Seed,
+                                        const RunOptions &Opts,
+                                        const TrajectoryContext *Traj) {
   if (Shots == 0)
     return {};
-
-  // Resolve the noise plan once per batch; per-shot trajectory execution
-  // then never touches a map.
-  const NoiseModel *Noise =
-      Opts.Noise && !Opts.Noise->empty() ? Opts.Noise : nullptr;
-  NoisePlan Plan;
-  TrajectoryContext Ctx;
-  const TrajectoryContext *Traj = nullptr;
-  if (Noise) {
-    Plan = planNoise(*Noise, C);
-    Ctx = {&Plan, Noise, Opts.NoiseCounters};
-    Traj = &Ctx;
-  }
-
-  // Build the execution plan: fused ops or the raw instruction stream,
-  // each with its unconditional-prefix boundary. Noisy gates consume
-  // per-shot randomness, so the shared prefix ends at the first of them
-  // (fuseCircuit's channel barriers do the same at op granularity).
-  FusedCircuit FC;
-  size_t Prefix;
-  if (Opts.Fuse) {
-    FC = fuseCircuit(C, Noise, Opts.FuseMaxQubits);
-    Prefix = FC.UnconditionalPrefixOps;
-  } else {
-    Prefix = analyzeCircuit(C).UnconditionalGatePrefix;
-    if (Noise && Plan.FirstNoisyInstr < Prefix)
-      Prefix = Plan.FirstNoisyInstr;
-  }
 
   // Decide where the worker budget goes (ParallelMode). The budget is
   // resolved against the machine alone — amplitude-level parallelism can
@@ -948,8 +934,8 @@ StatevectorBackend::runBatch(const Circuit &C, unsigned Shots, uint64_t Seed,
     ShotResult Scratch;
     Scratch.Bits.assign(C.NumBits, false);
     std::mt19937_64 Unused = shotRng(0);
-    if (Opts.Fuse)
-      executeFused(FC, 0, Prefix, Shared, Scratch, Unused);
+    if (FC)
+      executeFused(*FC, 0, Prefix, Shared, Scratch, Unused);
     else
       for (size_t N = 0; N < Prefix; ++N)
         executeInstr(C.Instrs[N], N, Shared, Scratch, Unused, nullptr);
@@ -957,15 +943,20 @@ StatevectorBackend::runBatch(const Circuit &C, unsigned Shots, uint64_t Seed,
 
   // Runs the post-prefix remainder of shot S on \p SV. Shot S always uses
   // deriveShotSeed(Seed, S) and lands at Results[S], so the outcome is
-  // independent of worker count and matches the serial path.
+  // independent of worker count and matches the serial path. The shot
+  // boundary is also the cooperative deadline check: an expired deadline
+  // abandons the batch here (and propagates out of the worker pool)
+  // rather than mid-kernel.
   auto runRest = [&](StateVector &SV, unsigned S) {
+    if (Opts.deadlineExpired())
+      throw DeadlineExceeded();
     SV.setParallelJobs(RestAmpJobs);
     SV.setStats(Opts.SimCounters);
     std::mt19937_64 Rng = shotRng(deriveShotSeed(Seed, S));
     ShotResult R;
     R.Bits.assign(C.NumBits, false);
-    if (Opts.Fuse)
-      executeFused(FC, Prefix, FC.Ops.size(), SV, R, Rng, Traj);
+    if (FC)
+      executeFused(*FC, Prefix, FC->Ops.size(), SV, R, Rng, Traj);
     else
       execute(C, Prefix, SV, R, Rng, Traj);
     return R;
@@ -1009,5 +1000,105 @@ StatevectorBackend::runBatch(const Circuit &C, unsigned Shots, uint64_t Seed,
     WorkerState[W] = Shared;
     Results[S] = runRest(WorkerState[W], S);
   });
+  return Results;
+}
+
+} // namespace
+
+std::vector<ShotResult>
+StatevectorBackend::runBatch(const Circuit &C, unsigned Shots, uint64_t Seed,
+                             const RunOptions &Opts) const {
+  assert(!C.isParametric() && "bind parameters before running");
+  if (Shots == 0)
+    return {};
+
+  // Resolve the noise plan once per batch; per-shot trajectory execution
+  // then never touches a map.
+  const NoiseModel *Noise =
+      Opts.Noise && !Opts.Noise->empty() ? Opts.Noise : nullptr;
+  NoisePlan Plan;
+  TrajectoryContext Ctx;
+  const TrajectoryContext *Traj = nullptr;
+  if (Noise) {
+    Plan = planNoise(*Noise, C);
+    Ctx = {&Plan, Noise, Opts.NoiseCounters};
+    Traj = &Ctx;
+  }
+
+  // Build the execution plan: fused ops or the raw instruction stream,
+  // each with its unconditional-prefix boundary. Noisy gates consume
+  // per-shot randomness, so the shared prefix ends at the first of them
+  // (fuseCircuit's channel barriers do the same at op granularity).
+  FusedCircuit FC;
+  size_t Prefix;
+  if (Opts.Fuse) {
+    FC = fuseCircuit(C, Noise, Opts.FuseMaxQubits);
+    Prefix = FC.UnconditionalPrefixOps;
+  } else {
+    Prefix = analyzeCircuit(C).UnconditionalGatePrefix;
+    if (Noise && Plan.FirstNoisyInstr < Prefix)
+      Prefix = Plan.FirstNoisyInstr;
+  }
+
+  return runPlannedBatch(C, Opts.Fuse ? &FC : nullptr, Prefix, Shots, Seed,
+                         Opts, Traj);
+}
+
+std::vector<std::vector<ShotResult>>
+StatevectorBackend::runSweep(const Circuit &C,
+                             const std::vector<std::vector<double>> &Points,
+                             unsigned Shots, uint64_t Seed,
+                             const RunOptions &Opts) const {
+  // Without fusion there is no plan to amortize: take the reference
+  // bind-and-run loop.
+  if (!Opts.Fuse)
+    return SimBackend::runSweep(C, Points, Shots, Seed, Opts);
+
+  const NoiseModel *Noise =
+      Opts.Noise && !Opts.Noise->empty() ? Opts.Noise : nullptr;
+
+  // Fuse the circuit structure once, recording the recipe. The template
+  // plan itself is discarded — its symbolic-derived matrices are
+  // placeholders — but every structural decision and every concrete-only
+  // matrix is now fixed for the whole sweep.
+  FusionRecipe Recipe;
+  fuseCircuit(C, Noise, Opts.FuseMaxQubits, &Recipe);
+
+  // One deep copy of the circuit serves the whole sweep: per point, only
+  // the symbolic instructions' concrete Param slots are rewritten —
+  // through CircuitInstr::boundParam, the same expression bindCircuit
+  // evaluates, so every angle rounds identically to a fresh bind.
+  Circuit Bound = C;
+  Bound.ParamNames.clear();
+  std::vector<size_t> SymbolicAt;
+  for (size_t I = 0; I < C.Instrs.size(); ++I)
+    if (C.Instrs[I].TheKind == CircuitInstr::Kind::Gate &&
+        C.Instrs[I].isSymbolic())
+      SymbolicAt.push_back(I);
+  for (size_t I : SymbolicAt) {
+    Bound.Instrs[I].ParamIdx = -1;
+    Bound.Instrs[I].ParamScale = 1.0;
+    Bound.Instrs[I].ParamOfs = 0.0;
+  }
+
+  std::vector<std::vector<ShotResult>> Results(Points.size());
+  for (size_t P = 0; P < Points.size(); ++P) {
+    if (Opts.deadlineExpired())
+      throw DeadlineExceeded();
+    for (size_t I : SymbolicAt)
+      Bound.Instrs[I].Param = C.Instrs[I].boundParam(Points[P]);
+    FusedCircuit FC = rebindFusedCircuit(Recipe, Bound);
+    NoisePlan Plan;
+    TrajectoryContext Ctx;
+    const TrajectoryContext *Traj = nullptr;
+    if (Noise) {
+      Plan = planNoise(*Noise, Bound);
+      Ctx = {&Plan, Noise, Opts.NoiseCounters};
+      Traj = &Ctx;
+    }
+    Results[P] = runPlannedBatch(Bound, &FC, FC.UnconditionalPrefixOps,
+                                 Shots, deriveSweepPointSeed(Seed, P), Opts,
+                                 Traj);
+  }
   return Results;
 }

@@ -168,6 +168,16 @@ public:
                                    uint64_t Seed,
                                    const RunOptions &Opts) const override;
   using SimBackend::runBatch;
+  /// The parametric fast path: fuses the circuit structure once
+  /// (recording a FusionRecipe), then per point binds the parameters and
+  /// re-materializes only the angle-dependent matrices before running the
+  /// batch core — bit-identical to recompiling the plan per point, for
+  /// every {jobs, fuse-k, parallel-mode} combination. Falls back to the
+  /// reference bind-and-run loop when fusion is disabled.
+  std::vector<std::vector<ShotResult>>
+  runSweep(const Circuit &C, const std::vector<std::vector<double>> &Points,
+           unsigned Shots, uint64_t Seed,
+           const RunOptions &Opts) const override;
   /// The dense engine executes any Kraus model.
   bool supportsNoise(const NoiseModel &Noise) const override;
 

@@ -7,6 +7,7 @@
 #include "support/Json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 
@@ -32,9 +33,13 @@ Value Value::boolean(bool B) {
 Value Value::number(double D) {
   Value V;
   V.TheKind = Kind::Number;
+  // Locale-independent shortest round-trip formatting. The snprintf
+  // "%.17g" this replaces obeyed LC_NUMERIC, so a comma-decimal locale
+  // (e.g. de_DE) wrote "3,5" — corrupting every angle and timing field on
+  // the wire. to_chars always writes '.' and parses back bit-exactly.
   char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
-  V.NumText = Buf;
+  std::to_chars_result R = std::to_chars(Buf, Buf + sizeof(Buf), D);
+  V.NumText.assign(Buf, R.ptr);
   return V;
 }
 
@@ -78,7 +83,15 @@ bool Value::asBool(bool Default) const {
 double Value::asDouble(double Default) const {
   if (TheKind != Kind::Number)
     return Default;
-  return std::strtod(NumText.c_str(), nullptr);
+  // Locale-independent: strtod under a comma-decimal locale stops at the
+  // '.' of "3.5" and returns 3.0, silently truncating every fractional
+  // number read off the wire.
+  double D = 0.0;
+  const char *B = NumText.c_str();
+  std::from_chars_result R = std::from_chars(B, B + NumText.size(), D);
+  if (R.ec != std::errc())
+    return Default;
+  return D;
 }
 
 uint64_t Value::asU64(uint64_t Default) const {

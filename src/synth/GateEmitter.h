@@ -47,7 +47,8 @@ public:
 
   /// Emits gate G with positive controls \p Controls on \p Targets.
   void gate(GateKind G, const std::vector<unsigned> &Controls,
-            const std::vector<unsigned> &Targets, double Param = 0.0) {
+            const std::vector<unsigned> &Targets,
+            GateParam Param = GateParam()) {
     std::vector<Value *> CV, TV;
     for (unsigned C : Controls)
       CV.push_back(wire(C));
@@ -62,7 +63,8 @@ public:
 
   /// Emits gate G honoring control polarities (X-conjugating negatives).
   void gateCtl(GateKind G, const std::vector<ControlSpec> &Controls,
-               const std::vector<unsigned> &Targets, double Param = 0.0) {
+               const std::vector<unsigned> &Targets,
+               GateParam Param = GateParam()) {
     for (const ControlSpec &C : Controls)
       if (C.Negative)
         gate(GateKind::X, {}, {C.Wire});

@@ -110,10 +110,10 @@ static bool buildAdjointOp(Builder &B, Op *O, ValueMap &Map) {
         Targets.push_back(V);
     }
     GateKind Adj = adjointGateKind(O->GateAttr);
-    double Param = O->FloatAttr;
+    GateParam Param = O->ParamAttr;
     if (O->GateAttr == GateKind::P || O->GateAttr == GateKind::RX ||
         O->GateAttr == GateKind::RY || O->GateAttr == GateKind::RZ)
-      Param = -Param;
+      Param = Param.negated();
     std::vector<Value *> Results = B.gate(Adj, Controls, Targets, Param);
     for (unsigned I = 0; I < O->numOperands(); ++I)
       Map[O->operand(I)] = Results[I];
@@ -369,7 +369,7 @@ bool buildPredicatedOp(Builder &B, Op *O, ValueMap &Map, PredState &PS) {
         Targets.push_back(V);
     }
     std::vector<Value *> Results =
-        B.gate(O->GateAttr, Controls, Targets, O->FloatAttr);
+        B.gate(O->GateAttr, Controls, Targets, O->ParamAttr);
     unsigned M = PS.PredQs.size();
     for (unsigned I = 0; I < M; ++I)
       PS.PredQs[I] = Results[I];

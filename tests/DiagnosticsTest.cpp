@@ -33,7 +33,8 @@ const BadCase ParseCases[] = {
     {"unterminated_literal", "qpu k() -> bit { return 'p | std.measure }\n",
      "unterminated"},
     {"missing_paren", "qpu k( { }\n", "expected"},
-    {"bad_char", "qpu k() -> bit { return $ }\n", "unexpected character"},
+    {"bad_char", "qpu k() -> bit { return ` }\n", "unexpected character"},
+    {"bare_dollar", "qpu k() -> bit { return $ }\n", "parameter name"},
     {"lone_gt", "qpu k() -> bit { return a > b }\n", "expected '>>'"},
     {"missing_body", "qpu k() -> bit\n", "'{'"},
     {"bad_attribute", "qpu k(q: qubit) -> qubit { return q | std.frobnicate "

@@ -197,6 +197,89 @@ TEST(DifferentialTest, RandomCircuitsBitExactAcrossConfigs) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Parameter sweeps: runSweep vs recompile-per-point, every execution plan
+//===----------------------------------------------------------------------===//
+
+/// Lifts every rotation-family gate of \p C into a symbolic angle over up
+/// to three parameters with varied scales and offsets (degree-space linear
+/// forms), returning how many gates were lifted.
+unsigned parameterize(Circuit &C, std::mt19937_64 &Rng) {
+  C.ParamNames = {"a", "b", "c"};
+  std::uniform_real_distribution<double> PickScale(-2.0, 2.0);
+  std::uniform_real_distribution<double> PickOfs(-90.0, 90.0);
+  unsigned Lifted = 0;
+  for (CircuitInstr &I : C.Instrs) {
+    if (I.TheKind != CircuitInstr::Kind::Gate)
+      continue;
+    if (I.Gate != GateKind::RX && I.Gate != GateKind::RY &&
+        I.Gate != GateKind::RZ && I.Gate != GateKind::P)
+      continue;
+    I.ParamIdx = static_cast<int>(Lifted % 3);
+    I.ParamScale = PickScale(Rng);
+    I.ParamOfs = PickOfs(Rng);
+    I.Param = 0.0;
+    ++Lifted;
+  }
+  return Lifted;
+}
+
+TEST(DifferentialTest, SweepsBitExactToRecompilePerPoint) {
+  // The runSweep contract: Results[P] == runBatch(bindCircuit(C,
+  // Points[P]), Shots, deriveSweepPointSeed(Seed, P), Opts) bit-for-bit,
+  // under every execution plan. The fast path memoizes the fused
+  // *structure* and re-materializes only angle-dependent matrices per
+  // point; these trials are what keeps that a pure optimization.
+  std::mt19937_64 Rng(0x5EE9ull);
+  StatevectorBackend Sv;
+  const unsigned Shots = 6;
+  std::uniform_real_distribution<double> PickVal(-360.0, 360.0);
+  for (unsigned Trial = 0; Trial < 25; ++Trial) {
+    unsigned NumQubits = 2 + Trial % 5;
+    Circuit C = randomCircuit(Rng, NumQubits, 14 + Trial % 18,
+                              /*CliffordOnly=*/false);
+    if (!parameterize(C, Rng))
+      continue; // This trial rolled no rotations; nothing symbolic.
+    std::vector<std::vector<double>> Points;
+    for (unsigned P = 0; P < 4; ++P)
+      Points.push_back({PickVal(Rng), PickVal(Rng), PickVal(Rng)});
+    uint64_t Seed = 0xABC0 + Trial;
+
+    struct Config {
+      bool Fuse;
+      unsigned FuseK;
+      unsigned Jobs;
+      ParallelMode Mode;
+      const char *Name;
+    };
+    const Config Configs[] = {
+        {false, 3, 1, ParallelMode::Shot, "sweep/unfused/j1"},
+        {false, 3, 4, ParallelMode::Shot, "sweep/unfused/shot/j4"},
+        {true, 1, 4, ParallelMode::Shot, "sweep/fuse1/shot/j4"},
+        {true, 2, 4, ParallelMode::Amplitude, "sweep/fuse2/amp/j4"},
+        {true, 3, 1, ParallelMode::Shot, "sweep/fuse3/shot/j1"},
+        {true, 3, 4, ParallelMode::Amplitude, "sweep/fuse3/amp/j4"},
+        {true, 3, 4, ParallelMode::Auto, "sweep/fuse3/auto/j4"},
+    };
+    for (const Config &Cfg : Configs) {
+      RunOptions Opts;
+      Opts.Jobs = Cfg.Jobs;
+      Opts.Fuse = Cfg.Fuse;
+      Opts.FuseMaxQubits = Cfg.FuseK;
+      Opts.Parallel = Cfg.Mode;
+      std::vector<std::vector<ShotResult>> Sweep =
+          Sv.runSweep(C, Points, Shots, Seed, Opts);
+      ASSERT_EQ(Sweep.size(), Points.size()) << Cfg.Name;
+      for (size_t P = 0; P < Points.size(); ++P) {
+        std::vector<ShotResult> Want =
+            Sv.runBatch(bindCircuit(C, Points[P]), Shots,
+                        deriveSweepPointSeed(Seed, P), Opts);
+        expectBatchesBitExact(Want, Sweep[P], Cfg.Name, Trial);
+      }
+    }
+  }
+}
+
 TEST(DifferentialTest, BlockFusedMatricesEqualGateProducts) {
   // The block-fusion property: a FusedOp::Block's matrix equals the
   // product of its constituent gates' full matrices over the block

@@ -107,7 +107,7 @@ TEST(AdjointTest, ReversesGateSequenceWithAdjointKinds) {
   for (auto &O : Adj->Ops)
     if (O->Kind == OpKind::Gate) {
       Kinds.push_back(O->GateAttr);
-      Params.push_back(O->FloatAttr);
+      Params.push_back(O->ParamAttr.Offset);
     }
   // Reverse order with adjoint kinds: P(-0.5), Sdg, H.
   ASSERT_EQ(Kinds.size(), 3u);

@@ -458,6 +458,176 @@ classical f[N](secret: bit[N], x: bit[N]) -> bit {
   EXPECT_EQ(Net->numAndNodes(), 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// Parametric compilation: $params through the pipeline, bind diagnostics,
+// and literal-angle lifting (parameterizeSource)
+//===----------------------------------------------------------------------===//
+
+const char *RotParamSource = R"(
+qpu kernel() -> bit {
+    return 'p' | std.rotate($theta) | std.measure
+}
+)";
+
+const char *RotLiteralSource = R"(
+qpu kernel() -> bit {
+    return 'p' | std.rotate(45.5) | std.measure
+}
+)";
+
+TEST(ParametricTest, ParamSurvivesToTheFlatCircuit) {
+  CompileSession S(RotParamSource, ProgramBindings{});
+  const std::vector<std::string> *Names = S.paramNames();
+  ASSERT_NE(Names, nullptr) << S.errorMessage();
+  ASSERT_EQ(Names->size(), 1u);
+  EXPECT_EQ((*Names)[0], "theta");
+  Circuit *C = S.flatCircuit();
+  ASSERT_TRUE(C);
+  EXPECT_TRUE(C->isParametric());
+  unsigned Symbolic = 0;
+  for (const CircuitInstr &I : C->Instrs)
+    Symbolic += I.isSymbolic();
+  EXPECT_EQ(Symbolic, 1u) << "the $theta rotation must stay symbolic";
+}
+
+TEST(ParametricTest, BoundParamsMatchLiteralCompileBitForBit) {
+  CompileSession Sym(RotParamSource, ProgramBindings{});
+  std::string Err;
+  std::optional<Circuit> Bound =
+      Sym.bindParams(std::map<std::string, double>{{"theta", 45.5}}, &Err);
+  ASSERT_TRUE(Bound) << Err;
+  EXPECT_FALSE(Bound->isParametric());
+
+  CompileSession Lit(RotLiteralSource, ProgramBindings{});
+  Circuit *Want = Lit.flatCircuit();
+  ASSERT_TRUE(Want) << Lit.errorMessage();
+
+  // Structural identity: same instructions, and the bound angle is the
+  // exact double the literal compile produced (both run degrees through
+  // the one degreesToRadians).
+  ASSERT_EQ(Bound->Instrs.size(), Want->Instrs.size());
+  for (size_t I = 0; I < Want->Instrs.size(); ++I)
+    EXPECT_EQ(Bound->Instrs[I].Param, Want->Instrs[I].Param) << "instr " << I;
+
+  // And the executed bits agree shot-for-shot.
+  for (uint64_t Seed = 0; Seed < 16; ++Seed)
+    EXPECT_EQ(simulate(*Bound, Seed).Bits, simulate(*Want, Seed).Bits)
+        << "seed " << Seed;
+
+  // Positional binding produces the identical circuit.
+  std::optional<Circuit> Positional =
+      Sym.bindParams(std::vector<double>{45.5}, &Err);
+  ASSERT_TRUE(Positional) << Err;
+  for (size_t I = 0; I < Bound->Instrs.size(); ++I)
+    EXPECT_EQ(Positional->Instrs[I].Param, Bound->Instrs[I].Param);
+}
+
+TEST(ParametricTest, BindDiagnostics) {
+  CompileSession S(RotParamSource, ProgramBindings{});
+  std::string Err;
+
+  // Arity mismatch names the counts and the declared parameters.
+  EXPECT_FALSE(S.bindParams(std::vector<double>{1.0, 2.0}, &Err));
+  EXPECT_NE(Err.find("cannot bind 2 value(s) to 1 parameter(s)"),
+            std::string::npos)
+      << Err;
+  EXPECT_NE(Err.find("$theta"), std::string::npos) << Err;
+
+  // Unknown name lists what the program declares.
+  EXPECT_FALSE(
+      S.bindParams(std::map<std::string, double>{{"phi", 1.0}}, &Err));
+  EXPECT_NE(Err.find("unknown parameter '$phi'"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("$theta"), std::string::npos) << Err;
+
+  // Missing value for a declared parameter.
+  EXPECT_FALSE(S.bindParams(std::map<std::string, double>{}, &Err));
+  EXPECT_NE(Err.find("missing value for parameter '$theta'"),
+            std::string::npos)
+      << Err;
+
+  // A failed bind does not poison the session.
+  EXPECT_TRUE(S.bindParams(std::vector<double>{45.5}, &Err)) << Err;
+
+  // Binding a program with no parameters: only the empty bind works.
+  CompileSession Lit(RotLiteralSource, ProgramBindings{});
+  EXPECT_FALSE(
+      Lit.bindParams(std::map<std::string, double>{{"theta", 1.0}}, &Err));
+  EXPECT_NE(Err.find("declares no parameters"), std::string::npos) << Err;
+  EXPECT_TRUE(Lit.bindParams(std::vector<double>{}, &Err)) << Err;
+}
+
+TEST(ParametricTest, ParameterizeSourceLiftsLiterals) {
+  std::optional<ParameterizedSource> PS =
+      parameterizeSource(RotLiteralSource);
+  ASSERT_TRUE(PS);
+  ASSERT_EQ(PS->LiftedNames.size(), 1u);
+  EXPECT_EQ(PS->LiftedNames[0], "__a0");
+  ASSERT_EQ(PS->LiftedValues.size(), 1u);
+  EXPECT_EQ(PS->LiftedValues[0], 45.5);
+  EXPECT_NE(PS->Source.find(".rotate($__a0)"), std::string::npos)
+      << PS->Source;
+
+  // The lifted program compiles, and binding the lifted values back
+  // reproduces the literal compile exactly.
+  CompileSession Lifted(PS->Source, ProgramBindings{});
+  std::string Err;
+  std::optional<Circuit> Bound = Lifted.bindParams(PS->LiftedValues, &Err);
+  ASSERT_TRUE(Bound) << Err;
+  CompileSession Lit(RotLiteralSource, ProgramBindings{});
+  Circuit *Want = Lit.flatCircuit();
+  ASSERT_TRUE(Want) << Lit.errorMessage();
+  ASSERT_EQ(Bound->Instrs.size(), Want->Instrs.size());
+  for (size_t I = 0; I < Want->Instrs.size(); ++I)
+    EXPECT_EQ(Bound->Instrs[I].Param, Want->Instrs[I].Param) << "instr " << I;
+}
+
+TEST(ParametricTest, ParameterizeSourceHandlesSignsAndIntegers) {
+  // Negative and integer angles fold the sign into the lifted value.
+  std::optional<ParameterizedSource> PS = parameterizeSource(R"(
+qpu kernel() -> bit {
+    return 'p' | std.rotate(-30.5) | pm.rotate(90) | std.measure
+}
+)");
+  ASSERT_TRUE(PS);
+  ASSERT_EQ(PS->LiftedValues.size(), 2u);
+  EXPECT_EQ(PS->LiftedValues[0], -30.5);
+  EXPECT_EQ(PS->LiftedValues[1], 90.0);
+  EXPECT_NE(PS->Source.find(".rotate($__a0)"), std::string::npos);
+  EXPECT_NE(PS->Source.find(".rotate($__a1)"), std::string::npos);
+  EXPECT_EQ(PS->Source.find(".rotate(-"), std::string::npos)
+      << "the minus sign must be spliced out with the literal";
+
+  // Two sources differing only in their angles canonicalize identically —
+  // the property the service's structure hash is built on.
+  std::optional<ParameterizedSource> Other = parameterizeSource(R"(
+qpu kernel() -> bit {
+    return 'p' | std.rotate(11.25) | pm.rotate(-7) | std.measure
+}
+)");
+  ASSERT_TRUE(Other);
+  EXPECT_EQ(PS->Source, Other->Source);
+}
+
+TEST(ParametricTest, ParameterizeSourceEdgeCases) {
+  // No literal rotations: returned unchanged with empty lift lists.
+  std::optional<ParameterizedSource> PS =
+      parameterizeSource(RotParamSource);
+  ASSERT_TRUE(PS);
+  EXPECT_EQ(PS->Source, RotParamSource);
+  EXPECT_TRUE(PS->LiftedNames.empty());
+  EXPECT_TRUE(PS->LiftedValues.empty());
+
+  // The __a prefix is reserved for lifted names: refuse to canonicalize.
+  EXPECT_FALSE(parameterizeSource(R"(
+qpu kernel() -> bit {
+    return 'p' | std.rotate($__a0) | std.measure
+}
+)"));
+
+  // Unlexable input refuses rather than guessing.
+  EXPECT_FALSE(parameterizeSource("qpu kernel() -> bit { ` }"));
+}
+
 TEST(LogicNetworkTest, AndTreeFlattensToOneNode) {
   ProgramBindings B;
   B.DimVars["N"] = 5;

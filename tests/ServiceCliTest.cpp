@@ -54,6 +54,10 @@ const char *BVSource =
     "    return 'p'[N] | f.sign | pm[N] >> std[N] | std[N].measure\n"
     "}\n";
 
+const char *RotSource = "qpu kernel() -> bit {\n"
+                        "    return 'p' | std.rotate($theta) | std.measure\n"
+                        "}\n";
+
 /// Runs a shell command, captures combined stdout+stderr, returns the exit
 /// code.
 int runCommand(const std::string &Cmd, std::string &Output) {
@@ -227,6 +231,38 @@ TEST(ServiceCliExitCodes, UsageErrorsExitTwo) {
   EXPECT_NE(Out.find("--emit"), std::string::npos);
 }
 
+TEST(ServiceCliExitCodes, SweepUsageErrors) {
+  std::string Rot = writeTemp("service_cli_rot_usage.qw", RotSource);
+  std::string Out;
+  // --sweep is a run-mode flag.
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDFC_PATH) + " " + Rot +
+                           " --emit qasm --sweep '0; 45'",
+                       Out),
+            2);
+  EXPECT_NE(Out.find("--sweep requires --emit run"), std::string::npos)
+      << Out;
+  // --param and --sweep are mutually exclusive.
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDFC_PATH) + " " + Rot +
+                           " --emit run --param theta=1 --sweep '0'",
+                       Out),
+            2);
+  // Running a parametric program without binding fails with the names.
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDFC_PATH) + " " + Rot +
+                           " --emit run --shots 2",
+                       Out),
+            1);
+  EXPECT_NE(Out.find("$theta"), std::string::npos) << Out;
+  // asdf-cli: --sweep/--params belong to bind-run, which requires --sweep.
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDF_CLI_PATH) + " run " + Rot +
+                           " --params theta",
+                       Out),
+            2);
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDF_CLI_PATH) + " bind-run " + Rot,
+                       Out),
+            2);
+  EXPECT_NE(Out.find("--sweep"), std::string::npos) << Out;
+}
+
 TEST(ServiceCliExitCodes, RuntimeFailuresExitOne) {
   std::string Out;
   // No daemon at the socket.
@@ -330,6 +366,36 @@ TEST_F(ServiceEndToEnd, CompileMatchesAsdfcAndHitsTheCache) {
   EXPECT_NE(Err.find("\"hits\":"), std::string::npos);
   EXPECT_EQ(Err.find("\"hits\":0,"), std::string::npos)
       << "expected a nonzero cache hit count: " << Err;
+}
+
+TEST_F(ServiceEndToEnd, BindRunSweepIsBitIdenticalToAsdfcSweep) {
+  // The daemon's bind-params fast path vs asdfc's in-process sweep: same
+  // source, sweep spec, shots, and seed must produce byte-identical
+  // stdout (point headers included).
+  std::string Rot = writeTemp("service_cli_rot.qw", RotSource);
+  const std::string Sweep = " --sweep '0; 45.5; 90' --shots 20 --seed 77";
+  std::string Direct, Served;
+  ASSERT_EQ(runCommand("( " + std::string(ASDF_ASDFC_PATH) + " " + Rot +
+                           " --emit run" + Sweep + " 2>/dev/null )",
+                       Direct),
+            0);
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "bind-run " + Rot +
+                           " --params theta" + Sweep + " 2>/dev/null )",
+                       Served),
+            0);
+  EXPECT_EQ(Served, Direct);
+  EXPECT_NE(Direct.find("# point 1: theta=45.5"), std::string::npos)
+      << Direct;
+  // 3 point headers + 3 x 20 shot lines.
+  EXPECT_EQ(std::count(Direct.begin(), Direct.end(), '\n'), 63);
+
+  // A repeat is served from the cached parametric circuit.
+  std::string Err;
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "bind-run " + Rot +
+                           " --params theta" + Sweep + " >/dev/null )",
+                       Err),
+            0);
+  EXPECT_NE(Err.find("cache hit"), std::string::npos) << Err;
 }
 
 TEST_F(ServiceEndToEnd, DaemonErrorsExitOneWithTheKind) {

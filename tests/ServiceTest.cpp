@@ -87,6 +87,33 @@ ServiceRequest coinRunRequest(uint64_t Id = 1, unsigned Shots = 16,
   return R;
 }
 
+const char *RotParamSource = R"(
+qpu kernel() -> bit {
+    return 'p' | std.rotate($theta) | std.measure
+}
+)";
+
+/// A literal-angle rotation program; bind-run canonicalizes the literal
+/// away, so two of these differing only in the angle share a cache key.
+std::string rotLiteralSource(const std::string &Angle) {
+  return "qpu kernel() -> bit {\n    return 'p' | std.rotate(" + Angle +
+         ") | std.measure\n}\n";
+}
+
+ServiceRequest bindRunRequest(uint64_t Id,
+                              std::vector<std::vector<double>> Points,
+                              unsigned Shots = 8, uint64_t Seed = 5) {
+  ServiceRequest R;
+  R.TheKind = ServiceRequest::Kind::BindRun;
+  R.Id = Id;
+  R.Source = RotParamSource;
+  R.SweepParams = {"theta"};
+  R.Points = std::move(Points);
+  R.Shots = Shots;
+  R.Seed = Seed;
+  return R;
+}
+
 PipelinePlan defaultPlan() { return presetPlan("default"); }
 
 /// Pinned digest of a fixed request (see CacheKeyTest.DeterministicAndPinned).
@@ -113,6 +140,37 @@ std::vector<std::string> referenceRun(const ServiceRequest &R) {
   for (const ShotResult &Shot : B.runBatch(*Flat, R.Shots, R.Seed, Opts))
     Lines.push_back(formatShotBits(*Flat, Shot));
   return Lines;
+}
+
+/// The recompile-per-point reference for a bind-run request: bind each
+/// point by sweep-param name, run with the derived per-point base seed.
+/// The backend is selected once from the *parametric* circuit, mirroring
+/// the service (a point whose bound circuit happens to be Clifford must
+/// not silently switch engines mid-sweep).
+std::vector<std::vector<std::string>>
+referenceSweep(const ServiceRequest &R) {
+  CompileSession S(R.Source, R.Bindings);
+  Circuit *Flat = S.flatCircuit();
+  EXPECT_NE(Flat, nullptr) << S.errorMessage();
+  SimBackend &B =
+      BackendRegistry::instance().select(*Flat, BackendKind::Auto);
+  RunOptions Opts;
+  Opts.Jobs = R.Jobs;
+  std::vector<std::vector<std::string>> Out;
+  for (size_t P = 0; P < R.Points.size(); ++P) {
+    std::map<std::string, double> Vals;
+    for (size_t K = 0; K < R.SweepParams.size(); ++K)
+      Vals[R.SweepParams[K]] = R.Points[P][K];
+    std::string Err;
+    std::optional<Circuit> Bound = S.bindParams(Vals, &Err);
+    EXPECT_TRUE(Bound) << Err;
+    std::vector<std::string> Lines;
+    for (const ShotResult &Shot : B.runBatch(
+             *Bound, R.Shots, deriveSweepPointSeed(R.Seed, P), Opts))
+      Lines.push_back(formatShotBits(*Bound, Shot));
+    Out.push_back(std::move(Lines));
+  }
+  return Out;
 }
 
 //===----------------------------------------------------------------------===//
@@ -351,6 +409,50 @@ TEST(ProtocolTest, ErrorResponseRoundTrips) {
   EXPECT_EQ(Back.Error.Message, "line 2: no such basis");
 }
 
+TEST(ProtocolTest, BindRunRoundTripsExactly) {
+  ServiceRequest R = bindRunRequest(11, {{0.0}, {45.5}, {-90.25}});
+  std::string Wire = R.toJson().write();
+  ServiceRequest Back;
+  uint64_t Id = 0;
+  std::string Error;
+  ASSERT_TRUE(parseRequestLine(Wire, Back, Id, Error)) << Error;
+  EXPECT_EQ(Back.TheKind, ServiceRequest::Kind::BindRun);
+  EXPECT_EQ(Back.SweepParams, R.SweepParams);
+  EXPECT_EQ(Back.Points, R.Points);
+  EXPECT_EQ(Back.Shots, R.Shots);
+  EXPECT_EQ(Back.Seed, R.Seed);
+  EXPECT_EQ(Back.toJson().write(), Wire) << "canonical field order";
+
+  ServiceResponse Resp;
+  Resp.Id = 11;
+  Resp.Ok = true;
+  Resp.Key = "00ff00ff00ff00ff00ff00ff00ff00ff";
+  Resp.PointResults = {{"0", "1"}, {"1", "1"}, {"0", "0"}};
+  std::string RespWire = Resp.toJson().write();
+  json::Value V;
+  ASSERT_TRUE(json::parse(RespWire, V, Error)) << Error;
+  ServiceResponse RespBack;
+  ASSERT_TRUE(ServiceResponse::fromJson(V, RespBack, Error)) << Error;
+  EXPECT_EQ(RespBack.PointResults, Resp.PointResults);
+}
+
+TEST(ProtocolTest, SweepFieldsAreOnlyValidForBindRun) {
+  ServiceRequest R;
+  uint64_t Id = 0;
+  std::string Error;
+  EXPECT_FALSE(parseRequestLine(
+      R"({"id": 5, "op": "run", "source": "x", "params": ["theta"]})", R,
+      Id, Error));
+  EXPECT_NE(Error.find("bind-run"), std::string::npos) << Error;
+  EXPECT_FALSE(parseRequestLine(
+      R"({"id": 5, "op": "compile", "source": "x", "points": [[1]]})", R,
+      Id, Error));
+  EXPECT_NE(Error.find("bind-run"), std::string::npos) << Error;
+  // And bind-run itself requires points.
+  EXPECT_FALSE(parseRequestLine(
+      R"({"id": 5, "op": "bind-run", "source": "x"})", R, Id, Error));
+}
+
 TEST(ProtocolTest, UnknownFieldsAreRejected) {
   ServiceRequest R;
   uint64_t Id = 0;
@@ -571,6 +673,196 @@ TEST(ServiceTest, ExpiredDeadlineTimesOutBeforeWork) {
   EXPECT_FALSE(Resp.Ok);
   EXPECT_EQ(Resp.Error.Kind, "timeout");
   EXPECT_EQ(Service.cache().stats().Misses, 0u) << "no work was attempted";
+}
+
+TEST(ServiceTest, DeadlineBetweenShotsTimesOut) {
+  AsdfService Service;
+  // Warm the cache so the deliberately-slow run below spends its budget in
+  // the simulator, not the compiler.
+  ServiceRequest Warm = coinRunRequest(1, 4, 1);
+  ASSERT_TRUE(Service.handle(Warm).Ok);
+
+  // A shot count that takes far longer than the deadline: the cooperative
+  // check between shot chunks must abort the run with a "timeout" error
+  // instead of finishing long after the client gave up.
+  ServiceRequest Slow = coinRunRequest(2, 2000000, 1);
+  ServiceResponse Resp = Service.handle(
+      Slow, std::chrono::steady_clock::now() + std::chrono::milliseconds(10));
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Error.Kind, "timeout");
+  EXPECT_NE(Resp.Error.Message.find("between shots"), std::string::npos)
+      << Resp.Error.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// AsdfService: bind-run
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, BindRunMatchesRecompilePerPointReference) {
+  AsdfService Service;
+  ServiceRequest R =
+      bindRunRequest(1, {{0.0}, {45.5}, {90.0}, {181.25}}, 8, 0xfeedULL);
+  ServiceResponse Resp = Service.handle(R);
+  ASSERT_TRUE(Resp.Ok) << Resp.Error.Message;
+  EXPECT_FALSE(Resp.CacheHit);
+  EXPECT_EQ(Resp.PointResults, referenceSweep(R));
+
+  // The same sweep again: the compiled circuit comes from the cache and
+  // the bits are identical.
+  R.Id = 2;
+  ServiceResponse Again = Service.handle(R);
+  ASSERT_TRUE(Again.Ok) << Again.Error.Message;
+  EXPECT_TRUE(Again.CacheHit);
+  EXPECT_EQ(Again.PointResults, Resp.PointResults);
+
+  // The jobs knob must never change the bits.
+  R.Id = 3;
+  R.Jobs = 4;
+  ServiceResponse Wide = Service.handle(R);
+  ASSERT_TRUE(Wide.Ok) << Wide.Error.Message;
+  EXPECT_EQ(Wide.PointResults, Resp.PointResults);
+
+  ServiceRequest Stats;
+  Stats.TheKind = ServiceRequest::Kind::Stats;
+  Stats.Id = 4;
+  ServiceResponse S = Service.handle(Stats);
+  ASSERT_TRUE(S.Ok);
+  EXPECT_EQ(S.StatsBody.get("requests")->get("bind_run")->asU64(), 3u);
+}
+
+TEST(ServiceTest, BindRunLiftsLiteralsIntoASharedKey) {
+  // Two sources that differ only in their rotation-angle literal: the
+  // canonicalizer lifts the literal before hashing, so the second request
+  // reuses the first's compiled circuit — while each still runs with its
+  // own angle.
+  AsdfService Service;
+  ServiceRequest A;
+  A.TheKind = ServiceRequest::Kind::BindRun;
+  A.Id = 1;
+  A.Source = rotLiteralSource("45.5");
+  A.Points = {{}};
+  A.Shots = 16;
+  A.Seed = 9;
+  ServiceRequest B = A;
+  B.Id = 2;
+  B.Source = rotLiteralSource("170.25");
+
+  ServiceResponse RespA = Service.handle(A);
+  ASSERT_TRUE(RespA.Ok) << RespA.Error.Message;
+  EXPECT_FALSE(RespA.CacheHit);
+  ServiceResponse RespB = Service.handle(B);
+  ASSERT_TRUE(RespB.Ok) << RespB.Error.Message;
+  EXPECT_TRUE(RespB.CacheHit) << "angle-only edit must share the artifact";
+  EXPECT_EQ(RespA.Key, RespB.Key);
+
+  // Each request still gets its own angle's results: bit-identical to a
+  // direct compile of its literal source run at the derived point seed.
+  for (const ServiceRequest *R : {&A, &B}) {
+    CompileSession S(R->Source, ProgramBindings{});
+    Circuit *Flat = S.flatCircuit();
+    ASSERT_NE(Flat, nullptr) << S.errorMessage();
+    SimBackend &Backend =
+        *BackendRegistry::instance().lookup("sv"); // Matches the service's
+                                                   // parametric dispatch.
+    std::vector<std::string> Want;
+    for (const ShotResult &Shot : Backend.runBatch(
+             *Flat, R->Shots, deriveSweepPointSeed(R->Seed, 0), RunOptions()))
+      Want.push_back(formatShotBits(*Flat, Shot));
+    const ServiceResponse &Resp = R == &A ? RespA : RespB;
+    ASSERT_EQ(Resp.PointResults.size(), 1u);
+    EXPECT_EQ(Resp.PointResults[0], Want);
+  }
+}
+
+TEST(ServiceTest, BindRunErrorsCarryMachineReadableKinds) {
+  AsdfService Service;
+
+  // No points at all.
+  ServiceRequest R = bindRunRequest(1, {});
+  ServiceResponse Resp = Service.handle(R);
+  EXPECT_EQ(Resp.Error.Kind, "bad-request");
+  EXPECT_NE(Resp.Error.Message.find("at least one point"),
+            std::string::npos);
+
+  // Point arity vs "params".
+  R = bindRunRequest(2, {{1.0, 2.0}});
+  EXPECT_EQ(Service.handle(R).Error.Kind, "bad-request");
+
+  // Unknown sweep parameter.
+  R = bindRunRequest(3, {{1.0}});
+  R.SweepParams = {"phi"};
+  Resp = Service.handle(R);
+  EXPECT_EQ(Resp.Error.Kind, "bad-request");
+  EXPECT_NE(Resp.Error.Message.find("phi"), std::string::npos);
+
+  // Duplicate sweep parameter.
+  R = bindRunRequest(4, {{1.0, 2.0}});
+  R.SweepParams = {"theta", "theta"};
+  EXPECT_EQ(Service.handle(R).Error.Kind, "bad-request");
+
+  // The reserved lifted-name prefix.
+  R = bindRunRequest(5, {{1.0}});
+  R.SweepParams = {"__a0"};
+  Resp = Service.handle(R);
+  EXPECT_EQ(Resp.Error.Kind, "bad-request");
+  EXPECT_NE(Resp.Error.Message.find("reserved"), std::string::npos);
+
+  // A declared $param not covered by "params" and not liftable.
+  R = bindRunRequest(6, {{}});
+  R.SweepParams = {};
+  Resp = Service.handle(R);
+  EXPECT_EQ(Resp.Error.Kind, "bad-request");
+  EXPECT_NE(Resp.Error.Message.find("theta"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Single-flight coalescing: concurrent identical requests compile once
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTest, ConcurrentIdenticalRequestsCompileExactlyOnce) {
+  // The cache-stampede fix: N identical cold requests racing through
+  // handle() must produce exactly one compilation — the leader's — with
+  // every other request either coalescing onto the in-flight compile or
+  // hitting the cache the leader populated. Before single-flight, all N
+  // compiled the same program in parallel.
+  constexpr unsigned N = 8;
+  AsdfService Service;
+  std::vector<ServiceResponse> Got(N);
+  std::vector<std::thread> Threads;
+  std::atomic<bool> Go{false};
+  for (unsigned I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      while (!Go.load())
+        std::this_thread::yield();
+      Got[I] = Service.handle(bvCompileRequest(I + 1));
+    });
+  Go.store(true);
+  for (std::thread &T : Threads)
+    T.join();
+
+  unsigned Misses = 0;
+  for (unsigned I = 0; I < N; ++I) {
+    ASSERT_TRUE(Got[I].Ok) << Got[I].Error.Message;
+    EXPECT_EQ(Got[I].Id, I + 1);
+    EXPECT_EQ(Got[I].Artifact, Got[0].Artifact);
+    EXPECT_EQ(Got[I].Key, Got[0].Key);
+    Misses += !Got[I].CacheHit;
+  }
+  EXPECT_EQ(Misses, 1u) << "exactly one leader compiles";
+
+  ServiceRequest Stats;
+  Stats.TheKind = ServiceRequest::Kind::Stats;
+  Stats.Id = 99;
+  ServiceResponse S = Service.handle(Stats);
+  ASSERT_TRUE(S.Ok);
+  const json::Value *Req = S.StatsBody.get("requests");
+  ASSERT_NE(Req, nullptr);
+  EXPECT_EQ(Req->get("compiled")->asU64(), 1u)
+      << "the program must have been compiled exactly once";
+  // Every non-leader either coalesced onto the flight or hit the cache.
+  EXPECT_EQ(Req->get("coalesced")->asU64() +
+                Service.cache().stats().Hits,
+            N - 1u);
 }
 
 TEST(ServiceTest, StatsReportTheCountersAndFingerprint) {
