@@ -158,7 +158,7 @@ int main(int argc, char **argv) {
     RefSecs = seconds([&] { A = Sv.runBatch(C, 1, 42, Ref); });
     OptSecs = seconds([&] { B = Sv.runBatch(C, 1, 42, Opt); });
     bool Same = A[0].Bits == B[0].Bits;
-    uint64_t Amps = Stats.AmplitudesTouched.load();
+    uint64_t Amps = Stats.AmplitudesTouched;
     AmpsPerSec = OptSecs > 0 ? double(Amps) / OptSecs : 0.0;
     std::printf("\n--- dense single-shot, %u qubits (rotation-dense) ---\n",
                 DenseN);
@@ -174,10 +174,10 @@ int main(int argc, char **argv) {
     Json.metric("dense_single_shot_opt_seconds", OptSecs, "s");
     Json.metric("dense_single_shot_speedup",
                 OptSecs > 0 ? RefSecs / OptSecs : 0.0, "x");
-    Json.metric("dense_gate_kernels", double(Stats.GatesApplied.load()),
+    Json.metric("dense_gate_kernels", double(Stats.GatesApplied),
                 "count");
-    Json.metric("dense_fused_ops", double(Stats.FusedOps.load()), "count");
-    Json.metric("dense_fused_blocks", double(Stats.FusedBlocks.load()),
+    Json.metric("dense_fused_ops", double(Stats.FusedOps), "count");
+    Json.metric("dense_fused_blocks", double(Stats.FusedBlocks),
                 "count");
     Json.metric("dense_amplitudes_touched", double(Amps), "count");
     Json.metric("dense_amps_per_sec", AmpsPerSec, "amps/sec");

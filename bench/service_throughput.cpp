@@ -13,7 +13,10 @@
 ///     artifact cache must make a warm compile at least 10x faster than a
 ///     cold one, or the daemon is not paying for itself;
 ///   - mixed compile/run throughput (requests/sec) through the worker
-///     pool, with mean and p99 request latency;
+///     pool, with mean and p50/p99 request latency computed through the
+///     shared obs::Histogram — and an audit that re-deriving quantiles
+///     from the `stats` op's bucket counts reproduces the daemon's
+///     reported p50/p90/p99 exactly;
 ///   - the cache hit rate of the workload (must be nonzero even in smoke);
 ///   - a determinism audit: every daemon-served run result is compared
 ///     bit-for-bit against a serial single-threaded reference.
@@ -24,6 +27,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "obs/Metrics.h"
 #include "service/Service.h"
 
 #include <algorithm>
@@ -44,14 +48,6 @@ namespace {
 double now() {
   using namespace std::chrono;
   return duration<double>(steady_clock::now().time_since_epoch()).count();
-}
-
-double percentile(std::vector<double> V, double P) {
-  if (V.empty())
-    return 0.0;
-  std::sort(V.begin(), V.end());
-  size_t At = static_cast<size_t>(P * (V.size() - 1));
-  return V[At];
 }
 
 ServiceRequest compileRequest(const BenchProgram &P, uint64_t Id) {
@@ -190,6 +186,9 @@ int main(int argc, char **argv) {
   AsdfService Pool(ServiceOptions{0, ArtifactCache::DefaultByteBudget});
   std::vector<ServiceResponse> Got(Mix.size());
   std::vector<double> LatencySecs(Mix.size());
+  // Client-side latency through the same fixed-bucket histogram the
+  // service uses, so the quantiles below are the service's math.
+  obs::Histogram ClientLat;
   std::mutex DoneMu;
   std::condition_variable DoneCV;
   size_t DoneCount = 0;
@@ -216,18 +215,22 @@ int main(int argc, char **argv) {
 
   double PerSec = Mix.size() / WallSecs;
   double MeanMs = 0.0;
-  for (double L : LatencySecs)
+  for (double L : LatencySecs) {
     MeanMs += 1e3 * L / LatencySecs.size();
-  double P99Ms = 1e3 * percentile(LatencySecs, 0.99);
+    ClientLat.observe(L);
+  }
+  double P50Ms = 1e3 * ClientLat.quantile(0.50);
+  double P99Ms = 1e3 * ClientLat.quantile(0.99);
   std::printf("mixed load: %zu requests (%zu programs x [1 compile + %u "
               "run(s) x %u shot(s)]) on %u worker(s)\n",
               Mix.size(), Programs.size(), RunsPerProgram, Shots,
               Pool.workers());
   std::printf("  %.3f s wall -> %.1f requests/sec; latency mean %.2f ms, "
-              "p99 %.2f ms\n",
-              WallSecs, PerSec, MeanMs, P99Ms);
+              "p50 %.2f ms, p99 %.2f ms\n",
+              WallSecs, PerSec, MeanMs, P50Ms, P99Ms);
   Json.metric("requests_per_sec", PerSec, "req/sec");
   Json.metric("latency_mean_ms", MeanMs, "ms");
+  Json.metric("latency_p50_ms", P50Ms, "ms");
   Json.metric("latency_p99_ms", P99Ms, "ms");
 
   //===--- Determinism audit against the serial reference ---------------===//
@@ -267,6 +270,55 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "FAIL: the mixed workload produced no cache "
                          "hits\n");
     Ok = false;
+  }
+
+  //===--- Stats-op histogram agreement ---------------------------------===//
+
+  // The stats op publishes each per-op latency histogram as bucket counts
+  // plus p50/p90/p99. Fixed buckets make quantiles a pure function of the
+  // counts, so a client rebuilding the histogram from the payload must
+  // re-derive the byte-identical quantiles the service reported.
+  json::Value Stats = Pool.statsJson();
+  const json::Value *Lat = Stats.get("latency");
+  if (!Lat) {
+    std::fprintf(stderr, "FAIL: stats payload has no latency object\n");
+    Ok = false;
+  }
+  struct OpCheck {
+    const char *Key;
+    uint64_t WantCount;
+  };
+  const OpCheck Checks[] = {
+      {"compile", Programs.size()},
+      {"run", Programs.size() * RunsPerProgram},
+  };
+  for (const OpCheck &C : Checks) {
+    const json::Value *H = Lat ? Lat->get(C.Key) : nullptr;
+    obs::Histogram Rebuilt;
+    if (!H || !obs::Histogram::fromJson(*H, Rebuilt)) {
+      std::fprintf(stderr, "FAIL: stats latency.%s missing or malformed\n",
+                   C.Key);
+      Ok = false;
+      continue;
+    }
+    bool Agrees =
+        Rebuilt.count() == C.WantCount &&
+        Rebuilt.quantile(0.50) == H->get("p50")->asDouble() &&
+        Rebuilt.quantile(0.90) == H->get("p90")->asDouble() &&
+        Rebuilt.quantile(0.99) == H->get("p99")->asDouble();
+    if (!Agrees) {
+      std::fprintf(stderr,
+                   "FAIL: latency.%s disagrees with the stats op "
+                   "(count %llu want %llu; rebuilt p99 %g reported %g)\n",
+                   C.Key, (unsigned long long)Rebuilt.count(),
+                   (unsigned long long)C.WantCount, Rebuilt.quantile(0.99),
+                   H->get("p99")->asDouble());
+      Ok = false;
+    } else {
+      std::printf("  stats agreement: latency.%s count %llu, re-derived "
+                  "p50/p90/p99 match the reported quantiles\n",
+                  C.Key, (unsigned long long)Rebuilt.count());
+    }
   }
 
   if (!Ok)

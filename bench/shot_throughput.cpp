@@ -138,13 +138,13 @@ int main(int argc, char **argv) {
       Json.metric("shots_per_sec_" + Tag, Shots / T, "shots/sec");
       if (Fuse && Jobs == 1) {
         // The per-run counters ride along once, from the canonical config.
-        Json.metric("fused_ops", double(Stats.FusedOps.load()), "count");
-        Json.metric("fused_blocks", double(Stats.FusedBlocks.load()),
+        Json.metric("fused_ops", double(Stats.FusedOps), "count");
+        Json.metric("fused_blocks", double(Stats.FusedBlocks),
                     "count");
         Json.metric("amplitudes_touched",
-                    double(Stats.AmplitudesTouched.load()), "count");
+                    double(Stats.AmplitudesTouched), "count");
         Json.metric("amps_per_sec",
-                    T > 0 ? double(Stats.AmplitudesTouched.load()) / T : 0.0,
+                    T > 0 ? double(Stats.AmplitudesTouched) / T : 0.0,
                     "amps/sec");
       }
     }

@@ -16,7 +16,12 @@
 ///   - the recompile path's points/sec (compile + run per point);
 ///   - a bit-identity audit: every fast-path point's shot results must
 ///     equal the recompiled point's, bit for bit — the fast path is an
-///     optimization, never an approximation.
+///     optimization, never an approximation;
+///   - a service leg: the same sweep served as one single-point bind-run
+///     request per point through an in-process AsdfService, with client
+///     latency quantiles computed through the shared obs::Histogram and
+///     checked for exact agreement against the `stats` op's reported
+///     bind_run histogram.
 ///
 /// Usage: sweep_throughput [--smoke] [--json <path>] [N] [points] [shots]
 ///        (default N=6 points=64 shots=1; --smoke shrinks to 16 points)
@@ -25,6 +30,8 @@
 
 #include "BenchCommon.h"
 
+#include "obs/Metrics.h"
+#include "service/Service.h"
 #include "sim/Backend.h"
 #include "sim/Simulator.h"
 
@@ -217,6 +224,75 @@ int main(int argc, char **argv) {
                  "recompile (bar: 10x)\n",
                  Speedup);
     Ok = false;
+  }
+
+  //===--- Service leg: one bind-run request per point ------------------===//
+
+  // The daemon-shaped path: each point arrives as its own single-point
+  // bind-run request, so the service's parametric cache (compile once,
+  // rebind per request) carries the sweep. Client-side latencies go
+  // through the same fixed-bucket histogram the service keeps, and the
+  // quantiles a client re-derives from the stats op's bucket counts must
+  // equal the service-reported ones exactly.
+  {
+    AsdfService Service(ServiceOptions{1, ArtifactCache::DefaultByteBudget});
+    obs::Histogram ClientLat;
+    double ServiceSecs = 0.0;
+    for (unsigned P = 0; P < NumPoints && Ok; ++P) {
+      ServiceRequest R;
+      R.TheKind = ServiceRequest::Kind::BindRun;
+      R.Id = P + 1;
+      R.Source = ParametricSource;
+      R.Bindings = Bindings;
+      R.Shots = Shots;
+      R.Seed = Seed;
+      R.Jobs = 1;
+      R.SweepParams = {"a", "b", "c"};
+      R.Points = {Points[P]};
+      double C0 = now();
+      ServiceResponse Resp = Service.handle(R);
+      double L = now() - C0;
+      ServiceSecs += L;
+      ClientLat.observe(L);
+      if (!Resp.Ok) {
+        std::fprintf(stderr, "FAIL: service bind-run of point %u: %s\n", P,
+                     Resp.Error.Message.c_str());
+        Ok = false;
+      }
+    }
+    double ServiceRate = NumPoints / ServiceSecs;
+    double P50Ms = 1e3 * ClientLat.quantile(0.50);
+    double P99Ms = 1e3 * ClientLat.quantile(0.99);
+    std::printf("\nservice leg: %u bind-run request(s) -> %.1f points/sec; "
+                "per-request p50 %.3f ms, p99 %.3f ms\n",
+                NumPoints, ServiceRate, P50Ms, P99Ms);
+    Json.metric("service_points_per_sec", ServiceRate, "points/sec");
+    Json.metric("service_request_p50_ms", P50Ms, "ms");
+    Json.metric("service_request_p99_ms", P99Ms, "ms");
+
+    json::Value Stats = Service.statsJson();
+    const json::Value *Lat = Stats.get("latency");
+    const json::Value *H = Lat ? Lat->get("bind_run") : nullptr;
+    obs::Histogram Rebuilt;
+    if (!H || !obs::Histogram::fromJson(*H, Rebuilt)) {
+      std::fprintf(stderr,
+                   "FAIL: stats latency.bind_run missing or malformed\n");
+      Ok = false;
+    } else if (Rebuilt.count() != NumPoints ||
+               Rebuilt.quantile(0.50) != H->get("p50")->asDouble() ||
+               Rebuilt.quantile(0.90) != H->get("p90")->asDouble() ||
+               Rebuilt.quantile(0.99) != H->get("p99")->asDouble()) {
+      std::fprintf(stderr,
+                   "FAIL: latency.bind_run disagrees with the stats op "
+                   "(count %llu want %u; rebuilt p99 %g reported %g)\n",
+                   (unsigned long long)Rebuilt.count(), NumPoints,
+                   Rebuilt.quantile(0.99), H->get("p99")->asDouble());
+      Ok = false;
+    } else {
+      std::printf("stats agreement: latency.bind_run count %u, re-derived "
+                  "p50/p90/p99 match the reported quantiles\n",
+                  NumPoints);
+    }
   }
 
   if (!Ok)

@@ -30,6 +30,7 @@
 #ifndef ASDF_COMPILER_PASS_H
 #define ASDF_COMPILER_PASS_H
 
+#include "obs/Trace.h"
 #include "support/Diagnostics.h"
 
 #include <chrono>
@@ -153,7 +154,13 @@ public:
     if (CollectTimings)
       Before = unitStats(U);
     auto T0 = std::chrono::steady_clock::now();
-    bool Ok = Body();
+    bool Ok;
+    {
+      // "qwerty:inline"-style span per pass; formats nothing and costs
+      // one relaxed load when tracing is off.
+      obs::Span Sp(pipelineStageName(Stage), Name, "compile");
+      Ok = Body();
+    }
     if (CollectTimings) {
       double Secs = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - T0)
@@ -193,6 +200,14 @@ public:
   template <typename UnitT>
   bool recordCreation(PipelineStage Stage, const std::string &Name,
                       double Seconds, UnitT *U) {
+    if (obs::traceEnabled()) {
+      // The transition already ran; emit its span retroactively so parse/
+      // lower/flatten appear alongside the instrumented passes.
+      uint64_t DurNs = static_cast<uint64_t>(Seconds * 1e9);
+      uint64_t Now = obs::nowNs();
+      obs::emitSpan(Name.c_str(), "compile", Now > DurNs ? Now - DurNs : 0,
+                    DurNs, obs::currentTraceId());
+    }
     if (CollectTimings)
       Timings.push_back({Stage, Name, Seconds, UnitStats(),
                          U ? unitStats(*U) : UnitStats()});

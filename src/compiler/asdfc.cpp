@@ -27,6 +27,8 @@
 #include "compiler/CompileSession.h"
 #include "estimate/ResourceEstimator.h"
 #include "noise/NoiseSpec.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "sim/CircuitAnalysis.h"
 #include "sim/Simulator.h"
 #include "support/BuildInfo.h"
@@ -114,7 +116,14 @@ void usage(FILE *Out) {
       "                          dense quantum trajectories\n"
       "  --trajectories          print noise/trajectory diagnostics (model\n"
       "                          summary, execution path, sampled error\n"
-      "                          branches) to stderr\n");
+      "                          branches) to stderr\n"
+      "  --trace <file.json>     record a Chrome trace-event JSON of this\n"
+      "                          invocation (per-pass compile spans, fusion,\n"
+      "                          per-worker kernel execution); load it in\n"
+      "                          Perfetto or chrome://tracing\n"
+      "  --metrics               print metrics (sim counters, run wall\n"
+      "                          time) in Prometheus text format to stderr\n"
+      "                          after the command finishes\n");
 }
 
 /// Exits with code 2 after a one-line diagnosis plus a usage pointer, the
@@ -196,6 +205,8 @@ int main(int argc, char **argv) {
   std::map<std::string, double> ParamArgs;
   std::string SweepArg;
   bool HasSweep = false;
+  std::string TracePath;
+  bool MetricsRequested = false;
 
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -317,6 +328,12 @@ int main(int argc, char **argv) {
       HasNoise = true;
     } else if (Arg == "--trajectories") {
       Trajectories = true;
+    } else if (Arg == "--trace") {
+      TracePath = Next();
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(std::strlen("--trace="));
+    } else if (Arg == "--metrics") {
+      MetricsRequested = true;
     } else if (Arg == "--backend") {
       std::string Name = Next();
       if (!parseBackendKind(Name, Backend))
@@ -326,6 +343,11 @@ int main(int argc, char **argv) {
       usageError("unknown option '" + Arg + "'");
     }
   }
+
+  // Tracing must be live before the first compiler pass runs so the
+  // per-pass spans land in the export.
+  if (!TracePath.empty())
+    obs::enableTracing();
 
   // Resolve the pipeline plan: --pipeline text wins; the legacy shorthands
   // only modify the default plan, and combining them with an explicit
@@ -355,11 +377,42 @@ int main(int argc, char **argv) {
   Buf << In.rdbuf();
 
   CompileSession Session(Buf.str(), Bindings, Opts);
+  SimStats SimCounters;
+  double RunSecs = 0.0;
   // Reports the pass-timing table even when compilation fails partway:
   // the timings up to the failing pass are exactly what's useful then.
+  // Likewise the trace and metrics dumps: a failing invocation's spans
+  // are exactly the ones worth looking at.
   auto Finish = [&](int Code) {
     if (PassTimings)
       std::fprintf(stderr, "%s", Session.timingReport().c_str());
+    if (MetricsRequested) {
+      obs::MetricsRegistry &Reg = obs::MetricsRegistry::global();
+      Reg.counterFn("asdfc_gate_kernels_total",
+                    "Dense gate kernels applied",
+                    [&SimCounters] { return SimCounters.GatesApplied; });
+      Reg.counterFn("asdfc_fused_ops_total",
+                    "Fused-block applications",
+                    [&SimCounters] { return SimCounters.FusedOps; });
+      Reg.counterFn("asdfc_fused_blocks_total", "Fused blocks built",
+                    [&SimCounters] { return SimCounters.FusedBlocks; });
+      Reg.counterFn(
+          "asdfc_amplitudes_touched_total",
+          "Statevector amplitudes visited by kernels",
+          [&SimCounters] { return SimCounters.AmplitudesTouched; });
+      Reg.counterFn("asdfc_shots_total", "Shots executed",
+                    [&Shots] { return uint64_t(Shots); });
+      Reg.gaugeFn("asdfc_run_seconds", "Wall seconds spent simulating",
+                  [&RunSecs] { return RunSecs; });
+      std::fputs(Reg.renderPrometheus().c_str(), stderr);
+    }
+    if (!TracePath.empty()) {
+      if (obs::writeChromeTrace(TracePath))
+        std::fprintf(stderr, "trace: wrote %s\n", TracePath.c_str());
+      else
+        std::fprintf(stderr, "trace: cannot write '%s'\n",
+                     TracePath.c_str());
+    }
     return Code;
   };
   auto CompileError = [&]() {
@@ -564,8 +617,7 @@ int main(int argc, char **argv) {
                  "path: %s\n",
                  Sites, FlatCircuit.Instrs.size(), NoisePath);
   }
-  SimStats SimCounters;
-  if (SimStatsRequested)
+  if (SimStatsRequested || MetricsRequested)
     RunOpts.SimCounters = &SimCounters;
   auto RunStart = std::chrono::steady_clock::now();
   std::vector<ShotResult> Batch;
@@ -574,9 +626,9 @@ int main(int argc, char **argv) {
     SweepResults = B.runSweep(FlatCircuit, SweepPoints, Shots, Seed, RunOpts);
   else
     Batch = B.runBatch(FlatCircuit, Shots, Seed, RunOpts);
-  double RunSecs = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - RunStart)
-                       .count();
+  RunSecs = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - RunStart)
+                .count();
   if (HasSweep) {
     for (size_t P = 0; P < SweepResults.size(); ++P) {
       std::string Header = "# point " + std::to_string(P);
@@ -596,14 +648,14 @@ int main(int argc, char **argv) {
       std::printf("%s\n", formatShotBits(FlatCircuit, Shot).c_str());
   }
   if (SimStatsRequested) {
-    uint64_t Amps = SimCounters.AmplitudesTouched.load();
+    uint64_t Amps = SimCounters.AmplitudesTouched;
     std::fprintf(
         stderr,
         "sim-stats: %llu gate kernel(s), %llu fused op(s) (%llu block(s)), "
         "%llu amplitudes touched, %.3g amps/sec over %u shot(s)\n",
-        static_cast<unsigned long long>(SimCounters.GatesApplied.load()),
-        static_cast<unsigned long long>(SimCounters.FusedOps.load()),
-        static_cast<unsigned long long>(SimCounters.FusedBlocks.load()),
+        static_cast<unsigned long long>(SimCounters.GatesApplied),
+        static_cast<unsigned long long>(SimCounters.FusedOps),
+        static_cast<unsigned long long>(SimCounters.FusedBlocks),
         static_cast<unsigned long long>(Amps),
         RunSecs > 0 ? double(Amps) / RunSecs : 0.0, Shots);
     if (!IsSv)

@@ -1,0 +1,258 @@
+//===- Metrics.cpp - Counters, gauges, fixed-bucket histograms ------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace asdf {
+namespace obs {
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+const std::array<double, Histogram::NumFinite> &Histogram::bounds() {
+  // 1-2-5 ladder, 1µs through 50s, capped with a 60s bucket (the
+  // service's own timeout ceiling).
+  static const std::array<double, NumFinite> B = {
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+      1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1,
+      1.0,  2.0,  5.0,  10.0, 20.0, 50.0, 60.0};
+  return B;
+}
+
+void Histogram::observe(double Seconds) {
+  const auto &B = bounds();
+  size_t I = 0;
+  while (I < NumFinite && Seconds > B[I])
+    ++I;
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  Cnt.fetch_add(1, std::memory_order_relaxed);
+  // No atomic fetch_add for double pre-C++20-TS everywhere; CAS loop.
+  double Old = Sum.load(std::memory_order_relaxed);
+  while (!Sum.compare_exchange_weak(Old, Old + Seconds,
+                                    std::memory_order_relaxed))
+    ;
+}
+
+double Histogram::quantile(double Q) const {
+  uint64_t N = count();
+  if (N == 0)
+    return 0.0;
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  uint64_t Rank = static_cast<uint64_t>(std::ceil(Q * N));
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Seen = 0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    Seen += bucketCount(I);
+    if (Seen >= Rank)
+      return I < NumFinite ? bounds()[I] : bounds()[NumFinite - 1];
+  }
+  return bounds()[NumFinite - 1];
+}
+
+json::Value Histogram::toJson() const {
+  json::Value V = json::Value::object();
+  json::Value B = json::Value::array();
+  for (size_t I = 0; I < NumBuckets; ++I)
+    B.push(json::Value::integer(bucketCount(I)));
+  V.set("buckets", std::move(B));
+  V.set("count", json::Value::integer(count()));
+  V.set("sum", json::Value::number(sum()));
+  V.set("p50", json::Value::number(quantile(0.50)));
+  V.set("p90", json::Value::number(quantile(0.90)));
+  V.set("p99", json::Value::number(quantile(0.99)));
+  return V;
+}
+
+bool Histogram::fromJson(const json::Value &V, Histogram &Out) {
+  if (!V.isObject())
+    return false;
+  const json::Value *B = V.get("buckets");
+  const json::Value *Cnt = V.get("count");
+  const json::Value *Sum = V.get("sum");
+  if (!B || !B->isArray() || B->elements().size() != NumBuckets || !Cnt ||
+      !Sum)
+    return false;
+  uint64_t Total = 0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    uint64_t C = B->elements()[I].asU64();
+    Out.Buckets[I].store(C, std::memory_order_relaxed);
+    Total += C;
+  }
+  if (Total != Cnt->asU64())
+    return false;
+  Out.Cnt.store(Total, std::memory_order_relaxed);
+  Out.Sum.store(Sum->asDouble(), std::memory_order_relaxed);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry::Entry *MetricsRegistry::find(const std::string &Name) {
+  for (auto &E : Entries)
+    if (E->Name == Name)
+      return E.get();
+  return nullptr;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Entry *E = find(Name))
+    return *E->C;
+  auto E = std::make_unique<Entry>();
+  E->Name = Name;
+  E->Help = Help;
+  E->K = Kind::Counter;
+  E->C = std::make_unique<Counter>();
+  Counter &Ref = *E->C;
+  Entries.push_back(std::move(E));
+  return Ref;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name,
+                              const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Entry *E = find(Name))
+    return *E->G;
+  auto E = std::make_unique<Entry>();
+  E->Name = Name;
+  E->Help = Help;
+  E->K = Kind::Gauge;
+  E->G = std::make_unique<Gauge>();
+  Gauge &Ref = *E->G;
+  Entries.push_back(std::move(E));
+  return Ref;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      const std::string &Help) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Entry *E = find(Name))
+    return *E->H;
+  auto E = std::make_unique<Entry>();
+  E->Name = Name;
+  E->Help = Help;
+  E->K = Kind::Histogram;
+  E->H = std::make_unique<obs::Histogram>();
+  obs::Histogram &Ref = *E->H;
+  Entries.push_back(std::move(E));
+  return Ref;
+}
+
+void MetricsRegistry::counterFn(const std::string &Name,
+                                const std::string &Help,
+                                std::function<uint64_t()> Fn) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Entry *E = find(Name)) {
+    E->CFn = std::move(Fn);
+    return;
+  }
+  auto E = std::make_unique<Entry>();
+  E->Name = Name;
+  E->Help = Help;
+  E->K = Kind::CounterFn;
+  E->CFn = std::move(Fn);
+  Entries.push_back(std::move(E));
+}
+
+void MetricsRegistry::gaugeFn(const std::string &Name,
+                              const std::string &Help,
+                              std::function<double()> Fn) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Entry *E = find(Name)) {
+    E->GFn = std::move(Fn);
+    return;
+  }
+  auto E = std::make_unique<Entry>();
+  E->Name = Name;
+  E->Help = Help;
+  E->K = Kind::GaugeFn;
+  E->GFn = std::move(Fn);
+  Entries.push_back(std::move(E));
+}
+
+namespace {
+
+/// Shortest %g form that still distinguishes every bucket bound.
+std::string formatDouble(double D) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  // Trim to the shortest representation that round-trips.
+  for (int Prec = 1; Prec < 17; ++Prec) {
+    char Short[64];
+    std::snprintf(Short, sizeof(Short), "%.*g", Prec, D);
+    double Back = 0.0;
+    std::sscanf(Short, "%lf", &Back);
+    if (Back == D)
+      return Short;
+  }
+  return Buf;
+}
+
+} // namespace
+
+std::string MetricsRegistry::renderPrometheus() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  Out.reserve(4096);
+  auto Line = [&Out](const std::string &S) {
+    Out += S;
+    Out += '\n';
+  };
+  for (const auto &E : Entries) {
+    Line("# HELP " + E->Name + " " + E->Help);
+    switch (E->K) {
+    case Kind::Counter:
+    case Kind::CounterFn: {
+      Line("# TYPE " + E->Name + " counter");
+      uint64_t V = E->K == Kind::Counter ? E->C->value() : E->CFn();
+      Line(E->Name + " " + std::to_string(V));
+      break;
+    }
+    case Kind::Gauge:
+    case Kind::GaugeFn: {
+      Line("# TYPE " + E->Name + " gauge");
+      double V = E->K == Kind::Gauge ? E->G->value() : E->GFn();
+      Line(E->Name + " " + formatDouble(V));
+      break;
+    }
+    case Kind::Histogram: {
+      Line("# TYPE " + E->Name + " histogram");
+      uint64_t Cum = 0;
+      for (size_t I = 0; I < obs::Histogram::NumFinite; ++I) {
+        Cum += E->H->bucketCount(I);
+        Line(E->Name + "_bucket{le=\"" +
+             formatDouble(obs::Histogram::bounds()[I]) + "\"} " +
+             std::to_string(Cum));
+      }
+      Cum += E->H->bucketCount(obs::Histogram::NumFinite);
+      Line(E->Name + "_bucket{le=\"+Inf\"} " + std::to_string(Cum));
+      Line(E->Name + "_sum " + formatDouble(E->H->sum()));
+      Line(E->Name + "_count " + std::to_string(E->H->count()));
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry R;
+  return R;
+}
+
+} // namespace obs
+} // namespace asdf

@@ -1,0 +1,148 @@
+//===- Metrics.h - Counters, gauges, fixed-bucket histograms --------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability spine (docs/observability.md):
+/// a `MetricsRegistry` of named counters, gauges, and latency histograms,
+/// rendered in Prometheus text exposition format. Design points:
+///
+///   - Histograms use one fixed 1-2-5 bucket ladder (1µs .. 60s plus an
+///     overflow bucket). Fixed buckets make quantiles deterministic: a
+///     quantile is the upper bound of the bucket containing the ranked
+///     sample, so two parties that share the bucket counts compute the
+///     byte-identical p50/p99. That property is what lets benches assert
+///     their client-side math agrees with the daemon's `stats` op.
+///   - Counters/histograms are lock-free (atomics); the registry itself
+///     locks only on registration and render.
+///   - `counterFn`/`gaugeFn` register read-time callbacks, absorbing
+///     pre-existing counters (cache, queue, SimStats) without moving
+///     their storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_OBS_METRICS_H
+#define ASDF_OBS_METRICS_H
+
+#include "support/Json.h"
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace asdf {
+namespace obs {
+
+/// Monotonic event counter.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { Val.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return Val.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Val{0};
+};
+
+/// Point-in-time value (queue depth, bytes resident).
+class Gauge {
+public:
+  void set(double V) { Val.store(V, std::memory_order_relaxed); }
+  double value() const { return Val.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> Val{0.0};
+};
+
+/// Fixed-bucket latency histogram over seconds. Bounds are a 1-2-5
+/// decimal ladder from 1µs to 50s capped with 60s; observations above
+/// the last finite bound land in the overflow bucket.
+class Histogram {
+public:
+  /// Finite upper bounds in seconds, ascending.
+  static constexpr size_t NumFinite = 25;
+  /// NumFinite + 1: the last bucket is +Inf (overflow).
+  static constexpr size_t NumBuckets = NumFinite + 1;
+  static const std::array<double, NumFinite> &bounds();
+
+  Histogram() = default;
+  Histogram(const Histogram &) = delete;
+  Histogram &operator=(const Histogram &) = delete;
+
+  void observe(double Seconds);
+
+  uint64_t count() const { return Cnt.load(std::memory_order_relaxed); }
+  double sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+  /// Quantile estimate: the upper bound of the bucket containing the
+  /// sample of rank ceil(q * count). Deterministic given the bucket
+  /// counts — overflow maps to the largest finite bound, empty to 0.
+  double quantile(double Q) const;
+
+  /// {buckets: [..], count, sum, p50, p90, p99} — the `stats` op's wire
+  /// form, re-loadable with fromJson for client-side re-derivation.
+  json::Value toJson() const;
+
+  /// Rebuilds a histogram from toJson() output; false on shape mismatch
+  /// (wrong bucket count / missing fields).
+  static bool fromJson(const json::Value &V, Histogram &Out);
+
+private:
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+  std::atomic<uint64_t> Cnt{0};
+  std::atomic<double> Sum{0.0};
+};
+
+/// Named metric registry rendering Prometheus text exposition format.
+/// Registration dedups by name (same name returns the existing metric).
+class MetricsRegistry {
+public:
+  Counter &counter(const std::string &Name, const std::string &Help);
+  Gauge &gauge(const std::string &Name, const std::string &Help);
+  Histogram &histogram(const std::string &Name, const std::string &Help);
+  /// Counter/gauge whose value is read from \p Fn at render time —
+  /// absorbs counters that already live elsewhere.
+  void counterFn(const std::string &Name, const std::string &Help,
+                 std::function<uint64_t()> Fn);
+  void gaugeFn(const std::string &Name, const std::string &Help,
+               std::function<double()> Fn);
+
+  /// Full exposition: # HELP / # TYPE / samples, histogram `_bucket`
+  /// lines cumulative with `le` labels plus `_sum` and `_count`.
+  std::string renderPrometheus() const;
+
+  /// Process-wide registry for CLI tools; the service owns its own.
+  static MetricsRegistry &global();
+
+private:
+  enum class Kind { Counter, Gauge, Histogram, CounterFn, GaugeFn };
+  struct Entry {
+    std::string Name, Help;
+    Kind K;
+    std::unique_ptr<Counter> C;
+    std::unique_ptr<Gauge> G;
+    std::unique_ptr<obs::Histogram> H;
+    std::function<uint64_t()> CFn;
+    std::function<double()> GFn;
+  };
+
+  Entry *find(const std::string &Name);
+
+  mutable std::mutex Mu;
+  std::vector<std::unique_ptr<Entry>> Entries;
+};
+
+} // namespace obs
+} // namespace asdf
+
+#endif // ASDF_OBS_METRICS_H

@@ -7,6 +7,7 @@
 #include "service/ArtifactCache.h"
 
 #include "compiler/CompileSession.h"
+#include "obs/Trace.h"
 #include "service/Request.h"
 #include "support/BuildInfo.h"
 
@@ -56,6 +57,7 @@ ArtifactCache::ArtifactCache(size_t ByteBudget) : Budget(ByteBudget) {
 }
 
 std::shared_ptr<const CachedArtifact> ArtifactCache::get(const CacheKey &K) {
+  obs::Span Sp("cache.probe", "cache");
   std::lock_guard<std::mutex> Lock(M);
   auto It = Map.find(K);
   if (It == Map.end()) {

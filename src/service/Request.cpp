@@ -10,9 +10,7 @@
 
 using namespace asdf;
 
-namespace {
-
-const char *kindName(ServiceRequest::Kind K) {
+const char *asdf::requestKindName(ServiceRequest::Kind K) {
   switch (K) {
   case ServiceRequest::Kind::Compile:
     return "compile";
@@ -24,9 +22,15 @@ const char *kindName(ServiceRequest::Kind K) {
     return "stats";
   case ServiceRequest::Kind::Shutdown:
     return "shutdown";
+  case ServiceRequest::Kind::Metrics:
+    return "metrics";
   }
   return "?";
 }
+
+namespace {
+
+const char *kindName(ServiceRequest::Kind K) { return requestKindName(K); }
 
 bool parseKind(const std::string &Name, ServiceRequest::Kind &Out) {
   if (Name == "compile")
@@ -39,6 +43,8 @@ bool parseKind(const std::string &Name, ServiceRequest::Kind &Out) {
     Out = ServiceRequest::Kind::Stats;
   else if (Name == "shutdown")
     Out = ServiceRequest::Kind::Shutdown;
+  else if (Name == "metrics")
+    Out = ServiceRequest::Kind::Metrics;
   else
     return false;
   return true;
@@ -50,7 +56,10 @@ json::Value ServiceRequest::toJson() const {
   json::Value O = json::Value::object();
   O.set("id", json::Value::integer(Id));
   O.set("op", json::Value::str(kindName(TheKind)));
-  if (TheKind == Kind::Stats || TheKind == Kind::Shutdown)
+  if (Trace != 0)
+    O.set("trace", json::Value::integer(Trace));
+  if (TheKind == Kind::Stats || TheKind == Kind::Shutdown ||
+      TheKind == Kind::Metrics)
     return O;
   O.set("source", json::Value::str(Source));
   if (Entry != "kernel")
@@ -124,14 +133,15 @@ bool ServiceRequest::fromJson(const json::Value &V, ServiceRequest &Out,
   Out = ServiceRequest();
   if (!parseKind(Op->asString(), Out.TheKind)) {
     Error = "unknown op '" + Op->asString() +
-            "' (expected compile, run, bind-run, stats, or shutdown)";
+            "' (expected compile, run, bind-run, stats, metrics, or "
+            "shutdown)";
     return false;
   }
 
   static const std::set<std::string> Known = {
       "id",   "op",      "source", "entry",   "pipeline", "bind",
       "capture", "emit", "shots",  "seed",    "backend",  "jobs",
-      "timeout", "params", "points"};
+      "timeout", "params", "points", "trace"};
   for (const auto &[Key, Member] : V.members()) {
     (void)Member;
     if (!Known.count(Key)) {
@@ -158,7 +168,15 @@ bool ServiceRequest::fromJson(const json::Value &V, ServiceRequest &Out,
     }
     Out.TimeoutSecs = T->asDouble();
   }
-  if (Out.TheKind == Kind::Stats || Out.TheKind == Kind::Shutdown)
+  if (const json::Value *T = V.get("trace")) {
+    if (!T->isNumber()) {
+      Error = "\"trace\" must be a number";
+      return false;
+    }
+    Out.Trace = T->asU64();
+  }
+  if (Out.TheKind == Kind::Stats || Out.TheKind == Kind::Shutdown ||
+      Out.TheKind == Kind::Metrics)
     return true;
 
   const json::Value *Source = V.get("source");
@@ -320,6 +338,10 @@ json::Value ServiceResponse::toJson() const {
     O.set("stats", StatsBody);
     return O;
   }
+  if (!MetricsText.empty()) {
+    O.set("metrics", json::Value::str(MetricsText));
+    return O;
+  }
   if (!Key.empty()) {
     O.set("cache", json::Value::str(CacheHit ? "hit" : "miss"));
     O.set("key", json::Value::str(Key));
@@ -399,6 +421,8 @@ bool ServiceResponse::fromJson(const json::Value &V, ServiceResponse &Out,
     }
   if (const json::Value *S = V.get("stats"))
     Out.StatsBody = *S;
+  if (const json::Value *M = V.get("metrics"))
+    Out.MetricsText = M->asString();
   return true;
 }
 

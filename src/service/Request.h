@@ -37,11 +37,17 @@ namespace asdf {
 
 /// One unit of service work.
 struct ServiceRequest {
-  enum class Kind { Compile, Run, BindRun, Stats, Shutdown };
+  enum class Kind { Compile, Run, BindRun, Stats, Shutdown, Metrics };
 
   Kind TheKind = Kind::Compile;
   /// Client-chosen correlation id, echoed verbatim in the response.
   uint64_t Id = 0;
+  /// Optional 64-bit trace id ("trace" on the wire; 0 = none). When the
+  /// daemon runs with tracing enabled, every span this request produces —
+  /// wire decode, queue wait, cache probe, compiler passes, fusion,
+  /// simulator workers — carries this id, so one client-chosen value
+  /// correlates the whole request in the exported Chrome trace.
+  uint64_t Trace = 0;
 
   //===--- Compile and Run fields ---===//
 
@@ -148,6 +154,11 @@ struct ServiceResponse {
   /// Stats payload, pre-encoded (Service.cpp fills it).
   json::Value StatsBody;
 
+  //===--- Metrics ---===//
+
+  /// Prometheus text exposition ("metrics" on the wire).
+  std::string MetricsText;
+
   json::Value toJson() const;
   static bool fromJson(const json::Value &V, ServiceResponse &Out,
                        std::string &Error);
@@ -161,6 +172,10 @@ struct ServiceResponse {
 /// could be recovered (\p IdOut is filled best-effort).
 bool parseRequestLine(const std::string &Line, ServiceRequest &Out,
                       uint64_t &IdOut, std::string &Error);
+
+/// The wire name of \p K ("compile", "run", "bind_run", ...): the span
+/// and metric label for per-op instrumentation.
+const char *requestKindName(ServiceRequest::Kind K);
 
 } // namespace asdf
 

@@ -6,6 +6,8 @@
 
 #include "service/Server.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cerrno>
 #include <condition_variable>
@@ -222,11 +224,19 @@ void Server::connectionMain(int Fd) {
       ServiceRequest Req;
       uint64_t Id = 0;
       std::string Error;
+      // The trace id lives inside the line being decoded, so the decode
+      // span is emitted retroactively once the parse has produced it.
+      uint64_t DecodeT0 = obs::traceEnabled() ? obs::nowNs() : 0;
       if (!parseRequestLine(Line, Req, Id, Error)) {
         State->writeLine(ServiceResponse::failure(Id, "bad-request", Error)
                              .toJson()
                              .write());
         continue;
+      }
+      if (DecodeT0) {
+        uint64_t Now = obs::nowNs();
+        obs::emitSpan("wire.decode", "wire", DecodeT0,
+                      Now > DecodeT0 ? Now - DecodeT0 : 0, Req.Trace);
       }
       if (Options.Verbose)
         std::fprintf(stderr, "asdfd: fd=%d request id=%llu\n", Fd,

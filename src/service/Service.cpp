@@ -9,6 +9,7 @@
 #include "codegen/QasmEmitter.h"
 #include "codegen/QirEmitter.h"
 #include "compiler/CompileSession.h"
+#include "obs/Trace.h"
 #include "sim/CircuitAnalysis.h"
 #include "sim/Simulator.h"
 #include "support/BuildInfo.h"
@@ -32,11 +33,89 @@ bool validServiceEmit(const std::string &E) {
          E == "circuit";
 }
 
+/// Static span name per op (the Span ctor copies, but a switch avoids
+/// formatting on the hot path).
+const char *opSpanName(ServiceRequest::Kind K) {
+  switch (K) {
+  case ServiceRequest::Kind::Compile:
+    return "request.compile";
+  case ServiceRequest::Kind::Run:
+    return "request.run";
+  case ServiceRequest::Kind::BindRun:
+    return "request.bind-run";
+  case ServiceRequest::Kind::Stats:
+    return "request.stats";
+  case ServiceRequest::Kind::Shutdown:
+    return "request.shutdown";
+  case ServiceRequest::Kind::Metrics:
+    return "request.metrics";
+  }
+  return "request";
+}
+
 } // namespace
 
 AsdfService::AsdfService(ServiceOptions Options)
     : Cache(Options.CacheBytes), Queue(Options.Workers),
-      Start(Clock::now()) {}
+      Start(Clock::now()) {
+  // One metric surface over every layer's counters: the histograms live
+  // here; the counter/gauge views read the existing storage at render
+  // time, so nothing is double-counted.
+  LatCompile =
+      &Reg.histogram("asdf_compile_seconds", "Latency of compile requests");
+  LatRun = &Reg.histogram("asdf_run_seconds", "Latency of run requests");
+  LatBindRun = &Reg.histogram("asdf_bind_run_seconds",
+                              "Latency of bind-run requests");
+  LatStats =
+      &Reg.histogram("asdf_stats_seconds", "Latency of stats requests");
+  auto Count = [](const std::atomic<uint64_t> &C) {
+    return [&C] { return C.load(std::memory_order_relaxed); };
+  };
+  Reg.counterFn("asdf_requests_compile_total", "Compile requests handled",
+                Count(NumCompile));
+  Reg.counterFn("asdf_requests_run_total", "Run requests handled",
+                Count(NumRun));
+  Reg.counterFn("asdf_requests_bind_run_total", "Bind-run requests handled",
+                Count(NumBindRun));
+  Reg.counterFn("asdf_requests_stats_total", "Stats requests handled",
+                Count(NumStats));
+  Reg.counterFn("asdf_requests_errors_total", "Requests answered with an "
+                                              "error",
+                Count(NumErrors));
+  Reg.counterFn("asdf_requests_timeouts_total", "Requests that hit their "
+                                                "deadline",
+                Count(NumTimeouts));
+  Reg.counterFn("asdf_shots_total", "Simulation shots executed",
+                Count(NumShots));
+  Reg.counterFn("asdf_compilations_total", "Compilations actually executed "
+                                           "(cache misses minus coalesced)",
+                Count(NumCompiled));
+  Reg.counterFn("asdf_coalesced_total", "Requests served by another "
+                                        "request's in-flight compile",
+                Count(NumCoalesced));
+  Reg.counterFn("asdf_cache_hits_total", "Artifact-cache hits",
+                [this] { return Cache.stats().Hits; });
+  Reg.counterFn("asdf_cache_misses_total", "Artifact-cache misses",
+                [this] { return Cache.stats().Misses; });
+  Reg.counterFn("asdf_cache_evictions_total", "Artifact-cache evictions",
+                [this] { return Cache.stats().Evictions; });
+  Reg.counterFn("asdf_cache_insertions_total", "Artifact-cache insertions",
+                [this] { return Cache.stats().Insertions; });
+  Reg.gaugeFn("asdf_cache_entries", "Artifact-cache resident entries",
+              [this] { return double(Cache.stats().Entries); });
+  Reg.gaugeFn("asdf_cache_bytes_used", "Artifact-cache resident bytes",
+              [this] { return double(Cache.stats().BytesUsed); });
+  Reg.counterFn("asdf_queue_submitted_total", "Jobs accepted by the queue",
+                [this] { return Queue.counters().Submitted; });
+  Reg.counterFn("asdf_queue_executed_total", "Jobs executed by the queue",
+                [this] { return Queue.counters().Executed; });
+  Reg.counterFn("asdf_queue_rejected_total", "Jobs rejected while draining",
+                [this] { return Queue.counters().Rejected; });
+  Reg.gaugeFn("asdf_queue_pending", "Jobs waiting for a worker",
+              [this] { return double(Queue.counters().Pending); });
+  Reg.gaugeFn("asdf_workers", "Worker threads in the pool",
+              [this] { return double(Queue.workers()); });
+}
 
 AsdfService::~AsdfService() { drain(); }
 
@@ -55,6 +134,12 @@ ServiceResponse AsdfService::handle(const ServiceRequest &R) {
 
 ServiceResponse AsdfService::handle(const ServiceRequest &R,
                                     Clock::time_point Deadline) {
+  // Every span below this frame — cache probe, compiler passes, fusion,
+  // simulator workers — inherits the request's trace id; a request
+  // without one keeps whatever context the caller established.
+  obs::TraceContext TC(R.Trace ? R.Trace : obs::currentTraceId());
+  obs::Span Sp(opSpanName(R.TheKind), "service");
+  Clock::time_point T0 = Clock::now();
   ServiceResponse Resp = [&] {
     if (expired(Deadline)) {
       NumTimeouts.fetch_add(1, std::memory_order_relaxed);
@@ -74,6 +159,9 @@ ServiceResponse AsdfService::handle(const ServiceRequest &R,
     case ServiceRequest::Kind::Stats:
       NumStats.fetch_add(1, std::memory_order_relaxed);
       return handleStats(R);
+    case ServiceRequest::Kind::Metrics:
+      NumMetrics.fetch_add(1, std::memory_order_relaxed);
+      return handleMetrics(R);
     case ServiceRequest::Kind::Shutdown:
       return handleShutdown(R);
     }
@@ -81,7 +169,28 @@ ServiceResponse AsdfService::handle(const ServiceRequest &R,
   }();
   if (!Resp.Ok)
     NumErrors.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Histogram *H = latencyFor(R.TheKind))
+    H->observe(secondsSince(T0));
   return Resp;
+}
+
+obs::Histogram *AsdfService::latencyFor(ServiceRequest::Kind K) {
+  switch (K) {
+  case ServiceRequest::Kind::Compile:
+    return LatCompile;
+  case ServiceRequest::Kind::Run:
+    return LatRun;
+  case ServiceRequest::Kind::BindRun:
+    return LatBindRun;
+  case ServiceRequest::Kind::Stats:
+    return LatStats;
+  default:
+    return nullptr;
+  }
+}
+
+const obs::Histogram *AsdfService::opLatency(ServiceRequest::Kind K) const {
+  return const_cast<AsdfService *>(this)->latencyFor(K);
 }
 
 bool AsdfService::submit(ServiceRequest R,
@@ -90,8 +199,18 @@ bool AsdfService::submit(ServiceRequest R,
   if (R.TimeoutSecs > 0)
     Deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                   std::chrono::duration<double>(R.TimeoutSecs));
+  // Queue wait is only measurable retroactively: the duration is known
+  // when a worker picks the job up, so the span is emitted there with the
+  // enqueue timestamp captured here.
+  uint64_t EnqueuedNs = obs::traceEnabled() ? obs::nowNs() : 0;
   return Queue.submit(
-      [this, R = std::move(R), Done = std::move(Done), Deadline] {
+      [this, R = std::move(R), Done = std::move(Done), Deadline,
+       EnqueuedNs] {
+        if (EnqueuedNs) {
+          uint64_t Now = obs::nowNs();
+          obs::emitSpan("queue.wait", "service", EnqueuedNs,
+                        Now > EnqueuedNs ? Now - EnqueuedNs : 0, R.Trace);
+        }
         Done(handle(R, Deadline));
       });
 }
@@ -521,6 +640,14 @@ ServiceResponse AsdfService::handleShutdown(const ServiceRequest &R) {
   return Resp;
 }
 
+ServiceResponse AsdfService::handleMetrics(const ServiceRequest &R) {
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  Resp.Ok = true;
+  Resp.MetricsText = metricsText();
+  return Resp;
+}
+
 json::Value AsdfService::statsJson() const {
   json::Value O = json::Value::object();
   O.set("version", json::Value::str(buildInfo().Version));
@@ -547,6 +674,7 @@ json::Value AsdfService::statsJson() const {
   Req.set("run", json::Value::integer(NumRun.load()));
   Req.set("bind_run", json::Value::integer(NumBindRun.load()));
   Req.set("stats", json::Value::integer(NumStats.load()));
+  Req.set("metrics", json::Value::integer(NumMetrics.load()));
   Req.set("errors", json::Value::integer(NumErrors.load()));
   Req.set("timeouts", json::Value::integer(NumTimeouts.load()));
   Req.set("shots", json::Value::integer(NumShots.load()));
@@ -561,5 +689,15 @@ json::Value AsdfService::statsJson() const {
   Q.set("rejected", json::Value::integer(QC.Rejected));
   Q.set("pending", json::Value::integer(QC.Pending));
   O.set("queue", std::move(Q));
+
+  // Per-op latency histograms, in the shared fixed-bucket encoding: a
+  // client can rebuild each histogram from the bucket counts and derive
+  // the byte-identical p50/p90/p99 (Histogram::fromJson + quantile).
+  json::Value Lat = json::Value::object();
+  Lat.set("compile", LatCompile->toJson());
+  Lat.set("run", LatRun->toJson());
+  Lat.set("bind_run", LatBindRun->toJson());
+  Lat.set("stats", LatStats->toJson());
+  O.set("latency", std::move(Lat));
   return O;
 }

@@ -27,6 +27,7 @@
 #ifndef ASDF_SERVICE_SERVICE_H
 #define ASDF_SERVICE_SERVICE_H
 
+#include "obs/Metrics.h"
 #include "service/ArtifactCache.h"
 #include "service/JobQueue.h"
 #include "service/Request.h"
@@ -84,8 +85,22 @@ public:
 
   /// The stats payload of the "stats" op (also used by --version-style
   /// reporting in the bench): cache counters, request counters, queue
-  /// state, fingerprint, uptime.
+  /// state, per-op latency histograms, fingerprint, uptime.
   json::Value statsJson() const;
+
+  /// This service's metric registry (per-instance, so tests and the bench
+  /// see only their own traffic): request/cache/queue counters and per-op
+  /// latency histograms, always collected.
+  obs::MetricsRegistry &metrics() { return Reg; }
+
+  /// Prometheus text exposition of metrics() — the `metrics` op payload
+  /// and asdfd --metrics-dump body.
+  std::string metricsText() const { return Reg.renderPrometheus(); }
+
+  /// The latency histogram the service observes for \p K requests (null
+  /// for shutdown). Benches read these to assert their client-side
+  /// quantile math agrees with the service's.
+  const obs::Histogram *opLatency(ServiceRequest::Kind K) const;
 
 private:
   ServiceResponse handleCompile(
@@ -98,6 +113,8 @@ private:
                 std::chrono::steady_clock::time_point Deadline);
   ServiceResponse handleStats(const ServiceRequest &R);
   ServiceResponse handleShutdown(const ServiceRequest &R);
+  ServiceResponse handleMetrics(const ServiceRequest &R);
+  obs::Histogram *latencyFor(ServiceRequest::Kind K);
 
   /// One in-flight compilation other requests with the same key wait on
   /// instead of compiling the same thing concurrently (single-flight).
@@ -150,8 +167,16 @@ private:
   // stampede test pins {Compiled: 1, Coalesced: N-1} for N concurrent
   // identical cold requests.
   std::atomic<uint64_t> NumCompile{0}, NumRun{0}, NumBindRun{0},
-      NumStats{0}, NumErrors{0}, NumTimeouts{0}, NumShots{0},
-      NumCompiled{0}, NumCoalesced{0};
+      NumStats{0}, NumMetrics{0}, NumErrors{0}, NumTimeouts{0},
+      NumShots{0}, NumCompiled{0}, NumCoalesced{0};
+
+  // The observability spine's metric surface: per-op latency histograms
+  // plus read-time views over the counters above (registered in the
+  // constructor). Reg outlives the queue, so render-time callbacks into
+  // `this` are safe for the service's whole life.
+  obs::MetricsRegistry Reg;
+  obs::Histogram *LatCompile = nullptr, *LatRun = nullptr,
+                 *LatBindRun = nullptr, *LatStats = nullptr;
 };
 
 } // namespace asdf

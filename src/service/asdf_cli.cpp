@@ -22,6 +22,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Metrics.h"
 #include "service/Client.h"
 #include "support/BuildInfo.h"
 
@@ -52,7 +53,11 @@ void usage(FILE *Out) {
       "                      lifted, so programs differing only in angles\n"
       "                      share a cached circuit), re-binds per point,\n"
       "                      and runs each point's shots\n"
-      "  stats               print daemon statistics (JSON)\n"
+      "  stats               print a summary of daemon statistics (cache\n"
+      "                      hit rate, request counts, per-op latency\n"
+      "                      quantiles); --json prints the raw payload\n"
+      "  metrics             print the daemon's metrics in Prometheus\n"
+      "                      text exposition format\n"
       "  shutdown            ask the daemon to drain and exit\n"
       "global options:\n"
       "  -h, --help          print this help and exit\n"
@@ -62,6 +67,10 @@ void usage(FILE *Out) {
       "                      /tmp/asdfd.sock)\n"
       "  --timeout <secs>    per-request timeout, also bounding the wait\n"
       "                      for the response (default: none)\n"
+      "  --trace-id <n>      tag the request with a 64-bit trace id; a\n"
+      "                      daemon running with --trace records all of\n"
+      "                      this request's spans under that id\n"
+      "  --json              stats: print the raw JSON payload\n"
       "compile/run options (same meaning as asdfc):\n"
       "  --entry <name>      entry kernel (default: kernel)\n"
       "  --bind <Var>=<int>  bind a dimension variable\n"
@@ -129,6 +138,80 @@ bool parseDoubleArg(const std::string &S, double &Out) {
   return R.ec == std::errc() && R.ptr == E;
 }
 
+
+/// Renders the enriched stats payload as a human summary: cache hit
+/// rate, request mix, and per-op latency quantiles re-derived from the
+/// reported bucket counts with the shared Histogram math.
+void printStatsSummary(const json::Value &S) {
+  auto U64 = [](const json::Value *Obj, const char *Key) -> uint64_t {
+    if (!Obj)
+      return 0;
+    const json::Value *V = Obj->get(Key);
+    return V ? V->asU64() : 0;
+  };
+  const json::Value *Cache = S.get("cache");
+  const json::Value *Req = S.get("requests");
+  const json::Value *Queue = S.get("queue");
+  const json::Value *Lat = S.get("latency");
+
+  std::printf("daemon %s (fingerprint %s)\n",
+              S.get("version") ? S.get("version")->asString().c_str() : "?",
+              S.get("fingerprint")
+                  ? S.get("fingerprint")->asString().c_str()
+                  : "?");
+  std::printf("uptime: %.1f s, %llu worker(s)\n",
+              S.get("uptime_secs") ? S.get("uptime_secs")->asDouble() : 0.0,
+              (unsigned long long)U64(&S, "workers"));
+
+  uint64_t Hits = U64(Cache, "hits"), Misses = U64(Cache, "misses");
+  double HitRate =
+      Hits + Misses ? 100.0 * double(Hits) / double(Hits + Misses) : 0.0;
+  std::printf("cache: %llu hit(s), %llu miss(es) (%.1f%% hit rate), "
+              "%llu entr%s, %llu / %llu bytes\n",
+              (unsigned long long)Hits, (unsigned long long)Misses, HitRate,
+              (unsigned long long)U64(Cache, "entries"),
+              U64(Cache, "entries") == 1 ? "y" : "ies",
+              (unsigned long long)U64(Cache, "bytes_used"),
+              (unsigned long long)U64(Cache, "byte_budget"));
+  std::printf("requests: %llu compile, %llu run, %llu bind-run, "
+              "%llu stats; %llu error(s), %llu timeout(s)\n",
+              (unsigned long long)U64(Req, "compile"),
+              (unsigned long long)U64(Req, "run"),
+              (unsigned long long)U64(Req, "bind_run"),
+              (unsigned long long)U64(Req, "stats"),
+              (unsigned long long)U64(Req, "errors"),
+              (unsigned long long)U64(Req, "timeouts"));
+  std::printf("work: %llu shot(s), %llu compiled, %llu coalesced\n",
+              (unsigned long long)U64(Req, "shots"),
+              (unsigned long long)U64(Req, "compiled"),
+              (unsigned long long)U64(Req, "coalesced"));
+  std::printf("queue: %llu submitted, %llu executed, %llu rejected, "
+              "%llu pending\n",
+              (unsigned long long)U64(Queue, "submitted"),
+              (unsigned long long)U64(Queue, "executed"),
+              (unsigned long long)U64(Queue, "rejected"),
+              (unsigned long long)U64(Queue, "pending"));
+  if (!Lat)
+    return;
+  std::printf("latency: %-10s %8s %10s %10s %10s\n", "op", "count",
+              "p50-ms", "p90-ms", "p99-ms");
+  for (const char *Op : {"compile", "run", "bind_run", "stats"}) {
+    const json::Value *H = Lat->get(Op);
+    if (!H)
+      continue;
+    // Rebuild from the bucket counts: the numbers printed here come from
+    // the same Histogram::quantile code the daemon used, so they match
+    // the reported p50/p90/p99 exactly.
+    obs::Histogram Rebuilt;
+    if (!obs::Histogram::fromJson(*H, Rebuilt))
+      continue;
+    std::printf("         %-10s %8llu %10.3f %10.3f %10.3f\n", Op,
+                (unsigned long long)Rebuilt.count(),
+                1e3 * Rebuilt.quantile(0.50), 1e3 * Rebuilt.quantile(0.90),
+                1e3 * Rebuilt.quantile(0.99));
+  }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -144,6 +227,7 @@ int main(int argc, char **argv) {
   std::string File;
   double Timeout = 0.0;
   bool EmitSet = false;
+  bool RawJson = false;
   std::string ParamsArg, SweepArg;
   bool ParamsSet = false, SweepSet = false;
 
@@ -212,6 +296,10 @@ int main(int argc, char **argv) {
     } else if (Arg == "--sweep") {
       SweepArg = Next();
       SweepSet = true;
+    } else if (Arg == "--trace-id") {
+      Req.Trace = std::strtoull(Next(), nullptr, 0);
+    } else if (Arg == "--json") {
+      RawJson = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       usageError("unknown option '" + Arg + "'");
     } else if (Command.empty()) {
@@ -224,8 +312,8 @@ int main(int argc, char **argv) {
   }
 
   if (Command.empty())
-    usageError("expected a command (compile, run, bind-run, stats, or "
-               "shutdown)");
+    usageError("expected a command (compile, run, bind-run, stats, "
+               "metrics, or shutdown)");
   if (Command == "compile") {
     Req.TheKind = ServiceRequest::Kind::Compile;
   } else if (Command == "run") {
@@ -262,12 +350,17 @@ int main(int argc, char **argv) {
     }
   } else if (Command == "stats") {
     Req.TheKind = ServiceRequest::Kind::Stats;
+  } else if (Command == "metrics") {
+    Req.TheKind = ServiceRequest::Kind::Metrics;
   } else if (Command == "shutdown") {
     Req.TheKind = ServiceRequest::Kind::Shutdown;
   } else {
     usageError("unknown command '" + Command +
-               "' (expected compile, run, bind-run, stats, or shutdown)");
+               "' (expected compile, run, bind-run, stats, metrics, or "
+               "shutdown)");
   }
+  if (RawJson && Req.TheKind != ServiceRequest::Kind::Stats)
+    usageError("--json applies only to the stats command");
   if ((ParamsSet || SweepSet) &&
       Req.TheKind != ServiceRequest::Kind::BindRun)
     usageError("--params/--sweep apply only to the bind-run command");
@@ -343,7 +436,13 @@ int main(int argc, char **argv) {
     break;
   }
   case ServiceRequest::Kind::Stats:
-    std::printf("%s\n", Resp.StatsBody.write().c_str());
+    if (RawJson)
+      std::printf("%s\n", Resp.StatsBody.write().c_str());
+    else
+      printStatsSummary(Resp.StatsBody);
+    break;
+  case ServiceRequest::Kind::Metrics:
+    std::fputs(Resp.MetricsText.c_str(), stdout);
     break;
   case ServiceRequest::Kind::Shutdown:
     std::fprintf(stderr, "asdf-cli: daemon draining\n");

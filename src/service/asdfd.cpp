@@ -19,6 +19,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
 #include "service/Server.h"
 #include "support/BuildInfo.h"
 
@@ -52,10 +53,16 @@ void usage(FILE *Out) {
       "  --cache-mb <n>      artifact-cache byte budget in MiB (default\n"
       "                      256)\n"
       "  --verbose           log connections and requests to stderr\n"
+      "  --trace <path>      record spans for every request and write one\n"
+      "                      Chrome trace JSON (Perfetto-loadable) to\n"
+      "                      <path> after the drain\n"
+      "  --metrics-dump <path>\n"
+      "                      write the Prometheus metrics exposition to\n"
+      "                      <path> after the drain\n"
       "\n"
       "Protocol: newline-delimited JSON over the socket; ops compile,\n"
-      "run, stats, shutdown. See docs/protocol.md. SIGTERM drains\n"
-      "gracefully.\n");
+      "run, bind-run, stats, metrics, shutdown. See docs/protocol.md.\n"
+      "SIGTERM drains gracefully.\n");
 }
 
 [[noreturn]] void usageError(const std::string &Message) {
@@ -68,6 +75,7 @@ void usage(FILE *Out) {
 
 int main(int argc, char **argv) {
   ServerOptions Options;
+  std::string TracePath, MetricsPath;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto Next = [&]() -> const char * {
@@ -93,12 +101,19 @@ int main(int argc, char **argv) {
           static_cast<size_t>(Mb) * (1 << 20);
     } else if (Arg == "--verbose") {
       Options.Verbose = true;
+    } else if (Arg == "--trace") {
+      TracePath = Next();
+    } else if (Arg == "--metrics-dump") {
+      MetricsPath = Next();
     } else {
       usageError("unknown option '" + Arg + "'");
     }
   }
   if (Options.SocketPath.empty())
     usageError("--socket <path> is required");
+
+  if (!TracePath.empty())
+    obs::enableTracing();
 
   Server Daemon(Options);
   std::string Error;
@@ -119,5 +134,26 @@ int main(int argc, char **argv) {
                Options.Service.CacheBytes >> 20);
   int Code = Daemon.serve();
   ActiveServer = nullptr;
+  // serve() returns after the drain: connection threads and queue workers
+  // have joined, so the rings are quiescent — safe to export.
+  if (!TracePath.empty()) {
+    if (obs::writeChromeTrace(TracePath))
+      std::fprintf(stderr, "asdfd: wrote trace to %s\n", TracePath.c_str());
+    else
+      std::fprintf(stderr, "asdfd: failed to write trace to %s\n",
+                   TracePath.c_str());
+  }
+  if (!MetricsPath.empty()) {
+    std::string Text = Daemon.service().metricsText();
+    if (std::FILE *F = std::fopen(MetricsPath.c_str(), "w")) {
+      std::fwrite(Text.data(), 1, Text.size(), F);
+      std::fclose(F);
+      std::fprintf(stderr, "asdfd: wrote metrics to %s\n",
+                   MetricsPath.c_str());
+    } else {
+      std::fprintf(stderr, "asdfd: failed to write metrics to %s\n",
+                   MetricsPath.c_str());
+    }
+  }
   return Code;
 }

@@ -7,6 +7,7 @@
 #include "sim/Backend.h"
 
 #include "noise/NoiseModel.h"
+#include "obs/Trace.h"
 #include "sim/CircuitAnalysis.h"
 #include "sim/StabilizerBackend.h"
 #include "sim/StatevectorBackend.h"
@@ -111,7 +112,12 @@ void parallelChunkLoop(
   std::atomic<bool> Failed{false};
   std::exception_ptr FirstError;
   std::mutex ErrorLock;
+  // Workers inherit the spawning request's trace id so their sim.worker
+  // spans correlate with the rest of the request in the exported trace.
+  const uint64_t ParentTrace = obs::currentTraceId();
   auto Worker = [&](unsigned W) {
+    obs::TraceContext TC(ParentTrace);
+    obs::Span Sp("sim.worker", "sim");
     try {
       while (!Failed.load(std::memory_order_relaxed)) {
         uint64_t Begin = Next.fetch_add(Chunk, std::memory_order_relaxed);

@@ -92,20 +92,30 @@ enum class ParallelMode {
   Amplitude,
 };
 
-/// Lightweight cross-thread counters for one dense run (RunOptions::
-/// SimCounters, asdfc --sim-stats, bench JSON). Relaxed atomics bumped
-/// once per kernel application, never per amplitude.
+/// Lightweight counters for one dense run (RunOptions::SimCounters, asdfc
+/// --sim-stats, bench JSON). Plain fields bumped once per kernel
+/// application, never per amplitude — parallel runners give each worker
+/// its own instance and merge() at the join, so no site ever shares a
+/// mutable SimStats across threads.
 struct SimStats {
   /// Raw gate/measure/reset kernels applied (pass-through instructions and
   /// the unfused path).
-  std::atomic<uint64_t> GatesApplied{0};
+  uint64_t GatesApplied = 0;
   /// Fused ops applied (2x2 runs, diagonal sweeps, multi-qubit blocks).
-  std::atomic<uint64_t> FusedOps{0};
+  uint64_t FusedOps = 0;
   /// Of those, multi-qubit block applications (gather/scatter sweeps).
-  std::atomic<uint64_t> FusedBlocks{0};
+  uint64_t FusedBlocks = 0;
   /// Amplitudes read-modify-written across all kernels, the currency of
   /// the memory-bound engine (amps/sec = this over wall time).
-  std::atomic<uint64_t> AmplitudesTouched{0};
+  uint64_t AmplitudesTouched = 0;
+
+  /// Folds a worker's counts into this instance (caller serializes).
+  void merge(const SimStats &Other) {
+    GatesApplied += Other.GatesApplied;
+    FusedOps += Other.FusedOps;
+    FusedBlocks += Other.FusedBlocks;
+    AmplitudesTouched += Other.AmplitudesTouched;
+  }
 };
 
 /// Execution-plan knobs threaded through runShots/runBatch. The defaults

@@ -7,6 +7,7 @@
 #include "sim/Fusion.h"
 
 #include "noise/NoiseModel.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -236,6 +237,7 @@ bool asdf::isFusionBarrier(const CircuitInstr &I) {
 FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
                                unsigned MaxBlockQubits,
                                FusionRecipe *Recipe) {
+  obs::Span Sp("fuse", "fusion");
   FusedCircuit FC;
   FC.Source = &C;
   const unsigned N = C.NumQubits;
@@ -558,6 +560,7 @@ FusedCircuit asdf::fuseCircuit(const Circuit &C, const NoiseModel *Noise,
 
 FusedCircuit asdf::rebindFusedCircuit(const FusionRecipe &R,
                                       const Circuit &Bound) {
+  obs::Span Sp("rebind", "fusion");
   assert(R.Valid && "recipe was never recorded");
   assert(R.NumInstrs == Bound.Instrs.size() &&
          "recipe recorded from a different circuit");

@@ -143,11 +143,12 @@ bool diagonalPhase(GateKind G, double Theta, Amplitude &Phase) {
 void StateVector::bumpStats(uint64_t Touched, bool Fused, bool Block) const {
   if (!Stats)
     return;
-  (Fused ? Stats->FusedOps : Stats->GatesApplied)
-      .fetch_add(1, std::memory_order_relaxed);
+  // Plain increments: each engine instance owns (or exclusively borrows)
+  // its SimStats; parallel shot runners merge per-worker copies at join.
+  ++(Fused ? Stats->FusedOps : Stats->GatesApplied);
   if (Block)
-    Stats->FusedBlocks.fetch_add(1, std::memory_order_relaxed);
-  Stats->AmplitudesTouched.fetch_add(Touched, std::memory_order_relaxed);
+    ++Stats->FusedBlocks;
+  Stats->AmplitudesTouched += Touched;
 }
 
 void StateVector::phaseSweep(uint64_t Mask, Amplitude Phase) {
@@ -947,11 +948,11 @@ std::vector<ShotResult> runPlannedBatch(const Circuit &C,
   // boundary is also the cooperative deadline check: an expired deadline
   // abandons the batch here (and propagates out of the worker pool)
   // rather than mid-kernel.
-  auto runRest = [&](StateVector &SV, unsigned S) {
+  auto runRest = [&](StateVector &SV, unsigned S, SimStats *Stats) {
     if (Opts.deadlineExpired())
       throw DeadlineExceeded();
     SV.setParallelJobs(RestAmpJobs);
-    SV.setStats(Opts.SimCounters);
+    SV.setStats(Stats);
     std::mt19937_64 Rng = shotRng(deriveShotSeed(Seed, S));
     ShotResult R;
     R.Bits.assign(C.NumBits, false);
@@ -965,7 +966,7 @@ std::vector<ShotResult> runPlannedBatch(const Circuit &C,
   std::vector<ShotResult> Results(Shots);
   if (Shots == 1) {
     // Single shot: finish directly on the shared state, no fork.
-    Results[0] = runRest(Shared, 0);
+    Results[0] = runRest(Shared, 0, Opts.SimCounters);
     return Results;
   }
 
@@ -977,7 +978,7 @@ std::vector<ShotResult> runPlannedBatch(const Circuit &C,
     for (unsigned S = 0; S < Shots; ++S) {
       if (S > 0)
         SV = Shared;
-      Results[S] = runRest(SV, S);
+      Results[S] = runRest(SV, S, Opts.SimCounters);
     }
     return Results;
   }
@@ -996,10 +997,18 @@ std::vector<ShotResult> runPlannedBatch(const Circuit &C,
   // copy-assigns the shared prefix state into its worker's buffer instead
   // of allocating (and then freeing) a fresh fork per shot.
   std::vector<StateVector> WorkerState(Jobs, Shared);
+  // SimStats fields are plain (not atomic), so concurrent shots may not
+  // share Opts.SimCounters: each worker accumulates into its own copy,
+  // merged once after the pool joins.
+  std::vector<SimStats> WorkerStats(Jobs);
   parallelShotLoop(Jobs, Shots, [&](unsigned W, unsigned S) {
     WorkerState[W] = Shared;
-    Results[S] = runRest(WorkerState[W], S);
+    Results[S] = runRest(WorkerState[W], S,
+                         Opts.SimCounters ? &WorkerStats[W] : nullptr);
   });
+  if (Opts.SimCounters)
+    for (const SimStats &WS : WorkerStats)
+      Opts.SimCounters->merge(WS);
   return Results;
 }
 

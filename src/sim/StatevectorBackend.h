@@ -92,7 +92,8 @@ public:
   void setParallelJobs(unsigned Jobs) { ParJobs = Jobs < 1 ? 1 : Jobs; }
 
   /// Attaches per-run simulation counters (null detaches). Non-owning;
-  /// safe to share across concurrently-running shots (atomics).
+  /// fields are plain, so concurrently-running shots must each attach
+  /// their own instance and merge() at the join.
   void setStats(SimStats *S) { Stats = S; }
 
   /// Quantum-trajectory step: samples one Kraus branch of \p Ch on qubit

@@ -20,6 +20,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/Json.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -27,7 +29,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include <csignal>
 #include <fcntl.h>
@@ -39,6 +44,8 @@
 
 #if defined(ASDF_ASDFC_PATH) && defined(ASDF_ASDFD_PATH) &&                   \
     defined(ASDF_ASDF_CLI_PATH)
+
+namespace json = asdf::json;
 
 namespace {
 
@@ -96,8 +103,10 @@ bool socketAnswers(const std::string &Path) {
 /// A daemon child process, SIGKILLed on teardown if a test failed early.
 class Daemon {
 public:
-  /// Spawns asdfd on \p SocketPath and waits until it answers.
-  bool start(const std::string &SocketPath) {
+  /// Spawns asdfd on \p SocketPath (plus \p ExtraArgs, e.g. --trace)
+  /// and waits until it answers.
+  bool start(const std::string &SocketPath,
+             const std::vector<std::string> &ExtraArgs = {}) {
     Socket = SocketPath;
     Pid = fork();
     if (Pid < 0)
@@ -108,8 +117,14 @@ public:
         ::dup2(Null, 2);
         ::close(Null);
       }
-      ::execl(ASDF_ASDFD_PATH, "asdfd", "--socket", SocketPath.c_str(),
-              "--workers", "2", static_cast<char *>(nullptr));
+      std::vector<const char *> Argv = {"asdfd", "--socket",
+                                        SocketPath.c_str(), "--workers",
+                                        "2"};
+      for (const std::string &A : ExtraArgs)
+        Argv.push_back(A.c_str());
+      Argv.push_back(nullptr);
+      ::execv(ASDF_ASDFD_PATH,
+              const_cast<char *const *>(Argv.data()));
       _exit(127);
     }
     // The daemon binds before serving; poll until the socket accepts.
@@ -361,11 +376,43 @@ TEST_F(ServiceEndToEnd, CompileMatchesAsdfcAndHitsTheCache) {
             0);
   EXPECT_EQ(Warm, Direct) << "cache hit must serve identical bytes";
 
-  // Stats over the wire report the hit.
-  ASSERT_EQ(runCommand("( " + cli(Socket) + "stats 2>/dev/null )", Err), 0);
+  // Stats over the wire report the hit: --json for the raw payload...
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "stats --json 2>/dev/null )",
+                       Err),
+            0);
   EXPECT_NE(Err.find("\"hits\":"), std::string::npos);
   EXPECT_EQ(Err.find("\"hits\":0,"), std::string::npos)
       << "expected a nonzero cache hit count: " << Err;
+  // ...and the default human summary derives the hit rate from it.
+  std::string Pretty;
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "stats 2>/dev/null )", Pretty),
+            0);
+  EXPECT_NE(Pretty.find("hit rate"), std::string::npos) << Pretty;
+  EXPECT_NE(Pretty.find("latency:"), std::string::npos) << Pretty;
+  EXPECT_NE(Pretty.find("compile"), std::string::npos) << Pretty;
+}
+
+TEST_F(ServiceEndToEnd, MetricsOpServesPrometheusText) {
+  std::string Out;
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "compile " + Coin +
+                           " --emit qasm >/dev/null )",
+                       Out),
+            0);
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "metrics 2>/dev/null )", Out),
+            0);
+  EXPECT_NE(Out.find("# TYPE asdf_requests_compile_total counter"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("asdf_requests_compile_total 1"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("# TYPE asdf_compile_seconds histogram"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("asdf_compile_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("asdf_cache_misses_total 1"), std::string::npos)
+      << Out;
 }
 
 TEST_F(ServiceEndToEnd, BindRunSweepIsBitIdenticalToAsdfcSweep) {
@@ -396,6 +443,82 @@ TEST_F(ServiceEndToEnd, BindRunSweepIsBitIdenticalToAsdfcSweep) {
                        Err),
             0);
   EXPECT_NE(Err.find("cache hit"), std::string::npos) << Err;
+}
+
+
+//===----------------------------------------------------------------------===//
+// End-to-end tracing: one request, one trace id, every layer
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceTrace, TraceIdCorrelatesWireToKernelWorkers) {
+  // A daemon started with --trace exports one Chrome trace JSON at
+  // shutdown. A single traced bind-run must produce correlated spans for
+  // the wire decode, the cache probe, every compiler pass, fusion, and
+  // at least two parallel kernel workers — all stamped with the
+  // client-chosen trace id.
+  std::string Socket = ::testing::TempDir() + "asdfd-trace-" +
+                       std::to_string(::getpid()) + ".sock";
+  std::string TraceFile = ::testing::TempDir() + "asdfd-trace-" +
+                          std::to_string(::getpid()) + ".json";
+  ::unlink(Socket.c_str());
+  ::unlink(TraceFile.c_str());
+  std::string Rot = writeTemp("service_cli_rot_trace.qw", RotSource);
+
+  Daemon D;
+  ASSERT_TRUE(D.start(Socket, {"--trace", TraceFile}))
+      << "daemon failed to start with --trace";
+  std::string Out;
+  // --jobs 4 with 64 shots forces the multi-worker simulation path, so
+  // distinct sim.worker spans (distinct threads) appear in the trace.
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "bind-run " + Rot +
+                           " --params theta --sweep '0; 45.5; 90'"
+                           " --shots 64 --jobs 4 --seed 7"
+                           " --trace-id 42 >/dev/null )",
+                       Out),
+            0)
+      << Out;
+  ASSERT_EQ(runCommand(cli(Socket) + "shutdown", Out), 0);
+  ASSERT_EQ(D.wait(), 0);
+
+  std::ifstream In(TraceFile);
+  ASSERT_TRUE(In.good()) << "daemon did not write " << TraceFile;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  json::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Buf.str(), Doc, Error)) << Error;
+  const json::Value *Events = Doc.get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+
+  // Collect the spans carrying the request's trace id, keyed by name,
+  // remembering which threads hosted sim.worker spans.
+  std::set<std::string> Tagged42;
+  std::set<std::string> Cats42;
+  std::set<uint64_t> WorkerTids;
+  for (const json::Value &E : Events->elements()) {
+    const json::Value *Args = E.get("args");
+    if (!Args || !Args->get("trace") ||
+        Args->get("trace")->asU64() != 42)
+      continue;
+    std::string Name = E.get("name")->asString();
+    Tagged42.insert(Name);
+    Cats42.insert(E.get("cat")->asString());
+    if (Name == "sim.worker")
+      WorkerTids.insert(E.get("tid")->asU64());
+  }
+
+  EXPECT_TRUE(Tagged42.count("wire.decode")) << "no traced wire decode";
+  EXPECT_TRUE(Tagged42.count("queue.wait")) << "no traced queue wait";
+  EXPECT_TRUE(Tagged42.count("request.bind-run")) << "no traced handler";
+  EXPECT_TRUE(Tagged42.count("cache.probe")) << "no traced cache probe";
+  EXPECT_TRUE(Cats42.count("compile"))
+      << "no traced compiler passes rode the request's trace id";
+  EXPECT_TRUE(Tagged42.count("fuse")) << "no traced fusion";
+  EXPECT_TRUE(Tagged42.count("rebind")) << "no traced rebind";
+  EXPECT_GE(WorkerTids.size(), 2u)
+      << "expected >= 2 parallel kernel workers in the trace";
+  ::unlink(Socket.c_str());
+  ::unlink(TraceFile.c_str());
 }
 
 TEST_F(ServiceEndToEnd, DaemonErrorsExitOneWithTheKind) {

@@ -425,10 +425,10 @@ TEST(SimStatsTest, CountersTrackKernelsAndAmplitudes) {
   FusedOpts.Jobs = 1;
   FusedOpts.SimCounters = &Fused;
   Sv.runBatch(C, 4, 11, FusedOpts);
-  EXPECT_GT(Fused.FusedOps.load(), 0u);
-  EXPECT_GT(Fused.FusedBlocks.load(), 0u);
-  EXPECT_GT(Fused.AmplitudesTouched.load(), 0u);
-  EXPECT_GT(Fused.GatesApplied.load(), 0u); // the measure kernels
+  EXPECT_GT(Fused.FusedOps, 0u);
+  EXPECT_GT(Fused.FusedBlocks, 0u);
+  EXPECT_GT(Fused.AmplitudesTouched, 0u);
+  EXPECT_GT(Fused.GatesApplied, 0u); // the measure kernels
 
   SimStats Unfused;
   RunOptions UnfusedOpts;
@@ -436,12 +436,12 @@ TEST(SimStatsTest, CountersTrackKernelsAndAmplitudes) {
   UnfusedOpts.Fuse = false;
   UnfusedOpts.SimCounters = &Unfused;
   Sv.runBatch(C, 4, 11, UnfusedOpts);
-  EXPECT_EQ(Unfused.FusedOps.load(), 0u);
-  EXPECT_EQ(Unfused.FusedBlocks.load(), 0u);
-  EXPECT_GT(Unfused.GatesApplied.load(), Fused.GatesApplied.load());
+  EXPECT_EQ(Unfused.FusedOps, 0u);
+  EXPECT_EQ(Unfused.FusedBlocks, 0u);
+  EXPECT_GT(Unfused.GatesApplied, Fused.GatesApplied);
   // Fusion's whole point, now measurable: fewer amplitudes touched.
-  EXPECT_LT(Fused.AmplitudesTouched.load(),
-            Unfused.AmplitudesTouched.load());
+  EXPECT_LT(Fused.AmplitudesTouched,
+            Unfused.AmplitudesTouched);
 }
 
 TEST(BackendEquivalenceTest, AutoMatchesForcedStabilizer) {
