@@ -1,0 +1,139 @@
+//===- wide_ghz.cpp - 100 qubits on the tensor-network backend ------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 100-qubit Qwerty program no dense simulator can touch (2^100
+/// amplitudes), running in milliseconds on the matrix-product-state
+/// backend: a GHZ chain built from predicated flips ('1' & std.flip down a
+/// ladder of fresh qubits) with a per-qubit RZ layer (std[N].rotate) to
+/// push it off the Clifford gate set. Entanglement across every bisection
+/// is exactly one ebit — bond dimension 2 — so the MPS cost is linear in
+/// the qubit count, and the cost-model auto-dispatch routes the circuit to
+/// the tensor network on its own.
+///
+/// Run:
+///   ./wide_ghz                 # 100 qubits on --backend mps
+///   ./wide_ghz 250             # any width
+///   ./wide_ghz 100 sv          # the dense engine refuses, cleanly
+///   ./wide_ghz 100 auto        # show the cost model pick the engine
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/CompileSession.h"
+#include "sim/CircuitAnalysis.h"
+#include "sim/Simulator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace asdf;
+
+namespace {
+
+/// The GHZ-chain program: hadamard the head qubit, then walk a ladder of
+/// predicated flips copying the superposition down fresh '0' qubits, and
+/// finish with a non-Clifford RZ layer (harmless to the measurement
+/// statistics, fatal to a tableau simulation).
+std::string ghzChainSource(unsigned N) {
+  // Qwerty variables are linear (used exactly once), so each ladder stage
+  // consumes the running carrier a<i> and yields the finished qubit b<i>
+  // plus the next carrier a<i+1>.
+  std::string Src = "qpu kernel() -> bit[" + std::to_string(N) + "] {\n";
+  Src += "    a0 = 'p'\n";
+  for (unsigned Q = 1; Q < N; ++Q)
+    Src += "    b" + std::to_string(Q - 1) + ", a" + std::to_string(Q) +
+           " = a" + std::to_string(Q - 1) + " + '0' | '1' & std.flip\n";
+  Src += "    return b0";
+  for (unsigned Q = 1; Q + 1 < N; ++Q) {
+    Src += " + b" + std::to_string(Q);
+    if (Q % 8 == 0)
+      Src += " \\\n        ";
+  }
+  Src += " + a" + std::to_string(N - 1);
+  std::string Dim = std::to_string(N);
+  Src += " \\\n        | std[" + Dim + "].rotate(30) | std[" + Dim +
+         "].measure\n}\n";
+  return Src;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned N = argc > 1 ? unsigned(std::atoi(argv[1])) : 100;
+  if (N < 2)
+    N = 2;
+  std::string BackendName = argc > 2 ? argv[2] : "mps";
+
+  CompileSession Session(ghzChainSource(N), {});
+  Circuit *Flat = Session.flatCircuit();
+  if (!Flat) {
+    std::fprintf(stderr, "compile error:\n%s\n",
+                 Session.errorMessage().c_str());
+    return 1;
+  }
+
+  CircuitProfile Profile = analyzeCircuit(*Flat);
+  std::printf("=== %u-qubit GHZ chain (non-Clifford) ===\n", N);
+  std::printf("cost model: %s\n\n",
+              estimateCost(*Flat, &Profile).summary().c_str());
+
+  BackendKind Kind;
+  if (!parseBackendKind(BackendName, Kind)) {
+    std::fprintf(stderr, "unknown backend '%s' (expected auto, sv, stab, "
+                         "or mps)\n",
+                 BackendName.c_str());
+    return 1;
+  }
+  BackendSelection Sel = BackendRegistry::instance().selectWithReasons(
+      *Flat, Kind, RunOptions(), &Profile);
+  std::printf("%s\n", Sel.describe().c_str());
+  if (!Sel.Supported) {
+    // The clean failure mode: at 100 qubits the dense engine's verdict
+    // explains that 2^100 amplitudes exceed any memory, and the report
+    // above already named the engine that can run the circuit.
+    std::fprintf(stderr, "backend '%s' cannot simulate this circuit; try "
+                         "--backend mps\n",
+                 Sel.Chosen->name());
+    return 1;
+  }
+
+  const unsigned Shots = 32;
+  SimStats Stats;
+  RunOptions Opts;
+  Opts.SimCounters = &Stats;
+  std::vector<ShotResult> Results =
+      Sel.Chosen->runBatch(*Flat, Shots, /*Seed=*/7, Opts);
+
+  // GHZ correlation: every shot reads all zeros or all ones.
+  unsigned AllZero = 0, AllOne = 0, Broken = 0;
+  for (const ShotResult &Shot : Results) {
+    bool Any = false, All = true;
+    for (int Bit : Flat->OutputBits) {
+      bool B = Bit >= 0 && Shot.Bits[static_cast<unsigned>(Bit)];
+      Any |= B;
+      All &= B;
+    }
+    if (!Any)
+      ++AllZero;
+    else if (All)
+      ++AllOne;
+    else
+      ++Broken;
+  }
+  std::printf("%u shots on '%s': %u all-zeros, %u all-ones, %u broken\n",
+              Shots, Sel.Chosen->name(), AllZero, AllOne, Broken);
+  if (Stats.MpsMaxBond)
+    std::printf("mps: max bond %llu, %llu SVD(s), %llu truncation(s)\n",
+                (unsigned long long)Stats.MpsMaxBond,
+                (unsigned long long)Stats.MpsSvds,
+                (unsigned long long)Stats.MpsTruncations);
+  std::printf(Broken == 0 ? "perfect end-to-end correlation across %u "
+                            "qubits\n"
+                          : "correlation BROKEN\n",
+              N);
+  return Broken == 0 ? 0 : 1;
+}

@@ -80,9 +80,18 @@ void usage(FILE *Out) {
       "  --no-peephole           shorthand for --pipeline no-peephole\n"
       "  --shots <n>             shots for --emit run (default 1)\n"
       "  --seed <n>              base RNG seed for --emit run (default 0)\n"
-      "  --backend auto|sv|stab  simulation backend for --emit run\n"
-      "                          (auto picks the stabilizer tableau for\n"
-      "                          Clifford circuits, statevector otherwise)\n"
+      "  --backend auto|sv|stab|mps  simulation backend for --emit run\n"
+      "                          (auto consults the cost model: stabilizer\n"
+      "                          tableau for Clifford circuits, statevector\n"
+      "                          within the dense cap, MPS tensor network\n"
+      "                          for wide low-entanglement circuits)\n"
+      "  --mps-chi <n>           MPS bond-dimension cap (default 64; 0 =\n"
+      "                          unlimited/exact). Larger chi is more\n"
+      "                          accurate and slower; truncation is\n"
+      "                          reported by --sim-stats\n"
+      "  --explain-backend       print the backend auto-dispatch decision\n"
+      "                          (chosen engine, cost model, per-backend\n"
+      "                          verdicts) and exit without running\n"
       "  --jobs <n>              worker threads for --emit run (default 0 =\n"
       "                          one per hardware core; results are\n"
       "                          identical for any value)\n"
@@ -207,6 +216,7 @@ int main(int argc, char **argv) {
   bool HasSweep = false;
   std::string TracePath;
   bool MetricsRequested = false;
+  bool ExplainBackend = false;
 
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -338,11 +348,20 @@ int main(int argc, char **argv) {
       std::string Name = Next();
       if (!parseBackendKind(Name, Backend))
         usageError("unknown backend '" + Name +
-                   "' (expected auto, sv, or stab)");
+                   "' (expected auto, sv, stab, or mps)");
+    } else if (Arg == "--mps-chi") {
+      RunOpts.MpsChi = static_cast<unsigned>(std::atoi(Next()));
+    } else if (Arg == "--explain-backend") {
+      ExplainBackend = true;
     } else {
       usageError("unknown option '" + Arg + "'");
     }
   }
+
+  // --explain-backend is a question about running, whatever --emit says:
+  // route through the run path, which exits right after the decision.
+  if (ExplainBackend)
+    Emit = "run";
 
   // Tracing must be live before the first compiler pass runs so the
   // per-pass spans land in the export.
@@ -550,45 +569,20 @@ int main(int argc, char **argv) {
   if (Trajectories && RunOpts.Noise)
     RunOpts.NoiseCounters = &Counters;
   CircuitProfile Profile = analyzeCircuit(FlatCircuit);
-  SimBackend &B = BackendRegistry::instance().select(
-      FlatCircuit, Backend, &Profile, RunOpts.Noise);
-  bool Supported = B.supports(FlatCircuit, Profile);
+  BackendSelection Sel = BackendRegistry::instance().selectWithReasons(
+      FlatCircuit, Backend, RunOpts, &Profile, RunOpts.Noise);
+  SimBackend &B = *Sel.Chosen;
   bool IsSv = std::strcmp(B.name(), "sv") == 0;
-  // Decide with the run's own options, computing the cap exactly once
-  // so the note below can never contradict the rejection.
-  unsigned DenseCap = StatevectorBackend::maxQubits(RunOpts);
-  if (IsSv)
-    Supported = FlatCircuit.NumQubits <= DenseCap;
-  if (!Supported) {
-    // The precise-diagnostic path: the same message whether the circuit
-    // will run fused or not, including where the dense cap came from.
-    std::fprintf(stderr,
-                 "backend '%s' cannot simulate this circuit (%u qubits, "
-                 "%s)\n",
-                 B.name(), FlatCircuit.NumQubits,
-                 Profile.CliffordOnly ? "Clifford" : "non-Clifford");
-    if (IsSv) {
-      std::fprintf(stderr,
-                   "note: dense cap is %u qubits (%s); fusion %s changes "
-                   "the cap: it never widens the state\n",
-                   DenseCap,
-                   RunOpts.MaxStateQubits ? "set by options"
-                                          : "derived from available memory",
-                   RunOpts.Fuse ? "does not" : "being off does not");
-      if (Profile.CliffordOnly)
-        std::fprintf(stderr,
-                     "note: the circuit is Clifford; --backend stab runs "
-                     "it at any width\n");
-    }
-    return Finish(1);
+  bool IsMps = std::strcmp(B.name(), "mps") == 0;
+  if (ExplainBackend) {
+    std::printf("%s", Sel.describe().c_str());
+    return Finish(0);
   }
-  if (RunOpts.Noise && !B.supportsNoise(*RunOpts.Noise)) {
-    std::fprintf(stderr,
-                 "backend '%s' cannot execute this noise model "
-                 "(non-Pauli channels need dense trajectories)\n",
-                 B.name());
-    std::fprintf(stderr, "note: --backend sv runs any Kraus model; the "
-                         "stabilizer engine needs a Pauli-only model\n");
+  if (!Sel.Supported) {
+    // Unified failure diagnostics: the decision, the cost-model summary,
+    // and one verdict per registered backend saying why each was (or was
+    // not) eligible — the same report --explain-backend prints.
+    std::fprintf(stderr, "%s", Sel.describe().c_str());
     return Finish(1);
   }
   if (JobsExplicitZero)
@@ -658,7 +652,17 @@ int main(int argc, char **argv) {
         static_cast<unsigned long long>(SimCounters.FusedBlocks),
         static_cast<unsigned long long>(Amps),
         RunSecs > 0 ? double(Amps) / RunSecs : 0.0, Shots);
-    if (!IsSv)
+    if (IsMps)
+      std::fprintf(
+          stderr,
+          "sim-stats: mps: %llu SVD(s), %llu truncation(s), discarded "
+          "weight %.3g, max bond %llu (chi %u)\n",
+          static_cast<unsigned long long>(SimCounters.MpsSvds),
+          static_cast<unsigned long long>(SimCounters.MpsTruncations),
+          SimCounters.MpsTruncationError,
+          static_cast<unsigned long long>(SimCounters.MpsMaxBond),
+          RunOpts.MpsChi);
+    else if (!IsSv)
       std::fprintf(stderr, "sim-stats: note: the '%s' backend does not "
                            "report dense-engine counters\n",
                    B.name());

@@ -71,7 +71,7 @@ struct ServiceRequest {
   /// request produces the same bits whether served by the daemon (any
   /// worker count, any interleaving with other requests) or by asdfc.
   uint64_t Seed = 0;
-  /// Backend name for BackendRegistry: auto, sv, or stab.
+  /// Backend name for BackendRegistry: auto, sv, stab, or mps.
   std::string Backend = "auto";
   /// Worker threads for this run's simulation (RunOptions::Jobs; 0 = one
   /// per hardware core). Results are identical for any value.

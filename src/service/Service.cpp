@@ -425,7 +425,8 @@ ServiceResponse AsdfService::handleRun(const ServiceRequest &R,
   if (!parseBackendKind(R.Backend, Kind))
     return ServiceResponse::failure(
         R.Id, "bad-request",
-        "unknown backend '" + R.Backend + "' (expected auto, sv, or stab)");
+        "unknown backend '" + R.Backend +
+            "' (expected auto, sv, stab, or mps)");
 
   ServiceResponse Resp;
   Resp.Id = R.Id;
@@ -450,18 +451,15 @@ ServiceResponse AsdfService::handleRun(const ServiceRequest &R,
   // shot (an in-flight kernel is never preempted).
   RunOpts.Deadline = Deadline;
   CircuitProfile Profile = analyzeCircuit(*Flat);
-  SimBackend &B =
-      BackendRegistry::instance().select(*Flat, Kind, &Profile, nullptr);
-  bool Supported = B.supports(*Flat, Profile);
-  if (std::strcmp(B.name(), "sv") == 0)
-    Supported = Flat->NumQubits <= StatevectorBackend::maxQubits(RunOpts);
-  if (!Supported)
+  BackendSelection Sel = BackendRegistry::instance().selectWithReasons(
+      *Flat, Kind, RunOpts, &Profile, nullptr);
+  SimBackend &B = *Sel.Chosen;
+  if (!Sel.Supported)
     return ServiceResponse::failure(
         R.Id, "unsupported",
         std::string("backend '") + B.name() +
-            "' cannot simulate this circuit (" +
-            std::to_string(Flat->NumQubits) + " qubits, " +
-            (Profile.CliffordOnly ? "Clifford" : "non-Clifford") + ")");
+            "' cannot simulate this circuit (" + Sel.CostSummary +
+            "); candidates: " + Sel.rejectionSummary());
 
   std::vector<ShotResult> Batch;
   try {
@@ -496,7 +494,8 @@ ServiceResponse AsdfService::handleBindRun(const ServiceRequest &R,
   if (!parseBackendKind(R.Backend, Kind))
     return ServiceResponse::failure(
         R.Id, "bad-request",
-        "unknown backend '" + R.Backend + "' (expected auto, sv, or stab)");
+        "unknown backend '" + R.Backend +
+            "' (expected auto, sv, stab, or mps)");
   if (R.Points.empty())
     return ServiceResponse::failure(R.Id, "bad-request",
                                     "bind-run needs at least one point");
@@ -591,18 +590,15 @@ ServiceResponse AsdfService::handleBindRun(const ServiceRequest &R,
   RunOpts.Jobs = R.Jobs;
   RunOpts.Deadline = Deadline; // Checked between shots and between points.
   CircuitProfile Profile = analyzeCircuit(*Flat);
-  SimBackend &B =
-      BackendRegistry::instance().select(*Flat, Kind, &Profile, nullptr);
-  bool Supported = B.supports(*Flat, Profile);
-  if (std::strcmp(B.name(), "sv") == 0)
-    Supported = Flat->NumQubits <= StatevectorBackend::maxQubits(RunOpts);
-  if (!Supported)
+  BackendSelection Sel = BackendRegistry::instance().selectWithReasons(
+      *Flat, Kind, RunOpts, &Profile, nullptr);
+  SimBackend &B = *Sel.Chosen;
+  if (!Sel.Supported)
     return ServiceResponse::failure(
         R.Id, "unsupported",
         std::string("backend '") + B.name() +
-            "' cannot simulate this circuit (" +
-            std::to_string(Flat->NumQubits) + " qubits, " +
-            (Profile.CliffordOnly ? "Clifford" : "non-Clifford") + ")");
+            "' cannot simulate this circuit (" + Sel.CostSummary +
+            "); candidates: " + Sel.rejectionSummary());
 
   std::vector<std::vector<ShotResult>> Sweep;
   try {

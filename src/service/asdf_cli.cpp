@@ -81,7 +81,7 @@ void usage(FILE *Out) {
       "  --shots <n>         shots (default 1)\n"
       "  --seed <n>          base RNG seed (default 0); results are\n"
       "                      bit-identical to asdfc for the same seed\n"
-      "  --backend auto|sv|stab\n"
+      "  --backend auto|sv|stab|mps\n"
       "  --jobs <n>          daemon-side worker threads for this run\n"
       "                      (default 1; results identical for any value)\n"
       "bind-run options:\n"

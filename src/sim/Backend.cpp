@@ -11,6 +11,7 @@
 #include "sim/CircuitAnalysis.h"
 #include "sim/StabilizerBackend.h"
 #include "sim/StatevectorBackend.h"
+#include "sim/mps/MPSBackend.h"
 
 #include <atomic>
 #include <cassert>
@@ -59,6 +60,10 @@ bool asdf::parseBackendKind(const std::string &Name, BackendKind &Kind) {
   }
   if (Name == "stab" || Name == "stabilizer") {
     Kind = BackendKind::Stabilizer;
+    return true;
+  }
+  if (Name == "mps") {
+    Kind = BackendKind::MPS;
     return true;
   }
   return false;
@@ -239,6 +244,7 @@ SimBackend::runShots(const Circuit &C, unsigned Shots, uint64_t Seed,
 BackendRegistry::BackendRegistry() {
   registerBackend(std::make_unique<StatevectorBackend>());
   registerBackend(std::make_unique<StabilizerBackend>());
+  registerBackend(std::make_unique<MPSBackend>());
 }
 
 BackendRegistry &BackendRegistry::instance() {
@@ -262,30 +268,184 @@ SimBackend *BackendRegistry::lookup(const std::string &Name) const {
   return nullptr;
 }
 
+std::string BackendSelection::describe() const {
+  std::string S = "backend: " + std::string(Chosen ? Chosen->name() : "none");
+  if (!Supported)
+    S += " (cannot run this circuit)";
+  S += "\nreason: " + Reason + "\ncost model: " + CostSummary +
+       "\ncandidates:\n";
+  for (const BackendVerdict &V : Verdicts)
+    S += "  " + V.Name + ": " + (V.Eligible ? "eligible" : "rejected") +
+         ": " + V.Why + "\n";
+  return S;
+}
+
+std::string BackendSelection::rejectionSummary() const {
+  std::string S;
+  for (const BackendVerdict &V : Verdicts) {
+    if (!S.empty())
+      S += "; ";
+    S += V.Name + ": " +
+         (V.Eligible ? "eligible: " + V.Why : V.Why);
+  }
+  return S;
+}
+
 SimBackend &BackendRegistry::select(const Circuit &C, BackendKind Kind,
                                     const CircuitProfile *Profile,
                                     const NoiseModel *Noise) const {
-  SimBackend *Sv = lookup("sv");
-  SimBackend *Stab = lookup("stab");
-  assert(Sv && Stab && "built-in backends missing");
+  return *selectWithReasons(C, Kind, RunOptions(), Profile, Noise).Chosen;
+}
+
+BackendSelection
+BackendRegistry::selectWithReasons(const Circuit &C, BackendKind Kind,
+                                   const RunOptions &Opts,
+                                   const CircuitProfile *Profile,
+                                   const NoiseModel *Noise) const {
+  assert(!Backends.empty() && "built-in backends missing");
+  CircuitProfile P = Profile ? *Profile : analyzeCircuit(C);
+  CostModel Cost = estimateCost(C, &P);
+  if (Noise && Noise->empty())
+    Noise = nullptr;
+  // The bond cap the entanglement estimate is measured against: the run's
+  // chi, or the default chi when the run asked for unlimited (chi 0 always
+  // "fits", but auto-dispatch must not volunteer an exponential run).
+  unsigned ChiBar = Opts.MpsChi ? Opts.MpsChi : RunOptions().MpsChi;
+
+  BackendSelection Sel;
+  Sel.CostSummary = Cost.summary();
+
+  // One verdict per registered backend: can auto-dispatch hand it this
+  // circuit, and why (not). Built-in names get precise reasons; test- or
+  // plugin-registered engines get the generic supports() verdict.
+  for (const std::unique_ptr<SimBackend> &B : Backends) {
+    BackendVerdict V;
+    V.Name = B->name();
+    bool NoiseOk = !Noise || B->supportsNoise(*Noise);
+    if (V.Name == "sv") {
+      unsigned Cap = StatevectorBackend::maxQubits(Opts);
+      V.Eligible = C.NumQubits <= Cap && NoiseOk;
+      if (!NoiseOk)
+        V.Why = "cannot execute the noise model";
+      else if (V.Eligible)
+        V.Why = "fits the dense cap (" + std::to_string(C.NumQubits) +
+                " <= " + std::to_string(Cap) + " qubits)";
+      else
+        V.Why = std::to_string(C.NumQubits) +
+                " qubits exceed the dense cap (" + std::to_string(Cap) +
+                (Opts.MaxStateQubits ? ", set by options)"
+                                     : ", derived from available memory)");
+    } else if (V.Name == "stab") {
+      bool Ok = B->supports(C, P);
+      V.Eligible = Ok && NoiseOk;
+      if (!Ok)
+        V.Why = P.CliffordOnly
+                    ? "circuit is outside the tableau gate set"
+                    : "circuit is not Clifford-only (" +
+                          std::to_string(Cost.NonCliffordGates) +
+                          " non-Clifford gate(s))";
+      else if (!NoiseOk)
+        V.Why = "noise model has non-Pauli channels (needs dense "
+                "trajectories)";
+      else
+        V.Why = "Clifford-only circuit: polynomial tableau updates at any "
+                "width";
+    } else if (V.Name == "mps") {
+      bool Ok = B->supports(C, P);
+      bool BondOk = Cost.estimatedMaxBond() <= ChiBar;
+      V.Eligible = Ok && BondOk && !Noise;
+      if (!Ok)
+        V.Why = "gate support exceeds " +
+                std::to_string(MPSBackend::MaxGateSites) +
+                " sites (widest gate touches " +
+                std::to_string(P.MaxGateQubits) + ")";
+      else if (Noise)
+        V.Why = "noise models need dense trajectories or Pauli frames";
+      else if (!BondOk)
+        V.Why = "estimated max bond " +
+                (Cost.EstimatedLogBond >= 63
+                     ? ">= 2^63"
+                     : std::to_string(Cost.estimatedMaxBond())) +
+                " exceeds chi " + std::to_string(ChiBar) +
+                " (force with --backend mps for approximate simulation)";
+      else
+        V.Why = "estimated max bond " +
+                std::to_string(Cost.estimatedMaxBond()) + " fits chi " +
+                std::to_string(ChiBar);
+    } else {
+      V.Eligible = B->supports(C, P) && NoiseOk;
+      V.Why = V.Eligible ? "supports the circuit"
+                         : "does not support the circuit";
+    }
+    Sel.Verdicts.push_back(std::move(V));
+  }
+
+  auto VerdictFor = [&](const char *Name) -> const BackendVerdict * {
+    for (const BackendVerdict &V : Sel.Verdicts)
+      if (V.Name == Name)
+        return &V;
+    return nullptr;
+  };
+
+  // Forced kinds resolve directly; Supported reflects executability, not
+  // auto-eligibility — a forced MPS run past the entanglement estimate
+  // still executes (it truncates to chi), a forced dense run past the cap
+  // does not (the state cannot be allocated).
+  auto Forced = [&](const char *Name) -> BackendSelection & {
+    SimBackend *B = lookup(Name);
+    assert(B && "built-in backend missing");
+    Sel.Chosen = B;
+    const BackendVerdict *V = VerdictFor(Name);
+    Sel.Reason = "forced by --backend " + std::string(Name);
+    Sel.Supported = V && V->Eligible;
+    if (std::string(Name) == "mps" && V && !V->Eligible) {
+      // Re-derive executability without the exactness conditions: past
+      // the entanglement estimate the engine still runs (truncating to
+      // chi) — but a noise model would be silently ignored, so that
+      // stays unsupported.
+      bool CanRun = B->supports(C, P) && !Noise;
+      Sel.Supported = CanRun;
+      if (CanRun)
+        Sel.Reason += "; " + V->Why;
+    }
+    return Sel;
+  };
   switch (Kind) {
   case BackendKind::Statevector:
-    return *Sv;
+    return Forced("sv");
   case BackendKind::Stabilizer:
-    return *Stab;
+    return Forced("stab");
+  case BackendKind::MPS:
+    return Forced("mps");
   case BackendKind::Auto:
     break;
   }
-  CircuitProfile P = Profile ? *Profile : analyzeCircuit(C);
-  // Tableau updates are polynomial where dense amplitudes are exponential:
-  // take the stabilizer engine whenever it is exact for this circuit and
-  // for the noise model (Pauli-only; general Kraus channels need dense
-  // trajectories).
-  if (Noise && Noise->empty())
-    Noise = nullptr;
-  if (Stab->supports(C, P) && (!Noise || Stab->supportsNoise(*Noise)))
-    return *Stab;
-  return *Sv;
+
+  // Auto: polynomial tableau first, the dense engine for anything that
+  // fits in memory, the tensor network for wide-but-lowly-entangled
+  // circuits — in that order, each only when exact.
+  for (const char *Name : {"stab", "sv", "mps"}) {
+    const BackendVerdict *V = VerdictFor(Name);
+    if (V && V->Eligible) {
+      Sel.Chosen = lookup(Name);
+      Sel.Supported = true;
+      Sel.Reason = V->Why;
+      return Sel;
+    }
+  }
+  // Plugin backends (tests register these) are considered after the
+  // built-ins, in registration order.
+  for (const BackendVerdict &V : Sel.Verdicts)
+    if (V.Eligible) {
+      Sel.Chosen = lookup(V.Name);
+      Sel.Supported = true;
+      Sel.Reason = V.Why;
+      return Sel;
+    }
+  Sel.Chosen = Backends.front().get();
+  Sel.Supported = false;
+  Sel.Reason = "no registered backend supports this circuit";
+  return Sel;
 }
 
 std::vector<std::string> BackendRegistry::names() const {

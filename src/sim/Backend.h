@@ -12,7 +12,16 @@
 ///
 ///   - `StatevectorBackend` — dense amplitudes, any gate set, <= 26 qubits;
 ///   - `StabilizerBackend`  — CHP tableau, Clifford + measure + reset +
-///     feed-forward, thousands of qubits.
+///     feed-forward, thousands of qubits;
+///   - `MPSBackend`         — matrix-product-state tensor network, any gate
+///     set at hundreds of qubits when entanglement stays low (bond
+///     dimension capped by RunOptions::MpsChi).
+///
+/// Auto-dispatch consults the cost model (CircuitAnalysis.h): Clifford
+/// circuits take the tableau, circuits inside the dense cap take the
+/// statevector, and wider circuits whose estimated entanglement fits the
+/// bond cap take the MPS engine. `selectWithReasons` exposes the decision
+/// and the per-backend rejection reasons (asdfc --explain-backend).
 ///
 /// Shots are made independent-but-reproducible by deriving every shot's RNG
 /// seed from the base seed and the shot index with a splitmix64 hash, so the
@@ -50,10 +59,11 @@ enum class BackendKind {
   Auto,        ///< Fastest backend that supports the circuit.
   Statevector, ///< Force the dense engine.
   Stabilizer,  ///< Force the tableau engine.
+  MPS,         ///< Force the matrix-product-state engine.
 };
 
-/// Parses "auto"/"sv"/"stab" (also "statevector"/"stabilizer"). Returns
-/// false on unknown names.
+/// Parses "auto"/"sv"/"stab"/"mps" (also "statevector"/"stabilizer").
+/// Returns false on unknown names.
 bool parseBackendKind(const std::string &Name, BackendKind &Kind);
 
 /// Derives the RNG seed for shot \p Shot of a run with base seed \p Seed.
@@ -108,6 +118,18 @@ struct SimStats {
   /// Amplitudes read-modify-written across all kernels, the currency of
   /// the memory-bound engine (amps/sec = this over wall time).
   uint64_t AmplitudesTouched = 0;
+  /// MPS engine: SVDs run while applying gates and moving the
+  /// orthogonality center.
+  uint64_t MpsSvds = 0;
+  /// MPS engine: SVDs that discarded singular values to honor the chi cap
+  /// (zero means the run was exact up to floating-point rounding).
+  uint64_t MpsTruncations = 0;
+  /// MPS engine: accumulated discarded squared Schmidt weight across
+  /// truncating SVDs — a (loose) upper-bound proxy for the infidelity the
+  /// chi cap introduced.
+  double MpsTruncationError = 0.0;
+  /// MPS engine: largest bond dimension any site pair reached.
+  uint64_t MpsMaxBond = 0;
 
   /// Folds a worker's counts into this instance (caller serializes).
   void merge(const SimStats &Other) {
@@ -115,6 +137,11 @@ struct SimStats {
     FusedOps += Other.FusedOps;
     FusedBlocks += Other.FusedBlocks;
     AmplitudesTouched += Other.AmplitudesTouched;
+    MpsSvds += Other.MpsSvds;
+    MpsTruncations += Other.MpsTruncations;
+    MpsTruncationError += Other.MpsTruncationError;
+    if (Other.MpsMaxBond > MpsMaxBond)
+      MpsMaxBond = Other.MpsMaxBond;
   }
 };
 
@@ -150,6 +177,14 @@ struct RunOptions {
   /// runBatch itself — a forced backend runs whatever it is handed, per
   /// the BackendRegistry::select contract.
   unsigned MaxStateQubits = 0;
+  /// MPS bond-dimension cap (chi): every SVD the tensor-network engine
+  /// runs keeps at most this many singular values, truncating (and
+  /// renormalizing) the rest while accumulating the discarded weight in
+  /// SimStats::MpsTruncationError. 0 means unlimited — exact, but memory
+  /// and time grow exponentially with entanglement. The default matches
+  /// MPSBackend::run(), so runBatch stays bit-identical to per-shot run()
+  /// calls at default options. Ignored by the dense and tableau engines.
+  unsigned MpsChi = 64;
   /// Noise model for the run (noise/NoiseModel.h); null or empty means
   /// ideal execution. Non-owning — the model must outlive the run. Noisy
   /// shots keep the determinism contract: shot S samples all noise from
@@ -288,6 +323,47 @@ public:
            const RunOptions &Opts = RunOptions()) const;
 };
 
+/// One registered backend's verdict in a selection decision: whether
+/// auto-dispatch may hand it the circuit, and the reason either way.
+struct BackendVerdict {
+  std::string Name;
+  /// True if auto-dispatch may choose this backend for the circuit (it
+  /// executes the circuit exactly, noise model included).
+  bool Eligible = false;
+  /// Human-readable reason — why it qualifies, or why it was rejected
+  /// (unsupported feature, qubit cap, entanglement estimate over chi).
+  std::string Why;
+};
+
+/// The full outcome of one dispatch decision: the chosen engine, the
+/// cost-model reasoning behind it, and every registered backend's verdict.
+/// Produced by BackendRegistry::selectWithReasons; rendered by
+/// `asdfc --explain-backend` and by the unsupported-circuit diagnostics of
+/// the driver and the service.
+struct BackendSelection {
+  /// The resolved engine; never null (a forced kind returns its backend,
+  /// Auto falls back to the first registered engine when nothing is
+  /// eligible so the caller still has a name to report).
+  SimBackend *Chosen = nullptr;
+  /// True if Chosen can actually execute the circuit. A forced MPS run
+  /// over the entanglement estimate stays supported (it truncates); a
+  /// forced dense run over the qubit cap does not.
+  bool Supported = false;
+  /// Why Chosen was picked ("Clifford-only circuit: ...", "forced by
+  /// --backend sv", ...).
+  std::string Reason;
+  /// One-line cost-model summary (CostModel::summary()).
+  std::string CostSummary;
+  /// Per-backend verdicts, registration order.
+  std::vector<BackendVerdict> Verdicts;
+
+  /// Multi-line human-readable report (--explain-backend).
+  std::string describe() const;
+  /// Single-line rejection summary ("sv: ...; stab: ...; mps: ...") for
+  /// wire-protocol error payloads and one-line diagnostics.
+  std::string rejectionSummary() const;
+};
+
 /// Owns the engines and picks one per circuit.
 class BackendRegistry {
 public:
@@ -300,17 +376,28 @@ public:
   /// Finds a backend by name(); null if absent.
   SimBackend *lookup(const std::string &Name) const;
 
-  /// Resolves \p Kind for \p C. Auto prefers the stabilizer engine whenever
-  /// it supports the circuit (tableau updates are polynomial where dense
-  /// amplitudes are exponential) AND can execute \p Noise (Pauli-only
-  /// models; null means ideal); otherwise the dense engine. A forced kind
-  /// returns that backend even if it does not support \p C or \p Noise —
-  /// callers that care check supports()/supportsNoise() first. Pass
-  /// \p Profile if the circuit is already analyzed; otherwise Auto
-  /// analyzes it internally.
+  /// Resolves \p Kind for \p C. Auto consults the cost model: the
+  /// stabilizer engine whenever it is exact for the circuit (tableau
+  /// updates are polynomial where dense amplitudes are exponential) AND
+  /// can execute \p Noise (Pauli-only models; null means ideal); else the
+  /// dense engine when the circuit fits the memory-derived qubit cap; else
+  /// the MPS engine when the estimated entanglement fits the bond cap.
+  /// A forced kind returns that backend even if it does not support \p C
+  /// or \p Noise — callers that care check supports()/supportsNoise()
+  /// first, or use selectWithReasons. Pass \p Profile if the circuit is
+  /// already analyzed; otherwise Auto analyzes it internally.
   SimBackend &select(const Circuit &C, BackendKind Kind,
                      const CircuitProfile *Profile = nullptr,
                      const NoiseModel *Noise = nullptr) const;
+
+  /// As select(), but returns the whole decision: the chosen backend, the
+  /// cost-model reasoning, and one verdict per registered backend stating
+  /// why it was or was not eligible. \p Opts supplies the policy knobs the
+  /// verdicts depend on (dense cap override, MPS chi).
+  BackendSelection selectWithReasons(const Circuit &C, BackendKind Kind,
+                                     const RunOptions &Opts = RunOptions(),
+                                     const CircuitProfile *Profile = nullptr,
+                                     const NoiseModel *Noise = nullptr) const;
 
   /// Registered backend names, registration order.
   std::vector<std::string> names() const;

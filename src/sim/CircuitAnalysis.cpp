@@ -6,7 +6,9 @@
 
 #include "sim/CircuitAnalysis.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 using namespace asdf;
 
@@ -76,6 +78,9 @@ CircuitProfile asdf::analyzeCircuit(const Circuit &C) {
     case CircuitInstr::Kind::Gate:
       if (I.Controls.size() > P.MaxControls)
         P.MaxControls = static_cast<unsigned>(I.Controls.size());
+      if (I.Controls.size() + I.Targets.size() > P.MaxGateQubits)
+        P.MaxGateQubits =
+            static_cast<unsigned>(I.Controls.size() + I.Targets.size());
       if (!isCliffordInstr(I))
         P.CliffordOnly = false;
       if (InPrefix && I.CondBit < 0) {
@@ -93,4 +98,81 @@ CircuitProfile asdf::analyzeCircuit(const Circuit &C) {
     InPrefix = false;
   }
   return P;
+}
+
+std::string CostModel::summary() const {
+  std::string S = std::to_string(NumQubits) + " qubit(s), " +
+                  std::to_string(EntanglingGates) + " entangling gate(s), " +
+                  (CliffordOnly
+                       ? std::string("Clifford-only")
+                       : std::to_string(NonCliffordGates) +
+                             " non-Clifford gate(s)") +
+                  (HasFeedForward ? ", feed-forward" : "") +
+                  ", max gate span " + std::to_string(MaxGateSpan) +
+                  ", max cut crossings " + std::to_string(MaxCutCrossings) +
+                  ", estimated max bond ";
+  if (EstimatedLogBond >= 63)
+    S += ">= 2^63";
+  else
+    S += std::to_string(estimatedMaxBond());
+  return S;
+}
+
+CostModel asdf::estimateCost(const Circuit &C, const CircuitProfile *P) {
+  CircuitProfile Local;
+  if (!P) {
+    Local = analyzeCircuit(C);
+    P = &Local;
+  }
+  CostModel M;
+  M.NumQubits = C.NumQubits;
+  M.CliffordOnly = P->CliffordOnly;
+  M.HasFeedForward = P->HasFeedForward;
+  // One counter per left/right bisection: cut k separates sites [0, k]
+  // from [k+1, n). Every entangling gate straddling the cut can at most
+  // double the Schmidt rank across it.
+  std::vector<unsigned> Crossings(C.NumQubits > 1 ? C.NumQubits - 1 : 0, 0);
+  for (const CircuitInstr &I : C.Instrs) {
+    if (I.TheKind != CircuitInstr::Kind::Gate)
+      continue;
+    if (!isCliffordInstr(I))
+      ++M.NonCliffordGates;
+    unsigned Lo = ~0u, Hi = 0;
+    // Distinct-support width: a degenerate gate (control == target, the
+    // dense engine's no-op convention) never entangles anything.
+    unsigned Distinct = 0;
+    auto Visit = [&](unsigned Q) {
+      if (Q < Lo)
+        Lo = Q;
+      if (Q > Hi)
+        Hi = Q;
+    };
+    for (unsigned Q : I.Controls)
+      Visit(Q);
+    for (unsigned Q : I.Targets)
+      Visit(Q);
+    if (Lo == ~0u)
+      continue;
+    Distinct = Hi - Lo + 1; // Upper bound is all we need: span matters.
+    if (Hi <= Lo || Distinct < 2)
+      continue;
+    ++M.EntanglingGates;
+    if (Hi - Lo > M.MaxGateSpan)
+      M.MaxGateSpan = Hi - Lo;
+    for (unsigned K = Lo; K < Hi && K < Crossings.size(); ++K)
+      if (Crossings[K] < 64) // Saturate: past 2^63 the bound is "huge".
+        ++Crossings[K];
+  }
+  for (size_t K = 0; K < Crossings.size(); ++K) {
+    // The rank across cut K is also bounded by the smaller side's Hilbert
+    // dimension, 2^min(K+1, n-1-K).
+    unsigned Side = static_cast<unsigned>(
+        std::min<size_t>(K + 1, C.NumQubits - 1 - K));
+    unsigned LogBond = std::min(Crossings[K], std::min(Side, 63u));
+    if (LogBond > M.EstimatedLogBond)
+      M.EstimatedLogBond = LogBond;
+    if (Crossings[K] > M.MaxCutCrossings)
+      M.MaxCutCrossings = Crossings[K];
+  }
+  return M;
 }

@@ -14,6 +14,14 @@
 ///   - feed-forward (classically conditioned instructions) distinguishes
 ///     dynamic circuits from static prepare-and-measure ones.
 ///
+/// On top of the boolean profile sits the `CostModel`: a one-pass estimate
+/// of how expensive each engine would find the circuit — non-Clifford gate
+/// count, entangling-gate connectivity, and (the MPS dispatch signal) an
+/// upper bound on the Schmidt rank across every left/right bisection,
+/// derived from how many entangling gates straddle each cut. It is what
+/// lets `--backend auto` route a 100-qubit GHZ ladder to the tensor
+/// network while refusing a 100-qubit random dense circuit.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ASDF_SIM_CIRCUITANALYSIS_H
@@ -22,6 +30,8 @@
 #include "qcirc/Circuit.h"
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 
 namespace asdf {
 
@@ -36,6 +46,9 @@ struct CircuitProfile {
   bool HasFeedForward = false;
   /// Largest control count on any gate.
   unsigned MaxControls = 0;
+  /// Largest total qubit support (controls + targets) on any gate — the
+  /// width of the block the MPS engine must contract to apply it.
+  unsigned MaxGateQubits = 0;
   /// Number of leading instructions that are unconditional gates — the
   /// deterministic prefix shared by every shot.
   size_t UnconditionalGatePrefix = 0;
@@ -45,6 +58,46 @@ struct CircuitProfile {
 
 /// Classifies \p C in one pass.
 CircuitProfile analyzeCircuit(const Circuit &C);
+
+/// The dispatch cost model: what each engine would pay to run the circuit.
+/// The entanglement estimate is an upper bound: a two-qubit gate straddling
+/// a left/right bisection can at most double the Schmidt rank across it, so
+/// the rank across cut k is bounded by 2^(entangling gates crossing k),
+/// and by the dimension 2^min(k+1, n-1-k) of the smaller side. The bound is
+/// loose for circuits that disentangle (it never shrinks), which errs on
+/// the safe side: auto-dispatch only routes to the MPS engine when even the
+/// worst case fits the bond cap.
+struct CostModel {
+  unsigned NumQubits = 0;
+  bool CliffordOnly = true;
+  bool HasFeedForward = false;
+  /// Gates outside the Clifford group (T-count proxy; includes rotations
+  /// at generic angles and multi-controlled gates).
+  uint64_t NonCliffordGates = 0;
+  /// Gates whose support touches >= 2 distinct qubits.
+  uint64_t EntanglingGates = 0;
+  /// Widest site distance any single gate spans (max - min over its
+  /// support) — the swap-routing distance the MPS engine must bridge.
+  unsigned MaxGateSpan = 0;
+  /// Entangling gates straddling the busiest left/right bisection.
+  unsigned MaxCutCrossings = 0;
+  /// log2 of the estimated maximum Schmidt rank over all bisections.
+  unsigned EstimatedLogBond = 0;
+
+  /// The estimated maximum bond dimension an exact MPS run would need
+  /// (saturates instead of overflowing).
+  uint64_t estimatedMaxBond() const {
+    return EstimatedLogBond >= 63 ? UINT64_MAX : (uint64_t(1) << EstimatedLogBond);
+  }
+
+  /// One-line summary for --explain-backend and diagnostics.
+  std::string summary() const;
+};
+
+/// Estimates \p C's cost model in one pass over the instructions. Pass
+/// \p P if the circuit is already profiled to skip re-deriving the
+/// Clifford/feed-forward bits.
+CostModel estimateCost(const Circuit &C, const CircuitProfile *P = nullptr);
 
 /// True if one instruction is a Clifford-group operation the tableau engine
 /// executes exactly. Gate instructions only; measure/reset always qualify.

@@ -1,0 +1,63 @@
+//===- MPSBackend.h - Matrix-product-state engine -------------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tensor-network engine as a SimBackend ("mps"): simulates any gate
+/// set — measurement, reset, and classical feed-forward included — on an
+/// MPSState (MPSState.h) whose bond dimensions are capped at
+/// RunOptions::MpsChi. Memory and time scale as O(n * chi^2) per gate
+/// instead of O(2^n), so circuits of hundreds of qubits run exactly as
+/// long as their entanglement stays within the cap; past it the engine
+/// truncates (optimal rank-chi projection per SVD) and reports the
+/// accumulated discarded weight in SimStats::MpsTruncationError.
+///
+/// Auto-dispatch routes a circuit here only when the cost model's
+/// entanglement bound fits the cap (BackendRegistry::selectWithReasons);
+/// forcing --backend mps past the bound is allowed and gives approximate
+/// amplitudes — the truncation counters say how approximate.
+///
+/// The determinism contract holds: shot S of any batch runs with
+/// deriveShotSeed(Seed, S), the unconditional gate prefix consumes no
+/// randomness (so sharing it across shots is invisible), and results are
+/// independent of RunOptions::Jobs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SIM_MPS_MPSBACKEND_H
+#define ASDF_SIM_MPS_MPSBACKEND_H
+
+#include "sim/Backend.h"
+
+namespace asdf {
+
+/// The matrix-product-state engine ("mps").
+class MPSBackend : public SimBackend {
+public:
+  /// Bond cap used by the optionless run() entry point; must match the
+  /// RunOptions::MpsChi default so runBatch at default options is
+  /// bit-identical to per-shot run() calls.
+  static constexpr unsigned DefaultChi = 64;
+
+  /// Widest gate support (controls + targets) the engine applies as one
+  /// contracted block. Wider gates would cost O(4^m) in the block matrix
+  /// alone; supports() refuses them.
+  static constexpr unsigned MaxGateSites = 8;
+
+  const char *name() const override { return "mps"; }
+  bool supports(const Circuit &C, const CircuitProfile &P) const override;
+  ShotResult run(const Circuit &C, uint64_t Seed) const override;
+  /// Shot-parallel batch with the shared-prefix amortization: the leading
+  /// unconditional gates run once and every shot forks the resulting
+  /// tensors (cheap — O(n * chi^2), not O(2^n)).
+  std::vector<ShotResult> runBatch(const Circuit &C, unsigned Shots,
+                                   uint64_t Seed,
+                                   const RunOptions &Opts) const override;
+  using SimBackend::runBatch;
+};
+
+} // namespace asdf
+
+#endif // ASDF_SIM_MPS_MPSBACKEND_H

@@ -1,0 +1,562 @@
+//===- MPSState.cpp - Matrix-product-state tensor network -----------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/mps/MPSState.h"
+
+#include "obs/Trace.h"
+#include "sim/Fusion.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace asdf;
+
+using Cplx = MPSState::Cplx;
+
+namespace {
+
+/// Relative floor below which a singular value is numerically zero: these
+/// drop on every split (center moves included), keeping bond dimensions
+/// minimal without counting as chi truncation.
+constexpr double SingularFloor = 1e-13;
+
+/// One-sided (Hestenes) Jacobi SVD of the Rows x Cols row-major matrix
+/// \p A with Cols <= Rows: on return A's columns are mutually orthogonal
+/// with norms \p S (unsorted), and \p V accumulates the applied column
+/// rotations from identity, so A_in = A_out * V^H ... i.e. with
+/// U = A_out / diag(S): A_in = U * diag(S) * V^H. Dependency-free and
+/// deterministic: rotation order is a fixed cyclic sweep.
+void jacobiColumns(std::vector<Cplx> &A, unsigned Rows, unsigned Cols,
+                   std::vector<double> &S, std::vector<Cplx> &V) {
+  assert(Cols <= Rows && "tall or square input required");
+  V.assign(size_t(Cols) * Cols, Cplx(0.0, 0.0));
+  for (unsigned J = 0; J < Cols; ++J)
+    V[size_t(J) * Cols + J] = Cplx(1.0, 0.0);
+
+  auto Col = [&](std::vector<Cplx> &M, unsigned Stride, unsigned J,
+                 unsigned K) -> Cplx & { return M[size_t(K) * Stride + J]; };
+
+  const unsigned MaxSweeps = 64;
+  for (unsigned Sweep = 0; Sweep < MaxSweeps; ++Sweep) {
+    bool Rotated = false;
+    for (unsigned P = 0; P + 1 < Cols; ++P) {
+      for (unsigned Q = P + 1; Q < Cols; ++Q) {
+        // Gram entries of the column pair.
+        double Ap = 0.0, Aq = 0.0;
+        Cplx C(0.0, 0.0);
+        for (unsigned K = 0; K < Rows; ++K) {
+          Cplx Xp = Col(A, Cols, P, K), Xq = Col(A, Cols, Q, K);
+          Ap += std::norm(Xp);
+          Aq += std::norm(Xq);
+          C += std::conj(Xp) * Xq;
+        }
+        double AbsC = std::abs(C);
+        if (AbsC <= 1e-15 * std::sqrt(Ap * Aq) || AbsC == 0.0)
+          continue;
+        Rotated = true;
+        // Phase-rotate column q so the cross term becomes real positive,
+        // then a real Jacobi rotation zeroes it.
+        Cplx Ph = C / AbsC;
+        Cplx PhC = std::conj(Ph);
+        double Zeta = (Aq - Ap) / (2.0 * AbsC);
+        double T = (Zeta >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(Zeta) + std::sqrt(1.0 + Zeta * Zeta));
+        double Cs = 1.0 / std::sqrt(1.0 + T * T);
+        double Sn = Cs * T;
+        for (unsigned K = 0; K < Rows; ++K) {
+          Cplx Xp = Col(A, Cols, P, K), Xq = PhC * Col(A, Cols, Q, K);
+          Col(A, Cols, P, K) = Cs * Xp - Sn * Xq;
+          Col(A, Cols, Q, K) = Sn * Xp + Cs * Xq;
+        }
+        for (unsigned K = 0; K < Cols; ++K) {
+          Cplx Xp = Col(V, Cols, P, K), Xq = PhC * Col(V, Cols, Q, K);
+          Col(V, Cols, P, K) = Cs * Xp - Sn * Xq;
+          Col(V, Cols, Q, K) = Sn * Xp + Cs * Xq;
+        }
+      }
+    }
+    if (!Rotated)
+      break;
+  }
+
+  S.resize(Cols);
+  for (unsigned J = 0; J < Cols; ++J) {
+    double Sum = 0.0;
+    for (unsigned K = 0; K < Rows; ++K)
+      Sum += std::norm(Col(A, Cols, J, K));
+    S[J] = std::sqrt(Sum);
+  }
+}
+
+/// Full SVD of the Rows x Cols row-major matrix \p M: fills \p U
+/// (Rows x R), \p S (descending), \p Vh (R x Cols) with R = min(Rows,
+/// Cols) and M = U * diag(S) * Vh. A wide input runs Jacobi on M^H and
+/// swaps the factor roles.
+void svd(const std::vector<Cplx> &M, unsigned Rows, unsigned Cols,
+         std::vector<Cplx> &U, std::vector<double> &S,
+         std::vector<Cplx> &Vh) {
+  unsigned R = std::min(Rows, Cols);
+  std::vector<Cplx> Work;
+  std::vector<Cplx> Acc; // Rotation accumulator (the non-column factor).
+  std::vector<double> Sw;
+  bool Wide = Cols > Rows;
+  if (!Wide) {
+    Work = M;
+    jacobiColumns(Work, Rows, Cols, Sw, Acc);
+  } else {
+    // Work = M^H (Cols x Rows, now tall): M^H = U2 diag(S) V2^H gives
+    // M = V2 diag(S) U2^H, so U = V2 and V^H = U2^H.
+    Work.assign(size_t(Cols) * Rows, Cplx(0.0, 0.0));
+    for (unsigned I = 0; I < Rows; ++I)
+      for (unsigned J = 0; J < Cols; ++J)
+        Work[size_t(J) * Rows + I] = std::conj(M[size_t(I) * Cols + J]);
+    jacobiColumns(Work, Cols, Rows, Sw, Acc);
+  }
+
+  // Sort singular values descending.
+  std::vector<unsigned> Perm(R);
+  std::iota(Perm.begin(), Perm.end(), 0);
+  std::stable_sort(Perm.begin(), Perm.end(),
+                   [&](unsigned A, unsigned B) { return Sw[A] > Sw[B]; });
+
+  S.resize(R);
+  U.assign(size_t(Rows) * R, Cplx(0.0, 0.0));
+  Vh.assign(size_t(R) * Cols, Cplx(0.0, 0.0));
+  for (unsigned J = 0; J < R; ++J) {
+    unsigned P = Perm[J];
+    double Sv = Sw[P];
+    S[J] = Sv;
+    double Inv = Sv > 0.0 ? 1.0 / Sv : 0.0;
+    if (!Wide) {
+      // U column j = normalized Work column p; V^H row j = Acc column p
+      // conjugated.
+      for (unsigned K = 0; K < Rows; ++K)
+        U[size_t(K) * R + J] = Work[size_t(K) * Cols + P] * Inv;
+      for (unsigned K = 0; K < Cols; ++K)
+        Vh[size_t(J) * Cols + K] = std::conj(Acc[size_t(K) * Cols + P]);
+    } else {
+      // U column j = Acc column p; V^H row j = (normalized Work column
+      // p)^H.
+      for (unsigned K = 0; K < Rows; ++K)
+        U[size_t(K) * R + J] = Acc[size_t(K) * Rows + P];
+      for (unsigned K = 0; K < Cols; ++K)
+        Vh[size_t(J) * Cols + K] =
+            std::conj(Work[size_t(K) * Rows + P]) * Inv;
+    }
+  }
+}
+
+/// Row-major product C = A (RxK) * B (KxC).
+std::vector<Cplx> matmulRect(const std::vector<Cplx> &A, unsigned Rows,
+                             unsigned Inner, const std::vector<Cplx> &B,
+                             unsigned Cols) {
+  std::vector<Cplx> C(size_t(Rows) * Cols, Cplx(0.0, 0.0));
+  for (unsigned I = 0; I < Rows; ++I)
+    for (unsigned K = 0; K < Inner; ++K) {
+      Cplx A_ik = A[size_t(I) * Inner + K];
+      if (A_ik == Cplx(0.0, 0.0))
+        continue;
+      const Cplx *BRow = &B[size_t(K) * Cols];
+      Cplx *CRow = &C[size_t(I) * Cols];
+      for (unsigned J = 0; J < Cols; ++J)
+        CRow[J] += A_ik * BRow[J];
+    }
+  return C;
+}
+
+} // namespace
+
+MPSState::MPSState(unsigned NumQubits, unsigned ChiCap) : Chi(ChiCap) {
+  assert(NumQubits > 0 && "empty register");
+  Sites.resize(NumQubits);
+  for (Site &A : Sites) {
+    A.Dl = A.Dr = 1;
+    A.T = {Cplx(1.0, 0.0), Cplx(0.0, 0.0)}; // |0>
+  }
+}
+
+unsigned MPSState::truncatedSVD(const std::vector<Cplx> &Theta, unsigned Rows,
+                                unsigned Cols, std::vector<Cplx> &U,
+                                std::vector<double> &S, std::vector<Cplx> &Vh,
+                                bool Truncate) {
+  obs::Span Sp("mps.svd", "sim");
+  if (Stats)
+    ++Stats->MpsSvds;
+  svd(Theta, Rows, Cols, U, S, Vh);
+  unsigned R = static_cast<unsigned>(S.size());
+
+  double WTotal = 0.0;
+  for (double Sv : S)
+    WTotal += Sv * Sv;
+
+  // Numerically-zero values drop unconditionally (exact up to rounding).
+  unsigned NonZero = R;
+  while (NonZero > 1 && S[NonZero - 1] <= S[0] * SingularFloor)
+    --NonZero;
+
+  unsigned K = NonZero;
+  bool Truncated = false;
+  if (Truncate && Chi > 0 && K > Chi) {
+    K = Chi;
+    Truncated = true;
+  }
+
+  if (K < R) {
+    // Trim U to its first K columns and Vh to its first K rows (rows are
+    // contiguous, so Vh just shrinks).
+    std::vector<Cplx> Ut(size_t(Rows) * K);
+    for (unsigned I = 0; I < Rows; ++I)
+      for (unsigned J = 0; J < K; ++J)
+        Ut[size_t(I) * K + J] = U[size_t(I) * R + J];
+    U = std::move(Ut);
+    Vh.resize(size_t(K) * Cols);
+    S.resize(K);
+  }
+
+  if (Truncated) {
+    double WKept = 0.0;
+    for (double Sv : S)
+      WKept += Sv * Sv;
+    if (WKept > 0.0 && WTotal > 0.0) {
+      double Discarded = 1.0 - WKept / WTotal;
+      TruncErr += Discarded;
+      if (Stats) {
+        ++Stats->MpsTruncations;
+        Stats->MpsTruncationError += Discarded;
+      }
+      // Renormalize so the state keeps unit norm despite the cut.
+      double Scale = std::sqrt(WTotal / WKept);
+      for (double &Sv : S)
+        Sv *= Scale;
+    }
+  }
+  return K;
+}
+
+void MPSState::moveCenterRight() {
+  assert(Center + 1 < Sites.size());
+  Site &A = Sites[Center];
+  // A is already laid out as the (Dl*2) x Dr matrix of the split.
+  std::vector<Cplx> U, Vh;
+  std::vector<double> S;
+  unsigned K = truncatedSVD(A.T, A.Dl * 2, A.Dr, U, S, Vh,
+                            /*Truncate=*/false);
+  unsigned OldDr = A.Dr;
+  A.T = std::move(U);
+  A.Dr = K;
+  // Absorb diag(S) * Vh into the right neighbor, viewed as the
+  // OldDr x (2 * Dr) matrix of its (l, s, r) layout.
+  for (unsigned I = 0; I < K; ++I)
+    for (unsigned J = 0; J < OldDr; ++J)
+      Vh[size_t(I) * OldDr + J] *= S[I];
+  Site &B = Sites[Center + 1];
+  B.T = matmulRect(Vh, K, OldDr, B.T, 2 * B.Dr);
+  B.Dl = K;
+  ++Center;
+}
+
+void MPSState::moveCenterLeft() {
+  assert(Center > 0);
+  Site &A = Sites[Center];
+  // View A as the Dl x (2*Dr) matrix of its layout.
+  std::vector<Cplx> U, Vh;
+  std::vector<double> S;
+  unsigned K = truncatedSVD(A.T, A.Dl, 2 * A.Dr, U, S, Vh,
+                            /*Truncate=*/false);
+  unsigned OldDl = A.Dl;
+  A.T = std::move(Vh);
+  A.Dl = K;
+  // Absorb U * diag(S) into the left neighbor, viewed as (Dl*2) x Dr.
+  for (unsigned I = 0; I < OldDl; ++I)
+    for (unsigned J = 0; J < K; ++J)
+      U[size_t(I) * K + J] *= S[J];
+  Site &B = Sites[Center - 1];
+  B.T = matmulRect(B.T, B.Dl * 2, OldDl, U, K);
+  B.Dr = K;
+  --Center;
+}
+
+void MPSState::moveCenter(unsigned To) {
+  while (Center < To)
+    moveCenterRight();
+  while (Center > To)
+    moveCenterLeft();
+}
+
+void MPSState::applySingle(unsigned Q, const Cplx U[2][2]) {
+  // A unitary on the physical leg preserves both orthogonality
+  // conditions, so no center move and no SVD.
+  Site &A = Sites[Q];
+  for (unsigned L = 0; L < A.Dl; ++L)
+    for (unsigned R = 0; R < A.Dr; ++R) {
+      Cplx X0 = A.T[(size_t(L) * 2 + 0) * A.Dr + R];
+      Cplx X1 = A.T[(size_t(L) * 2 + 1) * A.Dr + R];
+      A.T[(size_t(L) * 2 + 0) * A.Dr + R] = U[0][0] * X0 + U[0][1] * X1;
+      A.T[(size_t(L) * 2 + 1) * A.Dr + R] = U[1][0] * X0 + U[1][1] * X1;
+    }
+}
+
+void MPSState::applyBlockAt(unsigned First, unsigned M,
+                            const std::vector<Cplx> &U) {
+  assert(First + M <= Sites.size());
+  if (M == 1) {
+    Cplx U2[2][2] = {{U[0], U[1]}, {U[2], U[3]}};
+    applySingle(First, U2);
+    return;
+  }
+  // The center must sit inside the window for truncation to be optimal
+  // (orthonormal environments on both flanks).
+  if (Center < First)
+    moveCenter(First);
+  else if (Center > First + M - 1)
+    moveCenter(First + M - 1);
+
+  // Contract the window into one (Dl0, 2^M, DrLast) block. Physical
+  // index p is MSB-first: site First owns the top bit, matching
+  // gateBlockMatrix's Support[0]-is-MSB convention for an ascending
+  // support.
+  unsigned Dl0 = Sites[First].Dl;
+  unsigned Phys = 2;
+  std::vector<Cplx> Block = Sites[First].T; // (Dl0, 2, Dr) layout.
+  unsigned Dc = Sites[First].Dr;
+  for (unsigned I = 1; I < M; ++I) {
+    const Site &Next = Sites[First + I];
+    assert(Next.Dl == Dc);
+    unsigned NewPhys = Phys * 2;
+    std::vector<Cplx> Merged(size_t(Dl0) * NewPhys * Next.Dr,
+                             Cplx(0.0, 0.0));
+    for (unsigned L = 0; L < Dl0; ++L)
+      for (unsigned P = 0; P < Phys; ++P)
+        for (unsigned C = 0; C < Dc; ++C) {
+          Cplx X = Block[(size_t(L) * Phys + P) * Dc + C];
+          if (X == Cplx(0.0, 0.0))
+            continue;
+          const Cplx *N0 = &Next.T[(size_t(C) * 2 + 0) * Next.Dr];
+          const Cplx *N1 = &Next.T[(size_t(C) * 2 + 1) * Next.Dr];
+          Cplx *Out0 = &Merged[(size_t(L) * NewPhys + P * 2 + 0) * Next.Dr];
+          Cplx *Out1 = &Merged[(size_t(L) * NewPhys + P * 2 + 1) * Next.Dr];
+          for (unsigned R = 0; R < Next.Dr; ++R) {
+            Out0[R] += X * N0[R];
+            Out1[R] += X * N1[R];
+          }
+        }
+    Block = std::move(Merged);
+    Phys = NewPhys;
+    Dc = Next.Dr;
+  }
+  unsigned DrLast = Dc;
+
+  // Apply the unitary on the physical index.
+  assert(U.size() == size_t(Phys) * Phys);
+  std::vector<Cplx> Applied(Block.size(), Cplx(0.0, 0.0));
+  for (unsigned L = 0; L < Dl0; ++L)
+    for (unsigned P = 0; P < Phys; ++P) {
+      Cplx *Out = &Applied[(size_t(L) * Phys + P) * DrLast];
+      const Cplx *URow = &U[size_t(P) * Phys];
+      for (unsigned Pp = 0; Pp < Phys; ++Pp) {
+        Cplx W = URow[Pp];
+        if (W == Cplx(0.0, 0.0))
+          continue;
+        const Cplx *In = &Block[(size_t(L) * Phys + Pp) * DrLast];
+        for (unsigned R = 0; R < DrLast; ++R)
+          Out[R] += W * In[R];
+      }
+    }
+  Block = std::move(Applied);
+
+  // Re-split left to right; every interior cut truncates to chi. The
+  // remaining block keeps shape (DlCur, RemPhys, DrLast).
+  unsigned DlCur = Dl0;
+  unsigned RemPhys = Phys;
+  for (unsigned I = 0; I + 1 < M; ++I) {
+    unsigned Rows = DlCur * 2;
+    unsigned Cols = (RemPhys / 2) * DrLast;
+    std::vector<Cplx> USplit, Vh;
+    std::vector<double> S;
+    unsigned K =
+        truncatedSVD(Block, Rows, Cols, USplit, S, Vh, /*Truncate=*/true);
+    Site &A = Sites[First + I];
+    A.Dl = DlCur;
+    A.Dr = K;
+    A.T = std::move(USplit);
+    noteBond(K);
+    for (unsigned Ri = 0; Ri < K; ++Ri)
+      for (unsigned Cj = 0; Cj < Cols; ++Cj)
+        Vh[size_t(Ri) * Cols + Cj] *= S[Ri];
+    Block = std::move(Vh);
+    DlCur = K;
+    RemPhys /= 2;
+  }
+  Site &Last = Sites[First + M - 1];
+  Last.Dl = DlCur;
+  Last.Dr = DrLast;
+  Last.T = std::move(Block);
+  Center = First + M - 1;
+}
+
+void MPSState::swapAdjacent(unsigned I) {
+  static const std::vector<Cplx> SwapU = {
+      {1, 0}, {0, 0}, {0, 0}, {0, 0}, //
+      {0, 0}, {0, 0}, {1, 0}, {0, 0}, //
+      {0, 0}, {1, 0}, {0, 0}, {0, 0}, //
+      {0, 0}, {0, 0}, {0, 0}, {1, 0}, //
+  };
+  applyBlockAt(I, 2, SwapU);
+}
+
+void MPSState::apply(const CircuitInstr &I) {
+  assert(I.TheKind == CircuitInstr::Kind::Gate && "gate instructions only");
+  assert(!I.isSymbolic() && "bind parameters before running");
+  obs::Span Sp("mps.gate", "sim");
+
+  // Collect the sorted distinct support; a duplicated qubit (control ==
+  // target) is the dense engine's documented no-op.
+  std::vector<unsigned> Support;
+  Support.reserve(I.Controls.size() + I.Targets.size());
+  Support.insert(Support.end(), I.Controls.begin(), I.Controls.end());
+  Support.insert(Support.end(), I.Targets.begin(), I.Targets.end());
+  std::sort(Support.begin(), Support.end());
+  if (std::adjacent_find(Support.begin(), Support.end()) != Support.end())
+    return;
+  assert(!Support.empty());
+  assert(Support.back() < Sites.size());
+
+  if (Support.size() == 1 && I.Gate != GateKind::Swap) {
+    Mat2 U = gateMatrix2(I.Gate, I.Param);
+    applySingle(Support[0], U.M);
+    return;
+  }
+
+  unsigned M = static_cast<unsigned>(Support.size());
+  unsigned Base = Support[0];
+  if (Support.back() - Base + 1 == M) {
+    // Contiguous support: one block application.
+    applyBlockAt(Base, M, gateBlockMatrix(I, Support));
+    return;
+  }
+
+  // Long-range gate: route the support together with adjacent swaps,
+  // apply the block, then replay the swaps in reverse. Gathering the
+  // i-th support qubit leftward to Base + i only crosses sites left of
+  // the (i+1)-th support qubit, so later support positions stay put.
+  std::vector<unsigned> Route;
+  for (unsigned Idx = 1; Idx < M; ++Idx)
+    for (unsigned Pos = Support[Idx]; Pos > Base + Idx; --Pos) {
+      swapAdjacent(Pos - 1);
+      Route.push_back(Pos - 1);
+    }
+  // After routing, site Base + i holds original qubit Support[i], so the
+  // block's local ordering matches the sorted support exactly.
+  std::vector<unsigned> Window(M);
+  for (unsigned Idx = 0; Idx < M; ++Idx)
+    Window[Idx] = Base + Idx;
+  CircuitInstr Local = I;
+  // Remap controls/targets onto the gathered window for gateBlockMatrix.
+  auto Remap = [&](std::vector<unsigned> &Qs) {
+    for (unsigned &Q : Qs) {
+      auto It = std::lower_bound(Support.begin(), Support.end(), Q);
+      Q = Base + static_cast<unsigned>(It - Support.begin());
+    }
+  };
+  Remap(Local.Controls);
+  Remap(Local.Targets);
+  applyBlockAt(Base, M, gateBlockMatrix(Local, Window));
+  for (auto It = Route.rbegin(); It != Route.rend(); ++It)
+    swapAdjacent(*It);
+}
+
+double MPSState::probOne(unsigned Q) {
+  moveCenter(Q);
+  const Site &A = Sites[Q];
+  double W0 = 0.0, W1 = 0.0;
+  for (unsigned L = 0; L < A.Dl; ++L)
+    for (unsigned R = 0; R < A.Dr; ++R) {
+      W0 += std::norm(A.T[(size_t(L) * 2 + 0) * A.Dr + R]);
+      W1 += std::norm(A.T[(size_t(L) * 2 + 1) * A.Dr + R]);
+    }
+  double Total = W0 + W1;
+  return Total > 0.0 ? W1 / Total : 0.0;
+}
+
+bool MPSState::measure(unsigned Q, std::mt19937_64 &Rng) {
+  obs::Span Sp("mps.measure", "sim");
+  double P1 = probOne(Q); // Moves the center to Q.
+  std::uniform_real_distribution<double> Dist(0.0, 1.0);
+  bool One = Dist(Rng) < P1;
+  // Collapse the center tensor: zero the dead physical component, rescale
+  // the kept one so the state norm is unchanged.
+  Site &A = Sites[Q];
+  unsigned Keep = One ? 1 : 0;
+  double Norm = std::sqrt(One ? P1 : 1.0 - P1);
+  double Scale = Norm >= 1e-300 ? 1.0 / Norm : 1.0;
+  for (unsigned L = 0; L < A.Dl; ++L)
+    for (unsigned R = 0; R < A.Dr; ++R) {
+      A.T[(size_t(L) * 2 + Keep) * A.Dr + R] *= Scale;
+      A.T[(size_t(L) * 2 + (1 - Keep)) * A.Dr + R] = Cplx(0.0, 0.0);
+    }
+  return One;
+}
+
+void MPSState::reset(unsigned Q, std::mt19937_64 &Rng) {
+  if (measure(Q, Rng)) {
+    static const Cplx X[2][2] = {{{0, 0}, {1, 0}}, {{1, 0}, {0, 0}}};
+    applySingle(Q, X);
+  }
+}
+
+Cplx MPSState::amplitude(uint64_t Index) const {
+  unsigned N = numQubits();
+  // Row vector through the matrix product; qubit 0 is the MSB.
+  std::vector<Cplx> Vec = {Cplx(1.0, 0.0)};
+  for (unsigned I = 0; I < N; ++I) {
+    unsigned S = static_cast<unsigned>((Index >> (N - 1 - I)) & 1);
+    const Site &A = Sites[I];
+    std::vector<Cplx> Next(A.Dr, Cplx(0.0, 0.0));
+    for (unsigned L = 0; L < A.Dl; ++L) {
+      Cplx X = Vec[L];
+      if (X == Cplx(0.0, 0.0))
+        continue;
+      const Cplx *Row = &A.T[(size_t(L) * 2 + S) * A.Dr];
+      for (unsigned R = 0; R < A.Dr; ++R)
+        Next[R] += X * Row[R];
+    }
+    Vec = std::move(Next);
+  }
+  return Vec[0];
+}
+
+std::vector<Cplx> MPSState::statevector() const {
+  unsigned N = numQubits();
+  assert(N <= 24 && "dense expansion is for small test circuits");
+  // Expand left to right: Partial holds, for every assignment of the
+  // first I qubits, the row vector over bond I — one pass instead of a
+  // per-amplitude walk.
+  std::vector<std::vector<Cplx>> Partial = {{Cplx(1.0, 0.0)}};
+  for (unsigned I = 0; I < N; ++I) {
+    const Site &A = Sites[I];
+    std::vector<std::vector<Cplx>> Next(Partial.size() * 2);
+    for (size_t P = 0; P < Partial.size(); ++P)
+      for (unsigned S = 0; S < 2; ++S) {
+        std::vector<Cplx> V(A.Dr, Cplx(0.0, 0.0));
+        for (unsigned L = 0; L < A.Dl; ++L) {
+          Cplx X = Partial[P][L];
+          if (X == Cplx(0.0, 0.0))
+            continue;
+          const Cplx *Row = &A.T[(size_t(L) * 2 + S) * A.Dr];
+          for (unsigned R = 0; R < A.Dr; ++R)
+            V[R] += X * Row[R];
+        }
+        Next[P * 2 + S] = std::move(V);
+      }
+    Partial = std::move(Next);
+  }
+  std::vector<Cplx> Out(Partial.size());
+  for (size_t I = 0; I < Partial.size(); ++I)
+    Out[I] = Partial[I][0];
+  return Out;
+}

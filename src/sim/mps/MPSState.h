@@ -1,0 +1,159 @@
+//===- MPSState.h - Matrix-product-state tensor network ------------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A matrix-product-state (MPS) representation of an n-qubit pure state:
+/// one rank-3 tensor A[i] of shape (Dl, 2, Dr) per site, with the state's
+/// amplitude for basis string s0 s1 ... s_{n-1} given by the matrix product
+/// A[0]^{s0} A[1]^{s1} ... A[n-1]^{s_{n-1}} (each A[i]^{s} a Dl x Dr
+/// matrix; the boundary bonds are 1-dimensional). Memory is O(n * chi^2)
+/// where chi bounds the bond dimensions — polynomial in n for
+/// lowly-entangled states where the dense 2^n vector is unreachable.
+///
+/// The state is kept in **mixed-canonical form** around an orthogonality
+/// center: every site left of the center is left-orthogonal, every site
+/// right of it right-orthogonal. That invariant is what makes the two core
+/// operations local and optimal:
+///
+///   - a two-site (or m-site) gate contracts the neighboring tensors,
+///     applies the unitary, and splits the result back with an SVD; with
+///     the environment orthonormal, discarding the smallest singular
+///     values is the *optimal* rank-chi truncation of the state, and the
+///     discarded squared weight is tracked as the truncation error;
+///   - measuring a qubit reads its reduced density matrix off the center
+///     tensor alone (the environments contract to identity), then
+///     collapses by zeroing the other physical component and rescaling.
+///
+/// Long-range gates route via adjacent SWAP gates (applied as ordinary
+/// two-site unitaries, truncated like any other); multi-qubit gates
+/// (Toffoli, multi-controlled phases) contract their whole support into
+/// one block tensor, apply the 2^m x 2^m matrix from gateBlockMatrix, and
+/// re-split site by site.
+///
+/// The SVD is a dependency-free one-sided (Hestenes) Jacobi — adequate for
+/// the (2*chi) x (2*chi) matrices gate application produces, numerically
+/// robust, and deterministic across runs on one platform.
+///
+/// Convention: site i holds qubit i; qubit 0 is the leftmost site and the
+/// most significant bit of a basis-state index, matching the dense
+/// engine's eigenbit convention.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SIM_MPS_MPSSTATE_H
+#define ASDF_SIM_MPS_MPSSTATE_H
+
+#include "sim/Backend.h"
+
+#include <complex>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace asdf {
+
+/// An n-qubit pure state as a matrix product, initialized to |0...0>.
+class MPSState {
+public:
+  using Cplx = std::complex<double>;
+
+  /// \p Chi caps every bond dimension (0 = unlimited / exact).
+  explicit MPSState(unsigned NumQubits, unsigned Chi = 0);
+
+  unsigned numQubits() const { return static_cast<unsigned>(Sites.size()); }
+  unsigned chi() const { return Chi; }
+
+  /// Attaches per-run simulation counters (null detaches). Non-owning;
+  /// concurrently-running shots must each attach their own instance.
+  void setStats(SimStats *S) { Stats = S; }
+
+  /// Largest bond dimension reached so far (including transient growth
+  /// before truncation never counts — this is the post-truncation max).
+  unsigned maxBond() const { return MaxBond; }
+
+  /// Accumulated discarded squared Schmidt weight across truncating SVDs.
+  double truncationError() const { return TruncErr; }
+
+  /// Applies one gate instruction (any GateKind, any control count, any
+  /// qubit distance). Classical conditions are the caller's business; a
+  /// degenerate gate whose controls and targets overlap is a no-op, as on
+  /// the dense engine.
+  void apply(const CircuitInstr &I);
+
+  /// Measures qubit \p Q in the computational basis, collapses the state,
+  /// and returns the outcome. Consumes exactly one uniform draw from
+  /// \p Rng (the dense engine's convention, so RNG consumption is
+  /// identical across execution plans).
+  bool measure(unsigned Q, std::mt19937_64 &Rng);
+
+  /// Resets qubit \p Q to |0> (measure, then flip on a 1 outcome).
+  void reset(unsigned Q, std::mt19937_64 &Rng);
+
+  /// Probability that qubit \p Q reads 1 (moves the orthogonality center;
+  /// does not collapse).
+  double probOne(unsigned Q);
+
+  /// The amplitude of computational basis state \p Index (qubit 0 = MSB).
+  Cplx amplitude(uint64_t Index) const;
+
+  /// The full dense state (2^n amplitudes, basis index order). Intended
+  /// for differential tests at small n.
+  std::vector<Cplx> statevector() const;
+
+private:
+  /// One site tensor, shape (Dl, 2, Dr), entry (l, s, r) at
+  /// T[(l * 2 + s) * Dr + r].
+  struct Site {
+    unsigned Dl = 1, Dr = 1;
+    std::vector<Cplx> T;
+  };
+
+  std::vector<Site> Sites;
+  unsigned Chi;          ///< Bond cap (0 = unlimited).
+  unsigned Center = 0;   ///< Orthogonality center site.
+  unsigned MaxBond = 1;  ///< High-water bond dimension.
+  double TruncErr = 0.0; ///< Accumulated discarded weight.
+  SimStats *Stats = nullptr;
+
+  void moveCenter(unsigned To);
+  void moveCenterRight(); ///< Center -> Center + 1 (exact split).
+  void moveCenterLeft();  ///< Center -> Center - 1 (exact split).
+
+  /// Applies an uncontrolled single-qubit 2x2 matrix in place (no SVD,
+  /// bond dimensions unchanged, orthogonality preserved).
+  void applySingle(unsigned Q, const Cplx U[2][2]);
+
+  /// Applies a 2^m x 2^m unitary to the m contiguous sites
+  /// [First, First + m): contract, multiply, re-split with truncation.
+  /// Leaves the center at First + m - 1.
+  void applyBlockAt(unsigned First, unsigned M, const std::vector<Cplx> &U);
+
+  /// Swaps the qubits at sites \p I and I + 1 (a routed SWAP, applied as
+  /// an ordinary two-site unitary).
+  void swapAdjacent(unsigned I);
+
+  /// SVDs the Rows x Cols matrix \p Theta as U * diag(S) * Vh and keeps K
+  /// columns: numerically-zero singular values always drop (keeping bonds
+  /// minimal on exact splits); when \p Truncate, at most chi survive, the
+  /// kept values renormalize to preserve the norm, and the discarded
+  /// squared weight is accounted. U comes back Rows x K, Vh K x Cols,
+  /// both row-major. Returns K >= 1.
+  unsigned truncatedSVD(const std::vector<Cplx> &Theta, unsigned Rows,
+                        unsigned Cols, std::vector<Cplx> &U,
+                        std::vector<double> &S, std::vector<Cplx> &Vh,
+                        bool Truncate);
+
+  void noteBond(unsigned D) {
+    if (D > MaxBond)
+      MaxBond = D;
+    if (Stats && D > Stats->MpsMaxBond)
+      Stats->MpsMaxBond = D;
+  }
+};
+
+} // namespace asdf
+
+#endif // ASDF_SIM_MPS_MPSSTATE_H

@@ -24,6 +24,8 @@
 #include "sim/Fusion.h"
 #include "sim/Simulator.h"
 #include "sim/StabilizerBackend.h"
+#include "sim/mps/MPSBackend.h"
+#include "sim/mps/MPSState.h"
 
 #include <gtest/gtest.h>
 
@@ -456,6 +458,139 @@ TEST(DifferentialTest, StabilizerParallelBitExact) {
     std::vector<ShotResult> Want = Stab.runBatch(C, 16, Trial, Serial);
     std::vector<ShotResult> Got = Stab.runBatch(C, 16, Trial, Parallel);
     expectBatchesBitExact(Want, Got, "stab/j4", Trial);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MPS: parallel parity, exact amplitudes, and cross-engine distributions
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialTest, MpsParallelBitExact) {
+  // The tensor-network engine honors the same execution-plan contract as
+  // the others: jobs=1 and jobs=4 replay identical per-shot bits, dynamic
+  // circuits (mid-circuit measure, reset, feed-forward) included.
+  std::mt19937_64 Rng(0x3975ull);
+  MPSBackend Mps;
+  for (unsigned Trial = 0; Trial < 30; ++Trial) {
+    Circuit C = randomCircuit(Rng, 2 + Trial % 5, 20, /*CliffordOnly=*/false);
+    RunOptions Serial, Parallel;
+    Serial.Jobs = 1;
+    Parallel.Jobs = 4;
+    std::vector<ShotResult> Want = Mps.runBatch(C, 16, Trial, Serial);
+    std::vector<ShotResult> Got = Mps.runBatch(C, 16, Trial, Parallel);
+    expectBatchesBitExact(Want, Got, "mps/j4", Trial);
+  }
+}
+
+TEST(DifferentialTest, MpsExactAmplitudesAtUnlimitedChi) {
+  // With chi unlimited every SVD split is exact: the MPS must reproduce
+  // the dense amplitudes of random gate-only circuits to rounding.
+  std::mt19937_64 Rng(0xAC1Dull);
+  for (unsigned Trial = 0; Trial < 12; ++Trial) {
+    unsigned NumQubits = 2 + Trial % 7; // 2..8
+    Circuit Raw = randomCircuit(Rng, NumQubits, 24, /*CliffordOnly=*/false);
+    Circuit C;
+    C.NumQubits = NumQubits;
+    for (const CircuitInstr &I : Raw.Instrs)
+      if (I.TheKind == CircuitInstr::Kind::Gate && I.CondBit < 0)
+        C.append(I);
+    MPSState Mps(NumQubits, /*Chi=*/0);
+    StateVector Sv(NumQubits);
+    for (const CircuitInstr &I : C.Instrs) {
+      Mps.apply(I);
+      Sv.apply(I.Gate, I.Controls, I.Targets, I.Param);
+    }
+    std::vector<MPSState::Cplx> Amp = Mps.statevector();
+    for (uint64_t Idx = 0; Idx < (uint64_t(1) << NumQubits); ++Idx)
+      ASSERT_LT(std::abs(Amp[Idx] - Sv.amplitudes()[Idx]), 1e-8)
+          << "trial " << Trial << " index " << Idx;
+    EXPECT_EQ(Mps.truncationError(), 0.0) << "trial " << Trial;
+  }
+}
+
+TEST(DifferentialTest, MpsMatchesStatevectorDistributions) {
+  // Distributional parity against the dense engine under every dense
+  // execution plan {fuse on/off} x {jobs 1,4} — the engines consume RNG
+  // differently, so the comparison is total variation, not bit equality.
+  std::mt19937_64 Rng(0x395Dull);
+  const unsigned Shots = 2500;
+  struct Config {
+    bool Fuse;
+    unsigned Jobs;
+    const char *Name;
+  };
+  const Config Configs[] = {
+      {false, 1, "sv-unfused/j1"},
+      {false, 4, "sv-unfused/j4"},
+      {true, 1, "sv-fused/j1"},
+      {true, 4, "sv-fused/j4"},
+  };
+  for (unsigned Trial = 0; Trial < 4; ++Trial) {
+    Circuit C = randomCircuit(Rng, 3 + Trial, 18, /*CliffordOnly=*/false);
+    std::map<std::string, unsigned> Mps =
+        runShots(C, Shots, 21 + Trial, BackendKind::MPS);
+    for (const Config &Cfg : Configs) {
+      RunOptions Opts;
+      Opts.Fuse = Cfg.Fuse;
+      Opts.Jobs = Cfg.Jobs;
+      std::map<std::string, unsigned> Sv = runShots(
+          C, Shots, 700 + Trial, BackendKind::Statevector, Opts);
+      EXPECT_LT(tvDistance(Mps, Sv, Shots), 0.11)
+          << Cfg.Name << " trial " << Trial;
+    }
+  }
+}
+
+TEST(DifferentialTest, MpsMatchesStatevectorOnStructuredLowEntanglement) {
+  // A 16-qubit brickwork ladder at generic angles: wide enough that the
+  // bond structure matters, shallow enough that the default chi is exact.
+  Circuit C;
+  C.NumQubits = 16;
+  C.NumBits = 16;
+  for (unsigned Q = 0; Q < 16; ++Q)
+    C.append(CircuitInstr::gate(GateKind::RY, {}, {Q}, 0.2 + 0.05 * Q));
+  for (unsigned Layer = 0; Layer < 2; ++Layer) {
+    for (unsigned Q = Layer % 2; Q + 1 < 16; Q += 2) {
+      C.append(CircuitInstr::gate(GateKind::X, {Q}, {Q + 1}));
+      C.append(CircuitInstr::gate(GateKind::RZ, {}, {Q + 1}, 0.6));
+      C.append(CircuitInstr::gate(GateKind::X, {Q}, {Q + 1}));
+    }
+    for (unsigned Q = 0; Q < 16; ++Q)
+      C.append(CircuitInstr::gate(GateKind::RX, {}, {Q}, 0.3));
+  }
+  // Exact check first: the full 2^16 amplitude vectors must agree (the
+  // sampled space is too large for a meaningful TV comparison).
+  MPSState Exact(16, /*Chi=*/0);
+  StateVector Dense(16);
+  for (const CircuitInstr &I : C.Instrs) {
+    Exact.apply(I);
+    Dense.apply(I.Gate, I.Controls, I.Targets, I.Param);
+  }
+  std::vector<MPSState::Cplx> Amp = Exact.statevector();
+  for (uint64_t Idx = 0; Idx < (uint64_t(1) << 16); ++Idx)
+    ASSERT_LT(std::abs(Amp[Idx] - Dense.amplitudes()[Idx]), 1e-8)
+        << "index " << Idx;
+  // Two brickwork layers can at most quadruple any cut's rank.
+  EXPECT_LE(Exact.maxBond(), 4u);
+
+  // Sampled check on per-qubit marginals, where counting statistics are
+  // sound at this shot budget.
+  for (unsigned Q = 0; Q < 16; ++Q)
+    C.append(CircuitInstr::measure(Q, Q));
+  const unsigned Shots = 2000;
+  std::map<std::string, unsigned> Mps =
+      runShots(C, Shots, 31, BackendKind::MPS);
+  std::map<std::string, unsigned> Sv =
+      runShots(C, Shots, 450, BackendKind::Statevector);
+  for (unsigned Q = 0; Q < 16; ++Q) {
+    auto Marginal = [&](const std::map<std::string, unsigned> &Counts) {
+      uint64_t Ones = 0;
+      for (const auto &KV : Counts)
+        if (KV.first[Q] == '1')
+          Ones += KV.second;
+      return double(Ones) / Shots;
+    };
+    EXPECT_NEAR(Marginal(Mps), Marginal(Sv), 0.06) << "qubit " << Q;
   }
 }
 

@@ -663,6 +663,45 @@ TEST(ServiceTest, RunErrorsCarryMachineReadableKinds) {
   EXPECT_EQ(Service.handle(R).Error.Kind, "compile-error");
 }
 
+TEST(ServiceTest, MpsBackendRunsOverTheWire) {
+  AsdfService Service;
+  ServiceRequest R;
+  R.TheKind = ServiceRequest::Kind::Run;
+  R.Id = 77;
+  R.Source = BVSource;
+  R.Bindings = bvBindings("1101");
+  R.Shots = 12;
+  R.Seed = 21;
+  R.Backend = "mps";
+  // Round-trip the wire encoding like a real client before handling.
+  std::string Wire = R.toJson().write();
+  ServiceRequest Back;
+  uint64_t Id = 0;
+  std::string Error;
+  ASSERT_TRUE(parseRequestLine(Wire, Back, Id, Error)) << Error;
+  EXPECT_EQ(Back.Backend, "mps");
+  ServiceResponse Resp = Service.handle(Back);
+  ASSERT_TRUE(Resp.Ok) << Resp.Error.Message;
+  EXPECT_EQ(Resp.Results, referenceRun(R));
+  // Bernstein-Vazirani on the tensor network still reads back the secret.
+  for (const std::string &Bits : Resp.Results)
+    EXPECT_EQ(Bits, "1101");
+
+  // bind-run routes parametric sweeps to the tensor network too.
+  ServiceRequest BR = bindRunRequest(78, {{0.0}, {45.5}, {90.0}});
+  BR.Backend = "mps";
+  ServiceResponse Sweep = Service.handle(BR);
+  ASSERT_TRUE(Sweep.Ok) << Sweep.Error.Message;
+  EXPECT_EQ(Sweep.PointResults.size(), 3u);
+
+  // Unknown engine names stay a bad request on both verbs.
+  BR.Backend = "tpu";
+  EXPECT_EQ(Service.handle(BR).Error.Kind, "bad-request");
+  ServiceRequest BadRun = coinRunRequest(79);
+  BadRun.Backend = "tensor";
+  EXPECT_EQ(Service.handle(BadRun).Error.Kind, "bad-request");
+}
+
 TEST(ServiceTest, ExpiredDeadlineTimesOutBeforeWork) {
   AsdfService Service;
   ServiceRequest R = coinRunRequest();
