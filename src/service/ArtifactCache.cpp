@@ -8,6 +8,7 @@
 
 #include "compiler/CompileSession.h"
 #include "obs/Trace.h"
+#include "service/DiskCache.h"
 #include "service/Request.h"
 #include "support/BuildInfo.h"
 
@@ -58,19 +59,36 @@ ArtifactCache::ArtifactCache(size_t ByteBudget) : Budget(ByteBudget) {
 
 std::shared_ptr<const CachedArtifact> ArtifactCache::get(const CacheKey &K) {
   obs::Span Sp("cache.probe", "cache");
-  std::lock_guard<std::mutex> Lock(M);
-  auto It = Map.find(K);
-  if (It == Map.end()) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Map.find(K);
+    if (It != Map.end()) {
+      ++S.Hits;
+      Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+      return It->second.Art;
+    }
     ++S.Misses;
-    return nullptr;
   }
-  ++S.Hits;
-  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
-  return It->second.Art;
+  if (!Disk)
+    return nullptr;
+  // Memory miss, disk probe (outside the memory lock: disk I/O must not
+  // stall concurrent memory hits). A disk hit is promoted so the next
+  // probe is a pure memory hit — without a second disk write.
+  std::shared_ptr<const CachedArtifact> FromDisk = Disk->get(K);
+  if (FromDisk)
+    putInMemory(K, FromDisk);
+  return FromDisk;
 }
 
 void ArtifactCache::put(const CacheKey &K,
                         std::shared_ptr<const CachedArtifact> Art) {
+  if (Disk)
+    Disk->put(K, *Art);
+  putInMemory(K, std::move(Art));
+}
+
+void ArtifactCache::putInMemory(const CacheKey &K,
+                                std::shared_ptr<const CachedArtifact> Art) {
   size_t Bytes = Art->bytes();
   std::lock_guard<std::mutex> Lock(M);
   if (Bytes > Budget)

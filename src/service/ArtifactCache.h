@@ -93,19 +93,31 @@ struct CacheStats {
   size_t ByteBudget = 0;
 };
 
-/// Thread-safe LRU cache of CachedArtifacts under a byte budget.
+class DiskCache;
+
+/// Thread-safe LRU cache of CachedArtifacts under a byte budget,
+/// optionally backed by a DiskCache tier: a memory miss probes the disk,
+/// a disk hit is promoted back into memory, and inserts write through —
+/// so a restarted daemon re-serves everything the previous one compiled.
 class ArtifactCache {
 public:
   explicit ArtifactCache(size_t ByteBudget = DefaultByteBudget);
 
+  /// Attaches the persistence tier (not owned; may be null to detach).
+  /// The caller keeps \p D alive for this cache's lifetime.
+  void attachDisk(DiskCache *D) { Disk = D; }
+  DiskCache *disk() const { return Disk; }
+
   /// Looks up \p K, bumping it to most-recently-used. Counts a hit or a
-  /// miss; null on miss.
+  /// miss; on a memory miss the disk tier (if attached) is probed and a
+  /// disk hit is promoted into memory. Null only when both tiers miss.
   std::shared_ptr<const CachedArtifact> get(const CacheKey &K);
 
   /// Inserts \p Art under \p K (replacing any existing entry without
   /// counting an eviction), then evicts least-recently-used entries until
   /// the budget holds. An artifact larger than the whole budget is not
   /// cached at all — it would only evict everything and then miss anyway.
+  /// Writes through to the disk tier when one is attached.
   void put(const CacheKey &K, std::shared_ptr<const CachedArtifact> Art);
 
   CacheStats stats() const;
@@ -117,6 +129,8 @@ public:
   static constexpr size_t DefaultByteBudget = 256u << 20; // 256 MiB
 
 private:
+  void putInMemory(const CacheKey &K,
+                   std::shared_ptr<const CachedArtifact> Art);
   void evictOverBudgetLocked();
 
   mutable std::mutex M;
@@ -129,6 +143,8 @@ private:
   };
   std::unordered_map<CacheKey, Slot, CacheKeyHasher> Map;
   CacheStats S;
+  /// The persistence tier; null when the daemon runs memory-only.
+  DiskCache *Disk = nullptr;
 };
 
 } // namespace asdf

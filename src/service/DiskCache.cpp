@@ -1,0 +1,570 @@
+//===- DiskCache.cpp - Crash-safe on-disk artifact cache tier -------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/DiskCache.h"
+
+#include "obs/Trace.h"
+#include "support/BuildInfo.h"
+#include "support/FaultInject.h"
+#include "support/Hash.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+using namespace asdf;
+
+//===----------------------------------------------------------------------===//
+// Entry codec
+//===----------------------------------------------------------------------===//
+//
+// File layout (all integers little-endian):
+//   8 bytes   magic "ASDFART" + format version byte
+//   u64       payload length
+//   u64 x2    ContentHasher digest of the payload
+//   payload   fingerprint, kind, text, optional flat circuit
+//
+// The fingerprint lives *inside* the checksummed payload, so a corrupt
+// fingerprint reads as Corrupt, not as a clean mismatch.
+
+namespace {
+
+constexpr char Magic[8] = {'A', 'S', 'D', 'F', 'A', 'R', 'T', 1};
+constexpr size_t HeaderBytes = 8 + 8 + 16;
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>(V >> (8 * I)));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>(V >> (8 * I)));
+}
+
+void putF64(std::string &Out, double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, 8); // Raw bit pattern: round trips are bit-exact.
+  putU64(Out, Bits);
+}
+
+void putStr(std::string &Out, const std::string &S) {
+  putU64(Out, S.size());
+  Out.append(S);
+}
+
+/// Bounds-checked little-endian reader; any overrun latches Fail.
+struct Cursor {
+  const std::string &Buf;
+  size_t Pos = 0;
+  bool Fail = false;
+
+  explicit Cursor(const std::string &Buf) : Buf(Buf) {}
+
+  uint32_t u32() { return static_cast<uint32_t>(fixed(4)); }
+  uint64_t u64() { return fixed(8); }
+  double f64() {
+    uint64_t Bits = fixed(8);
+    double V;
+    std::memcpy(&V, &Bits, 8);
+    return V;
+  }
+  std::string str() {
+    uint64_t N = u64();
+    if (Fail || N > Buf.size() - Pos) {
+      Fail = true;
+      return std::string();
+    }
+    std::string S = Buf.substr(Pos, N);
+    Pos += N;
+    return S;
+  }
+  bool done() const { return !Fail && Pos == Buf.size(); }
+
+private:
+  uint64_t fixed(int N) {
+    if (Fail || static_cast<size_t>(N) > Buf.size() - Pos) {
+      Fail = true;
+      return 0;
+    }
+    uint64_t V = 0;
+    for (int I = 0; I < N; ++I)
+      V |= static_cast<uint64_t>(
+               static_cast<unsigned char>(Buf[Pos + I]))
+           << (8 * I);
+    Pos += N;
+    return V;
+  }
+};
+
+void encodeCircuit(std::string &Out, const Circuit &C) {
+  putU32(Out, C.NumQubits);
+  putU32(Out, C.NumBits);
+  putU64(Out, C.Instrs.size());
+  for (const CircuitInstr &I : C.Instrs) {
+    Out.push_back(static_cast<char>(I.TheKind));
+    Out.push_back(static_cast<char>(I.Gate));
+    putF64(Out, I.Param);
+    putU32(Out, static_cast<uint32_t>(I.ParamIdx));
+    putF64(Out, I.ParamScale);
+    putF64(Out, I.ParamOfs);
+    putU32(Out, static_cast<uint32_t>(I.Controls.size()));
+    for (unsigned Q : I.Controls)
+      putU32(Out, Q);
+    putU32(Out, static_cast<uint32_t>(I.Targets.size()));
+    for (unsigned Q : I.Targets)
+      putU32(Out, Q);
+    putU32(Out, static_cast<uint32_t>(I.Cbit));
+    putU32(Out, static_cast<uint32_t>(I.CondBit));
+    Out.push_back(I.CondVal ? 1 : 0);
+  }
+  putU64(Out, C.OutputQubits.size());
+  for (unsigned Q : C.OutputQubits)
+    putU32(Out, Q);
+  putU64(Out, C.OutputBits.size());
+  for (int B : C.OutputBits)
+    putU32(Out, static_cast<uint32_t>(B));
+  putU64(Out, C.ParamNames.size());
+  for (const std::string &Name : C.ParamNames)
+    putStr(Out, Name);
+}
+
+} // namespace
+
+std::string DiskCache::encode(const CachedArtifact &Art,
+                              const std::string &Fingerprint) {
+  std::string Payload;
+  putStr(Payload, Fingerprint.empty() ? buildFingerprint() : Fingerprint);
+  putStr(Payload, Art.Kind);
+  putStr(Payload, Art.Text);
+  Payload.push_back(Art.Flat ? 1 : 0);
+  if (Art.Flat)
+    encodeCircuit(Payload, *Art.Flat);
+
+  ContentHasher H;
+  H.bytes(Payload.data(), Payload.size());
+  auto D = H.digest();
+
+  std::string Out;
+  Out.reserve(HeaderBytes + Payload.size());
+  Out.append(Magic, sizeof(Magic));
+  putU64(Out, Payload.size());
+  putU64(Out, D[0]);
+  putU64(Out, D[1]);
+  Out.append(Payload);
+  return Out;
+}
+
+DiskCache::DecodeResult DiskCache::decode(const std::string &Bytes,
+                                          CachedArtifact &Out,
+                                          std::string &Fingerprint,
+                                          const std::string &Expect) {
+  if (Bytes.size() < HeaderBytes ||
+      std::memcmp(Bytes.data(), Magic, sizeof(Magic)) != 0)
+    return DecodeResult::Corrupt;
+  Cursor Hdr(Bytes);
+  Hdr.Pos = sizeof(Magic);
+  uint64_t PayloadLen = Hdr.u64();
+  uint64_t CheckHi = Hdr.u64(), CheckLo = Hdr.u64();
+  if (Hdr.Fail || Bytes.size() - HeaderBytes != PayloadLen)
+    return DecodeResult::Corrupt; // Truncated (or padded) file.
+  ContentHasher H;
+  H.bytes(Bytes.data() + HeaderBytes, PayloadLen);
+  auto D = H.digest();
+  if (D[0] != CheckHi || D[1] != CheckLo)
+    return DecodeResult::Corrupt;
+
+  std::string Payload = Bytes.substr(HeaderBytes);
+  Cursor In(Payload);
+  Fingerprint = In.str();
+  CachedArtifact Art;
+  Art.Kind = In.str();
+  Art.Text = In.str();
+  uint64_t HasFlat = In.Fail || In.Pos >= Payload.size()
+                         ? (In.Fail = true, 0)
+                         : static_cast<unsigned char>(Payload[In.Pos++]);
+  if (HasFlat > 1)
+    return DecodeResult::Corrupt;
+  if (HasFlat) {
+    auto C = std::make_shared<Circuit>();
+    C->NumQubits = In.u32();
+    C->NumBits = In.u32();
+    uint64_t NumInstrs = In.u64();
+    // A checksummed payload cannot lie about counts, but decode must stay
+    // total anyway: validate enums and sizes as if the bytes were hostile.
+    if (In.Fail || NumInstrs > Payload.size())
+      return DecodeResult::Corrupt;
+    C->Instrs.reserve(NumInstrs);
+    for (uint64_t N = 0; N < NumInstrs && !In.Fail; ++N) {
+      CircuitInstr I;
+      unsigned char Kind =
+          In.Pos < Payload.size()
+              ? static_cast<unsigned char>(Payload[In.Pos++])
+              : (In.Fail = true, 0);
+      unsigned char Gate =
+          In.Pos < Payload.size()
+              ? static_cast<unsigned char>(Payload[In.Pos++])
+              : (In.Fail = true, 0);
+      if (Kind > static_cast<unsigned char>(CircuitInstr::Kind::Reset) ||
+          Gate > static_cast<unsigned char>(GateKind::Swap))
+        return DecodeResult::Corrupt;
+      I.TheKind = static_cast<CircuitInstr::Kind>(Kind);
+      I.Gate = static_cast<GateKind>(Gate);
+      I.Param = In.f64();
+      I.ParamIdx = static_cast<int>(In.u32());
+      I.ParamScale = In.f64();
+      I.ParamOfs = In.f64();
+      uint32_t NumControls = In.u32();
+      if (In.Fail || NumControls > Payload.size())
+        return DecodeResult::Corrupt;
+      I.Controls.reserve(NumControls);
+      for (uint32_t Q = 0; Q < NumControls; ++Q)
+        I.Controls.push_back(In.u32());
+      uint32_t NumTargets = In.u32();
+      if (In.Fail || NumTargets > Payload.size())
+        return DecodeResult::Corrupt;
+      I.Targets.reserve(NumTargets);
+      for (uint32_t Q = 0; Q < NumTargets; ++Q)
+        I.Targets.push_back(In.u32());
+      I.Cbit = static_cast<int>(In.u32());
+      I.CondBit = static_cast<int>(In.u32());
+      I.CondVal = In.Pos < Payload.size()
+                      ? Payload[In.Pos++] != 0
+                      : (In.Fail = true, false);
+      C->Instrs.push_back(std::move(I));
+    }
+    uint64_t NumOutQ = In.u64();
+    if (In.Fail || NumOutQ > Payload.size())
+      return DecodeResult::Corrupt;
+    for (uint64_t Q = 0; Q < NumOutQ; ++Q)
+      C->OutputQubits.push_back(In.u32());
+    uint64_t NumOutB = In.u64();
+    if (In.Fail || NumOutB > Payload.size())
+      return DecodeResult::Corrupt;
+    for (uint64_t B = 0; B < NumOutB; ++B)
+      C->OutputBits.push_back(static_cast<int>(In.u32()));
+    uint64_t NumNames = In.u64();
+    if (In.Fail || NumNames > Payload.size())
+      return DecodeResult::Corrupt;
+    for (uint64_t P = 0; P < NumNames; ++P)
+      C->ParamNames.push_back(In.str());
+    Art.Flat = std::move(C);
+  }
+  if (!In.done())
+    return DecodeResult::Corrupt;
+  const std::string &Want = Expect.empty() ? buildFingerprint() : Expect;
+  if (Fingerprint != Want)
+    return DecodeResult::FingerprintMismatch;
+  Out = std::move(Art);
+  return DecodeResult::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Filesystem tier
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool ensureDir(const std::string &Path, std::string &Error) {
+  if (::mkdir(Path.c_str(), 0755) == 0 || errno == EEXIST)
+    return true;
+  Error = "cannot create " + Path + ": " + std::strerror(errno);
+  return false;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return false;
+  Out.clear();
+  char Chunk[1 << 16];
+  ssize_t N;
+  while ((N = ::read(Fd, Chunk, sizeof(Chunk))) > 0)
+    Out.append(Chunk, static_cast<size_t>(N));
+  ::close(Fd);
+  return N == 0;
+}
+
+/// 32 lowercase hex digits -> CacheKey; false on any other spelling.
+bool parseKeyHex(const std::string &Hex, CacheKey &Out) {
+  if (Hex.size() != 32)
+    return false;
+  uint64_t Parts[2] = {0, 0};
+  for (int Half = 0; Half < 2; ++Half)
+    for (int I = 0; I < 16; ++I) {
+      char C = Hex[Half * 16 + I];
+      uint64_t D;
+      if (C >= '0' && C <= '9')
+        D = static_cast<uint64_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        D = static_cast<uint64_t>(C - 'a' + 10);
+      else
+        return false;
+      Parts[Half] = Parts[Half] << 4 | D;
+    }
+  Out.Hi = Parts[0];
+  Out.Lo = Parts[1];
+  return true;
+}
+
+} // namespace
+
+DiskCache::DiskCache(std::string Dir, size_t ByteBudget)
+    : Dir(std::move(Dir)), Budget(ByteBudget) {
+  S.ByteBudget = ByteBudget;
+}
+
+std::string DiskCache::objectPath(const std::string &KeyHex) const {
+  return Dir + "/objects/" + KeyHex + ".art";
+}
+
+bool DiskCache::open(std::string &Error) {
+  if (!ensureDir(Dir, Error) || !ensureDir(Dir + "/objects", Error) ||
+      !ensureDir(Dir + "/quarantine", Error) ||
+      !ensureDir(Dir + "/tmp", Error))
+    return false;
+
+  std::lock_guard<std::mutex> Lock(M);
+
+  // A crash mid-put leaves its partial write in tmp/ — never visible as
+  // an entry, and swept here.
+  if (DIR *D = ::opendir((Dir + "/tmp").c_str())) {
+    while (dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        ::unlink((Dir + "/tmp/" + Name).c_str());
+    }
+    ::closedir(D);
+  }
+
+  // Validate every entry up front: a daemon must discover rot at startup,
+  // not mid-request, and the index doubles as the warm-hit set.
+  struct Found {
+    CacheKey Key;
+    size_t Bytes;
+    struct timespec MTime;
+    std::string Hex;
+  };
+  std::vector<Found> Valid;
+  if (DIR *D = ::opendir((Dir + "/objects").c_str())) {
+    while (dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name == "." || Name == "..")
+        continue;
+      std::string KeyHex =
+          Name.size() > 4 && Name.compare(Name.size() - 4, 4, ".art") == 0
+              ? Name.substr(0, Name.size() - 4)
+              : std::string();
+      CacheKey Key;
+      std::string Bytes, Fingerprint;
+      CachedArtifact Art;
+      DecodeResult R = DecodeResult::Corrupt;
+      if (parseKeyHex(KeyHex, Key) &&
+          readFile(Dir + "/objects/" + Name, Bytes))
+        R = decode(Bytes, Art, Fingerprint);
+      if (R != DecodeResult::Ok) {
+        ++S.Corrupt;
+        const char *Reason =
+            R == DecodeResult::FingerprintMismatch ? "fingerprint"
+                                                   : "corrupt";
+        std::string From = Dir + "/objects/" + Name;
+        std::string To = Dir + "/quarantine/" + Name + "." + Reason;
+        if (::rename(From.c_str(), To.c_str()) == 0)
+          ++S.Quarantined;
+        else
+          ::unlink(From.c_str());
+        continue;
+      }
+      struct stat St{};
+      if (::stat((Dir + "/objects/" + Name).c_str(), &St) != 0)
+        continue;
+      Valid.push_back(
+          Found{Key, static_cast<size_t>(St.st_size), St.st_mtim, KeyHex});
+    }
+    ::closedir(D);
+  }
+
+  // Newest first: mtime is the persisted recency signal (ties broken by
+  // name so the order is deterministic).
+  std::sort(Valid.begin(), Valid.end(), [](const Found &A, const Found &B) {
+    if (A.MTime.tv_sec != B.MTime.tv_sec)
+      return A.MTime.tv_sec > B.MTime.tv_sec;
+    if (A.MTime.tv_nsec != B.MTime.tv_nsec)
+      return A.MTime.tv_nsec > B.MTime.tv_nsec;
+    return A.Hex < B.Hex;
+  });
+  Lru.clear();
+  Index.clear();
+  S.BytesUsed = 0;
+  for (const Found &F : Valid) {
+    Lru.push_back(F.Key);
+    Index.emplace(F.Key, Slot{F.Bytes, std::prev(Lru.end())});
+    S.BytesUsed += F.Bytes;
+  }
+  S.WarmedEntries = Valid.size();
+  evictOverBudgetLocked(); // The budget may have shrunk since last run.
+  Opened = true;
+  return true;
+}
+
+std::shared_ptr<const CachedArtifact> DiskCache::get(const CacheKey &K) {
+  obs::Span Sp("disk.probe", "cache");
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Index.find(K);
+  if (It == Index.end()) {
+    ++S.Misses;
+    return nullptr;
+  }
+  std::string KeyHex = K.hex();
+  std::string Bytes;
+  if (!readFile(objectPath(KeyHex), Bytes)) {
+    // The file vanished or is unreadable under our index: drop it.
+    ++S.Misses;
+    ++S.Corrupt;
+    S.BytesUsed -= It->second.Bytes;
+    Lru.erase(It->second.LruIt);
+    Index.erase(It);
+    return nullptr;
+  }
+  if (fault::shouldFail("disk.read-corrupt") && !Bytes.empty())
+    Bytes[Bytes.size() / 2] ^= 0x40; // Bit rot under the checksum.
+  auto Art = std::make_shared<CachedArtifact>();
+  std::string Fingerprint;
+  if (decode(Bytes, *Art, Fingerprint) != DecodeResult::Ok) {
+    ++S.Misses;
+    quarantineLocked(KeyHex, "corrupt");
+    return nullptr;
+  }
+  ++S.Hits;
+  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+  // Touch: recency must survive the next restart, and mtime is the only
+  // thing that does.
+  ::utimensat(AT_FDCWD, objectPath(KeyHex).c_str(), nullptr, 0);
+  return Art;
+}
+
+bool DiskCache::writeEntryFile(const std::string &KeyHex,
+                               const std::string &Bytes) {
+  std::string Tmp =
+      Dir + "/tmp/" + KeyHex + "." + std::to_string(::getpid());
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return false;
+  size_t Len = Bytes.size();
+  if (fault::shouldFail("disk.write")) {
+    // A clean filesystem failure (ENOSPC, EIO): nothing becomes visible.
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  bool Torn = fault::shouldFail("disk.torn-write");
+  if (Torn)
+    Len /= 2; // Half the entry reaches the disk, then "the power goes".
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Len - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  // fsync before rename: the entry's bytes must be durable before its
+  // name is, or a crash could leave a complete-looking file of zeros.
+  if (!Torn && ::fsync(Fd) != 0) {
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  ::close(Fd);
+  if (::rename(Tmp.c_str(), objectPath(KeyHex).c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+void DiskCache::put(const CacheKey &K, const CachedArtifact &Art) {
+  if (!Opened)
+    return;
+  obs::Span Sp("disk.write", "cache");
+  std::string KeyHex = K.hex();
+  std::string Bytes = encode(Art);
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Index.find(K);
+  if (It != Index.end()) {
+    // Same key, same content by construction: refresh recency only.
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    ::utimensat(AT_FDCWD, objectPath(KeyHex).c_str(), nullptr, 0);
+    return;
+  }
+  if (Bytes.size() > Budget)
+    return; // Would evict the whole tier and still not fit.
+  if (!writeEntryFile(KeyHex, Bytes)) {
+    ++S.WriteFailures;
+    return;
+  }
+  ++S.Insertions;
+  indexInsertLocked(K, Bytes.size());
+  evictOverBudgetLocked();
+}
+
+void DiskCache::indexInsertLocked(const CacheKey &K, size_t Bytes) {
+  Lru.push_front(K);
+  Index.emplace(K, Slot{Bytes, Lru.begin()});
+  S.BytesUsed += Bytes;
+}
+
+void DiskCache::quarantineLocked(const std::string &KeyHex,
+                                 const char *Reason) {
+  ++S.Corrupt;
+  std::string From = objectPath(KeyHex);
+  std::string To =
+      Dir + "/quarantine/" + KeyHex + ".art." + Reason;
+  if (::rename(From.c_str(), To.c_str()) == 0)
+    ++S.Quarantined;
+  else
+    ::unlink(From.c_str());
+  CacheKey K;
+  if (parseKeyHex(KeyHex, K)) {
+    auto It = Index.find(K);
+    if (It != Index.end()) {
+      S.BytesUsed -= It->second.Bytes;
+      Lru.erase(It->second.LruIt);
+      Index.erase(It);
+    }
+  }
+}
+
+void DiskCache::evictOverBudgetLocked() {
+  while (S.BytesUsed > Budget && !Lru.empty()) {
+    const CacheKey &Victim = Lru.back();
+    auto It = Index.find(Victim);
+    ::unlink(objectPath(Victim.hex()).c_str());
+    S.BytesUsed -= It->second.Bytes;
+    Index.erase(It);
+    Lru.pop_back();
+    ++S.Evictions;
+  }
+}
+
+DiskCacheStats DiskCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  DiskCacheStats Out = S;
+  Out.Entries = Index.size();
+  Out.ByteBudget = Budget;
+  return Out;
+}

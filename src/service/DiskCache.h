@@ -1,0 +1,147 @@
+//===- DiskCache.h - Crash-safe on-disk artifact cache tier ---------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistence tier under ArtifactCache: each artifact is one
+/// content-keyed file (`objects/<32-hex-key>.art`) so a daemon restart
+/// keeps every compile it ever paid for. Correctness over crashes comes
+/// from three properties:
+///
+///  - **Atomic visibility.** Writes go to `tmp/`, are fsync'd, then
+///    renamed into `objects/` — a reader (including a restarted daemon)
+///    sees either the complete entry or no entry, never a half write. A
+///    crash mid-write leaves only a `tmp/` file, swept on the next open.
+///
+///  - **Self-verifying entries.** Every file carries a magic+version
+///    header, a 128-bit ContentHasher checksum of the payload, and the
+///    producing build's fingerprint inside the checksummed payload. A
+///    truncated, bit-rotted, or wrong-build entry fails validation and is
+///    *quarantined* (moved to `quarantine/` with a reason suffix for
+///    postmortems), never served and never fatal.
+///
+///  - **Bit-exact round trips.** Text artifacts are stored verbatim;
+///    flat circuits use a little-endian binary codec that preserves every
+///    field including raw double bit patterns, so a disk hit rehydrates a
+///    circuit that simulates bit-identically to the freshly compiled one.
+///
+/// Recency is the file mtime (touched on hit), so LRU order survives a
+/// restart; eviction under the byte budget unlinks the oldest files.
+/// One coarse mutex serializes operations — disk I/O is milliseconds
+/// against tens of milliseconds of compile, and the memory tier absorbs
+/// the hot keys anyway.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ASDF_SERVICE_DISKCACHE_H
+#define ASDF_SERVICE_DISKCACHE_H
+
+#include "service/ArtifactCache.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace asdf {
+
+struct DiskCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+  /// Entries that failed validation (truncated/corrupt/bad fingerprint),
+  /// at open or at get.
+  uint64_t Corrupt = 0;
+  /// Invalid entries moved aside into quarantine/ (== Corrupt unless the
+  /// move itself failed and the file was unlinked instead).
+  uint64_t Quarantined = 0;
+  /// put() attempts that failed at the filesystem (ENOSPC, EIO, injected).
+  uint64_t WriteFailures = 0;
+  /// Valid entries indexed by the last open().
+  uint64_t WarmedEntries = 0;
+  uint64_t Entries = 0;
+  size_t BytesUsed = 0;
+  size_t ByteBudget = 0;
+};
+
+/// The on-disk artifact tier. Thread-safe. Construct, then open() once
+/// before use; a DiskCache that failed to open (or was never opened)
+/// serves misses and drops puts.
+class DiskCache {
+public:
+  DiskCache(std::string Dir, size_t ByteBudget = DefaultByteBudget);
+
+  /// Creates the directory layout, sweeps stale tmp files, validates
+  /// every existing entry (quarantining invalid ones), and builds the
+  /// mtime-ordered LRU index. False + \p Error only if the directories
+  /// cannot be created — invalid *entries* are never an open failure.
+  bool open(std::string &Error);
+
+  /// Reads, validates, and decodes the entry for \p K. Null on miss; an
+  /// entry that fails validation is quarantined and reported as a miss.
+  /// A hit refreshes the file mtime so recency survives restarts.
+  std::shared_ptr<const CachedArtifact> get(const CacheKey &K);
+
+  /// Persists \p Art under \p K atomically (tmp + fsync + rename), then
+  /// evicts oldest entries over the byte budget. A key already on disk is
+  /// only touched (same content by construction). Failures are counted
+  /// and swallowed: the disk tier degrades, the service keeps answering.
+  void put(const CacheKey &K, const CachedArtifact &Art);
+
+  DiskCacheStats stats() const;
+  const std::string &dir() const { return Dir; }
+  bool opened() const { return Opened; }
+
+  static constexpr size_t DefaultByteBudget = 1024u << 20; // 1 GiB
+
+  //===--- Entry codec (exposed for tests) ---===//
+
+  enum class DecodeResult { Ok, Corrupt, FingerprintMismatch };
+
+  /// Serializes \p Art into the on-disk entry format, stamped with
+  /// \p Fingerprint (empty = this build's buildFingerprint()).
+  static std::string encode(const CachedArtifact &Art,
+                            const std::string &Fingerprint = std::string());
+
+  /// Validates and decodes \p Bytes. On Ok fills \p Out and
+  /// \p Fingerprint; Corrupt covers truncation, checksum mismatch, and
+  /// malformed payloads; FingerprintMismatch means a structurally valid
+  /// entry from an incompatible build (checked against \p Expect, empty =
+  /// this build).
+  static DecodeResult decode(const std::string &Bytes, CachedArtifact &Out,
+                             std::string &Fingerprint,
+                             const std::string &Expect = std::string());
+
+private:
+  std::string objectPath(const std::string &KeyHex) const;
+  bool writeEntryFile(const std::string &KeyHex, const std::string &Bytes);
+  /// Moves objects/<KeyHex>.art into quarantine/ (unlinks if the move
+  /// fails) and drops it from the index if present. Reason is the file
+  /// suffix: "corrupt" or "fingerprint".
+  void quarantineLocked(const std::string &KeyHex, const char *Reason);
+  void evictOverBudgetLocked();
+  void indexInsertLocked(const CacheKey &K, size_t Bytes);
+
+  std::string Dir;
+  size_t Budget;
+  bool Opened = false;
+
+  mutable std::mutex M;
+  /// Front = most recently used; mirrors file mtimes.
+  std::list<CacheKey> Lru;
+  struct Slot {
+    size_t Bytes = 0;
+    std::list<CacheKey>::iterator LruIt;
+  };
+  std::unordered_map<CacheKey, Slot, CacheKeyHasher> Index;
+  DiskCacheStats S;
+};
+
+} // namespace asdf
+
+#endif // ASDF_SERVICE_DISKCACHE_H

@@ -6,9 +6,14 @@
 
 #include "service/JobQueue.h"
 
+#include "support/FaultInject.h"
+
+#include <chrono>
+
 using namespace asdf;
 
-JobQueue::JobQueue(unsigned Workers) {
+JobQueue::JobQueue(unsigned Workers, size_t MaxPending)
+    : MaxPending(MaxPending) {
   if (Workers == 0) {
     Workers = std::thread::hardware_concurrency();
     if (Workers == 0)
@@ -28,18 +33,27 @@ JobQueue::JobQueue(unsigned Workers) {
 
 JobQueue::~JobQueue() { drain(); }
 
-bool JobQueue::submit(std::function<void()> Job) {
+JobQueue::Submit JobQueue::submit(std::function<void()> Job,
+                                  uint64_t Client) {
   {
     std::lock_guard<std::mutex> Lock(M);
     if (Draining) {
       ++Rejected;
-      return false;
+      return Submit::Draining;
     }
-    Queue.push_back(std::move(Job));
+    if (MaxPending != 0 && NumPending >= MaxPending) {
+      ++Shed;
+      return Submit::Overloaded;
+    }
+    std::deque<std::function<void()>> &Q = PerClient[Client];
+    if (Q.empty())
+      Rotation.push_back(Client); // First pending job: join the rotation.
+    Q.push_back(std::move(Job));
+    ++NumPending;
     ++Submitted;
   }
   CV.notify_one();
-  return true;
+  return Submit::Accepted;
 }
 
 void JobQueue::drain() {
@@ -48,6 +62,7 @@ void JobQueue::drain() {
     if (Draining && Threads.empty())
       return;
     Draining = true;
+    Paused = false; // A paused pool must still drain.
   }
   CV.notify_all();
   // Joining outside the lock; workers exit once the queue is empty.
@@ -61,13 +76,27 @@ void JobQueue::drain() {
       T.join();
 }
 
+void JobQueue::pause() {
+  std::lock_guard<std::mutex> Lock(M);
+  Paused = true;
+}
+
+void JobQueue::resume() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Paused = false;
+  }
+  CV.notify_all();
+}
+
 JobQueue::Counters JobQueue::counters() const {
   std::lock_guard<std::mutex> Lock(M);
   Counters C;
   C.Submitted = Submitted;
   C.Executed = Executed;
   C.Rejected = Rejected;
-  C.Pending = Queue.size();
+  C.Shed = Shed;
+  C.Pending = NumPending;
   return C;
 }
 
@@ -76,12 +105,26 @@ void JobQueue::workerMain() {
     std::function<void()> Job;
     {
       std::unique_lock<std::mutex> Lock(M);
-      CV.wait(Lock, [this] { return Draining || !Queue.empty(); });
-      if (Queue.empty())
+      CV.wait(Lock, [this] {
+        return Draining || (!Paused && NumPending > 0);
+      });
+      if (NumPending == 0)
         return; // Draining and nothing left.
-      Job = std::move(Queue.front());
-      Queue.pop_front();
+      // Round-robin: serve the front client's oldest job, then rotate the
+      // client behind everyone else who is waiting.
+      uint64_t Client = Rotation.front();
+      Rotation.pop_front();
+      std::deque<std::function<void()>> &Q = PerClient[Client];
+      Job = std::move(Q.front());
+      Q.pop_front();
+      --NumPending;
+      if (Q.empty())
+        PerClient.erase(Client);
+      else
+        Rotation.push_back(Client);
     }
+    if (fault::shouldFail("worker.stall"))
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
     Job(); // Jobs are noexcept by contract (Service wraps handler errors).
     {
       std::lock_guard<std::mutex> Lock(M);

@@ -6,7 +6,7 @@
 ///
 /// \file
 /// The daemon's request executor: a fixed pool of worker threads draining
-/// a FIFO of jobs. This is deliberately a different animal from
+/// per-client job queues. This is deliberately a different animal from
 /// `parallelIndexLoop` (Backend.h), which is a run-to-completion loop for
 /// one bounded batch — the daemon needs workers that outlive any one
 /// request. The two compose: the JobQueue provides request-level
@@ -14,6 +14,18 @@
 /// request's runBatch call *reuses* parallelIndexLoop internally for its
 /// shot/amplitude parallelism, with the request's own Jobs knob deciding
 /// how many threads that inner loop spends.
+///
+/// Two robustness policies live here:
+///
+///  - **Fairness.** Jobs are keyed by a client id and dispatched
+///    round-robin across clients with pending work, so a connection that
+///    pipelines a thousand requests cannot starve the client that sent
+///    one. Within a client, order stays FIFO.
+///
+///  - **Bounded depth.** With MaxPending set, submissions beyond the
+///    bound are rejected with `Submit::Overloaded` — the service turns
+///    that into an `overloaded` error with a retry hint instead of
+///    buffering unbounded work it may never finish in time.
 ///
 /// Shutdown is graceful by default: `drain()` stops admission, lets every
 /// queued job finish, and joins the workers — the SIGTERM story of asdfd.
@@ -29,35 +41,50 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace asdf {
 
 class JobQueue {
 public:
+  /// The outcome of a submit: exactly one of accepted, rejected because
+  /// the queue is draining, or shed because the pending bound is full.
+  enum class Submit { Accepted, Draining, Overloaded };
+
   /// Spawns \p Workers threads (0 = one per hardware core, minimum 1).
-  explicit JobQueue(unsigned Workers = 0);
+  /// \p MaxPending bounds jobs waiting for a worker (0 = unbounded);
+  /// jobs already executing do not count against it.
+  explicit JobQueue(unsigned Workers = 0, size_t MaxPending = 0);
   /// Drains and joins.
   ~JobQueue();
 
   JobQueue(const JobQueue &) = delete;
   JobQueue &operator=(const JobQueue &) = delete;
 
-  /// Enqueues \p Job. Returns false (without running it) once drain() has
-  /// started — callers translate that into a shutting-down error.
-  bool submit(std::function<void()> Job);
+  /// Enqueues \p Job under \p Client (an opaque id — the server uses the
+  /// connection fd; in-process callers can leave it 0). The job is not
+  /// run on Draining/Overloaded.
+  Submit submit(std::function<void()> Job, uint64_t Client = 0);
 
   /// Stops admission, runs every already-queued job to completion, and
   /// joins the workers. Idempotent; safe to call from any non-worker
   /// thread.
   void drain();
 
+  /// Test hook: workers stop picking up new jobs until resume(). Lets a
+  /// test fill the queue deterministically (overload, fairness ordering)
+  /// without racing the pool.
+  void pause();
+  void resume();
+
   unsigned workers() const { return static_cast<unsigned>(Threads.size()); }
 
   struct Counters {
     uint64_t Submitted = 0;
     uint64_t Executed = 0;
-    uint64_t Rejected = 0;
+    uint64_t Rejected = 0; ///< Refused while draining.
+    uint64_t Shed = 0;     ///< Refused by the pending bound.
     uint64_t Pending = 0;
   };
   Counters counters() const;
@@ -67,10 +94,17 @@ private:
 
   mutable std::mutex M;
   std::condition_variable CV;
-  std::deque<std::function<void()>> Queue;
+  /// Per-client FIFOs plus a rotation of clients with pending work: the
+  /// worker takes the front client's front job, then moves that client to
+  /// the back of the rotation.
+  std::unordered_map<uint64_t, std::deque<std::function<void()>>> PerClient;
+  std::deque<uint64_t> Rotation;
+  size_t NumPending = 0;
+  size_t MaxPending;
   std::vector<std::thread> Threads;
   bool Draining = false;
-  uint64_t Submitted = 0, Executed = 0, Rejected = 0;
+  bool Paused = false;
+  uint64_t Submitted = 0, Executed = 0, Rejected = 0, Shed = 0;
 };
 
 } // namespace asdf

@@ -6,6 +6,8 @@
 
 #include "service/Request.h"
 
+#include "support/FaultInject.h"
+
 #include <set>
 
 using namespace asdf;
@@ -58,6 +60,8 @@ json::Value ServiceRequest::toJson() const {
   O.set("op", json::Value::str(kindName(TheKind)));
   if (Trace != 0)
     O.set("trace", json::Value::integer(Trace));
+  if (!Fault.empty())
+    O.set("fault", json::Value::str(Fault));
   if (TheKind == Kind::Stats || TheKind == Kind::Shutdown ||
       TheKind == Kind::Metrics)
     return O;
@@ -141,7 +145,7 @@ bool ServiceRequest::fromJson(const json::Value &V, ServiceRequest &Out,
   static const std::set<std::string> Known = {
       "id",   "op",      "source", "entry",   "pipeline", "bind",
       "capture", "emit", "shots",  "seed",    "backend",  "jobs",
-      "timeout", "params", "points", "trace"};
+      "timeout", "params", "points", "trace", "fault"};
   for (const auto &[Key, Member] : V.members()) {
     (void)Member;
     if (!Known.count(Key)) {
@@ -174,6 +178,18 @@ bool ServiceRequest::fromJson(const json::Value &V, ServiceRequest &Out,
       return false;
     }
     Out.Trace = T->asU64();
+  }
+  if (const json::Value *F = V.get("fault")) {
+    if (!fault::Compiled) {
+      Error = "\"fault\" needs a fault-injection build "
+              "(-DASDF_FAULT_INJECTION=ON)";
+      return false;
+    }
+    if (!F->isString()) {
+      Error = "\"fault\" must be a string fault spec";
+      return false;
+    }
+    Out.Fault = F->asString();
   }
   if (Out.TheKind == Kind::Stats || Out.TheKind == Kind::Shutdown ||
       Out.TheKind == Kind::Metrics)
@@ -331,6 +347,8 @@ json::Value ServiceResponse::toJson() const {
     json::Value E = json::Value::object();
     E.set("kind", json::Value::str(Error.Kind));
     E.set("message", json::Value::str(Error.Message));
+    if (Error.RetryAfterMs != 0)
+      E.set("retry_after_ms", json::Value::integer(Error.RetryAfterMs));
     O.set("error", std::move(E));
     return O;
   }
@@ -393,6 +411,8 @@ bool ServiceResponse::fromJson(const json::Value &V, ServiceResponse &Out,
         Out.Error.Kind = K->asString();
       if (const json::Value *M = E->get("message"))
         Out.Error.Message = M->asString();
+      if (const json::Value *R = E->get("retry_after_ms"))
+        Out.Error.RetryAfterMs = R->asU64();
     }
     if (Out.Error.Kind.empty())
       Out.Error.Kind = "internal";
@@ -427,12 +447,14 @@ bool ServiceResponse::fromJson(const json::Value &V, ServiceResponse &Out,
 }
 
 ServiceResponse ServiceResponse::failure(uint64_t Id, std::string Kind,
-                                         std::string Message) {
+                                         std::string Message,
+                                         uint64_t RetryAfterMs) {
   ServiceResponse R;
   R.Id = Id;
   R.Ok = false;
   R.Error.Kind = std::move(Kind);
   R.Error.Message = std::move(Message);
+  R.Error.RetryAfterMs = RetryAfterMs;
   return R;
 }
 

@@ -98,6 +98,13 @@ struct ServiceRequest {
   /// "timeout" error. An in-flight compiler pass is not preempted.
   double TimeoutSecs = 0.0;
 
+  //===--- Testing ---===//
+
+  /// Test-only fault-arming spec ("fault" on the wire; FaultInject.h
+  /// grammar). Accepted only by ASDF_FAULT_INJECTION builds — production
+  /// daemons reject the field — and applied before the request runs.
+  std::string Fault;
+
   /// Serializes to the wire object ({"id": ..., "op": ...}).
   json::Value toJson() const;
 
@@ -111,11 +118,17 @@ struct ServiceRequest {
 /// Machine-readable error classification of a failed request.
 struct ServiceError {
   /// One of: bad-request, compile-error, unsupported, timeout,
-  /// shutting-down, internal.
+  /// shutting-down, overloaded, resource-exhausted, internal — plus the
+  /// client-side-only connection-lost (never sent by the daemon; the
+  /// client synthesizes it when the transport dies mid-call).
   std::string Kind;
   /// Human-readable detail; for compile-error this is the CompileSession
   /// message naming the failing stage:pass and entry.
   std::string Message;
+  /// Server backoff hint in milliseconds ("retry_after_ms" on the wire;
+  /// 0 = no hint). Set on overloaded/resource-exhausted: retrying sooner
+  /// than this is unlikely to be admitted.
+  uint64_t RetryAfterMs = 0;
 };
 
 /// The outcome of one request.
@@ -164,7 +177,8 @@ struct ServiceResponse {
                        std::string &Error);
 
   static ServiceResponse failure(uint64_t Id, std::string Kind,
-                                 std::string Message);
+                                 std::string Message,
+                                 uint64_t RetryAfterMs = 0);
 };
 
 /// Parses one NDJSON request line (text -> JSON -> struct). On failure the

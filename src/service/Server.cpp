@@ -7,6 +7,7 @@
 #include "service/Server.h"
 
 #include "obs/Trace.h"
+#include "support/FaultInject.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -55,6 +56,21 @@ struct ConnState {
   void writeLine(const std::string &Json) {
     std::lock_guard<std::mutex> Lock(WriteMu);
     std::string Line = Json + "\n";
+    if (fault::shouldFail("wire.torn-write")) {
+      // Deliver half the line, then kill the connection: the client must
+      // classify this as connection-lost, not as malformed JSON.
+      size_t Half = Line.size() / 2;
+      size_t Sent = 0;
+      while (Sent < Half) {
+        ssize_t N = ::send(Fd, Line.data() + Sent, Half - Sent,
+                           MSG_NOSIGNAL);
+        if (N <= 0)
+          break;
+        Sent += static_cast<size_t>(N);
+      }
+      ::shutdown(Fd, SHUT_RDWR);
+      return;
+    }
     size_t Off = 0;
     while (Off < Line.size()) {
       ssize_t N = ::send(Fd, Line.data() + Off, Line.size() - Off,
@@ -256,16 +272,24 @@ void Server::connectionMain(int Fd) {
         continue;
       }
       State->begin();
-      bool Accepted = Service.submit(Req, [State](ServiceResponse Resp) {
-        State->writeLine(Resp.toJson().write());
-        State->done();
-      });
-      if (!Accepted) {
-        State->writeLine(ServiceResponse::failure(
-                             Id, "shutting-down",
-                             "daemon is draining; resubmit elsewhere")
-                             .toJson()
-                             .write());
+      // The fd keys the queue's per-client fairness: a pipelining
+      // connection rotates with everyone else instead of starving them.
+      JobQueue::Submit Outcome = Service.submit(
+          Req,
+          [State](ServiceResponse Resp) {
+            State->writeLine(Resp.toJson().write());
+            State->done();
+          },
+          static_cast<uint64_t>(Fd));
+      if (Outcome != JobQueue::Submit::Accepted) {
+        State->writeLine(
+            (Outcome == JobQueue::Submit::Overloaded
+                 ? Service.overloadedResponse(Id)
+                 : ServiceResponse::failure(
+                       Id, "shutting-down",
+                       "daemon is draining; resubmit elsewhere"))
+                .toJson()
+                .write());
         State->done();
       }
     }

@@ -10,12 +10,15 @@
 #include "codegen/QirEmitter.h"
 #include "compiler/CompileSession.h"
 #include "obs/Trace.h"
+#include "service/DiskCache.h"
 #include "sim/CircuitAnalysis.h"
 #include "sim/Simulator.h"
 #include "support/BuildInfo.h"
+#include "support/FaultInject.h"
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <set>
 
 using namespace asdf;
@@ -56,8 +59,22 @@ const char *opSpanName(ServiceRequest::Kind K) {
 } // namespace
 
 AsdfService::AsdfService(ServiceOptions Options)
-    : Cache(Options.CacheBytes), Queue(Options.Workers),
-      Start(Clock::now()) {
+    : Cache(Options.CacheBytes),
+      Queue(Options.Workers, Options.MaxQueueDepth),
+      RunMemoryBudget(Options.RunMemoryBytes), Start(Clock::now()) {
+  if (!Options.DiskCacheDir.empty()) {
+    Disk = std::make_unique<DiskCache>(
+        Options.DiskCacheDir, Options.DiskCacheBytes != 0
+                                  ? Options.DiskCacheBytes
+                                  : DiskCache::DefaultByteBudget);
+    if (Disk->open(DiskError)) {
+      Cache.attachDisk(Disk.get());
+    } else {
+      // Degrade to memory-only; asdfd checks diskCacheError() and refuses
+      // to start, but an in-process service keeps serving.
+      Disk.reset();
+    }
+  }
   // One metric surface over every layer's counters: the histograms live
   // here; the counter/gauge views read the existing storage at render
   // time, so nothing is double-counted.
@@ -111,10 +128,44 @@ AsdfService::AsdfService(ServiceOptions Options)
                 [this] { return Queue.counters().Executed; });
   Reg.counterFn("asdf_queue_rejected_total", "Jobs rejected while draining",
                 [this] { return Queue.counters().Rejected; });
+  Reg.counterFn("asdf_queue_shed_total", "Jobs shed by the depth bound",
+                [this] { return Queue.counters().Shed; });
   Reg.gaugeFn("asdf_queue_pending", "Jobs waiting for a worker",
               [this] { return double(Queue.counters().Pending); });
   Reg.gaugeFn("asdf_workers", "Worker threads in the pool",
               [this] { return double(Queue.workers()); });
+  Reg.counterFn("asdf_shed_overloaded_total",
+                "Requests refused with `overloaded`",
+                Count(NumShedOverloaded));
+  Reg.counterFn("asdf_shed_memory_total",
+                "Requests refused with `resource-exhausted`",
+                Count(NumShedMemory));
+  Reg.counterFn("asdf_shed_expired_total",
+                "Requests whose deadline expired before pickup",
+                Count(NumShedExpired));
+  if (Disk) {
+    Reg.counterFn("asdf_disk_hits_total", "Disk-tier hits",
+                  [this] { return Disk->stats().Hits; });
+    Reg.counterFn("asdf_disk_misses_total", "Disk-tier misses",
+                  [this] { return Disk->stats().Misses; });
+    Reg.counterFn("asdf_disk_insertions_total", "Disk-tier insertions",
+                  [this] { return Disk->stats().Insertions; });
+    Reg.counterFn("asdf_disk_evictions_total", "Disk-tier evictions",
+                  [this] { return Disk->stats().Evictions; });
+    Reg.counterFn("asdf_disk_corrupt_total",
+                  "Disk entries that failed validation",
+                  [this] { return Disk->stats().Corrupt; });
+    Reg.counterFn("asdf_disk_quarantined_total",
+                  "Invalid disk entries moved to quarantine",
+                  [this] { return Disk->stats().Quarantined; });
+    Reg.counterFn("asdf_disk_write_failures_total",
+                  "Disk-tier writes that failed",
+                  [this] { return Disk->stats().WriteFailures; });
+    Reg.gaugeFn("asdf_disk_entries", "Disk-tier resident entries",
+                [this] { return double(Disk->stats().Entries); });
+    Reg.gaugeFn("asdf_disk_bytes_used", "Disk-tier resident bytes",
+                [this] { return double(Disk->stats().BytesUsed); });
+  }
 }
 
 AsdfService::~AsdfService() { drain(); }
@@ -140,11 +191,19 @@ ServiceResponse AsdfService::handle(const ServiceRequest &R,
   obs::TraceContext TC(R.Trace ? R.Trace : obs::currentTraceId());
   obs::Span Sp(opSpanName(R.TheKind), "service");
   Clock::time_point T0 = Clock::now();
-  ServiceResponse Resp = [&] {
+  auto Dispatch = [&] {
     if (expired(Deadline)) {
+      // Reject-at-pickup: the deadline passed while the request waited,
+      // so running it now would only burn a worker on a dead answer.
       NumTimeouts.fetch_add(1, std::memory_order_relaxed);
+      NumShedExpired.fetch_add(1, std::memory_order_relaxed);
       return ServiceResponse::failure(
           R.Id, "timeout", "request deadline passed before execution");
+    }
+    if (!R.Fault.empty()) {
+      std::string FaultError;
+      if (!fault::arm(R.Fault, FaultError))
+        return ServiceResponse::failure(R.Id, "bad-request", FaultError);
     }
     switch (R.TheKind) {
     case ServiceRequest::Kind::Compile:
@@ -166,7 +225,27 @@ ServiceResponse AsdfService::handle(const ServiceRequest &R,
       return handleShutdown(R);
     }
     return ServiceResponse::failure(R.Id, "internal", "unreachable");
-  }();
+  };
+  // No handler failure may kill a worker thread: an allocation failure
+  // becomes a retryable resource-exhausted answer, anything else an
+  // internal error, and the daemon keeps serving everyone else.
+  ServiceResponse Resp;
+  try {
+    Resp = Dispatch();
+  } catch (const std::bad_alloc &) {
+    NumShedMemory.fetch_add(1, std::memory_order_relaxed);
+    Resp = ServiceResponse::failure(
+        R.Id, "resource-exhausted",
+        "out of memory while handling the request; retry when load drops",
+        retryAfterMsHint());
+  } catch (const std::exception &E) {
+    Resp = ServiceResponse::failure(
+        R.Id, "internal",
+        std::string("request handler failed: ") + E.what());
+  } catch (...) {
+    Resp = ServiceResponse::failure(R.Id, "internal",
+                                    "request handler failed");
+  }
   if (!Resp.Ok)
     NumErrors.fetch_add(1, std::memory_order_relaxed);
   if (obs::Histogram *H = latencyFor(R.TheKind))
@@ -193,8 +272,9 @@ const obs::Histogram *AsdfService::opLatency(ServiceRequest::Kind K) const {
   return const_cast<AsdfService *>(this)->latencyFor(K);
 }
 
-bool AsdfService::submit(ServiceRequest R,
-                         std::function<void(ServiceResponse)> Done) {
+JobQueue::Submit AsdfService::submit(
+    ServiceRequest R, std::function<void(ServiceResponse)> Done,
+    uint64_t Client) {
   Clock::time_point Deadline;
   if (R.TimeoutSecs > 0)
     Deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -203,7 +283,7 @@ bool AsdfService::submit(ServiceRequest R,
   // when a worker picks the job up, so the span is emitted there with the
   // enqueue timestamp captured here.
   uint64_t EnqueuedNs = obs::traceEnabled() ? obs::nowNs() : 0;
-  return Queue.submit(
+  JobQueue::Submit Outcome = Queue.submit(
       [this, R = std::move(R), Done = std::move(Done), Deadline,
        EnqueuedNs] {
         if (EnqueuedNs) {
@@ -212,7 +292,75 @@ bool AsdfService::submit(ServiceRequest R,
                         Now > EnqueuedNs ? Now - EnqueuedNs : 0, R.Trace);
         }
         Done(handle(R, Deadline));
-      });
+      },
+      Client);
+  if (Outcome == JobQueue::Submit::Overloaded) {
+    NumShedOverloaded.fetch_add(1, std::memory_order_relaxed);
+    NumErrors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Outcome;
+}
+
+uint64_t AsdfService::retryAfterMsHint() const {
+  JobQueue::Counters C = Queue.counters();
+  unsigned W = std::max(1u, Queue.workers());
+  // ~25 ms of work per queued request per worker: crude, but monotone in
+  // the backlog, which is what a backoff hint needs to be.
+  uint64_t Hint = 25 * (C.Pending / W + 1);
+  return std::min<uint64_t>(std::max<uint64_t>(Hint, 25), 2000);
+}
+
+ServiceResponse AsdfService::overloadedResponse(uint64_t Id) const {
+  return ServiceResponse::failure(
+      Id, "overloaded",
+      "request queue is full; back off and retry", retryAfterMsHint());
+}
+
+bool AsdfService::admitRunMemory(const ServiceRequest &R,
+                                 unsigned NumQubits, size_t &Reserved,
+                                 ServiceResponse &Failure) {
+  Reserved = 0;
+  if (RunMemoryBudget == 0)
+    return true;
+  // The floor of what a dense run allocates: one 16-byte amplitude per
+  // basis state. Shot-parallel worker forks can multiply it, but bounding
+  // the floor already refuses every state that cannot fit at all.
+  size_t Need = NumQubits >= 8 * sizeof(size_t) - 4
+                    ? std::numeric_limits<size_t>::max()
+                    : size_t(16) << NumQubits;
+  if (Need > RunMemoryBudget) {
+    NumShedMemory.fetch_add(1, std::memory_order_relaxed);
+    Failure = ServiceResponse::failure(
+        R.Id, "resource-exhausted",
+        "dense statevector for " + std::to_string(NumQubits) +
+            " qubit(s) needs " + std::to_string(Need) +
+            " bytes against a run-memory budget of " +
+            std::to_string(RunMemoryBudget) +
+            " (use a smaller circuit, the stab/mps backend, or a larger "
+            "--run-mem-mb)");
+    return false;
+  }
+  size_t Cur = RunMemoryInFlight.load();
+  while (true) {
+    if (Cur + Need > RunMemoryBudget) {
+      // Fits alone but not beside the runs in flight: retryable.
+      NumShedMemory.fetch_add(1, std::memory_order_relaxed);
+      Failure = ServiceResponse::failure(
+          R.Id, "resource-exhausted",
+          "run-memory budget is held by in-flight runs; retry shortly",
+          std::max<uint64_t>(retryAfterMsHint(), 50));
+      return false;
+    }
+    if (RunMemoryInFlight.compare_exchange_weak(Cur, Cur + Need))
+      break;
+  }
+  Reserved = Need;
+  return true;
+}
+
+void AsdfService::releaseRunMemory(size_t Bytes) {
+  if (Bytes)
+    RunMemoryInFlight.fetch_sub(Bytes);
 }
 
 std::shared_ptr<const CachedArtifact> AsdfService::coalesceCompile(
@@ -293,6 +441,8 @@ std::shared_ptr<const Circuit> AsdfService::flatCircuitFor(
       Key, WasHit, CompileSecs, Failure,
       [&](ServiceResponse &Fail,
           double &Secs) -> std::shared_ptr<const CachedArtifact> {
+        if (fault::shouldFail("compile.bad-alloc"))
+          throw std::bad_alloc();
         Clock::time_point T0 = Clock::now();
         SessionOptions Opts;
         Opts.Entry = R.Entry;
@@ -350,6 +500,8 @@ AsdfService::handleCompile(const ServiceRequest &R,
               R.Id, "timeout", "request deadline passed before compile");
           return nullptr;
         }
+        if (fault::shouldFail("compile.bad-alloc"))
+          throw std::bad_alloc();
         Clock::time_point T0 = Clock::now();
         SessionOptions Opts;
         Opts.Entry = R.Entry;
@@ -461,14 +613,28 @@ ServiceResponse AsdfService::handleRun(const ServiceRequest &R,
             "' cannot simulate this circuit (" + Sel.CostSummary +
             "); candidates: " + Sel.rejectionSummary());
 
+  // Admission: a dense run reserves its state bytes against the budget
+  // before touching the simulator, so an oversized request is refused
+  // (retryably) instead of thrashing or OOM-killing the daemon.
+  size_t Reserved = 0;
+  if (std::strcmp(B.name(), "sv") == 0) {
+    ServiceResponse MemFailure;
+    if (!admitRunMemory(R, Flat->NumQubits, Reserved, MemFailure))
+      return MemFailure;
+  }
   std::vector<ShotResult> Batch;
   try {
     Batch = B.runBatch(*Flat, R.Shots, R.Seed, RunOpts);
   } catch (const DeadlineExceeded &) {
+    releaseRunMemory(Reserved);
     NumTimeouts.fetch_add(1, std::memory_order_relaxed);
     return ServiceResponse::failure(R.Id, "timeout",
                                     "run deadline exceeded between shots");
+  } catch (...) {
+    releaseRunMemory(Reserved);
+    throw;
   }
+  releaseRunMemory(Reserved);
   NumShots.fetch_add(R.Shots, std::memory_order_relaxed);
   Resp.Results.reserve(Batch.size());
   for (const ShotResult &Shot : Batch) {
@@ -600,14 +766,25 @@ ServiceResponse AsdfService::handleBindRun(const ServiceRequest &R,
             "' cannot simulate this circuit (" + Sel.CostSummary +
             "); candidates: " + Sel.rejectionSummary());
 
+  size_t Reserved = 0;
+  if (std::strcmp(B.name(), "sv") == 0) {
+    ServiceResponse MemFailure;
+    if (!admitRunMemory(R, Flat->NumQubits, Reserved, MemFailure))
+      return MemFailure;
+  }
   std::vector<std::vector<ShotResult>> Sweep;
   try {
     Sweep = B.runSweep(*Flat, FullPoints, R.Shots, R.Seed, RunOpts);
   } catch (const DeadlineExceeded &) {
+    releaseRunMemory(Reserved);
     NumTimeouts.fetch_add(1, std::memory_order_relaxed);
     return ServiceResponse::failure(R.Id, "timeout",
                                     "run deadline exceeded during sweep");
+  } catch (...) {
+    releaseRunMemory(Reserved);
+    throw;
   }
+  releaseRunMemory(Reserved);
   NumShots.fetch_add(static_cast<uint64_t>(R.Shots) * FullPoints.size(),
                      std::memory_order_relaxed);
   Resp.PointResults.resize(Sweep.size());
@@ -676,6 +853,9 @@ json::Value AsdfService::statsJson() const {
   Req.set("shots", json::Value::integer(NumShots.load()));
   Req.set("compiled", json::Value::integer(NumCompiled.load()));
   Req.set("coalesced", json::Value::integer(NumCoalesced.load()));
+  Req.set("shed_overloaded", json::Value::integer(NumShedOverloaded.load()));
+  Req.set("shed_memory", json::Value::integer(NumShedMemory.load()));
+  Req.set("shed_expired", json::Value::integer(NumShedExpired.load()));
   O.set("requests", std::move(Req));
 
   JobQueue::Counters QC = Queue.counters();
@@ -683,8 +863,29 @@ json::Value AsdfService::statsJson() const {
   Q.set("submitted", json::Value::integer(QC.Submitted));
   Q.set("executed", json::Value::integer(QC.Executed));
   Q.set("rejected", json::Value::integer(QC.Rejected));
+  Q.set("shed", json::Value::integer(QC.Shed));
   Q.set("pending", json::Value::integer(QC.Pending));
   O.set("queue", std::move(Q));
+
+  if (Disk) {
+    DiskCacheStats DS = Disk->stats();
+    json::Value D = json::Value::object();
+    D.set("dir", json::Value::str(Disk->dir()));
+    D.set("hits", json::Value::integer(DS.Hits));
+    D.set("misses", json::Value::integer(DS.Misses));
+    D.set("insertions", json::Value::integer(DS.Insertions));
+    D.set("evictions", json::Value::integer(DS.Evictions));
+    D.set("corrupt", json::Value::integer(DS.Corrupt));
+    D.set("quarantined", json::Value::integer(DS.Quarantined));
+    D.set("write_failures", json::Value::integer(DS.WriteFailures));
+    D.set("warmed", json::Value::integer(DS.WarmedEntries));
+    D.set("entries", json::Value::integer(DS.Entries));
+    D.set("bytes_used",
+          json::Value::integer(static_cast<uint64_t>(DS.BytesUsed)));
+    D.set("byte_budget",
+          json::Value::integer(static_cast<uint64_t>(DS.ByteBudget)));
+    O.set("disk", std::move(D));
+  }
 
   // Per-op latency histograms, in the shared fixed-bucket encoding: a
   // client can rebuild each histogram from the bucket counts and derive

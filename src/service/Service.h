@@ -42,11 +42,24 @@
 
 namespace asdf {
 
+class DiskCache;
+
 struct ServiceOptions {
   /// Worker threads executing requests (JobQueue; 0 = one per core).
   unsigned Workers = 0;
   /// Artifact-cache byte budget.
   size_t CacheBytes = ArtifactCache::DefaultByteBudget;
+  /// Directory of the crash-safe on-disk cache tier; empty = memory-only.
+  std::string DiskCacheDir;
+  /// Disk-tier byte budget (used only with DiskCacheDir).
+  size_t DiskCacheBytes = 0; ///< 0 = DiskCache::DefaultByteBudget.
+  /// Submitted requests allowed to wait for a worker before new ones are
+  /// shed with an `overloaded` error (0 = unbounded, the old behavior).
+  size_t MaxQueueDepth = 0;
+  /// Admission budget for dense statevector run memory across in-flight
+  /// requests (0 = unlimited). A run whose 16·2^n state would exceed it
+  /// is refused with `resource-exhausted` instead of thrashing the box.
+  size_t RunMemoryBytes = 0;
 };
 
 class AsdfService {
@@ -67,11 +80,24 @@ public:
          std::chrono::steady_clock::time_point Deadline);
 
   /// Enqueues \p R on the worker pool; \p Done fires exactly once, on a
-  /// worker thread, with the response. Returns false (and does not call
-  /// \p Done) if the service is draining. The request's timeout starts
-  /// now — time spent queued counts against it.
-  bool submit(ServiceRequest R,
-              std::function<void(ServiceResponse)> Done);
+  /// worker thread, with the response. Returns Draining or Overloaded
+  /// (without calling \p Done) when the request is refused; the server
+  /// maps those to shutting-down / overloaded errors. \p Client keys the
+  /// queue's round-robin fairness (the server passes the connection fd).
+  /// The request's timeout starts now — time spent queued counts
+  /// against it.
+  JobQueue::Submit submit(ServiceRequest R,
+                          std::function<void(ServiceResponse)> Done,
+                          uint64_t Client = 0);
+
+  /// The error response for a submit() that returned Overloaded: kind
+  /// `overloaded` with a retry_after_ms hint scaled to the backlog.
+  ServiceResponse overloadedResponse(uint64_t Id) const;
+
+  /// The backoff hint attached to overloaded/resource-exhausted errors:
+  /// roughly how long the current backlog needs to clear one queue slot,
+  /// clamped to [25 ms, 2 s].
+  uint64_t retryAfterMsHint() const;
 
   /// True once a shutdown request has been handled (or drain() called);
   /// the server layer polls this to stop accepting.
@@ -81,6 +107,13 @@ public:
   void drain();
 
   ArtifactCache &cache() { return Cache; }
+  /// The disk tier, or null when running memory-only (not configured, or
+  /// the directory failed to open — see diskCacheError()).
+  DiskCache *diskCache() { return Disk.get(); }
+  /// Non-empty when DiskCacheDir was configured but could not be opened;
+  /// the service degrades to memory-only and asdfd refuses to start.
+  const std::string &diskCacheError() const { return DiskError; }
+  JobQueue &queue() { return Queue; }
   unsigned workers() const { return Queue.workers(); }
 
   /// The stats payload of the "stats" op (also used by --version-style
@@ -115,6 +148,15 @@ private:
   ServiceResponse handleShutdown(const ServiceRequest &R);
   ServiceResponse handleMetrics(const ServiceRequest &R);
   obs::Histogram *latencyFor(ServiceRequest::Kind K);
+
+  /// Memory-budget admission for a dense statevector run: reserves the
+  /// 16·2^NumQubits state bytes against RunMemoryBytes. True (with
+  /// \p Reserved to release after the run) when admitted — including
+  /// trivially, with Reserved 0, when no budget is configured. False with
+  /// \p Failure filled (resource-exhausted) when refused.
+  bool admitRunMemory(const ServiceRequest &R, unsigned NumQubits,
+                      size_t &Reserved, ServiceResponse &Failure);
+  void releaseRunMemory(size_t Bytes);
 
   /// One in-flight compilation other requests with the same key wait on
   /// instead of compiling the same thing concurrently (single-flight).
@@ -153,8 +195,15 @@ private:
            std::chrono::steady_clock::now() >= Deadline;
   }
 
+  /// Declared before Cache: the cache holds a raw pointer to the disk
+  /// tier, so the tier must outlive it.
+  std::unique_ptr<DiskCache> Disk;
+  std::string DiskError;
   ArtifactCache Cache;
   JobQueue Queue;
+  /// Memory-admission state (0 budget = unlimited).
+  size_t RunMemoryBudget = 0;
+  std::atomic<size_t> RunMemoryInFlight{0};
   std::atomic<bool> ShuttingDown{false};
   std::chrono::steady_clock::time_point Start;
 
@@ -169,6 +218,11 @@ private:
   std::atomic<uint64_t> NumCompile{0}, NumRun{0}, NumBindRun{0},
       NumStats{0}, NumMetrics{0}, NumErrors{0}, NumTimeouts{0},
       NumShots{0}, NumCompiled{0}, NumCoalesced{0};
+  // Load-shedding counters: requests refused at the queue bound, refused
+  // by the run-memory budget, and expired before pickup (a subset of
+  // NumTimeouts — the deadline passed while the request waited).
+  std::atomic<uint64_t> NumShedOverloaded{0}, NumShedMemory{0},
+      NumShedExpired{0};
 
   // The observability spine's metric surface: per-op latency histograms
   // plus read-time views over the counters above (registered in the

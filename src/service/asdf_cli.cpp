@@ -67,6 +67,14 @@ void usage(FILE *Out) {
       "                      /tmp/asdfd.sock)\n"
       "  --timeout <secs>    per-request timeout, also bounding the wait\n"
       "                      for the response (default: none)\n"
+      "  --retries <n>       retry a lost connection or an overloaded /\n"
+      "                      resource-exhausted / shutting-down answer up\n"
+      "                      to n times, reconnecting with exponential\n"
+      "                      backoff and honoring the daemon's\n"
+      "                      retry_after_ms hint (default 0)\n"
+      "  --retry-budget-ms <n>\n"
+      "                      total time allowed across retries (default\n"
+      "                      10000)\n"
       "  --trace-id <n>      tag the request with a 64-bit trace id; a\n"
       "                      daemon running with --trace records all of\n"
       "                      this request's spans under that id\n"
@@ -186,11 +194,36 @@ void printStatsSummary(const json::Value &S) {
               (unsigned long long)U64(Req, "compiled"),
               (unsigned long long)U64(Req, "coalesced"));
   std::printf("queue: %llu submitted, %llu executed, %llu rejected, "
-              "%llu pending\n",
+              "%llu shed, %llu pending\n",
               (unsigned long long)U64(Queue, "submitted"),
               (unsigned long long)U64(Queue, "executed"),
               (unsigned long long)U64(Queue, "rejected"),
+              (unsigned long long)U64(Queue, "shed"),
               (unsigned long long)U64(Queue, "pending"));
+  uint64_t ShedTotal = U64(Req, "shed_overloaded") +
+                       U64(Req, "shed_memory") + U64(Req, "shed_expired");
+  if (ShedTotal)
+    std::printf("shed: %llu overloaded, %llu memory, %llu expired\n",
+                (unsigned long long)U64(Req, "shed_overloaded"),
+                (unsigned long long)U64(Req, "shed_memory"),
+                (unsigned long long)U64(Req, "shed_expired"));
+  if (const json::Value *Disk = S.get("disk")) {
+    uint64_t DHits = U64(Disk, "hits"), DMisses = U64(Disk, "misses");
+    double DRate = DHits + DMisses
+                       ? 100.0 * double(DHits) / double(DHits + DMisses)
+                       : 0.0;
+    std::printf("disk: %llu hit(s), %llu miss(es) (%.1f%% hit rate), "
+                "%llu entr%s, %llu / %llu bytes, %llu warmed, "
+                "%llu quarantined, %llu write failure(s)\n",
+                (unsigned long long)DHits, (unsigned long long)DMisses,
+                DRate, (unsigned long long)U64(Disk, "entries"),
+                U64(Disk, "entries") == 1 ? "y" : "ies",
+                (unsigned long long)U64(Disk, "bytes_used"),
+                (unsigned long long)U64(Disk, "byte_budget"),
+                (unsigned long long)U64(Disk, "warmed"),
+                (unsigned long long)U64(Disk, "quarantined"),
+                (unsigned long long)U64(Disk, "write_failures"));
+  }
   if (!Lat)
     return;
   std::printf("latency: %-10s %8s %10s %10s %10s\n", "op", "count",
@@ -226,6 +259,7 @@ int main(int argc, char **argv) {
   std::string Command;
   std::string File;
   double Timeout = 0.0;
+  ServiceClient::RetryPolicy Retry;
   bool EmitSet = false;
   bool RawJson = false;
   std::string ParamsArg, SweepArg;
@@ -250,6 +284,16 @@ int main(int argc, char **argv) {
       Timeout = std::atof(Next());
       if (Timeout <= 0)
         usageError("--timeout expects a positive number of seconds");
+    } else if (Arg == "--retries") {
+      long long N = std::atoll(Next());
+      if (N < 0)
+        usageError("--retries expects a non-negative count");
+      Retry.MaxRetries = static_cast<unsigned>(N);
+    } else if (Arg == "--retry-budget-ms") {
+      long long N = std::atoll(Next());
+      if (N <= 0)
+        usageError("--retry-budget-ms expects a positive count");
+      Retry.BudgetMs = static_cast<uint64_t>(N);
     } else if (Arg == "--entry") {
       Req.Entry = Next();
     } else if (Arg == "--pipeline") {
@@ -385,17 +429,24 @@ int main(int argc, char **argv) {
 
   ServiceClient Client;
   std::string Error;
-  if (!Client.connect(Socket, Error)) {
+  if (!Client.connect(Socket, Error) && Retry.MaxRetries == 0) {
     std::fprintf(stderr, "asdf-cli: %s\n", Error.c_str());
     return 1;
   }
   ServiceResponse Resp;
+  unsigned RetriesUsed = 0;
   // Give the daemon a little slack past the request's own deadline before
-  // declaring the transport dead.
-  if (!Client.call(Req, Resp, Error, Timeout > 0 ? Timeout + 5.0 : 0.0)) {
+  // declaring the transport dead. callWithRetry reconnects and replays —
+  // safe because requests are deterministic and content-keyed.
+  if (!Client.callWithRetry(Req, Resp, Error, Retry,
+                            Timeout > 0 ? Timeout + 5.0 : 0.0,
+                            &RetriesUsed)) {
     std::fprintf(stderr, "asdf-cli: %s\n", Error.c_str());
     return 1;
   }
+  if (RetriesUsed)
+    std::fprintf(stderr, "asdf-cli: succeeded after %u retr%s\n",
+                 RetriesUsed, RetriesUsed == 1 ? "y" : "ies");
   if (!Resp.Ok) {
     std::fprintf(stderr, "asdf-cli: %s: %s\n", Resp.Error.Kind.c_str(),
                  Resp.Error.Message.c_str());

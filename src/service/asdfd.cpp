@@ -20,8 +20,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "obs/Trace.h"
+#include "service/DiskCache.h"
 #include "service/Server.h"
 #include "support/BuildInfo.h"
+#include "support/FaultInject.h"
 
 #include <csignal>
 #include <cstdio>
@@ -52,6 +54,16 @@ void usage(FILE *Out) {
       "                      hardware core)\n"
       "  --cache-mb <n>      artifact-cache byte budget in MiB (default\n"
       "                      256)\n"
+      "  --disk-cache <dir>  crash-safe on-disk cache tier: artifacts\n"
+      "                      survive restarts (warmed and validated on\n"
+      "                      startup; corrupt entries are quarantined)\n"
+      "  --disk-cache-mb <n> disk-tier byte budget in MiB (default 1024)\n"
+      "  --max-queue <n>     pending-request bound; beyond it requests are\n"
+      "                      shed with an 'overloaded' error and a\n"
+      "                      retry_after_ms hint (default 0 = unbounded)\n"
+      "  --run-mem-mb <n>    dense-statevector memory admission budget in\n"
+      "                      MiB across in-flight runs; oversized runs get\n"
+      "                      'resource-exhausted' (default 0 = unlimited)\n"
       "  --verbose           log connections and requests to stderr\n"
       "  --trace <path>      record spans for every request and write one\n"
       "                      Chrome trace JSON (Perfetto-loadable) to\n"
@@ -99,6 +111,25 @@ int main(int argc, char **argv) {
         usageError("--cache-mb expects a positive number of MiB");
       Options.Service.CacheBytes =
           static_cast<size_t>(Mb) * (1 << 20);
+    } else if (Arg == "--disk-cache") {
+      Options.Service.DiskCacheDir = Next();
+    } else if (Arg == "--disk-cache-mb") {
+      long long Mb = std::atoll(Next());
+      if (Mb <= 0)
+        usageError("--disk-cache-mb expects a positive number of MiB");
+      Options.Service.DiskCacheBytes =
+          static_cast<size_t>(Mb) * (1 << 20);
+    } else if (Arg == "--max-queue") {
+      long long N = std::atoll(Next());
+      if (N < 0)
+        usageError("--max-queue expects a non-negative count");
+      Options.Service.MaxQueueDepth = static_cast<size_t>(N);
+    } else if (Arg == "--run-mem-mb") {
+      long long Mb = std::atoll(Next());
+      if (Mb < 0)
+        usageError("--run-mem-mb expects a non-negative number of MiB");
+      Options.Service.RunMemoryBytes =
+          static_cast<size_t>(Mb) * (1 << 20);
     } else if (Arg == "--verbose") {
       Options.Verbose = true;
     } else if (Arg == "--trace") {
@@ -115,7 +146,19 @@ int main(int argc, char **argv) {
   if (!TracePath.empty())
     obs::enableTracing();
 
+  // Fault-injection builds arm named failure points from $ASDF_FAULTS;
+  // production builds compile this to a no-op.
+  fault::armFromEnv();
+
   Server Daemon(Options);
+  // A configured disk cache that cannot open is a deployment error — the
+  // operator asked for durability they would silently not get.
+  if (!Daemon.service().diskCacheError().empty()) {
+    std::fprintf(stderr, "asdfd: --disk-cache %s: %s\n",
+                 Options.Service.DiskCacheDir.c_str(),
+                 Daemon.service().diskCacheError().c_str());
+    return 1;
+  }
   std::string Error;
   if (!Daemon.start(Error)) {
     std::fprintf(stderr, "asdfd: %s\n", Error.c_str());
@@ -132,6 +175,16 @@ int main(int argc, char **argv) {
                ASDF_VERSION_STRING, Options.SocketPath.c_str(),
                Daemon.service().workers(),
                Options.Service.CacheBytes >> 20);
+  if (DiskCache *Disk = Daemon.service().diskCache()) {
+    DiskCacheStats DS = Disk->stats();
+    std::fprintf(stderr,
+                 "asdfd: disk cache %s: warmed %llu entrie(s) (%llu "
+                 "byte(s)), quarantined %llu\n",
+                 Disk->dir().c_str(),
+                 static_cast<unsigned long long>(DS.WarmedEntries),
+                 static_cast<unsigned long long>(DS.BytesUsed),
+                 static_cast<unsigned long long>(DS.Quarantined));
+  }
   int Code = Daemon.serve();
   ActiveServer = nullptr;
   // serve() returns after the drain: connection threads and queue workers

@@ -1,0 +1,124 @@
+//===- FaultInject.cpp - Deterministic fault-injection points -------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#ifdef ASDF_FAULT_INJECTION
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+using namespace asdf;
+
+namespace {
+
+struct PointState {
+  uint64_t Skip = 0;      ///< Evaluations to let pass before failing.
+  uint64_t Remaining = 0; ///< Failures still to inject.
+  uint64_t Evaluated = 0;
+  uint64_t Fired = 0;
+};
+
+std::mutex M;
+std::map<std::string, PointState> Points;
+
+bool parseCount(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  Out = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    Out = Out * 10 + static_cast<uint64_t>(C - '0');
+  }
+  return true;
+}
+
+} // namespace
+
+bool fault::arm(const std::string &Spec, std::string &Error) {
+  std::map<std::string, PointState> Fresh;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Item = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Item.empty())
+      continue;
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos || Eq == 0) {
+      Error = "fault spec item '" + Item + "' is not <point>=<count>[@skip]";
+      return false;
+    }
+    std::string Name = Item.substr(0, Eq);
+    std::string Counts = Item.substr(Eq + 1);
+    PointState P;
+    size_t At = Counts.find('@');
+    if (!parseCount(At == std::string::npos ? Counts : Counts.substr(0, At),
+                    P.Remaining) ||
+        (At != std::string::npos &&
+         !parseCount(Counts.substr(At + 1), P.Skip))) {
+      Error = "fault spec item '" + Item + "' has a non-numeric count";
+      return false;
+    }
+    Fresh[Name] = P;
+  }
+  std::lock_guard<std::mutex> Lock(M);
+  // Re-arming preserves nothing: counters restart with the new spec, so a
+  // test's assertions only see its own arming.
+  Points = std::move(Fresh);
+  return true;
+}
+
+void fault::armFromEnv() {
+  const char *Env = std::getenv("ASDF_FAULTS");
+  if (!Env || !*Env)
+    return;
+  std::string Error;
+  if (!arm(Env, Error)) {
+    std::fprintf(stderr, "fault-injection: bad ASDF_FAULTS: %s\n",
+                 Error.c_str());
+    std::abort(); // A mistyped fault must fail the test, not skip it.
+  }
+}
+
+void fault::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  Points.clear();
+}
+
+bool fault::shouldFail(const char *Point) {
+  std::lock_guard<std::mutex> Lock(M);
+  PointState &P = Points[Point];
+  ++P.Evaluated;
+  if (P.Skip > 0) {
+    --P.Skip;
+    return false;
+  }
+  if (P.Remaining == 0)
+    return false;
+  --P.Remaining;
+  ++P.Fired;
+  return true;
+}
+
+uint64_t fault::fired(const char *Point) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Points.find(Point);
+  return It == Points.end() ? 0 : It->second.Fired;
+}
+
+uint64_t fault::evaluated(const char *Point) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Points.find(Point);
+  return It == Points.end() ? 0 : It->second.Evaluated;
+}
+
+#endif // ASDF_FAULT_INJECTION

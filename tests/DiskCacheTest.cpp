@@ -1,0 +1,550 @@
+//===- DiskCacheTest.cpp - Crash-safe disk cache tier tests ---------------===//
+//
+// Part of the Asdf reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Locks down the durability story of the on-disk artifact tier:
+///
+///   - the entry codec round-trips text and flat-circuit artifacts
+///     bit-exactly (raw double bit patterns included), and rejects every
+///     truncation and every single-byte corruption of an encoded entry;
+///   - entries from a different build fingerprint are recognized as such,
+///     never served;
+///   - a restarted cache warms from disk, quarantines invalid entries
+///     (they are moved aside, not fatal, and never served), sweeps
+///     half-written tmp files, and evicts oldest-first under the byte
+///     budget by unlinking files;
+///   - the ArtifactCache memory tier writes through to disk and promotes
+///     disk hits back into memory;
+///   - a *service* restarted on the same --disk-cache directory serves
+///     bit-identical run results without recompiling;
+///   - under fault injection (ASDF_FAULT_INJECTION builds): injected write
+///     failures are counted and swallowed, torn writes are quarantined on
+///     the next read, and read-time bit rot is caught by the checksum.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/DiskCache.h"
+
+#include "service/Request.h"
+#include "service/Service.h"
+#include "support/BuildInfo.h"
+#include "support/FaultInject.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace asdf;
+
+namespace {
+
+/// A fresh private directory per test (TempDir is shared across suites).
+std::string freshDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "diskcache-" + Name + "-" +
+                    std::to_string(::getpid());
+  // Tests may re-run in one process; start clean.
+  ::system(("rm -rf " + Dir).c_str());
+  return Dir;
+}
+
+bool fileExists(const std::string &Path) {
+  struct stat St{};
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+CachedArtifact textArtifact(const std::string &Text = "OPENQASM 3;\n") {
+  CachedArtifact Art;
+  Art.Kind = "qasm";
+  Art.Text = Text;
+  return Art;
+}
+
+/// A circuit exercising every field of the codec: symbolic and concrete
+/// angles (awkward bit patterns), controls, measures, resets, classical
+/// conditions, outputs, and parameter names.
+std::shared_ptr<Circuit> gnarlyCircuit() {
+  auto C = std::make_shared<Circuit>();
+  C->NumQubits = 3;
+  C->NumBits = 2;
+  C->ParamNames = {"theta", "phi"};
+  C->append(CircuitInstr::gate(GateKind::H, {}, {0}));
+  CircuitInstr RZ = CircuitInstr::gate(GateKind::RZ, {0}, {1});
+  RZ.Param = 0.1 + 0x1p-52; // Not exactly representable in fewer bits.
+  C->append(RZ);
+  CircuitInstr Sym = CircuitInstr::gate(GateKind::RY, {}, {2});
+  Sym.ParamIdx = 1;
+  Sym.ParamScale = -0.5;
+  Sym.ParamOfs = 90.0 + 0x1p-30;
+  C->append(Sym);
+  C->append(CircuitInstr::measure(1, 0));
+  CircuitInstr Cond = CircuitInstr::gate(GateKind::X, {}, {2});
+  Cond.CondBit = 0;
+  Cond.CondVal = false;
+  C->append(Cond);
+  C->append(CircuitInstr::reset(1));
+  C->append(CircuitInstr::measure(2, 1));
+  C->OutputQubits = {2};
+  C->OutputBits = {1, 0};
+  return C;
+}
+
+/// Field-by-field equality with raw-bit double compares: 0.0 == -0.0 and
+/// NaN != NaN under operator==, but the disk round trip must preserve the
+/// exact pattern.
+bool sameBits(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+void expectCircuitsBitIdentical(const Circuit &A, const Circuit &B) {
+  EXPECT_EQ(A.NumQubits, B.NumQubits);
+  EXPECT_EQ(A.NumBits, B.NumBits);
+  EXPECT_EQ(A.OutputQubits, B.OutputQubits);
+  EXPECT_EQ(A.OutputBits, B.OutputBits);
+  EXPECT_EQ(A.ParamNames, B.ParamNames);
+  ASSERT_EQ(A.Instrs.size(), B.Instrs.size());
+  for (size_t I = 0; I < A.Instrs.size(); ++I) {
+    const CircuitInstr &X = A.Instrs[I], &Y = B.Instrs[I];
+    EXPECT_EQ(X.TheKind, Y.TheKind) << "instr " << I;
+    EXPECT_EQ(X.Gate, Y.Gate) << "instr " << I;
+    EXPECT_TRUE(sameBits(X.Param, Y.Param)) << "instr " << I;
+    EXPECT_EQ(X.ParamIdx, Y.ParamIdx) << "instr " << I;
+    EXPECT_TRUE(sameBits(X.ParamScale, Y.ParamScale)) << "instr " << I;
+    EXPECT_TRUE(sameBits(X.ParamOfs, Y.ParamOfs)) << "instr " << I;
+    EXPECT_EQ(X.Controls, Y.Controls) << "instr " << I;
+    EXPECT_EQ(X.Targets, Y.Targets) << "instr " << I;
+    EXPECT_EQ(X.Cbit, Y.Cbit) << "instr " << I;
+    EXPECT_EQ(X.CondBit, Y.CondBit) << "instr " << I;
+    EXPECT_EQ(X.CondVal, Y.CondVal) << "instr " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Entry codec
+//===----------------------------------------------------------------------===//
+
+TEST(DiskCacheCodec, RoundTripsTextArtifact) {
+  CachedArtifact In = textArtifact("OPENQASM 3;\nqubit[2] q;\n");
+  std::string Bytes = DiskCache::encode(In);
+  CachedArtifact Out;
+  std::string Fingerprint;
+  ASSERT_EQ(DiskCache::decode(Bytes, Out, Fingerprint),
+            DiskCache::DecodeResult::Ok);
+  EXPECT_EQ(Out.Kind, In.Kind);
+  EXPECT_EQ(Out.Text, In.Text);
+  EXPECT_EQ(Out.Flat, nullptr);
+  EXPECT_EQ(Fingerprint, buildFingerprint());
+}
+
+TEST(DiskCacheCodec, RoundTripsFlatCircuitBitExact) {
+  CachedArtifact In;
+  In.Kind = "flat-circuit";
+  In.Flat = gnarlyCircuit();
+  std::string Bytes = DiskCache::encode(In);
+  CachedArtifact Out;
+  std::string Fingerprint;
+  ASSERT_EQ(DiskCache::decode(Bytes, Out, Fingerprint),
+            DiskCache::DecodeResult::Ok);
+  EXPECT_EQ(Out.Kind, "flat-circuit");
+  ASSERT_NE(Out.Flat, nullptr);
+  expectCircuitsBitIdentical(*In.Flat, *Out.Flat);
+  // The rehydrated circuit's size accounting matches too (the cache
+  // budget must not drift across a restart).
+  EXPECT_EQ(In.bytes(), Out.bytes());
+}
+
+TEST(DiskCacheCodec, RejectsEveryTruncation) {
+  CachedArtifact In;
+  In.Kind = "flat-circuit";
+  In.Flat = gnarlyCircuit();
+  std::string Bytes = DiskCache::encode(In);
+  CachedArtifact Out;
+  std::string Fingerprint;
+  for (size_t Len = 0; Len < Bytes.size(); ++Len)
+    ASSERT_EQ(DiskCache::decode(Bytes.substr(0, Len), Out, Fingerprint),
+              DiskCache::DecodeResult::Corrupt)
+        << "truncation to " << Len << " bytes must not decode";
+}
+
+TEST(DiskCacheCodec, RejectsEverySingleByteFlip) {
+  CachedArtifact In = textArtifact();
+  In.Flat = gnarlyCircuit();
+  std::string Bytes = DiskCache::encode(In);
+  CachedArtifact Out;
+  std::string Fingerprint;
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    std::string Flipped = Bytes;
+    Flipped[I] ^= 0x10;
+    ASSERT_NE(DiskCache::decode(Flipped, Out, Fingerprint),
+              DiskCache::DecodeResult::Ok)
+        << "flip at byte " << I << " must not decode as Ok";
+  }
+}
+
+TEST(DiskCacheCodec, DetectsForeignBuildFingerprint) {
+  CachedArtifact In = textArtifact();
+  std::string Bytes = DiskCache::encode(In, "asdf-other-build");
+  CachedArtifact Out;
+  std::string Fingerprint;
+  EXPECT_EQ(DiskCache::decode(Bytes, Out, Fingerprint),
+            DiskCache::DecodeResult::FingerprintMismatch);
+  EXPECT_EQ(Fingerprint, "asdf-other-build");
+  // Decoding against the matching expectation succeeds: structure was
+  // never the problem.
+  EXPECT_EQ(DiskCache::decode(Bytes, Out, Fingerprint, "asdf-other-build"),
+            DiskCache::DecodeResult::Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Filesystem tier: durability, quarantine, eviction
+//===----------------------------------------------------------------------===//
+
+TEST(DiskCacheTest, PutGetRoundTripAndStats) {
+  std::string Dir = freshDir("roundtrip");
+  DiskCache Cache(Dir);
+  std::string Error;
+  ASSERT_TRUE(Cache.open(Error)) << Error;
+  CacheKey K{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(Cache.get(K), nullptr);
+  Cache.put(K, textArtifact("hello"));
+  auto Hit = Cache.get(K);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Text, "hello");
+  DiskCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Insertions, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_GT(S.BytesUsed, 0u);
+  EXPECT_TRUE(fileExists(Dir + "/objects/" + K.hex() + ".art"));
+}
+
+TEST(DiskCacheTest, WarmRestartServesPreviousEntries) {
+  std::string Dir = freshDir("warm");
+  CacheKey K{7, 9};
+  {
+    DiskCache Cache(Dir);
+    std::string Error;
+    ASSERT_TRUE(Cache.open(Error)) << Error;
+    CachedArtifact Art;
+    Art.Kind = "flat-circuit";
+    Art.Flat = gnarlyCircuit();
+    Cache.put(K, Art);
+  } // "Crash": the process state is gone, only the files remain.
+  DiskCache Reborn(Dir);
+  std::string Error;
+  ASSERT_TRUE(Reborn.open(Error)) << Error;
+  EXPECT_EQ(Reborn.stats().WarmedEntries, 1u);
+  auto Hit = Reborn.get(K);
+  ASSERT_NE(Hit, nullptr);
+  ASSERT_NE(Hit->Flat, nullptr);
+  expectCircuitsBitIdentical(*gnarlyCircuit(), *Hit->Flat);
+}
+
+TEST(DiskCacheTest, TruncatedEntryIsQuarantinedOnOpenNotFatal) {
+  std::string Dir = freshDir("truncated");
+  CacheKey Good{1, 1}, Bad{2, 2};
+  {
+    DiskCache Cache(Dir);
+    std::string Error;
+    ASSERT_TRUE(Cache.open(Error)) << Error;
+    Cache.put(Good, textArtifact("good"));
+    Cache.put(Bad, textArtifact("doomed"));
+  }
+  // Tear the second entry as a crash would (the atomic rename makes this
+  // impossible through the API, so rip the file directly).
+  std::string BadPath = Dir + "/objects/" + Bad.hex() + ".art";
+  ASSERT_EQ(::truncate(BadPath.c_str(), 11), 0);
+
+  DiskCache Reborn(Dir);
+  std::string Error;
+  ASSERT_TRUE(Reborn.open(Error))
+      << "a corrupt entry must never fail startup: " << Error;
+  DiskCacheStats S = Reborn.stats();
+  EXPECT_EQ(S.WarmedEntries, 1u);
+  EXPECT_EQ(S.Corrupt, 1u);
+  EXPECT_EQ(S.Quarantined, 1u);
+  EXPECT_NE(Reborn.get(Good), nullptr) << "healthy entries still serve";
+  EXPECT_EQ(Reborn.get(Bad), nullptr) << "the torn entry must not serve";
+  EXPECT_FALSE(fileExists(BadPath));
+  EXPECT_TRUE(
+      fileExists(Dir + "/quarantine/" + Bad.hex() + ".art.corrupt"))
+      << "invalid entries are moved aside for postmortems, not deleted";
+}
+
+TEST(DiskCacheTest, ForeignFingerprintEntryIsQuarantinedOnOpen) {
+  std::string Dir = freshDir("fingerprint");
+  CacheKey K{3, 4};
+  {
+    DiskCache Cache(Dir);
+    std::string Error;
+    ASSERT_TRUE(Cache.open(Error)) << Error;
+  }
+  // An entry produced by a differently-configured build: structurally
+  // valid, wrong identity.
+  std::string Foreign = DiskCache::encode(textArtifact(), "asdf-elsewhere");
+  std::ofstream(Dir + "/objects/" + K.hex() + ".art",
+                std::ios::binary | std::ios::trunc)
+      << Foreign;
+  DiskCache Reborn(Dir);
+  std::string Error;
+  ASSERT_TRUE(Reborn.open(Error)) << Error;
+  EXPECT_EQ(Reborn.stats().WarmedEntries, 0u);
+  EXPECT_EQ(Reborn.get(K), nullptr);
+  EXPECT_TRUE(
+      fileExists(Dir + "/quarantine/" + K.hex() + ".art.fingerprint"));
+}
+
+TEST(DiskCacheTest, StaleTmpFilesAreSweptOnOpen) {
+  std::string Dir = freshDir("tmpsweep");
+  {
+    DiskCache Cache(Dir);
+    std::string Error;
+    ASSERT_TRUE(Cache.open(Error)) << Error;
+  }
+  // A crash mid-put leaves its partial write in tmp/, invisible as an
+  // entry.
+  std::string Stale = Dir + "/tmp/deadbeef.123";
+  std::ofstream(Stale, std::ios::trunc) << "half an ent";
+  ASSERT_TRUE(fileExists(Stale));
+  DiskCache Reborn(Dir);
+  std::string Error;
+  ASSERT_TRUE(Reborn.open(Error)) << Error;
+  EXPECT_FALSE(fileExists(Stale)) << "tmp files must be swept at open";
+  EXPECT_EQ(Reborn.stats().WarmedEntries, 0u);
+}
+
+TEST(DiskCacheTest, ByteBudgetEvictsOldestFiles) {
+  std::string Dir = freshDir("evict");
+  CachedArtifact Big = textArtifact(std::string(4096, 'x'));
+  size_t EntryBytes = DiskCache::encode(Big).size();
+  // Room for two entries, not three.
+  DiskCache Cache(Dir, 2 * EntryBytes + EntryBytes / 2);
+  std::string Error;
+  ASSERT_TRUE(Cache.open(Error)) << Error;
+  CacheKey A{1, 0}, B{2, 0}, C{3, 0};
+  Cache.put(A, Big);
+  Cache.put(B, Big);
+  Cache.put(C, Big);
+  DiskCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(S.Entries, 2u);
+  EXPECT_LE(S.BytesUsed, 2 * EntryBytes + EntryBytes / 2);
+  EXPECT_FALSE(fileExists(Dir + "/objects/" + A.hex() + ".art"))
+      << "the oldest entry's file must be unlinked";
+  EXPECT_NE(Cache.get(B), nullptr);
+  EXPECT_NE(Cache.get(C), nullptr);
+  EXPECT_EQ(Cache.get(A), nullptr);
+}
+
+TEST(DiskCacheTest, UnopenedCacheServesMissesAndDropsPuts) {
+  DiskCache Cache(freshDir("unopened"));
+  CacheKey K{5, 5};
+  Cache.put(K, textArtifact());
+  EXPECT_EQ(Cache.get(K), nullptr);
+  EXPECT_EQ(Cache.stats().Insertions, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Integration with the memory tier and the service
+//===----------------------------------------------------------------------===//
+
+TEST(DiskCacheTest, ArtifactCacheWritesThroughAndPromotesDiskHits) {
+  std::string Dir = freshDir("writethrough");
+  DiskCache Disk(Dir);
+  std::string Error;
+  ASSERT_TRUE(Disk.open(Error)) << Error;
+  CacheKey K{11, 13};
+  {
+    ArtifactCache Mem;
+    Mem.attachDisk(&Disk);
+    Mem.put(K, std::make_shared<CachedArtifact>(textArtifact("through")));
+    EXPECT_EQ(Disk.stats().Insertions, 1u) << "puts must write through";
+  }
+  // A fresh memory tier (the restarted daemon) misses in memory, hits on
+  // disk, and promotes.
+  ArtifactCache Mem2;
+  Mem2.attachDisk(&Disk);
+  auto Hit = Mem2.get(K);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Text, "through");
+  EXPECT_EQ(Disk.stats().Hits, 1u);
+  EXPECT_EQ(Mem2.stats().Misses, 1u);
+  // Promotion makes the next lookup a pure memory hit.
+  ASSERT_NE(Mem2.get(K), nullptr);
+  EXPECT_EQ(Disk.stats().Hits, 1u) << "promoted entries stop hitting disk";
+  EXPECT_EQ(Mem2.stats().Hits, 1u);
+}
+
+TEST(DiskCacheTest, ServiceRestartServesBitIdenticalRunsFromDisk) {
+  std::string Dir = freshDir("service");
+  ServiceOptions Options;
+  Options.Workers = 2;
+  Options.DiskCacheDir = Dir;
+
+  ServiceRequest R;
+  R.TheKind = ServiceRequest::Kind::Run;
+  R.Id = 1;
+  R.Source = "qpu kernel() -> bit {\n    return 'p' | std.measure\n}\n";
+  R.Shots = 32;
+  R.Seed = 0xfeedfacecafebeefULL;
+
+  std::vector<std::string> ColdResults;
+  std::string Key;
+  {
+    AsdfService Service(Options);
+    ASSERT_TRUE(Service.diskCacheError().empty())
+        << Service.diskCacheError();
+    ServiceResponse Cold = Service.handle(R);
+    ASSERT_TRUE(Cold.Ok) << Cold.Error.Message;
+    EXPECT_FALSE(Cold.CacheHit);
+    ColdResults = Cold.Results;
+    Key = Cold.Key;
+    Service.drain();
+  } // The first daemon is gone; only the disk directory survives.
+
+  AsdfService Reborn(Options);
+  ServiceResponse Warm = Reborn.handle(R);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error.Message;
+  EXPECT_TRUE(Warm.CacheHit)
+      << "the restarted service must serve the compile from disk";
+  EXPECT_EQ(Warm.Key, Key);
+  EXPECT_EQ(Warm.Results, ColdResults)
+      << "disk-served circuits must simulate bit-identically";
+  ASSERT_NE(Reborn.diskCache(), nullptr);
+  EXPECT_GE(Reborn.diskCache()->stats().WarmedEntries, 1u);
+  EXPECT_GE(Reborn.diskCache()->stats().Hits, 1u);
+  Reborn.drain();
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection (compiled points only in ASDF_FAULT_INJECTION builds)
+//===----------------------------------------------------------------------===//
+
+#ifdef ASDF_FAULT_INJECTION
+
+class DiskCacheFaultTest : public ::testing::Test {
+protected:
+  void TearDown() override { fault::reset(); }
+};
+
+TEST_F(DiskCacheFaultTest, SpecGrammarAndCounters) {
+  std::string Error;
+  EXPECT_FALSE(fault::arm("disk.write", Error)) << "missing =N";
+  EXPECT_FALSE(fault::arm("disk.write=x", Error));
+  EXPECT_TRUE(fault::arm("disk.write=2@1,worker.stall=1", Error)) << Error;
+  EXPECT_FALSE(fault::shouldFail("disk.write")) << "skip=1 spares the 1st";
+  EXPECT_TRUE(fault::shouldFail("disk.write"));
+  EXPECT_TRUE(fault::shouldFail("disk.write"));
+  EXPECT_FALSE(fault::shouldFail("disk.write")) << "budget of 2 exhausted";
+  EXPECT_EQ(fault::fired("disk.write"), 2u);
+  EXPECT_EQ(fault::evaluated("disk.write"), 4u);
+  EXPECT_FALSE(fault::shouldFail("disk.read-corrupt")) << "unarmed point";
+}
+
+TEST_F(DiskCacheFaultTest, InjectedWriteFailureIsCountedAndSwallowed) {
+  std::string Dir = freshDir("faultwrite");
+  DiskCache Cache(Dir);
+  std::string Error;
+  ASSERT_TRUE(Cache.open(Error)) << Error;
+  ASSERT_TRUE(fault::arm("disk.write=1", Error)) << Error;
+  CacheKey K{21, 22};
+  Cache.put(K, textArtifact());
+  DiskCacheStats S = Cache.stats();
+  EXPECT_EQ(S.WriteFailures, 1u);
+  EXPECT_EQ(S.Insertions, 0u);
+  EXPECT_EQ(Cache.get(K), nullptr);
+  EXPECT_FALSE(fileExists(Dir + "/objects/" + K.hex() + ".art"))
+      << "a failed write must leave no visible entry";
+  // The fault budget is spent; the tier heals on the next put.
+  Cache.put(K, textArtifact());
+  EXPECT_NE(Cache.get(K), nullptr);
+}
+
+TEST_F(DiskCacheFaultTest, TornWriteIsCaughtByChecksumAndQuarantined) {
+  std::string Dir = freshDir("faulttorn");
+  DiskCache Cache(Dir);
+  std::string Error;
+  ASSERT_TRUE(Cache.open(Error)) << Error;
+  ASSERT_TRUE(fault::arm("disk.torn-write=1", Error)) << Error;
+  CacheKey K{31, 32};
+  Cache.put(K, textArtifact(std::string(512, 'z')));
+  // The torn entry is on disk under its real name — exactly the state a
+  // power cut mid-write would leave without the tmp+rename discipline.
+  // The checksum catches it at read time and quarantines.
+  EXPECT_EQ(Cache.get(K), nullptr);
+  DiskCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Corrupt, 1u);
+  EXPECT_EQ(S.Quarantined, 1u);
+  EXPECT_TRUE(fileExists(Dir + "/quarantine/" + K.hex() + ".art.corrupt"));
+  // And a restart over the same directory stays healthy.
+  DiskCache Reborn(Dir);
+  ASSERT_TRUE(Reborn.open(Error)) << Error;
+  EXPECT_EQ(Reborn.stats().WarmedEntries, 0u);
+  EXPECT_EQ(Reborn.get(K), nullptr);
+}
+
+TEST_F(DiskCacheFaultTest, ReadTimeBitRotIsQuarantinedAndHealed) {
+  std::string Dir = freshDir("faultrot");
+  DiskCache Cache(Dir);
+  std::string Error;
+  ASSERT_TRUE(Cache.open(Error)) << Error;
+  CacheKey K{41, 42};
+  Cache.put(K, textArtifact("precious"));
+  ASSERT_TRUE(fault::arm("disk.read-corrupt=1", Error)) << Error;
+  EXPECT_EQ(Cache.get(K), nullptr)
+      << "rotted bytes must fail the checksum, not decode";
+  EXPECT_EQ(Cache.stats().Quarantined, 1u);
+  // The entry is gone (quarantined) — a rewrite restores service.
+  Cache.put(K, textArtifact("precious"));
+  auto Hit = Cache.get(K);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Text, "precious");
+}
+
+TEST_F(DiskCacheFaultTest, CompileBadAllocMapsToResourceExhausted) {
+  AsdfService Service(ServiceOptions{2});
+  ServiceRequest R;
+  R.TheKind = ServiceRequest::Kind::Compile;
+  R.Id = 1;
+  R.Source = "qpu kernel() -> bit {\n    return 'p' | std.measure\n}\n";
+  R.Fault = "compile.bad-alloc=1";
+  ServiceResponse Resp = Service.handle(R);
+  ASSERT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Error.Kind, "resource-exhausted");
+  EXPECT_GT(Resp.Error.RetryAfterMs, 0u) << "OOM refusals hint a backoff";
+  // The fault budget is spent: the identical request now succeeds — the
+  // retry story a client with --retries sees.
+  R.Fault.clear();
+  ServiceResponse Again = Service.handle(R);
+  EXPECT_TRUE(Again.Ok) << Again.Error.Message;
+  Service.drain();
+}
+
+#else // !ASDF_FAULT_INJECTION
+
+TEST(DiskCacheFaultTest, FaultFieldIsRejectedInProductionBuilds) {
+  // A production daemon must refuse test-only fault arming loudly.
+  std::string Error;
+  EXPECT_FALSE(fault::arm("disk.write=1", Error));
+  EXPECT_NE(Error.find("not compiled"), std::string::npos) << Error;
+  json::Value V;
+  ASSERT_TRUE(json::parse(
+      R"({"id": 1, "op": "stats", "fault": "disk.write=1"})", V, Error))
+      << Error;
+  ServiceRequest R;
+  EXPECT_FALSE(ServiceRequest::fromJson(V, R, Error));
+  EXPECT_NE(Error.find("fault"), std::string::npos) << Error;
+}
+
+#endif // ASDF_FAULT_INJECTION
+
+} // namespace

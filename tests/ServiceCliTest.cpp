@@ -32,6 +32,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <csignal>
@@ -103,10 +104,13 @@ bool socketAnswers(const std::string &Path) {
 /// A daemon child process, SIGKILLed on teardown if a test failed early.
 class Daemon {
 public:
-  /// Spawns asdfd on \p SocketPath (plus \p ExtraArgs, e.g. --trace)
-  /// and waits until it answers.
+  /// Spawns asdfd on \p SocketPath (plus \p ExtraArgs, e.g. --trace) and
+  /// waits until it answers. \p Env entries ("NAME=VALUE") are set in the
+  /// child only — how fault-injection tests arm a *spawned* daemon via
+  /// $ASDF_FAULTS without polluting the test process.
   bool start(const std::string &SocketPath,
-             const std::vector<std::string> &ExtraArgs = {}) {
+             const std::vector<std::string> &ExtraArgs = {},
+             const std::vector<std::string> &Env = {}) {
     Socket = SocketPath;
     Pid = fork();
     if (Pid < 0)
@@ -116,6 +120,10 @@ public:
       if (Null >= 0) {
         ::dup2(Null, 2);
         ::close(Null);
+      }
+      for (const std::string &KV : Env) {
+        size_t Eq = KV.find('=');
+        ::setenv(KV.substr(0, Eq).c_str(), KV.substr(Eq + 1).c_str(), 1);
       }
       std::vector<const char *> Argv = {"asdfd", "--socket",
                                         SocketPath.c_str(), "--workers",
@@ -582,6 +590,272 @@ TEST(ServiceStaleSocket, StaleFileIsReplacedOnStartup) {
   EXPECT_EQ(D.wait(), 0);
   ::unlink(Socket.c_str());
 }
+
+TEST(ServiceStaleSocket, SigkilledDaemonsSocketIsReclaimed) {
+  // kill -9 gives the daemon no chance to unlink its socket file. The
+  // replacement must detect that nobody is listening, reclaim the path,
+  // and serve — the operator just restarts, no manual rm.
+  std::string Socket = ::testing::TempDir() + "asdfd-kill9-" +
+                       std::to_string(::getpid()) + ".sock";
+  ::unlink(Socket.c_str());
+  {
+    Daemon First;
+    ASSERT_TRUE(First.start(Socket));
+    First.signal(SIGKILL);
+    First.wait();
+  }
+  struct stat St;
+  ASSERT_EQ(::stat(Socket.c_str(), &St), 0)
+      << "precondition: SIGKILL must leave the socket file behind";
+
+  Daemon Second;
+  ASSERT_TRUE(Second.start(Socket))
+      << "a SIGKILLed daemon's socket file blocked the restart";
+  std::string Out;
+  EXPECT_EQ(runCommand(cli(Socket) + "stats", Out), 0) << Out;
+  EXPECT_EQ(runCommand(cli(Socket) + "shutdown", Out), 0);
+  EXPECT_EQ(Second.wait(), 0);
+  ::unlink(Socket.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-restart durability: the disk cache tier across kill -9
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceDiskCache, CompilesSurviveKillMinusNine) {
+  std::string Tag = std::to_string(::getpid());
+  std::string Socket = ::testing::TempDir() + "asdfd-disk-" + Tag + ".sock";
+  std::string Dir = ::testing::TempDir() + "asdfd-disk-" + Tag + ".cache";
+  ::unlink(Socket.c_str());
+  ASSERT_EQ(::system(("rm -rf " + Dir).c_str()), 0);
+  std::string Coin = writeTemp("service_cli_disk_coin.qw", CoinSource);
+  const std::string Args = " --shots 40 --seed 987654321";
+
+  std::string Cold, ColdQasm;
+  {
+    Daemon D;
+    ASSERT_TRUE(D.start(Socket, {"--disk-cache", Dir}));
+    ASSERT_EQ(runCommand("( " + cli(Socket) + "run " + Coin + Args +
+                             " 2>/dev/null )",
+                         Cold),
+              0);
+    ASSERT_EQ(runCommand("( " + cli(Socket) + "compile " + Coin +
+                             " --emit qasm 2>/dev/null )",
+                         ColdQasm),
+              0);
+    // kill -9: no drain, no unlink, nothing flushed that wasn't already
+    // durable. Exactly the crash the atomic-rename discipline targets.
+    D.signal(SIGKILL);
+    D.wait();
+  }
+
+  Daemon Reborn;
+  ASSERT_TRUE(Reborn.start(Socket, {"--disk-cache", Dir}))
+      << "restart over the survived cache directory failed";
+  std::string Warm, WarmQasm, Stats;
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "run " + Coin + Args +
+                           " 2>/dev/null )",
+                       Warm),
+            0);
+  EXPECT_EQ(Warm, Cold)
+      << "disk-served artifacts must replay bit-identically after kill -9";
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "compile " + Coin +
+                           " --emit qasm 2>/dev/null )",
+                       WarmQasm),
+            0);
+  EXPECT_EQ(WarmQasm, ColdQasm);
+
+  // The restart served from disk, visibly: raw counters and the pretty
+  // summary's disk line both say so.
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "stats --json 2>/dev/null )",
+                       Stats),
+            0);
+  json::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Stats, Doc, Error)) << Error << "\n" << Stats;
+  const json::Value *Disk = Doc.get("disk");
+  ASSERT_NE(Disk, nullptr) << Stats;
+  EXPECT_GE(Disk->get("hits")->asU64(), 2u)
+      << "both artifacts must be served from disk after the restart";
+  EXPECT_GE(Disk->get("warmed")->asU64(), 2u) << Stats;
+  std::string Pretty;
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "stats 2>/dev/null )", Pretty),
+            0);
+  EXPECT_NE(Pretty.find("disk:"), std::string::npos) << Pretty;
+
+  ASSERT_EQ(runCommand(cli(Socket) + "shutdown", Stats), 0);
+  EXPECT_EQ(Reborn.wait(), 0);
+  ::unlink(Socket.c_str());
+}
+
+TEST(ServiceDiskCache, CorruptEntryIsQuarantinedNotFatal) {
+  std::string Tag = std::to_string(::getpid());
+  std::string Socket = ::testing::TempDir() + "asdfd-quar-" + Tag + ".sock";
+  std::string Dir = ::testing::TempDir() + "asdfd-quar-" + Tag + ".cache";
+  ::unlink(Socket.c_str());
+  ASSERT_EQ(::system(("rm -rf " + Dir).c_str()), 0);
+  std::string Coin = writeTemp("service_cli_quar_coin.qw", CoinSource);
+
+  {
+    Daemon D;
+    ASSERT_TRUE(D.start(Socket, {"--disk-cache", Dir}));
+    std::string Out;
+    ASSERT_EQ(runCommand(cli(Socket) + "compile " + Coin +
+                             " --emit qasm >/dev/null",
+                         Out),
+              0);
+    D.signal(SIGKILL);
+    D.wait();
+  }
+  // Rot every stored entry down to a stump.
+  std::string Out;
+  ASSERT_EQ(::system(("for f in " + Dir +
+                      "/objects/*.art; do : > $f; done")
+                         .c_str()),
+            0);
+
+  Daemon Reborn;
+  ASSERT_TRUE(Reborn.start(Socket, {"--disk-cache", Dir}))
+      << "corrupt cache entries must never prevent startup";
+  // The daemon still serves (recompiles); the entries moved to
+  // quarantine/ for postmortems.
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "compile " + Coin +
+                           " --emit qasm 2>/dev/null )",
+                       Out),
+            0);
+  EXPECT_NE(Out.find("OPENQASM"), std::string::npos) << Out;
+  ASSERT_EQ(runCommand("ls " + Dir + "/quarantine", Out), 0);
+  EXPECT_NE(Out.find(".art.corrupt"), std::string::npos)
+      << "expected quarantined entries, got: " << Out;
+  ASSERT_EQ(runCommand(cli(Socket) + "shutdown", Out), 0);
+  EXPECT_EQ(Reborn.wait(), 0);
+  ::unlink(Socket.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Client retry across a daemon restart
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceRetry, ClientSurvivesDaemonRestartMidSession) {
+  // The daemon is down when the client starts. With --retries the client
+  // keeps reconnecting under exponential backoff until the replacement
+  // daemon (brought up concurrently) answers — and the answer matches
+  // asdfc bit for bit.
+  std::string Tag = std::to_string(::getpid());
+  std::string Socket = ::testing::TempDir() + "asdfd-retry-" + Tag + ".sock";
+  ::unlink(Socket.c_str());
+  std::string Coin = writeTemp("service_cli_retry_coin.qw", CoinSource);
+  const std::string Args = " --shots 30 --seed 424242";
+
+  std::string Direct;
+  ASSERT_EQ(runCommand("( " + std::string(ASDF_ASDFC_PATH) + " " + Coin +
+                           " --emit run" + Args + " 2>/dev/null )",
+                       Direct),
+            0);
+
+  Daemon D;
+  std::thread Late([&] {
+    ::usleep(400 * 1000); // The client must be mid-backoff by now.
+    ASSERT_TRUE(D.start(Socket));
+  });
+  std::string Served, Err;
+  int Exit = runCommand("( " + cli(Socket) + "run " + Coin + Args +
+                            " --retries 8 --retry-budget-ms 20000"
+                            " 2>/dev/null )",
+                        Served);
+  Late.join();
+  ASSERT_EQ(Exit, 0) << Served;
+  EXPECT_EQ(Served, Direct)
+      << "a retried request must produce the same bits as a direct one";
+  // The retry is reported on stderr, with a count.
+  ASSERT_EQ(runCommand("( " + cli(Socket) + "shutdown >/dev/null ) ", Err),
+            0);
+  EXPECT_EQ(D.wait(), 0);
+  ::unlink(Socket.c_str());
+}
+
+TEST(ServiceRetry, WithoutRetriesAConnectionFailureIsDistinct) {
+  std::string Out;
+  EXPECT_EQ(runCommand(std::string(ASDF_ASDF_CLI_PATH) +
+                           " --socket /nonexistent/asdf.sock stats",
+                       Out),
+            1);
+  // The failure names the connection, not a protocol/parse problem.
+  EXPECT_EQ(Out.find("malformed"), std::string::npos) << Out;
+}
+
+#ifdef ASDF_FAULT_INJECTION
+
+//===----------------------------------------------------------------------===//
+// Fault-injected daemon end-to-end (ASDF_FAULT_INJECTION builds only)
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceFaultE2E, TornWireWriteIsConnectionLostAndRetrySucceeds) {
+  // $ASDF_FAULTS arms the spawned daemon: the first response write sends
+  // half a line and drops the connection. Without retries the client must
+  // report a lost connection (NOT a JSON parse error); with retries the
+  // same request succeeds on the second attempt.
+  std::string Tag = std::to_string(::getpid());
+  std::string Socket = ::testing::TempDir() + "asdfd-torn-" + Tag + ".sock";
+  ::unlink(Socket.c_str());
+  std::string Coin = writeTemp("service_cli_torn_coin.qw", CoinSource);
+
+  {
+    Daemon D;
+    ASSERT_TRUE(D.start(Socket, {}, {"ASDF_FAULTS=wire.torn-write=1"}));
+    std::string Out;
+    EXPECT_EQ(runCommand(cli(Socket) + "compile " + Coin + " --emit qasm",
+                         Out),
+              1);
+    EXPECT_NE(Out.find("connection-lost"), std::string::npos)
+        << "a torn response must be reported as a lost connection: " << Out;
+    EXPECT_EQ(Out.find("malformed"), std::string::npos)
+        << "a torn response must not be misreported as bad JSON: " << Out;
+    D.signal(SIGTERM);
+    D.wait();
+  }
+
+  Daemon D;
+  ASSERT_TRUE(D.start(Socket, {}, {"ASDF_FAULTS=wire.torn-write=1"}));
+  std::string Out;
+  EXPECT_EQ(runCommand("( " + cli(Socket) + "compile " + Coin +
+                           " --emit qasm --retries 3 >/dev/null )",
+                       Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("succeeded after 1 retry"), std::string::npos) << Out;
+  std::string Ignore;
+  runCommand(cli(Socket) + "shutdown", Ignore);
+  D.wait();
+  ::unlink(Socket.c_str());
+}
+
+TEST(ServiceFaultE2E, InjectedCompileBadAllocShedsThenHeals) {
+  std::string Tag = std::to_string(::getpid());
+  std::string Socket = ::testing::TempDir() + "asdfd-oom-" + Tag + ".sock";
+  ::unlink(Socket.c_str());
+  std::string Coin = writeTemp("service_cli_oom_coin.qw", CoinSource);
+
+  Daemon D;
+  ASSERT_TRUE(D.start(Socket, {}, {"ASDF_FAULTS=compile.bad-alloc=1"}));
+  std::string Out;
+  EXPECT_EQ(runCommand(cli(Socket) + "compile " + Coin + " --emit qasm",
+                       Out),
+            1);
+  EXPECT_NE(Out.find("resource-exhausted"), std::string::npos) << Out;
+  // The fault budget is spent; the daemon healed in place.
+  EXPECT_EQ(runCommand("( " + cli(Socket) + "compile " + Coin +
+                           " --emit qasm 2>/dev/null )",
+                       Out),
+            0);
+  EXPECT_NE(Out.find("OPENQASM"), std::string::npos) << Out;
+  std::string Ignore;
+  runCommand(cli(Socket) + "shutdown", Ignore);
+  D.wait();
+  ::unlink(Socket.c_str());
+}
+
+#endif // ASDF_FAULT_INJECTION
 
 } // namespace
 

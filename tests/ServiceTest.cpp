@@ -38,6 +38,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -407,6 +408,24 @@ TEST(ProtocolTest, ErrorResponseRoundTrips) {
   EXPECT_FALSE(Back.Ok);
   EXPECT_EQ(Back.Error.Kind, "compile-error");
   EXPECT_EQ(Back.Error.Message, "line 2: no such basis");
+  EXPECT_EQ(Back.Error.RetryAfterMs, 0u)
+      << "absent retry_after_ms must read back as no hint";
+}
+
+TEST(ProtocolTest, RetryAfterMsRoundTrips) {
+  ServiceResponse Resp = ServiceResponse::failure(
+      9, "overloaded", "request queue is full; back off and retry",
+      /*RetryAfterMs=*/125);
+  std::string Wire = Resp.toJson().write();
+  EXPECT_NE(Wire.find("\"retry_after_ms\""), std::string::npos) << Wire;
+  json::Value V;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Wire, V, Error)) << Error;
+  ServiceResponse Back;
+  ASSERT_TRUE(ServiceResponse::fromJson(V, Back, Error)) << Error;
+  EXPECT_FALSE(Back.Ok);
+  EXPECT_EQ(Back.Error.Kind, "overloaded");
+  EXPECT_EQ(Back.Error.RetryAfterMs, 125u);
 }
 
 TEST(ProtocolTest, BindRunRoundTripsExactly) {
@@ -485,7 +504,8 @@ TEST(JobQueueTest, RunsEverySubmittedJob) {
     JobQueue Q(4);
     EXPECT_EQ(Q.workers(), 4u);
     for (int I = 0; I < 100; ++I)
-      ASSERT_TRUE(Q.submit([&] { Ran.fetch_add(1); }));
+      ASSERT_EQ(Q.submit([&] { Ran.fetch_add(1); }),
+                JobQueue::Submit::Accepted);
     Q.drain();
   }
   EXPECT_EQ(Ran.load(), 100);
@@ -495,10 +515,12 @@ TEST(JobQueueTest, DrainStopsAdmissionButFinishesQueuedWork) {
   std::atomic<int> Ran{0};
   JobQueue Q(2);
   for (int I = 0; I < 10; ++I)
-    ASSERT_TRUE(Q.submit([&] { Ran.fetch_add(1); }));
+    ASSERT_EQ(Q.submit([&] { Ran.fetch_add(1); }),
+              JobQueue::Submit::Accepted);
   Q.drain();
   EXPECT_EQ(Ran.load(), 10) << "queued jobs complete during drain";
-  EXPECT_FALSE(Q.submit([&] { Ran.fetch_add(1); }));
+  EXPECT_EQ(Q.submit([&] { Ran.fetch_add(1); }),
+            JobQueue::Submit::Draining);
   EXPECT_EQ(Ran.load(), 10);
   JobQueue::Counters C = Q.counters();
   EXPECT_EQ(C.Submitted, 10u);
@@ -511,6 +533,53 @@ TEST(JobQueueTest, DrainStopsAdmissionButFinishesQueuedWork) {
 TEST(JobQueueTest, ZeroMeansHardwareConcurrency) {
   JobQueue Q(0);
   EXPECT_GE(Q.workers(), 1u);
+}
+
+TEST(JobQueueTest, BoundedDepthShedsBeyondMaxPending) {
+  std::atomic<int> Ran{0};
+  JobQueue Q(1, /*MaxPending=*/4);
+  Q.pause(); // Freeze pickup so the queue actually fills.
+  for (int I = 0; I < 4; ++I)
+    ASSERT_EQ(Q.submit([&] { Ran.fetch_add(1); }),
+              JobQueue::Submit::Accepted);
+  EXPECT_EQ(Q.submit([&] { Ran.fetch_add(1); }),
+            JobQueue::Submit::Overloaded)
+      << "the 5th job must be shed, not queued";
+  JobQueue::Counters C = Q.counters();
+  EXPECT_EQ(C.Shed, 1u);
+  EXPECT_EQ(C.Pending, 4u);
+  Q.resume();
+  Q.drain();
+  EXPECT_EQ(Ran.load(), 4) << "shed jobs must never run";
+  EXPECT_EQ(Q.counters().Executed, 4u);
+}
+
+TEST(JobQueueTest, RoundRobinInterleavesClients) {
+  // Client A floods 4 jobs before client B's single job arrives; fair
+  // pickup still serves B second, not fifth.
+  std::vector<std::string> Order;
+  std::mutex OrderMu;
+  JobQueue Q(1);
+  Q.pause();
+  auto Job = [&](std::string Tag) {
+    return [&, Tag] {
+      std::lock_guard<std::mutex> Lock(OrderMu);
+      Order.push_back(Tag);
+    };
+  };
+  for (int I = 1; I <= 4; ++I)
+    ASSERT_EQ(Q.submit(Job("A" + std::to_string(I)), /*Client=*/100),
+              JobQueue::Submit::Accepted);
+  ASSERT_EQ(Q.submit(Job("B1"), /*Client=*/200),
+            JobQueue::Submit::Accepted);
+  Q.resume();
+  Q.drain();
+  ASSERT_EQ(Order.size(), 5u);
+  EXPECT_EQ(Order[0], "A1");
+  EXPECT_EQ(Order[1], "B1") << "one hog must not starve other clients";
+  EXPECT_EQ(Order[2], "A2");
+  EXPECT_EQ(Order[3], "A3");
+  EXPECT_EQ(Order[4], "A4");
 }
 
 //===----------------------------------------------------------------------===//
@@ -937,8 +1006,106 @@ TEST(ServiceTest, ShutdownFlipsTheFlagAndSubmitRejects) {
   EXPECT_TRUE(Service.handle(R).Ok);
   EXPECT_TRUE(Service.shuttingDown());
   Service.drain();
-  EXPECT_FALSE(Service.submit(coinRunRequest(), [](ServiceResponse) {}))
+  EXPECT_EQ(Service.submit(coinRunRequest(), [](ServiceResponse) {}),
+            JobQueue::Submit::Draining)
       << "submit after drain must be rejected without running";
+}
+
+//===----------------------------------------------------------------------===//
+// Load shedding and admission control
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceShedTest, BoundedQueueShedsWithARetryHint) {
+  ServiceOptions Options;
+  Options.Workers = 1;
+  Options.MaxQueueDepth = 2;
+  AsdfService Service(Options);
+  Service.queue().pause();
+  std::atomic<int> Answered{0};
+  auto Sink = [&](ServiceResponse) { Answered.fetch_add(1); };
+  ASSERT_EQ(Service.submit(coinRunRequest(1), Sink),
+            JobQueue::Submit::Accepted);
+  ASSERT_EQ(Service.submit(coinRunRequest(2), Sink),
+            JobQueue::Submit::Accepted);
+  EXPECT_EQ(Service.submit(coinRunRequest(3), Sink),
+            JobQueue::Submit::Overloaded);
+
+  // The wire answer the server sends for that outcome: machine-readable
+  // kind plus a bounded backoff hint.
+  ServiceResponse Shed = Service.overloadedResponse(3);
+  EXPECT_FALSE(Shed.Ok);
+  EXPECT_EQ(Shed.Id, 3u);
+  EXPECT_EQ(Shed.Error.Kind, "overloaded");
+  EXPECT_GE(Shed.Error.RetryAfterMs, 25u);
+  EXPECT_LE(Shed.Error.RetryAfterMs, 2000u);
+
+  Service.queue().resume();
+  Service.drain();
+  EXPECT_EQ(Answered.load(), 2) << "accepted jobs still answer";
+
+  ServiceRequest Stats;
+  Stats.TheKind = ServiceRequest::Kind::Stats;
+  Stats.Id = 9;
+  ServiceResponse Resp = Service.handle(Stats);
+  ASSERT_TRUE(Resp.Ok);
+  EXPECT_EQ(Resp.StatsBody.get("requests")->get("shed_overloaded")->asU64(),
+            1u);
+  EXPECT_EQ(Resp.StatsBody.get("queue")->get("shed")->asU64(), 1u);
+}
+
+TEST(ServiceShedTest, RunMemoryBudgetRefusesOversizedStatevectors) {
+  ServiceOptions Options;
+  Options.Workers = 1;
+  Options.RunMemoryBytes = 16; // One amplitude: even 1 qubit won't fit.
+  AsdfService Service(Options);
+  ServiceRequest R = coinRunRequest();
+  R.Backend = "sv";
+  ServiceResponse Resp = Service.handle(R);
+  ASSERT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Error.Kind, "resource-exhausted");
+  EXPECT_NE(Resp.Error.Message.find("--run-mem-mb"), std::string::npos)
+      << "the refusal must name the knob that raises the budget: "
+      << Resp.Error.Message;
+
+  ServiceRequest Stats;
+  Stats.TheKind = ServiceRequest::Kind::Stats;
+  Stats.Id = 2;
+  ServiceResponse S = Service.handle(Stats);
+  ASSERT_TRUE(S.Ok);
+  EXPECT_EQ(S.StatsBody.get("requests")->get("shed_memory")->asU64(), 1u);
+  Service.drain();
+}
+
+TEST(ServiceShedTest, RunMemoryBudgetAdmitsWhatFits) {
+  ServiceOptions Options;
+  Options.Workers = 1;
+  Options.RunMemoryBytes = 1 << 20;
+  AsdfService Service(Options);
+  ServiceRequest R = coinRunRequest();
+  R.Backend = "sv";
+  ServiceResponse Resp = Service.handle(R);
+  ASSERT_TRUE(Resp.Ok) << Resp.Error.Message;
+  // The reservation is released after the run: repeats keep fitting.
+  ServiceResponse Again = Service.handle(R);
+  EXPECT_TRUE(Again.Ok) << Again.Error.Message;
+  EXPECT_EQ(Again.Results, Resp.Results);
+  Service.drain();
+}
+
+TEST(ServiceShedTest, ExpiredDeadlineCountsAsShed) {
+  AsdfService Service(ServiceOptions{1});
+  ServiceRequest R = coinRunRequest();
+  ServiceResponse Resp = Service.handle(
+      R, std::chrono::steady_clock::now() - std::chrono::seconds(1));
+  ASSERT_FALSE(Resp.Ok);
+  EXPECT_EQ(Resp.Error.Kind, "timeout");
+  ServiceRequest Stats;
+  Stats.TheKind = ServiceRequest::Kind::Stats;
+  Stats.Id = 2;
+  ServiceResponse S = Service.handle(Stats);
+  ASSERT_TRUE(S.Ok);
+  EXPECT_EQ(S.StatsBody.get("requests")->get("shed_expired")->asU64(), 1u);
+  Service.drain();
 }
 
 //===----------------------------------------------------------------------===//
@@ -1012,11 +1179,13 @@ TEST(ServiceConcurrencyTest, SubmitCallbacksFireExactlyOnce) {
   std::vector<ServiceResponse> Out(N);
   std::atomic<unsigned> Done{0};
   for (unsigned I = 0; I < N; ++I)
-    ASSERT_TRUE(Service.submit(coinRunRequest(I, 8, I), [&, I](ServiceResponse R) {
-      Out[I] = std::move(R);
-      Fired.fetch_add(1);
-      Done.fetch_add(1);
-    }));
+    ASSERT_EQ(Service.submit(coinRunRequest(I, 8, I),
+                             [&, I](ServiceResponse R) {
+                               Out[I] = std::move(R);
+                               Fired.fetch_add(1);
+                               Done.fetch_add(1);
+                             }),
+              JobQueue::Submit::Accepted);
   Service.drain();
   EXPECT_EQ(Fired.load(), N);
   for (unsigned I = 0; I < N; ++I) {
